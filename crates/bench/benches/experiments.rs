@@ -1,0 +1,9 @@
+//! `cargo bench` entry point that regenerates every experiment table
+//! (quick workloads). The criterion micro-benchmarks live in the sibling
+//! bench targets.
+
+fn main() {
+    // Criterion-style benches pass --bench and filter args; we accept and
+    // ignore them, always running the quick pass.
+    pipes_bench::experiments::run("all", true);
+}

@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks for the hot building blocks: operator
+//! fusion, SweepArea probing, and the temporal aggregation machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pipes::ops::drive::{run_binary, run_unary};
+use pipes::ops::join::{HashSweepArea, ListSweepArea, OrderedSweepArea, SweepArea};
+use pipes::prelude::*;
+
+fn events(n: u64) -> Vec<Element<i64>> {
+    (0..n)
+        .map(|i| Element::at(i as i64, Timestamp::new(i)))
+        .collect()
+}
+
+/// E4 micro: fused vs queued chain of four cheap maps.
+fn bench_fusion(c: &mut Criterion) {
+    const N: u64 = 20_000;
+    let mut group = c.benchmark_group("fusion");
+    group.throughput(Throughput::Elements(N));
+
+    group.bench_function("queued_chain_4", |b| {
+        b.iter(|| {
+            let g = QueryGraph::new();
+            let src = g.add_source("src", VecSource::new(events(N)));
+            let a = g.add_unary("a", Map::new(|v: i64| v + 1), &src);
+            let d = g.add_unary("b", Map::new(|v: i64| v * 2), &a);
+            let e = g.add_unary("c", Map::new(|v: i64| v - 3), &d);
+            let f = g.add_unary("d", Map::new(|v: i64| v ^ 7), &e);
+            let (sink, buf) = CollectSink::new();
+            g.add_sink("s", sink, &f);
+            g.run_to_completion(256);
+            let n = buf.lock().len();
+            n
+        })
+    });
+    group.bench_function("fused_chain_4", |b| {
+        b.iter(|| {
+            let g = QueryGraph::new();
+            let src = g.add_source("src", VecSource::new(events(N)));
+            let chain = Map::new(|v: i64| v + 1)
+                .then(Map::new(|v: i64| v * 2))
+                .then(Map::new(|v: i64| v - 3))
+                .then(Map::new(|v: i64| v ^ 7));
+            let f = g.add_unary("virtual", chain, &src);
+            let (sink, buf) = CollectSink::new();
+            g.add_sink("s", sink, &f);
+            g.run_to_completion(256);
+            let n = buf.lock().len();
+            n
+        })
+    });
+    group.finish();
+}
+
+/// E6 micro: probe cost per SweepArea variant at a fixed live-set size.
+fn bench_sweeparea(c: &mut Criterion) {
+    const LIVE: u64 = 2_000;
+    let mut group = c.benchmark_group("sweeparea_probe");
+    let fill = |sa: &mut dyn SweepArea<i64, i64>| {
+        for i in 0..LIVE {
+            sa.insert(Element::new(
+                (i % 50) as i64,
+                TimeInterval::new(Timestamp::new(i), Timestamp::new(i + 10_000)),
+            ));
+        }
+    };
+    let probe = Element::new(
+        7i64,
+        TimeInterval::new(Timestamp::new(500), Timestamp::new(600)),
+    );
+
+    let mut list = ListSweepArea::new(|p: &i64, t: &i64| p == t);
+    fill(&mut list);
+    group.bench_function(BenchmarkId::new("probe", "list"), |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            list.query(&probe, &mut |_| hits += 1);
+            hits
+        })
+    });
+
+    let mut ordered = OrderedSweepArea::new(|p: &i64, t: &i64| p == t);
+    fill(&mut ordered);
+    group.bench_function(BenchmarkId::new("probe", "ordered"), |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            ordered.query(&probe, &mut |_| hits += 1);
+            hits
+        })
+    });
+
+    let mut hash = HashSweepArea::new(|t: &i64| *t, |p: &i64| *p);
+    fill(&mut hash);
+    group.bench_function(BenchmarkId::new("probe", "hash"), |b| {
+        b.iter(|| {
+            let mut hits = 0;
+            hash.query(&probe, &mut |_| hits += 1);
+            hits
+        })
+    });
+    group.finish();
+}
+
+/// Joins end-to-end at bench scale.
+fn bench_join(c: &mut Criterion) {
+    const N: u64 = 5_000;
+    let make = |seed: u64| -> Vec<Element<i64>> {
+        (0..N)
+            .map(|i| {
+                Element::new(
+                    ((i.wrapping_mul(seed)) % 64) as i64,
+                    TimeInterval::new(Timestamp::new(i), Timestamp::new(i + 100)),
+                )
+            })
+            .collect()
+    };
+    let mut group = c.benchmark_group("ripple_join");
+    group.throughput(Throughput::Elements(2 * N));
+    group.bench_function("equi_hash", |b| {
+        b.iter(|| {
+            run_binary(
+                RippleJoin::equi(|x: &i64| *x, |y: &i64| *y, |x, y| (*x, *y)),
+                make(2654435761),
+                make(40503),
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+/// Temporal aggregation throughput at several window sizes.
+fn bench_aggregate(c: &mut Criterion) {
+    const N: u64 = 10_000;
+    let mut group = c.benchmark_group("temporal_aggregate");
+    group.throughput(Throughput::Elements(N));
+    for window in [16u64, 128, 1024] {
+        let input: Vec<Element<i64>> = (0..N)
+            .map(|i| {
+                Element::new(
+                    i as i64,
+                    TimeInterval::new(Timestamp::new(i), Timestamp::new(i + window)),
+                )
+            })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("count_window", window),
+            &input,
+            |b, input| {
+                b.iter(|| run_unary(ScalarAggregate::new(CountAgg), input.clone()).len())
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fusion,
+    bench_sweeparea,
+    bench_join,
+    bench_aggregate
+);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! The experiments E1–E13 (see `DESIGN.md` for the paper mapping).
+
+mod ablation;
+mod apps;
+mod fusion;
+mod join;
+mod memory;
+mod monitoring;
+mod mqo;
+mod plans;
+mod rate;
+mod reuse;
+mod scheduling;
+
+/// Runs one experiment by id (`e1`..`e13`) or `all`. `quick` shrinks the
+/// workloads so a full pass finishes in seconds (used by `cargo bench`).
+pub fn run(which: &str, quick: bool) {
+    let all = which.eq_ignore_ascii_case("all");
+    let want = |id: &str| all || which.eq_ignore_ascii_case(id);
+    if want("e1") {
+        apps::e1_architecture(quick);
+    }
+    if want("e2") {
+        plans::e2_query_plans(quick);
+    }
+    if want("e3") {
+        monitoring::e3_monitoring(quick);
+    }
+    if want("e4") {
+        fusion::e4_fusion(quick);
+    }
+    if want("e5") {
+        scheduling::e5_scheduling(quick);
+    }
+    if want("e6") {
+        join::e6_join_framework(quick);
+    }
+    if want("e7") {
+        memory::e7_memory_manager(quick);
+    }
+    if want("e8") {
+        mqo::e8_multi_query(quick);
+    }
+    if want("e9") {
+        rate::e9_rate_reduction(quick);
+    }
+    if want("e10") {
+        apps::e10_traffic(quick);
+    }
+    if want("e11") {
+        apps::e11_nexmark(quick);
+    }
+    if want("e12") {
+        reuse::e12_code_reuse(quick);
+    }
+    if want("e13") {
+        ablation::e13_ablation(quick);
+    }
+}

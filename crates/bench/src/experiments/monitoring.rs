@@ -1,0 +1,94 @@
+//! E3 — the performance monitor under fluctuating stream rates (Figure 3).
+//!
+//! Paper claim (§Performance Monitoring Tool): secondary metadata of any
+//! node can be observed at runtime; the demo highlights "the effect of
+//! fluctuating stream rates on internal buffers". We drive a square-wave
+//! rate through filter → window → count under a deliberately slow
+//! round-robin scheduler and sample every node's metadata on a fixed
+//! logical grid, then render the series.
+
+use crate::table;
+use pipes::prelude::*;
+
+/// Runs E3 and prints the series.
+pub fn e3_monitoring(quick: bool) {
+    let n: u64 = if quick { 30_000 } else { 120_000 };
+    // Square-wave arrivals: alternate dense and sparse phases.
+    let mut t = 0u64;
+    let elems: Vec<Element<i64>> = (0..n)
+        .map(|i| {
+            t += if (i / 1024) % 2 == 0 { 1 } else { 32 };
+            Element::at(i as i64, Timestamp::new(t))
+        })
+        .collect();
+
+    let g = QueryGraph::new();
+    let src = g.add_source("square-wave", VecSource::new(elems));
+    let filt = g.add_unary("filter", Filter::new(|v: &i64| v % 3 != 0), &src);
+    let win = g.add_unary("window", TimeWindow::new(Duration::from_ticks(256)), &filt);
+    let agg = g.add_unary("count", ScalarAggregate::new(CountAgg), &win);
+    let (sink, _) = CollectSink::new();
+    g.add_sink("sink", sink, &agg);
+
+    let monitor = Monitor::new();
+    for info in g.infos() {
+        monitor.register(g.stats(info.id));
+    }
+
+    // Deterministic sampling: one sample every few scheduling rounds.
+    let mut strategy = RoundRobinStrategy::new();
+    let node_ids: Vec<NodeId> = (0..g.len()).collect();
+    let mut round = 0.0f64;
+    loop {
+        if g.all_finished() {
+            break;
+        }
+        // One short slice, then a sample.
+        let view = pipes::sched::SchedView::new(&g, &node_ids);
+        if let Some(id) = strategy.select(&view) {
+            g.step_node(id, 192);
+        }
+        round += 1.0;
+        if (round as u64).is_multiple_of(4) {
+            monitor.sample_at(round);
+        }
+    }
+
+    println!("\n=== E3 — secondary metadata under a square-wave input rate ===");
+    print!("{}", monitor.render_sparklines(SeriesView::InputRate));
+    print!("{}", monitor.render_sparklines(SeriesView::QueueLen));
+    print!("{}", monitor.render_sparklines(SeriesView::Memory));
+
+    // Quantify the claim: the filter's queue peaks during bursts.
+    let series = monitor.series();
+    let filt_series = &series[filt.node()];
+    let queue = filt_series.view(SeriesView::QueueLen);
+    let peak = queue.iter().cloned().fold(0.0f64, f64::max);
+    let avg = queue.iter().sum::<f64>() / queue.len().max(1) as f64;
+    let agg_mem = series[agg.node()].view(SeriesView::Memory);
+    let mem_peak = agg_mem.iter().cloned().fold(0.0f64, f64::max);
+    table(
+        "E3 — buffer statistics",
+        &["node", "peak queue", "avg queue", "peak state"],
+        &[
+            vec![
+                "filter".into(),
+                format!("{peak:.0}"),
+                format!("{avg:.1}"),
+                "-".into(),
+            ],
+            vec![
+                "count".into(),
+                "-".into(),
+                "-".into(),
+                format!("{mem_peak:.0}"),
+            ],
+        ],
+    );
+    println!(
+        "shape check: queue length tracks the square wave (bursts fill \
+         internal buffers, gaps drain them); selectivity converges to ≈0.67."
+    );
+    let sel = g.stats(filt.node()).snapshot().selectivity().unwrap_or(0.0);
+    println!("observed filter selectivity: {sel:.3}");
+}

@@ -1,0 +1,77 @@
+//! E2 — query-plan construction, persistence and re-instantiation
+//! (the functionality behind the plan GUI, Figure 2).
+//!
+//! The demo constructs plans visually, stores them as XML and regenerates
+//! runnable code. Here: CQL → logical plan → textual persistence → parse →
+//! physical compilation, with the costs of each stage and a Graphviz
+//! rendering of one plan.
+
+use crate::{f, table};
+use pipes::nexmark::{self, generator::NexmarkConfig, queries};
+use pipes::prelude::*;
+use std::time::Instant;
+
+/// Runs E2 and prints the table.
+pub fn e2_query_plans(_quick: bool) {
+    let mut cat = Catalog::new();
+    nexmark::register(
+        &mut cat,
+        NexmarkConfig {
+            max_events: 500,
+            ..Default::default()
+        },
+    );
+
+    let mut rows = Vec::new();
+    for (name, sql) in queries::all() {
+        let start = Instant::now();
+        let plan = pipes::cql::compile_cql(sql, &cat).expect("parses");
+        let parse_us = start.elapsed().as_micros();
+
+        let start = Instant::now();
+        let text = pipes::optimizer::sexpr::to_string(&plan);
+        let ser_us = start.elapsed().as_micros();
+
+        let start = Instant::now();
+        let reloaded = pipes::optimizer::sexpr::from_str(&text).expect("round-trips");
+        let deser_us = start.elapsed().as_micros();
+        assert_eq!(plan, reloaded, "{name} round-trip changed the plan");
+
+        let graph = QueryGraph::new();
+        let mut optimizer = Optimizer::new();
+        let start = Instant::now();
+        let report = optimizer.install(&reloaded, &graph, &cat).expect("installs");
+        let compile_us = start.elapsed().as_micros();
+
+        rows.push(vec![
+            name.to_string(),
+            plan.node_count().to_string(),
+            report.variants_considered.to_string(),
+            text.len().to_string(),
+            f(parse_us as f64, 0),
+            f(ser_us as f64, 0),
+            f(deser_us as f64, 0),
+            f(compile_us as f64, 0),
+        ]);
+    }
+    table(
+        "E2 — plan construction / persistence / re-instantiation (NEXMark suite)",
+        &[
+            "query",
+            "plan nodes",
+            "variants",
+            "bytes",
+            "parse µs",
+            "store µs",
+            "load µs",
+            "install µs",
+        ],
+        &rows,
+    );
+
+    // One rendered plan, as the GUI would show it.
+    let plan =
+        pipes::cql::compile_cql(queries::q7_avg_price_per_category(), &cat).expect("parses");
+    println!("\nq7 plan (logical):\n{}", plan.pretty());
+    println!("q7 plan (Graphviz):\n{}", plan.render_dot());
+}

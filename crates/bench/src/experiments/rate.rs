@@ -1,0 +1,79 @@
+//! E9 — rate reduction: coalescing and granularity.
+//!
+//! Paper claim (§Operator algebra): the interval algebra "includes special
+//! mechanisms that substantially reduce stream rates" while staying
+//! snapshot-equivalent. We measure the output volume of a windowed count
+//! (a) plain, (b) with coalesce, (c) with a granularity cap, and verify
+//! snapshot equivalence where it is exact.
+
+use crate::{f, table};
+use pipes::ops::drive::run_unary;
+use pipes::prelude::*;
+
+fn events(n: u64, run_len: u64) -> Vec<Element<i64>> {
+    // Steps of constant concurrency: within each run of `run_len` events
+    // the count stays flat, so coalescing has something to merge.
+    (0..n)
+        .map(|i| {
+            let slot = i / run_len;
+            Element::new(
+                1,
+                TimeInterval::new(
+                    Timestamp::new(slot * run_len + (i % run_len)),
+                    Timestamp::new(slot * run_len + (i % run_len) + run_len),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Runs E9 and prints the table.
+pub fn e9_rate_reduction(quick: bool) {
+    let n: u64 = if quick { 5_000 } else { 40_000 };
+    let mut rows = Vec::new();
+    for run_len in [4u64, 16, 64] {
+        let input = events(n, run_len);
+
+        let plain = run_unary(ScalarAggregate::new(CountAgg), input.clone());
+        let coalesced = run_unary(
+            ScalarAggregate::new(CountAgg).then(Coalesce::new()),
+            input.clone(),
+        );
+        let sampled = run_unary(
+            ScalarAggregate::new(CountAgg).then(Granularity::new(Duration::from_ticks(256))),
+            input.clone(),
+        );
+
+        // Coalescing must stay exactly snapshot-equivalent.
+        pipes::time::snapshot::check_unary(&input, &coalesced, |s| {
+            pipes::time::snapshot::rel::aggregate(s, |v| v.len() as u64)
+        })
+        .expect("coalesce broke snapshot equivalence");
+
+        rows.push(vec![
+            run_len.to_string(),
+            plain.len().to_string(),
+            coalesced.len().to_string(),
+            f(plain.len() as f64 / coalesced.len().max(1) as f64, 1),
+            sampled.len().to_string(),
+            f(plain.len() as f64 / sampled.len().max(1) as f64, 1),
+        ]);
+    }
+    table(
+        &format!("E9 — rate reduction on a windowed count, {n} input elements"),
+        &[
+            "run len",
+            "plain out",
+            "coalesced",
+            "reduction×",
+            "granularity(256)",
+            "reduction×",
+        ],
+        &rows,
+    );
+    println!(
+        "shape check: coalesce reduction grows with run length (≈ the \
+         run-length factor) at zero semantic cost; granularity gives a \
+         hard output cap at bounded approximation."
+    );
+}

@@ -1,0 +1,75 @@
+//! # pipes-bench
+//!
+//! The experiment harness: one reproducible experiment per demonstrated
+//! claim of the PIPES paper (see `DESIGN.md`, experiment index E1–E13).
+//!
+//! Each experiment prints the table/series it regenerates. Run everything:
+//!
+//! ```text
+//! cargo run --release -p pipes-bench --bin experiments -- all
+//! cargo run --release -p pipes-bench --bin experiments -- e5      # one exp
+//! cargo bench -p pipes-bench                                      # quick pass + criterion micro-benches
+//! ```
+
+pub mod experiments;
+
+use std::fmt::Write as _;
+
+/// Prints an aligned ASCII table with a title.
+pub fn table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut line = String::new();
+    for (h, w) in headers.iter().zip(&widths) {
+        let _ = write!(line, "{h:>w$}  ");
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len().min(120)));
+    for row in rows {
+        let mut line = String::new();
+        for (cell, w) in row.iter().zip(&widths) {
+            let _ = write!(line, "{cell:>w$}  ");
+        }
+        println!("{line}");
+    }
+}
+
+/// Formats a float with the given precision.
+pub fn f(v: f64, prec: usize) -> String {
+    format!("{v:.prec$}")
+}
+
+/// Formats a duration as milliseconds.
+pub fn ms(d: std::time::Duration) -> String {
+    format!("{:.1}", d.as_secs_f64() * 1000.0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(super::f(1.23456, 2), "1.23");
+        assert_eq!(super::ms(std::time::Duration::from_millis(1500)), "1500.0");
+        // table() only prints; smoke-test it doesn't panic.
+        super::table(
+            "t",
+            &["a", "long-header"],
+            &[vec!["1".into(), "2".into()]],
+        );
+    }
+
+    #[test]
+    fn quick_experiments_run() {
+        // The full quick pass is exercised by `cargo bench`; here we smoke
+        // the cheapest two to keep unit tests fast.
+        super::experiments::run("e4", true);
+        super::experiments::run("e9", true);
+    }
+}

@@ -1,0 +1,252 @@
+//! CQL tokenizer.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (uppercased check happens in the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal (single quotes).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+impl Token {
+    /// Whether the token is the given keyword (case-insensitive).
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::Sym(s) => write!(f, "{s}"),
+        }
+    }
+}
+
+/// Tokenizes a CQL string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, String> {
+    let mut tokens = Vec::new();
+    let mut chars = input.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut is_float = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        chars.next();
+                    } else if c == '.' && !is_float {
+                        // Lookahead: `1.5` is a float, `t.c` never starts
+                        // with a digit so a dot here is always fractional.
+                        is_float = true;
+                        s.push(c);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                if is_float {
+                    tokens.push(Token::Float(
+                        s.parse().map_err(|e| format!("bad float '{s}': {e}"))?,
+                    ));
+                } else {
+                    tokens.push(Token::Int(
+                        s.parse().map_err(|e| format!("bad int '{s}': {e}"))?,
+                    ));
+                }
+            }
+            '\'' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        None => return Err("unterminated string literal".into()),
+                        Some('\'') => {
+                            // '' escapes a quote.
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '<' => {
+                chars.next();
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        tokens.push(Token::Sym("<="));
+                    }
+                    Some('>') => {
+                        chars.next();
+                        tokens.push(Token::Sym("!="));
+                    }
+                    _ => tokens.push(Token::Sym("<")),
+                }
+            }
+            '>' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Sym(">="));
+                } else {
+                    tokens.push(Token::Sym(">"));
+                }
+            }
+            '!' => {
+                chars.next();
+                if chars.peek() == Some(&'=') {
+                    chars.next();
+                    tokens.push(Token::Sym("!="));
+                } else {
+                    return Err("unexpected '!'".into());
+                }
+            }
+            '=' => {
+                chars.next();
+                tokens.push(Token::Sym("="));
+            }
+            '.' => {
+                chars.next();
+                tokens.push(Token::Sym("."));
+            }
+            ',' => {
+                chars.next();
+                tokens.push(Token::Sym(","));
+            }
+            '(' => {
+                chars.next();
+                tokens.push(Token::Sym("("));
+            }
+            ')' => {
+                chars.next();
+                tokens.push(Token::Sym(")"));
+            }
+            '[' => {
+                chars.next();
+                tokens.push(Token::Sym("["));
+            }
+            ']' => {
+                chars.next();
+                tokens.push(Token::Sym("]"));
+            }
+            '*' => {
+                chars.next();
+                tokens.push(Token::Sym("*"));
+            }
+            '+' => {
+                chars.next();
+                tokens.push(Token::Sym("+"));
+            }
+            '-' => {
+                chars.next();
+                // SQL comments: `-- …`
+                if chars.peek() == Some(&'-') {
+                    for c in chars.by_ref() {
+                        if c == '\n' {
+                            break;
+                        }
+                    }
+                } else {
+                    tokens.push(Token::Sym("-"));
+                }
+            }
+            '/' => {
+                chars.next();
+                tokens.push(Token::Sym("/"));
+            }
+            '%' => {
+                chars.next();
+                tokens.push(Token::Sym("%"));
+            }
+            other => return Err(format!("unexpected character '{other}'")),
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_numbers_strings() {
+        let toks = tokenize("SELECT a, b FROM s WHERE x >= 1.5 AND name = 'o''brien'").unwrap();
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Token::Sym(">=")));
+        assert!(toks.contains(&Token::Float(1.5)));
+        assert!(toks.contains(&Token::Str("o'brien".into())));
+    }
+
+    #[test]
+    fn qualified_names_and_windows() {
+        let toks = tokenize("t.col [RANGE 10 SECONDS]").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Sym("."),
+                Token::Ident("col".into()),
+                Token::Sym("["),
+                Token::Ident("RANGE".into()),
+                Token::Int(10),
+                Token::Ident("SECONDS".into()),
+                Token::Sym("]"),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_operators() {
+        let toks = tokenize("a -- comment\n <> b").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Sym("!="),
+                Token::Ident("b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ! b").is_err());
+        assert!(tokenize("a ? b").is_err());
+    }
+}

@@ -1,0 +1,40 @@
+//! # pipes-cql
+//!
+//! A CQL front end for PIPES.
+//!
+//! The temporal operator algebra of PIPES is "absolutely conform to the
+//! Continuous Query Language (CQL)" (the paper, citing Arasu/Babu/Widom).
+//! This crate parses a practical CQL subset and plans it into the logical
+//! algebra of `pipes-optimizer`, from where the multi-query optimizer
+//! installs it into a running graph:
+//!
+//! ```sql
+//! SELECT section, AVG(speed) AS avg_speed
+//! FROM   traffic [RANGE 1 HOURS]
+//! WHERE  lane = 4
+//! GROUP BY section
+//! EVERY  5 MINUTES
+//! ```
+//!
+//! Supported: `SELECT [DISTINCT] … FROM stream [RANGE n unit | ROWS n |
+//! NOW | PARTITION BY cols ROWS n] [AS alias], … [WHERE …] [GROUP BY …]
+//! [HAVING …] [EVERY n unit]`, joins between windowed streams (equi and
+//! theta), and stream–relation joins against catalog relations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod lexer;
+mod parser;
+mod planner;
+
+pub use parser::{parse, parse_expression, ExprAst, FromItem, Query, SelectItem};
+pub use planner::plan_query;
+
+use pipes_optimizer::{Catalog, LogicalPlan};
+
+/// Parses a CQL string and plans it against the catalog.
+pub fn compile_cql(sql: &str, catalog: &Catalog) -> Result<LogicalPlan, String> {
+    let query = parse(sql)?;
+    plan_query(&query, catalog)
+}

@@ -1,0 +1,584 @@
+//! Recursive-descent parser for the CQL subset.
+
+use crate::lexer::{tokenize, Token};
+use pipes_optimizer::{AggFunc, BinOp, UnOp, Value, WindowSpec};
+use pipes_time::Duration;
+
+/// An expression AST (superset of scalar expressions: may contain aggregate
+/// calls, which the planner lifts into an `Aggregate` node).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExprAst {
+    /// Column reference, possibly qualified.
+    Col(String),
+    /// Literal value.
+    Lit(Value),
+    /// Binary operation.
+    Bin(Box<ExprAst>, BinOp, Box<ExprAst>),
+    /// Unary operation.
+    Un(UnOp, Box<ExprAst>),
+    /// Aggregate call; `None` argument means `COUNT(*)`.
+    Agg(AggFunc, Option<Box<ExprAst>>),
+}
+
+impl ExprAst {
+    /// Whether the expression contains an aggregate call.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            ExprAst::Agg(..) => true,
+            ExprAst::Bin(l, _, r) => l.has_agg() || r.has_agg(),
+            ExprAst::Un(_, e) => e.has_agg(),
+            _ => false,
+        }
+    }
+
+    /// A display form used for default output column names. Compound
+    /// sub-expressions are parenthesized, so the form parses back to an
+    /// equal AST via [`crate::parse_expression`].
+    pub fn display(&self) -> String {
+        match self {
+            ExprAst::Col(c) => c.clone(),
+            ExprAst::Lit(v) => v.to_string(),
+            ExprAst::Bin(l, op, r) => format!(
+                "{} {} {}",
+                l.display_atom(),
+                op.symbol(),
+                r.display_atom()
+            ),
+            ExprAst::Un(UnOp::Not, e) => format!("NOT {}", e.display_atom()),
+            ExprAst::Un(UnOp::Neg, e) => format!("-{}", e.display_atom()),
+            ExprAst::Agg(f, None) => format!("{}(*)", f.name()),
+            ExprAst::Agg(f, Some(e)) => format!("{}({})", f.name(), e.display()),
+        }
+    }
+
+    /// Like [`ExprAst::display`], parenthesizing compound expressions.
+    fn display_atom(&self) -> String {
+        match self {
+            ExprAst::Bin(..) | ExprAst::Un(..) => format!("({})", self.display()),
+            _ => self.display(),
+        }
+    }
+}
+
+/// One item of the select list.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SelectItem {
+    /// `*`.
+    Star,
+    /// An expression with an optional alias.
+    Expr(ExprAst, Option<String>),
+}
+
+/// One item of the `FROM` list.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FromItem {
+    /// Stream or relation name.
+    pub name: String,
+    /// Optional alias.
+    pub alias: Option<String>,
+    /// Optional window (bracket syntax). Relations never carry one.
+    pub window: Option<WindowSpec>,
+}
+
+/// A parsed CQL query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Query {
+    /// `SELECT DISTINCT`?
+    pub distinct: bool,
+    /// Select list.
+    pub select: Vec<SelectItem>,
+    /// From list.
+    pub from: Vec<FromItem>,
+    /// `WHERE` predicate.
+    pub where_clause: Option<ExprAst>,
+    /// `GROUP BY` expressions.
+    pub group_by: Vec<ExprAst>,
+    /// `HAVING` predicate.
+    pub having: Option<ExprAst>,
+    /// `EVERY` period (granularity).
+    pub every: Option<Duration>,
+}
+
+/// Parses a CQL query string.
+pub fn parse(sql: &str) -> Result<Query, String> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing input at '{}'", p.peek_str()));
+    }
+    Ok(q)
+}
+
+/// Parses a standalone CQL expression (used by tools and tests; the
+/// [`ExprAst::display`] form parses back to an equal AST).
+pub fn parse_expression(text: &str) -> Result<ExprAst, String> {
+    let tokens = tokenize(text)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let e = p.expr()?;
+    if p.pos != p.tokens.len() {
+        return Err(format!("trailing input at '{}'", p.peek_str()));
+    }
+    Ok(e)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_str(&self) -> String {
+        self.peek().map_or("<eof>".into(), |t| t.to_string())
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), String> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(format!("expected {kw}, found '{}'", self.peek_str()))
+        }
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if matches!(self.peek(), Some(Token::Sym(s)) if *s == sym) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<(), String> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            Err(format!("expected '{sym}', found '{}'", self.peek_str()))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(format!(
+                "expected identifier, found '{}'",
+                other.map_or("<eof>".into(), |t| t.to_string())
+            )),
+        }
+    }
+
+    fn int(&mut self) -> Result<i64, String> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(i),
+            other => Err(format!(
+                "expected integer, found '{}'",
+                other.map_or("<eof>".into(), |t| t.to_string())
+            )),
+        }
+    }
+
+    // -----------------------------------------------------------------
+
+    fn query(&mut self) -> Result<Query, String> {
+        self.expect_kw("SELECT")?;
+        let distinct = self.eat_kw("DISTINCT");
+        let select = self.select_list()?;
+        self.expect_kw("FROM")?;
+        let from = self.parse_from_list()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let every = if self.eat_kw("EVERY") {
+            Some(self.duration()?)
+        } else {
+            None
+        };
+        Ok(Query {
+            distinct,
+            select,
+            from,
+            where_clause,
+            group_by,
+            having,
+            every,
+        })
+    }
+
+    fn select_list(&mut self) -> Result<Vec<SelectItem>, String> {
+        let mut items = Vec::new();
+        loop {
+            if self.eat_sym("*") {
+                items.push(SelectItem::Star);
+            } else {
+                let e = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident()?)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr(e, alias));
+            }
+            if !self.eat_sym(",") {
+                return Ok(items);
+            }
+        }
+    }
+
+    fn parse_from_list(&mut self) -> Result<Vec<FromItem>, String> {
+        let mut items = Vec::new();
+        loop {
+            let name = self.ident()?;
+            let window = if self.eat_sym("[") {
+                let w = self.window()?;
+                self.expect_sym("]")?;
+                Some(w)
+            } else {
+                None
+            };
+            let alias = if self.eat_kw("AS") {
+                Some(self.ident()?)
+            } else {
+                None
+            };
+            items.push(FromItem {
+                name,
+                alias,
+                window,
+            });
+            if !self.eat_sym(",") {
+                return Ok(items);
+            }
+        }
+    }
+
+    fn window(&mut self) -> Result<WindowSpec, String> {
+        if self.eat_kw("RANGE") {
+            if self.eat_kw("UNBOUNDED") {
+                return Ok(WindowSpec::Time(Duration::MAX));
+            }
+            Ok(WindowSpec::Time(self.duration()?))
+        } else if self.eat_kw("ROWS") {
+            Ok(WindowSpec::Rows(self.int()? as usize))
+        } else if self.eat_kw("NOW") {
+            Ok(WindowSpec::Now)
+        } else if self.eat_kw("PARTITION") {
+            self.expect_kw("BY")?;
+            let mut cols = vec![self.qualified_name()?];
+            while self.eat_sym(",") {
+                cols.push(self.qualified_name()?);
+            }
+            self.expect_kw("ROWS")?;
+            Ok(WindowSpec::PartitionRows(cols, self.int()? as usize))
+        } else {
+            Err(format!("expected window spec, found '{}'", self.peek_str()))
+        }
+    }
+
+    fn duration(&mut self) -> Result<Duration, String> {
+        let n = self.int()? as u64;
+        let unit = self.ident()?;
+        match unit.to_ascii_uppercase().as_str() {
+            "MILLISECOND" | "MILLISECONDS" => Ok(Duration::from_millis(n)),
+            "SECOND" | "SECONDS" => Ok(Duration::from_secs(n)),
+            "MINUTE" | "MINUTES" => Ok(Duration::from_mins(n)),
+            "HOUR" | "HOURS" => Ok(Duration::from_hours(n)),
+            "TICK" | "TICKS" => Ok(Duration::from_ticks(n)),
+            other => Err(format!("unknown time unit '{other}'")),
+        }
+    }
+
+    fn qualified_name(&mut self) -> Result<String, String> {
+        let mut name = self.ident()?;
+        if self.eat_sym(".") {
+            name.push('.');
+            name.push_str(&self.ident()?);
+        }
+        Ok(name)
+    }
+
+    // --------------------- expressions -------------------------------
+
+    fn expr(&mut self) -> Result<ExprAst, String> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<ExprAst, String> {
+        let mut lhs = self.and_expr()?;
+        while self.eat_kw("OR") {
+            let rhs = self.and_expr()?;
+            lhs = ExprAst::Bin(Box::new(lhs), BinOp::Or, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<ExprAst, String> {
+        let mut lhs = self.not_expr()?;
+        while self.eat_kw("AND") {
+            let rhs = self.not_expr()?;
+            lhs = ExprAst::Bin(Box::new(lhs), BinOp::And, Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn not_expr(&mut self) -> Result<ExprAst, String> {
+        if self.eat_kw("NOT") {
+            Ok(ExprAst::Un(UnOp::Not, Box::new(self.not_expr()?)))
+        } else {
+            self.cmp_expr()
+        }
+    }
+
+    fn cmp_expr(&mut self) -> Result<ExprAst, String> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::Sym("=")) => BinOp::Eq,
+            Some(Token::Sym("!=")) => BinOp::Ne,
+            Some(Token::Sym("<")) => BinOp::Lt,
+            Some(Token::Sym("<=")) => BinOp::Le,
+            Some(Token::Sym(">")) => BinOp::Gt,
+            Some(Token::Sym(">=")) => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.add_expr()?;
+        Ok(ExprAst::Bin(Box::new(lhs), op, Box::new(rhs)))
+    }
+
+    fn add_expr(&mut self) -> Result<ExprAst, String> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("+")) => BinOp::Add,
+                Some(Token::Sym("-")) => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = ExprAst::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<ExprAst, String> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Sym("*")) => BinOp::Mul,
+                Some(Token::Sym("/")) => BinOp::Div,
+                Some(Token::Sym("%")) => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            self.pos += 1;
+            let rhs = self.unary_expr()?;
+            lhs = ExprAst::Bin(Box::new(lhs), op, Box::new(rhs));
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<ExprAst, String> {
+        if self.eat_sym("-") {
+            Ok(ExprAst::Un(UnOp::Neg, Box::new(self.unary_expr()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn agg_func(name: &str) -> Option<AggFunc> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggFunc::Count),
+            "SUM" => Some(AggFunc::Sum),
+            "AVG" => Some(AggFunc::Avg),
+            "MIN" => Some(AggFunc::Min),
+            "MAX" => Some(AggFunc::Max),
+            _ => None,
+        }
+    }
+
+    fn primary(&mut self) -> Result<ExprAst, String> {
+        match self.next() {
+            Some(Token::Int(i)) => Ok(ExprAst::Lit(Value::Int(i))),
+            Some(Token::Float(f)) => Ok(ExprAst::Lit(Value::Float(f))),
+            Some(Token::Str(s)) => Ok(ExprAst::Lit(Value::str(s))),
+            Some(Token::Sym("(")) => {
+                let e = self.expr()?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            Some(Token::Ident(id)) => {
+                if id.eq_ignore_ascii_case("true") {
+                    return Ok(ExprAst::Lit(Value::Bool(true)));
+                }
+                if id.eq_ignore_ascii_case("false") {
+                    return Ok(ExprAst::Lit(Value::Bool(false)));
+                }
+                // Aggregate call?
+                if let Some(func) = Self::agg_func(&id) {
+                    if self.eat_sym("(") {
+                        if self.eat_sym("*") {
+                            self.expect_sym(")")?;
+                            return Ok(ExprAst::Agg(func, None));
+                        }
+                        let arg = self.expr()?;
+                        self.expect_sym(")")?;
+                        return Ok(ExprAst::Agg(func, Some(Box::new(arg))));
+                    }
+                }
+                // Qualified column.
+                if self.eat_sym(".") {
+                    let col = self.ident()?;
+                    Ok(ExprAst::Col(format!("{id}.{col}")))
+                } else {
+                    Ok(ExprAst::Col(id))
+                }
+            }
+            other => Err(format!(
+                "expected expression, found '{}'",
+                other.map_or("<eof>".into(), |t| t.to_string())
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("SELECT * FROM traffic").unwrap();
+        assert_eq!(q.select, vec![SelectItem::Star]);
+        assert_eq!(q.from.len(), 1);
+        assert_eq!(q.from[0].name, "traffic");
+        assert!(q.from[0].window.is_none());
+        assert!(!q.distinct);
+    }
+
+    #[test]
+    fn windows_and_aliases() {
+        let q = parse(
+            "SELECT t.speed FROM traffic [RANGE 1 HOURS] AS t, bids [ROWS 10] AS b, p [NOW]",
+        )
+        .unwrap();
+        assert_eq!(
+            q.from[0].window,
+            Some(WindowSpec::Time(Duration::from_hours(1)))
+        );
+        assert_eq!(q.from[0].alias.as_deref(), Some("t"));
+        assert_eq!(q.from[1].window, Some(WindowSpec::Rows(10)));
+        assert_eq!(q.from[2].window, Some(WindowSpec::Now));
+    }
+
+    #[test]
+    fn partitioned_window() {
+        let q = parse("SELECT * FROM s [PARTITION BY k, t.j ROWS 5]").unwrap();
+        assert_eq!(
+            q.from[0].window,
+            Some(WindowSpec::PartitionRows(
+                vec!["k".into(), "t.j".into()],
+                5
+            ))
+        );
+    }
+
+    #[test]
+    fn full_clause_set() {
+        let q = parse(
+            "SELECT section, AVG(speed) AS avg_speed \
+             FROM traffic [RANGE 60 MINUTES] \
+             WHERE lane = 4 AND speed > 0 \
+             GROUP BY section \
+             HAVING AVG(speed) < 40 \
+             EVERY 5 MINUTES",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert!(matches!(&q.select[1], SelectItem::Expr(e, Some(a))
+            if e.has_agg() && a == "avg_speed"));
+        assert!(q.where_clause.is_some());
+        assert_eq!(q.group_by, vec![ExprAst::Col("section".into())]);
+        assert!(q.having.as_ref().unwrap().has_agg());
+        assert_eq!(q.every, Some(Duration::from_mins(5)));
+    }
+
+    #[test]
+    fn expression_precedence() {
+        let q = parse("SELECT a + b * 2 FROM s WHERE x = 1 OR y = 2 AND z = 3").unwrap();
+        let SelectItem::Expr(e, None) = &q.select[0] else {
+            panic!()
+        };
+        // a + (b * 2)
+        assert_eq!(e.display(), "a + (b * 2)");
+        assert!(matches!(e, ExprAst::Bin(_, BinOp::Add, rhs)
+            if matches!(**rhs, ExprAst::Bin(_, BinOp::Mul, _))));
+        // x = 1 OR (y = 2 AND z = 3)
+        let w = q.where_clause.unwrap();
+        assert!(matches!(w, ExprAst::Bin(_, BinOp::Or, _)));
+    }
+
+    #[test]
+    fn count_star_and_qualified_cols() {
+        let q = parse("SELECT COUNT(*), MAX(b.price) FROM bids [RANGE 10 MINUTES] AS b").unwrap();
+        assert!(matches!(&q.select[0], SelectItem::Expr(ExprAst::Agg(AggFunc::Count, None), None)));
+        assert!(matches!(&q.select[1],
+            SelectItem::Expr(ExprAst::Agg(AggFunc::Max, Some(arg)), None)
+            if **arg == ExprAst::Col("b.price".into())));
+    }
+
+    #[test]
+    fn unbounded_range() {
+        let q = parse("SELECT * FROM s [RANGE UNBOUNDED]").unwrap();
+        assert_eq!(q.from[0].window, Some(WindowSpec::Time(Duration::MAX)));
+    }
+
+    #[test]
+    fn distinct_flag() {
+        let q = parse("SELECT DISTINCT a FROM s").unwrap();
+        assert!(q.distinct);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("FROM s").is_err());
+        assert!(parse("SELECT FROM s").is_err());
+        assert!(parse("SELECT a FROM s WHERE").is_err());
+        assert!(parse("SELECT a FROM s [RANGE abc]").is_err());
+        assert!(parse("SELECT a FROM s extra garbage +").is_err());
+        assert!(parse("SELECT a FROM s EVERY 5 PARSECS").is_err());
+    }
+}

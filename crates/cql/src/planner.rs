@@ -1,0 +1,584 @@
+//! Planning: parsed queries → logical plans.
+
+use crate::parser::{ExprAst, FromItem, Query, SelectItem};
+use pipes_optimizer::{
+    compile::output_schema, AggSpec, Catalog, Expr, LogicalPlan, Schema, UnOp,
+};
+
+/// Plans a parsed query against the catalog.
+pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan, String> {
+    // ------------------------------------------------------------------
+    // 1. FROM: split stream items from relation items.
+    // ------------------------------------------------------------------
+    let mut stream_items: Vec<&FromItem> = Vec::new();
+    let mut relation_items: Vec<&FromItem> = Vec::new();
+    for item in &query.from {
+        if catalog.has_stream(&item.name) {
+            stream_items.push(item);
+        } else if catalog.has_relation(&item.name) {
+            if item.window.is_some() {
+                return Err(format!("relation '{}' cannot carry a window", item.name));
+            }
+            relation_items.push(item);
+        } else {
+            return Err(format!("unknown stream or relation '{}'", item.name));
+        }
+    }
+    if stream_items.is_empty() {
+        return Err("query needs at least one stream input".into());
+    }
+
+    let stream_plan = |item: &FromItem| -> LogicalPlan {
+        let base = LogicalPlan::Stream {
+            name: item.name.clone(),
+            alias: item.alias.clone(),
+        };
+        match &item.window {
+            Some(spec) => LogicalPlan::Window {
+                input: Box::new(base),
+                spec: spec.clone(),
+            },
+            None => base,
+        }
+    };
+
+    // ------------------------------------------------------------------
+    // 2. WHERE conjuncts (scalar only).
+    // ------------------------------------------------------------------
+    let mut conjuncts: Vec<Expr> = match &query.where_clause {
+        Some(w) => {
+            if w.has_agg() {
+                return Err("aggregates are not allowed in WHERE (use HAVING)".into());
+            }
+            to_expr(w)?.conjuncts()
+        }
+        None => Vec::new(),
+    };
+
+    let binds = |e: &Expr, schema: &Schema| e.bind(schema).is_ok();
+
+    // ------------------------------------------------------------------
+    // 3. Left-deep stream joins with predicate placement.
+    // ------------------------------------------------------------------
+    let mut acc = stream_plan(stream_items[0]);
+    let mut acc_schema = output_schema(&acc, catalog)?;
+    acc = apply_filters(acc, &acc_schema, &mut conjuncts);
+
+    for item in &stream_items[1..] {
+        let mut side = stream_plan(item);
+        let side_schema = output_schema(&side, catalog)?;
+        side = apply_filters(side, &side_schema, &mut conjuncts);
+
+        let joint_schema = acc_schema.concat(&side_schema);
+        let mut join_preds = Vec::new();
+        conjuncts.retain(|c| {
+            if binds(c, &joint_schema) {
+                join_preds.push(c.clone());
+                false
+            } else {
+                true
+            }
+        });
+        if join_preds.is_empty() {
+            return Err(format!(
+                "no join predicate connects '{}' to the preceding inputs (cross joins are rejected)",
+                item.name
+            ));
+        }
+        acc = LogicalPlan::Join {
+            left: Box::new(acc),
+            right: Box::new(side),
+            predicate: Expr::conjoin(join_preds),
+        };
+        acc_schema = joint_schema;
+    }
+
+    // ------------------------------------------------------------------
+    // 4. Stream–relation joins.
+    // ------------------------------------------------------------------
+    for item in &relation_items {
+        let def = catalog.relation(&item.name).expect("checked above");
+        let qualifier = item.alias.as_deref().unwrap_or(&item.name);
+        let rel_schema = def.schema.qualified(qualifier);
+        let key_name = &rel_schema.columns()[def.key_col];
+
+        // Find the equi conjunct `stream_expr = rel.key` (either side).
+        let mut stream_key: Option<Expr> = None;
+        conjuncts.retain(|c| {
+            if stream_key.is_some() {
+                return true;
+            }
+            if let Expr::Binary(a, pipes_optimizer::BinOp::Eq, b) = c {
+                for (x, y) in [(a, b), (b, a)] {
+                    if let Expr::Column(name) = &**y {
+                        let is_key = name == key_name
+                            || (rel_schema.resolve(name) == Ok(def.key_col)
+                                && acc_schema.resolve(name).is_err());
+                        if is_key && binds(x, &acc_schema) {
+                            stream_key = Some((**x).clone());
+                            return false;
+                        }
+                    }
+                }
+            }
+            true
+        });
+        let stream_key = stream_key.ok_or_else(|| {
+            format!(
+                "relation '{}' must be joined on its key column '{key_name}'",
+                item.name
+            )
+        })?;
+        acc = LogicalPlan::RelationJoin {
+            input: Box::new(acc),
+            relation: item.name.clone(),
+            alias: item.alias.clone(),
+            stream_key,
+        };
+        acc_schema = acc_schema.concat(&rel_schema);
+        // Residual predicates over relation columns now bind.
+        acc = apply_filters(acc, &acc_schema, &mut conjuncts);
+    }
+
+    if !conjuncts.is_empty() {
+        return Err(format!(
+            "predicate '{}' references unknown columns",
+            Expr::conjoin(conjuncts)
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // 5. Aggregation, HAVING, projection.
+    // ------------------------------------------------------------------
+    let has_agg = query.group_by.iter().any(ExprAst::has_agg)
+        || query
+            .select
+            .iter()
+            .any(|s| matches!(s, SelectItem::Expr(e, _) if e.has_agg()))
+        || query.having.is_some();
+
+    let mut plan = acc;
+    if has_agg || !query.group_by.is_empty() {
+        if query.group_by.iter().any(ExprAst::has_agg) {
+            return Err("aggregates are not allowed in GROUP BY".into());
+        }
+        // Group-by columns, named by their display string.
+        let group_by: Vec<(Expr, String)> = query
+            .group_by
+            .iter()
+            .map(|g| Ok((to_expr(g)?, g.display())))
+            .collect::<Result<_, String>>()?;
+
+        // Collect distinct aggregate calls from SELECT and HAVING.
+        let mut agg_calls: Vec<ExprAst> = Vec::new();
+        let mut collect = |e: &ExprAst| collect_aggs(e, &mut agg_calls);
+        for s in &query.select {
+            if let SelectItem::Expr(e, _) = s {
+                collect(e);
+            }
+        }
+        if let Some(h) = &query.having {
+            collect_aggs(h, &mut agg_calls);
+        }
+        let aggs: Vec<(AggSpec, String)> = agg_calls
+            .iter()
+            .map(|a| {
+                let ExprAst::Agg(func, arg) = a else {
+                    unreachable!("collect_aggs only collects Agg nodes")
+                };
+                let arg_expr = match arg {
+                    Some(inner) => to_expr(inner)?,
+                    None => Expr::lit(1i64),
+                };
+                Ok((
+                    AggSpec {
+                        func: *func,
+                        arg: arg_expr,
+                    },
+                    a.display(),
+                ))
+            })
+            .collect::<Result<_, String>>()?;
+
+        plan = LogicalPlan::Aggregate {
+            input: Box::new(plan),
+            group_by: group_by.clone(),
+            aggs,
+        };
+
+        // Above the aggregate, group exprs and agg calls are columns named
+        // by their display strings.
+        let rewritten = |e: &ExprAst| -> Result<Expr, String> {
+            rewrite_over_aggregate(e, &query.group_by)
+        };
+
+        if let Some(h) = &query.having {
+            plan = LogicalPlan::Filter {
+                input: Box::new(plan),
+                predicate: rewritten(h)?,
+            };
+        }
+
+        // Final projection in select order.
+        let mut exprs: Vec<(Expr, String)> = Vec::new();
+        for s in &query.select {
+            match s {
+                SelectItem::Star => {
+                    return Err("SELECT * cannot be combined with aggregation".into())
+                }
+                SelectItem::Expr(e, alias) => {
+                    let name = alias.clone().unwrap_or_else(|| e.display());
+                    exprs.push((rewritten(e)?, name));
+                }
+            }
+        }
+        plan = LogicalPlan::Project {
+            input: Box::new(plan),
+            exprs,
+        };
+    } else {
+        // Non-aggregating projection.
+        let star_only = query.select.len() == 1 && matches!(query.select[0], SelectItem::Star);
+        if !star_only {
+            let mut exprs: Vec<(Expr, String)> = Vec::new();
+            for s in &query.select {
+                match s {
+                    SelectItem::Star => {
+                        for c in acc_schema.columns() {
+                            exprs.push((Expr::col(c.clone()), c.clone()));
+                        }
+                    }
+                    SelectItem::Expr(e, alias) => {
+                        let name = alias.clone().unwrap_or_else(|| e.display());
+                        exprs.push((to_expr(e)?, name));
+                    }
+                }
+            }
+            plan = LogicalPlan::Project {
+                input: Box::new(plan),
+                exprs,
+            };
+        }
+    }
+
+    if query.distinct {
+        plan = LogicalPlan::Distinct {
+            input: Box::new(plan),
+        };
+    }
+    if let Some(period) = query.every {
+        plan = LogicalPlan::Every {
+            input: Box::new(plan),
+            period,
+        };
+    }
+
+    // Final validation: the plan must type-check against the catalog.
+    output_schema(&plan, catalog)?;
+    Ok(plan)
+}
+
+/// Applies every conjunct that binds against `schema` as a filter over
+/// `plan`, removing it from `conjuncts`.
+fn apply_filters(plan: LogicalPlan, schema: &Schema, conjuncts: &mut Vec<Expr>) -> LogicalPlan {
+    let mut applicable = Vec::new();
+    conjuncts.retain(|c| {
+        if c.bind(schema).is_ok() {
+            applicable.push(c.clone());
+            false
+        } else {
+            true
+        }
+    });
+    if applicable.is_empty() {
+        plan
+    } else {
+        LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: Expr::conjoin(applicable),
+        }
+    }
+}
+
+/// Converts a scalar AST to an optimizer expression; aggregates are errors.
+fn to_expr(e: &ExprAst) -> Result<Expr, String> {
+    Ok(match e {
+        ExprAst::Col(c) => Expr::Column(c.clone()),
+        ExprAst::Lit(v) => Expr::Literal(v.clone()),
+        ExprAst::Bin(l, op, r) => Expr::Binary(Box::new(to_expr(l)?), *op, Box::new(to_expr(r)?)),
+        ExprAst::Un(op, x) => Expr::Unary(*op, Box::new(to_expr(x)?)),
+        ExprAst::Agg(..) => {
+            return Err(format!(
+                "aggregate '{}' is not allowed in this position",
+                e.display()
+            ))
+        }
+    })
+}
+
+/// Collects aggregate calls (deduplicated by display form).
+fn collect_aggs(e: &ExprAst, out: &mut Vec<ExprAst>) {
+    match e {
+        ExprAst::Agg(..)
+            if !out.contains(e) => {
+                out.push(e.clone());
+            }
+        ExprAst::Bin(l, _, r) => {
+            collect_aggs(l, out);
+            collect_aggs(r, out);
+        }
+        ExprAst::Un(_, x) => collect_aggs(x, out),
+        _ => {}
+    }
+}
+
+/// Rewrites an expression to reference the aggregate node's output schema:
+/// group-by expressions and aggregate calls become columns named by their
+/// display strings.
+fn rewrite_over_aggregate(e: &ExprAst, group_by: &[ExprAst]) -> Result<Expr, String> {
+    if group_by.contains(e) {
+        return Ok(Expr::col(e.display()));
+    }
+    Ok(match e {
+        ExprAst::Agg(..) => Expr::col(e.display()),
+        ExprAst::Col(c) => Expr::Column(c.clone()),
+        ExprAst::Lit(v) => Expr::Literal(v.clone()),
+        ExprAst::Bin(l, op, r) => Expr::Binary(
+            Box::new(rewrite_over_aggregate(l, group_by)?),
+            *op,
+            Box::new(rewrite_over_aggregate(r, group_by)?),
+        ),
+        ExprAst::Un(UnOp::Not, x) => Expr::Unary(
+            UnOp::Not,
+            Box::new(rewrite_over_aggregate(x, group_by)?),
+        ),
+        ExprAst::Un(UnOp::Neg, x) => Expr::Unary(
+            UnOp::Neg,
+            Box::new(rewrite_over_aggregate(x, group_by)?),
+        ),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_cql;
+    use pipes_graph::io::{CollectSink, VecSource};
+    use pipes_graph::QueryGraph;
+    use pipes_optimizer::{CompileContext, Optimizer, Tuple, Value};
+    use pipes_rel::{Relation, SharedRelation};
+    use pipes_time::{Element, Timestamp};
+    use std::collections::HashMap;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_stream(
+            "bids",
+            Schema::of(&["auction", "price"]),
+            100.0,
+            Box::new(|| {
+                let elems = (0..12i64)
+                    .map(|i| {
+                        Element::at(
+                            vec![Value::Int(i % 3), Value::Int(i * 10)],
+                            Timestamp::new(i as u64 * 1000),
+                        )
+                    })
+                    .collect();
+                Box::new(VecSource::new(elems))
+            }),
+        );
+        cat.add_stream(
+            "asks",
+            Schema::of(&["auction", "reserve"]),
+            100.0,
+            Box::new(|| {
+                let elems = (0..3i64)
+                    .map(|i| {
+                        Element::at(
+                            vec![Value::Int(i), Value::Int(i * 40)],
+                            Timestamp::new(i as u64 * 1000),
+                        )
+                    })
+                    .collect();
+                Box::new(VecSource::new(elems))
+            }),
+        );
+        let mut rel = Relation::new("category", |t: &Tuple| t[0].clone());
+        rel.bulk_load((0..3i64).map(|k| vec![Value::Int(k), Value::str(format!("cat{k}"))]));
+        cat.add_relation(
+            "category",
+            Schema::of(&["id", "label"]),
+            0,
+            SharedRelation::new(rel),
+        );
+        cat
+    }
+
+    fn run_sql(sql: &str, cat: &Catalog) -> Vec<Tuple> {
+        let plan = compile_cql(sql, cat).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let graph = QueryGraph::new();
+        let mut installed = HashMap::new();
+        let mut ctx = CompileContext::new(&graph, cat, &mut installed);
+        let handle = pipes_optimizer::compile(&plan, &mut ctx).unwrap();
+        let (sink, buf) = CollectSink::new();
+        graph.add_sink("out", sink, &handle);
+        graph.run_to_completion(16);
+        let r = buf.lock().iter().map(|e| e.payload.clone()).collect();
+        r
+    }
+
+    #[test]
+    fn select_star_passthrough() {
+        let cat = catalog();
+        let out = run_sql("SELECT * FROM bids", &cat);
+        assert_eq!(out.len(), 12);
+        assert_eq!(out[0].len(), 2);
+    }
+
+    #[test]
+    fn filter_and_projection() {
+        let cat = catalog();
+        let out = run_sql(
+            "SELECT price * 2 AS dbl FROM bids WHERE price >= 100",
+            &cat,
+        );
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0], vec![Value::Int(200)]);
+    }
+
+    #[test]
+    fn windowed_grouped_aggregate() {
+        let cat = catalog();
+        let out = run_sql(
+            "SELECT auction, MAX(price) AS top FROM bids [RANGE 100 SECONDS] GROUP BY auction",
+            &cat,
+        );
+        // Find the final (largest) top per auction.
+        let top = |a: i64| -> i64 {
+            out.iter()
+                .filter(|t| t[0] == Value::Int(a))
+                .filter_map(|t| t[1].as_i64())
+                .max()
+                .unwrap()
+        };
+        assert_eq!(top(0), 90);
+        assert_eq!(top(1), 100);
+        assert_eq!(top(2), 110);
+    }
+
+    #[test]
+    fn stream_join() {
+        let cat = catalog();
+        let out = run_sql(
+            "SELECT b.price, a.reserve FROM bids [RANGE 100 SECONDS] AS b, \
+             asks [RANGE 100 SECONDS] AS a \
+             WHERE b.auction = a.auction AND b.price > a.reserve",
+            &cat,
+        );
+        assert!(!out.is_empty());
+        for t in &out {
+            assert!(t[0].as_i64().unwrap() > t[1].as_i64().unwrap());
+        }
+    }
+
+    #[test]
+    fn cross_join_rejected() {
+        let cat = catalog();
+        let err = compile_cql(
+            "SELECT * FROM bids [RANGE 1 SECONDS], asks [RANGE 1 SECONDS]",
+            &cat,
+        )
+        .unwrap_err();
+        assert!(err.contains("cross joins"), "{err}");
+    }
+
+    #[test]
+    fn stream_relation_join() {
+        let cat = catalog();
+        let out = run_sql(
+            "SELECT price, label FROM bids [NOW], category \
+             WHERE auction = category.id",
+            &cat,
+        );
+        assert_eq!(out.len(), 12);
+        for t in &out {
+            assert!(matches!(&t[1], Value::Str(s) if s.starts_with("cat")));
+        }
+    }
+
+    #[test]
+    fn having_filters_groups() {
+        let cat = catalog();
+        let out = run_sql(
+            "SELECT auction, COUNT(*) AS n FROM bids [RANGE 100 SECONDS] \
+             GROUP BY auction HAVING COUNT(*) >= 4",
+            &cat,
+        );
+        for t in &out {
+            assert!(t[1].as_i64().unwrap() >= 4);
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn every_caps_output() {
+        let cat = catalog();
+        let all = run_sql(
+            "SELECT COUNT(*) AS n FROM bids [RANGE 10 SECONDS]",
+            &cat,
+        );
+        let sampled = run_sql(
+            "SELECT COUNT(*) AS n FROM bids [RANGE 10 SECONDS] EVERY 5 SECONDS",
+            &cat,
+        );
+        assert!(sampled.len() < all.len(), "{} !< {}", sampled.len(), all.len());
+        assert!(!sampled.is_empty());
+    }
+
+    #[test]
+    fn distinct_deduplicates() {
+        let cat = catalog();
+        let out = run_sql("SELECT DISTINCT auction FROM bids [RANGE 100 SECONDS]", &cat);
+        // Snapshot-distinct emits per-interval rows; at any instant only 3
+        // distinct auctions exist.
+        let mut values: Vec<i64> = out.iter().filter_map(|t| t[0].as_i64()).collect();
+        values.sort();
+        values.dedup();
+        assert_eq!(values, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn installs_through_the_optimizer() {
+        let cat = catalog();
+        let plan = compile_cql(
+            "SELECT auction, AVG(price) AS avg_price FROM bids [RANGE 60 SECONDS] \
+             WHERE price > 0 GROUP BY auction",
+            &cat,
+        )
+        .unwrap();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let report = opt.install(&plan, &graph, &cat).unwrap();
+        assert_eq!(report.schema.columns(), &["auction", "avg_price"]);
+        assert!(report.variants_considered >= 2);
+    }
+
+    #[test]
+    fn planner_errors() {
+        let cat = catalog();
+        for (sql, needle) in [
+            ("SELECT * FROM nosuch", "unknown stream"),
+            ("SELECT * FROM bids WHERE COUNT(*) > 1", "HAVING"),
+            ("SELECT * FROM bids GROUP BY auction", "SELECT *"),
+            ("SELECT nosuchcol FROM bids", "unknown column"),
+            (
+                "SELECT price FROM bids, category WHERE price > 0",
+                "key column",
+            ),
+        ] {
+            let err = compile_cql(sql, &cat).unwrap_err();
+            assert!(err.contains(needle), "{sql}: expected '{needle}' in '{err}'");
+        }
+    }
+}

@@ -1,0 +1,696 @@
+//! # pipes-cursor
+//!
+//! The demand-driven *cursor algebra* — PIPES' counterpart of the XXL
+//! library it builds on.
+//!
+//! A [`Cursor`] is a demand-driven (pull-based) iterator with explicit
+//! `open`/`close` lifecycle, the classic query-processing abstraction of
+//! Graefe's survey. The module provides the usual algebraic combinators
+//! (selection, projection, joins, grouping, duplicate elimination, sorting)
+//! plus two things specific to the PIPES design:
+//!
+//! * **data-flow translation operators** ([`translate`]) that convert
+//!   between demand-driven cursors and data-driven stream nodes, so both
+//!   processing styles combine gracefully in one query plan (the paper's
+//!   stream–relation examples), and
+//! * **online aggregation** ([`OnlineAggCursor`]) built on the *same*
+//!   estimator package (`pipes_meta::estimators`) that backs the stream
+//!   aggregates — the code-reuse claim demonstrated by experiment E12.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod translate;
+
+use pipes_meta::estimators::Welford;
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A demand-driven iterator with an explicit lifecycle.
+///
+/// `next` may only be called between `open` and `close`; implementations
+/// are lenient and self-open where possible, but composite cursors forward
+/// the calls to their inputs, which matters for resource-backed cursors.
+pub trait Cursor {
+    /// The item type this cursor yields.
+    type Item;
+
+    /// Acquires resources. Default: nothing.
+    fn open(&mut self) {}
+
+    /// Yields the next item, or `None` when exhausted.
+    fn next(&mut self) -> Option<Self::Item>;
+
+    /// Releases resources. Default: nothing.
+    fn close(&mut self) {}
+
+    /// Drains the cursor into a vector (opens and closes it).
+    fn collect_vec(mut self) -> Vec<Self::Item>
+    where
+        Self: Sized,
+    {
+        self.open();
+        let mut out = Vec::new();
+        while let Some(x) = self.next() {
+            out.push(x);
+        }
+        self.close();
+        out
+    }
+}
+
+/// Algebraic combinators, available on every cursor.
+pub trait CursorExt: Cursor + Sized {
+    /// Selection.
+    fn filter<P: FnMut(&Self::Item) -> bool>(self, pred: P) -> FilterCursor<Self, P> {
+        FilterCursor { input: self, pred }
+    }
+
+    /// Projection / mapping.
+    fn map<O, F: FnMut(Self::Item) -> O>(self, f: F) -> MapCursor<Self, F> {
+        MapCursor { input: self, f }
+    }
+
+    /// Takes at most `n` items.
+    fn take(self, n: usize) -> TakeCursor<Self> {
+        TakeCursor {
+            input: self,
+            left: n,
+        }
+    }
+
+    /// Concatenation (bag union) with another cursor of the same item type.
+    fn chain<C: Cursor<Item = Self::Item>>(self, other: C) -> ChainCursor<Self, C> {
+        ChainCursor {
+            a: self,
+            b: other,
+            on_b: false,
+        }
+    }
+
+    /// Blocking sort (materializes the input).
+    fn sorted_by_key<K: Ord, F: FnMut(&Self::Item) -> K>(self, key: F) -> VecCursor<Self::Item> {
+        let mut items = self.collect_vec();
+        let mut key = key;
+        items.sort_by_key(|x| key(x));
+        VecCursor::new(items)
+    }
+
+    /// Hash-based duplicate elimination.
+    fn distinct(self) -> DistinctCursor<Self>
+    where
+        Self::Item: Hash + Eq + Clone,
+    {
+        DistinctCursor {
+            input: self,
+            seen: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Nested-loop theta join (materializes the inner input on open).
+    fn nested_loop_join<C, P, F, O>(self, inner: C, pred: P, combine: F) -> NestedLoopJoin<Self, C, P, F>
+    where
+        C: Cursor,
+        C::Item: Clone,
+        Self::Item: Clone,
+        P: FnMut(&Self::Item, &C::Item) -> bool,
+        F: FnMut(&Self::Item, &C::Item) -> O,
+    {
+        NestedLoopJoin {
+            outer: self,
+            inner,
+            pred,
+            combine,
+            inner_buf: Vec::new(),
+            current: None,
+            inner_pos: 0,
+            opened: false,
+        }
+    }
+
+    /// Hash equi-join (builds on the right input at open, probes with the
+    /// left).
+    fn hash_join<C, K, KL, KR, F, O>(
+        self,
+        build: C,
+        key_left: KL,
+        key_right: KR,
+        combine: F,
+    ) -> HashJoinCursor<Self, C, K, KL, KR, F>
+    where
+        C: Cursor,
+        C::Item: Clone,
+        Self::Item: Clone,
+        K: Hash + Eq,
+        KL: FnMut(&Self::Item) -> K,
+        KR: FnMut(&C::Item) -> K,
+        F: FnMut(&Self::Item, &C::Item) -> O,
+    {
+        HashJoinCursor {
+            probe: self,
+            build,
+            key_left,
+            key_right,
+            combine,
+            table: HashMap::new(),
+            current: None,
+            match_pos: 0,
+            built: false,
+        }
+    }
+
+    /// Hash group-by with a fold per group (blocking; emits on exhaustion).
+    fn group_by<K, KF, A, I, FA>(self, key: KF, init: I, fold: FA) -> GroupByCursor<Self, KF, I, FA, K, A>
+    where
+        K: Hash + Eq + Clone,
+        KF: FnMut(&Self::Item) -> K,
+        I: FnMut(&Self::Item) -> A,
+        FA: FnMut(&mut A, &Self::Item),
+    {
+        GroupByCursor {
+            input: self,
+            key,
+            init,
+            fold,
+            groups: None,
+        }
+    }
+
+    /// Online aggregation: yields a refining `(count, mean, variance)`
+    /// estimate every `report_every` consumed items, in the style of
+    /// Haas/Hellerstein online aggregation.
+    fn online_aggregate<F>(self, value: F, report_every: usize) -> OnlineAggCursor<Self, F>
+    where
+        F: FnMut(&Self::Item) -> f64,
+    {
+        OnlineAggCursor {
+            input: self,
+            value,
+            report_every: report_every.max(1),
+            welford: Welford::new(),
+            done: false,
+        }
+    }
+}
+
+impl<C: Cursor + Sized> CursorExt for C {}
+
+// ---------------------------------------------------------------------------
+// Concrete cursors
+// ---------------------------------------------------------------------------
+
+/// A cursor over an owned vector.
+pub struct VecCursor<T> {
+    items: std::vec::IntoIter<T>,
+}
+
+impl<T> VecCursor<T> {
+    /// Creates the cursor.
+    pub fn new(items: Vec<T>) -> Self {
+        VecCursor {
+            items: items.into_iter(),
+        }
+    }
+}
+
+impl<T> Cursor for VecCursor<T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.items.next()
+    }
+}
+
+/// A cursor driven by a closure (a "generator").
+pub struct FnCursor<F> {
+    f: F,
+}
+
+impl<T, F: FnMut() -> Option<T>> FnCursor<F> {
+    /// Creates the cursor.
+    pub fn new(f: F) -> Self {
+        FnCursor { f }
+    }
+}
+
+impl<T, F: FnMut() -> Option<T>> Cursor for FnCursor<F> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        (self.f)()
+    }
+}
+
+/// See [`CursorExt::filter`].
+pub struct FilterCursor<C, P> {
+    input: C,
+    pred: P,
+}
+
+impl<C: Cursor, P: FnMut(&C::Item) -> bool> Cursor for FilterCursor<C, P> {
+    type Item = C::Item;
+    fn open(&mut self) {
+        self.input.open();
+    }
+    fn next(&mut self) -> Option<C::Item> {
+        loop {
+            let x = self.input.next()?;
+            if (self.pred)(&x) {
+                return Some(x);
+            }
+        }
+    }
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// See [`CursorExt::map`].
+pub struct MapCursor<C, F> {
+    input: C,
+    f: F,
+}
+
+impl<C: Cursor, O, F: FnMut(C::Item) -> O> Cursor for MapCursor<C, F> {
+    type Item = O;
+    fn open(&mut self) {
+        self.input.open();
+    }
+    fn next(&mut self) -> Option<O> {
+        self.input.next().map(&mut self.f)
+    }
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// See [`CursorExt::take`].
+pub struct TakeCursor<C> {
+    input: C,
+    left: usize,
+}
+
+impl<C: Cursor> Cursor for TakeCursor<C> {
+    type Item = C::Item;
+    fn open(&mut self) {
+        self.input.open();
+    }
+    fn next(&mut self) -> Option<C::Item> {
+        if self.left == 0 {
+            return None;
+        }
+        self.left -= 1;
+        self.input.next()
+    }
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// See [`CursorExt::chain`].
+pub struct ChainCursor<A, B> {
+    a: A,
+    b: B,
+    on_b: bool,
+}
+
+impl<A: Cursor, B: Cursor<Item = A::Item>> Cursor for ChainCursor<A, B> {
+    type Item = A::Item;
+    fn open(&mut self) {
+        self.a.open();
+        self.b.open();
+    }
+    fn next(&mut self) -> Option<A::Item> {
+        if !self.on_b {
+            if let Some(x) = self.a.next() {
+                return Some(x);
+            }
+            self.on_b = true;
+        }
+        self.b.next()
+    }
+    fn close(&mut self) {
+        self.a.close();
+        self.b.close();
+    }
+}
+
+/// See [`CursorExt::distinct`].
+pub struct DistinctCursor<C: Cursor> {
+    input: C,
+    seen: std::collections::HashSet<C::Item>,
+}
+
+impl<C: Cursor> Cursor for DistinctCursor<C>
+where
+    C::Item: Hash + Eq + Clone,
+{
+    type Item = C::Item;
+    fn open(&mut self) {
+        self.input.open();
+    }
+    fn next(&mut self) -> Option<C::Item> {
+        loop {
+            let x = self.input.next()?;
+            if self.seen.insert(x.clone()) {
+                return Some(x);
+            }
+        }
+    }
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// See [`CursorExt::nested_loop_join`].
+pub struct NestedLoopJoin<A: Cursor, B: Cursor, P, F> {
+    outer: A,
+    inner: B,
+    pred: P,
+    combine: F,
+    inner_buf: Vec<B::Item>,
+    current: Option<A::Item>,
+    inner_pos: usize,
+    opened: bool,
+}
+
+impl<A, B, P, F, O> Cursor for NestedLoopJoin<A, B, P, F>
+where
+    A: Cursor,
+    B: Cursor,
+    A::Item: Clone,
+    B::Item: Clone,
+    P: FnMut(&A::Item, &B::Item) -> bool,
+    F: FnMut(&A::Item, &B::Item) -> O,
+{
+    type Item = O;
+
+    fn open(&mut self) {
+        self.outer.open();
+        self.inner.open();
+        self.inner_buf.clear();
+        while let Some(x) = self.inner.next() {
+            self.inner_buf.push(x);
+        }
+        self.opened = true;
+    }
+
+    fn next(&mut self) -> Option<O> {
+        if !self.opened {
+            self.open();
+        }
+        loop {
+            if self.current.is_none() {
+                self.current = Some(self.outer.next()?);
+                self.inner_pos = 0;
+            }
+            let outer = self.current.as_ref().expect("just set");
+            while self.inner_pos < self.inner_buf.len() {
+                let inner = &self.inner_buf[self.inner_pos];
+                self.inner_pos += 1;
+                if (self.pred)(outer, inner) {
+                    return Some((self.combine)(outer, inner));
+                }
+            }
+            self.current = None;
+        }
+    }
+
+    fn close(&mut self) {
+        self.outer.close();
+        self.inner.close();
+    }
+}
+
+/// See [`CursorExt::hash_join`].
+pub struct HashJoinCursor<A: Cursor, B: Cursor, K, KL, KR, F> {
+    probe: A,
+    build: B,
+    key_left: KL,
+    key_right: KR,
+    combine: F,
+    table: HashMap<K, Vec<B::Item>>,
+    current: Option<A::Item>,
+    match_pos: usize,
+    built: bool,
+}
+
+impl<A, B, K, KL, KR, F, O> Cursor for HashJoinCursor<A, B, K, KL, KR, F>
+where
+    A: Cursor,
+    B: Cursor,
+    A::Item: Clone,
+    B::Item: Clone,
+    K: Hash + Eq,
+    KL: FnMut(&A::Item) -> K,
+    KR: FnMut(&B::Item) -> K,
+    F: FnMut(&A::Item, &B::Item) -> O,
+{
+    type Item = O;
+
+    fn open(&mut self) {
+        self.probe.open();
+        self.build.open();
+        self.table.clear();
+        while let Some(x) = self.build.next() {
+            self.table.entry((self.key_right)(&x)).or_default().push(x);
+        }
+        self.built = true;
+    }
+
+    fn next(&mut self) -> Option<O> {
+        if !self.built {
+            self.open();
+        }
+        loop {
+            if self.current.is_none() {
+                self.current = Some(self.probe.next()?);
+                self.match_pos = 0;
+            }
+            let probe = self.current.as_ref().expect("just set");
+            let key = (self.key_left)(probe);
+            if let Some(bucket) = self.table.get(&key) {
+                if self.match_pos < bucket.len() {
+                    let m = &bucket[self.match_pos];
+                    self.match_pos += 1;
+                    return Some((self.combine)(probe, m));
+                }
+            }
+            self.current = None;
+        }
+    }
+
+    fn close(&mut self) {
+        self.probe.close();
+        self.build.close();
+    }
+}
+
+/// See [`CursorExt::group_by`].
+pub struct GroupByCursor<C, KF, I, FA, K, A> {
+    input: C,
+    key: KF,
+    init: I,
+    fold: FA,
+    groups: Option<std::vec::IntoIter<(K, A)>>,
+}
+
+impl<C, KF, I, FA, K, A> Cursor for GroupByCursor<C, KF, I, FA, K, A>
+where
+    C: Cursor,
+    K: Hash + Eq + Clone,
+    KF: FnMut(&C::Item) -> K,
+    I: FnMut(&C::Item) -> A,
+    FA: FnMut(&mut A, &C::Item),
+{
+    type Item = (K, A);
+
+    fn open(&mut self) {
+        self.input.open();
+    }
+
+    fn next(&mut self) -> Option<(K, A)> {
+        if self.groups.is_none() {
+            let mut table: HashMap<K, A> = HashMap::new();
+            let mut order: Vec<K> = Vec::new();
+            while let Some(x) = self.input.next() {
+                let k = (self.key)(&x);
+                match table.get_mut(&k) {
+                    Some(acc) => (self.fold)(acc, &x),
+                    None => {
+                        table.insert(k.clone(), (self.init)(&x));
+                        order.push(k);
+                    }
+                }
+            }
+            let groups: Vec<(K, A)> = order
+                .into_iter()
+                .map(|k| {
+                    let a = table.remove(&k).expect("group exists");
+                    (k, a)
+                })
+                .collect();
+            self.groups = Some(groups.into_iter());
+        }
+        self.groups.as_mut().expect("just built").next()
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+/// A refining estimate from online aggregation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OnlineEstimate {
+    /// Items consumed so far.
+    pub count: u64,
+    /// Running mean.
+    pub mean: f64,
+    /// Running population variance.
+    pub variance: f64,
+    /// Whether the input was exhausted (this is the exact final answer).
+    pub finished: bool,
+}
+
+/// See [`CursorExt::online_aggregate`].
+pub struct OnlineAggCursor<C, F> {
+    input: C,
+    value: F,
+    report_every: usize,
+    welford: Welford,
+    done: bool,
+}
+
+impl<C, F> Cursor for OnlineAggCursor<C, F>
+where
+    C: Cursor,
+    F: FnMut(&C::Item) -> f64,
+{
+    type Item = OnlineEstimate;
+
+    fn open(&mut self) {
+        self.input.open();
+    }
+
+    fn next(&mut self) -> Option<OnlineEstimate> {
+        if self.done {
+            return None;
+        }
+        for _ in 0..self.report_every {
+            match self.input.next() {
+                Some(x) => self.welford.observe((self.value)(&x)),
+                None => {
+                    self.done = true;
+                    break;
+                }
+            }
+        }
+        if self.welford.count() == 0 && self.done {
+            return None;
+        }
+        Some(OnlineEstimate {
+            count: self.welford.count(),
+            mean: self.welford.mean(),
+            variance: self.welford.variance(),
+            finished: self.done,
+        })
+    }
+
+    fn close(&mut self) {
+        self.input.close();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nums(n: i64) -> VecCursor<i64> {
+        VecCursor::new((0..n).collect())
+    }
+
+    #[test]
+    fn filter_map_take_chain() {
+        let out = nums(10)
+            .filter(|x| x % 2 == 0)
+            .map(|x| x * 10)
+            .take(3)
+            .collect_vec();
+        assert_eq!(out, vec![0, 20, 40]);
+        let out = nums(2).chain(nums(3)).collect_vec();
+        assert_eq!(out, vec![0, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn distinct_and_sort() {
+        let c = VecCursor::new(vec![3, 1, 3, 2, 1]);
+        assert_eq!(c.distinct().collect_vec(), vec![3, 1, 2]);
+        let c = VecCursor::new(vec![3, 1, 2]);
+        assert_eq!(c.sorted_by_key(|x| *x).collect_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_loop_equals_hash_join() {
+        let nl = nums(20)
+            .nested_loop_join(nums(20), |a, b| a % 5 == b % 5 && a < b, |a, b| (*a, *b))
+            .collect_vec();
+        let mut hj = nums(20)
+            .hash_join(nums(20), |a| a % 5, |b| b % 5, |a, b| (*a, *b))
+            .filter(|(a, b)| a < b)
+            .collect_vec();
+        let mut nl = nl;
+        nl.sort();
+        hj.sort();
+        assert_eq!(nl, hj);
+        assert!(!nl.is_empty());
+    }
+
+    #[test]
+    fn group_by_counts() {
+        let groups = nums(10)
+            .group_by(|x| x % 3, |_| 1u64, |acc, _| *acc += 1)
+            .sorted_by_key(|(k, _)| *k)
+            .collect_vec();
+        assert_eq!(groups, vec![(0, 4), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn fn_cursor_generates() {
+        let mut i = 0;
+        let c = FnCursor::new(move || {
+            i += 1;
+            if i <= 3 {
+                Some(i)
+            } else {
+                None
+            }
+        });
+        assert_eq!(c.collect_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn online_aggregation_refines_to_exact() {
+        let estimates = nums(100)
+            .online_aggregate(|x| *x as f64, 10)
+            .collect_vec();
+        // Ten partial estimates plus the final exhausted-input report.
+        assert_eq!(estimates.len(), 11);
+        assert_eq!(estimates[0].count, 10);
+        assert!(!estimates[0].finished);
+        // ...the final one is exact.
+        let last = estimates.last().unwrap();
+        assert!(last.finished);
+        assert_eq!(last.count, 100);
+        assert!((last.mean - 49.5).abs() < 1e-9);
+        // Same Welford backs the stream-side StatsAgg: variance of 0..100.
+        let expect_var = (0..100).map(|x| (x as f64 - 49.5).powi(2)).sum::<f64>() / 100.0;
+        assert!((last.variance - expect_var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn online_aggregation_empty_input() {
+        let estimates = VecCursor::new(Vec::<i64>::new())
+            .online_aggregate(|x| *x as f64, 5)
+            .collect_vec();
+        assert!(estimates.is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Data-flow translation operators: cursor ⇄ stream.
+//!
+//! After Graefe's data-flow translation, these adapters let demand-driven
+//! and data-driven processing combine in one plan: a cursor can feed a query
+//! graph as a source (pull → push), and a stream can be materialized and
+//! re-read as a cursor (push → pull). PIPES uses exactly this to join live
+//! streams with persistent relations and to run historical queries.
+
+use crate::{Cursor, VecCursor};
+use parking_lot::Mutex;
+use pipes_graph::{Collector, SinkOp, SourceOp, SourceStatus};
+use pipes_time::{Element, Message, Timestamp};
+use std::sync::Arc;
+
+/// Pull → push: adapts a cursor into a stream source.
+///
+/// Each pulled item is stamped by a timing function (monotone by contract)
+/// and emitted as an instantaneous element followed by a heartbeat.
+pub struct CursorSource<C, F> {
+    cursor: C,
+    timing: F,
+    index: u64,
+    opened: bool,
+}
+
+impl<C, F> CursorSource<C, F>
+where
+    C: Cursor,
+    F: FnMut(u64, &C::Item) -> Timestamp,
+{
+    /// Creates the adapter; `timing(i, item)` assigns the i-th item's
+    /// timestamp and must be non-decreasing in `i`.
+    pub fn new(cursor: C, timing: F) -> Self {
+        CursorSource {
+            cursor,
+            timing,
+            index: 0,
+            opened: false,
+        }
+    }
+}
+
+impl<C, F> SourceOp for CursorSource<C, F>
+where
+    C: Cursor + Send + 'static,
+    C::Item: Send + Clone + 'static,
+    F: FnMut(u64, &C::Item) -> Timestamp + Send + 'static,
+{
+    type Out = C::Item;
+
+    fn produce(&mut self, budget: usize, out: &mut dyn Collector<C::Item>) -> SourceStatus {
+        if !self.opened {
+            self.cursor.open();
+            self.opened = true;
+        }
+        let mut last = None;
+        let mut status = SourceStatus::Active;
+        for _ in 0..budget {
+            match self.cursor.next() {
+                Some(item) => {
+                    let t = (self.timing)(self.index, &item);
+                    self.index += 1;
+                    out.element(Element::at(item, t));
+                    last = Some(t);
+                }
+                None => {
+                    self.cursor.close();
+                    status = SourceStatus::Exhausted;
+                    break;
+                }
+            }
+        }
+        if let Some(t) = last {
+            out.heartbeat(t);
+        }
+        status
+    }
+}
+
+/// Push → pull: a sink materializing a stream for later demand-driven
+/// re-reading.
+pub struct MaterializeSink<T> {
+    buf: Arc<Mutex<Vec<Element<T>>>>,
+}
+
+/// Shared handle to a [`MaterializeSink`]'s buffer.
+pub struct Materialized<T> {
+    buf: Arc<Mutex<Vec<Element<T>>>>,
+}
+
+impl<T: Send + Clone + 'static> MaterializeSink<T> {
+    /// Creates the sink and its read handle.
+    pub fn new() -> (Self, Materialized<T>) {
+        let buf = Arc::new(Mutex::new(Vec::new()));
+        (
+            MaterializeSink {
+                buf: Arc::clone(&buf),
+            },
+            Materialized { buf },
+        )
+    }
+}
+
+impl<T: Send + Clone + 'static> SinkOp for MaterializeSink<T> {
+    type In = T;
+
+    fn on_message(&mut self, _port: usize, msg: Message<T>) {
+        if let Message::Element(e) = msg {
+            self.buf.lock().push(e);
+        }
+    }
+}
+
+impl<T: Clone> Materialized<T> {
+    /// Number of elements materialized so far.
+    pub fn len(&self) -> usize {
+        self.buf.lock().len()
+    }
+
+    /// Whether nothing has been materialized.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A cursor over the elements materialized so far (a snapshot).
+    pub fn cursor(&self) -> VecCursor<Element<T>> {
+        VecCursor::new(self.buf.lock().clone())
+    }
+
+    /// A cursor over the payloads materialized so far.
+    pub fn payload_cursor(&self) -> VecCursor<T> {
+        VecCursor::new(self.buf.lock().iter().map(|e| e.payload.clone()).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CursorExt;
+    use pipes_graph::io::CollectSink;
+    use pipes_graph::QueryGraph;
+
+    #[test]
+    fn cursor_feeds_stream_graph() {
+        let g = QueryGraph::new();
+        let cursor = VecCursor::new(vec![10i64, 20, 30]);
+        let src = g.add_source(
+            "from-cursor",
+            CursorSource::new(cursor, |i, _| Timestamp::new(i * 5)),
+        );
+        let (sink, buf) = CollectSink::new();
+        g.add_sink("sink", sink, &src);
+        g.run_to_completion(4);
+        let out = buf.lock();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].payload, 10);
+        assert_eq!(out[2].start(), Timestamp::new(10));
+    }
+
+    #[test]
+    fn stream_materializes_back_to_cursor() {
+        let g = QueryGraph::new();
+        let cursor = VecCursor::new(vec![1i64, 2, 3, 4]);
+        let src = g.add_source(
+            "src",
+            CursorSource::new(cursor, |i, _| Timestamp::new(i)),
+        );
+        let (sink, mat) = MaterializeSink::new();
+        g.add_sink("materialize", sink, &src);
+        g.run_to_completion(8);
+
+        assert_eq!(mat.len(), 4);
+        // Round-trip: demand-driven post-processing of a data-driven run.
+        let evens = mat
+            .payload_cursor()
+            .filter(|x| x % 2 == 0)
+            .collect_vec();
+        assert_eq!(evens, vec![2, 4]);
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_and_time() {
+        let g = QueryGraph::new();
+        let src = g.add_source(
+            "src",
+            CursorSource::new(VecCursor::new(vec![5i64, 6]), |i, _| Timestamp::new(100 + i)),
+        );
+        let (sink, mat) = MaterializeSink::new();
+        g.add_sink("m", sink, &src);
+        g.run_to_completion(8);
+        let elems = mat.cursor().collect_vec();
+        assert_eq!(elems[0].start(), Timestamp::new(100));
+        assert_eq!(elems[1].start(), Timestamp::new(101));
+    }
+}

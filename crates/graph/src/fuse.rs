@@ -1,0 +1,205 @@
+//! Operator fusion: virtual nodes with direct hand-over.
+//!
+//! The first layer of the PIPES scheduling architecture merges multiple
+//! succeeding nodes of a query graph into one *virtual node*. Inside a
+//! virtual node, an upstream operator's results are handed to the downstream
+//! operator by a plain function call — **no inter-operator queue exists** —
+//! which is the overhead reduction the paper attributes to its inherent
+//! publish-subscribe architecture.
+//!
+//! [`Fused`] composes two operators statically; chains of any length are
+//! built by repeated [`OperatorExt::then`]. A fused chain is itself an
+//! [`Operator`] and can be registered as a single graph node.
+
+use crate::operator::{Collector, Operator};
+use pipes_time::{Element, Timestamp};
+
+/// Extension methods available on every operator.
+pub trait OperatorExt: Operator + Sized {
+    /// Fuses `self` with `next` into a virtual node: the output of `self`
+    /// feeds `next` through direct calls, with no queue in between.
+    fn then<B>(self, next: B) -> Fused<Self, B>
+    where
+        B: Operator<In = Self::Out>,
+    {
+        Fused { a: self, b: next }
+    }
+}
+
+impl<O: Operator + Sized> OperatorExt for O {}
+
+/// Two operators fused into one virtual node.
+pub struct Fused<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Fused<A, B> {
+    /// The upstream half.
+    pub fn upstream(&self) -> &A {
+        &self.a
+    }
+
+    /// The downstream half.
+    pub fn downstream(&self) -> &B {
+        &self.b
+    }
+}
+
+/// Collector that forwards everything operator `a` emits straight into
+/// operator `b`, whose own results go to the outer collector.
+struct HandOver<'a, B: Operator> {
+    b: &'a mut B,
+    out: &'a mut dyn Collector<B::Out>,
+}
+
+impl<B: Operator> Collector<B::In> for HandOver<'_, B> {
+    fn element(&mut self, e: Element<B::In>) {
+        self.b.on_element(0, e, self.out);
+    }
+    fn heartbeat(&mut self, t: Timestamp) {
+        self.b.on_heartbeat(0, t, self.out);
+    }
+}
+
+impl<A, B> Operator for Fused<A, B>
+where
+    A: Operator,
+    B: Operator<In = A::Out>,
+{
+    type In = A::In;
+    type Out = B::Out;
+
+    fn on_element(
+        &mut self,
+        port: usize,
+        elem: Element<Self::In>,
+        out: &mut dyn Collector<Self::Out>,
+    ) {
+        let mut hand = HandOver {
+            b: &mut self.b,
+            out,
+        };
+        self.a.on_element(port, elem, &mut hand);
+    }
+
+    fn on_heartbeat(&mut self, port: usize, t: Timestamp, out: &mut dyn Collector<Self::Out>) {
+        let mut hand = HandOver {
+            b: &mut self.b,
+            out,
+        };
+        self.a.on_heartbeat(port, t, &mut hand);
+    }
+
+    fn on_close(&mut self, out: &mut dyn Collector<Self::Out>) {
+        let mut hand = HandOver {
+            b: &mut self.b,
+            out,
+        };
+        self.a.on_close(&mut hand);
+        self.b.on_close(out);
+    }
+
+    fn memory(&self) -> usize {
+        self.a.memory() + self.b.memory()
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        // Split the target proportionally to current usage.
+        let (ma, mb) = (self.a.memory(), self.b.memory());
+        let total = ma + mb;
+        if total == 0 {
+            return 0;
+        }
+        let ta = target * ma / total;
+        let tb = target.saturating_sub(ta);
+        self.a.shed(ta) + self.b.shed(tb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_time::Message;
+
+    struct AddOne;
+    impl Operator for AddOne {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            out.element(e.map(|v| v + 1));
+        }
+    }
+
+    struct KeepEven;
+    impl Operator for KeepEven {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            if e.payload % 2 == 0 {
+                out.element(e);
+            }
+        }
+    }
+
+    /// Buffers one element until close, to exercise on_close flushing.
+    struct HoldLast(Option<Element<i64>>);
+    impl Operator for HoldLast {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            if let Some(prev) = self.0.replace(e) {
+                out.element(prev);
+            }
+        }
+        fn on_close(&mut self, out: &mut dyn Collector<i64>) {
+            if let Some(e) = self.0.take() {
+                out.element(e);
+            }
+        }
+        fn memory(&self) -> usize {
+            usize::from(self.0.is_some())
+        }
+    }
+
+    #[test]
+    fn chain_of_three() {
+        let mut op = AddOne.then(KeepEven).then(AddOne);
+        let mut out: Vec<Message<i64>> = Vec::new();
+        for (i, v) in [1i64, 2, 3, 4].iter().enumerate() {
+            op.on_element(0, Element::at(*v, Timestamp::new(i as u64)), &mut out);
+        }
+        // 1→2→even→3 ; 2→3→odd dropped ; 3→4→even→5 ; 4→5→odd dropped
+        let vals: Vec<i64> = out
+            .into_iter()
+            .filter_map(Message::into_element)
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(vals, vec![3, 5]);
+    }
+
+    #[test]
+    fn heartbeats_flow_through() {
+        let mut op = AddOne.then(AddOne);
+        let mut out: Vec<Message<i64>> = Vec::new();
+        op.on_heartbeat(0, Timestamp::new(9), &mut out);
+        assert_eq!(out, vec![Message::Heartbeat(Timestamp::new(9))]);
+    }
+
+    #[test]
+    fn close_flushes_upstream_through_downstream() {
+        let mut op = HoldLast(None).then(AddOne);
+        let mut out: Vec<Message<i64>> = Vec::new();
+        op.on_element(0, Element::at(10, Timestamp::new(0)), &mut out);
+        assert!(out.is_empty());
+        assert_eq!(op.memory(), 1);
+        op.on_close(&mut out);
+        let vals: Vec<i64> = out
+            .into_iter()
+            .filter_map(Message::into_element)
+            .map(|e| e.payload)
+            .collect();
+        assert_eq!(vals, vec![11]);
+        assert_eq!(op.memory(), 0);
+    }
+}

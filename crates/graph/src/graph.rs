@@ -1,0 +1,595 @@
+//! The query graph: nodes, subscriptions and a minimal executor.
+
+use crate::edge::{Edge, EdgeId};
+use crate::node::{BinNode, OpNode, Runnable, SinkNode, SourceNode, StepReport};
+use crate::operator::{BinaryOperator, NodeId, Operator, SinkOp, SourceOp};
+use crate::outputs::{OutputPort, Outputs};
+use parking_lot::{Mutex, RwLock};
+use pipes_meta::NodeStats;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+/// The role a node plays in the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Produces data, consumes nothing.
+    Source,
+    /// Consumes and produces (a *pipe*).
+    Operator,
+    /// Consumes data, produces nothing.
+    Sink,
+}
+
+/// A handle to a node's typed output, used to subscribe further consumers.
+///
+/// Handles are cheap to clone; holding one does not keep the stream alive or
+/// consume from it — it merely names a publication point in the graph.
+pub struct StreamHandle<T> {
+    node: NodeId,
+    outputs: Arc<Outputs<T>>,
+}
+
+impl<T> Clone for StreamHandle<T> {
+    fn clone(&self) -> Self {
+        StreamHandle {
+            node: self.node,
+            outputs: Arc::clone(&self.outputs),
+        }
+    }
+}
+
+impl<T> StreamHandle<T> {
+    /// The producing node's id.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+}
+
+impl<T> std::fmt::Debug for StreamHandle<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamHandle")
+            .field("node", &self.node)
+            .finish_non_exhaustive()
+    }
+}
+
+struct NodeCell {
+    name: String,
+    kind: NodeKind,
+    runnable: Mutex<Box<dyn Runnable>>,
+    stats: Arc<NodeStats>,
+    out_port: Option<Arc<dyn OutputPort>>,
+    /// (upstream node, edge id) for every input subscription.
+    incoming: Mutex<Vec<(NodeId, EdgeId)>>,
+    removed: std::sync::atomic::AtomicBool,
+}
+
+/// Static description of a node, for topology-aware strategies and plan
+/// rendering.
+#[derive(Clone, Debug)]
+pub struct NodeInfo {
+    /// The node id.
+    pub id: NodeId,
+    /// Display name given at registration.
+    pub name: String,
+    /// Node role.
+    pub kind: NodeKind,
+    /// Ids of the nodes this node subscribes to.
+    pub upstream: Vec<NodeId>,
+    /// Whether the node has been removed from the graph.
+    pub removed: bool,
+}
+
+/// A directed acyclic graph of sources, operators and sinks, built through
+/// the publish–subscribe architecture of PIPES.
+///
+/// All methods take `&self`: nodes can be added, subscribed and unsubscribed
+/// while executors are stepping the graph from other threads. This is the
+/// foundation for multi-query optimization, which splices new queries into
+/// the *running* graph.
+pub struct QueryGraph {
+    nodes: RwLock<Vec<Arc<NodeCell>>>,
+    seq: Arc<AtomicU64>,
+    next_edge: AtomicU64,
+}
+
+impl Default for QueryGraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        QueryGraph {
+            nodes: RwLock::new(Vec::new()),
+            seq: Arc::new(AtomicU64::new(1)),
+            next_edge: AtomicU64::new(1),
+        }
+    }
+
+    fn push_node(&self, cell: NodeCell) -> NodeId {
+        let mut nodes = self.nodes.write();
+        nodes.push(Arc::new(cell));
+        nodes.len() - 1
+    }
+
+    fn cell(&self, id: NodeId) -> Arc<NodeCell> {
+        Arc::clone(&self.nodes.read()[id])
+    }
+
+    fn new_edge<T>(&self) -> Arc<Edge<T>> {
+        let id = self
+            .next_edge
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Arc::new(Edge::new(id))
+    }
+
+    /// Registers a source node.
+    pub fn add_source<S: SourceOp>(&self, name: &str, op: S) -> StreamHandle<S::Out>
+    where
+        S::Out: Send + Sync,
+    {
+        let outputs = Arc::new(Outputs::new(Arc::clone(&self.seq)));
+        let node = SourceNode::new(op, Arc::clone(&outputs));
+        let id = self.push_node(NodeCell {
+            name: name.to_string(),
+            kind: NodeKind::Source,
+            runnable: Mutex::new(Box::new(node)),
+            stats: Arc::new(NodeStats::new(name)),
+            out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
+            incoming: Mutex::new(Vec::new()),
+            removed: std::sync::atomic::AtomicBool::new(false),
+        });
+        StreamHandle { node: id, outputs }
+    }
+
+    /// Registers a unary operator subscribed to `input`.
+    pub fn add_unary<O: Operator>(
+        &self,
+        name: &str,
+        op: O,
+        input: &StreamHandle<O::In>,
+    ) -> StreamHandle<O::Out>
+    where
+        O::In: Sync,
+        O::Out: Send + Sync,
+    {
+        self.add_nary(name, op, std::slice::from_ref(input))
+    }
+
+    /// Registers an n-ary operator subscribed to all `inputs` (one port per
+    /// input, in order).
+    pub fn add_nary<O: Operator>(
+        &self,
+        name: &str,
+        op: O,
+        inputs: &[StreamHandle<O::In>],
+    ) -> StreamHandle<O::Out>
+    where
+        O::In: Sync,
+        O::Out: Send + Sync,
+    {
+        assert!(!inputs.is_empty(), "operator needs at least one input");
+        let outputs = Arc::new(Outputs::new(Arc::clone(&self.seq)));
+        let mut edges = Vec::with_capacity(inputs.len());
+        let mut incoming = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let edge = self.new_edge::<O::In>();
+            incoming.push((input.node, edge.id()));
+            input.outputs.subscribe(Arc::clone(&edge));
+            edges.push(edge);
+        }
+        let node = OpNode::new(op, edges, Arc::clone(&outputs));
+        let id = self.push_node(NodeCell {
+            name: name.to_string(),
+            kind: NodeKind::Operator,
+            runnable: Mutex::new(Box::new(node)),
+            stats: Arc::new(NodeStats::new(name)),
+            out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
+            incoming: Mutex::new(incoming),
+            removed: std::sync::atomic::AtomicBool::new(false),
+        });
+        self.refresh_subscriber_counts(inputs.iter().map(|i| i.node));
+        StreamHandle { node: id, outputs }
+    }
+
+    /// Registers a binary operator subscribed to `left` and `right`.
+    pub fn add_binary<B: BinaryOperator>(
+        &self,
+        name: &str,
+        op: B,
+        left: &StreamHandle<B::Left>,
+        right: &StreamHandle<B::Right>,
+    ) -> StreamHandle<B::Out>
+    where
+        B::Left: Sync,
+        B::Right: Sync,
+        B::Out: Send + Sync,
+    {
+        let outputs = Arc::new(Outputs::new(Arc::clone(&self.seq)));
+        let le = self.new_edge::<B::Left>();
+        let re = self.new_edge::<B::Right>();
+        let incoming = vec![(left.node, le.id()), (right.node, re.id())];
+        left.outputs.subscribe(Arc::clone(&le));
+        right.outputs.subscribe(Arc::clone(&re));
+        let node = BinNode::new(op, le, re, Arc::clone(&outputs));
+        let id = self.push_node(NodeCell {
+            name: name.to_string(),
+            kind: NodeKind::Operator,
+            runnable: Mutex::new(Box::new(node)),
+            stats: Arc::new(NodeStats::new(name)),
+            out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
+            incoming: Mutex::new(incoming),
+            removed: std::sync::atomic::AtomicBool::new(false),
+        });
+        self.refresh_subscriber_counts([left.node, right.node]);
+        StreamHandle { node: id, outputs }
+    }
+
+    /// Registers a sink subscribed to `input`. Returns the sink's node id.
+    pub fn add_sink<K: SinkOp>(&self, name: &str, op: K, input: &StreamHandle<K::In>) -> NodeId
+    where
+        K::In: Sync,
+    {
+        self.add_sink_nary(name, op, std::slice::from_ref(input))
+    }
+
+    /// Registers a sink subscribed to all `inputs`.
+    pub fn add_sink_nary<K: SinkOp>(
+        &self,
+        name: &str,
+        op: K,
+        inputs: &[StreamHandle<K::In>],
+    ) -> NodeId
+    where
+        K::In: Sync,
+    {
+        assert!(!inputs.is_empty(), "sink needs at least one input");
+        let mut edges = Vec::with_capacity(inputs.len());
+        let mut incoming = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let edge = self.new_edge::<K::In>();
+            incoming.push((input.node, edge.id()));
+            input.outputs.subscribe(Arc::clone(&edge));
+            edges.push(edge);
+        }
+        let node = SinkNode::new(op, edges);
+        let id = self.push_node(NodeCell {
+            name: name.to_string(),
+            kind: NodeKind::Sink,
+            runnable: Mutex::new(Box::new(node)),
+            stats: Arc::new(NodeStats::new(name)),
+            out_port: None,
+            incoming: Mutex::new(incoming),
+            removed: std::sync::atomic::AtomicBool::new(false),
+        });
+        self.refresh_subscriber_counts(inputs.iter().map(|i| i.node));
+        id
+    }
+
+    fn refresh_subscriber_counts(&self, ids: impl IntoIterator<Item = NodeId>) {
+        let nodes = self.nodes.read();
+        for id in ids {
+            let cell = &nodes[id];
+            if let Some(port) = &cell.out_port {
+                cell.stats.set_subscribers(port.subscriber_count());
+            }
+        }
+    }
+
+    /// Unsubscribes `node` from all its upstream publications and marks it
+    /// removed. Downstream consumers of `node` receive no further data (the
+    /// node stops being scheduled); remove them first for a clean teardown.
+    pub fn remove_node(&self, node: NodeId) {
+        let cell = self.cell(node);
+        for (up, edge) in cell.incoming.lock().drain(..) {
+            let up_cell = self.cell(up);
+            if let Some(port) = &up_cell.out_port {
+                port.detach(edge);
+                up_cell.stats.set_subscribers(port.subscriber_count());
+            }
+        }
+        cell.removed
+            .store(true, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether `node` has been removed.
+    pub fn is_removed(&self, node: NodeId) -> bool {
+        self.cell(node)
+            .removed
+            .load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Number of consumers currently subscribed to `node`'s output
+    /// (0 for sinks).
+    pub fn subscriber_count(&self, node: NodeId) -> usize {
+        self.cell(node)
+            .out_port
+            .as_ref()
+            .map_or(0, |p| p.subscriber_count())
+    }
+
+    /// Number of registered nodes (including removed ones; ids are stable).
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Static node description.
+    pub fn info(&self, id: NodeId) -> NodeInfo {
+        let cell = self.cell(id);
+        let upstream = cell.incoming.lock().iter().map(|(n, _)| *n).collect();
+        NodeInfo {
+            id,
+            name: cell.name.clone(),
+            kind: cell.kind,
+            upstream,
+            removed: cell.removed.load(std::sync::atomic::Ordering::Relaxed),
+        }
+    }
+
+    /// Descriptions of all nodes.
+    pub fn infos(&self) -> Vec<NodeInfo> {
+        (0..self.len()).map(|id| self.info(id)).collect()
+    }
+
+    /// The statistics handle of a node (register it with a
+    /// [`pipes_meta::Monitor`] to observe the node at runtime).
+    pub fn stats(&self, id: NodeId) -> Arc<NodeStats> {
+        Arc::clone(&self.cell(id).stats)
+    }
+
+    /// Runs one scheduling quantum of at most `budget` messages on `node`,
+    /// updating its statistics.
+    pub fn step_node(&self, id: NodeId, budget: usize) -> StepReport {
+        let cell = self.cell(id);
+        if cell.removed.load(std::sync::atomic::Ordering::Relaxed) {
+            return StepReport::default();
+        }
+        let mut runnable = cell.runnable.lock();
+        let report = runnable.step(budget);
+        cell.stats.record_in(report.consumed as u64);
+        cell.stats.record_out(report.produced as u64);
+        cell.stats.set_queue_len(runnable.queued());
+        cell.stats.set_memory(runnable.memory());
+        report
+    }
+
+    /// Messages currently queued at `node`'s inputs.
+    pub fn queued(&self, id: NodeId) -> usize {
+        self.cell(id).runnable.lock().queued()
+    }
+
+    /// Arrival sequence of the oldest message queued at `node`, if any.
+    pub fn oldest_pending_seq(&self, id: NodeId) -> Option<u64> {
+        self.cell(id).runnable.lock().oldest_pending_seq()
+    }
+
+    /// Whether `node` has finished (closed or removed).
+    pub fn is_finished(&self, id: NodeId) -> bool {
+        let cell = self.cell(id);
+        cell.removed.load(std::sync::atomic::Ordering::Relaxed)
+            || cell.runnable.lock().is_finished()
+    }
+
+    /// Whether every node has finished.
+    pub fn all_finished(&self) -> bool {
+        (0..self.len()).all(|id| self.is_finished(id))
+    }
+
+    /// Operator state size of `node` in retained elements.
+    pub fn memory(&self, id: NodeId) -> usize {
+        self.cell(id).runnable.lock().memory()
+    }
+
+    /// Sheds `node`'s operator state to roughly `target` elements.
+    pub fn shed(&self, id: NodeId, target: usize) -> usize {
+        self.cell(id).runnable.lock().shed(target)
+    }
+
+    /// Total messages queued across the whole graph.
+    pub fn total_queued(&self) -> usize {
+        (0..self.len()).map(|id| self.queued(id)).sum()
+    }
+
+    /// Garbage-collects dangling producers: repeatedly removes sources and
+    /// operators that no consumer subscribes to, until a fixpoint. Returns
+    /// the number of nodes removed.
+    ///
+    /// Only call while the topology is quiescent — a node added before its
+    /// consumer would be collected prematurely.
+    pub fn collect_unconsumed(&self) -> usize {
+        let mut removed = 0;
+        loop {
+            let victims: Vec<NodeId> = self
+                .infos()
+                .into_iter()
+                .filter(|i| {
+                    !i.removed
+                        && i.kind != NodeKind::Sink
+                        && self.subscriber_count(i.id) == 0
+                })
+                .map(|i| i.id)
+                .collect();
+            if victims.is_empty() {
+                return removed;
+            }
+            for id in victims {
+                self.remove_node(id);
+                removed += 1;
+            }
+        }
+    }
+
+    /// Minimal built-in executor: steps all nodes round-robin until every
+    /// node has finished. Returns the number of quanta executed. Intended
+    /// for tests and simple examples — real deployments use `pipes-sched`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph stops making progress before finishing (which
+    /// would indicate a stuck operator or an infinite source).
+    pub fn run_to_completion(&self, budget: usize) -> usize {
+        let mut quanta = 0;
+        loop {
+            if self.all_finished() {
+                return quanta;
+            }
+            let mut progressed = false;
+            for id in 0..self.len() {
+                if self.is_finished(id) {
+                    continue;
+                }
+                let report = self.step_node(id, budget);
+                if report.consumed > 0 || report.produced > 0 || self.is_finished(id) {
+                    progressed = true;
+                }
+                quanta += 1;
+            }
+            assert!(
+                progressed,
+                "query graph stalled: no node can make progress"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::io::{CollectSink, CountSink, VecSource};
+    use crate::operator::Collector;
+    use pipes_time::{Element, Timestamp};
+
+    struct Mul(i64);
+    impl Operator for Mul {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            let k = self.0;
+            out.element(e.map(|v| v * k));
+        }
+    }
+
+    fn elems(vals: &[i64]) -> Vec<Element<i64>> {
+        vals.iter()
+            .enumerate()
+            .map(|(i, v)| Element::at(*v, Timestamp::new(i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn linear_pipeline_end_to_end() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[1, 2, 3])));
+        let doubled = g.add_unary("double", Mul(2), &src);
+        let (sink, buf) = CollectSink::new();
+        g.add_sink("collect", sink, &doubled);
+
+        g.run_to_completion(8);
+        let vals: Vec<i64> = buf.lock().iter().map(|e| e.payload).collect();
+        assert_eq!(vals, vec![2, 4, 6]);
+        assert!(g.all_finished());
+    }
+
+    #[test]
+    fn fan_out_to_two_sinks() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[5, 6])));
+        let (s1, b1) = CollectSink::new();
+        let (s2, b2) = CollectSink::new();
+        g.add_sink("a", s1, &src);
+        g.add_sink("b", s2, &src);
+        g.run_to_completion(4);
+        assert_eq!(b1.lock().len(), 2);
+        assert_eq!(b2.lock().len(), 2);
+        // Source stats observed two subscribers.
+        assert_eq!(g.stats(src.node()).snapshot().subscribers, 2);
+    }
+
+    #[test]
+    fn diamond_shape_counts() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[1, 2, 3, 4])));
+        let a = g.add_unary("x2", Mul(2), &src);
+        let b = g.add_unary("x3", Mul(3), &src);
+        let (sink, cell) = CountSink::<i64>::new();
+        g.add_sink_nary("count", sink, &[a, b]);
+        g.run_to_completion(3);
+        assert_eq!(cell.lock().0, 8); // 4 elements down each branch
+    }
+
+    #[test]
+    fn stats_track_selectivity() {
+        struct DropOdd;
+        impl Operator for DropOdd {
+            type In = i64;
+            type Out = i64;
+            fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+                if e.payload % 2 == 0 {
+                    out.element(e);
+                }
+            }
+        }
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[1, 2, 3, 4])));
+        let f = g.add_unary("even", DropOdd, &src);
+        let (sink, _) = CollectSink::new();
+        g.add_sink("sink", sink, &f);
+        g.run_to_completion(16);
+        let snap = g.stats(f.node()).snapshot();
+        // 4 elements + 4 heartbeats + 1 close consumed; 2 elements produced.
+        assert_eq!(snap.out_count, 2);
+        assert!(snap.in_count >= 5);
+    }
+
+    #[test]
+    fn runtime_subscription_and_removal() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[1, 2, 3])));
+        let (s1, b1) = CollectSink::new();
+        let first = g.add_sink("first", s1, &src);
+
+        // Drain one quantum, then splice in a second consumer at runtime.
+        g.step_node(src.node(), 1);
+        let (s2, b2) = CollectSink::new();
+        let second = g.add_sink("second", s2, &src);
+        g.run_to_completion(4);
+        assert_eq!(b1.lock().len(), 3);
+        // The late subscriber missed the first element.
+        assert_eq!(b2.lock().len(), 2);
+
+        g.remove_node(second);
+        assert!(g.is_removed(second));
+        assert!(!g.is_removed(first));
+        assert_eq!(g.stats(src.node()).snapshot().subscribers, 1);
+    }
+
+    #[test]
+    fn late_subscriber_to_closed_stream_sees_close() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[1])));
+        let (s1, _) = CollectSink::new();
+        g.add_sink("early", s1, &src);
+        g.run_to_completion(4);
+
+        let (s2, b2) = CollectSink::new();
+        let late = g.add_sink("late", s2, &src);
+        g.run_to_completion(4);
+        assert!(g.is_finished(late));
+        assert_eq!(b2.lock().len(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input")]
+    fn empty_inputs_rejected() {
+        let g = QueryGraph::new();
+        let _ = g.add_nary::<Mul>("bad", Mul(1), &[]);
+    }
+}

@@ -1,0 +1,278 @@
+//! Ready-to-use sources and sinks.
+//!
+//! PIPES is a toolkit: besides the node-type interfaces it ships a collection
+//! of ready-to-use components. These are the ones every test, example and
+//! benchmark needs — materialized sources, collecting/counting sinks, and
+//! closure adapters for wrapping application callbacks.
+
+use crate::operator::{Collector, SinkOp, SourceOp, SourceStatus};
+use parking_lot::Mutex;
+use pipes_time::{Element, Message, Timestamp};
+use std::sync::Arc;
+
+/// A source replaying a materialized, start-ordered vector of elements.
+///
+/// After each produced batch the source emits a heartbeat at the last
+/// element's start (the stream is start-ordered, so this is the strongest
+/// valid punctuation). Batching punctuations per scheduling quantum keeps
+/// the per-element overhead of stateful downstream operators low.
+pub struct VecSource<T> {
+    elems: std::vec::IntoIter<Element<T>>,
+}
+
+impl<T: Send + Clone + 'static> VecSource<T> {
+    /// Creates a source from `elems`, sorting them by start timestamp.
+    pub fn new(mut elems: Vec<Element<T>>) -> Self {
+        elems.sort_by_key(|e| e.start());
+        VecSource {
+            elems: elems.into_iter(),
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> SourceOp for VecSource<T> {
+    type Out = T;
+
+    fn produce(&mut self, budget: usize, out: &mut dyn Collector<T>) -> SourceStatus {
+        let mut produced = 0;
+        let mut last_start = None;
+        let status = loop {
+            if produced >= budget {
+                break SourceStatus::Active;
+            }
+            match self.elems.next() {
+                Some(e) => {
+                    last_start = Some(e.start());
+                    out.element(e);
+                    produced += 1;
+                }
+                None => break SourceStatus::Exhausted,
+            }
+        };
+        if let Some(hb) = last_start {
+            out.heartbeat(hb);
+        }
+        status
+    }
+}
+
+/// A source driven by a closure returning the next element, or `None` when
+/// exhausted. Useful for generators.
+pub struct GenSource<T, F> {
+    gen: F,
+    _marker: std::marker::PhantomData<fn() -> T>,
+}
+
+impl<T, F> GenSource<T, F>
+where
+    F: FnMut() -> Option<Element<T>> + Send + 'static,
+{
+    /// Creates a generator-backed source. The closure must yield elements
+    /// non-decreasing in start timestamp.
+    pub fn new(gen: F) -> Self {
+        GenSource {
+            gen,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, F> SourceOp for GenSource<T, F>
+where
+    T: Send + Clone + 'static,
+    F: FnMut() -> Option<Element<T>> + Send + 'static,
+{
+    type Out = T;
+
+    fn produce(&mut self, budget: usize, out: &mut dyn Collector<T>) -> SourceStatus {
+        let mut last_start = None;
+        let mut status = SourceStatus::Active;
+        for _ in 0..budget {
+            match (self.gen)() {
+                Some(e) => {
+                    last_start = Some(e.start());
+                    out.element(e);
+                }
+                None => {
+                    status = SourceStatus::Exhausted;
+                    break;
+                }
+            }
+        }
+        if let Some(hb) = last_start {
+            out.heartbeat(hb);
+        }
+        status
+    }
+}
+
+/// Shared buffer filled by a [`CollectSink`].
+pub type Collected<T> = Arc<Mutex<Vec<Element<T>>>>;
+
+/// A sink that collects all received elements into a shared buffer.
+pub struct CollectSink<T> {
+    buf: Collected<T>,
+}
+
+impl<T: Send + Clone + 'static> CollectSink<T> {
+    /// Creates the sink and the shared handle for reading results.
+    pub fn new() -> (Self, Collected<T>) {
+        let buf: Collected<T> = Arc::new(Mutex::new(Vec::new()));
+        (
+            CollectSink {
+                buf: Arc::clone(&buf),
+            },
+            buf,
+        )
+    }
+}
+
+impl<T: Send + Clone + 'static> SinkOp for CollectSink<T> {
+    type In = T;
+
+    fn on_message(&mut self, _port: usize, msg: Message<T>) {
+        if let Message::Element(e) = msg {
+            self.buf.lock().push(e);
+        }
+    }
+}
+
+/// A sink that only counts elements and tracks the latest watermark.
+pub struct CountSink<T> {
+    count: Arc<Mutex<(u64, Timestamp)>>,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T: Send + Clone + 'static> CountSink<T> {
+    /// Creates the sink and a shared `(count, last_watermark)` cell.
+    pub fn new() -> (Self, Arc<Mutex<(u64, Timestamp)>>) {
+        let cell = Arc::new(Mutex::new((0, Timestamp::ZERO)));
+        (
+            CountSink {
+                count: Arc::clone(&cell),
+                _marker: std::marker::PhantomData,
+            },
+            cell,
+        )
+    }
+}
+
+impl<T: Send + Clone + 'static> SinkOp for CountSink<T> {
+    type In = T;
+
+    fn on_message(&mut self, _port: usize, msg: Message<T>) {
+        let mut cell = self.count.lock();
+        match msg {
+            Message::Element(_) => cell.0 += 1,
+            Message::Heartbeat(t) => cell.1 = cell.1.max(t),
+            Message::Close => {}
+        }
+    }
+}
+
+/// A sink invoking a closure for every message.
+pub struct FnSink<T, F> {
+    f: F,
+    _marker: std::marker::PhantomData<fn(T)>,
+}
+
+impl<T, F> FnSink<T, F>
+where
+    F: FnMut(Message<T>) + Send + 'static,
+{
+    /// Creates a closure-backed sink.
+    pub fn new(f: F) -> Self {
+        FnSink {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, F> SinkOp for FnSink<T, F>
+where
+    T: Send + Clone + 'static,
+    F: FnMut(Message<T>) + Send + 'static,
+{
+    type In = T;
+
+    fn on_message(&mut self, _port: usize, msg: Message<T>) {
+        (self.f)(msg);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_source_sorts_and_heartbeats_per_batch() {
+        let mut src = VecSource::new(vec![
+            Element::at(2, Timestamp::new(5)),
+            Element::at(1, Timestamp::new(3)),
+        ]);
+        let mut out: Vec<Message<i32>> = Vec::new();
+        assert_eq!(src.produce(10, &mut out), SourceStatus::Exhausted);
+        assert_eq!(
+            out,
+            vec![
+                Message::Element(Element::at(1, Timestamp::new(3))),
+                Message::Element(Element::at(2, Timestamp::new(5))),
+                Message::Heartbeat(Timestamp::new(5)),
+            ]
+        );
+    }
+
+    #[test]
+    fn vec_source_respects_budget_and_punctuates_each_batch() {
+        let mut src = VecSource::new(vec![
+            Element::at(1, Timestamp::new(1)),
+            Element::at(2, Timestamp::new(2)),
+        ]);
+        let mut out: Vec<Message<i32>> = Vec::new();
+        assert_eq!(src.produce(1, &mut out), SourceStatus::Active);
+        assert_eq!(out.iter().filter(|m| m.is_element()).count(), 1);
+        assert_eq!(out.last(), Some(&Message::Heartbeat(Timestamp::new(1))));
+    }
+
+    #[test]
+    fn gen_source_exhausts() {
+        let mut n = 0;
+        let mut src = GenSource::new(move || {
+            n += 1;
+            if n <= 3 {
+                Some(Element::at(n, Timestamp::new(n as u64)))
+            } else {
+                None
+            }
+        });
+        let mut out: Vec<Message<i32>> = Vec::new();
+        assert_eq!(src.produce(10, &mut out), SourceStatus::Exhausted);
+        assert_eq!(out.iter().filter(|m| m.is_element()).count(), 3);
+        assert_eq!(out.last(), Some(&Message::Heartbeat(Timestamp::new(3))));
+    }
+
+    #[test]
+    fn collect_sink_gathers_elements_only() {
+        let (mut sink, buf) = CollectSink::new();
+        sink.on_message(0, Message::Element(Element::at(7, Timestamp::new(1))));
+        sink.on_message(0, Message::Heartbeat(Timestamp::new(2)));
+        sink.on_message(0, Message::Close);
+        assert_eq!(buf.lock().len(), 1);
+        assert_eq!(buf.lock()[0].payload, 7);
+    }
+
+    #[test]
+    fn fn_sink_invokes_closure() {
+        let seen = Arc::new(Mutex::new(0));
+        let seen2 = Arc::clone(&seen);
+        let mut sink = FnSink::new(move |m: Message<i32>| {
+            if m.is_element() {
+                *seen2.lock() += 1;
+            }
+        });
+        sink.on_message(0, Message::Element(Element::at(1, Timestamp::new(0))));
+        sink.on_message(0, Message::Close);
+        assert_eq!(*seen.lock(), 1);
+    }
+}

@@ -1,0 +1,363 @@
+//! Type-erased runnable nodes wrapping typed operators.
+
+use crate::edge::Edge;
+use crate::operator::{BinaryOperator, Operator, SinkOp, SourceOp, SourceStatus};
+use crate::outputs::{Outputs, PublishCollector};
+use pipes_time::Message;
+use std::sync::Arc;
+
+/// What one scheduling quantum accomplished.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StepReport {
+    /// Messages consumed from input queues (sources: always 0).
+    pub consumed: usize,
+    /// Elements produced downstream.
+    pub produced: usize,
+}
+
+/// The type-erased face of a node, as seen by schedulers and the memory
+/// manager. Payload types are hidden inside; strategies operate purely on
+/// queue lengths, arrival order, statistics and memory counts.
+pub trait Runnable: Send {
+    /// Runs one scheduling quantum of at most `budget` messages.
+    fn step(&mut self, budget: usize) -> StepReport;
+    /// Total messages currently queued on the input edges.
+    fn queued(&self) -> usize;
+    /// Arrival sequence of the oldest queued message, if any.
+    fn oldest_pending_seq(&self) -> Option<u64>;
+    /// Whether the node will never produce work again.
+    fn is_finished(&self) -> bool;
+    /// Current operator state size in retained elements.
+    fn memory(&self) -> usize;
+    /// Sheds operator state to roughly `target` elements; returns new size.
+    fn shed(&mut self, target: usize) -> usize;
+}
+
+/// Picks the input edge whose head message arrived earliest. Processing in
+/// global arrival order keeps multi-port operators fair and lets watermarks
+/// advance promptly.
+fn earliest_port<T>(edges: &[Arc<Edge<T>>]) -> Option<usize> {
+    let mut best: Option<(u64, usize)> = None;
+    for (i, e) in edges.iter().enumerate() {
+        if let Some(seq) = e.head_seq() {
+            if best.is_none_or(|(s, _)| seq < s) {
+                best = Some((seq, i));
+            }
+        }
+    }
+    best.map(|(_, i)| i)
+}
+
+// ---------------------------------------------------------------------------
+// Source node
+// ---------------------------------------------------------------------------
+
+/// Wraps a [`SourceOp`] as a runnable node.
+pub struct SourceNode<S: SourceOp> {
+    op: S,
+    outputs: Arc<Outputs<S::Out>>,
+    exhausted: bool,
+}
+
+impl<S: SourceOp> SourceNode<S> {
+    /// Creates a source node publishing to `outputs`.
+    pub fn new(op: S, outputs: Arc<Outputs<S::Out>>) -> Self {
+        SourceNode {
+            op,
+            outputs,
+            exhausted: false,
+        }
+    }
+}
+
+impl<S: SourceOp> Runnable for SourceNode<S> {
+    fn step(&mut self, budget: usize) -> StepReport {
+        if self.exhausted {
+            return StepReport::default();
+        }
+        let mut collector = PublishCollector::new(&self.outputs);
+        let status = self.op.produce(budget, &mut collector);
+        let produced = collector.produced();
+        if status == SourceStatus::Exhausted {
+            self.exhausted = true;
+            self.outputs.publish_close();
+        }
+        StepReport {
+            consumed: 0,
+            produced,
+        }
+    }
+
+    fn queued(&self) -> usize {
+        0
+    }
+
+    fn oldest_pending_seq(&self) -> Option<u64> {
+        None
+    }
+
+    fn is_finished(&self) -> bool {
+        self.exhausted
+    }
+
+    fn memory(&self) -> usize {
+        0
+    }
+
+    fn shed(&mut self, _target: usize) -> usize {
+        0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator node (n-ary, homogeneous input type)
+// ---------------------------------------------------------------------------
+
+/// Wraps an [`Operator`] with its input edges and output port.
+pub struct OpNode<O: Operator> {
+    op: O,
+    inputs: Vec<Arc<Edge<O::In>>>,
+    open_ports: Vec<bool>,
+    outputs: Arc<Outputs<O::Out>>,
+    closed_downstream: bool,
+}
+
+impl<O: Operator> OpNode<O> {
+    /// Creates an operator node reading from `inputs` (one edge per port).
+    pub fn new(op: O, inputs: Vec<Arc<Edge<O::In>>>, outputs: Arc<Outputs<O::Out>>) -> Self {
+        let open_ports = vec![true; inputs.len()];
+        OpNode {
+            op,
+            inputs,
+            open_ports,
+            outputs,
+            closed_downstream: false,
+        }
+    }
+}
+
+impl<O: Operator> Runnable for OpNode<O> {
+    fn step(&mut self, budget: usize) -> StepReport {
+        let mut report = StepReport::default();
+        if self.closed_downstream {
+            return report;
+        }
+        let mut collector = PublishCollector::new(&self.outputs);
+        for _ in 0..budget {
+            let Some(port) = earliest_port(&self.inputs) else {
+                break;
+            };
+            let Some((_, msg)) = self.inputs[port].pop() else {
+                break;
+            };
+            report.consumed += 1;
+            match msg {
+                Message::Element(e) => self.op.on_element(port, e, &mut collector),
+                Message::Heartbeat(t) => self.op.on_heartbeat(port, t, &mut collector),
+                Message::Close => {
+                    self.open_ports[port] = false;
+                    if self.open_ports.iter().all(|o| !o) {
+                        self.op.on_close(&mut collector);
+                        self.closed_downstream = true;
+                        break;
+                    }
+                }
+            }
+        }
+        report.produced = collector.produced();
+        if self.closed_downstream {
+            self.outputs.publish_close();
+        }
+        report
+    }
+
+    fn queued(&self) -> usize {
+        self.inputs.iter().map(|e| e.len()).sum()
+    }
+
+    fn oldest_pending_seq(&self) -> Option<u64> {
+        self.inputs.iter().filter_map(|e| e.head_seq()).min()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.closed_downstream
+    }
+
+    fn memory(&self) -> usize {
+        self.op.memory()
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        self.op.shed(target)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Binary operator node
+// ---------------------------------------------------------------------------
+
+/// Wraps a [`BinaryOperator`] with one edge per side.
+pub struct BinNode<B: BinaryOperator> {
+    op: B,
+    left: Arc<Edge<B::Left>>,
+    right: Arc<Edge<B::Right>>,
+    left_open: bool,
+    right_open: bool,
+    outputs: Arc<Outputs<B::Out>>,
+    closed_downstream: bool,
+}
+
+impl<B: BinaryOperator> BinNode<B> {
+    /// Creates a binary node reading from `left` and `right`.
+    pub fn new(
+        op: B,
+        left: Arc<Edge<B::Left>>,
+        right: Arc<Edge<B::Right>>,
+        outputs: Arc<Outputs<B::Out>>,
+    ) -> Self {
+        BinNode {
+            op,
+            left,
+            right,
+            left_open: true,
+            right_open: true,
+            outputs,
+            closed_downstream: false,
+        }
+    }
+}
+
+impl<B: BinaryOperator> Runnable for BinNode<B> {
+    fn step(&mut self, budget: usize) -> StepReport {
+        let mut report = StepReport::default();
+        if self.closed_downstream {
+            return report;
+        }
+        let mut collector = PublishCollector::new(&self.outputs);
+        for _ in 0..budget {
+            // Process in arrival order across the two sides.
+            let ls = self.left.head_seq();
+            let rs = self.right.head_seq();
+            let take_left = match (ls, rs) {
+                (None, None) => break,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (Some(l), Some(r)) => l <= r,
+            };
+            report.consumed += 1;
+            if take_left {
+                let (_, msg) = self.left.pop().expect("head_seq guaranteed a message");
+                match msg {
+                    Message::Element(e) => self.op.on_left(e, &mut collector),
+                    Message::Heartbeat(t) => self.op.on_heartbeat_left(t, &mut collector),
+                    Message::Close => self.left_open = false,
+                }
+            } else {
+                let (_, msg) = self.right.pop().expect("head_seq guaranteed a message");
+                match msg {
+                    Message::Element(e) => self.op.on_right(e, &mut collector),
+                    Message::Heartbeat(t) => self.op.on_heartbeat_right(t, &mut collector),
+                    Message::Close => self.right_open = false,
+                }
+            }
+            if !self.left_open && !self.right_open {
+                self.op.on_close(&mut collector);
+                self.closed_downstream = true;
+                break;
+            }
+        }
+        report.produced = collector.produced();
+        if self.closed_downstream {
+            self.outputs.publish_close();
+        }
+        report
+    }
+
+    fn queued(&self) -> usize {
+        self.left.len() + self.right.len()
+    }
+
+    fn oldest_pending_seq(&self) -> Option<u64> {
+        match (self.left.head_seq(), self.right.head_seq()) {
+            (None, None) => None,
+            (Some(l), None) => Some(l),
+            (None, Some(r)) => Some(r),
+            (Some(l), Some(r)) => Some(l.min(r)),
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.closed_downstream
+    }
+
+    fn memory(&self) -> usize {
+        self.op.memory()
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        self.op.shed(target)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sink node
+// ---------------------------------------------------------------------------
+
+/// Wraps a [`SinkOp`] with its input edges.
+pub struct SinkNode<K: SinkOp> {
+    op: K,
+    inputs: Vec<Arc<Edge<K::In>>>,
+    open_ports: Vec<bool>,
+}
+
+impl<K: SinkOp> SinkNode<K> {
+    /// Creates a sink node reading from `inputs` (one edge per port).
+    pub fn new(op: K, inputs: Vec<Arc<Edge<K::In>>>) -> Self {
+        let open_ports = vec![true; inputs.len()];
+        SinkNode {
+            op,
+            inputs,
+            open_ports,
+        }
+    }
+}
+
+impl<K: SinkOp> Runnable for SinkNode<K> {
+    fn step(&mut self, budget: usize) -> StepReport {
+        let mut report = StepReport::default();
+        for _ in 0..budget {
+            let Some(port) = earliest_port(&self.inputs) else {
+                break;
+            };
+            let Some((_, msg)) = self.inputs[port].pop() else {
+                break;
+            };
+            report.consumed += 1;
+            if matches!(msg, Message::Close) {
+                self.open_ports[port] = false;
+            }
+            self.op.on_message(port, msg);
+        }
+        report
+    }
+
+    fn queued(&self) -> usize {
+        self.inputs.iter().map(|e| e.len()).sum()
+    }
+
+    fn oldest_pending_seq(&self) -> Option<u64> {
+        self.inputs.iter().filter_map(|e| e.head_seq()).min()
+    }
+
+    fn is_finished(&self) -> bool {
+        self.open_ports.iter().all(|o| !o) && self.queued() == 0
+    }
+
+    fn memory(&self) -> usize {
+        0
+    }
+
+    fn shed(&mut self, _target: usize) -> usize {
+        0
+    }
+}

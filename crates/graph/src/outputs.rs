@@ -1,0 +1,237 @@
+//! The publishing side of a node: its set of subscribed edges.
+
+use crate::edge::{Edge, EdgeId};
+use crate::operator::Collector;
+use parking_lot::RwLock;
+use pipes_time::{Element, Message, Timestamp};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The output port of a node: publishes messages to all subscribed edges.
+///
+/// Subscriptions may be added and removed at runtime. A subscriber that
+/// attaches after the stream closed immediately receives `Close`; one that
+/// attaches mid-stream is primed with the last published heartbeat so its
+/// consumer knows the temporal progress already made.
+pub struct Outputs<T> {
+    subs: RwLock<Vec<Arc<Edge<T>>>>,
+    seq: Arc<AtomicU64>,
+    last_heartbeat: AtomicU64,
+    closed: AtomicBool,
+}
+
+impl<T: Clone> Outputs<T> {
+    /// Creates an output port drawing arrival sequence numbers from `seq`.
+    pub fn new(seq: Arc<AtomicU64>) -> Self {
+        Outputs {
+            subs: RwLock::new(Vec::new()),
+            seq,
+            last_heartbeat: AtomicU64::new(0),
+            closed: AtomicBool::new(false),
+        }
+    }
+
+    /// Attaches a subscriber edge.
+    pub fn subscribe(&self, edge: Arc<Edge<T>>) {
+        let wm = self.last_heartbeat.load(Ordering::Relaxed);
+        if wm > 0 {
+            edge.push(
+                self.seq.fetch_add(1, Ordering::Relaxed),
+                Message::Heartbeat(Timestamp::new(wm)),
+            );
+        }
+        if self.closed.load(Ordering::Relaxed) {
+            edge.push(self.seq.fetch_add(1, Ordering::Relaxed), Message::Close);
+        }
+        self.subs.write().push(edge);
+    }
+
+    /// Detaches the subscriber edge with the given id; returns whether it
+    /// was attached.
+    pub fn unsubscribe(&self, id: EdgeId) -> bool {
+        let mut subs = self.subs.write();
+        let before = subs.len();
+        subs.retain(|e| e.id() != id);
+        subs.len() != before
+    }
+
+    /// Number of currently subscribed edges.
+    pub fn subscriber_count(&self) -> usize {
+        self.subs.read().len()
+    }
+
+    /// Publishes a data element to every subscriber.
+    pub fn publish_element(&self, e: Element<T>) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        let subs = self.subs.read();
+        match subs.split_last() {
+            None => {}
+            Some((last, rest)) => {
+                for edge in rest {
+                    edge.push(seq, Message::Element(e.clone()));
+                }
+                last.push(seq, Message::Element(e));
+            }
+        }
+    }
+
+    /// Publishes a heartbeat, suppressing non-monotonic duplicates.
+    pub fn publish_heartbeat(&self, t: Timestamp) {
+        let prev = self.last_heartbeat.fetch_max(t.ticks(), Ordering::Relaxed);
+        if t.ticks() <= prev {
+            return; // stale or duplicate punctuation: suppress
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        for edge in self.subs.read().iter() {
+            edge.push(seq, Message::Heartbeat(t));
+        }
+    }
+
+    /// Publishes end-of-stream (idempotent).
+    pub fn publish_close(&self) {
+        if self.closed.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        for edge in self.subs.read().iter() {
+            edge.push(seq, Message::Close);
+        }
+    }
+
+    /// Whether `Close` has been published.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::Relaxed)
+    }
+}
+
+/// Type-erased view of an output port, used by the graph for bookkeeping
+/// that must not know the payload type (unsubscription, fan-out counting).
+pub trait OutputPort: Send + Sync {
+    /// Detaches the edge with the given id.
+    fn detach(&self, id: EdgeId) -> bool;
+    /// Number of subscribed edges.
+    fn subscriber_count(&self) -> usize;
+}
+
+impl<T: Clone + Send + 'static> OutputPort for Outputs<T> {
+    fn detach(&self, id: EdgeId) -> bool {
+        self.unsubscribe(id)
+    }
+    fn subscriber_count(&self) -> usize {
+        Outputs::subscriber_count(self)
+    }
+}
+
+/// A [`Collector`] that publishes into an [`Outputs`] and counts produced
+/// elements into node statistics.
+pub struct PublishCollector<'a, T> {
+    outputs: &'a Outputs<T>,
+    produced: usize,
+}
+
+impl<'a, T: Clone> PublishCollector<'a, T> {
+    /// Creates a collector publishing to `outputs`.
+    pub fn new(outputs: &'a Outputs<T>) -> Self {
+        PublishCollector {
+            outputs,
+            produced: 0,
+        }
+    }
+
+    /// Elements published through this collector so far.
+    pub fn produced(&self) -> usize {
+        self.produced
+    }
+}
+
+impl<T: Clone> Collector<T> for PublishCollector<'_, T> {
+    fn element(&mut self, e: Element<T>) {
+        self.produced += 1;
+        self.outputs.publish_element(e);
+    }
+    fn heartbeat(&mut self, t: Timestamp) {
+        self.outputs.publish_heartbeat(t);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_time::Element;
+
+    fn outputs() -> Outputs<i32> {
+        Outputs::new(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[test]
+    fn fan_out_clones_to_all_subscribers() {
+        let out = outputs();
+        let e1 = Arc::new(Edge::new(1));
+        let e2 = Arc::new(Edge::new(2));
+        out.subscribe(Arc::clone(&e1));
+        out.subscribe(Arc::clone(&e2));
+        assert_eq!(out.subscriber_count(), 2);
+        out.publish_element(Element::at(5, Timestamp::new(1)));
+        assert_eq!(e1.len(), 1);
+        assert_eq!(e2.len(), 1);
+        // Both copies carry the same arrival sequence.
+        assert_eq!(e1.pop().unwrap().0, e2.pop().unwrap().0);
+    }
+
+    #[test]
+    fn heartbeat_deduplication() {
+        let out = outputs();
+        let e = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&e));
+        out.publish_heartbeat(Timestamp::new(5));
+        out.publish_heartbeat(Timestamp::new(5)); // duplicate: suppressed
+        out.publish_heartbeat(Timestamp::new(3)); // stale: suppressed
+        out.publish_heartbeat(Timestamp::new(8));
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn close_is_idempotent_and_primes_late_subscribers() {
+        let out = outputs();
+        let early = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&early));
+        out.publish_heartbeat(Timestamp::new(9));
+        out.publish_close();
+        out.publish_close();
+        assert_eq!(early.len(), 2); // heartbeat + one close
+        assert!(out.is_closed());
+
+        let late = Arc::new(Edge::new(2));
+        out.subscribe(Arc::clone(&late));
+        // Late subscriber is primed with progress and the close.
+        assert_eq!(
+            late.pop().unwrap().1,
+            Message::Heartbeat(Timestamp::new(9))
+        );
+        assert_eq!(late.pop().unwrap().1, Message::Close);
+    }
+
+    #[test]
+    fn unsubscribe_detaches() {
+        let out = outputs();
+        let e = Arc::new(Edge::new(4));
+        out.subscribe(Arc::clone(&e));
+        assert!(out.unsubscribe(4));
+        assert!(!out.unsubscribe(4));
+        out.publish_element(Element::at(1, Timestamp::new(0)));
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn publish_collector_counts() {
+        let out = outputs();
+        let e = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&e));
+        let mut c = PublishCollector::new(&out);
+        c.element(Element::at(1, Timestamp::new(0)));
+        c.element(Element::at(2, Timestamp::new(1)));
+        c.heartbeat(Timestamp::new(2));
+        assert_eq!(c.produced(), 2);
+        assert_eq!(e.len(), 3);
+    }
+}

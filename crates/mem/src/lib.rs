@@ -1,0 +1,293 @@
+//! # pipes-mem
+//!
+//! The adaptive memory-management framework of PIPES.
+//!
+//! Operators that require state — joins, aggregates, windows — are
+//! *subscribed* to a [`MemoryManager`], which globally assigns and
+//! redistributes an overall memory budget at runtime according to an
+//! exchangeable [`AssignmentStrategy`]. When an operator exceeds its
+//! assignment, the manager invokes the operator's load-shedding hook
+//! (`Operator::shed` / `BinaryOperator::shed`), trading exact answers for
+//! bounded memory — the "approximate query answers" degradation path the
+//! paper describes.
+//!
+//! Memory is accounted in *retained elements* (the natural unit of the
+//! toolkit's state structures); callers can convert to bytes with their own
+//! per-element estimates.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pipes_graph::{NodeId, QueryGraph};
+use std::collections::HashMap;
+
+/// How the global budget is split across subscribed operators.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AssignmentStrategy {
+    /// Every subscriber gets the same share.
+    Uniform,
+    /// Shares proportional to current usage (established consumers keep
+    /// their working set; good steady-state default).
+    ProportionalToUsage,
+    /// Shares proportional to observed input counts (fast streams get more
+    /// state, per the rate-adaptivity argument of the paper).
+    ProportionalToRate,
+    /// Fixed relative weights per node; unlisted nodes get weight 1.
+    Weighted(Vec<(NodeId, f64)>),
+}
+
+/// One rebalancing round's outcome.
+#[derive(Clone, Debug, Default)]
+pub struct MemoryReport {
+    /// Total retained elements before enforcement.
+    pub usage_before: usize,
+    /// Total retained elements after enforcement.
+    pub usage_after: usize,
+    /// Per-node `(assigned budget, usage after)` in subscription order.
+    pub per_node: Vec<(NodeId, usize, usize)>,
+    /// Elements shed in this round.
+    pub shed: usize,
+}
+
+/// Globally assigns and redistributes memory across subscribed operators.
+pub struct MemoryManager {
+    budget: usize,
+    strategy: AssignmentStrategy,
+    subscribers: Vec<NodeId>,
+}
+
+impl MemoryManager {
+    /// Creates a manager with a total budget of `budget` retained elements.
+    pub fn new(budget: usize, strategy: AssignmentStrategy) -> Self {
+        MemoryManager {
+            budget,
+            strategy,
+            subscribers: Vec::new(),
+        }
+    }
+
+    /// Subscribes an operator node. Idempotent.
+    pub fn subscribe(&mut self, node: NodeId) {
+        if !self.subscribers.contains(&node) {
+            self.subscribers.push(node);
+        }
+    }
+
+    /// Unsubscribes an operator node.
+    pub fn unsubscribe(&mut self, node: NodeId) {
+        self.subscribers.retain(|&n| n != node);
+    }
+
+    /// Currently subscribed nodes.
+    pub fn subscribers(&self) -> &[NodeId] {
+        &self.subscribers
+    }
+
+    /// The total budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Changes the total budget at runtime (e.g. in reaction to system
+    /// load); the next [`MemoryManager::rebalance`] enforces it.
+    pub fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
+    /// Replaces the assignment strategy at runtime.
+    pub fn set_strategy(&mut self, strategy: AssignmentStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// Computes each subscriber's assignment under the current strategy.
+    pub fn assignments(&self, graph: &QueryGraph) -> Vec<(NodeId, usize)> {
+        let n = self.subscribers.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let weights: Vec<f64> = match &self.strategy {
+            AssignmentStrategy::Uniform => vec![1.0; n],
+            AssignmentStrategy::ProportionalToUsage => self
+                .subscribers
+                .iter()
+                .map(|&id| graph.memory(id) as f64 + 1.0)
+                .collect(),
+            AssignmentStrategy::ProportionalToRate => self
+                .subscribers
+                .iter()
+                .map(|&id| graph.stats(id).snapshot().in_count as f64 + 1.0)
+                .collect(),
+            AssignmentStrategy::Weighted(list) => {
+                let map: HashMap<NodeId, f64> = list.iter().copied().collect();
+                self.subscribers
+                    .iter()
+                    .map(|id| map.get(id).copied().unwrap_or(1.0).max(0.0))
+                    .collect()
+            }
+        };
+        let total: f64 = weights.iter().sum::<f64>().max(1e-9);
+        self.subscribers
+            .iter()
+            .zip(&weights)
+            .map(|(&id, w)| (id, ((w / total) * self.budget as f64).floor() as usize))
+            .collect()
+    }
+
+    /// One management round: recompute assignments and shed every
+    /// over-budget subscriber down to its share.
+    pub fn rebalance(&self, graph: &QueryGraph) -> MemoryReport {
+        let mut report = MemoryReport::default();
+        let assignments = self.assignments(graph);
+        for &(id, _) in &assignments {
+            report.usage_before += graph.memory(id);
+        }
+        for (id, assigned) in assignments {
+            let usage = graph.memory(id);
+            let after = if usage > assigned {
+                graph.shed(id, assigned)
+            } else {
+                usage
+            };
+            report.shed += usage.saturating_sub(after);
+            report.usage_after += after;
+            report.per_node.push((id, assigned, after));
+        }
+        report
+    }
+
+    /// Convenience check: total subscriber usage against the budget.
+    pub fn over_budget(&self, graph: &QueryGraph) -> bool {
+        let usage: usize = self.subscribers.iter().map(|&id| graph.memory(id)).sum();
+        usage > self.budget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_graph::io::{CollectSink, VecSource};
+    use pipes_ops::RippleJoin;
+    use pipes_time::{Element, TimeInterval, Timestamp};
+
+    fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+        Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+    }
+
+    /// A graph with two joins of different state sizes.
+    fn join_graph() -> (QueryGraph, NodeId, NodeId) {
+        let g = QueryGraph::new();
+        // Long-lived elements; no heartbeat can purge them early because the
+        // opposing side's watermark trails.
+        let left: Vec<Element<i64>> = (0..100i64).map(|i| el(i % 10, i as u64, i as u64 + 200)).collect();
+        let right: Vec<Element<i64>> = (0..100i64).map(|i| el(i % 10, i as u64, i as u64 + 200)).collect();
+        let l = g.add_source("l", VecSource::new(left.clone()));
+        let r = g.add_source("r", VecSource::new(right.clone()));
+        let j1 = g.add_binary(
+            "join1",
+            RippleJoin::equi(|x: &i64| *x, |y: &i64| *y, |x, y| (*x, *y)),
+            &l,
+            &r,
+        );
+        let l2 = g.add_source("l2", VecSource::new(left));
+        let r2 = g.add_source("r2", VecSource::new(right));
+        let j2 = g.add_binary(
+            "join2",
+            RippleJoin::equi(|x: &i64| *x, |y: &i64| *y, |x, y| (*x, *y)),
+            &l2,
+            &r2,
+        );
+        let (s1, _) = CollectSink::new();
+        let (s2, _) = CollectSink::new();
+        g.add_sink("sink1", s1, &j1);
+        g.add_sink("sink2", s2, &j2);
+        (g, j1.node(), j2.node())
+    }
+
+    fn fill(g: &QueryGraph) {
+        // Run sources and joins a while to accumulate state, without closing.
+        for _ in 0..20 {
+            for id in 0..g.len() {
+                g.step_node(id, 8);
+            }
+        }
+    }
+
+    #[test]
+    fn subscribe_unsubscribe() {
+        let (_, j1, j2) = join_graph();
+        let mut mgr = MemoryManager::new(100, AssignmentStrategy::Uniform);
+        mgr.subscribe(j1);
+        mgr.subscribe(j1);
+        mgr.subscribe(j2);
+        assert_eq!(mgr.subscribers(), &[j1, j2]);
+        mgr.unsubscribe(j1);
+        assert_eq!(mgr.subscribers(), &[j2]);
+    }
+
+    #[test]
+    fn uniform_assignment_splits_evenly() {
+        let (g, j1, j2) = join_graph();
+        let mut mgr = MemoryManager::new(100, AssignmentStrategy::Uniform);
+        mgr.subscribe(j1);
+        mgr.subscribe(j2);
+        let a = mgr.assignments(&g);
+        assert_eq!(a, vec![(j1, 50), (j2, 50)]);
+    }
+
+    #[test]
+    fn rebalance_enforces_budget() {
+        let (g, j1, j2) = join_graph();
+        fill(&g);
+        let mut mgr = MemoryManager::new(40, AssignmentStrategy::Uniform);
+        mgr.subscribe(j1);
+        mgr.subscribe(j2);
+        assert!(mgr.over_budget(&g), "joins should have accumulated state");
+        let report = mgr.rebalance(&g);
+        assert!(report.usage_after <= 40, "usage {} > 40", report.usage_after);
+        assert!(report.shed > 0);
+        assert!(!mgr.over_budget(&g));
+    }
+
+    #[test]
+    fn proportional_strategy_preserves_big_users() {
+        let (g, j1, j2) = join_graph();
+        fill(&g);
+        // Artificially shrink join2 so usage differs.
+        g.shed(j2, 5);
+        let mut mgr = MemoryManager::new(60, AssignmentStrategy::ProportionalToUsage);
+        mgr.subscribe(j1);
+        mgr.subscribe(j2);
+        let a = mgr.assignments(&g);
+        assert!(a[0].1 > a[1].1, "bigger user should get the bigger share: {a:?}");
+    }
+
+    #[test]
+    fn weighted_strategy_and_runtime_budget_change() {
+        let (g, j1, j2) = join_graph();
+        fill(&g);
+        let mut mgr = MemoryManager::new(
+            90,
+            AssignmentStrategy::Weighted(vec![(j1, 2.0), (j2, 1.0)]),
+        );
+        mgr.subscribe(j1);
+        mgr.subscribe(j2);
+        let a = mgr.assignments(&g);
+        assert_eq!(a[0].1, 60);
+        assert_eq!(a[1].1, 30);
+
+        mgr.set_budget(30);
+        mgr.set_strategy(AssignmentStrategy::Uniform);
+        let report = mgr.rebalance(&g);
+        assert!(report.usage_after <= 30);
+    }
+
+    #[test]
+    fn rebalance_is_noop_under_budget() {
+        let (g, j1, _) = join_graph();
+        let mut mgr = MemoryManager::new(1_000_000, AssignmentStrategy::Uniform);
+        mgr.subscribe(j1);
+        let report = mgr.rebalance(&g);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.usage_before, report.usage_after);
+    }
+}

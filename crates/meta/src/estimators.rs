@@ -1,0 +1,521 @@
+//! Iteratively computed inferential estimators (online aggregation package).
+//!
+//! Every estimator here is *incremental*: it consumes one observation at a
+//! time in O(1) (amortized) and can report its current estimate at any point.
+//! This mirrors the online-aggregation style of Haas/Hellerstein that the
+//! PIPES metadata framework builds on, and makes the package usable from both
+//! demand-driven (cursor) and data-driven (stream) processing.
+
+use rand::Rng;
+
+/// Welford's numerically stable running mean and variance.
+#[derive(Clone, Debug, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (0 with fewer than two observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (Bessel-corrected; 0 with fewer than two observations).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Merges another accumulator into this one (parallel Welford).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// Exponentially weighted moving average.
+#[derive(Clone, Debug)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` ∈ (0, 1]; larger alpha
+    /// weights recent observations more.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha <= 1`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        Ewma { alpha, value: None }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.value = Some(match self.value {
+            None => x,
+            Some(v) => v + self.alpha * (x - v),
+        });
+    }
+
+    /// Current smoothed value (0 when empty).
+    pub fn value(&self) -> f64 {
+        self.value.unwrap_or(0.0)
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Running minimum and maximum.
+#[derive(Clone, Debug, Default)]
+pub struct MinMax {
+    min: Option<f64>,
+    max: Option<f64>,
+}
+
+impl MinMax {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.min = Some(self.min.map_or(x, |m| m.min(x)));
+        self.max = Some(self.max.map_or(x, |m| m.max(x)));
+    }
+
+    /// Smallest observation (NaN when empty).
+    pub fn min(&self) -> f64 {
+        self.min.unwrap_or(f64::NAN)
+    }
+
+    /// Largest observation (NaN when empty).
+    pub fn max(&self) -> f64 {
+        self.max.unwrap_or(f64::NAN)
+    }
+
+    /// Resets to empty.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+}
+
+/// The P² algorithm (Jain & Chlamtac): a single-quantile estimator in O(1)
+/// space, without storing observations.
+#[derive(Clone, Debug)]
+pub struct P2Quantile {
+    p: f64,
+    /// Marker heights.
+    q: [f64; 5],
+    /// Marker positions (1-based).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Position increments.
+    dn: [f64; 5],
+    count: u64,
+    init: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for the `p`-quantile, `p` ∈ (0, 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn new(p: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            p,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * p, 1.0 + 4.0 * p, 3.0 + 2.0 * p, 5.0],
+            dn: [0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0],
+            count: 0,
+            init: Vec::with_capacity(5),
+        }
+    }
+
+    /// Adds one observation.
+    pub fn observe(&mut self, x: f64) {
+        self.count += 1;
+        if self.init.len() < 5 {
+            self.init.push(x);
+            if self.init.len() == 5 {
+                self.init.sort_by(|a, b| a.partial_cmp(b).unwrap());
+                for i in 0..5 {
+                    self.q[i] = self.init[i];
+                }
+            }
+            return;
+        }
+
+        // Find the cell containing x and adjust extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.q[i] <= x && x < self.q[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for item in self.n.iter_mut().skip(k + 1) {
+            *item += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Adjust interior markers with the piecewise-parabolic formula.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let qp = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < qp && qp < self.q[i + 1] {
+                    qp
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.q;
+        let n = &self.n;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current quantile estimate. With fewer than five observations this is
+    /// the exact quantile of what has been seen (NaN when empty).
+    pub fn value(&self) -> f64 {
+        if self.init.len() < 5 {
+            if self.init.is_empty() {
+                return f64::NAN;
+            }
+            let mut sorted = self.init.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let idx = ((sorted.len() - 1) as f64 * self.p).round() as usize;
+            return sorted[idx];
+        }
+        self.q[2]
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+}
+
+/// Uniform reservoir sample of a stream (Vitter's algorithm R).
+#[derive(Clone, Debug)]
+pub struct Reservoir<T> {
+    capacity: usize,
+    seen: u64,
+    sample: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// Creates a reservoir holding at most `capacity` items.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "reservoir capacity must be positive");
+        Reservoir {
+            capacity,
+            seen: 0,
+            sample: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Offers one item to the reservoir.
+    pub fn observe<R: Rng>(&mut self, item: T, rng: &mut R) {
+        self.seen += 1;
+        if self.sample.len() < self.capacity {
+            self.sample.push(item);
+        } else {
+            let j = rng.gen_range(0..self.seen);
+            if (j as usize) < self.capacity {
+                self.sample[j as usize] = item;
+            }
+        }
+    }
+
+    /// The current sample.
+    pub fn sample(&self) -> &[T] {
+        &self.sample
+    }
+
+    /// Total items offered so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+/// A windowed event-rate estimator: events per second over a sliding window
+/// of wall-clock time.
+#[derive(Clone, Debug)]
+pub struct RateEstimator {
+    window_secs: f64,
+    events: std::collections::VecDeque<(f64, u64)>,
+    total_in_window: u64,
+}
+
+impl RateEstimator {
+    /// Creates an estimator over a sliding window of `window_secs` seconds.
+    pub fn new(window_secs: f64) -> Self {
+        RateEstimator {
+            window_secs: window_secs.max(1e-6),
+            events: std::collections::VecDeque::new(),
+            total_in_window: 0,
+        }
+    }
+
+    /// Records `n` events at time `now` (seconds, monotonically increasing).
+    pub fn record(&mut self, now: f64, n: u64) {
+        self.events.push_back((now, n));
+        self.total_in_window += n;
+        self.evict(now);
+    }
+
+    fn evict(&mut self, now: f64) {
+        while let Some(&(t, n)) = self.events.front() {
+            if now - t > self.window_secs {
+                self.events.pop_front();
+                self.total_in_window -= n;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Events per second over the window ending at `now`.
+    pub fn rate(&mut self, now: f64) -> f64 {
+        self.evict(now);
+        self.total_in_window as f64 / self.window_secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn welford_matches_naive() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &x in &xs {
+            w.observe(x);
+        }
+        assert_eq!(w.count(), 8);
+        assert!((w.mean() - 5.0).abs() < 1e-12);
+        assert!((w.variance() - 4.0).abs() < 1e-12);
+        assert!((w.std_dev() - 2.0).abs() < 1e-12);
+        let naive_sample_var = xs.iter().map(|x| (x - 5.0_f64).powi(2)).sum::<f64>() / 7.0;
+        assert!((w.sample_variance() - naive_sample_var).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.observe(x);
+        }
+        let mut a = Welford::new();
+        let mut b = Welford::new();
+        for &x in &xs[..37] {
+            a.observe(x);
+        }
+        for &x in &xs[37..] {
+            b.observe(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        // Merging into an empty accumulator copies.
+        let mut empty = Welford::new();
+        empty.merge(&whole);
+        assert!((empty.mean() - whole.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges() {
+        let mut e = Ewma::new(0.5);
+        assert_eq!(e.value(), 0.0);
+        e.observe(10.0);
+        assert_eq!(e.value(), 10.0); // first observation seeds
+        for _ in 0..50 {
+            e.observe(20.0);
+        }
+        assert!((e.value() - 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn minmax_tracks_extremes() {
+        let mut m = MinMax::new();
+        assert!(m.min().is_nan());
+        for x in [3.0, -1.0, 7.0, 2.0] {
+            m.observe(x);
+        }
+        assert_eq!(m.min(), -1.0);
+        assert_eq!(m.max(), 7.0);
+    }
+
+    #[test]
+    fn p2_quantile_close_to_exact_on_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut p2 = P2Quantile::new(0.5);
+        let mut all = Vec::new();
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen_range(0.0..100.0);
+            p2.observe(x);
+            all.push(x);
+        }
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let exact = all[all.len() / 2];
+        assert!(
+            (p2.value() - exact).abs() < 2.0,
+            "p2={} exact={}",
+            p2.value(),
+            exact
+        );
+    }
+
+    #[test]
+    fn p2_small_counts_are_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert!(p2.value().is_nan());
+        for x in [5.0, 1.0, 3.0] {
+            p2.observe(x);
+        }
+        assert_eq!(p2.value(), 3.0);
+    }
+
+    #[test]
+    fn p2_tail_quantile() {
+        let mut p2 = P2Quantile::new(0.95);
+        for i in 0..10_000 {
+            p2.observe(i as f64);
+        }
+        // exact p95 = 9499
+        assert!((p2.value() - 9499.0).abs() < 300.0, "p95={}", p2.value());
+    }
+
+    #[test]
+    fn reservoir_is_uniformish() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut r = Reservoir::new(100);
+        for i in 0..10_000u64 {
+            r.observe(i, &mut rng);
+        }
+        assert_eq!(r.sample().len(), 100);
+        assert_eq!(r.seen(), 10_000);
+        // Mean of a uniform sample of 0..10000 should be near 5000.
+        let mean = r.sample().iter().sum::<u64>() as f64 / 100.0;
+        assert!((mean - 5000.0).abs() < 1200.0, "mean={mean}");
+    }
+
+    #[test]
+    fn rate_estimator_windows() {
+        let mut r = RateEstimator::new(2.0);
+        r.record(0.0, 10);
+        r.record(1.0, 10);
+        assert!((r.rate(1.0) - 10.0).abs() < 1e-9); // 20 events / 2s
+        // After the first batch leaves the window:
+        assert!((r.rate(2.5) - 5.0).abs() < 1e-9); // 10 events / 2s
+        assert!((r.rate(10.0) - 0.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,36 @@
+//! # pipes-meta
+//!
+//! The *secondary metadata* framework of PIPES.
+//!
+//! During runtime, each node of a query graph collects secondary metadata —
+//! "a kind of synopses, represented by iteratively computed inferential
+//! estimators similar to online aggregation" (PIPES, SIGMOD 2004): stream
+//! rates, selectivity, memory size, and averages/variances thereof. Runtime
+//! components (scheduler, memory manager, optimizer) are parameterized by
+//! strategies that consume this metadata.
+//!
+//! This crate provides:
+//!
+//! * [`estimators`] — a package of iteratively computed online estimators
+//!   (Welford mean/variance, EWMA, min/max, P² quantiles, reservoir samples).
+//!   These are *processing-style agnostic*: the same estimators back the
+//!   demand-driven cursor aggregates of `pipes-cursor` and the data-driven
+//!   stream aggregates of `pipes-ops` (the paper's code-reusability claim).
+//! * [`NodeStats`] — cheap, always-on per-node counters (atomics).
+//! * [`MetricSet`] / [`MetadataFactory`] — the configurable decorator that
+//!   attaches a chosen composition of estimators to a node; the composition
+//!   can be altered at runtime.
+//! * [`Monitor`] — the performance-monitoring tool: samples registered nodes
+//!   into time series and renders them (ASCII sparklines, CSV).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod estimators;
+mod metrics;
+mod monitor;
+mod stats;
+
+pub use metrics::{EstimatorSpec, MetadataFactory, MetricSet, OnlineEstimator};
+pub use monitor::{Monitor, SeriesView, TimeSeries};
+pub use stats::{NodeStats, StatsSnapshot};

@@ -1,0 +1,268 @@
+//! Runtime-composable metric sets and the metadata decorator factory.
+
+use crate::estimators::{Ewma, MinMax, P2Quantile, Welford};
+use std::collections::BTreeMap;
+
+/// A named online estimator that consumes scalar observations.
+///
+/// This is the dynamically-typed face of the [`crate::estimators`] package,
+/// used where the *composition* of metadata must be configurable and
+/// alterable at runtime (the paper's "configurable factory that decorates
+/// arbitrary nodes in a query graph with the desired metadata information").
+pub trait OnlineEstimator: Send {
+    /// Feeds one observation.
+    fn observe(&mut self, x: f64);
+    /// The current primary estimate.
+    fn value(&self) -> f64;
+    /// Resets to the empty state.
+    fn reset(&mut self);
+}
+
+impl OnlineEstimator for Welford {
+    fn observe(&mut self, x: f64) {
+        Welford::observe(self, x)
+    }
+    fn value(&self) -> f64 {
+        self.mean()
+    }
+    fn reset(&mut self) {
+        Welford::reset(self)
+    }
+}
+
+impl OnlineEstimator for Ewma {
+    fn observe(&mut self, x: f64) {
+        Ewma::observe(self, x)
+    }
+    fn value(&self) -> f64 {
+        Ewma::value(self)
+    }
+    fn reset(&mut self) {
+        Ewma::reset(self)
+    }
+}
+
+impl OnlineEstimator for MinMax {
+    fn observe(&mut self, x: f64) {
+        MinMax::observe(self, x)
+    }
+    fn value(&self) -> f64 {
+        self.max()
+    }
+    fn reset(&mut self) {
+        MinMax::reset(self)
+    }
+}
+
+impl OnlineEstimator for P2Quantile {
+    fn observe(&mut self, x: f64) {
+        P2Quantile::observe(self, x)
+    }
+    fn value(&self) -> f64 {
+        P2Quantile::value(self)
+    }
+    fn reset(&mut self) {
+        // P² has no cheap reset; rebuild at the same quantile.
+        *self = P2Quantile::new(0.5);
+    }
+}
+
+/// A named collection of online estimators attached to one node.
+///
+/// The set is composable at runtime: estimators can be attached and detached
+/// while the node keeps processing.
+#[derive(Default)]
+pub struct MetricSet {
+    metrics: BTreeMap<String, Box<dyn OnlineEstimator>>,
+}
+
+impl MetricSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attaches (or replaces) an estimator under `name`.
+    pub fn attach(&mut self, name: impl Into<String>, est: Box<dyn OnlineEstimator>) {
+        self.metrics.insert(name.into(), est);
+    }
+
+    /// Detaches the estimator under `name`, returning whether it existed.
+    pub fn detach(&mut self, name: &str) -> bool {
+        self.metrics.remove(name).is_some()
+    }
+
+    /// Feeds an observation to the estimator under `name`, if attached.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        if let Some(m) = self.metrics.get_mut(name) {
+            m.observe(x);
+        }
+    }
+
+    /// The current value of the estimator under `name`.
+    pub fn value(&self, name: &str) -> Option<f64> {
+        self.metrics.get(name).map(|m| m.value())
+    }
+
+    /// Names of all attached estimators.
+    pub fn names(&self) -> Vec<&str> {
+        self.metrics.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of attached estimators.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+}
+
+impl std::fmt::Debug for MetricSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut map = f.debug_map();
+        for (k, v) in &self.metrics {
+            map.entry(k, &v.value());
+        }
+        map.finish()
+    }
+}
+
+/// Which estimator a [`MetadataFactory`] attaches for a metric name.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EstimatorSpec {
+    /// Running mean and variance (Welford).
+    MeanVar,
+    /// Exponentially weighted moving average with the given alpha.
+    Ewma(f64),
+    /// Running min/max.
+    MinMax,
+    /// A P² quantile estimator for the given quantile.
+    Quantile(f64),
+}
+
+impl EstimatorSpec {
+    /// Instantiates the estimator.
+    pub fn build(&self) -> Box<dyn OnlineEstimator> {
+        match self {
+            EstimatorSpec::MeanVar => Box::new(Welford::new()),
+            EstimatorSpec::Ewma(a) => Box::new(Ewma::new(*a)),
+            EstimatorSpec::MinMax => Box::new(MinMax::new()),
+            EstimatorSpec::Quantile(p) => Box::new(P2Quantile::new(*p)),
+        }
+    }
+}
+
+/// The configurable decorator factory: a reusable recipe describing which
+/// metadata to attach to a node.
+///
+/// An administrator builds a factory once ("input rate as EWMA, selectivity
+/// as mean/variance, latency p95") and applies it to any number of nodes;
+/// applying it again after changing the recipe alters the composition at
+/// runtime.
+#[derive(Clone, Debug, Default)]
+pub struct MetadataFactory {
+    specs: Vec<(String, EstimatorSpec)>,
+}
+
+impl MetadataFactory {
+    /// Creates an empty factory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a metric to the recipe (builder style).
+    pub fn with(mut self, name: impl Into<String>, spec: EstimatorSpec) -> Self {
+        self.specs.push((name.into(), spec));
+        self
+    }
+
+    /// Removes a metric from the recipe.
+    pub fn without(mut self, name: &str) -> Self {
+        self.specs.retain(|(n, _)| n != name);
+        self
+    }
+
+    /// Decorates `set` with the recipe: attaches every configured estimator
+    /// and detaches estimators no longer in the recipe.
+    pub fn apply(&self, set: &mut MetricSet) {
+        let keep: Vec<String> = self.specs.iter().map(|(n, _)| n.clone()).collect();
+        let existing: Vec<String> = set.names().iter().map(|s| s.to_string()).collect();
+        for name in existing {
+            if !keep.contains(&name) {
+                set.detach(&name);
+            }
+        }
+        for (name, spec) in &self.specs {
+            if set.value(name).is_none() {
+                set.attach(name.clone(), spec.build());
+            }
+        }
+    }
+
+    /// The configured metric names.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metric_set_attach_observe_detach() {
+        let mut set = MetricSet::new();
+        assert!(set.is_empty());
+        set.attach("sel", Box::new(Welford::new()));
+        set.observe("sel", 0.2);
+        set.observe("sel", 0.4);
+        assert!((set.value("sel").unwrap() - 0.3).abs() < 1e-12);
+        // Observations to unattached metrics are ignored, not errors.
+        set.observe("nope", 1.0);
+        assert_eq!(set.value("nope"), None);
+        assert!(set.detach("sel"));
+        assert!(!set.detach("sel"));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn factory_applies_and_reconfigures() {
+        let factory = MetadataFactory::new()
+            .with("rate", EstimatorSpec::Ewma(0.3))
+            .with("sel", EstimatorSpec::MeanVar)
+            .with("lat_p95", EstimatorSpec::Quantile(0.95));
+        let mut set = MetricSet::new();
+        factory.apply(&mut set);
+        assert_eq!(set.names(), vec!["lat_p95", "rate", "sel"]);
+
+        set.observe("sel", 0.5);
+        // Reconfigure at runtime: drop selectivity, keep the rest.
+        let factory2 = factory.without("sel");
+        factory2.apply(&mut set);
+        assert_eq!(set.names(), vec!["lat_p95", "rate"]);
+
+        // Re-applying is idempotent and keeps accumulated state.
+        set.observe("rate", 10.0);
+        factory2.apply(&mut set);
+        assert_eq!(set.value("rate"), Some(10.0));
+    }
+
+    #[test]
+    fn estimator_specs_build() {
+        for spec in [
+            EstimatorSpec::MeanVar,
+            EstimatorSpec::Ewma(0.5),
+            EstimatorSpec::MinMax,
+            EstimatorSpec::Quantile(0.9),
+        ] {
+            let mut est = spec.build();
+            est.observe(1.0);
+            est.observe(2.0);
+            assert!(est.value().is_finite());
+            est.reset();
+        }
+    }
+}

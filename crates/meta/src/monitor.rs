@@ -1,0 +1,363 @@
+//! The performance-monitoring tool.
+//!
+//! Reproduces the functionality of the PIPES performance monitor (Figure 3 of
+//! the demo paper): register arbitrary nodes, sample their secondary metadata
+//! periodically, and visualize the resulting time series — here as ASCII
+//! sparklines and CSV rather than a Swing window.
+
+use crate::{NodeStats, StatsSnapshot};
+use parking_lot::Mutex;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A sampled metric series for one node.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    /// Sample times, in seconds since monitoring began.
+    pub times: Vec<f64>,
+    /// Snapshots taken at those times.
+    pub snapshots: Vec<StatsSnapshot>,
+}
+
+/// Which derived series to extract from a [`TimeSeries`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SeriesView {
+    /// Input rate in elements/second (differenced cumulative input count).
+    InputRate,
+    /// Output rate in elements/second.
+    OutputRate,
+    /// Instantaneous input-queue length.
+    QueueLen,
+    /// Instantaneous state memory (elements).
+    Memory,
+    /// Cumulative selectivity (out/in).
+    Selectivity,
+    /// Number of subscribed sinks.
+    Subscribers,
+}
+
+impl SeriesView {
+    /// Short label used in rendered output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SeriesView::InputRate => "in/s",
+            SeriesView::OutputRate => "out/s",
+            SeriesView::QueueLen => "queue",
+            SeriesView::Memory => "mem",
+            SeriesView::Selectivity => "sel",
+            SeriesView::Subscribers => "subs",
+        }
+    }
+}
+
+impl TimeSeries {
+    /// Extracts the requested derived series.
+    pub fn view(&self, view: SeriesView) -> Vec<f64> {
+        match view {
+            SeriesView::QueueLen => self.snapshots.iter().map(|s| s.queue_len as f64).collect(),
+            SeriesView::Memory => self.snapshots.iter().map(|s| s.memory as f64).collect(),
+            SeriesView::Subscribers => self
+                .snapshots
+                .iter()
+                .map(|s| s.subscribers as f64)
+                .collect(),
+            SeriesView::Selectivity => self
+                .snapshots
+                .iter()
+                .map(|s| s.selectivity().unwrap_or(0.0))
+                .collect(),
+            SeriesView::InputRate => self.rate(|s| s.in_count),
+            SeriesView::OutputRate => self.rate(|s| s.out_count),
+        }
+    }
+
+    fn rate(&self, f: impl Fn(&StatsSnapshot) -> u64) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.snapshots.len());
+        for i in 0..self.snapshots.len() {
+            if i == 0 {
+                out.push(0.0);
+            } else {
+                let dt = (self.times[i] - self.times[i - 1]).max(1e-9);
+                let dn = f(&self.snapshots[i]).saturating_sub(f(&self.snapshots[i - 1]));
+                out.push(dn as f64 / dt);
+            }
+        }
+        out
+    }
+}
+
+/// Samples registered nodes into per-node time series.
+pub struct Monitor {
+    started: Instant,
+    inner: Arc<MonitorInner>,
+}
+
+struct MonitorInner {
+    nodes: Mutex<Vec<Arc<NodeStats>>>,
+    series: Mutex<Vec<TimeSeries>>,
+    running: AtomicBool,
+}
+
+impl Default for Monitor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Monitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Monitor {
+            started: Instant::now(),
+            inner: Arc::new(MonitorInner {
+                nodes: Mutex::new(Vec::new()),
+                series: Mutex::new(Vec::new()),
+                running: AtomicBool::new(false),
+            }),
+        }
+    }
+
+    /// Registers a node for sampling. Nodes can be added while sampling runs.
+    pub fn register(&self, stats: Arc<NodeStats>) {
+        self.inner.nodes.lock().push(stats);
+        self.inner.series.lock().push(TimeSeries::default());
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.inner.nodes.lock().len()
+    }
+
+    /// Takes one sample of every registered node at the given logical time
+    /// (seconds). Deterministic entry point for tests and simulations.
+    pub fn sample_at(&self, t: f64) {
+        let nodes = self.inner.nodes.lock();
+        let mut series = self.inner.series.lock();
+        for (i, node) in nodes.iter().enumerate() {
+            series[i].times.push(t);
+            series[i].snapshots.push(node.snapshot());
+        }
+    }
+
+    /// Takes one sample stamped with wall-clock time since monitor creation.
+    pub fn sample(&self) {
+        self.sample_at(self.started.elapsed().as_secs_f64());
+    }
+
+    /// Spawns a background thread sampling every `interval`. Returns a
+    /// guard; dropping it (or calling its `stop` method) stops the thread.
+    pub fn spawn(&self, interval: std::time::Duration) -> MonitorGuard {
+        self.inner.running.store(true, Ordering::SeqCst);
+        let inner = Arc::clone(&self.inner);
+        let started = self.started;
+        let handle = std::thread::spawn(move || {
+            while inner.running.load(Ordering::SeqCst) {
+                let t = started.elapsed().as_secs_f64();
+                {
+                    let nodes = inner.nodes.lock();
+                    let mut series = inner.series.lock();
+                    for (i, node) in nodes.iter().enumerate() {
+                        series[i].times.push(t);
+                        series[i].snapshots.push(node.snapshot());
+                    }
+                }
+                std::thread::sleep(interval);
+            }
+        });
+        MonitorGuard {
+            inner: Arc::clone(&self.inner),
+            handle: Some(handle),
+        }
+    }
+
+    /// The collected series, one per registered node (same order as
+    /// registration).
+    pub fn series(&self) -> Vec<TimeSeries> {
+        self.inner.series.lock().clone()
+    }
+
+    /// Renders one sparkline per registered node for the given view.
+    pub fn render_sparklines(&self, view: SeriesView) -> String {
+        let nodes = self.inner.nodes.lock();
+        let series = self.inner.series.lock();
+        let mut out = String::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let values = series[i].view(view);
+            let _ = writeln!(
+                out,
+                "{:>20} {:>6} {} [min {:.1}, max {:.1}]",
+                node.name(),
+                view.label(),
+                sparkline(&values),
+                values.iter().cloned().fold(f64::INFINITY, f64::min),
+                values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+            );
+        }
+        out
+    }
+
+    /// Dumps all samples as CSV: `time,node,in,out,queue,mem,sel,subs`.
+    pub fn to_csv(&self) -> String {
+        let nodes = self.inner.nodes.lock();
+        let series = self.inner.series.lock();
+        let mut out = String::from("time,node,in_count,out_count,queue_len,memory,selectivity,subscribers\n");
+        for (i, node) in nodes.iter().enumerate() {
+            let name = node.name();
+            for (t, s) in series[i].times.iter().zip(&series[i].snapshots) {
+                let _ = writeln!(
+                    out,
+                    "{:.3},{},{},{},{},{},{:.4},{}",
+                    t,
+                    name,
+                    s.in_count,
+                    s.out_count,
+                    s.queue_len,
+                    s.memory,
+                    s.selectivity().unwrap_or(0.0),
+                    s.subscribers
+                );
+            }
+        }
+        out
+    }
+}
+
+/// Stops the background sampling thread when dropped.
+pub struct MonitorGuard {
+    inner: Arc<MonitorInner>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MonitorGuard {
+    /// Stops sampling and joins the thread.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.inner.running.store(false, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for MonitorGuard {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Renders values as a unicode sparkline.
+fn sparkline(values: &[f64]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    if values.is_empty() {
+        return String::new();
+    }
+    let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let span = (max - min).max(1e-12);
+    values
+        .iter()
+        .map(|v| {
+            let idx = (((v - min) / span) * 7.0).round() as usize;
+            BARS[idx.min(7)]
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampling_builds_series() {
+        let m = Monitor::new();
+        let stats = Arc::new(NodeStats::new("src"));
+        m.register(Arc::clone(&stats));
+
+        stats.record_in(100);
+        m.sample_at(1.0);
+        stats.record_in(300);
+        stats.set_queue_len(7);
+        m.sample_at(2.0);
+
+        let series = m.series();
+        assert_eq!(series.len(), 1);
+        let s = &series[0];
+        assert_eq!(s.times, vec![1.0, 2.0]);
+        assert_eq!(s.view(SeriesView::QueueLen), vec![0.0, 7.0]);
+        let rates = s.view(SeriesView::InputRate);
+        assert_eq!(rates[0], 0.0);
+        assert!((rates[1] - 300.0).abs() < 1e-9); // 300 new elements over 1s
+    }
+
+    #[test]
+    fn selectivity_series() {
+        let m = Monitor::new();
+        let stats = Arc::new(NodeStats::new("filter"));
+        m.register(Arc::clone(&stats));
+        stats.record_in(10);
+        stats.record_out(4);
+        m.sample_at(0.5);
+        let s = &m.series()[0];
+        let sel = s.view(SeriesView::Selectivity);
+        assert!((sel[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sparkline_shape() {
+        assert_eq!(sparkline(&[]), "");
+        let line = sparkline(&[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(line.chars().count(), 4);
+        let first = line.chars().next().unwrap();
+        let last = line.chars().last().unwrap();
+        assert_eq!(first, '▁');
+        assert_eq!(last, '█');
+        // Constant series renders at the floor, not NaN.
+        let flat = sparkline(&[5.0, 5.0]);
+        assert_eq!(flat, "▁▁");
+    }
+
+    #[test]
+    fn csv_contains_all_rows() {
+        let m = Monitor::new();
+        let a = Arc::new(NodeStats::new("a"));
+        let b = Arc::new(NodeStats::new("b"));
+        m.register(a);
+        m.register(b);
+        m.sample_at(0.0);
+        m.sample_at(1.0);
+        let csv = m.to_csv();
+        // header + 2 nodes * 2 samples
+        assert_eq!(csv.lines().count(), 5);
+        assert!(csv.lines().next().unwrap().starts_with("time,node"));
+    }
+
+    #[test]
+    fn background_sampler_collects() {
+        let m = Monitor::new();
+        let stats = Arc::new(NodeStats::new("bg"));
+        m.register(Arc::clone(&stats));
+        let guard = m.spawn(std::time::Duration::from_millis(5));
+        for _ in 0..10 {
+            stats.record_in(10);
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        guard.stop();
+        let n = m.series()[0].times.len();
+        assert!(n >= 2, "expected at least 2 samples, got {n}");
+    }
+
+    #[test]
+    fn render_includes_node_names() {
+        let m = Monitor::new();
+        m.register(Arc::new(NodeStats::new("join-7")));
+        m.sample_at(0.0);
+        let out = m.render_sparklines(SeriesView::QueueLen);
+        assert!(out.contains("join-7"));
+        assert!(out.contains("queue"));
+    }
+}

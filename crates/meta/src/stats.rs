@@ -1,0 +1,182 @@
+//! Always-on per-node statistics.
+
+use crate::MetricSet;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Cheap, always-on counters maintained by every node of a query graph.
+///
+/// All fields are atomics so the hot path (element processing) never blocks;
+/// the composable [`MetricSet`] behind a mutex is only touched when custom
+/// metadata has been attached via the decorator factory.
+#[derive(Debug, Default)]
+pub struct NodeStats {
+    name: Mutex<String>,
+    in_count: AtomicU64,
+    out_count: AtomicU64,
+    heartbeat_count: AtomicU64,
+    queue_len: AtomicUsize,
+    memory: AtomicUsize,
+    subscribers: AtomicUsize,
+    custom: Mutex<MetricSet>,
+}
+
+impl NodeStats {
+    /// Creates stats for a node with the given display name.
+    pub fn new(name: impl Into<String>) -> Self {
+        let s = NodeStats::default();
+        *s.name.lock() = name.into();
+        s
+    }
+
+    /// The node's display name.
+    pub fn name(&self) -> String {
+        self.name.lock().clone()
+    }
+
+    /// Records `n` consumed elements.
+    #[inline]
+    pub fn record_in(&self, n: u64) {
+        self.in_count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` produced elements.
+    #[inline]
+    pub fn record_out(&self, n: u64) {
+        self.out_count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records `n` processed heartbeats.
+    #[inline]
+    pub fn record_heartbeat(&self, n: u64) {
+        self.heartbeat_count.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Publishes the current total input-queue length.
+    #[inline]
+    pub fn set_queue_len(&self, len: usize) {
+        self.queue_len.store(len, Ordering::Relaxed);
+    }
+
+    /// Publishes the node's current state memory (in retained elements).
+    #[inline]
+    pub fn set_memory(&self, elems: usize) {
+        self.memory.store(elems, Ordering::Relaxed);
+    }
+
+    /// Publishes the current number of subscribed sinks.
+    #[inline]
+    pub fn set_subscribers(&self, n: usize) {
+        self.subscribers.store(n, Ordering::Relaxed);
+    }
+
+    /// Runs `f` with exclusive access to the composable metric set.
+    pub fn with_metrics<R>(&self, f: impl FnOnce(&mut MetricSet) -> R) -> R {
+        f(&mut self.custom.lock())
+    }
+
+    /// Takes a consistent-enough snapshot of the counters.
+    pub fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            name: self.name(),
+            in_count: self.in_count.load(Ordering::Relaxed),
+            out_count: self.out_count.load(Ordering::Relaxed),
+            heartbeat_count: self.heartbeat_count.load(Ordering::Relaxed),
+            queue_len: self.queue_len.load(Ordering::Relaxed),
+            memory: self.memory.load(Ordering::Relaxed),
+            subscribers: self.subscribers.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of a node's counters.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Node display name.
+    pub name: String,
+    /// Elements consumed so far.
+    pub in_count: u64,
+    /// Elements produced so far.
+    pub out_count: u64,
+    /// Heartbeats processed so far.
+    pub heartbeat_count: u64,
+    /// Current total input-queue length.
+    pub queue_len: usize,
+    /// Current state memory in retained elements.
+    pub memory: usize,
+    /// Current number of subscribed sinks.
+    pub subscribers: usize,
+}
+
+impl StatsSnapshot {
+    /// Observed selectivity: produced / consumed elements. `None` until the
+    /// node has consumed anything.
+    pub fn selectivity(&self) -> Option<f64> {
+        if self.in_count == 0 {
+            None
+        } else {
+            Some(self.out_count as f64 / self.in_count as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimators::Welford;
+
+    #[test]
+    fn counters_accumulate() {
+        let s = NodeStats::new("filter");
+        s.record_in(10);
+        s.record_in(5);
+        s.record_out(6);
+        s.record_heartbeat(2);
+        s.set_queue_len(3);
+        s.set_memory(42);
+        s.set_subscribers(2);
+        let snap = s.snapshot();
+        assert_eq!(snap.name, "filter");
+        assert_eq!(snap.in_count, 15);
+        assert_eq!(snap.out_count, 6);
+        assert_eq!(snap.heartbeat_count, 2);
+        assert_eq!(snap.queue_len, 3);
+        assert_eq!(snap.memory, 42);
+        assert_eq!(snap.subscribers, 2);
+        assert!((snap.selectivity().unwrap() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selectivity_undefined_before_input() {
+        let s = NodeStats::new("x");
+        assert_eq!(s.snapshot().selectivity(), None);
+    }
+
+    #[test]
+    fn custom_metrics_accessible() {
+        let s = NodeStats::new("join");
+        s.with_metrics(|m| m.attach("probe_cost", Box::new(Welford::new())));
+        s.with_metrics(|m| m.observe("probe_cost", 12.0));
+        assert_eq!(s.with_metrics(|m| m.value("probe_cost")), Some(12.0));
+    }
+
+    #[test]
+    fn stats_shared_across_threads() {
+        use std::sync::Arc;
+        let s = Arc::new(NodeStats::new("shared"));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_in(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.snapshot().in_count, 4000);
+    }
+}

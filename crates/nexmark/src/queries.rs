@@ -1,0 +1,212 @@
+//! The NEXMark-style demonstration queries.
+
+use pipes_optimizer::{Catalog, LogicalPlan};
+
+/// Q0: passthrough (benchmark plumbing overhead).
+pub fn q0_passthrough() -> &'static str {
+    "SELECT * FROM bid"
+}
+
+/// Q1: currency conversion — every bid's price in euro cents.
+pub fn q1_currency_conversion() -> &'static str {
+    "SELECT auction, bidder, price * 0.908 AS price_eur FROM bid"
+}
+
+/// Q2: selection — bids on a fixed set of auctions (here: ids divisible
+/// by 5).
+pub fn q2_selection() -> &'static str {
+    "SELECT auction, price FROM bid WHERE auction % 5 = 0"
+}
+
+/// Q3: the paper's headline CQL example — *"Return every 10 minutes the
+/// highest bid in the recent 10 minutes"* (time-based fixed-window
+/// group-by-less max).
+pub fn q3_highest_bid_10min() -> &'static str {
+    "SELECT MAX(price) AS highest FROM bid [RANGE 10 MINUTES] EVERY 10 MINUTES"
+}
+
+/// Q4: hot items — per-auction bid counts over a sliding 10-minute window,
+/// reported every minute.
+pub fn q4_hot_items() -> &'static str {
+    "SELECT auction, COUNT(*) AS bids FROM bid [RANGE 10 MINUTES] \
+     GROUP BY auction EVERY 1 MINUTES"
+}
+
+/// Q5: stream join — bids matched with the opening auction record within
+/// the auction's plausible lifetime (20-minute windows on both sides).
+pub fn q5_bid_auction_join() -> &'static str {
+    "SELECT b.auction, b.price, a.category \
+     FROM bid [RANGE 20 MINUTES] AS b, auction [RANGE 20 MINUTES] AS a \
+     WHERE b.auction = a.id"
+}
+
+/// Q6: stream–relation join — bids enriched with the bidder's person data
+/// from the persistent `people` relation (the demonstration's graceful
+/// combination of data-driven and demand-driven processing).
+pub fn q6_bid_with_person() -> &'static str {
+    "SELECT auction, price, p.name, p.city \
+     FROM bid [NOW], people AS p \
+     WHERE bidder = p.id"
+}
+
+/// Q7: average price per category over the last 10 minutes (join + grouped
+/// aggregate).
+pub fn q7_avg_price_per_category() -> &'static str {
+    "SELECT a.category, AVG(b.price) AS avg_price \
+     FROM bid [RANGE 10 MINUTES] AS b, auction [RANGE 20 MINUTES] AS a \
+     WHERE b.auction = a.id \
+     GROUP BY a.category \
+     EVERY 2 MINUTES"
+}
+
+/// Q8: new sellers — people who registered within the last 20 minutes and
+/// already opened an auction (NEXMark's monitor-new-users query, a
+/// person ⋈ auction stream join).
+pub fn q8_new_sellers() -> &'static str {
+    "SELECT p.id, p.name, a.id AS first_auction \
+     FROM person [RANGE 20 MINUTES] AS p, auction [RANGE 20 MINUTES] AS a \
+     WHERE a.seller = p.id"
+}
+
+/// All canned queries with names.
+pub fn all() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("q0_passthrough", q0_passthrough()),
+        ("q1_currency", q1_currency_conversion()),
+        ("q2_selection", q2_selection()),
+        ("q3_highest_bid", q3_highest_bid_10min()),
+        ("q4_hot_items", q4_hot_items()),
+        ("q5_bid_auction_join", q5_bid_auction_join()),
+        ("q6_bid_with_person", q6_bid_with_person()),
+        ("q7_avg_price_per_category", q7_avg_price_per_category()),
+        ("q8_new_sellers", q8_new_sellers()),
+    ]
+}
+
+/// Parses and plans every canned query against the catalog.
+pub fn validate_all(catalog: &Catalog) -> Result<Vec<(&'static str, LogicalPlan)>, String> {
+    all()
+        .into_iter()
+        .map(|(name, sql)| {
+            pipes_cql::compile_cql(sql, catalog)
+                .map(|p| (name, p))
+                .map_err(|e| format!("{name}: {e}"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::NexmarkConfig;
+    use pipes_graph::io::CollectSink;
+    use pipes_graph::QueryGraph;
+    use pipes_optimizer::{Optimizer, Tuple, Value};
+
+    fn catalog(events: u64) -> Catalog {
+        // Slower event rate keeps rate × window modest (interval
+        // aggregation costs O(live elements) per insert).
+        let mut cat = Catalog::new();
+        crate::register(
+            &mut cat,
+            NexmarkConfig {
+                max_events: events,
+                mean_inter_event_ms: 250.0,
+                ..Default::default()
+            },
+        );
+        cat
+    }
+
+    fn run_sql(sql: &str, cat: &Catalog) -> Vec<Tuple> {
+        let plan = pipes_cql::compile_cql(sql, cat).unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let report = opt.install(&plan, &graph, cat).unwrap();
+        let (sink, buf) = CollectSink::new();
+        graph.add_sink("out", sink, &report.handle);
+        graph.run_to_completion(256);
+        let r = buf.lock().iter().map(|e| e.payload.clone()).collect();
+        r
+    }
+
+    #[test]
+    fn all_queries_plan() {
+        let cat = catalog(500);
+        let plans = validate_all(&cat).unwrap();
+        assert_eq!(plans.len(), 9);
+    }
+
+    #[test]
+    fn q1_converts_currency() {
+        let cat = catalog(2_000);
+        let out = run_sql(q1_currency_conversion(), &cat);
+        assert!(!out.is_empty());
+        for t in &out {
+            let eur = t[2].as_f64().unwrap();
+            assert!(eur > 0.0);
+        }
+    }
+
+    #[test]
+    fn q2_selects_only_matching_auctions() {
+        let cat = catalog(5_000);
+        let out = run_sql(q2_selection(), &cat);
+        assert!(!out.is_empty());
+        for t in &out {
+            assert_eq!(t[0].as_i64().unwrap() % 5, 0);
+        }
+    }
+
+    #[test]
+    fn q3_highest_bid_periodic() {
+        let cat = catalog(12_000);
+        let out = run_sql(q3_highest_bid_10min(), &cat);
+        assert!(!out.is_empty());
+        // Each report is a positive price; the stream of maxima over
+        // climbing prices should trend upward overall.
+        let prices: Vec<i64> = out.iter().filter_map(|t| t[0].as_i64()).collect();
+        assert!(prices.iter().all(|p| *p > 0));
+    }
+
+    #[test]
+    fn q5_join_matches_categories() {
+        let cat = catalog(5_000);
+        let out = run_sql(q5_bid_auction_join(), &cat);
+        assert!(!out.is_empty());
+        for t in &out {
+            assert!(t[2].as_i64().unwrap() < 10); // category domain
+        }
+    }
+
+    #[test]
+    fn q6_relation_join_enriches_with_person() {
+        let cat = catalog(3_000);
+        let out = run_sql(q6_bid_with_person(), &cat);
+        assert!(!out.is_empty());
+        for t in &out {
+            assert!(matches!(&t[2], Value::Str(_)));
+            assert!(matches!(&t[3], Value::Str(_)));
+        }
+    }
+
+    #[test]
+    fn q8_new_sellers_join() {
+        let cat = catalog(6_000);
+        let out = run_sql(q8_new_sellers(), &cat);
+        assert!(!out.is_empty());
+        for t in &out {
+            assert!(matches!(&t[1], Value::Str(_)), "name column expected");
+        }
+    }
+
+    #[test]
+    fn q7_grouped_join_aggregate() {
+        let cat = catalog(8_000);
+        let out = run_sql(q7_avg_price_per_category(), &cat);
+        assert!(!out.is_empty());
+        for t in &out {
+            assert!(t[1].as_f64().unwrap() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Snapshot duplicate elimination.
+
+use pipes_graph::{Collector, Operator};
+use pipes_time::{Element, TimeInterval, Timestamp};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A set of disjoint intervals kept maximally merged. Inserting an interval
+/// coalesces it with everything it overlaps or touches.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct IntervalSet {
+    /// Sorted by start, pairwise disjoint and non-adjacent.
+    ivs: Vec<TimeInterval>,
+}
+
+impl IntervalSet {
+    pub(crate) fn len(&self) -> usize {
+        self.ivs.len()
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ivs.is_empty()
+    }
+
+    /// Inserts `iv`, merging with overlapping/adjacent intervals.
+    pub(crate) fn insert(&mut self, mut iv: TimeInterval) {
+        let mut merged = Vec::with_capacity(self.ivs.len() + 1);
+        let mut placed = false;
+        for &existing in &self.ivs {
+            if let Some(m) = iv.merge(&existing) {
+                iv = m;
+            } else if existing.start() > iv.end() {
+                if !placed {
+                    merged.push(iv);
+                    placed = true;
+                }
+                merged.push(existing);
+            } else {
+                merged.push(existing);
+            }
+        }
+        if !placed {
+            merged.push(iv);
+        }
+        self.ivs = merged;
+    }
+
+    /// Removes and returns all intervals entirely before `wm`.
+    pub(crate) fn take_before(&mut self, wm: Timestamp) -> Vec<TimeInterval> {
+        let split = self.ivs.partition_point(|iv| iv.before(wm));
+        self.ivs.drain(..split).collect()
+    }
+
+    /// Removes and returns all intervals ending *strictly* before `wm` —
+    /// an interval ending exactly at `wm` stays pending, because a future
+    /// element starting at `wm` could still merge with it adjacently.
+    pub(crate) fn take_strictly_before(&mut self, wm: Timestamp) -> Vec<TimeInterval> {
+        let split = self.ivs.partition_point(|iv| iv.end() < wm);
+        self.ivs.drain(..split).collect()
+    }
+
+    /// Like [`IntervalSet::take_before`], but also splits an interval
+    /// straddling `wm` and returns its finished left part. Afterwards every
+    /// remaining interval starts at or after `wm`.
+    pub(crate) fn split_take_before(&mut self, wm: Timestamp) -> Vec<TimeInterval> {
+        let mut out = self.take_before(wm);
+        if let Some(first) = self.ivs.first_mut() {
+            if first.start() < wm {
+                let (left, right) = first.split_at(wm);
+                if let Some(l) = left {
+                    out.push(l);
+                }
+                *first = right.expect("straddling interval has a right part");
+            }
+        }
+        out
+    }
+
+    /// Start of the earliest pending interval, if any.
+    pub(crate) fn earliest_start(&self) -> Option<Timestamp> {
+        self.ivs.first().map(TimeInterval::start)
+    }
+
+    /// Removes and returns everything.
+    pub(crate) fn take_all(&mut self) -> Vec<TimeInterval> {
+        std::mem::take(&mut self.ivs)
+    }
+}
+
+/// Duplicate elimination with snapshot semantics: at every instant the
+/// output contains each distinct payload at most once, exactly when the
+/// input contains it at least once.
+///
+/// Per payload value the operator maintains the merged coverage of pending
+/// input intervals; coverage intervals are emitted once the watermark
+/// guarantees no future element can extend them (a future element starting
+/// inside or adjacent to a pending interval must be absorbed into the same
+/// output interval, or the overlap would appear twice).
+pub struct Distinct<T> {
+    pending: HashMap<T, IntervalSet>,
+}
+
+impl<T: Hash + Eq> Distinct<T> {
+    /// Creates the operator.
+    pub fn new() -> Self {
+        Distinct {
+            pending: HashMap::new(),
+        }
+    }
+}
+
+impl<T: Hash + Eq> Default for Distinct<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Operator for Distinct<T>
+where
+    T: Hash + Eq + Ord + Send + Clone + 'static,
+{
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, _out: &mut dyn Collector<T>) {
+        self.pending
+            .entry(e.payload)
+            .or_default()
+            .insert(e.interval);
+    }
+
+    fn on_heartbeat(&mut self, _port: usize, t: Timestamp, out: &mut dyn Collector<T>) {
+        // Split pending coverage at the watermark: the part before `t` is
+        // final (a future element starts at or after `t` and would at most
+        // abut it, which snapshot semantics permits as two adjacent output
+        // intervals). Afterwards everything pending starts at or after `t`,
+        // so forwarding the heartbeat is safe.
+        let mut ready: Vec<(T, TimeInterval)> = Vec::new();
+        for (payload, set) in self.pending.iter_mut() {
+            for iv in set.split_take_before(t) {
+                ready.push((payload.clone(), iv));
+            }
+        }
+        self.pending.retain(|_, s| !s.is_empty());
+        ready.sort_by_key(|(p, iv)| (iv.start(), p.clone()));
+        for (p, iv) in ready {
+            out.element(Element::new(p, iv));
+        }
+        out.heartbeat(t);
+    }
+
+    fn on_close(&mut self, out: &mut dyn Collector<T>) {
+        let mut ready: Vec<(T, TimeInterval)> = Vec::new();
+        for (payload, set) in self.pending.iter_mut() {
+            for iv in set.take_all() {
+                ready.push((payload.clone(), iv));
+            }
+        }
+        self.pending.clear();
+        ready.sort_by_key(|(p, iv)| (iv.start(), p.clone()));
+        for (p, iv) in ready {
+            out.element(Element::new(p, iv));
+        }
+    }
+
+    fn memory(&self) -> usize {
+        self.pending.values().map(IntervalSet::len).sum()
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        // Drop whole payload entries until under target (approximate
+        // answers: dropped values vanish from the output).
+        while self.memory() > target && !self.pending.is_empty() {
+            let k = self.pending.keys().next().cloned().expect("non-empty");
+            self.pending.remove(&k);
+        }
+        self.memory()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::{check_watermark_contract, run_unary, run_unary_messages};
+    use pipes_time::snapshot;
+
+    fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+        Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+    }
+
+    fn iv(s: u64, e: u64) -> TimeInterval {
+        TimeInterval::new(Timestamp::new(s), Timestamp::new(e))
+    }
+
+    #[test]
+    fn interval_set_merges() {
+        let mut s = IntervalSet::default();
+        s.insert(iv(0, 5));
+        s.insert(iv(10, 12));
+        assert_eq!(s.len(), 2);
+        s.insert(iv(4, 10)); // bridges both
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.take_all(), vec![iv(0, 12)]);
+    }
+
+    #[test]
+    fn interval_set_adjacent_merge() {
+        let mut s = IntervalSet::default();
+        s.insert(iv(0, 5));
+        s.insert(iv(5, 8));
+        assert_eq!(s.take_all(), vec![iv(0, 8)]);
+    }
+
+    #[test]
+    fn interval_set_take_before() {
+        let mut s = IntervalSet::default();
+        s.insert(iv(0, 3));
+        s.insert(iv(5, 9));
+        assert_eq!(s.take_before(Timestamp::new(4)), vec![iv(0, 3)]);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let input = vec![el(7, 0, 10), el(7, 3, 6), el(7, 8, 14)];
+        let out = run_unary(Distinct::new(), input.clone());
+        snapshot::check_unary(&input, &out, snapshot::rel::distinct).unwrap();
+        // Coverage is continuous: adjacent pieces, no overlap, one payload.
+        for w in out.windows(2) {
+            assert_eq!(w[0].end(), w[1].start());
+        }
+        assert_eq!(out.first().unwrap().start(), Timestamp::new(0));
+        assert_eq!(out.last().unwrap().end(), Timestamp::new(14));
+    }
+
+    #[test]
+    fn distinct_values_stay_separate() {
+        let input = vec![el(1, 0, 5), el(2, 0, 5), el(1, 2, 8)];
+        let out = run_unary(Distinct::new(), input.clone());
+        snapshot::check_unary(&input, &out, snapshot::rel::distinct).unwrap();
+        // Each payload's coverage is exactly its merged input coverage.
+        let cover = |p: i64| -> u64 {
+            out.iter()
+                .filter(|e| e.payload == p)
+                .map(|e| e.interval.duration().ticks())
+                .sum()
+        };
+        assert_eq!(cover(1), 8);
+        assert_eq!(cover(2), 5);
+    }
+
+    #[test]
+    fn late_extension_does_not_duplicate_coverage() {
+        // Second element starts exactly where the first ends; coverage must
+        // stay single at every instant (adjacent output pieces are fine).
+        let input = vec![el(5, 0, 4), el(5, 4, 9)];
+        let out = run_unary(Distinct::new(), input.clone());
+        snapshot::check_unary(&input, &out, snapshot::rel::distinct).unwrap();
+        // Overlapping duplicates would fail the snapshot check above; also
+        // assert total coverage.
+        let total: u64 = out.iter().map(|e| e.interval.duration().ticks()).sum();
+        assert_eq!(total, 9);
+    }
+
+    #[test]
+    fn watermark_contract_upheld() {
+        let input: Vec<Element<i64>> = (0..40)
+            .map(|i| el(i % 4, i as u64, i as u64 + 7))
+            .collect();
+        let msgs = run_unary_messages(Distinct::new(), input);
+        check_watermark_contract(&msgs).unwrap();
+    }
+
+    #[test]
+    fn shed_drops_values() {
+        let mut op: Distinct<i64> = Distinct::new();
+        let mut sink: Vec<pipes_time::Message<i64>> = Vec::new();
+        for i in 0..10 {
+            op.on_element(0, el(i, (i * 100) as u64, (i * 100 + 5) as u64), &mut sink);
+        }
+        assert_eq!(op.memory(), 10);
+        assert!(op.shed(4) <= 4);
+    }
+}

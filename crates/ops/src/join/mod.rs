@@ -1,0 +1,23 @@
+//! The generic join framework: generalized ripple joins over exchangeable
+//! SweepAreas.
+//!
+//! Following the PIPES design, a stream join is parameterized by
+//! *status-aware data structures* called **SweepAreas** providing efficient
+//! support for insertion, retrieval (probing) and reorganization (purging
+//! expired state, shedding under memory pressure). Exchanging the SweepArea
+//! turns the same generic ripple join into a nested-loop theta join
+//! ([`ListSweepArea`]), a hash-based equi-join ([`HashSweepArea`]) or a
+//! purge-optimized variant ([`OrderedSweepArea`]) — the algorithmic-testbed
+//! property the paper demonstrates.
+//!
+//! [`RippleJoin`] is the binary join; [`MultiwayJoin`] generalizes it to n
+//! inputs (MJoin-style, probing the other SweepAreas in ascending size
+//! order).
+
+mod binary;
+mod multiway;
+mod sweeparea;
+
+pub use binary::RippleJoin;
+pub use multiway::MultiwayJoin;
+pub use sweeparea::{HashSweepArea, ListSweepArea, OrderedSweepArea, SweepArea};

@@ -1,0 +1,371 @@
+//! SweepAreas: the exchangeable state structures of the join framework.
+
+use pipes_time::{Element, Timestamp};
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+/// A status-aware data structure holding one join input's live elements.
+///
+/// * `T` — the payload type stored in this sweep area,
+/// * `P` — the payload type of probing elements from the *opposite* input.
+///
+/// The three operations mirror the paper: `insert` adds an arriving element,
+/// `query` retrieves all stored elements that temporally overlap the probe
+/// and satisfy the structure's predicate/index, and `purge`/`shed` reorganize
+/// the status (expired-state removal driven by the opposite input's
+/// watermark, and load shedding driven by the memory manager).
+pub trait SweepArea<T, P>: Send {
+    /// Inserts an element.
+    fn insert(&mut self, e: Element<T>);
+
+    /// Invokes `f` on every stored element that overlaps `probe.interval`
+    /// and matches `probe.payload` under this sweep area's predicate.
+    fn query(&mut self, probe: &Element<P>, f: &mut dyn FnMut(&Element<T>));
+
+    /// Removes every element whose validity ended at or before `wm`
+    /// (no future probe can overlap it); returns how many were removed.
+    fn purge(&mut self, wm: Timestamp) -> usize;
+
+    /// Number of stored elements.
+    fn len(&self) -> usize;
+
+    /// Whether the sweep area is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Reorganizes down to at most `target` elements by evicting the ones
+    /// expiring soonest (they contribute the fewest future results);
+    /// returns the new size.
+    fn shed(&mut self, target: usize) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// ListSweepArea: linear scan, arbitrary theta predicates
+// ---------------------------------------------------------------------------
+
+/// The simplest sweep area: a vector scanned linearly on every probe.
+/// Supports arbitrary theta predicates; probe cost O(n).
+pub struct ListSweepArea<T, P, Pred> {
+    elems: Vec<Element<T>>,
+    pred: Pred,
+    _marker: std::marker::PhantomData<fn(P)>,
+}
+
+impl<T, P, Pred: Fn(&P, &T) -> bool> ListSweepArea<T, P, Pred> {
+    /// Creates a list sweep area with the given theta predicate
+    /// `(probe, stored) → bool`.
+    pub fn new(pred: Pred) -> Self {
+        ListSweepArea {
+            elems: Vec::new(),
+            pred,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, P, Pred> SweepArea<T, P> for ListSweepArea<T, P, Pred>
+where
+    T: Send + Clone + 'static,
+    P: 'static,
+    Pred: Fn(&P, &T) -> bool + Send + 'static,
+{
+    fn insert(&mut self, e: Element<T>) {
+        self.elems.push(e);
+    }
+
+    fn query(&mut self, probe: &Element<P>, f: &mut dyn FnMut(&Element<T>)) {
+        for e in &self.elems {
+            if e.interval.overlaps(&probe.interval) && (self.pred)(&probe.payload, &e.payload) {
+                f(e);
+            }
+        }
+    }
+
+    fn purge(&mut self, wm: Timestamp) -> usize {
+        let before = self.elems.len();
+        self.elems.retain(|e| !e.interval.before(wm));
+        before - self.elems.len()
+    }
+
+    fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        if self.elems.len() > target {
+            self.elems.sort_by_key(|e| std::cmp::Reverse(e.end()));
+            self.elems.truncate(target);
+        }
+        self.elems.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// HashSweepArea: bucketed by join key, O(1) expected probe
+// ---------------------------------------------------------------------------
+
+/// Hash-indexed sweep area for equi-joins: elements are bucketed by a key
+/// extracted from the stored payload; probes look up the bucket of the key
+/// extracted from the probing payload.
+pub struct HashSweepArea<T, P, K, KT, KP> {
+    buckets: HashMap<K, Vec<Element<T>>>,
+    count: usize,
+    key_of_stored: KT,
+    key_of_probe: KP,
+    _marker: std::marker::PhantomData<fn(P)>,
+}
+
+impl<T, P, K, KT, KP> HashSweepArea<T, P, K, KT, KP>
+where
+    K: Hash + Eq,
+    KT: Fn(&T) -> K,
+    KP: Fn(&P) -> K,
+{
+    /// Creates a hash sweep area with the two key extractors.
+    pub fn new(key_of_stored: KT, key_of_probe: KP) -> Self {
+        HashSweepArea {
+            buckets: HashMap::new(),
+            count: 0,
+            key_of_stored,
+            key_of_probe,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, P, K, KT, KP> SweepArea<T, P> for HashSweepArea<T, P, K, KT, KP>
+where
+    T: Send + Clone + 'static,
+    P: 'static,
+    K: Hash + Eq + Send + 'static,
+    KT: Fn(&T) -> K + Send + 'static,
+    KP: Fn(&P) -> K + Send + 'static,
+{
+    fn insert(&mut self, e: Element<T>) {
+        let k = (self.key_of_stored)(&e.payload);
+        self.buckets.entry(k).or_default().push(e);
+        self.count += 1;
+    }
+
+    fn query(&mut self, probe: &Element<P>, f: &mut dyn FnMut(&Element<T>)) {
+        let k = (self.key_of_probe)(&probe.payload);
+        if let Some(bucket) = self.buckets.get(&k) {
+            for e in bucket {
+                if e.interval.overlaps(&probe.interval) {
+                    f(e);
+                }
+            }
+        }
+    }
+
+    fn purge(&mut self, wm: Timestamp) -> usize {
+        let mut removed = 0;
+        self.buckets.retain(|_, bucket| {
+            let before = bucket.len();
+            bucket.retain(|e| !e.interval.before(wm));
+            removed += before - bucket.len();
+            !bucket.is_empty()
+        });
+        self.count -= removed;
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.count
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        if self.count <= target {
+            return self.count;
+        }
+        // Evict elements expiring soonest, globally across buckets.
+        let mut ends: Vec<Timestamp> = self
+            .buckets
+            .values()
+            .flat_map(|b| b.iter().map(Element::end))
+            .collect();
+        ends.sort();
+        // Keep the `target` latest-expiring elements.
+        let cutoff = ends[ends.len() - target.max(1)];
+        let mut kept = 0;
+        self.buckets.retain(|_, bucket| {
+            bucket.retain(|e| {
+                let keep = e.end() >= cutoff && kept < target;
+                if keep {
+                    kept += 1;
+                }
+                keep
+            });
+            !bucket.is_empty()
+        });
+        self.count = kept;
+        self.count
+    }
+}
+
+// ---------------------------------------------------------------------------
+// OrderedSweepArea: ordered by expiry, O(log n) purge
+// ---------------------------------------------------------------------------
+
+/// Sweep area ordered by interval end: purging expired elements is a prefix
+/// split instead of a full scan. Probes still scan linearly (use this
+/// variant when purge dominates, e.g. small windows at high rates).
+pub struct OrderedSweepArea<T, P, Pred> {
+    /// (end, insertion-sequence) → element; ordered by expiry.
+    elems: BTreeMap<(Timestamp, u64), Element<T>>,
+    seq: u64,
+    pred: Pred,
+    _marker: std::marker::PhantomData<fn(P)>,
+}
+
+impl<T, P, Pred: Fn(&P, &T) -> bool> OrderedSweepArea<T, P, Pred> {
+    /// Creates an ordered sweep area with the given theta predicate.
+    pub fn new(pred: Pred) -> Self {
+        OrderedSweepArea {
+            elems: BTreeMap::new(),
+            seq: 0,
+            pred,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, P, Pred> SweepArea<T, P> for OrderedSweepArea<T, P, Pred>
+where
+    T: Send + Clone + 'static,
+    P: 'static,
+    Pred: Fn(&P, &T) -> bool + Send + 'static,
+{
+    fn insert(&mut self, e: Element<T>) {
+        self.seq += 1;
+        self.elems.insert((e.end(), self.seq), e);
+    }
+
+    fn query(&mut self, probe: &Element<P>, f: &mut dyn FnMut(&Element<T>)) {
+        // Elements ending at or before the probe's start cannot overlap:
+        // skip the expired prefix for free thanks to the ordering.
+        for (_, e) in self.elems.range((probe.start().next(), 0)..) {
+            if e.interval.overlaps(&probe.interval) && (self.pred)(&probe.payload, &e.payload) {
+                f(e);
+            }
+        }
+    }
+
+    fn purge(&mut self, wm: Timestamp) -> usize {
+        let keep = self.elems.split_off(&(wm.next(), 0));
+        let removed = self.elems.len();
+        self.elems = keep;
+        removed
+    }
+
+    fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        while self.elems.len() > target {
+            let key = *self.elems.keys().next().expect("non-empty");
+            self.elems.remove(&key);
+        }
+        self.elems.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_time::TimeInterval;
+
+    fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+        Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+    }
+
+    fn collect_matches<SA: SweepArea<i64, i64>>(sa: &mut SA, probe: &Element<i64>) -> Vec<i64> {
+        let mut out = Vec::new();
+        sa.query(probe, &mut |e| out.push(e.payload));
+        out.sort();
+        out
+    }
+
+    fn exercise(sa: &mut dyn SweepArea<i64, i64>) {
+        sa.insert(el(1, 0, 10));
+        sa.insert(el(2, 5, 15));
+        sa.insert(el(3, 20, 30));
+        assert_eq!(sa.len(), 3);
+
+        // Probe [6, 8): overlaps elements 1 and 2.
+        let mut hits = Vec::new();
+        sa.query(&el(1, 6, 8), &mut |e| hits.push(e.payload));
+        hits.sort();
+        assert_eq!(hits, vec![1, 2]);
+
+        // Purge at 12: element 1 (end 10) expires.
+        assert_eq!(sa.purge(Timestamp::new(12)), 1);
+        assert_eq!(sa.len(), 2);
+
+        // Shed to one element: the later-expiring (3) survives.
+        assert_eq!(sa.shed(1), 1);
+        let mut rest = Vec::new();
+        sa.query(&el(0, 0, 100), &mut |e| rest.push(e.payload));
+        assert_eq!(rest, vec![3]);
+    }
+
+    #[test]
+    fn list_sweep_area_behaviour() {
+        let mut sa = ListSweepArea::new(|_: &i64, _: &i64| true);
+        exercise(&mut sa);
+    }
+
+    #[test]
+    fn ordered_sweep_area_behaviour() {
+        let mut sa = OrderedSweepArea::new(|_: &i64, _: &i64| true);
+        exercise(&mut sa);
+    }
+
+    #[test]
+    fn hash_sweep_area_behaviour() {
+        // Identity keys: every payload its own bucket, so make all keys
+        // equal to exercise shared-bucket behaviour.
+        let mut sa = HashSweepArea::new(|_: &i64| 0u8, |_: &i64| 0u8);
+        exercise(&mut sa);
+    }
+
+    #[test]
+    fn list_applies_theta_predicate() {
+        let mut sa = ListSweepArea::new(|p: &i64, t: &i64| t < p);
+        sa.insert(el(5, 0, 10));
+        sa.insert(el(9, 0, 10));
+        assert_eq!(collect_matches(&mut sa, &el(7, 2, 4)), vec![5]);
+    }
+
+    #[test]
+    fn hash_buckets_by_key() {
+        let mut sa = HashSweepArea::new(|t: &i64| t % 10, |p: &i64| p % 10);
+        sa.insert(el(13, 0, 10));
+        sa.insert(el(23, 0, 10));
+        sa.insert(el(14, 0, 10));
+        assert_eq!(collect_matches(&mut sa, &el(3, 2, 4)), vec![13, 23]);
+        assert_eq!(collect_matches(&mut sa, &el(4, 2, 4)), vec![14]);
+        assert_eq!(collect_matches(&mut sa, &el(5, 2, 4)), Vec::<i64>::new());
+    }
+
+    #[test]
+    fn hash_purge_respects_intervals() {
+        let mut sa = HashSweepArea::new(|t: &i64| *t, |p: &i64| *p);
+        sa.insert(el(1, 0, 5));
+        sa.insert(el(1, 0, 20));
+        assert_eq!(sa.purge(Timestamp::new(10)), 1);
+        assert_eq!(sa.len(), 1);
+        assert_eq!(collect_matches(&mut sa, &el(1, 12, 14)), vec![1]);
+    }
+
+    #[test]
+    fn ordered_probe_skips_expired_prefix() {
+        let mut sa = OrderedSweepArea::new(|_: &i64, _: &i64| true);
+        sa.insert(el(1, 0, 5));
+        sa.insert(el(2, 0, 50));
+        // Probe starting at 10 can only match element 2.
+        assert_eq!(collect_matches(&mut sa, &el(0, 10, 12)), vec![2]);
+    }
+}

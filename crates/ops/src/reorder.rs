@@ -1,0 +1,230 @@
+//! Out-of-order tolerance: bounded reordering of autonomous sources.
+//!
+//! The graph runtime requires start-ordered streams (up to the heartbeat
+//! contract), but autonomous data sources — sensors, network feeds — may
+//! deliver elements slightly out of order. [`Reorder`] buffers elements and
+//! re-emits them in start order, trusting arrivals to be late by at most a
+//! configured *slack*: an element with start `s` may still arrive while the
+//! observed maximum start is below `s + slack`. Elements later than the
+//! slack are dropped (counted, for monitoring) rather than emitted out of
+//! order — the bounded-disorder contract of punctuation-based systems.
+
+use pipes_graph::{Collector, Operator};
+use pipes_time::{Duration, Element, Timestamp};
+use std::collections::BinaryHeap;
+
+/// Buffers and re-emits elements in start order under a disorder bound.
+pub struct Reorder<T> {
+    slack: Duration,
+    /// Min-heap by start timestamp.
+    pending: BinaryHeap<Entry<T>>,
+    /// Largest start seen so far.
+    max_seen: Timestamp,
+    /// Largest start emitted so far (for the late-drop check).
+    emitted: Timestamp,
+    /// Elements dropped for arriving later than the slack.
+    dropped: u64,
+    seq: u64,
+}
+
+struct Entry<T> {
+    e: Element<T>,
+    seq: u64,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.e.start() == other.e.start() && self.seq == other.seq
+    }
+}
+impl<T> Eq for Entry<T> {}
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse for a min-heap; ties broken by arrival order.
+        other
+            .e
+            .start()
+            .cmp(&self.e.start())
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Reorder<T> {
+    /// Creates a reorder buffer tolerating the given disorder slack.
+    pub fn new(slack: Duration) -> Self {
+        Reorder {
+            slack,
+            pending: BinaryHeap::new(),
+            max_seen: Timestamp::ZERO,
+            emitted: Timestamp::ZERO,
+            dropped: 0,
+            seq: 0,
+        }
+    }
+
+    /// Elements dropped so far for exceeding the slack.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Emits every buffered element whose start is certainly final: no
+    /// future arrival below `horizon` can precede it.
+    fn release(&mut self, horizon: Timestamp, out: &mut dyn Collector<T>)
+    where
+        T: Send + Clone + 'static,
+    {
+        while let Some(top) = self.pending.peek() {
+            if top.e.start() >= horizon {
+                break;
+            }
+            let e = self.pending.pop().expect("peeked").e;
+            self.emitted = self.emitted.max(e.start());
+            out.element(e);
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> Operator for Reorder<T> {
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        if e.start() < self.emitted {
+            // Later than the slack allows: emitting would break order.
+            self.dropped += 1;
+            return;
+        }
+        self.max_seen = self.max_seen.max(e.start());
+        self.seq += 1;
+        self.pending.push(Entry { e, seq: self.seq });
+        let horizon = self.max_seen.saturating_sub(self.slack);
+        self.release(horizon, out);
+        if horizon > self.emitted {
+            self.emitted = horizon;
+            out.heartbeat(horizon);
+        }
+    }
+
+    fn on_heartbeat(&mut self, _port: usize, t: Timestamp, out: &mut dyn Collector<T>) {
+        // Upstream punctuation already accounts for *its* ordering; we can
+        // only trust it shifted by the slack we grant arrivals.
+        let horizon = t.saturating_sub(self.slack);
+        self.release(horizon, out);
+        if horizon > self.emitted {
+            self.emitted = horizon;
+        }
+        out.heartbeat(self.emitted.min(t));
+    }
+
+    fn on_close(&mut self, out: &mut dyn Collector<T>) {
+        self.release(Timestamp::MAX, out);
+    }
+
+    fn memory(&self) -> usize {
+        self.pending.len()
+    }
+
+    fn shed(&mut self, target: usize) -> usize {
+        // Shedding a reorder buffer forcibly releases the earliest
+        // elements (approximate: residual disorder may drop late arrivals).
+        while self.pending.len() > target {
+            let e = self.pending.pop().expect("non-empty").e;
+            self.emitted = self.emitted.max(e.start());
+            self.dropped += 1; // dropped from the buffer, not emitted
+        }
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_graph::Operator as _;
+    use pipes_time::Message;
+
+    fn drive(slack: u64, arrivals: &[(i64, u64)]) -> (Vec<Message<i64>>, u64) {
+        let mut op = Reorder::new(Duration::from_ticks(slack));
+        let mut out: Vec<Message<i64>> = Vec::new();
+        for (p, t) in arrivals {
+            op.on_element(0, Element::at(*p, Timestamp::new(*t)), &mut out);
+        }
+        op.on_close(&mut out);
+        let dropped = op.dropped();
+        (out, dropped)
+    }
+
+    fn element_order(msgs: &[Message<i64>]) -> Vec<i64> {
+        msgs.iter()
+            .filter_map(|m| match m {
+                Message::Element(e) => Some(e.payload),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn restores_order_within_slack() {
+        // Elements arrive shuffled within a disorder of 3 ticks.
+        let (out, dropped) = drive(3, &[(1, 10), (3, 12), (2, 11), (5, 14), (4, 13)]);
+        assert_eq!(element_order(&out), vec![1, 2, 3, 4, 5]);
+        assert_eq!(dropped, 0);
+        // Output starts are non-decreasing.
+        let mut last = 0;
+        for m in &out {
+            if let Message::Element(e) = m {
+                assert!(e.start().ticks() >= last);
+                last = e.start().ticks();
+            }
+        }
+    }
+
+    #[test]
+    fn drops_arrivals_beyond_slack() {
+        // Element at t=10 arrives after we have seen t=20 with slack 5:
+        // the horizon passed it, so it is dropped.
+        let (out, dropped) = drive(5, &[(1, 20), (2, 10), (3, 21)]);
+        assert_eq!(element_order(&out), vec![1, 3]);
+        assert_eq!(dropped, 1);
+    }
+
+    #[test]
+    fn watermark_contract_holds_downstream() {
+        let (out, _) = drive(4, &[(1, 5), (2, 9), (3, 7), (4, 15), (5, 13), (6, 30)]);
+        crate::drive::check_watermark_contract(&out).unwrap();
+    }
+
+    #[test]
+    fn ties_preserve_arrival_order() {
+        let (out, _) = drive(2, &[(1, 5), (2, 5), (3, 5), (4, 20)]);
+        assert_eq!(element_order(&out), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn close_flushes_buffer() {
+        let mut op: Reorder<i64> = Reorder::new(Duration::from_ticks(100));
+        let mut out: Vec<Message<i64>> = Vec::new();
+        op.on_element(0, Element::at(1, Timestamp::new(5)), &mut out);
+        op.on_element(0, Element::at(2, Timestamp::new(3)), &mut out);
+        assert!(element_order(&out).is_empty(), "slack holds everything");
+        assert_eq!(op.memory(), 2);
+        op.on_close(&mut out);
+        assert_eq!(element_order(&out), vec![2, 1]);
+        assert_eq!(op.memory(), 0);
+    }
+
+    #[test]
+    fn shedding_releases_early_elements() {
+        let mut op: Reorder<i64> = Reorder::new(Duration::from_ticks(1000));
+        let mut out: Vec<Message<i64>> = Vec::new();
+        for i in 0..20 {
+            op.on_element(0, Element::at(i, Timestamp::new(i as u64)), &mut out);
+        }
+        assert_eq!(op.memory(), 20);
+        assert_eq!(op.shed(5), 5);
+    }
+}

@@ -1,0 +1,118 @@
+//! Load-shedding operators.
+//!
+//! Besides the state-shedding hooks (`Operator::shed`) that the memory
+//! manager drives, PIPES-style systems shed load *in the stream* by dropping
+//! a fraction of elements before expensive operators — trading answer
+//! accuracy for sustainable rates.
+
+use pipes_graph::{Collector, Operator};
+use pipes_time::Element;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::marker::PhantomData;
+
+/// Drops each element independently with probability `1 - keep`.
+///
+/// Heartbeats pass through untouched: shedding degrades answers but never
+/// stalls temporal progress.
+pub struct RandomDrop<T> {
+    keep: f64,
+    rng: SmallRng,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T> RandomDrop<T> {
+    /// Creates a shedder keeping each element with probability `keep`
+    /// (clamped to `[0, 1]`), using a fixed seed for reproducibility.
+    pub fn new(keep: f64, seed: u64) -> Self {
+        RandomDrop {
+            keep: keep.clamp(0.0, 1.0),
+            rng: SmallRng::seed_from_u64(seed),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> Operator for RandomDrop<T> {
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        if self.rng.gen_bool(self.keep) {
+            out.element(e);
+        }
+    }
+}
+
+/// Keeps every `n`-th element (deterministic systematic sampling).
+pub struct EveryNth<T> {
+    n: u64,
+    count: u64,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T> EveryNth<T> {
+    /// Creates a sampler emitting one of every `n` elements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0, "sampling stride must be positive");
+        EveryNth {
+            n,
+            count: 0,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> Operator for EveryNth<T> {
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        if self.count.is_multiple_of(self.n) {
+            out.element(e);
+        }
+        self.count += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::{check_watermark_contract, run_unary, run_unary_messages};
+    use pipes_time::Timestamp;
+
+    fn input(n: u64) -> Vec<Element<i64>> {
+        (0..n).map(|i| Element::at(i as i64, Timestamp::new(i))).collect()
+    }
+
+    #[test]
+    fn random_drop_approximates_rate() {
+        let out = run_unary(RandomDrop::new(0.25, 42), input(4000));
+        let frac = out.len() as f64 / 4000.0;
+        assert!((frac - 0.25).abs() < 0.05, "kept fraction {frac}");
+    }
+
+    #[test]
+    fn keep_one_keeps_all_keep_zero_drops_all() {
+        assert_eq!(run_unary(RandomDrop::new(1.0, 1), input(50)).len(), 50);
+        assert_eq!(run_unary(RandomDrop::new(0.0, 1), input(50)).len(), 0);
+    }
+
+    #[test]
+    fn shedding_passes_heartbeats() {
+        let msgs = run_unary_messages(RandomDrop::new(0.0, 7), input(10));
+        check_watermark_contract(&msgs).unwrap();
+        assert!(msgs.iter().any(|m| !m.is_element()));
+    }
+
+    #[test]
+    fn every_nth_is_systematic() {
+        let out = run_unary(EveryNth::new(3), input(10));
+        let vals: Vec<i64> = out.iter().map(|e| e.payload).collect();
+        assert_eq!(vals, vec![0, 3, 6, 9]);
+    }
+}

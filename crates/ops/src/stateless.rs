@@ -1,0 +1,155 @@
+//! Stateless operators: selection, mapping, flat-mapping.
+
+use pipes_graph::{Collector, Operator};
+use pipes_time::Element;
+use std::marker::PhantomData;
+
+/// Selection: keeps the elements whose payload satisfies a predicate.
+/// Validity intervals pass through unchanged, so filter is trivially
+/// snapshot-equivalent to relational selection.
+pub struct Filter<T, P> {
+    pred: P,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T, P: FnMut(&T) -> bool> Filter<T, P> {
+    /// Creates a filter with the given predicate.
+    pub fn new(pred: P) -> Self {
+        Filter {
+            pred,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, P> Operator for Filter<T, P>
+where
+    T: Send + Clone + 'static,
+    P: FnMut(&T) -> bool + Send + 'static,
+{
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        if (self.pred)(&e.payload) {
+            out.element(e);
+        }
+    }
+}
+
+/// Projection / mapping: transforms each payload, keeping its interval.
+pub struct Map<I, O, F> {
+    f: F,
+    _marker: PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, F: FnMut(I) -> O> Map<I, O, F> {
+    /// Creates a map with the given transformation.
+    pub fn new(f: F) -> Self {
+        Map {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<I, O, F> Operator for Map<I, O, F>
+where
+    I: Send + Clone + 'static,
+    O: Send + Clone + 'static,
+    F: FnMut(I) -> O + Send + 'static,
+{
+    type In = I;
+    type Out = O;
+
+    fn on_element(&mut self, _port: usize, e: Element<I>, out: &mut dyn Collector<O>) {
+        let interval = e.interval;
+        out.element(Element::new((self.f)(e.payload), interval));
+    }
+}
+
+/// One-to-many mapping: each input payload expands to zero or more output
+/// payloads, all sharing the input's validity interval.
+pub struct FlatMap<I, O, F> {
+    f: F,
+    _marker: PhantomData<fn(I) -> O>,
+}
+
+impl<I, O, It, F> FlatMap<I, O, F>
+where
+    It: IntoIterator<Item = O>,
+    F: FnMut(I) -> It,
+{
+    /// Creates a flat-map with the given expansion function.
+    pub fn new(f: F) -> Self {
+        FlatMap {
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<I, O, It, F> Operator for FlatMap<I, O, F>
+where
+    I: Send + Clone + 'static,
+    O: Send + Clone + 'static,
+    It: IntoIterator<Item = O>,
+    F: FnMut(I) -> It + Send + 'static,
+{
+    type In = I;
+    type Out = O;
+
+    fn on_element(&mut self, _port: usize, e: Element<I>, out: &mut dyn Collector<O>) {
+        let interval = e.interval;
+        for v in (self.f)(e.payload) {
+            out.element(Element::new(v, interval));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::run_unary;
+    use pipes_time::{snapshot, TimeInterval, Timestamp};
+
+    fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+        Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+    }
+
+    #[test]
+    fn filter_keeps_matching() {
+        let input = vec![el(1, 0, 5), el(2, 1, 4), el(3, 2, 8)];
+        let out = run_unary(Filter::new(|v: &i64| v % 2 == 1), input.clone());
+        assert_eq!(out, vec![el(1, 0, 5), el(3, 2, 8)]);
+        snapshot::check_unary(&input, &out, |s| {
+            snapshot::rel::filter(s, |v| v % 2 == 1)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn map_preserves_intervals() {
+        let input = vec![el(1, 0, 5), el(2, 3, 9)];
+        let out = run_unary(Map::new(|v: i64| v * 10), input.clone());
+        assert_eq!(out, vec![el(10, 0, 5), el(20, 3, 9)]);
+        snapshot::check_unary(&input, &out, |s| snapshot::rel::map(s, |v| v * 10)).unwrap();
+    }
+
+    #[test]
+    fn flat_map_expands() {
+        let input = vec![el(2, 0, 4)];
+        let out = run_unary(FlatMap::new(|v: i64| vec![v, v + 1]), input);
+        assert_eq!(out, vec![el(2, 0, 4), el(3, 0, 4)]);
+    }
+
+    #[test]
+    fn flat_map_can_drop() {
+        let input = vec![el(1, 0, 4), el(2, 1, 5)];
+        let out = run_unary(
+            FlatMap::new(|v: i64| if v % 2 == 0 { vec![v] } else { vec![] }),
+            input,
+        );
+        assert_eq!(out, vec![el(2, 1, 5)]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Additive bag union of any number of streams.
+
+use pipes_graph::watermark::Watermarks;
+use pipes_graph::{Collector, Operator};
+use pipes_time::{Element, Timestamp};
+use std::marker::PhantomData;
+
+/// N-ary union: forwards every element of every input port.
+///
+/// Elements pass through untouched (bag union is additive), but heartbeats
+/// must be combined: downstream progress is only certified up to the
+/// *minimum* progress across all inputs.
+pub struct Union<T> {
+    watermarks: Watermarks,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T> Union<T> {
+    /// Creates a union over `ports` input streams.
+    pub fn new(ports: usize) -> Self {
+        Union {
+            watermarks: Watermarks::new(ports),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> Operator for Union<T> {
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        out.element(e);
+    }
+
+    fn on_heartbeat(&mut self, port: usize, t: Timestamp, out: &mut dyn Collector<T>) {
+        if let Some(min) = self.watermarks.update(port, t) {
+            out.heartbeat(min);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::run_nary;
+    use pipes_time::{snapshot, TimeInterval};
+
+    fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+        Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+    }
+
+    #[test]
+    fn union_is_additive() {
+        let a = vec![el(1, 0, 5), el(2, 3, 9)];
+        let b = vec![el(1, 2, 4)];
+        let out = run_nary(Union::new(2), vec![a.clone(), b.clone()]);
+        assert_eq!(out.len(), 3);
+        let all: Vec<Element<i64>> = a.iter().chain(&b).cloned().collect();
+        snapshot::check_unary(&all, &out, |s| s).unwrap();
+    }
+
+    #[test]
+    fn union_heartbeats_are_min_combined() {
+        let mut u: Union<i64> = Union::new(2);
+        let mut out: Vec<pipes_time::Message<i64>> = Vec::new();
+        u.on_heartbeat(0, Timestamp::new(10), &mut out);
+        assert!(out.is_empty()); // port 1 has no progress yet
+        u.on_heartbeat(1, Timestamp::new(4), &mut out);
+        assert_eq!(out, vec![pipes_time::Message::Heartbeat(Timestamp::new(4))]);
+    }
+}

@@ -1,0 +1,298 @@
+//! Window operators: they assign validity intervals to raw stream events.
+//!
+//! In the interval algebra, a window is not a buffer but a *retiming*: a
+//! time-based sliding window of size `w` maps an event at `t` to the
+//! validity interval `[t, t+w)` — the element is "in the window" at every
+//! instant within `w` of its occurrence. Count-based windows keep an element
+//! valid until `n` newer elements have arrived.
+
+use pipes_graph::{Collector, Operator};
+use pipes_time::{Duration, Element, TimeInterval, Timestamp};
+use std::collections::{HashMap, VecDeque};
+use std::hash::Hash;
+use std::marker::PhantomData;
+
+/// Time-based sliding window: element at `t` becomes valid on `[t, t+w)`.
+pub struct TimeWindow<T> {
+    window: Duration,
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T> TimeWindow<T> {
+    /// Creates a sliding window of the given size.
+    pub fn new(window: Duration) -> Self {
+        TimeWindow {
+            window,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> Operator for TimeWindow<T> {
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        let iv = TimeInterval::window(e.start(), self.window);
+        out.element(e.with_interval(iv));
+    }
+}
+
+/// The `NOW` window: element at `t` is valid only at the instant `t`
+/// (interval `[t, t+1)`). Used for stream–relation joins and CQL `[NOW]`.
+pub struct NowWindow<T> {
+    _marker: PhantomData<fn(T)>,
+}
+
+impl<T> NowWindow<T> {
+    /// Creates a NOW window.
+    pub fn new() -> Self {
+        NowWindow {
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Default for NowWindow<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Send + Clone + 'static> Operator for NowWindow<T> {
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        let iv = TimeInterval::instant(e.start());
+        out.element(e.with_interval(iv));
+    }
+}
+
+/// Count-based sliding window of `n` rows: an element stays valid until `n`
+/// newer elements have arrived; the last `n` elements at end of stream stay
+/// valid forever (`Timestamp::MAX`), matching CQL `[ROWS n]` at stream end.
+///
+/// Emission is delayed by `n` elements (an element's end is only known when
+/// its displacing successor arrives), so the operator holds back heartbeats
+/// accordingly.
+pub struct CountWindow<T> {
+    n: usize,
+    buffer: VecDeque<Element<T>>,
+}
+
+impl<T> CountWindow<T> {
+    /// Creates a count window of `n` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "count window needs at least one row");
+        CountWindow {
+            n,
+            buffer: VecDeque::with_capacity(n),
+        }
+    }
+}
+
+impl<T: Send + Clone + 'static> Operator for CountWindow<T> {
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        let arrival = e.start();
+        self.buffer.push_back(e);
+        if self.buffer.len() > self.n {
+            let mut oldest = self.buffer.pop_front().expect("buffer non-empty");
+            // Displaced by the n-th successor: valid [start, arrival), unless
+            // the displacing element arrived at the very same instant.
+            if let Some(iv) = TimeInterval::try_new(oldest.start(), arrival) {
+                oldest.interval = iv;
+                out.element(oldest);
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, _port: usize, t: Timestamp, out: &mut dyn Collector<T>) {
+        // Buffered elements are not emitted yet; progress is capped by the
+        // oldest of them.
+        let held = self.buffer.front().map_or(t, |e| e.start().min(t));
+        out.heartbeat(held);
+    }
+
+    fn on_close(&mut self, out: &mut dyn Collector<T>) {
+        for mut e in self.buffer.drain(..) {
+            e.interval = TimeInterval::from_start(e.start());
+            out.element(e);
+        }
+    }
+
+    fn memory(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// Per-group count-based window: `[PARTITION BY key ROWS n]`. Each key's
+/// substream gets its own count window of `n` rows.
+pub struct PartitionedCountWindow<T, K, F> {
+    n: usize,
+    key: F,
+    buffers: HashMap<K, VecDeque<Element<T>>>,
+    _marker: PhantomData<fn(T) -> K>,
+}
+
+impl<T, K: Hash + Eq, F: Fn(&T) -> K> PartitionedCountWindow<T, K, F> {
+    /// Creates a partitioned count window of `n` rows per key.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn new(n: usize, key: F) -> Self {
+        assert!(n > 0, "count window needs at least one row");
+        PartitionedCountWindow {
+            n,
+            key,
+            buffers: HashMap::new(),
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T, K, F> Operator for PartitionedCountWindow<T, K, F>
+where
+    T: Send + Clone + 'static,
+    K: Hash + Eq + Send + 'static,
+    F: Fn(&T) -> K + Send + 'static,
+{
+    type In = T;
+    type Out = T;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<T>) {
+        let arrival = e.start();
+        let buf = self.buffers.entry((self.key)(&e.payload)).or_default();
+        buf.push_back(e);
+        if buf.len() > self.n {
+            let mut oldest = buf.pop_front().expect("buffer non-empty");
+            if let Some(iv) = TimeInterval::try_new(oldest.start(), arrival) {
+                oldest.interval = iv;
+                out.element(oldest);
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, _port: usize, t: Timestamp, out: &mut dyn Collector<T>) {
+        let held = self
+            .buffers
+            .values()
+            .filter_map(|b| b.front().map(Element::start))
+            .min()
+            .map_or(t, |oldest| oldest.min(t));
+        out.heartbeat(held);
+    }
+
+    fn on_close(&mut self, out: &mut dyn Collector<T>) {
+        let mut remaining: Vec<Element<T>> = self
+            .buffers
+            .drain()
+            .flat_map(|(_, buf)| buf.into_iter())
+            .collect();
+        remaining.sort_by_key(Element::start);
+        for mut e in remaining {
+            e.interval = TimeInterval::from_start(e.start());
+            out.element(e);
+        }
+    }
+
+    fn memory(&self) -> usize {
+        self.buffers.values().map(VecDeque::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drive::{check_watermark_contract, run_unary, run_unary_messages};
+
+    fn ev(p: i64, t: u64) -> Element<i64> {
+        Element::at(p, Timestamp::new(t))
+    }
+
+    fn iv(s: u64, e: u64) -> TimeInterval {
+        TimeInterval::new(Timestamp::new(s), Timestamp::new(e))
+    }
+
+    #[test]
+    fn time_window_extends_validity() {
+        let out = run_unary(
+            TimeWindow::new(Duration::from_ticks(10)),
+            vec![ev(1, 0), ev(2, 7)],
+        );
+        assert_eq!(out[0].interval, iv(0, 10));
+        assert_eq!(out[1].interval, iv(7, 17));
+    }
+
+    #[test]
+    fn now_window_is_instant() {
+        let out = run_unary(NowWindow::new(), vec![ev(1, 5)]);
+        assert_eq!(out[0].interval, iv(5, 6));
+    }
+
+    #[test]
+    fn count_window_expires_after_n_rows() {
+        let out = run_unary(CountWindow::new(2), vec![ev(1, 0), ev(2, 3), ev(3, 5), ev(4, 9)]);
+        // 1 valid [0, start of 3rd element)=... element 1 displaced by element 3 (t=5)
+        assert_eq!(out[0], Element::new(1, iv(0, 5)));
+        assert_eq!(out[1], Element::new(2, iv(3, 9)));
+        // last two stay valid forever
+        assert_eq!(out[2].interval.start(), Timestamp::new(5));
+        assert_eq!(out[2].interval.end(), Timestamp::MAX);
+        assert_eq!(out[3].interval.end(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn count_window_simultaneous_displacement_drops_empty_interval() {
+        // Two events at the same instant with n=1: the first is displaced at
+        // its own start, yielding an empty interval that must not be emitted.
+        let out = run_unary(CountWindow::new(1), vec![ev(1, 4), ev(2, 4)]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 2);
+    }
+
+    #[test]
+    fn count_window_holds_back_watermarks() {
+        let msgs = run_unary_messages(CountWindow::new(2), vec![ev(1, 0), ev(2, 10), ev(3, 20)]);
+        check_watermark_contract(&msgs).unwrap();
+    }
+
+    #[test]
+    fn partitioned_count_window_is_per_key() {
+        let input = vec![ev(10, 0), ev(20, 1), ev(11, 5), ev(21, 6), ev(12, 8)];
+        // key = tens digit: group 1x: 10(t0),11(t5),12(t8); group 2x: 20(t1),21(t6)
+        let out = run_unary(
+            PartitionedCountWindow::new(1, |v: &i64| v / 10),
+            input,
+        );
+        let find = |p: i64| out.iter().find(|e| e.payload == p).unwrap().clone();
+        assert_eq!(find(10).interval, iv(0, 5));
+        assert_eq!(find(11).interval, iv(5, 8));
+        assert_eq!(find(20).interval, iv(1, 6));
+        assert_eq!(find(12).interval.end(), Timestamp::MAX);
+        assert_eq!(find(21).interval.end(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn partitioned_watermark_contract() {
+        let msgs = run_unary_messages(
+            PartitionedCountWindow::new(2, |v: &i64| v % 2),
+            (0..20).map(|i| ev(i, i as u64)).collect(),
+        );
+        check_watermark_contract(&msgs).unwrap();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_rejected() {
+        let _ = CountWindow::<i64>::new(0);
+    }
+}

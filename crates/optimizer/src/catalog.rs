@@ -1,0 +1,171 @@
+//! The catalog: registered streams and relations.
+
+use crate::value::{Schema, Tuple, Value};
+use pipes_graph::SourceOp;
+use pipes_rel::SharedRelation;
+use std::collections::HashMap;
+
+/// Builds a fresh physical source for a registered stream. Factories are
+/// invoked once per query installation that cannot share an existing scan.
+pub type TupleSourceFactory = Box<dyn Fn() -> Box<dyn SourceOp<Out = Tuple>> + Send + Sync>;
+
+/// A registered stream.
+pub struct StreamDef {
+    /// Base (unqualified) column names.
+    pub schema: Schema,
+    /// Expected element rate (elements per time unit), used by the cost
+    /// model before observed metadata exists.
+    pub rate_hint: f64,
+    /// Physical source factory.
+    pub factory: TupleSourceFactory,
+}
+
+/// A registered relation: tuple rows keyed by one column.
+pub struct RelationDef {
+    /// Base column names.
+    pub schema: Schema,
+    /// Index of the primary-key column.
+    pub key_col: usize,
+    /// The shared table.
+    pub relation: SharedRelation<Value, Tuple>,
+}
+
+/// Name → definition maps consulted by the CQL front end, the cost model
+/// and the physical compiler.
+#[derive(Default)]
+pub struct Catalog {
+    streams: HashMap<String, StreamDef>,
+    relations: HashMap<String, RelationDef>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a stream.
+    pub fn add_stream(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        rate_hint: f64,
+        factory: TupleSourceFactory,
+    ) {
+        self.streams.insert(
+            name.into(),
+            StreamDef {
+                schema,
+                rate_hint,
+                factory,
+            },
+        );
+    }
+
+    /// Registers a relation keyed by `key_col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_col` is out of range for the schema.
+    pub fn add_relation(
+        &mut self,
+        name: impl Into<String>,
+        schema: Schema,
+        key_col: usize,
+        relation: SharedRelation<Value, Tuple>,
+    ) {
+        assert!(key_col < schema.len(), "key column out of range");
+        self.relations.insert(
+            name.into(),
+            RelationDef {
+                schema,
+                key_col,
+                relation,
+            },
+        );
+    }
+
+    /// Looks up a stream.
+    pub fn stream(&self, name: &str) -> Option<&StreamDef> {
+        self.streams.get(name)
+    }
+
+    /// Looks up a relation.
+    pub fn relation(&self, name: &str) -> Option<&RelationDef> {
+        self.relations.get(name)
+    }
+
+    /// Whether `name` is a registered stream.
+    pub fn has_stream(&self, name: &str) -> bool {
+        self.streams.contains_key(name)
+    }
+
+    /// Whether `name` is a registered relation.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all registered streams.
+    pub fn stream_names(&self) -> Vec<&str> {
+        self.streams.keys().map(String::as_str).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_graph::io::VecSource;
+    use pipes_rel::Relation;
+
+    pub(crate) fn test_catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_stream(
+            "nums",
+            Schema::of(&["k", "v"]),
+            100.0,
+            Box::new(|| {
+                let elems = (0..10i64)
+                    .map(|i| {
+                        pipes_time::Element::at(
+                            vec![Value::Int(i % 3), Value::Int(i)],
+                            pipes_time::Timestamp::new(i as u64),
+                        )
+                    })
+                    .collect();
+                Box::new(VecSource::new(elems))
+            }),
+        );
+        let mut rel = Relation::new("dim", |t: &Tuple| t[0].clone());
+        rel.bulk_load((0..3i64).map(|k| vec![Value::Int(k), Value::str(format!("name{k}"))]));
+        cat.add_relation(
+            "dim",
+            Schema::of(&["id", "label"]),
+            0,
+            SharedRelation::new(rel),
+        );
+        cat
+    }
+
+    #[test]
+    fn registration_and_lookup() {
+        let cat = test_catalog();
+        assert!(cat.has_stream("nums"));
+        assert!(!cat.has_stream("dim"));
+        assert!(cat.has_relation("dim"));
+        assert_eq!(cat.stream("nums").unwrap().schema.len(), 2);
+        assert_eq!(cat.relation("dim").unwrap().key_col, 0);
+        let mut names = cat.stream_names();
+        names.sort();
+        assert_eq!(names, vec!["nums"]);
+    }
+
+    #[test]
+    fn factory_builds_working_sources() {
+        let cat = test_catalog();
+        let mut src = (cat.stream("nums").unwrap().factory)();
+        let mut out: Vec<pipes_time::Message<Tuple>> = Vec::new();
+        let status = src.produce(100, &mut out);
+        assert_eq!(status, pipes_graph::SourceStatus::Exhausted);
+        assert_eq!(out.iter().filter(|m| m.is_element()).count(), 10);
+    }
+}

@@ -1,0 +1,757 @@
+//! Physical compilation: logical plans → operators in a query graph.
+
+use crate::catalog::Catalog;
+use crate::expr::{BinOp, BoundExpr, Expr};
+use crate::plan::{AggFunc, LogicalPlan, WindowSpec};
+use crate::value::{Schema, Tuple, Value};
+use pipes_graph::{QueryGraph, StreamHandle};
+use pipes_ops::aggregate::AggregateFn;
+use pipes_ops::{
+    Coalesce, CountWindow, Difference, Distinct, Filter, Granularity, GroupedAggregate, Map,
+    NowWindow, PartitionedCountWindow, RippleJoin, ScalarAggregate, TimeWindow, Union,
+};
+use pipes_rel::RelationLookup;
+use std::collections::HashMap;
+
+/// Computes the output schema of a logical plan.
+pub fn output_schema(plan: &LogicalPlan, catalog: &Catalog) -> Result<Schema, String> {
+    match plan {
+        LogicalPlan::Stream { name, alias } => {
+            let def = catalog
+                .stream(name)
+                .ok_or_else(|| format!("unknown stream '{name}'"))?;
+            Ok(def.schema.qualified(alias.as_deref().unwrap_or(name)))
+        }
+        LogicalPlan::Window { input, .. }
+        | LogicalPlan::Filter { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Every { input, .. }
+        | LogicalPlan::Coalesce { input } => output_schema(input, catalog),
+        LogicalPlan::Project { input, exprs } => {
+            // Validate input columns resolve.
+            let in_schema = output_schema(input, catalog)?;
+            for (e, _) in exprs {
+                e.bind(&in_schema)?;
+            }
+            Ok(Schema::new(exprs.iter().map(|(_, n)| n.clone()).collect()))
+        }
+        LogicalPlan::Join { left, right, .. } => {
+            Ok(output_schema(left, catalog)?.concat(&output_schema(right, catalog)?))
+        }
+        LogicalPlan::RelationJoin {
+            input,
+            relation,
+            alias,
+            ..
+        } => {
+            let def = catalog
+                .relation(relation)
+                .ok_or_else(|| format!("unknown relation '{relation}'"))?;
+            let rel_schema = def.schema.qualified(alias.as_deref().unwrap_or(relation));
+            Ok(output_schema(input, catalog)?.concat(&rel_schema))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let in_schema = output_schema(input, catalog)?;
+            for (e, _) in group_by {
+                e.bind(&in_schema)?;
+            }
+            for (a, _) in aggs {
+                if a.func != AggFunc::Count {
+                    a.arg.bind(&in_schema)?;
+                }
+            }
+            let mut cols: Vec<String> = group_by.iter().map(|(_, n)| n.clone()).collect();
+            cols.extend(aggs.iter().map(|(_, n)| n.clone()));
+            Ok(Schema::new(cols))
+        }
+        LogicalPlan::Union { inputs } => {
+            let first = output_schema(
+                inputs.first().ok_or_else(|| "empty union".to_string())?,
+                catalog,
+            )?;
+            for other in &inputs[1..] {
+                let s = output_schema(other, catalog)?;
+                if s.len() != first.len() {
+                    return Err(format!(
+                        "union arity mismatch: {} vs {}",
+                        first.len(),
+                        s.len()
+                    ));
+                }
+            }
+            Ok(first)
+        }
+        LogicalPlan::Difference { left, right } => {
+            let l = output_schema(left, catalog)?;
+            let r = output_schema(right, catalog)?;
+            if l.len() != r.len() {
+                return Err("difference arity mismatch".into());
+            }
+            Ok(l)
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuple aggregation
+// ---------------------------------------------------------------------------
+
+/// Accumulator of one aggregate call.
+#[derive(Clone, Debug)]
+pub enum AggAcc {
+    /// Running row count.
+    Count(u64),
+    /// Running sum.
+    Sum(f64),
+    /// Running sum and count.
+    Avg(f64, u64),
+    /// Running minimum.
+    Min(Value),
+    /// Running maximum.
+    Max(Value),
+}
+
+/// The combined aggregate over tuples: evaluates each call's argument and
+/// folds all accumulators side by side; output is one value per call.
+pub struct TupleAggs {
+    specs: Vec<(AggFunc, Option<BoundExpr>)>,
+}
+
+impl TupleAggs {
+    fn value(&self, i: usize, t: &Tuple) -> Value {
+        match &self.specs[i].1 {
+            Some(e) => e.eval(t),
+            None => Value::Null,
+        }
+    }
+}
+
+impl AggregateFn<Tuple> for TupleAggs {
+    type Acc = Vec<AggAcc>;
+    type Out = Tuple;
+
+    fn init(&self, v: &Tuple) -> Vec<AggAcc> {
+        self.specs
+            .iter()
+            .enumerate()
+            .map(|(i, (f, _))| match f {
+                AggFunc::Count => AggAcc::Count(1),
+                AggFunc::Sum => AggAcc::Sum(self.value(i, v).as_f64().unwrap_or(0.0)),
+                AggFunc::Avg => AggAcc::Avg(self.value(i, v).as_f64().unwrap_or(0.0), 1),
+                AggFunc::Min => AggAcc::Min(self.value(i, v)),
+                AggFunc::Max => AggAcc::Max(self.value(i, v)),
+            })
+            .collect()
+    }
+
+    fn add(&self, acc: &mut Vec<AggAcc>, v: &Tuple) {
+        for (i, a) in acc.iter_mut().enumerate() {
+            match a {
+                AggAcc::Count(c) => *c += 1,
+                AggAcc::Sum(s) => *s += self.value(i, v).as_f64().unwrap_or(0.0),
+                AggAcc::Avg(s, c) => {
+                    *s += self.value(i, v).as_f64().unwrap_or(0.0);
+                    *c += 1;
+                }
+                AggAcc::Min(m) => {
+                    let x = self.value(i, v);
+                    if x.sql_cmp(m).is_some_and(|o| o.is_lt()) {
+                        *m = x;
+                    }
+                }
+                AggAcc::Max(m) => {
+                    let x = self.value(i, v);
+                    if x.sql_cmp(m).is_some_and(|o| o.is_gt()) {
+                        *m = x;
+                    }
+                }
+            }
+        }
+    }
+
+    fn finalize(&self, acc: &Vec<AggAcc>) -> Tuple {
+        acc.iter()
+            .map(|a| match a {
+                AggAcc::Count(c) => Value::Int(*c as i64),
+                AggAcc::Sum(s) => Value::Float(*s),
+                AggAcc::Avg(s, c) => Value::Float(*s / *c as f64),
+                AggAcc::Min(v) | AggAcc::Max(v) => v.clone(),
+            })
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Mutable compilation state: the target graph, the catalog, and the map of
+/// already-installed subplans (signature → publication point) that enables
+/// multi-query sharing.
+pub struct CompileContext<'a> {
+    /// The running query graph being extended.
+    pub graph: &'a QueryGraph,
+    /// Stream and relation definitions.
+    pub catalog: &'a Catalog,
+    /// Already-running subplans by signature.
+    pub installed: &'a mut HashMap<String, StreamHandle<Tuple>>,
+    /// Nodes newly created by this compilation.
+    pub created: usize,
+    /// Subplans reused from the running graph.
+    pub reused: usize,
+}
+
+impl<'a> CompileContext<'a> {
+    /// Creates a context.
+    pub fn new(
+        graph: &'a QueryGraph,
+        catalog: &'a Catalog,
+        installed: &'a mut HashMap<String, StreamHandle<Tuple>>,
+    ) -> Self {
+        CompileContext {
+            graph,
+            catalog,
+            installed,
+            created: 0,
+            reused: 0,
+        }
+    }
+}
+
+/// Compiles `plan` into physical operators, reusing installed subplans;
+/// returns the output publication point.
+pub fn compile(
+    plan: &LogicalPlan,
+    ctx: &mut CompileContext<'_>,
+) -> Result<StreamHandle<Tuple>, String> {
+    let sig = plan.signature();
+    if let Some(handle) = ctx.installed.get(&sig) {
+        ctx.reused += 1;
+        return Ok(handle.clone());
+    }
+    let handle = compile_new(plan, ctx)?;
+    ctx.created += 1;
+    ctx.installed.insert(sig, handle.clone());
+    Ok(handle)
+}
+
+fn compile_new(
+    plan: &LogicalPlan,
+    ctx: &mut CompileContext<'_>,
+) -> Result<StreamHandle<Tuple>, String> {
+    match plan {
+        LogicalPlan::Stream { name, .. } => {
+            let def = ctx
+                .catalog
+                .stream(name)
+                .ok_or_else(|| format!("unknown stream '{name}'"))?;
+            let source = (def.factory)();
+            Ok(ctx.graph.add_source(name, source))
+        }
+        LogicalPlan::Window { input, spec } => {
+            let in_schema = output_schema(input, ctx.catalog)?;
+            let up = compile(input, ctx)?;
+            Ok(match spec {
+                WindowSpec::Time(d) => {
+                    ctx.graph
+                        .add_unary(&format!("window[{d}]"), TimeWindow::new(*d), &up)
+                }
+                WindowSpec::Now => ctx.graph.add_unary("window[now]", NowWindow::new(), &up),
+                WindowSpec::Rows(n) => {
+                    ctx.graph
+                        .add_unary(&format!("window[rows {n}]"), CountWindow::new(*n), &up)
+                }
+                WindowSpec::PartitionRows(cols, n) => {
+                    let idx: Vec<usize> = cols
+                        .iter()
+                        .map(|c| in_schema.resolve(c))
+                        .collect::<Result<_, _>>()?;
+                    let key = move |t: &Tuple| -> Vec<Value> {
+                        idx.iter().map(|&i| t[i].clone()).collect()
+                    };
+                    ctx.graph.add_unary(
+                        &format!("window[partition rows {n}]"),
+                        PartitionedCountWindow::new(*n, key),
+                        &up,
+                    )
+                }
+            })
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let in_schema = output_schema(input, ctx.catalog)?;
+            let bound = predicate.bind(&in_schema)?;
+            let up = compile(input, ctx)?;
+            Ok(ctx.graph.add_unary(
+                &format!("filter[{predicate}]"),
+                Filter::new(move |t: &Tuple| bound.eval(t).truthy()),
+                &up,
+            ))
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let in_schema = output_schema(input, ctx.catalog)?;
+            let bound: Vec<BoundExpr> = exprs
+                .iter()
+                .map(|(e, _)| e.bind(&in_schema))
+                .collect::<Result<_, _>>()?;
+            let up = compile(input, ctx)?;
+            Ok(ctx.graph.add_unary(
+                "project",
+                Map::new(move |t: Tuple| bound.iter().map(|b| b.eval(&t)).collect::<Tuple>()),
+                &up,
+            ))
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        } => compile_join(left, right, predicate, ctx),
+        LogicalPlan::RelationJoin {
+            input,
+            relation,
+            stream_key,
+            ..
+        } => {
+            let in_schema = output_schema(input, ctx.catalog)?;
+            let key = stream_key.bind(&in_schema)?;
+            let def = ctx
+                .catalog
+                .relation(relation)
+                .ok_or_else(|| format!("unknown relation '{relation}'"))?;
+            let shared = def.relation.clone();
+            let up = compile(input, ctx)?;
+            Ok(ctx.graph.add_unary(
+                &format!("reljoin[{relation}]"),
+                RelationLookup::new(
+                    shared,
+                    move |t: &Tuple| key.eval(t),
+                    |t: &Tuple, row: &Tuple| {
+                        let mut out = t.clone();
+                        out.extend(row.iter().cloned());
+                        out
+                    },
+                ),
+                &up,
+            ))
+        }
+        LogicalPlan::Aggregate {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let in_schema = output_schema(input, ctx.catalog)?;
+            let specs: Vec<(AggFunc, Option<BoundExpr>)> = aggs
+                .iter()
+                .map(|(a, _)| {
+                    Ok((
+                        a.func,
+                        if a.func == AggFunc::Count {
+                            None
+                        } else {
+                            Some(a.arg.bind(&in_schema)?)
+                        },
+                    ))
+                })
+                .collect::<Result<_, String>>()?;
+            let tuple_aggs = TupleAggs { specs };
+            let up = compile(input, ctx)?;
+            if group_by.is_empty() {
+                Ok(ctx
+                    .graph
+                    .add_unary("aggregate", ScalarAggregate::new(tuple_aggs), &up))
+            } else {
+                let keys: Vec<BoundExpr> = group_by
+                    .iter()
+                    .map(|(e, _)| e.bind(&in_schema))
+                    .collect::<Result<_, _>>()?;
+                let key_fn = move |t: &Tuple| -> Vec<Value> {
+                    keys.iter().map(|k| k.eval(t)).collect()
+                };
+                let grouped = ctx.graph.add_unary(
+                    "aggregate[grouped]",
+                    GroupedAggregate::new(key_fn, tuple_aggs),
+                    &up,
+                );
+                // Flatten (key, aggs) pairs into plain tuples.
+                Ok(ctx.graph.add_unary(
+                    "aggregate[flatten]",
+                    Map::new(|(k, aggs): (Vec<Value>, Tuple)| {
+                        let mut out = k;
+                        out.extend(aggs);
+                        out
+                    }),
+                    &grouped,
+                ))
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let up = compile(input, ctx)?;
+            Ok(ctx.graph.add_unary("distinct", Distinct::new(), &up))
+        }
+        LogicalPlan::Union { inputs } => {
+            let handles: Vec<StreamHandle<Tuple>> = inputs
+                .iter()
+                .map(|p| compile(p, ctx))
+                .collect::<Result<_, _>>()?;
+            Ok(ctx
+                .graph
+                .add_nary("union", Union::new(handles.len()), &handles))
+        }
+        LogicalPlan::Difference { left, right } => {
+            let l = compile(left, ctx)?;
+            let r = compile(right, ctx)?;
+            Ok(ctx.graph.add_binary("difference", Difference::new(), &l, &r))
+        }
+        LogicalPlan::Every { input, period } => {
+            let up = compile(input, ctx)?;
+            Ok(ctx.graph.add_unary(
+                &format!("every[{period}]"),
+                Granularity::new(*period),
+                &up,
+            ))
+        }
+        LogicalPlan::Coalesce { input } => {
+            let up = compile(input, ctx)?;
+            Ok(ctx.graph.add_unary("coalesce", Coalesce::new(), &up))
+        }
+    }
+}
+
+/// Splits a join predicate into equi-key pairs and a residual, then builds
+/// a hash ripple join (plus residual filter) or a nested-loop theta join.
+fn compile_join(
+    left: &LogicalPlan,
+    right: &LogicalPlan,
+    predicate: &Expr,
+    ctx: &mut CompileContext<'_>,
+) -> Result<StreamHandle<Tuple>, String> {
+    let ls = output_schema(left, ctx.catalog)?;
+    let rs = output_schema(right, ctx.catalog)?;
+    let combined = ls.concat(&rs);
+
+    let mut left_keys: Vec<BoundExpr> = Vec::new();
+    let mut right_keys: Vec<BoundExpr> = Vec::new();
+    let mut residual: Vec<Expr> = Vec::new();
+    for conjunct in predicate.conjuncts() {
+        if let Expr::Binary(a, BinOp::Eq, b) = &conjunct {
+            // `a = b` is an equi-key pair if each side binds against exactly
+            // one input schema.
+            let (la, ra) = (a.bind(&ls).is_ok(), a.bind(&rs).is_ok());
+            let (lb, rb) = (b.bind(&ls).is_ok(), b.bind(&rs).is_ok());
+            if la && !ra && rb && !lb {
+                left_keys.push(a.bind(&ls)?);
+                right_keys.push(b.bind(&rs)?);
+                continue;
+            }
+            if ra && !la && lb && !rb {
+                left_keys.push(b.bind(&ls)?);
+                right_keys.push(a.bind(&rs)?);
+                continue;
+            }
+        }
+        residual.push(conjunct);
+    }
+
+    let lh = compile(left, ctx)?;
+    let rh = compile(right, ctx)?;
+
+    let combine = |l: &Tuple, r: &Tuple| -> Tuple {
+        let mut out = l.clone();
+        out.extend(r.iter().cloned());
+        out
+    };
+
+    let joined = if left_keys.is_empty() {
+        // Pure theta join over list sweep areas.
+        let pred = Expr::conjoin(std::mem::take(&mut residual)).bind(&combined)?;
+        let join: RippleJoin<Tuple, Tuple, Tuple> = RippleJoin::theta(
+            move |l: &Tuple, r: &Tuple| {
+                let mut t = l.clone();
+                t.extend(r.iter().cloned());
+                pred.eval(&t).truthy()
+            },
+            combine,
+        );
+        ctx.graph.add_binary("join[theta]", join, &lh, &rh)
+    } else {
+        let lk = left_keys;
+        let rk = right_keys;
+        let join: RippleJoin<Tuple, Tuple, Tuple> = RippleJoin::equi(
+            move |t: &Tuple| lk.iter().map(|k| k.eval(t)).collect::<Vec<Value>>(),
+            move |t: &Tuple| rk.iter().map(|k| k.eval(t)).collect::<Vec<Value>>(),
+            combine,
+        );
+        ctx.graph.add_binary("join[hash]", join, &lh, &rh)
+    };
+
+    if residual.is_empty() {
+        Ok(joined)
+    } else {
+        let bound = Expr::conjoin(residual).bind(&combined)?;
+        Ok(ctx.graph.add_unary(
+            "join[residual]",
+            Filter::new(move |t: &Tuple| bound.eval(t).truthy()),
+            &joined,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::AggSpec;
+    use pipes_graph::io::CollectSink;
+    use pipes_graph::io::VecSource;
+    use pipes_rel::{Relation, SharedRelation};
+    use pipes_time::{Element, Timestamp};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_stream(
+            "nums",
+            Schema::of(&["k", "v"]),
+            100.0,
+            Box::new(|| {
+                let elems = (0..10i64)
+                    .map(|i| {
+                        Element::at(
+                            vec![Value::Int(i % 3), Value::Int(i)],
+                            Timestamp::new(i as u64),
+                        )
+                    })
+                    .collect();
+                Box::new(VecSource::new(elems))
+            }),
+        );
+        cat.add_stream(
+            "other",
+            Schema::of(&["k", "w"]),
+            100.0,
+            Box::new(|| {
+                let elems = (0..6i64)
+                    .map(|i| {
+                        Element::at(
+                            vec![Value::Int(i % 3), Value::Int(i * 100)],
+                            Timestamp::new(i as u64),
+                        )
+                    })
+                    .collect();
+                Box::new(VecSource::new(elems))
+            }),
+        );
+        let mut rel = Relation::new("dim", |t: &Tuple| t[0].clone());
+        rel.bulk_load((0..3i64).map(|k| vec![Value::Int(k), Value::str(format!("name{k}"))]));
+        cat.add_relation("dim", Schema::of(&["id", "label"]), 0, SharedRelation::new(rel));
+        cat
+    }
+
+    fn run(plan: &LogicalPlan, cat: &Catalog) -> Vec<Tuple> {
+        let graph = QueryGraph::new();
+        let mut installed = HashMap::new();
+        let mut ctx = CompileContext::new(&graph, cat, &mut installed);
+        let handle = compile(plan, &mut ctx).expect("compiles");
+        let (sink, buf) = CollectSink::new();
+        graph.add_sink("out", sink, &handle);
+        graph.run_to_completion(16);
+        let res = buf.lock().iter().map(|e| e.payload.clone()).collect();
+        res
+    }
+
+    fn windowed_stream(name: &str, secs: u64) -> LogicalPlan {
+        LogicalPlan::Window {
+            input: Box::new(LogicalPlan::Stream {
+                name: name.into(),
+                alias: None,
+            }),
+            spec: WindowSpec::Time(pipes_time::Duration::from_ticks(secs)),
+        }
+    }
+
+    #[test]
+    fn schema_computation() {
+        let cat = catalog();
+        let s = output_schema(
+            &LogicalPlan::Stream {
+                name: "nums".into(),
+                alias: Some("n".into()),
+            },
+            &cat,
+        )
+        .unwrap();
+        assert_eq!(s.columns(), &["n.k".to_string(), "n.v".to_string()]);
+        assert!(output_schema(
+            &LogicalPlan::Stream {
+                name: "missing".into(),
+                alias: None
+            },
+            &cat
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn filter_project_pipeline() {
+        let cat = catalog();
+        let plan = LogicalPlan::Project {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(windowed_stream("nums", 5)),
+                predicate: Expr::bin(Expr::col("v"), BinOp::Ge, Expr::lit(8i64)),
+            }),
+            exprs: vec![(
+                Expr::bin(Expr::col("v"), BinOp::Mul, Expr::lit(2i64)),
+                "doubled".into(),
+            )],
+        };
+        let out = run(&plan, &cat);
+        assert_eq!(out, vec![vec![Value::Int(16)], vec![Value::Int(18)]]);
+    }
+
+    #[test]
+    fn equi_join_compiles_to_hash_join() {
+        let cat = catalog();
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Window {
+                input: Box::new(LogicalPlan::Stream {
+                    name: "nums".into(),
+                    alias: Some("n".into()),
+                }),
+                spec: WindowSpec::Time(pipes_time::Duration::from_ticks(100)),
+            }),
+            right: Box::new(LogicalPlan::Window {
+                input: Box::new(LogicalPlan::Stream {
+                    name: "other".into(),
+                    alias: Some("o".into()),
+                }),
+                spec: WindowSpec::Time(pipes_time::Duration::from_ticks(100)),
+            }),
+            predicate: Expr::col("n.k").eq(Expr::col("o.k")),
+        };
+        let out = run(&plan, &cat);
+        // 10 nums × 6 others matching on k%3: |pairs| = Σ matches.
+        assert!(!out.is_empty());
+        for t in &out {
+            assert_eq!(t.len(), 4);
+            assert_eq!(t[0], t[2], "join keys must match");
+        }
+        // The physical node is a hash join (named so in the graph).
+        let graph = QueryGraph::new();
+        let mut installed = HashMap::new();
+        let mut ctx = CompileContext::new(&graph, &cat, &mut installed);
+        compile(&plan, &mut ctx).unwrap();
+        let names: Vec<String> = graph.infos().iter().map(|i| i.name.clone()).collect();
+        assert!(names.iter().any(|n| n == "join[hash]"), "{names:?}");
+    }
+
+    #[test]
+    fn theta_join_with_residual() {
+        let cat = catalog();
+        let plan = LogicalPlan::Join {
+            left: Box::new(LogicalPlan::Window {
+                input: Box::new(LogicalPlan::Stream {
+                    name: "nums".into(),
+                    alias: Some("n".into()),
+                }),
+                spec: WindowSpec::Time(pipes_time::Duration::from_ticks(100)),
+            }),
+            right: Box::new(LogicalPlan::Window {
+                input: Box::new(LogicalPlan::Stream {
+                    name: "other".into(),
+                    alias: Some("o".into()),
+                }),
+                spec: WindowSpec::Time(pipes_time::Duration::from_ticks(100)),
+            }),
+            predicate: Expr::bin(Expr::col("n.v"), BinOp::Lt, Expr::col("o.w")),
+        };
+        let out = run(&plan, &cat);
+        for t in &out {
+            let v = t[1].as_i64().unwrap();
+            let w = t[3].as_i64().unwrap();
+            assert!(v < w);
+        }
+        assert!(!out.is_empty());
+    }
+
+    #[test]
+    fn grouped_aggregate_flattens() {
+        let cat = catalog();
+        let plan = LogicalPlan::Aggregate {
+            input: Box::new(windowed_stream("nums", 1000)),
+            group_by: vec![(Expr::col("k"), "k".into())],
+            aggs: vec![
+                (
+                    AggSpec {
+                        func: AggFunc::Count,
+                        arg: Expr::lit(0i64),
+                    },
+                    "cnt".into(),
+                ),
+                (
+                    AggSpec {
+                        func: AggFunc::Max,
+                        arg: Expr::col("v"),
+                    },
+                    "maxv".into(),
+                ),
+            ],
+        };
+        let schema = output_schema(&plan, &cat).unwrap();
+        assert_eq!(schema.columns(), &["k", "cnt", "maxv"]);
+        let out = run(&plan, &cat);
+        // Final snapshot (everything valid forever after windows of 1000):
+        // group 0: {0,3,6,9} → cnt 4, max 9.
+        let g0 = out
+            .iter()
+            .filter(|t| t[0] == Value::Int(0))
+            .max_by_key(|t| t[1].clone())
+            .unwrap();
+        assert_eq!(g0[1], Value::Int(4));
+        assert_eq!(g0[2], Value::Int(9));
+    }
+
+    #[test]
+    fn relation_join_lookup() {
+        let cat = catalog();
+        let plan = LogicalPlan::RelationJoin {
+            input: Box::new(windowed_stream("nums", 5)),
+            relation: "dim".into(),
+            alias: None,
+            stream_key: Expr::col("k"),
+        };
+        let schema = output_schema(&plan, &cat).unwrap();
+        assert_eq!(schema.len(), 4);
+        let out = run(&plan, &cat);
+        assert_eq!(out.len(), 10); // every event has a dimension row
+        for t in &out {
+            let k = t[0].as_i64().unwrap();
+            assert_eq!(t[3], Value::str(format!("name{k}")));
+        }
+    }
+
+    #[test]
+    fn sharing_reuses_subplans() {
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut installed = HashMap::new();
+        let base = windowed_stream("nums", 5);
+        let q1 = LogicalPlan::Filter {
+            input: Box::new(base.clone()),
+            predicate: Expr::bin(Expr::col("v"), BinOp::Gt, Expr::lit(5i64)),
+        };
+        let q2 = LogicalPlan::Filter {
+            input: Box::new(base),
+            predicate: Expr::bin(Expr::col("v"), BinOp::Lt, Expr::lit(3i64)),
+        };
+        let mut ctx = CompileContext::new(&graph, &cat, &mut installed);
+        compile(&q1, &mut ctx).unwrap();
+        let first_created = ctx.created;
+        assert_eq!(first_created, 3); // source, window, filter
+        compile(&q2, &mut ctx).unwrap();
+        assert_eq!(ctx.created, first_created + 1); // only the new filter
+        assert_eq!(ctx.reused, 1); // the shared window subplan
+        assert_eq!(graph.len(), 4);
+    }
+}

@@ -1,0 +1,237 @@
+//! The rate/selectivity cost model.
+//!
+//! Stream plans run forever, so cost is *rate-based*: each operator's cost
+//! is the work it performs per unit of time, driven by its input rates.
+//! Rates start from catalog hints and shrink through selectivity estimates;
+//! a multi-query installation additionally discounts subplans that already
+//! run in the graph (their cost is sunk).
+
+use crate::catalog::Catalog;
+use crate::expr::{BinOp, Expr};
+use crate::plan::LogicalPlan;
+use std::collections::HashSet;
+
+/// Estimated steady-state behaviour of a (sub)plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PlanEstimate {
+    /// Output elements per time unit.
+    pub rate: f64,
+    /// Total processing cost per time unit (including children).
+    pub cost: f64,
+}
+
+/// Heuristic selectivity of a predicate.
+pub fn selectivity(pred: &Expr) -> f64 {
+    match pred {
+        Expr::Binary(l, BinOp::And, r) => selectivity(l) * selectivity(r),
+        Expr::Binary(l, BinOp::Or, r) => (selectivity(l) + selectivity(r)).min(1.0),
+        Expr::Binary(_, BinOp::Eq, _) => 0.1,
+        Expr::Binary(_, BinOp::Ne, _) => 0.9,
+        Expr::Binary(_, BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge, _) => 0.4,
+        Expr::Unary(crate::expr::UnOp::Not, e) => 1.0 - selectivity(e),
+        _ => 0.5,
+    }
+}
+
+/// Estimates rate and cost of `plan`, treating subplans whose signature is
+/// in `sunk` as already running (zero cost, but their output rate still
+/// feeds parents).
+pub fn estimate_with_sunk(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    sunk: &HashSet<String>,
+) -> PlanEstimate {
+    if sunk.contains(&plan.signature()) {
+        let mut free = estimate_with_sunk_inner(plan, catalog, sunk);
+        free.cost = 0.0;
+        return free;
+    }
+    estimate_with_sunk_inner(plan, catalog, sunk)
+}
+
+fn estimate_with_sunk_inner(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    sunk: &HashSet<String>,
+) -> PlanEstimate {
+    let child = |p: &LogicalPlan| estimate_with_sunk(p, catalog, sunk);
+    match plan {
+        LogicalPlan::Stream { name, .. } => PlanEstimate {
+            rate: catalog.stream(name).map_or(1000.0, |s| s.rate_hint),
+            cost: 0.0,
+        },
+        LogicalPlan::Window { input, .. } => {
+            let i = child(input);
+            PlanEstimate {
+                rate: i.rate,
+                cost: i.cost + i.rate * 0.5,
+            }
+        }
+        LogicalPlan::Filter { input, predicate } => {
+            let i = child(input);
+            PlanEstimate {
+                rate: i.rate * selectivity(predicate),
+                cost: i.cost + i.rate,
+            }
+        }
+        LogicalPlan::Project { input, exprs } => {
+            let i = child(input);
+            PlanEstimate {
+                rate: i.rate,
+                cost: i.cost + i.rate * 0.2 * exprs.len() as f64,
+            }
+        }
+        LogicalPlan::Join {
+            left,
+            right,
+            predicate,
+        } => {
+            let (l, r) = (child(left), child(right));
+            let out = (l.rate * r.rate * selectivity(predicate) * 0.01).max(0.0);
+            PlanEstimate {
+                rate: out,
+                cost: l.cost + r.cost + (l.rate + r.rate) * 2.0 + out,
+            }
+        }
+        LogicalPlan::RelationJoin { input, .. } => {
+            let i = child(input);
+            PlanEstimate {
+                rate: i.rate,
+                cost: i.cost + i.rate * 1.5,
+            }
+        }
+        LogicalPlan::Aggregate {
+            input, group_by, ..
+        } => {
+            let i = child(input);
+            let factor = if group_by.is_empty() { 0.5 } else { 0.8 };
+            PlanEstimate {
+                rate: i.rate * factor,
+                cost: i.cost + i.rate * 2.0,
+            }
+        }
+        LogicalPlan::Distinct { input } => {
+            let i = child(input);
+            PlanEstimate {
+                rate: i.rate * 0.5,
+                cost: i.cost + i.rate,
+            }
+        }
+        LogicalPlan::Union { inputs } => {
+            let ests: Vec<PlanEstimate> = inputs.iter().map(child).collect();
+            PlanEstimate {
+                rate: ests.iter().map(|e| e.rate).sum(),
+                cost: ests.iter().map(|e| e.cost + e.rate * 0.2).sum(),
+            }
+        }
+        LogicalPlan::Difference { left, right } => {
+            let (l, r) = (child(left), child(right));
+            PlanEstimate {
+                rate: l.rate,
+                cost: l.cost + r.cost + (l.rate + r.rate) * 1.5,
+            }
+        }
+        LogicalPlan::Every { input, .. } => {
+            let i = child(input);
+            PlanEstimate {
+                rate: i.rate * 0.1,
+                cost: i.cost + i.rate * 0.5,
+            }
+        }
+        LogicalPlan::Coalesce { input } => {
+            let i = child(input);
+            PlanEstimate {
+                rate: i.rate * 0.3,
+                cost: i.cost + i.rate * 0.5,
+            }
+        }
+    }
+}
+
+/// Estimates a plan with nothing sunk.
+pub fn estimate(plan: &LogicalPlan, catalog: &Catalog) -> PlanEstimate {
+    estimate_with_sunk(plan, catalog, &HashSet::new())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::WindowSpec;
+    use crate::value::Schema;
+    use pipes_time::Duration;
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_stream(
+            "s",
+            Schema::of(&["a"]),
+            1000.0,
+            Box::new(|| unreachable!("cost tests never build sources")),
+        );
+        cat
+    }
+
+    fn stream() -> LogicalPlan {
+        LogicalPlan::Stream {
+            name: "s".into(),
+            alias: None,
+        }
+    }
+
+    #[test]
+    fn selectivity_heuristics() {
+        let eq = Expr::col("a").eq(Expr::lit(1i64));
+        assert!((selectivity(&eq) - 0.1).abs() < 1e-12);
+        let both = eq.clone().and(eq.clone());
+        assert!((selectivity(&both) - 0.01).abs() < 1e-12);
+        let cmp = Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(1i64));
+        assert!((selectivity(&cmp) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn filter_early_is_cheaper_than_filter_late() {
+        let cat = catalog();
+        let pred = Expr::col("a").eq(Expr::lit(1i64));
+        // filter below the window...
+        let early = LogicalPlan::Window {
+            input: Box::new(LogicalPlan::Filter {
+                input: Box::new(stream()),
+                predicate: pred.clone(),
+            }),
+            spec: WindowSpec::Time(Duration::from_secs(1)),
+        };
+        // ...vs above it.
+        let late = LogicalPlan::Filter {
+            input: Box::new(LogicalPlan::Window {
+                input: Box::new(stream()),
+                spec: WindowSpec::Time(Duration::from_secs(1)),
+            }),
+            predicate: pred,
+        };
+        let (e, l) = (estimate(&early, &cat), estimate(&late, &cat));
+        assert!(e.cost < l.cost, "early {} !< late {}", e.cost, l.cost);
+        assert!((e.rate - l.rate).abs() < 1e-9, "same output rate");
+    }
+
+    #[test]
+    fn sunk_subplans_cost_nothing() {
+        let cat = catalog();
+        let plan = LogicalPlan::Filter {
+            input: Box::new(stream()),
+            predicate: Expr::col("a").eq(Expr::lit(1i64)),
+        };
+        let full = estimate(&plan, &cat);
+        let mut sunk = HashSet::new();
+        sunk.insert(plan.signature());
+        let discounted = estimate_with_sunk(&plan, &cat, &sunk);
+        assert_eq!(discounted.cost, 0.0);
+        assert_eq!(discounted.rate, full.rate);
+    }
+
+    #[test]
+    fn unknown_stream_gets_default_rate() {
+        let cat = Catalog::new();
+        let e = estimate(&stream(), &cat);
+        assert_eq!(e.rate, 1000.0);
+    }
+}

@@ -1,0 +1,346 @@
+//! Scalar expressions over tuples.
+
+use crate::value::{Schema, Tuple, Value};
+use std::fmt;
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than.
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+}
+
+impl BinOp {
+    /// The CQL surface syntax for this operator.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::And => "AND",
+            BinOp::Or => "OR",
+            BinOp::Eq => "=",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Rem => "%",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+}
+
+/// An unbound scalar expression (column references by name).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// A column reference, possibly qualified (`alias.col`).
+    Column(String),
+    /// A literal value.
+    Literal(Value),
+    /// A binary operation.
+    Binary(Box<Expr>, BinOp, Box<Expr>),
+    /// A unary operation.
+    Unary(UnOp, Box<Expr>),
+}
+
+impl Expr {
+    /// Column reference.
+    pub fn col(name: impl Into<String>) -> Expr {
+        Expr::Column(name.into())
+    }
+
+    /// Literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// Builder for binary expressions.
+    pub fn bin(lhs: Expr, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(Box::new(lhs), op, Box::new(rhs))
+    }
+
+    /// `self AND rhs`.
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::bin(self, BinOp::And, rhs)
+    }
+
+    /// `self = rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        Expr::bin(self, BinOp::Eq, rhs)
+    }
+
+    /// All column names referenced by the expression.
+    pub fn columns(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        self.visit(&mut |e| {
+            if let Expr::Column(c) = e {
+                out.push(c.as_str());
+            }
+        });
+        out
+    }
+
+    fn visit<'a>(&'a self, f: &mut impl FnMut(&'a Expr)) {
+        f(self);
+        match self {
+            Expr::Binary(l, _, r) => {
+                l.visit(f);
+                r.visit(f);
+            }
+            Expr::Unary(_, e) => e.visit(f),
+            _ => {}
+        }
+    }
+
+    /// Splits a conjunction into its conjuncts.
+    pub fn conjuncts(&self) -> Vec<Expr> {
+        match self {
+            Expr::Binary(l, BinOp::And, r) => {
+                let mut out = l.conjuncts();
+                out.extend(r.conjuncts());
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// Re-joins conjuncts into one predicate (`true` literal when empty).
+    pub fn conjoin(conjuncts: Vec<Expr>) -> Expr {
+        conjuncts
+            .into_iter()
+            .reduce(|a, b| a.and(b))
+            .unwrap_or(Expr::Literal(Value::Bool(true)))
+    }
+
+    /// Binds column names to indices against `schema`.
+    pub fn bind(&self, schema: &Schema) -> Result<BoundExpr, String> {
+        Ok(match self {
+            Expr::Column(name) => BoundExpr::Col(schema.resolve(name)?),
+            Expr::Literal(v) => BoundExpr::Lit(v.clone()),
+            Expr::Binary(l, op, r) => {
+                BoundExpr::Binary(Box::new(l.bind(schema)?), *op, Box::new(r.bind(schema)?))
+            }
+            Expr::Unary(op, e) => BoundExpr::Unary(*op, Box::new(e.bind(schema)?)),
+        })
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Binary(l, op, r) => write!(f, "({l} {} {r})", op.symbol()),
+            Expr::Unary(UnOp::Not, e) => write!(f, "(NOT {e})"),
+            Expr::Unary(UnOp::Neg, e) => write!(f, "(-{e})"),
+        }
+    }
+}
+
+/// An expression bound to a concrete schema: column references are indices,
+/// evaluation needs no name resolution.
+#[derive(Clone, Debug)]
+pub enum BoundExpr {
+    /// Column by index.
+    Col(usize),
+    /// Literal.
+    Lit(Value),
+    /// Binary operation.
+    Binary(Box<BoundExpr>, BinOp, Box<BoundExpr>),
+    /// Unary operation.
+    Unary(UnOp, Box<BoundExpr>),
+}
+
+impl BoundExpr {
+    /// Evaluates against a tuple. Type mismatches yield `Value::Null`
+    /// (three-valued logic: predicates treat it as false).
+    pub fn eval(&self, t: &Tuple) -> Value {
+        match self {
+            BoundExpr::Col(i) => t.get(*i).cloned().unwrap_or(Value::Null),
+            BoundExpr::Lit(v) => v.clone(),
+            BoundExpr::Unary(UnOp::Not, e) => match e.eval(t) {
+                Value::Bool(b) => Value::Bool(!b),
+                _ => Value::Null,
+            },
+            BoundExpr::Unary(UnOp::Neg, e) => match e.eval(t) {
+                Value::Int(i) => Value::Int(-i),
+                Value::Float(f) => Value::Float(-f),
+                _ => Value::Null,
+            },
+            BoundExpr::Binary(l, op, r) => {
+                let (lv, rv) = (l.eval(t), r.eval(t));
+                match op {
+                    BinOp::And => match (&lv, &rv) {
+                        (Value::Bool(a), Value::Bool(b)) => Value::Bool(*a && *b),
+                        _ => Value::Null,
+                    },
+                    BinOp::Or => match (&lv, &rv) {
+                        (Value::Bool(a), Value::Bool(b)) => Value::Bool(*a || *b),
+                        _ => Value::Null,
+                    },
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        match lv.sql_cmp(&rv) {
+                            None => Value::Null,
+                            Some(ord) => Value::Bool(match op {
+                                BinOp::Eq => ord.is_eq(),
+                                BinOp::Ne => !ord.is_eq(),
+                                BinOp::Lt => ord.is_lt(),
+                                BinOp::Le => ord.is_le(),
+                                BinOp::Gt => ord.is_gt(),
+                                BinOp::Ge => ord.is_ge(),
+                                _ => unreachable!(),
+                            }),
+                        }
+                    }
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem => {
+                        arith(&lv, *op, &rv)
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn arith(l: &Value, op: BinOp, r: &Value) -> Value {
+    // Integer arithmetic stays integral; anything involving floats widens.
+    if let (Value::Int(a), Value::Int(b)) = (l, r) {
+        return match op {
+            BinOp::Add => Value::Int(a.wrapping_add(*b)),
+            BinOp::Sub => Value::Int(a.wrapping_sub(*b)),
+            BinOp::Mul => Value::Int(a.wrapping_mul(*b)),
+            BinOp::Div => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a / b)
+                }
+            }
+            BinOp::Rem => {
+                if *b == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(a % b)
+                }
+            }
+            _ => Value::Null,
+        };
+    }
+    match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => match op {
+            BinOp::Add => Value::Float(a + b),
+            BinOp::Sub => Value::Float(a - b),
+            BinOp::Mul => Value::Float(a * b),
+            BinOp::Div => Value::Float(a / b),
+            BinOp::Rem => Value::Float(a % b),
+            _ => Value::Null,
+        },
+        _ => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::of(&["t.a", "t.b", "t.name"])
+    }
+
+    fn row() -> Tuple {
+        vec![Value::Int(10), Value::Float(2.5), Value::str("x")]
+    }
+
+    #[test]
+    fn bind_and_eval_arithmetic() {
+        let e = Expr::bin(Expr::col("a"), BinOp::Add, Expr::lit(5i64));
+        let b = e.bind(&schema()).unwrap();
+        assert_eq!(b.eval(&row()), Value::Int(15));
+
+        let e = Expr::bin(Expr::col("a"), BinOp::Mul, Expr::col("b"));
+        assert_eq!(e.bind(&schema()).unwrap().eval(&row()), Value::Float(25.0));
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let e = Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(3i64))
+            .and(Expr::bin(Expr::col("name"), BinOp::Eq, Expr::lit("x")));
+        assert_eq!(e.bind(&schema()).unwrap().eval(&row()), Value::Bool(true));
+
+        let e = Expr::Unary(
+            UnOp::Not,
+            Box::new(Expr::bin(Expr::col("a"), BinOp::Lt, Expr::lit(3i64))),
+        );
+        assert_eq!(e.bind(&schema()).unwrap().eval(&row()), Value::Bool(true));
+    }
+
+    #[test]
+    fn division_by_zero_is_null() {
+        let e = Expr::bin(Expr::lit(1i64), BinOp::Div, Expr::lit(0i64));
+        assert_eq!(e.bind(&schema()).unwrap().eval(&row()), Value::Null);
+        // And null is not truthy, so such predicates drop rows.
+        assert!(!Value::Null.truthy());
+    }
+
+    #[test]
+    fn type_mismatch_is_null() {
+        let e = Expr::bin(Expr::col("name"), BinOp::Add, Expr::lit(1i64));
+        assert_eq!(e.bind(&schema()).unwrap().eval(&row()), Value::Null);
+    }
+
+    #[test]
+    fn conjunct_split_and_join() {
+        let e = Expr::col("a")
+            .eq(Expr::lit(1i64))
+            .and(Expr::col("b").eq(Expr::lit(2i64)))
+            .and(Expr::col("name").eq(Expr::lit("x")));
+        let parts = e.conjuncts();
+        assert_eq!(parts.len(), 3);
+        let rejoined = Expr::conjoin(parts);
+        assert_eq!(rejoined.conjuncts().len(), 3);
+    }
+
+    #[test]
+    fn unknown_column_fails_binding() {
+        assert!(Expr::col("nope").bind(&schema()).is_err());
+    }
+
+    #[test]
+    fn columns_listed() {
+        let e = Expr::col("a").and(Expr::col("t.b").eq(Expr::lit(1i64)));
+        assert_eq!(e.columns(), vec!["a", "t.b"]);
+    }
+}

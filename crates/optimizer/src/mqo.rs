@@ -1,0 +1,291 @@
+//! The multi-query optimizer.
+
+use crate::catalog::Catalog;
+use crate::compile::{compile, output_schema, CompileContext};
+use crate::cost::{estimate_with_sunk, PlanEstimate};
+use crate::plan::LogicalPlan;
+use crate::rules;
+use crate::value::{Schema, Tuple};
+use pipes_graph::{QueryGraph, StreamHandle};
+use std::collections::{HashMap, HashSet};
+
+/// Outcome of installing one query into the running graph.
+#[derive(Debug)]
+pub struct InstallReport {
+    /// Publication point of the query's result stream.
+    pub handle: StreamHandle<Tuple>,
+    /// Output schema.
+    pub schema: Schema,
+    /// The plan variant that was chosen.
+    pub chosen: LogicalPlan,
+    /// Its estimated marginal cost (shared subplans are free).
+    pub estimate: PlanEstimate,
+    /// Snapshot-equivalent variants that were considered.
+    pub variants_considered: usize,
+    /// Physical nodes newly created.
+    pub created: usize,
+    /// Existing subplans reused via publish–subscribe.
+    pub reused: usize,
+}
+
+/// The rule-based multi-query optimizer of PIPES.
+///
+/// For every new query it heuristically enumerates snapshot-equivalent plan
+/// variants, probes each against the currently running query graph (whose
+/// installed subplans are tracked by signature), picks the best-matching
+/// plan by marginal cost, and splices only the missing operators into the
+/// graph via the publish–subscribe architecture.
+pub struct Optimizer {
+    installed: HashMap<String, StreamHandle<Tuple>>,
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Optimizer {
+    /// Creates an optimizer with an empty running-plan index.
+    pub fn new() -> Self {
+        Optimizer {
+            installed: HashMap::new(),
+        }
+    }
+
+    /// Number of installed (shareable) subplans.
+    pub fn installed_count(&self) -> usize {
+        self.installed.len()
+    }
+
+    /// Which subplans of `plan` already run (by signature).
+    fn sunk_signatures(&self, plan: &LogicalPlan, out: &mut HashSet<String>) {
+        let sig = plan.signature();
+        if self.installed.contains_key(&sig) {
+            out.insert(sig);
+            // Children are covered by the shared node transitively.
+            return;
+        }
+        for child in plan.inputs() {
+            self.sunk_signatures(child, out);
+        }
+    }
+
+    /// Dynamic re-optimization (the paper's "dynamic case"): retires a
+    /// query's plan from the running graph. Walks the plan bottom-up and
+    /// removes every installed subplan node that no consumer subscribes to
+    /// anymore — shared subplans survive as long as any other query uses
+    /// them. Call after unsubscribing the query's sinks (e.g. having
+    /// installed a replacement plan and re-pointed the application).
+    /// Returns the number of nodes removed.
+    pub fn retire(&mut self, plan: &LogicalPlan, graph: &QueryGraph) -> usize {
+        // Top-down over the installed signatures: removing a parent
+        // unsubscribes it from its children, which may free them in turn.
+        let mut removed = 0;
+        self.retire_walk(plan, graph, &mut removed);
+        // Sweep physical helper nodes (e.g. the grouped stage below an
+        // aggregate's flatten map) that are not tracked by signature.
+        removed += graph.collect_unconsumed();
+        // Drop index entries whose nodes the sweep removed.
+        self.installed
+            .retain(|_, handle| !graph.is_removed(handle.node()));
+        removed
+    }
+
+    fn retire_walk(&mut self, plan: &LogicalPlan, graph: &QueryGraph, removed: &mut usize) {
+        let sig = plan.signature();
+        if let Some(handle) = self.installed.get(&sig) {
+            let node = handle.node();
+            if graph.subscriber_count(node) == 0 && !graph.is_removed(node) {
+                graph.remove_node(node);
+                self.installed.remove(&sig);
+                *removed += 1;
+            }
+        }
+        for child in plan.inputs() {
+            self.retire_walk(child, graph, removed);
+        }
+    }
+
+    /// Installs a query into the running `graph`: enumerate variants, pick
+    /// the cheapest under sharing, compile, and register new subplans.
+    pub fn install(
+        &mut self,
+        plan: &LogicalPlan,
+        graph: &QueryGraph,
+        catalog: &Catalog,
+    ) -> Result<InstallReport, String> {
+        // Validate eagerly so errors carry the user's plan, not a variant.
+        let schema = output_schema(plan, catalog)?;
+
+        let variants = rules::enumerate(plan, catalog);
+        let variants_considered = variants.len();
+        let mut best: Option<(LogicalPlan, PlanEstimate)> = None;
+        for v in variants {
+            // A variant must still be valid (rules preserve this; verify).
+            if output_schema(&v, catalog).is_err() {
+                continue;
+            }
+            let mut sunk = HashSet::new();
+            self.sunk_signatures(&v, &mut sunk);
+            let est = estimate_with_sunk(&v, catalog, &sunk);
+            let better = match &best {
+                None => true,
+                Some((_, b)) => est.cost < b.cost,
+            };
+            if better {
+                best = Some((v, est));
+            }
+        }
+        let (chosen, estimate) =
+            best.ok_or_else(|| "no valid plan variant".to_string())?;
+
+        let mut ctx = CompileContext::new(graph, catalog, &mut self.installed);
+        let handle = compile(&chosen, &mut ctx)?;
+        let (created, reused) = (ctx.created, ctx.reused);
+        Ok(InstallReport {
+            handle,
+            schema,
+            chosen,
+            estimate,
+            variants_considered,
+            created,
+            reused,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{BinOp, Expr};
+    use crate::plan::WindowSpec;
+    use crate::value::{Schema, Value};
+    use pipes_graph::io::{CollectSink, VecSource};
+    use pipes_time::{Duration, Element, Timestamp};
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_stream(
+            "s",
+            Schema::of(&["k", "v"]),
+            500.0,
+            Box::new(|| {
+                let elems = (0..20i64)
+                    .map(|i| {
+                        Element::at(
+                            vec![Value::Int(i % 4), Value::Int(i)],
+                            Timestamp::new(i as u64),
+                        )
+                    })
+                    .collect();
+                Box::new(VecSource::new(elems))
+            }),
+        );
+        cat
+    }
+
+    fn windowed() -> LogicalPlan {
+        LogicalPlan::Window {
+            input: Box::new(LogicalPlan::Stream {
+                name: "s".into(),
+                alias: None,
+            }),
+            spec: WindowSpec::Time(Duration::from_ticks(8)),
+        }
+    }
+
+    fn filter(plan: LogicalPlan, lo: i64) -> LogicalPlan {
+        LogicalPlan::Filter {
+            input: Box::new(plan),
+            predicate: Expr::bin(Expr::col("v"), BinOp::Ge, Expr::lit(lo)),
+        }
+    }
+
+    #[test]
+    fn install_runs_and_produces_results() {
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let report = opt.install(&filter(windowed(), 15), &graph, &cat).unwrap();
+        assert!(report.variants_considered >= 1);
+        assert_eq!(report.schema.len(), 2);
+
+        let (sink, buf) = CollectSink::new();
+        graph.add_sink("out", sink, &report.handle);
+        graph.run_to_completion(16);
+        let vals: Vec<i64> = buf.lock().iter().map(|e| e.payload[1].as_i64().unwrap()).collect();
+        assert_eq!(vals, vec![15, 16, 17, 18, 19]);
+    }
+
+    #[test]
+    fn overlapping_queries_share_subplans() {
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+
+        let r1 = opt.install(&filter(windowed(), 10), &graph, &cat).unwrap();
+        let nodes_after_first = graph.len();
+        assert_eq!(r1.reused, 0);
+
+        let r2 = opt.install(&filter(windowed(), 18), &graph, &cat).unwrap();
+        // The second query shares at least the source scan; strictly fewer
+        // nodes are created than a standalone install would need.
+        assert!(r2.reused >= 1, "expected sharing, report: {r2:?}");
+        assert!(r2.created < r1.created + r1.reused);
+        assert!(graph.len() < 2 * nodes_after_first);
+    }
+
+    #[test]
+    fn identical_query_is_fully_shared() {
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let q = filter(windowed(), 5);
+        opt.install(&q, &graph, &cat).unwrap();
+        let before = graph.len();
+        let r = opt.install(&q, &graph, &cat).unwrap();
+        assert_eq!(graph.len(), before, "no new nodes for identical query");
+        assert_eq!(r.created, 0);
+        assert!(r.estimate.cost == 0.0, "fully sunk: {:?}", r.estimate);
+    }
+
+    #[test]
+    fn splicing_into_running_graph_yields_partial_results() {
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let r1 = opt.install(&filter(windowed(), 0), &graph, &cat).unwrap();
+        let (s1, b1) = CollectSink::new();
+        graph.add_sink("q1", s1, &r1.handle);
+
+        // Let the graph run half-way, then splice in a second query.
+        for _ in 0..6 {
+            for id in 0..graph.len() {
+                graph.step_node(id, 1);
+            }
+        }
+        let r2 = opt.install(&filter(windowed(), 0), &graph, &cat).unwrap();
+        let (s2, b2) = CollectSink::new();
+        graph.add_sink("q2", s2, &r2.handle);
+        graph.run_to_completion(16);
+
+        assert_eq!(b1.lock().len(), 20);
+        // The late query sees only the suffix produced after splicing.
+        let late = b2.lock().len();
+        assert!(late < 20, "late subscriber got {late}");
+    }
+
+    #[test]
+    fn unknown_stream_is_reported() {
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let bad = LogicalPlan::Stream {
+            name: "missing".into(),
+            alias: None,
+        };
+        let err = opt.install(&bad, &graph, &cat).unwrap_err();
+        assert!(err.contains("missing"));
+    }
+}

@@ -1,0 +1,220 @@
+//! Property tests for the optimizer:
+//!
+//! 1. every plan variant the rewrite rules enumerate is snapshot-equivalent
+//!    to the original when compiled and executed end-to-end,
+//! 2. plan serialization round-trips for arbitrary generated plans.
+
+use pipes_graph::io::{CollectSink, VecSource};
+use pipes_graph::QueryGraph;
+use pipes_optimizer::{
+    compile, rules, sexpr, AggFunc, AggSpec, BinOp, Catalog, CompileContext, Expr, LogicalPlan,
+    Schema, Tuple, Value, WindowSpec,
+};
+use pipes_time::{Duration, Element, Timestamp};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    for (name, seed) in [("s", 7u64), ("t", 13u64)] {
+        cat.add_stream(
+            name,
+            Schema::of(&["k", "v"]),
+            100.0,
+            Box::new(move || {
+                let elems: Vec<Element<Tuple>> = (0..24i64)
+                    .map(|i| {
+                        Element::at(
+                            vec![
+                                Value::Int((i * seed as i64) % 4),
+                                Value::Int((i * 3 + seed as i64) % 17),
+                            ],
+                            Timestamp::new(i as u64 * 2),
+                        )
+                    })
+                    .collect();
+                Box::new(VecSource::new(elems))
+            }),
+        );
+    }
+    cat
+}
+
+// ---------------------------------------------------------------------------
+// Plan generators
+// ---------------------------------------------------------------------------
+
+fn arb_predicate(alias: &'static str) -> impl Strategy<Value = Expr> {
+    let col = prop_oneof![
+        Just(format!("{alias}.k")),
+        Just(format!("{alias}.v")),
+    ];
+    let cmp = prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Ge),
+    ];
+    (col, cmp, 0i64..17).prop_map(|(c, op, lit)| Expr::bin(Expr::col(c), op, Expr::lit(lit)))
+}
+
+fn windowed(name: &'static str, alias: &'static str, w: u64) -> LogicalPlan {
+    LogicalPlan::Window {
+        input: Box::new(LogicalPlan::Stream {
+            name: name.into(),
+            alias: Some(alias.into()),
+        }),
+        spec: WindowSpec::Time(Duration::from_ticks(w)),
+    }
+}
+
+/// Random single-stream plans: window → stacked filters → optional
+/// aggregate/distinct.
+fn arb_unary_plan() -> impl Strategy<Value = LogicalPlan> {
+    (
+        1u64..30,
+        prop::collection::vec(arb_predicate("s"), 0..3),
+        0u8..4,
+    )
+        .prop_map(|(w, preds, topper)| {
+            let mut plan = windowed("s", "s", w);
+            for p in preds {
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: p,
+                };
+            }
+            match topper {
+                0 => plan,
+                1 => LogicalPlan::Distinct {
+                    input: Box::new(plan),
+                },
+                2 => LogicalPlan::Aggregate {
+                    input: Box::new(plan),
+                    group_by: vec![],
+                    aggs: vec![(
+                        AggSpec {
+                            func: AggFunc::Count,
+                            arg: Expr::lit(0i64),
+                        },
+                        "n".into(),
+                    )],
+                },
+                _ => LogicalPlan::Aggregate {
+                    input: Box::new(plan),
+                    group_by: vec![(Expr::col("s.k"), "k".into())],
+                    aggs: vec![(
+                        AggSpec {
+                            func: AggFunc::Max,
+                            arg: Expr::col("s.v"),
+                        },
+                        "m".into(),
+                    )],
+                },
+            }
+        })
+}
+
+/// Random join plans: filters above a two-stream equi join.
+fn arb_join_plan() -> impl Strategy<Value = LogicalPlan> {
+    (
+        1u64..25,
+        1u64..25,
+        prop::collection::vec(
+            prop_oneof![arb_predicate("s"), arb_predicate("t")],
+            0..3,
+        ),
+    )
+        .prop_map(|(wl, wr, preds)| {
+            let mut plan = LogicalPlan::Join {
+                left: Box::new(windowed("s", "s", wl)),
+                right: Box::new(windowed("t", "t", wr)),
+                predicate: Expr::col("s.k").eq(Expr::col("t.k")),
+            };
+            for p in preds {
+                plan = LogicalPlan::Filter {
+                    input: Box::new(plan),
+                    predicate: p,
+                };
+            }
+            plan
+        })
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end execution + snapshot comparison
+// ---------------------------------------------------------------------------
+
+fn run(plan: &LogicalPlan, cat: &Catalog) -> Result<Vec<Element<Tuple>>, String> {
+    let graph = QueryGraph::new();
+    let mut installed = HashMap::new();
+    let mut ctx = CompileContext::new(&graph, cat, &mut installed);
+    let handle = compile(plan, &mut ctx)?;
+    let (sink, buf) = CollectSink::new();
+    graph.add_sink("out", sink, &handle);
+    graph.run_to_completion(64);
+    let out = buf.lock().clone();
+    Ok(out)
+}
+
+/// Snapshot comparison: at every event point, both outputs must hold the
+/// same multiset of tuples.
+fn snapshot_equal(a: &[Element<Tuple>], b: &[Element<Tuple>]) -> Result<(), String> {
+    use pipes_time::snapshot;
+    let points = snapshot::merge_points([snapshot::event_points(a), snapshot::event_points(b)]);
+    for t in points {
+        let (sa, sb) = (snapshot::snapshot(a, t), snapshot::snapshot(b, t));
+        if !snapshot::multiset_eq(sa.clone(), sb.clone()) {
+            return Err(format!("snapshots differ at {t:?}: {sa:?} vs {sb:?}"));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn unary_variants_are_snapshot_equivalent(plan in arb_unary_plan()) {
+        let cat = catalog();
+        let baseline = run(&plan, &cat).map_err(TestCaseError::fail)?;
+        for variant in rules::enumerate(&plan, &cat) {
+            let out = run(&variant, &cat).map_err(TestCaseError::fail)?;
+            snapshot_equal(&baseline, &out).map_err(|e| {
+                TestCaseError::fail(format!("{e}\noriginal:\n{plan}\nvariant:\n{variant}"))
+            })?;
+        }
+    }
+
+    #[test]
+    fn join_variants_are_snapshot_equivalent(plan in arb_join_plan()) {
+        let cat = catalog();
+        let baseline = run(&plan, &cat).map_err(TestCaseError::fail)?;
+        for variant in rules::enumerate(&plan, &cat) {
+            let out = run(&variant, &cat).map_err(TestCaseError::fail)?;
+            snapshot_equal(&baseline, &out).map_err(|e| {
+                TestCaseError::fail(format!("{e}\noriginal:\n{plan}\nvariant:\n{variant}"))
+            })?;
+        }
+    }
+
+    #[test]
+    fn plans_roundtrip_through_persistence(plan in prop_oneof![arb_unary_plan(), arb_join_plan()]) {
+        let text = sexpr::to_string(&plan);
+        let back = sexpr::from_str(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        prop_assert_eq!(&back, &plan, "round-trip changed the plan:\n{}", text);
+    }
+
+    #[test]
+    fn variants_preserve_output_schema(plan in prop_oneof![arb_unary_plan(), arb_join_plan()]) {
+        let cat = catalog();
+        let schema = compile::output_schema(&plan, &cat)
+            .map_err(TestCaseError::fail)?;
+        for variant in rules::enumerate(&plan, &cat) {
+            let vs = compile::output_schema(&variant, &cat)
+                .map_err(|e| TestCaseError::fail(format!("{e}\n{variant}")))?;
+            prop_assert_eq!(schema.columns(), vs.columns(), "variant:\n{}", variant);
+        }
+    }
+}

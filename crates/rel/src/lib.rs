@@ -1,0 +1,354 @@
+//! # pipes-rel
+//!
+//! In-memory indexed relations — the persistent-data substrate PIPES
+//! borrows from XXL's index-structure framework.
+//!
+//! "Since access to persistent data, such as relations, is still required
+//! in many applications, advanced mechanisms combining streams and
+//! relations are of particular importance" (PIPES, SIGMOD 2004). This crate
+//! provides:
+//!
+//! * [`Relation`] — a primary-keyed, optionally secondary-indexed table
+//!   with demand-driven scan/range cursors,
+//! * [`SharedRelation`] — a concurrently readable handle, so a relation can
+//!   be *maintained by one stream* (via [`UpsertSink`]) while *probed by
+//!   another* (via [`RelationLookup`], the stream–relation join),
+//! * historical queries: [`replay`] turns a relation back into a stream
+//!   source, replaying rows in timestamp order.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use parking_lot::RwLock;
+use pipes_cursor::translate::CursorSource;
+use pipes_cursor::{Cursor, VecCursor};
+use pipes_graph::{Collector, Operator, SinkOp};
+use pipes_time::{Element, Message, Timestamp};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// A primary-keyed in-memory table with optional secondary indexes.
+pub struct Relation<K: Ord + Clone, R: Clone> {
+    name: String,
+    rows: BTreeMap<K, R>,
+    key_of: Box<dyn Fn(&R) -> K + Send + Sync>,
+}
+
+impl<K: Ord + Clone, R: Clone> Relation<K, R> {
+    /// Creates an empty relation with the given primary-key extractor.
+    pub fn new(name: impl Into<String>, key_of: impl Fn(&R) -> K + Send + Sync + 'static) -> Self {
+        Relation {
+            name: name.into(),
+            rows: BTreeMap::new(),
+            key_of: Box::new(key_of),
+        }
+    }
+
+    /// The relation's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the relation is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts or replaces a row; returns the previous row under the key.
+    pub fn upsert(&mut self, row: R) -> Option<R> {
+        let k = (self.key_of)(&row);
+        self.rows.insert(k, row)
+    }
+
+    /// Bulk-loads rows (later duplicates win).
+    pub fn bulk_load(&mut self, rows: impl IntoIterator<Item = R>) {
+        for r in rows {
+            self.upsert(r);
+        }
+    }
+
+    /// Removes the row with the given key.
+    pub fn remove(&mut self, key: &K) -> Option<R> {
+        self.rows.remove(key)
+    }
+
+    /// Point lookup by primary key.
+    pub fn get(&self, key: &K) -> Option<&R> {
+        self.rows.get(key)
+    }
+
+    /// Full scan in key order.
+    pub fn scan(&self) -> VecCursor<R> {
+        VecCursor::new(self.rows.values().cloned().collect())
+    }
+
+    /// Range scan over the primary key (inclusive bounds).
+    pub fn range(&self, from: &K, to: &K) -> VecCursor<R> {
+        VecCursor::new(self.rows.range(from.clone()..=to.clone()).map(|(_, r)| r.clone()).collect())
+    }
+}
+
+/// A relation shared between stream maintenance and stream probing.
+pub struct SharedRelation<K: Ord + Clone, R: Clone> {
+    inner: Arc<RwLock<Relation<K, R>>>,
+}
+
+impl<K: Ord + Clone, R: Clone> Clone for SharedRelation<K, R> {
+    fn clone(&self) -> Self {
+        SharedRelation {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<K: Ord + Clone + Send + Sync + 'static, R: Clone + Send + Sync + 'static>
+    SharedRelation<K, R>
+{
+    /// Wraps a relation for shared access.
+    pub fn new(rel: Relation<K, R>) -> Self {
+        SharedRelation {
+            inner: Arc::new(RwLock::new(rel)),
+        }
+    }
+
+    /// Runs `f` with read access.
+    pub fn read<T>(&self, f: impl FnOnce(&Relation<K, R>) -> T) -> T {
+        f(&self.inner.read())
+    }
+
+    /// Runs `f` with write access.
+    pub fn write<T>(&self, f: impl FnOnce(&mut Relation<K, R>) -> T) -> T {
+        f(&mut self.inner.write())
+    }
+}
+
+/// A sink maintaining a [`SharedRelation`] from a stream: every element's
+/// payload is upserted (the relation always reflects the latest state per
+/// key).
+pub struct UpsertSink<K: Ord + Clone, R: Clone> {
+    relation: SharedRelation<K, R>,
+}
+
+impl<K: Ord + Clone + Send + Sync + 'static, R: Clone + Send + Sync + 'static> UpsertSink<K, R> {
+    /// Creates the sink.
+    pub fn new(relation: SharedRelation<K, R>) -> Self {
+        UpsertSink { relation }
+    }
+}
+
+impl<K, R> SinkOp for UpsertSink<K, R>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Clone + Send + Sync + 'static,
+{
+    type In = R;
+
+    fn on_message(&mut self, _port: usize, msg: Message<R>) {
+        if let Message::Element(e) = msg {
+            self.relation.write(|r| {
+                r.upsert(e.payload);
+            });
+        }
+    }
+}
+
+/// Boxed key extractor for relation probes.
+pub type KeyOf<T, K> = Box<dyn Fn(&T) -> K + Send>;
+/// Boxed combiner of a stream payload with a matched relation row.
+pub type RowCombiner<T, R, O> = Box<dyn Fn(&T, &R) -> O + Send>;
+
+/// The stream–relation join: a unary operator that, for each stream
+/// element, looks up matching rows in a shared relation and emits one
+/// combined output per match (validity = the stream element's interval —
+/// the relation is treated as time-invariant at probe time, per CQL's
+/// relation semantics).
+pub struct RelationLookup<T, K: Ord + Clone, R: Clone, O> {
+    relation: SharedRelation<K, R>,
+    key_of: KeyOf<T, K>,
+    combine: RowCombiner<T, R, O>,
+}
+
+impl<T, K, R, O> RelationLookup<T, K, R, O>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Clone + Send + Sync + 'static,
+{
+    /// Creates the operator: `key_of` extracts the probe key from a stream
+    /// payload, `combine` builds the output from stream payload and matched
+    /// row.
+    pub fn new(
+        relation: SharedRelation<K, R>,
+        key_of: impl Fn(&T) -> K + Send + 'static,
+        combine: impl Fn(&T, &R) -> O + Send + 'static,
+    ) -> Self {
+        RelationLookup {
+            relation,
+            key_of: Box::new(key_of),
+            combine: Box::new(combine),
+        }
+    }
+}
+
+impl<T, K, R, O> Operator for RelationLookup<T, K, R, O>
+where
+    T: Send + Clone + 'static,
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Clone + Send + Sync + 'static,
+    O: Send + Clone + 'static,
+{
+    type In = T;
+    type Out = O;
+
+    fn on_element(&mut self, _port: usize, e: Element<T>, out: &mut dyn Collector<O>) {
+        let k = (self.key_of)(&e.payload);
+        let result = self
+            .relation
+            .read(|r| r.get(&k).map(|row| (self.combine)(&e.payload, row)));
+        if let Some(o) = result {
+            out.element(Element::new(o, e.interval));
+        }
+    }
+}
+
+/// Historical queries: replays a relation's rows as a stream source in the
+/// order (and at the timestamps) given by `timestamp_of`.
+pub fn replay<K, R>(
+    relation: &SharedRelation<K, R>,
+    timestamp_of: impl Fn(&R) -> Timestamp + Send + 'static,
+) -> CursorSource<VecCursor<R>, impl FnMut(u64, &R) -> Timestamp>
+where
+    K: Ord + Clone + Send + Sync + 'static,
+    R: Clone + Send + Sync + 'static,
+{
+    let mut rows: Vec<R> = relation.read(|r| r.scan().collect_vec());
+    rows.sort_by_key(|r| timestamp_of(r));
+    CursorSource::new(VecCursor::new(rows), move |_, r| timestamp_of(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_cursor::CursorExt;
+    use pipes_graph::io::{CollectSink, VecSource};
+    use pipes_graph::QueryGraph;
+
+    #[derive(Clone, Debug, PartialEq)]
+    struct Person {
+        id: i64,
+        name: &'static str,
+    }
+
+    fn people() -> Relation<i64, Person> {
+        let mut r = Relation::new("person", |p: &Person| p.id);
+        r.bulk_load([
+            Person { id: 1, name: "ada" },
+            Person { id: 2, name: "bob" },
+            Person { id: 3, name: "eve" },
+        ]);
+        r
+    }
+
+    #[test]
+    fn crud_and_scan() {
+        let mut r = people();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(&2).unwrap().name, "bob");
+        assert!(r.upsert(Person { id: 2, name: "bea" }).is_some());
+        assert_eq!(r.get(&2).unwrap().name, "bea");
+        assert!(r.remove(&1).is_some());
+        assert!(r.get(&1).is_none());
+        let names: Vec<&str> = r.scan().map(|p| p.name).collect_vec();
+        assert_eq!(names, vec!["bea", "eve"]);
+    }
+
+    #[test]
+    fn range_scan_inclusive() {
+        let r = people();
+        let ids: Vec<i64> = r.range(&2, &3).map(|p| p.id).collect_vec();
+        assert_eq!(ids, vec![2, 3]);
+    }
+
+    #[test]
+    fn stream_relation_join() {
+        let shared = SharedRelation::new(people());
+        let g = QueryGraph::new();
+        // A stream of (person id) events.
+        let events: Vec<Element<i64>> = vec![
+            Element::at(2, Timestamp::new(0)),
+            Element::at(9, Timestamp::new(1)), // no match
+            Element::at(3, Timestamp::new(2)),
+        ];
+        let src = g.add_source("events", VecSource::new(events));
+        let looked = g.add_unary(
+            "lookup",
+            RelationLookup::new(shared, |id: &i64| *id, |id, p: &Person| (*id, p.name)),
+            &src,
+        );
+        let (sink, buf) = CollectSink::new();
+        g.add_sink("sink", sink, &looked);
+        g.run_to_completion(8);
+        let out: Vec<(i64, &str)> = buf.lock().iter().map(|e| e.payload).collect();
+        assert_eq!(out, vec![(2, "bob"), (3, "eve")]);
+    }
+
+    #[test]
+    fn stream_maintains_relation_while_other_stream_probes() {
+        let shared: SharedRelation<i64, Person> =
+            SharedRelation::new(Relation::new("live", |p: &Person| p.id));
+        let g = QueryGraph::new();
+
+        // Maintenance stream inserts persons...
+        let updates: Vec<Element<Person>> = vec![
+            Element::at(Person { id: 7, name: "kim" }, Timestamp::new(0)),
+            Element::at(Person { id: 8, name: "lou" }, Timestamp::new(1)),
+        ];
+        let upd_src = g.add_source("updates", VecSource::new(updates));
+        g.add_sink("maintain", UpsertSink::new(shared.clone()), &upd_src);
+
+        // ...and the probe stream arrives later.
+        let probes: Vec<Element<i64>> =
+            vec![Element::at(7, Timestamp::new(5)), Element::at(8, Timestamp::new(6))];
+        let probe_src = g.add_source("probes", VecSource::new(probes));
+        let joined = g.add_unary(
+            "lookup",
+            RelationLookup::new(shared.clone(), |id: &i64| *id, |_, p: &Person| p.name),
+            &probe_src,
+        );
+        let (sink, buf) = CollectSink::new();
+        g.add_sink("sink", sink, &joined);
+
+        // Drive maintenance fully first (arrival-ordered in a real run).
+        g.step_node(upd_src.node(), 16);
+        for id in 0..g.len() {
+            g.step_node(id, 16);
+        }
+        g.run_to_completion(8);
+
+        let names: Vec<&str> = buf.lock().iter().map(|e| e.payload).collect();
+        assert_eq!(names, vec!["kim", "lou"]);
+        assert_eq!(shared.read(|r| r.len()), 2);
+    }
+
+    #[test]
+    fn replay_is_a_historical_source() {
+        let shared = SharedRelation::new(people());
+        let g = QueryGraph::new();
+        let src = g.add_source(
+            "history",
+            replay(&shared, |p| Timestamp::new(p.id as u64 * 10)),
+        );
+        let (sink, buf) = CollectSink::new();
+        g.add_sink("sink", sink, &src);
+        g.run_to_completion(4);
+        let out = buf.lock();
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0].start(), Timestamp::new(10));
+        assert_eq!(out[2].start(), Timestamp::new(30));
+        assert_eq!(out[2].payload.name, "eve");
+    }
+}

@@ -1,0 +1,372 @@
+//! Layer-2/3 executors: single-thread strategy loops and the multi-thread
+//! partitioner.
+
+use crate::strategy::{SchedView, Strategy};
+use pipes_graph::{NodeId, QueryGraph};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Measurements from one execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionReport {
+    /// Strategy name that produced this report.
+    pub strategy: String,
+    /// Scheduling quanta executed.
+    pub quanta: u64,
+    /// Messages consumed across all nodes.
+    pub consumed: u64,
+    /// Elements produced across all nodes.
+    pub produced: u64,
+    /// Wall-clock time.
+    pub wall: std::time::Duration,
+    /// Largest total queued-message count observed (queue memory peak).
+    pub peak_queue: usize,
+    /// Mean total queued-message count over samples.
+    pub avg_queue: f64,
+    /// Largest total operator state observed.
+    pub peak_state: usize,
+    /// Whether execution ended because the quantum limit was hit.
+    pub hit_limit: bool,
+}
+
+impl ExecutionReport {
+    /// Elements produced per second of wall time.
+    pub fn throughput(&self) -> f64 {
+        self.produced as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs one layer-2 strategy over a set of nodes until the graph finishes
+/// (or a quantum limit is reached, for unbounded sources).
+pub struct SingleThreadExecutor {
+    quantum: usize,
+    sample_every: u64,
+    max_quanta: Option<u64>,
+}
+
+impl Default for SingleThreadExecutor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SingleThreadExecutor {
+    /// Creates an executor with a quantum of 64 messages and queue sampling
+    /// every 16 quanta.
+    pub fn new() -> Self {
+        SingleThreadExecutor {
+            quantum: 64,
+            sample_every: 16,
+            max_quanta: None,
+        }
+    }
+
+    /// Sets the per-selection message budget.
+    pub fn with_quantum(mut self, quantum: usize) -> Self {
+        self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Caps the number of quanta (needed for unbounded sources).
+    pub fn with_max_quanta(mut self, max: u64) -> Self {
+        self.max_quanta = Some(max);
+        self
+    }
+
+    /// Sets how often (in quanta) queue totals are sampled.
+    pub fn with_sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every.max(1);
+        self
+    }
+
+    /// Runs `strategy` over all nodes of `graph` until completion.
+    pub fn run(&self, graph: &QueryGraph, strategy: &mut dyn Strategy) -> ExecutionReport {
+        let nodes: Vec<NodeId> = (0..graph.len()).collect();
+        self.run_nodes(graph, strategy, &nodes, None)
+    }
+
+    /// Runs `strategy` over the given node subset; used by the layer-3
+    /// executor. An optional shared stop flag ends the loop early.
+    pub fn run_nodes(
+        &self,
+        graph: &QueryGraph,
+        strategy: &mut dyn Strategy,
+        nodes: &[NodeId],
+        stop: Option<&AtomicBool>,
+    ) -> ExecutionReport {
+        let start = Instant::now();
+        let mut report = ExecutionReport {
+            strategy: strategy.name().to_string(),
+            ..Default::default()
+        };
+        let mut queue_samples: u64 = 0;
+        let mut queue_sum: f64 = 0.0;
+        let mut idle_rounds = 0u32;
+        loop {
+            if let Some(flag) = stop {
+                if flag.load(Ordering::Relaxed) {
+                    break;
+                }
+            }
+            if nodes.iter().all(|&id| graph.is_finished(id)) {
+                break;
+            }
+            if let Some(max) = self.max_quanta {
+                if report.quanta >= max {
+                    report.hit_limit = true;
+                    break;
+                }
+            }
+            let view = SchedView::new(graph, nodes);
+            let Some(id) = strategy.select(&view) else {
+                // Nothing runnable here right now (another partition may
+                // still feed us): back off briefly.
+                idle_rounds += 1;
+                if stop.is_none() && idle_rounds > 1000 {
+                    // Single-partition execution with no runnable node and
+                    // unfinished graph: the graph is stalled.
+                    break;
+                }
+                std::thread::yield_now();
+                continue;
+            };
+            let step = graph.step_node(id, self.quantum);
+            report.quanta += 1;
+            report.consumed += step.consumed as u64;
+            report.produced += step.produced as u64;
+            if step.consumed == 0 && step.produced == 0 {
+                idle_rounds += 1;
+                if idle_rounds > 10_000 {
+                    break; // safety valve against stuck strategies
+                }
+            } else {
+                idle_rounds = 0;
+            }
+            if report.quanta.is_multiple_of(self.sample_every) {
+                let total: usize = nodes.iter().map(|&id| graph.queued(id)).sum();
+                let state: usize = nodes.iter().map(|&id| graph.memory(id)).sum();
+                report.peak_queue = report.peak_queue.max(total);
+                report.peak_state = report.peak_state.max(state);
+                queue_sum += total as f64;
+                queue_samples += 1;
+            }
+        }
+        report.avg_queue = if queue_samples > 0 {
+            queue_sum / queue_samples as f64
+        } else {
+            0.0
+        };
+        report.wall = start.elapsed();
+        report
+    }
+}
+
+/// Layer 3: partitions the node set over worker threads, each running its
+/// own layer-2 strategy instance.
+pub struct MultiThreadExecutor {
+    threads: usize,
+    quantum: usize,
+    max_quanta_per_thread: Option<u64>,
+}
+
+impl MultiThreadExecutor {
+    /// Creates an executor with the given number of worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        MultiThreadExecutor {
+            threads,
+            quantum: 64,
+            max_quanta_per_thread: None,
+        }
+    }
+
+    /// Sets the per-selection message budget.
+    pub fn with_quantum(mut self, quantum: usize) -> Self {
+        self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Caps quanta per thread (for unbounded sources).
+    pub fn with_max_quanta(mut self, max: u64) -> Self {
+        self.max_quanta_per_thread = Some(max);
+        self
+    }
+
+    /// Partitions nodes round-robin and runs `make_strategy()` per thread.
+    /// Returns the per-thread reports.
+    pub fn run(
+        &self,
+        graph: &Arc<QueryGraph>,
+        make_strategy: impl Fn() -> Box<dyn Strategy>,
+    ) -> Vec<ExecutionReport> {
+        let all: Vec<NodeId> = (0..graph.len()).collect();
+        let partitions: Vec<Vec<NodeId>> = (0..self.threads)
+            .map(|t| all.iter().copied().skip(t).step_by(self.threads).collect())
+            .collect();
+        self.run_partitions(graph, make_strategy, partitions)
+    }
+
+    /// Runs with an explicit node partitioning.
+    pub fn run_partitions(
+        &self,
+        graph: &Arc<QueryGraph>,
+        make_strategy: impl Fn() -> Box<dyn Strategy>,
+        partitions: Vec<Vec<NodeId>>,
+    ) -> Vec<ExecutionReport> {
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // A watchdog flips the stop flag once the whole graph is finished,
+        // releasing threads whose own partition ran dry early.
+        let watchdog = {
+            let graph = Arc::clone(graph);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    if graph.all_finished() {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                }
+            })
+        };
+
+        let mut exec = SingleThreadExecutor::new().with_quantum(self.quantum);
+        if let Some(max) = self.max_quanta_per_thread {
+            exec = exec.with_max_quanta(max);
+        }
+
+        let reports: Vec<ExecutionReport> = std::thread::scope(|scope| {
+            let handles: Vec<_> = partitions
+                .into_iter()
+                .map(|part| {
+                    let mut strategy = make_strategy();
+                    let graph = Arc::clone(graph);
+                    let stop = Arc::clone(&stop);
+                    let exec = &exec;
+                    scope.spawn(move || {
+                        exec.run_nodes(&graph, strategy.as_mut(), &part, Some(&stop))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        stop.store(true, Ordering::Relaxed);
+        let _ = watchdog.join();
+        reports
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{
+        ChainStrategy, FifoStrategy, GreedyStrategy, RandomStrategy, RateBasedStrategy,
+        RoundRobinStrategy,
+    };
+    use pipes_graph::io::{CollectSink, VecSource};
+    use pipes_graph::{Collector, Operator};
+    use pipes_time::{Element, Timestamp};
+
+    struct HalfFilter;
+    impl Operator for HalfFilter {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            if e.payload % 2 == 0 {
+                out.element(e);
+            }
+        }
+    }
+
+    fn build(n: i64) -> (QueryGraph, pipes_graph::io::Collected<i64>) {
+        let g = QueryGraph::new();
+        let elems: Vec<Element<i64>> = (0..n)
+            .map(|i| Element::at(i, Timestamp::new(i as u64)))
+            .collect();
+        let src = g.add_source("src", VecSource::new(elems));
+        let f = g.add_unary("filter", HalfFilter, &src);
+        let (sink, buf) = CollectSink::new();
+        g.add_sink("sink", sink, &f);
+        (g, buf)
+    }
+
+    #[test]
+    fn single_thread_all_strategies_complete_with_same_answer() {
+        let strategies: Vec<Box<dyn Strategy>> = vec![
+            Box::new(RoundRobinStrategy::new()),
+            Box::new(FifoStrategy),
+            Box::new(GreedyStrategy),
+            Box::new(RandomStrategy::new(7)),
+            Box::new(ChainStrategy::new(16)),
+            Box::new(RateBasedStrategy),
+        ];
+        for mut s in strategies {
+            let (g, buf) = build(200);
+            let report = SingleThreadExecutor::new().run(&g, s.as_mut());
+            assert!(g.all_finished(), "{} did not finish", report.strategy);
+            assert_eq!(buf.lock().len(), 100, "{} lost data", report.strategy);
+            assert!(report.consumed > 0);
+            assert!(!report.hit_limit);
+        }
+    }
+
+    #[test]
+    fn quantum_limit_reported() {
+        let (g, _) = build(10_000);
+        let mut s = RoundRobinStrategy::new();
+        let report = SingleThreadExecutor::new()
+            .with_quantum(8)
+            .with_max_quanta(10)
+            .run(&g, &mut s);
+        assert!(report.hit_limit);
+        assert_eq!(report.quanta, 10);
+    }
+
+    #[test]
+    fn queue_stats_collected() {
+        let (g, _) = build(2000);
+        let mut s = FifoStrategy;
+        let report = SingleThreadExecutor::new()
+            .with_quantum(4)
+            .with_sample_every(1)
+            .run(&g, &mut s);
+        assert!(report.peak_queue > 0);
+        assert!(report.avg_queue >= 0.0);
+        assert!(report.throughput() > 0.0);
+    }
+
+    #[test]
+    fn multi_thread_completes_and_preserves_results() {
+        let (g, buf) = build(500);
+        let g = Arc::new(g);
+        let reports =
+            MultiThreadExecutor::new(3).run(&g, || Box::new(RoundRobinStrategy::new()));
+        assert_eq!(reports.len(), 3);
+        assert!(g.all_finished());
+        assert_eq!(buf.lock().len(), 250);
+    }
+
+    #[test]
+    fn multi_thread_explicit_partitions() {
+        let (g, buf) = build(300);
+        let g = Arc::new(g);
+        // Source alone on one thread; operator+sink on the other.
+        let reports = MultiThreadExecutor::new(2).run_partitions(
+            &g,
+            || Box::new(FifoStrategy),
+            vec![vec![0], vec![1, 2]],
+        );
+        assert_eq!(reports.len(), 2);
+        assert!(g.all_finished());
+        assert_eq!(buf.lock().len(), 150);
+    }
+}

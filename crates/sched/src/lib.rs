@@ -1,0 +1,35 @@
+//! # pipes-sched
+//!
+//! The scheduling framework of PIPES: a 3-layer architecture.
+//!
+//! 1. **Layer 1 — virtual nodes.** Adjacent operators are fused into one
+//!    node *before* graph construction (`pipes_graph::OperatorExt::then`),
+//!    eliminating inter-operator queues inside the virtual node.
+//! 2. **Layer 2 — intra-thread strategies.** Within one thread, an
+//!    exchangeable [`Strategy`] decides which node runs its next quantum:
+//!    round-robin, FIFO (global arrival order), greedy-by-queue, Chain
+//!    (memory-minimizing, after Babcock et al.), rate-based (after
+//!    Aurora/Urhan–Franklin), or random. All strategies consume only the
+//!    type-erased node view (queue lengths, arrival sequences, observed
+//!    selectivity), which is what makes the framework "powerful enough to
+//!    compare most of the recent scheduling techniques … within a uniform
+//!    framework" (PIPES, SIGMOD 2004).
+//! 3. **Layer 3 — threads.** [`MultiThreadExecutor`] partitions the node set
+//!    over worker threads, each running its own layer-2 strategy; the OS
+//!    schedules the threads.
+//!
+//! Executors collect an [`ExecutionReport`] (throughput, queue memory peaks
+//! and averages) — the measurements behind the scheduler-comparison
+//! experiment (E5).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod executor;
+mod strategy;
+
+pub use executor::{ExecutionReport, MultiThreadExecutor, SingleThreadExecutor};
+pub use strategy::{
+    ChainStrategy, FifoStrategy, GreedyStrategy, RandomStrategy, RateBasedStrategy,
+    RoundRobinStrategy, SchedView, Strategy,
+};

@@ -1,0 +1,131 @@
+//! Spans of logical time.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A span of logical time, measured in ticks of the application time domain.
+///
+/// Constructors for common wall-clock units assume the convention *1 tick =
+/// 1 millisecond*; applications that use a different tick size should stick
+/// to [`Duration::from_ticks`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(u64);
+
+impl Duration {
+    /// The empty span.
+    pub const ZERO: Duration = Duration(0);
+    /// The maximum representable span ("forever").
+    pub const MAX: Duration = Duration(u64::MAX);
+
+    /// Creates a duration from a raw tick count.
+    #[inline]
+    pub const fn from_ticks(ticks: u64) -> Self {
+        Duration(ticks)
+    }
+
+    /// A duration of `n` milliseconds under the 1 tick = 1 ms convention.
+    #[inline]
+    pub const fn from_millis(n: u64) -> Self {
+        Duration(n)
+    }
+
+    /// A duration of `n` seconds under the 1 tick = 1 ms convention.
+    #[inline]
+    pub const fn from_secs(n: u64) -> Self {
+        Duration(n.saturating_mul(1_000))
+    }
+
+    /// A duration of `n` minutes under the 1 tick = 1 ms convention.
+    #[inline]
+    pub const fn from_mins(n: u64) -> Self {
+        Duration(n.saturating_mul(60_000))
+    }
+
+    /// A duration of `n` hours under the 1 tick = 1 ms convention.
+    #[inline]
+    pub const fn from_hours(n: u64) -> Self {
+        Duration(n.saturating_mul(3_600_000))
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Whether this is the empty span.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl Sub for Duration {
+    type Output = Duration;
+    fn sub(self, rhs: Duration) -> Duration {
+        Duration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Mul<u64> for Duration {
+    type Output = Duration;
+    fn mul(self, rhs: u64) -> Duration {
+        Duration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for Duration {
+    type Output = Duration;
+    fn div(self, rhs: u64) -> Duration {
+        Duration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}Δ", self.0)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors() {
+        assert_eq!(Duration::from_secs(2).ticks(), 2_000);
+        assert_eq!(Duration::from_mins(3).ticks(), 180_000);
+        assert_eq!(Duration::from_hours(1).ticks(), 3_600_000);
+        assert_eq!(Duration::from_millis(7).ticks(), 7);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        assert_eq!(Duration::MAX + Duration::from_ticks(1), Duration::MAX);
+        assert_eq!(
+            Duration::ZERO - Duration::from_ticks(1),
+            Duration::ZERO
+        );
+        assert_eq!(Duration::from_ticks(6) / 2, Duration::from_ticks(3));
+        assert_eq!(Duration::from_ticks(6) * 2, Duration::from_ticks(12));
+    }
+
+    #[test]
+    fn zero_check() {
+        assert!(Duration::ZERO.is_zero());
+        assert!(!Duration::from_ticks(1).is_zero());
+    }
+}

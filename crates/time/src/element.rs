@@ -1,0 +1,110 @@
+//! Stream elements: payloads with validity intervals.
+
+use crate::{TimeInterval, Timestamp};
+use std::fmt;
+
+/// A stream element: an arbitrary payload tagged with its validity interval.
+///
+/// The PIPES algebra abstracts from relational schemas — the payload is any
+/// `T`. Operators that need structure (key extraction, predicates, arithmetic)
+/// are parameterized by functions over `T`, following the library style of
+/// XXL/PIPES.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Element<T> {
+    /// The carried value.
+    pub payload: T,
+    /// When the value is part of the logical stream's snapshot.
+    pub interval: TimeInterval,
+}
+
+impl<T> Element<T> {
+    /// Creates an element valid during `interval`.
+    #[inline]
+    pub fn new(payload: T, interval: TimeInterval) -> Self {
+        Element { payload, interval }
+    }
+
+    /// Creates an instantaneous element at `at` (a *raw* stream event before
+    /// any window has been applied).
+    #[inline]
+    pub fn at(payload: T, at: Timestamp) -> Self {
+        Element {
+            payload,
+            interval: TimeInterval::instant(at),
+        }
+    }
+
+    /// The inclusive start of validity (the element's timestamp).
+    #[inline]
+    pub fn start(&self) -> Timestamp {
+        self.interval.start()
+    }
+
+    /// The exclusive end of validity.
+    #[inline]
+    pub fn end(&self) -> Timestamp {
+        self.interval.end()
+    }
+
+    /// Maps the payload, keeping the interval.
+    #[inline]
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Element<U> {
+        Element {
+            payload: f(self.payload),
+            interval: self.interval,
+        }
+    }
+
+    /// Borrows the payload alongside the interval.
+    #[inline]
+    pub fn as_ref(&self) -> Element<&T> {
+        Element {
+            payload: &self.payload,
+            interval: self.interval,
+        }
+    }
+
+    /// Replaces the interval, keeping the payload.
+    #[inline]
+    pub fn with_interval(self, interval: TimeInterval) -> Element<T> {
+        Element {
+            payload: self.payload,
+            interval,
+        }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Element<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}@{:?}", self.payload, self.interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Duration;
+
+    #[test]
+    fn construction_and_accessors() {
+        let e = Element::at("x", Timestamp::new(4));
+        assert_eq!(e.start(), Timestamp::new(4));
+        assert_eq!(e.end(), Timestamp::new(5));
+        let w = Element::new(1u32, TimeInterval::window(Timestamp::new(2), Duration::from_ticks(8)));
+        assert_eq!(w.end(), Timestamp::new(10));
+    }
+
+    #[test]
+    fn map_preserves_interval() {
+        let e = Element::at(21u32, Timestamp::new(7));
+        let f = e.clone().map(|v| v * 2);
+        assert_eq!(f.payload, 42);
+        assert_eq!(f.interval, e.interval);
+    }
+
+    #[test]
+    fn debug_format() {
+        let e = Element::at(3u8, Timestamp::new(1));
+        assert_eq!(format!("{:?}", e), "3@[t1,t2)");
+    }
+}

@@ -1,0 +1,275 @@
+//! Half-open validity intervals.
+
+use crate::{Duration, Timestamp};
+use std::fmt;
+
+/// A half-open interval `[start, end)` over the logical time domain.
+///
+/// Every stream element carries a `TimeInterval` describing *when* its payload
+/// is part of the logical stream's snapshot. Intervals are never empty:
+/// `start < end` is an invariant enforced at construction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeInterval {
+    start: Timestamp,
+    end: Timestamp,
+}
+
+impl TimeInterval {
+    /// Creates the interval `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start >= end`. Use [`TimeInterval::try_new`] for a fallible
+    /// constructor.
+    #[inline]
+    pub fn new(start: Timestamp, end: Timestamp) -> Self {
+        Self::try_new(start, end).expect("TimeInterval requires start < end")
+    }
+
+    /// Creates the interval `[start, end)`, or `None` if it would be empty.
+    #[inline]
+    pub fn try_new(start: Timestamp, end: Timestamp) -> Option<Self> {
+        if start < end {
+            Some(TimeInterval { start, end })
+        } else {
+            None
+        }
+    }
+
+    /// The interval `[at, at+1)`: an instantaneous event at `at`.
+    ///
+    /// At the horizon (`at == Timestamp::MAX`) this degrades to the final
+    /// representable instant `[MAX-1, MAX)`.
+    #[inline]
+    pub fn instant(at: Timestamp) -> Self {
+        match TimeInterval::try_new(at, at.next()) {
+            Some(i) => i,
+            None => TimeInterval {
+                start: Timestamp(Timestamp::MAX.ticks() - 1),
+                end: Timestamp::MAX,
+            },
+        }
+    }
+
+    /// The interval `[start, start + window)`, as assigned by a time-based
+    /// sliding window of size `window`. Zero-length windows degrade to an
+    /// instant.
+    #[inline]
+    pub fn window(start: Timestamp, window: Duration) -> Self {
+        let end = start.saturating_add(window);
+        if end <= start {
+            TimeInterval::instant(start)
+        } else {
+            TimeInterval { start, end }
+        }
+    }
+
+    /// The interval `[start, ∞)`.
+    #[inline]
+    pub fn from_start(start: Timestamp) -> Self {
+        TimeInterval {
+            start,
+            end: Timestamp::MAX,
+        }
+    }
+
+    /// The inclusive start instant.
+    #[inline]
+    pub const fn start(&self) -> Timestamp {
+        self.start
+    }
+
+    /// The exclusive end instant.
+    #[inline]
+    pub const fn end(&self) -> Timestamp {
+        self.end
+    }
+
+    /// The length of the interval.
+    #[inline]
+    pub fn duration(&self) -> Duration {
+        self.end.since(self.start)
+    }
+
+    /// Whether the instant `t` lies inside the interval.
+    #[inline]
+    pub fn contains(&self, t: Timestamp) -> bool {
+        self.start <= t && t < self.end
+    }
+
+    /// Whether the two intervals share at least one instant.
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start < other.end && other.start < self.end
+    }
+
+    /// Whether the two intervals are adjacent or overlapping, i.e. their
+    /// union is itself an interval.
+    #[inline]
+    pub fn meets_or_overlaps(&self, other: &TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// The intersection of the two intervals, if non-empty.
+    #[inline]
+    pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        TimeInterval::try_new(self.start.max(other.start), self.end.min(other.end))
+    }
+
+    /// The union of two adjacent-or-overlapping intervals; `None` if they are
+    /// disjoint with a gap.
+    #[inline]
+    pub fn merge(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        if self.meets_or_overlaps(other) {
+            Some(TimeInterval {
+                start: self.start.min(other.start),
+                end: self.end.max(other.end),
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Splits the interval at `t`, returning the parts strictly before and
+    /// at-or-after `t`. Either part may be `None` when `t` falls outside.
+    #[inline]
+    pub fn split_at(&self, t: Timestamp) -> (Option<TimeInterval>, Option<TimeInterval>) {
+        (
+            TimeInterval::try_new(self.start, self.end.min(t)),
+            TimeInterval::try_new(self.start.max(t), self.end),
+        )
+    }
+
+    /// Whether the whole interval lies strictly before instant `t`
+    /// (`end <= t`). An interval that is `before` the current watermark can
+    /// never intersect a future element and is safe to finalize or purge.
+    #[inline]
+    pub fn before(&self, t: Timestamp) -> bool {
+        self.end <= t
+    }
+
+    /// Shifts both endpoints forward by `d` (saturating).
+    #[inline]
+    pub fn shift(&self, d: Duration) -> TimeInterval {
+        let start = self.start.saturating_add(d);
+        let end = self.end.saturating_add(d);
+        if start < end {
+            TimeInterval { start, end }
+        } else {
+            // Both endpoints saturated; keep a final instant at the horizon.
+            TimeInterval {
+                start: Timestamp(Timestamp::MAX.ticks() - 1),
+                end: Timestamp::MAX,
+            }
+        }
+    }
+
+    /// Replaces the end instant, keeping the start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end <= start`.
+    #[inline]
+    pub fn with_end(&self, end: Timestamp) -> TimeInterval {
+        TimeInterval::new(self.start, end)
+    }
+}
+
+impl fmt::Debug for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:?},{:?})", self.start, self.end)
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(s: u64, e: u64) -> TimeInterval {
+        TimeInterval::new(Timestamp::new(s), Timestamp::new(e))
+    }
+
+    #[test]
+    #[should_panic(expected = "start < end")]
+    fn empty_interval_panics() {
+        let _ = iv(5, 5);
+    }
+
+    #[test]
+    fn try_new_rejects_empty() {
+        assert!(TimeInterval::try_new(Timestamp::new(5), Timestamp::new(5)).is_none());
+        assert!(TimeInterval::try_new(Timestamp::new(6), Timestamp::new(5)).is_none());
+        assert!(TimeInterval::try_new(Timestamp::new(5), Timestamp::new(6)).is_some());
+    }
+
+    #[test]
+    fn containment() {
+        let i = iv(3, 7);
+        assert!(!i.contains(Timestamp::new(2)));
+        assert!(i.contains(Timestamp::new(3)));
+        assert!(i.contains(Timestamp::new(6)));
+        assert!(!i.contains(Timestamp::new(7)));
+        assert_eq!(i.duration(), Duration::from_ticks(4));
+    }
+
+    #[test]
+    fn overlap_cases() {
+        assert!(iv(1, 5).overlaps(&iv(4, 8)));
+        assert!(iv(4, 8).overlaps(&iv(1, 5)));
+        assert!(!iv(1, 5).overlaps(&iv(5, 8))); // touching, half-open
+        assert!(iv(1, 5).meets_or_overlaps(&iv(5, 8)));
+        assert!(!iv(1, 5).meets_or_overlaps(&iv(6, 8)));
+        assert!(iv(1, 10).overlaps(&iv(4, 6))); // containment
+    }
+
+    #[test]
+    fn intersection_and_merge() {
+        assert_eq!(iv(1, 5).intersect(&iv(3, 9)), Some(iv(3, 5)));
+        assert_eq!(iv(1, 5).intersect(&iv(5, 9)), None);
+        assert_eq!(iv(1, 5).merge(&iv(5, 9)), Some(iv(1, 9)));
+        assert_eq!(iv(1, 5).merge(&iv(3, 4)), Some(iv(1, 5)));
+        assert_eq!(iv(1, 5).merge(&iv(6, 9)), None);
+    }
+
+    #[test]
+    fn split() {
+        let i = iv(2, 8);
+        assert_eq!(i.split_at(Timestamp::new(5)), (Some(iv(2, 5)), Some(iv(5, 8))));
+        assert_eq!(i.split_at(Timestamp::new(2)), (None, Some(iv(2, 8))));
+        assert_eq!(i.split_at(Timestamp::new(8)), (Some(iv(2, 8)), None));
+        assert_eq!(i.split_at(Timestamp::new(1)), (None, Some(iv(2, 8))));
+        assert_eq!(i.split_at(Timestamp::new(9)), (Some(iv(2, 8)), None));
+    }
+
+    #[test]
+    fn before_watermark() {
+        assert!(iv(1, 5).before(Timestamp::new(5)));
+        assert!(!iv(1, 5).before(Timestamp::new(4)));
+    }
+
+    #[test]
+    fn window_constructor() {
+        let w = TimeInterval::window(Timestamp::new(10), Duration::from_ticks(5));
+        assert_eq!(w, iv(10, 15));
+        let z = TimeInterval::window(Timestamp::new(10), Duration::ZERO);
+        assert_eq!(z, iv(10, 11));
+        // At the horizon the window degrades to the final representable instant.
+        let inf = TimeInterval::window(Timestamp::MAX, Duration::from_ticks(5));
+        assert_eq!(inf.end(), Timestamp::MAX);
+        assert_eq!(inf.start(), Timestamp::new(Timestamp::MAX.ticks() - 1));
+    }
+
+    #[test]
+    fn shift_saturates() {
+        let i = iv(1, 5).shift(Duration::from_ticks(10));
+        assert_eq!(i, iv(11, 15));
+        let horizon = TimeInterval::from_start(Timestamp::new(5)).shift(Duration::MAX);
+        assert_eq!(horizon.end(), Timestamp::MAX);
+    }
+}

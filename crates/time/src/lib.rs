@@ -1,0 +1,38 @@
+//! # pipes-time
+//!
+//! Temporal foundation of the PIPES stream-processing toolkit.
+//!
+//! PIPES gives every stream element a *validity interval* `[start, end)` over
+//! a discrete, application-defined time domain. All operators in the physical
+//! algebra (`pipes-ops`) are defined such that their output is
+//! *snapshot-equivalent* to the corresponding relational operator applied to
+//! the input snapshots at every instant. This crate provides:
+//!
+//! * [`Timestamp`] — a point in the discrete time domain,
+//! * [`Duration`] — a span of logical time,
+//! * [`TimeInterval`] — a half-open validity interval,
+//! * [`Element`] — a payload tagged with its validity interval,
+//! * [`Message`] — the wire unit of the data-driven runtime (elements,
+//!   heartbeats/punctuations, end-of-stream),
+//! * [`snapshot`] — a naive reference evaluator of the snapshot semantics,
+//!   used as ground truth by the property-test suites across the workspace.
+//!
+//! The time domain is deliberately abstract (a `u64` tick count); application
+//! crates decide what one tick means (a second for the traffic scenario, a
+//! millisecond for NEXMark).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod duration;
+mod element;
+mod interval;
+mod message;
+pub mod snapshot;
+mod timestamp;
+
+pub use duration::Duration;
+pub use element::Element;
+pub use interval::TimeInterval;
+pub use message::Message;
+pub use timestamp::Timestamp;

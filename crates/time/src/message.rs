@@ -1,0 +1,111 @@
+//! The wire unit exchanged between nodes of a query graph.
+
+use crate::{Element, Timestamp};
+
+/// A message travelling along an edge of the query graph.
+///
+/// Besides data elements, PIPES streams carry *heartbeats* (punctuations):
+/// `Heartbeat(t)` is a promise that no later element on this edge will have a
+/// start timestamp `< t`. Heartbeats are what make the blocking operators of
+/// the relational algebra (join, aggregation, difference, duplicate
+/// elimination) evaluable in a non-blocking, data-driven fashion: state whose
+/// validity ends at or before the heartbeat can be finalized and purged.
+///
+/// `Close` signals end-of-stream and implies `Heartbeat(Timestamp::MAX)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Message<T> {
+    /// A data element.
+    Element(Element<T>),
+    /// Punctuation: no future element starts before the given instant.
+    Heartbeat(Timestamp),
+    /// End of stream.
+    Close,
+}
+
+impl<T> Message<T> {
+    /// Convenience constructor for a data element.
+    #[inline]
+    pub fn element(e: Element<T>) -> Self {
+        Message::Element(e)
+    }
+
+    /// Whether this is a data element.
+    #[inline]
+    pub fn is_element(&self) -> bool {
+        matches!(self, Message::Element(_))
+    }
+
+    /// The temporal progress this message certifies, if any: elements certify
+    /// their start (streams are start-ordered up to heartbeat slack),
+    /// heartbeats certify themselves, `Close` certifies the horizon.
+    #[inline]
+    pub fn progress(&self) -> Timestamp {
+        match self {
+            Message::Element(e) => e.start(),
+            Message::Heartbeat(t) => *t,
+            Message::Close => Timestamp::MAX,
+        }
+    }
+
+    /// Maps the payload type, keeping control messages intact.
+    #[inline]
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Message<U> {
+        match self {
+            Message::Element(e) => Message::Element(e.map(f)),
+            Message::Heartbeat(t) => Message::Heartbeat(t),
+            Message::Close => Message::Close,
+        }
+    }
+
+    /// Extracts the element, if this is one.
+    #[inline]
+    pub fn into_element(self) -> Option<Element<T>> {
+        match self {
+            Message::Element(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeInterval;
+
+    #[test]
+    fn progress_values() {
+        let e: Message<u8> = Message::Element(Element::at(1, Timestamp::new(5)));
+        assert_eq!(e.progress(), Timestamp::new(5));
+        let h: Message<u8> = Message::Heartbeat(Timestamp::new(9));
+        assert_eq!(h.progress(), Timestamp::new(9));
+        let c: Message<u8> = Message::Close;
+        assert_eq!(c.progress(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn map_passes_control_through() {
+        let h: Message<u8> = Message::Heartbeat(Timestamp::new(2));
+        assert_eq!(h.map(|v| v as u32), Message::Heartbeat(Timestamp::new(2)));
+        let c: Message<u8> = Message::Close;
+        assert_eq!(c.map(|v| v as u32), Message::Close);
+        let e = Message::Element(Element::new(
+            2u8,
+            TimeInterval::new(Timestamp::new(1), Timestamp::new(4)),
+        ));
+        match e.map(|v| u32::from(v) * 10) {
+            Message::Element(el) => {
+                assert_eq!(el.payload, 20);
+                assert_eq!(el.interval, TimeInterval::new(Timestamp::new(1), Timestamp::new(4)));
+            }
+            _ => panic!("expected element"),
+        }
+    }
+
+    #[test]
+    fn into_element() {
+        let e: Message<u8> = Message::Element(Element::at(1, Timestamp::new(5)));
+        assert!(e.into_element().is_some());
+        let h: Message<u8> = Message::Heartbeat(Timestamp::new(9));
+        assert!(h.into_element().is_none());
+    }
+}

@@ -1,0 +1,308 @@
+//! Naive reference evaluator of the snapshot semantics.
+//!
+//! The defining property of the PIPES temporal algebra is
+//! *snapshot-equivalence*: at every instant `t`, the multiset of payloads
+//! valid at `t` in a physical operator's output equals the corresponding
+//! relational-algebra operation applied to the input snapshots at `t`.
+//!
+//! This module evaluates that definition directly — materialize finite
+//! streams as bags of [`Element`]s, take snapshots at every *event point*
+//! (any instant where some interval starts or ends), and compare multisets.
+//! It is deliberately simple and obviously correct; the property-test suites
+//! of `pipes-ops` use it as ground truth for the optimized, incremental,
+//! heartbeat-driven operator implementations.
+
+use crate::{Element, Timestamp};
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// The multiset of payloads valid at instant `t`.
+pub fn snapshot<T: Clone>(bag: &[Element<T>], t: Timestamp) -> Vec<T> {
+    bag.iter()
+        .filter(|e| e.interval.contains(t))
+        .map(|e| e.payload.clone())
+        .collect()
+}
+
+/// All instants at which the snapshot of `bag` can change: interval starts
+/// and ends. (`Timestamp::MAX` ends are unreachable instants and skipped.)
+pub fn event_points<T>(bag: &[Element<T>]) -> BTreeSet<Timestamp> {
+    let mut pts = BTreeSet::new();
+    for e in bag {
+        pts.insert(e.start());
+        if e.end() < Timestamp::MAX {
+            pts.insert(e.end());
+        }
+    }
+    pts
+}
+
+/// Merges several sets of event points.
+pub fn merge_points(sets: impl IntoIterator<Item = BTreeSet<Timestamp>>) -> BTreeSet<Timestamp> {
+    let mut all = BTreeSet::new();
+    for s in sets {
+        all.extend(s);
+    }
+    all
+}
+
+/// Compares two multisets (order-insensitive).
+pub fn multiset_eq<T: Ord>(mut a: Vec<T>, mut b: Vec<T>) -> bool {
+    a.sort();
+    b.sort();
+    a == b
+}
+
+/// Checks that `output` is snapshot-equivalent to `expected(input snapshot)`
+/// for a unary operator, at every event point of input and output.
+///
+/// Returns a human-readable description of the first mismatch, for use as a
+/// proptest failure message.
+pub fn check_unary<T, U>(
+    input: &[Element<T>],
+    output: &[Element<U>],
+    expected: impl Fn(Vec<T>) -> Vec<U>,
+) -> Result<(), String>
+where
+    T: Clone + Ord + Debug,
+    U: Clone + Ord + Debug,
+{
+    let points = merge_points([event_points(input), event_points(output)]);
+    for t in points {
+        let want = expected(snapshot(input, t));
+        let got = snapshot(output, t);
+        if !multiset_eq(want.clone(), got.clone()) {
+            return Err(format!(
+                "snapshot mismatch at {t:?}: expected {want:?}, got {got:?}\n input: {input:?}\n output: {output:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Checks snapshot-equivalence for a binary operator.
+pub fn check_binary<A, B, U>(
+    left: &[Element<A>],
+    right: &[Element<B>],
+    output: &[Element<U>],
+    expected: impl Fn(Vec<A>, Vec<B>) -> Vec<U>,
+) -> Result<(), String>
+where
+    A: Clone + Ord + Debug,
+    B: Clone + Ord + Debug,
+    U: Clone + Ord + Debug,
+{
+    let points = merge_points([
+        event_points(left),
+        event_points(right),
+        event_points(output),
+    ]);
+    for t in points {
+        let want = expected(snapshot(left, t), snapshot(right, t));
+        let got = snapshot(output, t);
+        if !multiset_eq(want.clone(), got.clone()) {
+            return Err(format!(
+                "snapshot mismatch at {t:?}: expected {want:?}, got {got:?}\n left: {left:?}\n right: {right:?}\n output: {output:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Reference relational operations over snapshot multisets.
+pub mod rel {
+    /// Bag selection.
+    pub fn filter<T>(snap: Vec<T>, pred: impl Fn(&T) -> bool) -> Vec<T> {
+        snap.into_iter().filter(|x| pred(x)).collect()
+    }
+
+    /// Bag projection / mapping.
+    pub fn map<T, U>(snap: Vec<T>, f: impl Fn(T) -> U) -> Vec<U> {
+        snap.into_iter().map(f).collect()
+    }
+
+    /// Bag union (additive).
+    pub fn union<T>(a: Vec<T>, mut b: Vec<T>) -> Vec<T> {
+        let mut out = a;
+        out.append(&mut b);
+        out
+    }
+
+    /// Theta join.
+    pub fn join<A: Clone, B: Clone, U>(
+        a: Vec<A>,
+        b: Vec<B>,
+        pred: impl Fn(&A, &B) -> bool,
+        combine: impl Fn(&A, &B) -> U,
+    ) -> Vec<U> {
+        let mut out = Vec::new();
+        for x in &a {
+            for y in &b {
+                if pred(x, y) {
+                    out.push(combine(x, y));
+                }
+            }
+        }
+        out
+    }
+
+    /// Duplicate elimination (bag → set).
+    pub fn distinct<T: Ord>(mut snap: Vec<T>) -> Vec<T> {
+        snap.sort();
+        snap.dedup();
+        snap
+    }
+
+    /// Bag difference with monus semantics:
+    /// multiplicity = max(0, m_a(x) − m_b(x)).
+    pub fn difference<T: Ord + Clone>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+        let mut remaining = b;
+        let mut out = Vec::new();
+        for x in a {
+            if let Some(pos) = remaining.iter().position(|y| *y == x) {
+                remaining.swap_remove(pos);
+            } else {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Bag intersection with min-multiplicity semantics.
+    pub fn intersect<T: Ord + Clone>(a: Vec<T>, b: Vec<T>) -> Vec<T> {
+        let mut remaining = b;
+        let mut out = Vec::new();
+        for x in a {
+            if let Some(pos) = remaining.iter().position(|y| *y == x) {
+                remaining.swap_remove(pos);
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Scalar aggregation: empty snapshots produce no output row (per the
+    /// stream semantics of aggregation over an empty window).
+    pub fn aggregate<T, U>(snap: Vec<T>, agg: impl Fn(&[T]) -> U) -> Vec<U> {
+        if snap.is_empty() {
+            Vec::new()
+        } else {
+            vec![agg(&snap)]
+        }
+    }
+
+    /// Grouped aggregation: one output row per distinct key present.
+    pub fn aggregate_by<T, K: Ord + Clone, U>(
+        snap: Vec<T>,
+        key: impl Fn(&T) -> K,
+        agg: impl Fn(&K, &[T]) -> U,
+    ) -> Vec<U> {
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<K, Vec<T>> = BTreeMap::new();
+        for x in snap {
+            groups.entry(key(&x)).or_default().push(x);
+        }
+        groups.iter().map(|(k, v)| agg(k, v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TimeInterval;
+
+    fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+        Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+    }
+
+    #[test]
+    fn snapshot_respects_half_open_bounds() {
+        let bag = vec![el(1, 0, 5), el(2, 3, 7), el(1, 5, 6)];
+        assert!(multiset_eq(snapshot(&bag, Timestamp::new(0)), vec![1]));
+        assert!(multiset_eq(snapshot(&bag, Timestamp::new(4)), vec![1, 2]));
+        assert!(multiset_eq(snapshot(&bag, Timestamp::new(5)), vec![2, 1]));
+        assert!(multiset_eq(snapshot(&bag, Timestamp::new(7)), vec![]));
+    }
+
+    #[test]
+    fn event_points_skip_infinity() {
+        let bag = vec![
+            el(1, 0, 5),
+            Element::new(9, TimeInterval::from_start(Timestamp::new(3))),
+        ];
+        let pts = event_points(&bag);
+        assert_eq!(
+            pts.into_iter().collect::<Vec<_>>(),
+            vec![Timestamp::new(0), Timestamp::new(3), Timestamp::new(5)]
+        );
+    }
+
+    #[test]
+    fn check_unary_detects_errors() {
+        let input = vec![el(1, 0, 5)];
+        // Identity output passes.
+        assert!(check_unary(&input, &input.clone(), |s| s).is_ok());
+        // Truncated output fails at some event point.
+        let wrong = vec![el(1, 0, 3)];
+        assert!(check_unary(&input, &wrong, |s| s).is_err());
+        // Output with an extra phantom element fails too.
+        let extra = vec![el(1, 0, 5), el(7, 1, 2)];
+        assert!(check_unary(&input, &extra, |s| s).is_err());
+    }
+
+    #[test]
+    fn check_binary_join_reference() {
+        let left = vec![el(1, 0, 10)];
+        let right = vec![el(1, 4, 6)];
+        let out = vec![el(2, 4, 6)]; // 1 joined with 1, combined as sum
+        assert!(check_binary(&left, &right, &out, |a, b| rel::join(
+            a,
+            b,
+            |x, y| x == y,
+            |x, y| x + y
+        ))
+        .is_ok());
+        // Join result with the wrong interval is rejected.
+        let bad = vec![el(2, 4, 7)];
+        assert!(check_binary(&left, &right, &bad, |a, b| rel::join(
+            a,
+            b,
+            |x, y| x == y,
+            |x, y| x + y
+        ))
+        .is_err());
+    }
+
+    #[test]
+    fn rel_difference_is_monus() {
+        assert_eq!(
+            rel::difference(vec![1, 1, 2, 3], vec![1, 3, 3]),
+            vec![1, 2]
+        );
+        assert_eq!(rel::difference(vec![], vec![1]), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn rel_intersect_min_multiplicity() {
+        assert_eq!(rel::intersect(vec![1, 1, 2], vec![1, 2, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn rel_distinct_and_aggregate() {
+        assert_eq!(rel::distinct(vec![3, 1, 3, 2, 1]), vec![1, 2, 3]);
+        assert_eq!(
+            rel::aggregate(vec![1, 2, 3], |s| s.iter().sum::<i32>()),
+            vec![6]
+        );
+        assert_eq!(
+            rel::aggregate(Vec::<i32>::new(), |s| s.iter().sum::<i32>()),
+            Vec::<i32>::new()
+        );
+        let grouped = rel::aggregate_by(
+            vec![(1, 10), (2, 20), (1, 30)],
+            |x| x.0,
+            |k, v| (*k, v.iter().map(|x| x.1).sum::<i32>()),
+        );
+        assert_eq!(grouped, vec![(1, 40), (2, 20)]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Points in the discrete time domain.
+
+use crate::Duration;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in the discrete logical time domain of a stream.
+///
+/// Timestamps are plain tick counts; the mapping from ticks to wall-clock
+/// units is chosen by the application. Arithmetic saturates at the domain
+/// bounds so that watermark propagation can never overflow.
+///
+/// `Timestamp::MAX` acts as "the end of time": an element whose validity
+/// interval ends at `Timestamp::MAX` is valid forever (used, e.g., by
+/// count-based windows at end of stream).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The origin of the time domain.
+    pub const ZERO: Timestamp = Timestamp(0);
+    /// The minimum representable instant (alias of [`Timestamp::ZERO`]).
+    pub const MIN: Timestamp = Timestamp(0);
+    /// The maximum representable instant, treated as "forever".
+    pub const MAX: Timestamp = Timestamp(u64::MAX);
+
+    /// Creates a timestamp from a raw tick count.
+    #[inline]
+    pub const fn new(ticks: u64) -> Self {
+        Timestamp(ticks)
+    }
+
+    /// Returns the raw tick count.
+    #[inline]
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating addition of a duration.
+    #[inline]
+    pub const fn saturating_add(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_add(d.ticks()))
+    }
+
+    /// Saturating subtraction of a duration.
+    #[inline]
+    pub const fn saturating_sub(self, d: Duration) -> Timestamp {
+        Timestamp(self.0.saturating_sub(d.ticks()))
+    }
+
+    /// Duration elapsed since `earlier`, or zero if `earlier` is later.
+    #[inline]
+    pub const fn since(self, earlier: Timestamp) -> Duration {
+        Duration::from_ticks(self.0.saturating_sub(earlier.0))
+    }
+
+    /// The immediately following instant (saturating).
+    #[inline]
+    pub const fn next(self) -> Timestamp {
+        Timestamp(self.0.saturating_add(1))
+    }
+
+    /// Rounds down to a multiple of `granule`.
+    ///
+    /// Used by the granularity/sampling operator that implements CQL-style
+    /// `SLIDE` clauses. A zero granule is returned unchanged.
+    #[inline]
+    pub const fn align_down(self, granule: Duration) -> Timestamp {
+        if granule.ticks() == 0 {
+            self
+        } else {
+            Timestamp(self.0 - self.0 % granule.ticks())
+        }
+    }
+
+    /// Rounds up to a multiple of `granule` (saturating). A zero granule is
+    /// returned unchanged.
+    #[inline]
+    pub const fn align_up(self, granule: Duration) -> Timestamp {
+        if granule.ticks() == 0 {
+            self
+        } else {
+            let rem = self.0 % granule.ticks();
+            if rem == 0 {
+                self
+            } else {
+                Timestamp(self.0.saturating_add(granule.ticks() - rem))
+            }
+        }
+    }
+
+    /// The smaller of two instants.
+    #[inline]
+    pub fn min_of(a: Timestamp, b: Timestamp) -> Timestamp {
+        if a <= b {
+            a
+        } else {
+            b
+        }
+    }
+}
+
+impl From<u64> for Timestamp {
+    fn from(t: u64) -> Self {
+        Timestamp(t)
+    }
+}
+
+impl Add<Duration> for Timestamp {
+    type Output = Timestamp;
+    fn add(self, d: Duration) -> Timestamp {
+        self.saturating_add(d)
+    }
+}
+
+impl AddAssign<Duration> for Timestamp {
+    fn add_assign(&mut self, d: Duration) {
+        *self = *self + d;
+    }
+}
+
+impl Sub<Timestamp> for Timestamp {
+    type Output = Duration;
+    fn sub(self, rhs: Timestamp) -> Duration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == Timestamp::MAX {
+            write!(f, "t∞")
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_arithmetic() {
+        let a = Timestamp::new(5);
+        let b = Timestamp::new(9);
+        assert!(a < b);
+        assert_eq!(b.since(a), Duration::from_ticks(4));
+        assert_eq!(a.since(b), Duration::ZERO);
+        assert_eq!(a + Duration::from_ticks(4), b);
+        assert_eq!(b - a, Duration::from_ticks(4));
+    }
+
+    #[test]
+    fn saturation_at_bounds() {
+        assert_eq!(
+            Timestamp::MAX.saturating_add(Duration::from_ticks(1)),
+            Timestamp::MAX
+        );
+        assert_eq!(
+            Timestamp::ZERO.saturating_sub(Duration::from_ticks(1)),
+            Timestamp::ZERO
+        );
+        assert_eq!(Timestamp::MAX.next(), Timestamp::MAX);
+    }
+
+    #[test]
+    fn alignment() {
+        let g = Duration::from_ticks(10);
+        assert_eq!(Timestamp::new(37).align_down(g), Timestamp::new(30));
+        assert_eq!(Timestamp::new(37).align_up(g), Timestamp::new(40));
+        assert_eq!(Timestamp::new(40).align_down(g), Timestamp::new(40));
+        assert_eq!(Timestamp::new(40).align_up(g), Timestamp::new(40));
+        // zero granule is identity
+        assert_eq!(
+            Timestamp::new(7).align_down(Duration::ZERO),
+            Timestamp::new(7)
+        );
+        assert_eq!(
+            Timestamp::new(7).align_up(Duration::ZERO),
+            Timestamp::new(7)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Timestamp::new(3)), "t3");
+        assert_eq!(format!("{}", Timestamp::MAX), "t∞");
+    }
+}

@@ -1,0 +1,90 @@
+//! Property tests: the interval operations agree with their pointwise
+//! (membership) definitions.
+
+use pipes_time::{Duration, TimeInterval, Timestamp};
+use proptest::prelude::*;
+
+fn arb_interval() -> impl Strategy<Value = TimeInterval> {
+    (0u64..200, 1u64..60).prop_map(|(s, len)| {
+        TimeInterval::new(Timestamp::new(s), Timestamp::new(s + len))
+    })
+}
+
+/// Instants worth checking around two intervals.
+fn probes(a: &TimeInterval, b: &TimeInterval) -> Vec<Timestamp> {
+    let mut pts = vec![a.start(), a.end(), b.start(), b.end()];
+    for t in pts.clone() {
+        pts.push(Timestamp::new(t.ticks().saturating_sub(1)));
+        pts.push(t.next());
+    }
+    pts
+}
+
+proptest! {
+    #[test]
+    fn overlap_matches_membership(a in arb_interval(), b in arb_interval()) {
+        let any_shared = probes(&a, &b)
+            .into_iter()
+            .any(|t| a.contains(t) && b.contains(t));
+        prop_assert_eq!(a.overlaps(&b), any_shared);
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn intersect_is_pointwise_and(a in arb_interval(), b in arb_interval()) {
+        let i = a.intersect(&b);
+        for t in probes(&a, &b) {
+            let in_both = a.contains(t) && b.contains(t);
+            let in_i = i.is_some_and(|iv| iv.contains(t));
+            prop_assert_eq!(in_both, in_i, "at {:?}", t);
+        }
+    }
+
+    #[test]
+    fn merge_is_pointwise_or_when_defined(a in arb_interval(), b in arb_interval()) {
+        if let Some(m) = a.merge(&b) {
+            for t in probes(&a, &b) {
+                let in_either = a.contains(t) || b.contains(t);
+                if in_either {
+                    prop_assert!(m.contains(t));
+                }
+            }
+            // The merge is tight: endpoints come from the inputs.
+            prop_assert_eq!(m.start(), a.start().min(b.start()));
+            prop_assert_eq!(m.end(), a.end().max(b.end()));
+        } else {
+            // Disjoint with a real gap: some instant separates them.
+            prop_assert!(!a.meets_or_overlaps(&b));
+        }
+    }
+
+    #[test]
+    fn split_partitions_membership(a in arb_interval(), cut in 0u64..300) {
+        let t = Timestamp::new(cut);
+        let (left, right) = a.split_at(t);
+        for p in probes(&a, &a) {
+            let in_parts = left.is_some_and(|l| l.contains(p))
+                || right.is_some_and(|r| r.contains(p));
+            prop_assert_eq!(a.contains(p), in_parts);
+        }
+        if let Some(l) = left {
+            prop_assert!(l.end() <= t);
+        }
+        if let Some(r) = right {
+            prop_assert!(r.start() >= t);
+        }
+    }
+
+    #[test]
+    fn window_has_requested_length(s in 0u64..1000, w in 1u64..500) {
+        let iv = TimeInterval::window(Timestamp::new(s), Duration::from_ticks(w));
+        prop_assert_eq!(iv.start(), Timestamp::new(s));
+        prop_assert_eq!(iv.duration(), Duration::from_ticks(w));
+    }
+
+    #[test]
+    fn before_is_strict_upper_bound(a in arb_interval(), cut in 0u64..300) {
+        let t = Timestamp::new(cut);
+        prop_assert_eq!(a.before(t), !a.contains(t) && a.start() < t);
+    }
+}

@@ -1,0 +1,149 @@
+//! # pipes-traffic
+//!
+//! The traffic-management application scenario of the PIPES demonstration.
+//!
+//! The original demo replays loop-detector data collected by the Freeway
+//! Service Patrol (FSP) project on highway I-880 near Hayward, California:
+//! ~100 loop detectors over a ten-mile section, five lanes per direction
+//! with a dedicated high-occupancy-vehicle (HOV) lane, each record carrying
+//! detector position, lane, timestamp, vehicle speed and length.
+//!
+//! The field data itself is not redistributable, so this crate provides a
+//! **synthetic FSP generator** with the same schema, realistic rates and the
+//! phenomena the demo queries look for: rush-hour load swings, stochastic
+//! incidents, and congestion waves propagating upstream (see `DESIGN.md`,
+//! substitutions). On top of it, [`queries`] provides the Linear-Road-style
+//! continuous queries of the paper — average HOV speed over the last hour,
+//! and persistent-slowdown (incident) detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod queries;
+
+use pipes_optimizer::{Catalog, Schema, Tuple, Value};
+use pipes_time::{Element, Timestamp};
+
+/// Direction of travel on I-880.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Northbound, towards Oakland.
+    Oakland,
+    /// Southbound, towards San José.
+    SanJose,
+}
+
+impl Direction {
+    /// Stable integer encoding used in tuples (0 = Oakland, 1 = San José).
+    pub fn code(&self) -> i64 {
+        match self {
+            Direction::Oakland => 0,
+            Direction::SanJose => 1,
+        }
+    }
+}
+
+/// One loop-detector measurement: a vehicle passing a sensor.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoopReading {
+    /// Detector id, 0..100 (10 per mile-long section).
+    pub detector: u16,
+    /// Highway section (mile), `detector / 10`.
+    pub section: u16,
+    /// Lane 0..5; lane 4 is the HOV lane.
+    pub lane: u8,
+    /// Direction of travel.
+    pub direction: Direction,
+    /// Measurement time (milliseconds since start).
+    pub ts: Timestamp,
+    /// Vehicle speed in miles per hour.
+    pub speed: f64,
+    /// Vehicle length in feet.
+    pub length: f64,
+}
+
+/// Lane index of the HOV lane.
+pub const HOV_LANE: u8 = 4;
+
+impl LoopReading {
+    /// Converts the reading to a relational tuple matching [`schema`].
+    pub fn to_tuple(&self) -> Tuple {
+        vec![
+            Value::Int(self.detector as i64),
+            Value::Int(self.section as i64),
+            Value::Int(self.lane as i64),
+            Value::Int(self.direction.code()),
+            Value::Float(self.speed),
+            Value::Float(self.length),
+        ]
+    }
+
+    /// The reading as a timestamped stream element.
+    pub fn to_element(&self) -> Element<Tuple> {
+        Element::at(self.to_tuple(), self.ts)
+    }
+}
+
+/// The relational schema of the traffic stream.
+pub fn schema() -> Schema {
+    Schema::of(&["detector", "section", "lane", "direction", "speed", "length"])
+}
+
+/// Registers the `traffic` stream in a catalog, backed by the synthetic FSP
+/// generator with the given configuration.
+pub fn register(catalog: &mut Catalog, config: generator::FspConfig) {
+    catalog.add_stream(
+        "traffic",
+        schema(),
+        config.expected_rate_per_sec() * 1000.0,
+        Box::new(move || {
+            let mut gen = generator::FspGenerator::new(config.clone());
+            Box::new(pipes_graph::io::GenSource::new(move || {
+                gen.next_reading().map(|r| r.to_element())
+            }))
+        }),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_matches_schema() {
+        let r = LoopReading {
+            detector: 42,
+            section: 4,
+            lane: HOV_LANE,
+            direction: Direction::Oakland,
+            ts: Timestamp::new(123),
+            speed: 61.5,
+            length: 15.0,
+        };
+        let t = r.to_tuple();
+        assert_eq!(t.len(), schema().len());
+        assert_eq!(t[0], Value::Int(42));
+        assert_eq!(t[2], Value::Int(4));
+        assert_eq!(t[3], Value::Int(0));
+        assert_eq!(r.to_element().start(), Timestamp::new(123));
+    }
+
+    #[test]
+    fn register_creates_usable_stream() {
+        let mut cat = Catalog::new();
+        register(
+            &mut cat,
+            generator::FspConfig {
+                duration_secs: 5,
+                ..Default::default()
+            },
+        );
+        assert!(cat.has_stream("traffic"));
+        let mut src = (cat.stream("traffic").unwrap().factory)();
+        let mut out: Vec<pipes_time::Message<Tuple>> = Vec::new();
+        while src.produce(512, &mut out) == pipes_graph::SourceStatus::Active {}
+        let n = out.iter().filter(|m| m.is_element()).count();
+        assert!(n > 50, "only {n} readings in 5 simulated seconds");
+    }
+}

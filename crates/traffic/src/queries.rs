@@ -1,0 +1,276 @@
+//! The continuous queries of the traffic scenario (Linear-Road style).
+
+use pipes_optimizer::{AggFunc, AggSpec, BinOp, Catalog, Expr, LogicalPlan, WindowSpec};
+use pipes_time::Duration;
+
+/// Q1 (the paper's example): *"What has been the average speed of HOVs
+/// driving in direction Oakland within the last hour?"* — as CQL.
+pub fn q1_hov_avg_speed_cql() -> &'static str {
+    "SELECT AVG(speed) AS avg_hov_speed \
+     FROM traffic [RANGE 1 HOURS] \
+     WHERE lane = 4 AND direction = 0 \
+     EVERY 5 MINUTES"
+}
+
+/// Q1 as a hand-built logical plan (identical semantics; used to verify the
+/// CQL front end against direct algebra construction).
+pub fn q1_hov_avg_speed_plan() -> LogicalPlan {
+    LogicalPlan::Every {
+        period: Duration::from_mins(5),
+        input: Box::new(LogicalPlan::Project {
+            exprs: vec![(Expr::col("AVG(speed)"), "avg_hov_speed".into())],
+            input: Box::new(LogicalPlan::Aggregate {
+                group_by: vec![],
+                aggs: vec![(
+                    AggSpec {
+                        func: AggFunc::Avg,
+                        arg: Expr::col("speed"),
+                    },
+                    "AVG(speed)".into(),
+                )],
+                input: Box::new(LogicalPlan::Filter {
+                    predicate: Expr::col("lane")
+                        .eq(Expr::lit(4i64))
+                        .and(Expr::col("direction").eq(Expr::lit(0i64))),
+                    input: Box::new(LogicalPlan::Window {
+                        spec: WindowSpec::Time(Duration::from_hours(1)),
+                        input: Box::new(LogicalPlan::Stream {
+                            name: "traffic".into(),
+                            alias: None,
+                        }),
+                    }),
+                }),
+            }),
+        }),
+    }
+}
+
+/// Q2: *"At which sections of the highway is the average speed below a
+/// certain threshold constantly for 15 minutes?"* — an incident indicator.
+///
+/// Planned as: per-section 1-minute average speeds, sampled every minute;
+/// over each section's last 15 samples, take the *maximum* of those
+/// averages; a section where even the maximum 1-minute average is below the
+/// threshold has been slow *constantly*.
+pub fn q2_persistent_slowdown_plan(direction: i64, threshold_mph: f64) -> LogicalPlan {
+    // Stage 1: (section, avg_speed) every minute over a 1-minute window.
+    let minute_avgs = LogicalPlan::Every {
+        period: Duration::from_mins(1),
+        input: Box::new(LogicalPlan::Aggregate {
+            group_by: vec![(Expr::col("section"), "section".into())],
+            aggs: vec![(
+                AggSpec {
+                    func: AggFunc::Avg,
+                    arg: Expr::col("speed"),
+                },
+                "avg_speed".into(),
+            )],
+            input: Box::new(LogicalPlan::Filter {
+                predicate: Expr::col("direction").eq(Expr::lit(direction)),
+                input: Box::new(LogicalPlan::Window {
+                    spec: WindowSpec::Time(Duration::from_mins(1)),
+                    input: Box::new(LogicalPlan::Stream {
+                        name: "traffic".into(),
+                        alias: None,
+                    }),
+                }),
+            }),
+        }),
+    };
+
+    // Stage 2: per section, the max of the last 15 one-minute averages;
+    // report sections whose max stays below the threshold.
+    LogicalPlan::Filter {
+        predicate: Expr::bin(
+            Expr::col("worst_minute"),
+            BinOp::Lt,
+            Expr::lit(threshold_mph),
+        ),
+        input: Box::new(LogicalPlan::Project {
+            exprs: vec![
+                (Expr::col("section"), "section".into()),
+                (Expr::col("MAX(avg_speed)"), "worst_minute".into()),
+            ],
+            input: Box::new(LogicalPlan::Aggregate {
+                group_by: vec![(Expr::col("section"), "section".into())],
+                aggs: vec![(
+                    AggSpec {
+                        func: AggFunc::Max,
+                        arg: Expr::col("avg_speed"),
+                    },
+                    "MAX(avg_speed)".into(),
+                )],
+                input: Box::new(LogicalPlan::Window {
+                    spec: WindowSpec::PartitionRows(vec!["section".into()], 15),
+                    input: Box::new(minute_avgs),
+                }),
+            }),
+        }),
+    }
+}
+
+/// Q3: per-section vehicle counts over a 5-minute window (flow monitoring),
+/// as CQL.
+pub fn q3_section_flow_cql() -> &'static str {
+    "SELECT section, COUNT(*) AS vehicles, AVG(speed) AS avg_speed \
+     FROM traffic [RANGE 5 MINUTES] \
+     GROUP BY section \
+     EVERY 1 MINUTES"
+}
+
+/// Q4: truck share on the highway (length > 30 ft) over the last 10
+/// minutes, as CQL.
+pub fn q4_truck_share_cql() -> &'static str {
+    "SELECT COUNT(*) AS trucks \
+     FROM traffic [RANGE 10 MINUTES] \
+     WHERE length > 30.0 \
+     EVERY 2 MINUTES"
+}
+
+/// Validates that every canned CQL query parses and plans against a catalog
+/// with the traffic stream registered.
+pub fn validate_all(catalog: &Catalog) -> Result<Vec<LogicalPlan>, String> {
+    let mut plans = Vec::new();
+    for sql in [q1_hov_avg_speed_cql(), q3_section_flow_cql(), q4_truck_share_cql()] {
+        plans.push(pipes_cql::compile_cql(sql, catalog)?);
+    }
+    plans.push(q2_persistent_slowdown_plan(0, 40.0));
+    plans.push(q1_hov_avg_speed_plan());
+    for p in &plans {
+        pipes_optimizer::compile::output_schema(p, catalog)?;
+    }
+    Ok(plans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::FspConfig;
+    use pipes_graph::io::CollectSink;
+    use pipes_graph::QueryGraph;
+    use pipes_optimizer::{Optimizer, Tuple};
+
+    fn catalog(secs: u64) -> Catalog {
+        // Scaled-down highway: windowed interval aggregation costs
+        // O(live elements) per insert, so tests keep rate × window modest.
+        let mut cat = Catalog::new();
+        crate::register(
+            &mut cat,
+            FspConfig {
+                duration_secs: secs,
+                sections: 4,
+                base_vehicles_per_min: 1.5,
+                ..Default::default()
+            },
+        );
+        cat
+    }
+
+    fn run_plan(plan: &LogicalPlan, cat: &Catalog) -> Vec<Tuple> {
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let report = opt.install(plan, &graph, cat).unwrap();
+        let (sink, buf) = CollectSink::new();
+        graph.add_sink("out", sink, &report.handle);
+        graph.run_to_completion(256);
+        let r = buf.lock().iter().map(|e| e.payload.clone()).collect();
+        r
+    }
+
+    #[test]
+    fn all_queries_plan() {
+        let cat = catalog(60);
+        let plans = validate_all(&cat).unwrap();
+        assert_eq!(plans.len(), 5);
+    }
+
+    #[test]
+    fn q1_cql_equals_handbuilt_plan_schema() {
+        let cat = catalog(60);
+        let from_cql = pipes_cql::compile_cql(q1_hov_avg_speed_cql(), &cat).unwrap();
+        let handbuilt = q1_hov_avg_speed_plan();
+        let s1 = pipes_optimizer::compile::output_schema(&from_cql, &cat).unwrap();
+        let s2 = pipes_optimizer::compile::output_schema(&handbuilt, &cat).unwrap();
+        assert_eq!(s1.columns(), s2.columns());
+    }
+
+    #[test]
+    fn q1_produces_plausible_speeds() {
+        // 10 simulated minutes; Q1 with a 1-minute EVERY to get samples.
+        let cat = catalog(600);
+        let plan = pipes_cql::compile_cql(
+            "SELECT AVG(speed) AS avg_hov_speed \
+             FROM traffic [RANGE 5 MINUTES] \
+             WHERE lane = 4 AND direction = 0 \
+             EVERY 1 MINUTES",
+            &cat,
+        )
+        .unwrap();
+        let out = run_plan(&plan, &cat);
+        assert!(!out.is_empty());
+        for t in &out {
+            let v = t[0].as_f64().unwrap();
+            assert!((3.0..=90.0).contains(&v), "implausible avg speed {v}");
+        }
+    }
+
+    #[test]
+    fn q3_counts_every_section() {
+        let cat = catalog(300);
+        let plan = pipes_cql::compile_cql(q3_section_flow_cql(), &cat).unwrap();
+        let out = run_plan(&plan, &cat);
+        let sections: std::collections::HashSet<i64> =
+            out.iter().filter_map(|t| t[0].as_i64()).collect();
+        assert!(
+            sections.len() >= 3,
+            "expected most sections reporting, got {sections:?}"
+        );
+        for t in &out {
+            assert!(t[1].as_i64().unwrap() > 0);
+        }
+    }
+
+    #[test]
+    fn q2_detects_seeded_incident() {
+        // Strong incident pressure and a long horizon so that at least one
+        // incident overlaps the measurement window.
+        let cfg = FspConfig {
+            seed: 21,
+            duration_secs: 3600,
+            sections: 4,
+            base_vehicles_per_min: 2.0,
+            incidents_per_hour: 6.0,
+            incident_duration_secs: 1500,
+            ..Default::default()
+        };
+        let gen = crate::generator::FspGenerator::new(cfg.clone());
+        let schedule = gen.incident_schedule();
+        let mut cat = Catalog::new();
+        crate::register(&mut cat, cfg);
+
+        let oakland: Vec<u16> = schedule
+            .iter()
+            .filter(|(s, e, _, d)| {
+                *d == crate::Direction::Oakland
+                    // long enough to produce 15 slow minutes
+                    && e.ticks().saturating_sub(s.ticks()) >= 1_000_000
+            })
+            .map(|(_, _, sec, _)| *sec)
+            .collect();
+
+        let out = run_plan(&q2_persistent_slowdown_plan(0, 40.0), &cat);
+        let flagged: std::collections::HashSet<i64> =
+            out.iter().filter_map(|t| t[0].as_i64()).collect();
+
+        if oakland.is_empty() {
+            // No qualifying incident for this seed: nothing must be flagged
+            // persistently... mild congestion may still trip the detector,
+            // so only check the query runs.
+            return;
+        }
+        assert!(
+            oakland.iter().any(|s| flagged.contains(&(*s as i64))),
+            "expected one of incident sections {oakland:?} among flagged {flagged:?}"
+        );
+    }
+}

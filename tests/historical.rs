@@ -1,0 +1,76 @@
+//! Historical queries over streams: materialize live results into a
+//! relation, then replay them later as a new stream — the XXL index
+//! integration the paper plans for ("enable historical queries over
+//! streams").
+
+use pipes::prelude::*;
+use pipes::rel::{Relation, SharedRelation, UpsertSink};
+
+#[test]
+fn materialize_then_replay_history() {
+    // Phase 1 — live: per-minute averages materialized into a relation.
+    let live: SharedRelation<i64, (i64, f64)> =
+        SharedRelation::new(Relation::new("minute_avgs", |r: &(i64, f64)| r.0));
+    {
+        let g = QueryGraph::new();
+        let elems: Vec<Element<(i64, f64)>> = (0..600)
+            .map(|i| {
+                // (minute, value): value drifts upward over time.
+                Element::at((i / 60, i as f64), Timestamp::new(i as u64))
+            })
+            .collect();
+        let src = g.add_source("live", VecSource::new(elems));
+        let grouped = g.add_unary(
+            "avg-per-minute",
+            GroupedAggregate::new(|(m, _): &(i64, f64)| *m, AvgAgg(|(_, v): &(i64, f64)| *v)),
+            &src,
+        );
+        // Keep only the final (widest-coverage) value per minute: upsert
+        // overwrites, and outputs arrive in watermark order.
+        let to_rows = g.add_unary(
+            "to-rows",
+            Map::new(|(m, avg): (i64, f64)| (m, avg)),
+            &grouped,
+        );
+        g.add_sink("materialize", UpsertSink::new(live.clone()), &to_rows);
+        g.run_to_completion(64);
+    }
+    assert_eq!(live.read(|r| r.len()), 10, "one row per minute");
+
+    // Phase 2 — historical: replay the materialized rows as a stream and
+    // run a *new* continuous query over history.
+    let g = QueryGraph::new();
+    let src = g.add_source(
+        "history",
+        pipes::rel::replay(&live, |(m, _): &(i64, f64)| Timestamp::new(*m as u64 * 60)),
+    );
+    let windowed = g.add_unary(
+        "trend-window",
+        TimeWindow::new(Duration::from_ticks(180)),
+        &src,
+    );
+    let maxed = g.add_unary(
+        "rolling-max",
+        ScalarAggregate::new(MaxAgg(|(_, avg): &(i64, f64)| (*avg * 1000.0) as i64)),
+        &windowed,
+    );
+    let (sink, buf) = CollectSink::new();
+    g.add_sink("out", sink, &maxed);
+    g.run_to_completion(32);
+
+    let out = buf.lock();
+    assert!(!out.is_empty());
+    // The rolling max over an upward-drifting series is non-decreasing.
+    let vals: Vec<i64> = out.iter().map(|e| e.payload).collect();
+    for w in vals.windows(2) {
+        assert!(w[1] >= w[0], "rolling max regressed: {vals:?}");
+    }
+
+    // Phase 3 — demand-driven access to the same history via cursors.
+    let slow_minutes = live
+        .read(|r| r.scan().collect_vec())
+        .into_iter()
+        .filter(|(_, avg)| *avg < 200.0)
+        .count();
+    assert!(slow_minutes > 0);
+}

@@ -1,0 +1,117 @@
+//! Dynamic re-optimization: migrating a running query to a better plan and
+//! retiring the old one — the "dynamic case" the paper names as the next
+//! step for its (statically used) optimizer.
+
+use pipes::nexmark::{self, generator::NexmarkConfig};
+use pipes::prelude::*;
+
+fn catalog() -> Catalog {
+    let mut cat = Catalog::new();
+    nexmark::register(
+        &mut cat,
+        NexmarkConfig {
+            max_events: 6_000,
+            mean_inter_event_ms: 250.0,
+            ..Default::default()
+        },
+    );
+    cat
+}
+
+#[test]
+fn migrate_then_retire_frees_exclusive_nodes_only() {
+    let cat = catalog();
+    let graph = QueryGraph::new();
+    let mut optimizer = Optimizer::new();
+
+    // Two queries sharing the windowed scan.
+    let q_keep = compile_cql(
+        "SELECT * FROM bid [RANGE 2 MINUTES] WHERE price > 2000",
+        &cat,
+    )
+    .unwrap();
+    let q_old = compile_cql(
+        "SELECT * FROM bid [RANGE 2 MINUTES] WHERE price > 9000",
+        &cat,
+    )
+    .unwrap();
+    let r_keep = optimizer.install(&q_keep, &graph, &cat).unwrap();
+    let (sk, keep_buf) = CollectSink::new();
+    graph.add_sink("keep", sk, &r_keep.handle);
+
+    let r_old = optimizer.install(&q_old, &graph, &cat).unwrap();
+    let (so, _old_buf) = CollectSink::new();
+    let old_sink = graph.add_sink("old", so, &r_old.handle);
+
+    // Let the graph run a while.
+    for _ in 0..4 {
+        for id in 0..graph.len() {
+            graph.step_node(id, 32);
+        }
+    }
+
+    // Migrate: the application replaces q_old with a revised query.
+    let q_new = compile_cql(
+        "SELECT * FROM bid [RANGE 2 MINUTES] WHERE price > 9000 AND auction > 2",
+        &cat,
+    )
+    .unwrap();
+    let r_new = optimizer.install(&q_new, &graph, &cat).unwrap();
+    assert!(r_new.reused >= 1, "migration should share the running scan");
+    let (sn, new_buf) = CollectSink::new();
+    graph.add_sink("new", sn, &r_new.handle);
+
+    // Unsubscribe the old sink and retire the old plan.
+    graph.remove_node(old_sink);
+    let live_before = graph
+        .infos()
+        .iter()
+        .filter(|i| !i.removed)
+        .count();
+    let removed = optimizer.retire(&r_old.chosen, &graph);
+    let live_after = graph.infos().iter().filter(|i| !i.removed).count();
+
+    assert!(removed >= 1, "old exclusive node must be retired");
+    assert_eq!(live_before - removed, live_after);
+
+    // The shared scan and the surviving queries keep working.
+    graph.run_to_completion(64);
+    assert!(!keep_buf.lock().is_empty());
+    assert!(!new_buf.lock().is_empty());
+    for e in new_buf.lock().iter() {
+        // bid schema: [auction, bidder, price]
+        assert!(e.payload[2].as_i64().unwrap() > 9000);
+        assert!(e.payload[0].as_i64().unwrap() > 2);
+    }
+
+    // Reinstalling the retired query works (it is gone from the index).
+    let r_again = optimizer.install(&q_old, &graph, &cat).unwrap();
+    assert!(r_again.created >= 1);
+}
+
+#[test]
+fn retire_keeps_shared_subplans_alive() {
+    let cat = catalog();
+    let graph = QueryGraph::new();
+    let mut optimizer = Optimizer::new();
+
+    let q1 = compile_cql("SELECT * FROM bid WHERE price > 100", &cat).unwrap();
+    let q2 = compile_cql("SELECT * FROM bid WHERE price > 100", &cat).unwrap();
+    let r1 = optimizer.install(&q1, &graph, &cat).unwrap();
+    let s1 = {
+        let (sink, _) = CollectSink::new();
+        graph.add_sink("s1", sink, &r1.handle)
+    };
+    let r2 = optimizer.install(&q2, &graph, &cat).unwrap();
+    assert_eq!(r2.created, 0, "identical query is fully shared");
+    let (sink, buf2) = CollectSink::new();
+    graph.add_sink("s2", sink, &r2.handle);
+
+    // Retiring q1 while q2 still consumes the same plan must remove nothing.
+    graph.remove_node(s1);
+    let removed = optimizer.retire(&r1.chosen, &graph);
+    assert_eq!(removed, 0, "shared plan still has a consumer");
+
+    graph.run_to_completion(64);
+    assert!(!buf2.lock().is_empty(), "survivor still gets data");
+}
