@@ -52,6 +52,39 @@ fn bench_fusion(c: &mut Criterion) {
     group.finish();
 }
 
+/// E14 micro: the same queued 4-op chain swept across batch limits. A limit
+/// of 1 reproduces the per-message cost model (one lock round and one
+/// sequence allocation per message); "unbounded" is the kernel default.
+fn bench_batching(c: &mut Criterion) {
+    const N: u64 = 20_000;
+    let mut group = c.benchmark_group("batching");
+    group.throughput(Throughput::Elements(N));
+    for limit in [1usize, 8, 64, usize::MAX] {
+        let label = if limit == usize::MAX {
+            "unbounded".to_string()
+        } else {
+            limit.to_string()
+        };
+        group.bench_function(BenchmarkId::new("queued_chain_4", label), |b| {
+            b.iter(|| {
+                let g = QueryGraph::new();
+                let src = g.add_source("src", VecSource::new(events(N)));
+                let a = g.add_unary("a", Map::new(|v: i64| v + 1), &src);
+                let d = g.add_unary("b", Map::new(|v: i64| v * 2), &a);
+                let e = g.add_unary("c", Map::new(|v: i64| v - 3), &d);
+                let f = g.add_unary("d", Map::new(|v: i64| v ^ 7), &e);
+                let (sink, buf) = CollectSink::new();
+                g.add_sink("s", sink, &f);
+                g.set_batch_limit(limit);
+                g.run_to_completion(256);
+                let n = buf.lock().len();
+                n
+            })
+        });
+    }
+    group.finish();
+}
+
 /// E6 micro: probe cost per SweepArea variant at a fixed live-set size.
 fn bench_sweeparea(c: &mut Criterion) {
     const LIVE: u64 = 2_000;
@@ -146,9 +179,7 @@ fn bench_aggregate(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("count_window", window),
             &input,
-            |b, input| {
-                b.iter(|| run_unary(ScalarAggregate::new(CountAgg), input.clone()).len())
-            },
+            |b, input| b.iter(|| run_unary(ScalarAggregate::new(CountAgg), input.clone()).len()),
         );
     }
     group.finish();
@@ -157,6 +188,7 @@ fn bench_aggregate(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_fusion,
+    bench_batching,
     bench_sweeparea,
     bench_join,
     bench_aggregate

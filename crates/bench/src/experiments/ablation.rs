@@ -50,7 +50,9 @@ pub fn e13_ablation(quick: bool) {
         ]);
     }
     table(
-        &format!("E13a — scheduling quantum (= heartbeat batch size), {n} elements through window+count"),
+        &format!(
+            "E13a — scheduling quantum (= heartbeat batch size), {n} elements through window+count"
+        ),
         &["quantum", "kelem/s", "agg outputs"],
         &rows,
     );

@@ -41,9 +41,18 @@ pub fn e1_architecture(quick: bool) {
     let mut reused = 0;
     let mut sinks = Vec::new();
     let queries: Vec<(&str, String)> = vec![
-        ("traffic/hov", traffic_queries::q1_hov_avg_speed_cql().into()),
-        ("traffic/flow", traffic_queries::q3_section_flow_cql().into()),
-        ("auction/highest", nex_queries::q3_highest_bid_10min().into()),
+        (
+            "traffic/hov",
+            traffic_queries::q1_hov_avg_speed_cql().into(),
+        ),
+        (
+            "traffic/flow",
+            traffic_queries::q3_section_flow_cql().into(),
+        ),
+        (
+            "auction/highest",
+            nex_queries::q3_highest_bid_10min().into(),
+        ),
         ("auction/hot", nex_queries::q4_hot_items().into()),
         ("auction/join", nex_queries::q5_bid_auction_join().into()),
     ];
@@ -70,10 +79,16 @@ pub fn e1_architecture(quick: bool) {
     for (name, buf) in &sinks {
         rows.push(vec![name.to_string(), buf.lock().len().to_string()]);
     }
-    table("E1 — assembled DSMS prototype: results per query", &["query", "rows"], &rows);
+    table(
+        "E1 — assembled DSMS prototype: results per query",
+        &["query", "rows"],
+        &rows,
+    );
     table(
         "E1 — run summary",
-        &["queries", "nodes", "created", "reused", "messages", "wall ms", "kmsg/s"],
+        &[
+            "queries", "nodes", "created", "reused", "messages", "wall ms", "kmsg/s",
+        ],
         &[vec![
             installed.to_string(),
             graph.len().to_string(),

@@ -149,11 +149,7 @@ pub fn e6_join_framework(quick: bool) {
     );
     let intermediate = ab.len();
     let abc = run_binary(
-        RippleJoin::equi(
-            |l: &(u64, u64)| l.0,
-            |r: &u64| *r,
-            |l, r| (l.0, l.1, *r),
-        ),
+        RippleJoin::equi(|l: &(u64, u64)| l.0, |r: &u64| *r, |l, r| (l.0, l.1, *r)),
         ab,
         c,
     );

@@ -1,7 +1,8 @@
-//! The experiments E1–E13 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E14 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
+mod batching;
 mod fusion;
 mod join;
 mod memory;
@@ -12,7 +13,7 @@ mod rate;
 mod reuse;
 mod scheduling;
 
-/// Runs one experiment by id (`e1`..`e13`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e14`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -55,5 +56,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e13") {
         ablation::e13_ablation(quick);
+    }
+    if want("e14") {
+        batching::e14_batching(quick);
     }
 }

@@ -102,7 +102,9 @@ pub fn e8_multi_query(quick: bool) {
         ]);
     }
     table(
-        &format!("E8 — multi-query optimization, shared scan + distinct projections, {events} events"),
+        &format!(
+            "E8 — multi-query optimization, shared scan + distinct projections, {events} events"
+        ),
         &[
             "queries",
             "nodes shared",

@@ -40,7 +40,9 @@ pub fn e2_query_plans(_quick: bool) {
         let graph = QueryGraph::new();
         let mut optimizer = Optimizer::new();
         let start = Instant::now();
-        let report = optimizer.install(&reloaded, &graph, &cat).expect("installs");
+        let report = optimizer
+            .install(&reloaded, &graph, &cat)
+            .expect("installs");
         let compile_us = start.elapsed().as_micros();
 
         rows.push(vec![
@@ -70,8 +72,7 @@ pub fn e2_query_plans(_quick: bool) {
     );
 
     // One rendered plan, as the GUI would show it.
-    let plan =
-        pipes::cql::compile_cql(queries::q7_avg_price_per_category(), &cat).expect("parses");
+    let plan = pipes::cql::compile_cql(queries::q7_avg_price_per_category(), &cat).expect("parses");
     println!("\nq7 plan (logical):\n{}", plan.pretty());
     println!("q7 plan (Graphviz):\n{}", plan.render_dot());
 }

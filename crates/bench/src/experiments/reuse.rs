@@ -39,20 +39,12 @@ pub fn e12_code_reuse(quick: bool) {
     // 3. Data-driven: stream aggregation over one big window.
     let elems: Vec<Element<f64>> = values
         .iter()
-        .map(|&v| {
-            Element::new(
-                v,
-                TimeInterval::new(Timestamp::new(0), Timestamp::new(1)),
-            )
-        })
+        .map(|&v| Element::new(v, TimeInterval::new(Timestamp::new(0), Timestamp::new(1))))
         .collect();
     // All elements share the interval [0,1): one partial accumulates the
     // whole dataset and the snapshot at t=0 is the full aggregate.
     let start = Instant::now();
-    let out = pipes::ops::drive::run_unary(
-        ScalarAggregate::new(StatsAgg(|v: &f64| *v)),
-        elems,
-    );
+    let out = pipes::ops::drive::run_unary(ScalarAggregate::new(StatsAgg(|v: &f64| *v)), elems);
     let t_stream = start.elapsed();
     let (stream_mean, stream_var) = out
         .iter()
@@ -60,8 +52,16 @@ pub fn e12_code_reuse(quick: bool) {
         .expect("snapshot at 0 exists")
         .payload;
 
-    assert_eq!(direct.mean().to_bits(), last.mean.to_bits(), "cursor path diverged");
-    assert_eq!(direct.mean().to_bits(), stream_mean.to_bits(), "stream path diverged");
+    assert_eq!(
+        direct.mean().to_bits(),
+        last.mean.to_bits(),
+        "cursor path diverged"
+    );
+    assert_eq!(
+        direct.mean().to_bits(),
+        stream_mean.to_bits(),
+        "stream path diverged"
+    );
     assert_eq!(direct.variance().to_bits(), stream_var.to_bits());
 
     table(

@@ -58,11 +58,7 @@ mod tests {
         assert_eq!(super::f(1.23456, 2), "1.23");
         assert_eq!(super::ms(std::time::Duration::from_millis(1500)), "1500.0");
         // table() only prints; smoke-test it doesn't panic.
-        super::table(
-            "t",
-            &["a", "long-header"],
-            &[vec!["1".into(), "2".into()]],
-        );
+        super::table("t", &["a", "long-header"], &[vec!["1".into(), "2".into()]]);
     }
 
     #[test]

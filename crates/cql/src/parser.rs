@@ -38,12 +38,9 @@ impl ExprAst {
         match self {
             ExprAst::Col(c) => c.clone(),
             ExprAst::Lit(v) => v.to_string(),
-            ExprAst::Bin(l, op, r) => format!(
-                "{} {} {}",
-                l.display_atom(),
-                op.symbol(),
-                r.display_atom()
-            ),
+            ExprAst::Bin(l, op, r) => {
+                format!("{} {} {}", l.display_atom(), op.symbol(), r.display_atom())
+            }
             ExprAst::Un(UnOp::Not, e) => format!("NOT {}", e.display_atom()),
             ExprAst::Un(UnOp::Neg, e) => format!("-{}", e.display_atom()),
             ExprAst::Agg(f, None) => format!("{}(*)", f.name()),
@@ -491,10 +488,9 @@ mod tests {
 
     #[test]
     fn windows_and_aliases() {
-        let q = parse(
-            "SELECT t.speed FROM traffic [RANGE 1 HOURS] AS t, bids [ROWS 10] AS b, p [NOW]",
-        )
-        .unwrap();
+        let q =
+            parse("SELECT t.speed FROM traffic [RANGE 1 HOURS] AS t, bids [ROWS 10] AS b, p [NOW]")
+                .unwrap();
         assert_eq!(
             q.from[0].window,
             Some(WindowSpec::Time(Duration::from_hours(1)))
@@ -509,10 +505,7 @@ mod tests {
         let q = parse("SELECT * FROM s [PARTITION BY k, t.j ROWS 5]").unwrap();
         assert_eq!(
             q.from[0].window,
-            Some(WindowSpec::PartitionRows(
-                vec!["k".into(), "t.j".into()],
-                5
-            ))
+            Some(WindowSpec::PartitionRows(vec!["k".into(), "t.j".into()], 5))
         );
     }
 
@@ -554,7 +547,10 @@ mod tests {
     #[test]
     fn count_star_and_qualified_cols() {
         let q = parse("SELECT COUNT(*), MAX(b.price) FROM bids [RANGE 10 MINUTES] AS b").unwrap();
-        assert!(matches!(&q.select[0], SelectItem::Expr(ExprAst::Agg(AggFunc::Count, None), None)));
+        assert!(matches!(
+            &q.select[0],
+            SelectItem::Expr(ExprAst::Agg(AggFunc::Count, None), None)
+        ));
         assert!(matches!(&q.select[1],
             SelectItem::Expr(ExprAst::Agg(AggFunc::Max, Some(arg)), None)
             if **arg == ExprAst::Col("b.price".into())));

@@ -1,9 +1,7 @@
 //! Planning: parsed queries → logical plans.
 
 use crate::parser::{ExprAst, FromItem, Query, SelectItem};
-use pipes_optimizer::{
-    compile::output_schema, AggSpec, Catalog, Expr, LogicalPlan, Schema, UnOp,
-};
+use pipes_optimizer::{compile::output_schema, AggSpec, Catalog, Expr, LogicalPlan, Schema, UnOp};
 
 /// Plans a parsed query against the catalog.
 pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan, String> {
@@ -208,9 +206,8 @@ pub fn plan_query(query: &Query, catalog: &Catalog) -> Result<LogicalPlan, Strin
 
         // Above the aggregate, group exprs and agg calls are columns named
         // by their display strings.
-        let rewritten = |e: &ExprAst| -> Result<Expr, String> {
-            rewrite_over_aggregate(e, &query.group_by)
-        };
+        let rewritten =
+            |e: &ExprAst| -> Result<Expr, String> { rewrite_over_aggregate(e, &query.group_by) };
 
         if let Some(h) = &query.having {
             plan = LogicalPlan::Filter {
@@ -319,10 +316,9 @@ fn to_expr(e: &ExprAst) -> Result<Expr, String> {
 /// Collects aggregate calls (deduplicated by display form).
 fn collect_aggs(e: &ExprAst, out: &mut Vec<ExprAst>) {
     match e {
-        ExprAst::Agg(..)
-            if !out.contains(e) => {
-                out.push(e.clone());
-            }
+        ExprAst::Agg(..) if !out.contains(e) => {
+            out.push(e.clone());
+        }
         ExprAst::Bin(l, _, r) => {
             collect_aggs(l, out);
             collect_aggs(r, out);
@@ -348,14 +344,12 @@ fn rewrite_over_aggregate(e: &ExprAst, group_by: &[ExprAst]) -> Result<Expr, Str
             *op,
             Box::new(rewrite_over_aggregate(r, group_by)?),
         ),
-        ExprAst::Un(UnOp::Not, x) => Expr::Unary(
-            UnOp::Not,
-            Box::new(rewrite_over_aggregate(x, group_by)?),
-        ),
-        ExprAst::Un(UnOp::Neg, x) => Expr::Unary(
-            UnOp::Neg,
-            Box::new(rewrite_over_aggregate(x, group_by)?),
-        ),
+        ExprAst::Un(UnOp::Not, x) => {
+            Expr::Unary(UnOp::Not, Box::new(rewrite_over_aggregate(x, group_by)?))
+        }
+        ExprAst::Un(UnOp::Neg, x) => {
+            Expr::Unary(UnOp::Neg, Box::new(rewrite_over_aggregate(x, group_by)?))
+        }
     })
 }
 
@@ -439,10 +433,7 @@ mod tests {
     #[test]
     fn filter_and_projection() {
         let cat = catalog();
-        let out = run_sql(
-            "SELECT price * 2 AS dbl FROM bids WHERE price >= 100",
-            &cat,
-        );
+        let out = run_sql("SELECT price * 2 AS dbl FROM bids WHERE price >= 100", &cat);
         assert_eq!(out.len(), 2);
         assert_eq!(out[0], vec![Value::Int(200)]);
     }
@@ -524,22 +515,27 @@ mod tests {
     #[test]
     fn every_caps_output() {
         let cat = catalog();
-        let all = run_sql(
-            "SELECT COUNT(*) AS n FROM bids [RANGE 10 SECONDS]",
-            &cat,
-        );
+        let all = run_sql("SELECT COUNT(*) AS n FROM bids [RANGE 10 SECONDS]", &cat);
         let sampled = run_sql(
             "SELECT COUNT(*) AS n FROM bids [RANGE 10 SECONDS] EVERY 5 SECONDS",
             &cat,
         );
-        assert!(sampled.len() < all.len(), "{} !< {}", sampled.len(), all.len());
+        assert!(
+            sampled.len() < all.len(),
+            "{} !< {}",
+            sampled.len(),
+            all.len()
+        );
         assert!(!sampled.is_empty());
     }
 
     #[test]
     fn distinct_deduplicates() {
         let cat = catalog();
-        let out = run_sql("SELECT DISTINCT auction FROM bids [RANGE 100 SECONDS]", &cat);
+        let out = run_sql(
+            "SELECT DISTINCT auction FROM bids [RANGE 100 SECONDS]",
+            &cat,
+        );
         // Snapshot-distinct emits per-interval rows; at any instant only 3
         // distinct auctions exist.
         let mut values: Vec<i64> = out.iter().filter_map(|t| t[0].as_i64()).collect();
@@ -578,7 +574,10 @@ mod tests {
             ),
         ] {
             let err = compile_cql(sql, &cat).unwrap_err();
-            assert!(err.contains(needle), "{sql}: expected '{needle}' in '{err}'");
+            assert!(
+                err.contains(needle),
+                "{sql}: expected '{needle}' in '{err}'"
+            );
         }
     }
 }

@@ -108,7 +108,12 @@ pub trait CursorExt: Cursor + Sized {
     }
 
     /// Nested-loop theta join (materializes the inner input on open).
-    fn nested_loop_join<C, P, F, O>(self, inner: C, pred: P, combine: F) -> NestedLoopJoin<Self, C, P, F>
+    fn nested_loop_join<C, P, F, O>(
+        self,
+        inner: C,
+        pred: P,
+        combine: F,
+    ) -> NestedLoopJoin<Self, C, P, F>
     where
         C: Cursor,
         C::Item: Clone,
@@ -160,7 +165,12 @@ pub trait CursorExt: Cursor + Sized {
     }
 
     /// Hash group-by with a fold per group (blocking; emits on exhaustion).
-    fn group_by<K, KF, A, I, FA>(self, key: KF, init: I, fold: FA) -> GroupByCursor<Self, KF, I, FA, K, A>
+    fn group_by<K, KF, A, I, FA>(
+        self,
+        key: KF,
+        init: I,
+        fold: FA,
+    ) -> GroupByCursor<Self, KF, I, FA, K, A>
     where
         K: Hash + Eq + Clone,
         KF: FnMut(&Self::Item) -> K,
@@ -669,9 +679,7 @@ mod tests {
 
     #[test]
     fn online_aggregation_refines_to_exact() {
-        let estimates = nums(100)
-            .online_aggregate(|x| *x as f64, 10)
-            .collect_vec();
+        let estimates = nums(100).online_aggregate(|x| *x as f64, 10).collect_vec();
         // Ten partial estimates plus the final exhausted-input report.
         assert_eq!(estimates.len(), 11);
         assert_eq!(estimates[0].count, 10);

@@ -161,20 +161,14 @@ mod tests {
     fn stream_materializes_back_to_cursor() {
         let g = QueryGraph::new();
         let cursor = VecCursor::new(vec![1i64, 2, 3, 4]);
-        let src = g.add_source(
-            "src",
-            CursorSource::new(cursor, |i, _| Timestamp::new(i)),
-        );
+        let src = g.add_source("src", CursorSource::new(cursor, |i, _| Timestamp::new(i)));
         let (sink, mat) = MaterializeSink::new();
         g.add_sink("materialize", sink, &src);
         g.run_to_completion(8);
 
         assert_eq!(mat.len(), 4);
         // Round-trip: demand-driven post-processing of a data-driven run.
-        let evens = mat
-            .payload_cursor()
-            .filter(|x| x % 2 == 0)
-            .collect_vec();
+        let evens = mat.payload_cursor().filter(|x| x % 2 == 0).collect_vec();
         assert_eq!(evens, vec![2, 4]);
     }
 
@@ -183,7 +177,9 @@ mod tests {
         let g = QueryGraph::new();
         let src = g.add_source(
             "src",
-            CursorSource::new(VecCursor::new(vec![5i64, 6]), |i, _| Timestamp::new(100 + i)),
+            CursorSource::new(VecCursor::new(vec![5i64, 6]), |i, _| {
+                Timestamp::new(100 + i)
+            }),
         );
         let (sink, mat) = MaterializeSink::new();
         g.add_sink("m", sink, &src);

@@ -14,6 +14,11 @@ pub type EdgeId = u64;
 /// Each enqueued message carries a graph-global arrival sequence number,
 /// which the FIFO scheduling strategy and multi-port nodes use to process
 /// messages in arrival order.
+///
+/// Besides the per-message [`push`](Edge::push)/[`pop`](Edge::pop) pair, the
+/// edge offers batch transfers ([`push_batch`](Edge::push_batch),
+/// [`pop_run`](Edge::pop_run)) that move many messages under a single lock
+/// acquisition — the foundation of the batched data path.
 pub struct Edge<T> {
     id: EdgeId,
     queue: Mutex<VecDeque<(u64, Message<T>)>>,
@@ -42,7 +47,29 @@ impl<T> Edge<T> {
         let mut q = self.queue.lock();
         q.push_back((seq, msg));
         let len = q.len();
-        drop(q);
+        // The cached length must be stored while the lock is still held.
+        // If it were stored after the guard drops, two concurrent critical
+        // sections could interleave as
+        //   A: push -> len 1, unlock        B: push -> len 2, unlock
+        //   B: len.store(2)                 A: len.store(1)
+        // leaving `len` stuck below the true queue length (and symmetrically
+        // above it when racing a pop) until the next mutation repaired it.
+        self.len.store(len, Ordering::Relaxed);
+        self.high_water.fetch_max(len, Ordering::Relaxed);
+    }
+
+    /// Enqueues a batch under one lock acquisition. `msgs` is drained (its
+    /// capacity is retained, so callers can reuse it as a scratch buffer);
+    /// message `i` is stamped with arrival sequence `seq_base + i`.
+    pub fn push_batch(&self, seq_base: u64, msgs: &mut Vec<Message<T>>) {
+        if msgs.is_empty() {
+            return;
+        }
+        let mut q = self.queue.lock();
+        for (i, msg) in msgs.drain(..).enumerate() {
+            q.push_back((seq_base + i as u64, msg));
+        }
+        let len = q.len();
         self.len.store(len, Ordering::Relaxed);
         self.high_water.fetch_max(len, Ordering::Relaxed);
     }
@@ -53,6 +80,44 @@ impl<T> Edge<T> {
         let item = q.pop_front();
         self.len.store(q.len(), Ordering::Relaxed);
         item
+    }
+
+    /// Dequeues up to `max` oldest messages under one lock acquisition,
+    /// appending them to `out`. Returns the number of messages moved.
+    pub fn pop_batch(&self, max: usize, out: &mut Vec<(u64, Message<T>)>) -> usize {
+        self.pop_run(max, u64::MAX, out)
+    }
+
+    /// Dequeues a *run*: up to `max` oldest messages whose arrival sequence
+    /// is at most `seq_bound`, under one lock acquisition. A `Close` message
+    /// ends the run (it is included), so consumers observe end-of-stream at
+    /// a run boundary. Appends to `out`; returns the number moved.
+    ///
+    /// Multi-port nodes bound each run by the head sequence of their other
+    /// ports, which preserves cross-port arrival order while still draining
+    /// long same-port stretches in one lock.
+    pub fn pop_run(&self, max: usize, seq_bound: u64, out: &mut Vec<(u64, Message<T>)>) -> usize {
+        if max == 0 {
+            return 0;
+        }
+        let mut q = self.queue.lock();
+        let mut n = 0;
+        while n < max {
+            match q.front() {
+                Some((seq, _)) if *seq <= seq_bound => {
+                    let (seq, msg) = q.pop_front().expect("front() guaranteed a message");
+                    let is_close = matches!(msg, Message::Close);
+                    out.push((seq, msg));
+                    n += 1;
+                    if is_close {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        self.len.store(q.len(), Ordering::Relaxed);
+        n
     }
 
     /// Arrival sequence of the oldest queued message, if any.
@@ -73,6 +138,24 @@ impl<T> Edge<T> {
     /// The largest queue length ever observed.
     pub fn high_water(&self) -> usize {
         self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+impl<T: Clone> Edge<T> {
+    /// Like [`push_batch`](Edge::push_batch), but clones from a borrowed
+    /// slice instead of draining — used to fan the same batch out to all but
+    /// the last subscriber of an output port.
+    pub fn push_batch_cloned(&self, seq_base: u64, msgs: &[Message<T>]) {
+        if msgs.is_empty() {
+            return;
+        }
+        let mut q = self.queue.lock();
+        for (i, msg) in msgs.iter().enumerate() {
+            q.push_back((seq_base + i as u64, msg.clone()));
+        }
+        let len = q.len();
+        self.len.store(len, Ordering::Relaxed);
+        self.high_water.fetch_max(len, Ordering::Relaxed);
     }
 }
 
@@ -126,5 +209,123 @@ mod tests {
             n += 1;
         }
         assert_eq!(n, 2000);
+    }
+
+    /// Regression test for the stale-length race: `push` used to store the
+    /// cached length *after* releasing the queue lock, so a concurrent
+    /// push/pop pair could publish their lengths in the opposite order of
+    /// their critical sections, leaving `len()` permanently out of sync with
+    /// the queue. With the store moved inside the critical section the cached
+    /// length always reflects the most recent mutation once all threads join.
+    #[test]
+    fn len_consistent_after_concurrent_push_and_pop() {
+        use std::sync::Arc;
+        for _ in 0..50 {
+            let e: Arc<Edge<u64>> = Arc::new(Edge::new(0));
+            let pushers: Vec<_> = (0..2u64)
+                .map(|tid| {
+                    let e = Arc::clone(&e);
+                    std::thread::spawn(move || {
+                        for i in 0..200 {
+                            e.push(tid * 1000 + i, Message::Heartbeat(Timestamp::new(i)));
+                        }
+                    })
+                })
+                .collect();
+            let popper = {
+                let e = Arc::clone(&e);
+                std::thread::spawn(move || {
+                    let mut got = 0;
+                    while got < 100 {
+                        if e.pop().is_some() {
+                            got += 1;
+                        } else {
+                            std::hint::spin_loop();
+                        }
+                    }
+                })
+            };
+            for h in pushers {
+                h.join().unwrap();
+            }
+            popper.join().unwrap();
+            let reported = e.len();
+            let mut actual = 0;
+            while e.pop().is_some() {
+                actual += 1;
+            }
+            assert_eq!(reported, actual, "cached len diverged from queue");
+            assert_eq!(actual, 300);
+        }
+    }
+
+    #[test]
+    fn push_batch_stamps_sequential_seqs_and_reuses_buffer() {
+        let e: Edge<i32> = Edge::new(1);
+        let mut batch = vec![
+            Message::Element(Element::at(1, Timestamp::new(0))),
+            Message::Heartbeat(Timestamp::new(1)),
+            Message::Element(Element::at(2, Timestamp::new(2))),
+        ];
+        let cap = batch.capacity();
+        e.push_batch(10, &mut batch);
+        assert!(batch.is_empty());
+        assert!(batch.capacity() >= cap, "scratch capacity must survive");
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.high_water(), 3);
+        assert_eq!(e.pop().unwrap().0, 10);
+        assert_eq!(e.pop().unwrap().0, 11);
+        assert_eq!(e.pop().unwrap().0, 12);
+    }
+
+    #[test]
+    fn push_batch_cloned_fans_out_same_seqs() {
+        let a: Edge<i32> = Edge::new(1);
+        let b: Edge<i32> = Edge::new(2);
+        let mut batch = vec![
+            Message::Element(Element::at(5, Timestamp::new(0))),
+            Message::Element(Element::at(6, Timestamp::new(1))),
+        ];
+        a.push_batch_cloned(7, &batch);
+        b.push_batch(7, &mut batch);
+        assert_eq!(a.pop().unwrap(), b.pop().unwrap());
+        assert_eq!(a.pop().unwrap(), b.pop().unwrap());
+    }
+
+    #[test]
+    fn pop_batch_drains_up_to_max() {
+        let e: Edge<i32> = Edge::new(1);
+        for i in 0..5 {
+            e.push(i, Message::Heartbeat(Timestamp::new(i)));
+        }
+        let mut out = Vec::new();
+        assert_eq!(e.pop_batch(3, &mut out), 3);
+        assert_eq!(out.iter().map(|(s, _)| *s).collect::<Vec<_>>(), [0, 1, 2]);
+        assert_eq!(e.len(), 2);
+        out.clear();
+        assert_eq!(e.pop_batch(10, &mut out), 2);
+        assert_eq!(e.pop_batch(10, &mut out), 0);
+    }
+
+    #[test]
+    fn pop_run_respects_seq_bound_and_stops_after_close() {
+        let e: Edge<i32> = Edge::new(1);
+        e.push(1, Message::Heartbeat(Timestamp::new(0)));
+        e.push(3, Message::Heartbeat(Timestamp::new(1)));
+        e.push(8, Message::Heartbeat(Timestamp::new(2)));
+        let mut out = Vec::new();
+        // Bound 5: only seqs 1 and 3 may move.
+        assert_eq!(e.pop_run(10, 5, &mut out), 2);
+        assert_eq!(e.head_seq(), Some(8));
+
+        let c: Edge<i32> = Edge::new(2);
+        c.push(1, Message::Heartbeat(Timestamp::new(0)));
+        c.push(2, Message::Close);
+        c.push(3, Message::Heartbeat(Timestamp::new(1)));
+        out.clear();
+        // Close ends the run even though more messages are within bounds.
+        assert_eq!(c.pop_run(10, u64::MAX, &mut out), 2);
+        assert_eq!(out.last().unwrap().1, Message::Close);
+        assert_eq!(c.len(), 1);
     }
 }

@@ -356,9 +356,24 @@ impl QueryGraph {
         let report = runnable.step(budget);
         cell.stats.record_in(report.consumed as u64);
         cell.stats.record_out(report.produced as u64);
+        cell.stats.record_batches(report.batches as u64);
         cell.stats.set_queue_len(runnable.queued());
         cell.stats.set_memory(runnable.memory());
         report
+    }
+
+    /// Caps the input-run / output-flush batch size of `node` (see
+    /// [`Runnable::set_batch_limit`]). A limit of 1 reproduces the
+    /// per-message data path; the default is effectively unbounded.
+    pub fn set_node_batch_limit(&self, id: NodeId, limit: usize) {
+        self.cell(id).runnable.lock().set_batch_limit(limit);
+    }
+
+    /// Caps the batch size of every node currently in the graph.
+    pub fn set_batch_limit(&self, limit: usize) {
+        for id in 0..self.len() {
+            self.set_node_batch_limit(id, limit);
+        }
     }
 
     /// Messages currently queued at `node`'s inputs.
@@ -411,9 +426,7 @@ impl QueryGraph {
                 .infos()
                 .into_iter()
                 .filter(|i| {
-                    !i.removed
-                        && i.kind != NodeKind::Sink
-                        && self.subscriber_count(i.id) == 0
+                    !i.removed && i.kind != NodeKind::Sink && self.subscriber_count(i.id) == 0
                 })
                 .map(|i| i.id)
                 .collect();
@@ -452,10 +465,7 @@ impl QueryGraph {
                 }
                 quanta += 1;
             }
-            assert!(
-                progressed,
-                "query graph stalled: no node can make progress"
-            );
+            assert!(progressed, "query graph stalled: no node can make progress");
         }
     }
 }

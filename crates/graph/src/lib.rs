@@ -45,5 +45,5 @@ pub use edge::{Edge, EdgeId};
 pub use fuse::{Fused, OperatorExt};
 pub use graph::{NodeInfo, NodeKind, QueryGraph, StreamHandle};
 pub use node::{BinNode, OpNode, Runnable, SinkNode, SourceNode, StepReport};
-pub use outputs::{OutputPort, Outputs, PublishCollector};
 pub use operator::{BinaryOperator, Collector, NodeId, Operator, SinkOp, SourceOp, SourceStatus};
+pub use outputs::{OutputPort, Outputs, PublishCollector};

@@ -1,8 +1,16 @@
 //! Type-erased runnable nodes wrapping typed operators.
+//!
+//! All four node kinds run a *batched* data path: input edges are drained in
+//! runs via [`Edge::pop_run`] (one lock per run, not per message) into a
+//! node-owned scratch buffer, operator callbacks stay per-message, and
+//! produced output is buffered by a [`PublishCollector`] and flushed once
+//! per quantum. Multi-port nodes bound each run by the head sequence of
+//! their other ports, so cross-port arrival order is identical to
+//! per-message processing.
 
 use crate::edge::Edge;
 use crate::operator::{BinaryOperator, Operator, SinkOp, SourceOp, SourceStatus};
-use crate::outputs::{Outputs, PublishCollector};
+use crate::outputs::{Outputs, PublishCollector, DEFAULT_FLUSH_CAP};
 use pipes_time::Message;
 use std::sync::Arc;
 
@@ -13,6 +21,9 @@ pub struct StepReport {
     pub consumed: usize,
     /// Elements produced downstream.
     pub produced: usize,
+    /// Input runs drained in one lock acquisition each (sources: always 0).
+    /// `consumed / batches` is the mean batch size of the quantum.
+    pub batches: usize,
 }
 
 /// The type-erased face of a node, as seen by schedulers and the memory
@@ -31,6 +42,12 @@ pub trait Runnable: Send {
     fn memory(&self) -> usize;
     /// Sheds operator state to roughly `target` elements; returns new size.
     fn shed(&mut self, target: usize) -> usize;
+    /// Caps how many messages one input run may drain (and how many output
+    /// messages are buffered before a flush). A limit of 1 degenerates to
+    /// the per-message data path; the default is effectively unbounded.
+    fn set_batch_limit(&mut self, limit: usize) {
+        let _ = limit;
+    }
 }
 
 /// Picks the input edge whose head message arrived earliest. Processing in
@@ -48,6 +65,32 @@ fn earliest_port<T>(edges: &[Arc<Edge<T>>]) -> Option<usize> {
     best.map(|(_, i)| i)
 }
 
+/// The largest arrival sequence a run from `port` may consume without
+/// overtaking any other port: messages on `port` with seq *at most* the
+/// returned bound sort before (or, on ties, at the position chosen by
+/// [`earliest_port`]'s lowest-index rule relative to) every other head.
+fn run_bound<T>(edges: &[Arc<Edge<T>>], port: usize) -> u64 {
+    let mut bound = u64::MAX;
+    for (i, e) in edges.iter().enumerate() {
+        if i == port {
+            continue;
+        }
+        if let Some(seq) = e.head_seq() {
+            // Equal sequences (fan-out copies of one publish reaching two
+            // ports of the same node) go to the lower-indexed port first.
+            let b = if port < i { seq } else { seq.saturating_sub(1) };
+            bound = bound.min(b);
+        }
+    }
+    bound
+}
+
+/// Output flush cap for a given batch limit: batch-limit-1 must flush per
+/// message; otherwise the cap bounds scratch growth for expansive operators.
+fn flush_cap(batch_limit: usize) -> usize {
+    batch_limit.min(DEFAULT_FLUSH_CAP)
+}
+
 // ---------------------------------------------------------------------------
 // Source node
 // ---------------------------------------------------------------------------
@@ -57,6 +100,8 @@ pub struct SourceNode<S: SourceOp> {
     op: S,
     outputs: Arc<Outputs<S::Out>>,
     exhausted: bool,
+    batch_limit: usize,
+    out_scratch: Vec<Message<S::Out>>,
 }
 
 impl<S: SourceOp> SourceNode<S> {
@@ -66,6 +111,8 @@ impl<S: SourceOp> SourceNode<S> {
             op,
             outputs,
             exhausted: false,
+            batch_limit: usize::MAX,
+            out_scratch: Vec::new(),
         }
     }
 }
@@ -75,9 +122,11 @@ impl<S: SourceOp> Runnable for SourceNode<S> {
         if self.exhausted {
             return StepReport::default();
         }
-        let mut collector = PublishCollector::new(&self.outputs);
+        let mut collector = PublishCollector::new(&self.outputs, &mut self.out_scratch)
+            .with_flush_cap(flush_cap(self.batch_limit));
         let status = self.op.produce(budget, &mut collector);
-        let produced = collector.produced();
+        let produced = collector.finish();
+        drop(collector);
         if status == SourceStatus::Exhausted {
             self.exhausted = true;
             self.outputs.publish_close();
@@ -85,6 +134,7 @@ impl<S: SourceOp> Runnable for SourceNode<S> {
         StepReport {
             consumed: 0,
             produced,
+            batches: 0,
         }
     }
 
@@ -107,6 +157,10 @@ impl<S: SourceOp> Runnable for SourceNode<S> {
     fn shed(&mut self, _target: usize) -> usize {
         0
     }
+
+    fn set_batch_limit(&mut self, limit: usize) {
+        self.batch_limit = limit.max(1);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +174,9 @@ pub struct OpNode<O: Operator> {
     open_ports: Vec<bool>,
     outputs: Arc<Outputs<O::Out>>,
     closed_downstream: bool,
+    batch_limit: usize,
+    in_scratch: Vec<(u64, Message<O::In>)>,
+    out_scratch: Vec<Message<O::Out>>,
 }
 
 impl<O: Operator> OpNode<O> {
@@ -132,6 +189,9 @@ impl<O: Operator> OpNode<O> {
             open_ports,
             outputs,
             closed_downstream: false,
+            batch_limit: usize::MAX,
+            in_scratch: Vec::new(),
+            out_scratch: Vec::new(),
         }
     }
 }
@@ -142,29 +202,41 @@ impl<O: Operator> Runnable for OpNode<O> {
         if self.closed_downstream {
             return report;
         }
-        let mut collector = PublishCollector::new(&self.outputs);
-        for _ in 0..budget {
+        let mut run = std::mem::take(&mut self.in_scratch);
+        let mut out_buf = std::mem::take(&mut self.out_scratch);
+        let mut collector = PublishCollector::new(&self.outputs, &mut out_buf)
+            .with_flush_cap(flush_cap(self.batch_limit));
+        'quantum: while report.consumed < budget {
             let Some(port) = earliest_port(&self.inputs) else {
                 break;
             };
-            let Some((_, msg)) = self.inputs[port].pop() else {
+            let bound = run_bound(&self.inputs, port);
+            let max = (budget - report.consumed).min(self.batch_limit);
+            let n = self.inputs[port].pop_run(max, bound, &mut run);
+            if n == 0 {
                 break;
-            };
-            report.consumed += 1;
-            match msg {
-                Message::Element(e) => self.op.on_element(port, e, &mut collector),
-                Message::Heartbeat(t) => self.op.on_heartbeat(port, t, &mut collector),
-                Message::Close => {
-                    self.open_ports[port] = false;
-                    if self.open_ports.iter().all(|o| !o) {
-                        self.op.on_close(&mut collector);
-                        self.closed_downstream = true;
-                        break;
+            }
+            report.batches += 1;
+            report.consumed += n;
+            for (_, msg) in run.drain(..) {
+                match msg {
+                    Message::Element(e) => self.op.on_element(port, e, &mut collector),
+                    Message::Heartbeat(t) => self.op.on_heartbeat(port, t, &mut collector),
+                    Message::Close => {
+                        self.open_ports[port] = false;
+                        if self.open_ports.iter().all(|o| !o) {
+                            self.op.on_close(&mut collector);
+                            self.closed_downstream = true;
+                            break 'quantum;
+                        }
                     }
                 }
             }
         }
-        report.produced = collector.produced();
+        report.produced = collector.finish();
+        drop(collector);
+        self.in_scratch = run;
+        self.out_scratch = out_buf;
         if self.closed_downstream {
             self.outputs.publish_close();
         }
@@ -190,6 +262,10 @@ impl<O: Operator> Runnable for OpNode<O> {
     fn shed(&mut self, target: usize) -> usize {
         self.op.shed(target)
     }
+
+    fn set_batch_limit(&mut self, limit: usize) {
+        self.batch_limit = limit.max(1);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -205,6 +281,10 @@ pub struct BinNode<B: BinaryOperator> {
     right_open: bool,
     outputs: Arc<Outputs<B::Out>>,
     closed_downstream: bool,
+    batch_limit: usize,
+    left_scratch: Vec<(u64, Message<B::Left>)>,
+    right_scratch: Vec<(u64, Message<B::Right>)>,
+    out_scratch: Vec<Message<B::Out>>,
 }
 
 impl<B: BinaryOperator> BinNode<B> {
@@ -223,6 +303,10 @@ impl<B: BinaryOperator> BinNode<B> {
             right_open: true,
             outputs,
             closed_downstream: false,
+            batch_limit: usize::MAX,
+            left_scratch: Vec::new(),
+            right_scratch: Vec::new(),
+            out_scratch: Vec::new(),
         }
     }
 }
@@ -233,9 +317,14 @@ impl<B: BinaryOperator> Runnable for BinNode<B> {
         if self.closed_downstream {
             return report;
         }
-        let mut collector = PublishCollector::new(&self.outputs);
-        for _ in 0..budget {
-            // Process in arrival order across the two sides.
+        let mut left_run = std::mem::take(&mut self.left_scratch);
+        let mut right_run = std::mem::take(&mut self.right_scratch);
+        let mut out_buf = std::mem::take(&mut self.out_scratch);
+        let mut collector = PublishCollector::new(&self.outputs, &mut out_buf)
+            .with_flush_cap(flush_cap(self.batch_limit));
+        'quantum: while report.consumed < budget {
+            // Process in arrival order across the two sides; the side whose
+            // head arrived first drains a run bounded by the other head.
             let ls = self.left.head_seq();
             let rs = self.right.head_seq();
             let take_left = match (ls, rs) {
@@ -244,29 +333,62 @@ impl<B: BinaryOperator> Runnable for BinNode<B> {
                 (None, Some(_)) => false,
                 (Some(l), Some(r)) => l <= r,
             };
-            report.consumed += 1;
+            let max = (budget - report.consumed).min(self.batch_limit);
             if take_left {
-                let (_, msg) = self.left.pop().expect("head_seq guaranteed a message");
-                match msg {
-                    Message::Element(e) => self.op.on_left(e, &mut collector),
-                    Message::Heartbeat(t) => self.op.on_heartbeat_left(t, &mut collector),
-                    Message::Close => self.left_open = false,
+                // Left wins sequence ties, so its run may include the
+                // right head's sequence itself.
+                let bound = rs.unwrap_or(u64::MAX);
+                let n = self.left.pop_run(max, bound, &mut left_run);
+                if n == 0 {
+                    break;
+                }
+                report.batches += 1;
+                report.consumed += n;
+                for (_, msg) in left_run.drain(..) {
+                    match msg {
+                        Message::Element(e) => self.op.on_left(e, &mut collector),
+                        Message::Heartbeat(t) => self.op.on_heartbeat_left(t, &mut collector),
+                        Message::Close => {
+                            self.left_open = false;
+                            if !self.right_open {
+                                self.op.on_close(&mut collector);
+                                self.closed_downstream = true;
+                                break 'quantum;
+                            }
+                        }
+                    }
                 }
             } else {
-                let (_, msg) = self.right.pop().expect("head_seq guaranteed a message");
-                match msg {
-                    Message::Element(e) => self.op.on_right(e, &mut collector),
-                    Message::Heartbeat(t) => self.op.on_heartbeat_right(t, &mut collector),
-                    Message::Close => self.right_open = false,
+                // Right loses sequence ties: stop strictly before the left
+                // head's sequence.
+                let bound = ls.map_or(u64::MAX, |l| l.saturating_sub(1));
+                let n = self.right.pop_run(max, bound, &mut right_run);
+                if n == 0 {
+                    break;
+                }
+                report.batches += 1;
+                report.consumed += n;
+                for (_, msg) in right_run.drain(..) {
+                    match msg {
+                        Message::Element(e) => self.op.on_right(e, &mut collector),
+                        Message::Heartbeat(t) => self.op.on_heartbeat_right(t, &mut collector),
+                        Message::Close => {
+                            self.right_open = false;
+                            if !self.left_open {
+                                self.op.on_close(&mut collector);
+                                self.closed_downstream = true;
+                                break 'quantum;
+                            }
+                        }
+                    }
                 }
             }
-            if !self.left_open && !self.right_open {
-                self.op.on_close(&mut collector);
-                self.closed_downstream = true;
-                break;
-            }
         }
-        report.produced = collector.produced();
+        report.produced = collector.finish();
+        drop(collector);
+        self.left_scratch = left_run;
+        self.right_scratch = right_run;
+        self.out_scratch = out_buf;
         if self.closed_downstream {
             self.outputs.publish_close();
         }
@@ -297,6 +419,10 @@ impl<B: BinaryOperator> Runnable for BinNode<B> {
     fn shed(&mut self, target: usize) -> usize {
         self.op.shed(target)
     }
+
+    fn set_batch_limit(&mut self, limit: usize) {
+        self.batch_limit = limit.max(1);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -308,6 +434,8 @@ pub struct SinkNode<K: SinkOp> {
     op: K,
     inputs: Vec<Arc<Edge<K::In>>>,
     open_ports: Vec<bool>,
+    batch_limit: usize,
+    in_scratch: Vec<(u64, Message<K::In>)>,
 }
 
 impl<K: SinkOp> SinkNode<K> {
@@ -318,6 +446,8 @@ impl<K: SinkOp> SinkNode<K> {
             op,
             inputs,
             open_ports,
+            batch_limit: usize::MAX,
+            in_scratch: Vec::new(),
         }
     }
 }
@@ -325,19 +455,27 @@ impl<K: SinkOp> SinkNode<K> {
 impl<K: SinkOp> Runnable for SinkNode<K> {
     fn step(&mut self, budget: usize) -> StepReport {
         let mut report = StepReport::default();
-        for _ in 0..budget {
+        let mut run = std::mem::take(&mut self.in_scratch);
+        while report.consumed < budget {
             let Some(port) = earliest_port(&self.inputs) else {
                 break;
             };
-            let Some((_, msg)) = self.inputs[port].pop() else {
+            let bound = run_bound(&self.inputs, port);
+            let max = (budget - report.consumed).min(self.batch_limit);
+            let n = self.inputs[port].pop_run(max, bound, &mut run);
+            if n == 0 {
                 break;
-            };
-            report.consumed += 1;
-            if matches!(msg, Message::Close) {
-                self.open_ports[port] = false;
             }
-            self.op.on_message(port, msg);
+            report.batches += 1;
+            report.consumed += n;
+            for (_, msg) in run.drain(..) {
+                if matches!(msg, Message::Close) {
+                    self.open_ports[port] = false;
+                }
+                self.op.on_message(port, msg);
+            }
         }
+        self.in_scratch = run;
         report
     }
 
@@ -359,5 +497,9 @@ impl<K: SinkOp> Runnable for SinkNode<K> {
 
     fn shed(&mut self, _target: usize) -> usize {
         0
+    }
+
+    fn set_batch_limit(&mut self, limit: usize) {
+        self.batch_limit = limit.max(1);
     }
 }

@@ -7,12 +7,23 @@ use pipes_time::{Element, Message, Timestamp};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// Default cap on how many messages a [`PublishCollector`] buffers before
+/// flushing mid-quantum, bounding scratch memory for high-fan-out operators.
+pub const DEFAULT_FLUSH_CAP: usize = 1024;
+
 /// The output port of a node: publishes messages to all subscribed edges.
 ///
 /// Subscriptions may be added and removed at runtime. A subscriber that
 /// attaches after the stream closed immediately receives `Close`; one that
 /// attaches mid-stream is primed with the last published heartbeat so its
 /// consumer knows the temporal progress already made.
+///
+/// Publishing comes in two granularities: the per-message
+/// [`publish_element`](Outputs::publish_element) /
+/// [`publish_heartbeat`](Outputs::publish_heartbeat) pair, and
+/// [`publish_batch`](Outputs::publish_batch), which allocates one contiguous
+/// block of arrival sequences and takes each subscriber's queue lock once
+/// for the whole batch.
 pub struct Outputs<T> {
     subs: RwLock<Vec<Arc<Edge<T>>>>,
     seq: Arc<AtomicU64>,
@@ -87,6 +98,39 @@ impl<T: Clone> Outputs<T> {
         }
     }
 
+    /// Publishes a whole batch of elements and heartbeats.
+    ///
+    /// Stale and duplicate heartbeats are dropped (same dedup rule as
+    /// [`publish_heartbeat`](Outputs::publish_heartbeat)); the `k` surviving
+    /// messages are stamped from one contiguous sequence block allocated
+    /// with a single `fetch_add(k)`, and each subscriber's queue lock is
+    /// taken once for the whole batch. `batch` is drained but keeps its
+    /// capacity, so callers reuse it as a per-node scratch buffer.
+    pub fn publish_batch(&self, batch: &mut Vec<Message<T>>) {
+        batch.retain(|m| match m {
+            Message::Heartbeat(t) => {
+                let prev = self.last_heartbeat.fetch_max(t.ticks(), Ordering::Relaxed);
+                t.ticks() > prev
+            }
+            _ => true,
+        });
+        let k = batch.len();
+        if k == 0 {
+            return;
+        }
+        let seq_base = self.seq.fetch_add(k as u64, Ordering::Relaxed);
+        let subs = self.subs.read();
+        match subs.split_last() {
+            None => batch.clear(),
+            Some((last, rest)) => {
+                for edge in rest {
+                    edge.push_batch_cloned(seq_base, batch);
+                }
+                last.push_batch(seq_base, batch);
+            }
+        }
+    }
+
     /// Publishes end-of-stream (idempotent).
     pub fn publish_close(&self) {
         if self.closed.swap(true, Ordering::Relaxed) {
@@ -122,24 +166,57 @@ impl<T: Clone + Send + 'static> OutputPort for Outputs<T> {
     }
 }
 
-/// A [`Collector`] that publishes into an [`Outputs`] and counts produced
-/// elements into node statistics.
-pub struct PublishCollector<'a, T> {
+/// A [`Collector`] that buffers emitted messages in a node-owned scratch
+/// buffer and publishes them as one batch per quantum (or whenever the
+/// buffer reaches its flush cap).
+///
+/// The scratch buffer is borrowed from the node, so its capacity survives
+/// across quanta — steady-state operation allocates nothing. Call
+/// [`finish`](PublishCollector::finish) at the end of a quantum to flush
+/// and read the produced-element count; dropping the collector also
+/// flushes, so buffered messages can never be lost.
+pub struct PublishCollector<'a, T: Clone> {
     outputs: &'a Outputs<T>,
+    buf: &'a mut Vec<Message<T>>,
+    flush_cap: usize,
     produced: usize,
 }
 
 impl<'a, T: Clone> PublishCollector<'a, T> {
-    /// Creates a collector publishing to `outputs`.
-    pub fn new(outputs: &'a Outputs<T>) -> Self {
+    /// Creates a collector publishing to `outputs`, buffering into the
+    /// caller-owned `buf` (expected empty).
+    pub fn new(outputs: &'a Outputs<T>, buf: &'a mut Vec<Message<T>>) -> Self {
+        debug_assert!(buf.is_empty(), "scratch buffer handed over non-empty");
         PublishCollector {
             outputs,
+            buf,
+            flush_cap: DEFAULT_FLUSH_CAP,
             produced: 0,
         }
     }
 
+    /// Caps the buffer at `cap` messages; reaching the cap triggers a
+    /// mid-quantum flush. A cap of 1 reproduces per-message publishing
+    /// (one sequence allocation and one lock round per message), which the
+    /// batching benchmarks use as their baseline.
+    pub fn with_flush_cap(mut self, cap: usize) -> Self {
+        self.flush_cap = cap.max(1);
+        self
+    }
+
     /// Elements published through this collector so far.
     pub fn produced(&self) -> usize {
+        self.produced
+    }
+
+    /// Publishes everything currently buffered.
+    pub fn flush(&mut self) {
+        self.outputs.publish_batch(self.buf);
+    }
+
+    /// Flushes and returns the produced-element count for the quantum.
+    pub fn finish(&mut self) -> usize {
+        self.flush();
         self.produced
     }
 }
@@ -147,10 +224,22 @@ impl<'a, T: Clone> PublishCollector<'a, T> {
 impl<T: Clone> Collector<T> for PublishCollector<'_, T> {
     fn element(&mut self, e: Element<T>) {
         self.produced += 1;
-        self.outputs.publish_element(e);
+        self.buf.push(Message::Element(e));
+        if self.buf.len() >= self.flush_cap {
+            self.flush();
+        }
     }
     fn heartbeat(&mut self, t: Timestamp) {
-        self.outputs.publish_heartbeat(t);
+        self.buf.push(Message::Heartbeat(t));
+        if self.buf.len() >= self.flush_cap {
+            self.flush();
+        }
+    }
+}
+
+impl<T: Clone> Drop for PublishCollector<'_, T> {
+    fn drop(&mut self) {
+        self.flush();
     }
 }
 
@@ -191,6 +280,44 @@ mod tests {
     }
 
     #[test]
+    fn batch_publish_allocates_one_seq_block_and_dedups_heartbeats() {
+        let seq = Arc::new(AtomicU64::new(0));
+        let out: Outputs<i32> = Outputs::new(Arc::clone(&seq));
+        let e1 = Arc::new(Edge::new(1));
+        let e2 = Arc::new(Edge::new(2));
+        out.subscribe(Arc::clone(&e1));
+        out.subscribe(Arc::clone(&e2));
+        out.publish_heartbeat(Timestamp::new(4)); // seq 0
+
+        let mut batch = vec![
+            Message::Element(Element::at(1, Timestamp::new(5))),
+            Message::Heartbeat(Timestamp::new(6)),
+            Message::Heartbeat(Timestamp::new(6)), // duplicate: dropped
+            Message::Heartbeat(Timestamp::new(2)), // stale: dropped
+            Message::Element(Element::at(2, Timestamp::new(7))),
+        ];
+        out.publish_batch(&mut batch);
+        assert!(batch.is_empty(), "batch buffer must drain");
+        // 3 survivors stamped with the contiguous block 1..=3.
+        assert_eq!(seq.load(Ordering::Relaxed), 4);
+        for edge in [&e1, &e2] {
+            assert_eq!(edge.len(), 4); // priming heartbeat + 3 batch messages
+            edge.pop(); // priming heartbeat (seq 0)
+            assert_eq!(edge.pop().unwrap().0, 1);
+            assert_eq!(edge.pop().unwrap().0, 2);
+            assert_eq!(edge.pop().unwrap().0, 3);
+        }
+    }
+
+    #[test]
+    fn batch_publish_without_subscribers_discards() {
+        let out = outputs();
+        let mut batch = vec![Message::Element(Element::at(1, Timestamp::new(0)))];
+        out.publish_batch(&mut batch);
+        assert!(batch.is_empty());
+    }
+
+    #[test]
     fn close_is_idempotent_and_primes_late_subscribers() {
         let out = outputs();
         let early = Arc::new(Edge::new(1));
@@ -204,10 +331,7 @@ mod tests {
         let late = Arc::new(Edge::new(2));
         out.subscribe(Arc::clone(&late));
         // Late subscriber is primed with progress and the close.
-        assert_eq!(
-            late.pop().unwrap().1,
-            Message::Heartbeat(Timestamp::new(9))
-        );
+        assert_eq!(late.pop().unwrap().1, Message::Heartbeat(Timestamp::new(9)));
         assert_eq!(late.pop().unwrap().1, Message::Close);
     }
 
@@ -223,15 +347,39 @@ mod tests {
     }
 
     #[test]
-    fn publish_collector_counts() {
+    fn publish_collector_buffers_until_finish() {
         let out = outputs();
         let e = Arc::new(Edge::new(1));
         out.subscribe(Arc::clone(&e));
-        let mut c = PublishCollector::new(&out);
+        let mut scratch = Vec::new();
+        let mut c = PublishCollector::new(&out, &mut scratch);
         c.element(Element::at(1, Timestamp::new(0)));
         c.element(Element::at(2, Timestamp::new(1)));
         c.heartbeat(Timestamp::new(2));
+        // Nothing on the wire until the quantum flushes.
+        assert_eq!(e.len(), 0);
         assert_eq!(c.produced(), 2);
+        assert_eq!(c.finish(), 2);
+        drop(c);
+        assert_eq!(e.len(), 3);
+        assert!(scratch.is_empty());
+    }
+
+    #[test]
+    fn publish_collector_flushes_at_cap_and_on_drop() {
+        let out = outputs();
+        let e = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&e));
+        let mut scratch = Vec::new();
+        {
+            let mut c = PublishCollector::new(&out, &mut scratch).with_flush_cap(2);
+            c.element(Element::at(1, Timestamp::new(0)));
+            c.element(Element::at(2, Timestamp::new(1)));
+            // Cap reached: flushed mid-quantum.
+            assert_eq!(e.len(), 2);
+            c.element(Element::at(3, Timestamp::new(2)));
+            // Dropped without finish(): the drop flush publishes the rest.
+        }
         assert_eq!(e.len(), 3);
     }
 }

@@ -1,0 +1,263 @@
+//! Batched execution must be observationally identical to per-message
+//! execution.
+//!
+//! The batched data path (edge runs, buffered publishing, one sequence block
+//! per flush) is a pure cost optimization: with `batch_limit = 1` every node
+//! degenerates to the per-message code path (runs of one message, flush cap
+//! of one). These properties drive the same graph under both regimes with an
+//! identical deterministic schedule and assert that the sink observes the
+//! *exact same message sequence* — elements, heartbeats, and `Close`, in the
+//! same cross-port order.
+
+use parking_lot::Mutex;
+use pipes_graph::io::VecSource;
+use pipes_graph::{BinaryOperator, Collector, NodeId, Operator, QueryGraph, SinkOp};
+use pipes_time::{Element, Message, Timestamp};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Every message a sink saw, with the port it arrived on.
+type Recorded = Arc<Mutex<Vec<(usize, Message<i64>)>>>;
+
+/// A topology constructor: two input streams in, driving order and sink
+/// recording out.
+type Build = fn(&[i64], &[i64]) -> (QueryGraph, Vec<NodeId>, Recorded);
+
+struct RecordingSink {
+    buf: Recorded,
+}
+
+impl RecordingSink {
+    fn new() -> (Self, Recorded) {
+        let buf: Recorded = Arc::new(Mutex::new(Vec::new()));
+        (
+            RecordingSink {
+                buf: Arc::clone(&buf),
+            },
+            buf,
+        )
+    }
+}
+
+impl SinkOp for RecordingSink {
+    type In = i64;
+    fn on_message(&mut self, port: usize, msg: Message<i64>) {
+        self.buf.lock().push((port, msg));
+    }
+}
+
+/// Multi-port pass-through: a union whose output order *is* the cross-port
+/// arrival order, making it maximally sensitive to run-boundary mistakes.
+struct Union;
+
+impl Operator for Union {
+    type In = i64;
+    type Out = i64;
+    fn on_element(&mut self, _port: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        out.element(e);
+    }
+}
+
+/// Binary merge tagging each side, so left/right interleaving is visible in
+/// the payloads, not just the order.
+struct TaggedMerge;
+
+impl BinaryOperator for TaggedMerge {
+    type Left = i64;
+    type Right = i64;
+    type Out = i64;
+    fn on_left(&mut self, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        out.element(e.map(|v| v * 2));
+    }
+    fn on_right(&mut self, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        out.element(e.map(|v| v * 2 + 1));
+    }
+    fn on_heartbeat_left(&mut self, t: Timestamp, out: &mut dyn Collector<i64>) {
+        out.heartbeat(t);
+    }
+    fn on_heartbeat_right(&mut self, t: Timestamp, out: &mut dyn Collector<i64>) {
+        out.heartbeat(t);
+    }
+}
+
+/// Union tagging each element with its arrival port, so reordering two
+/// fan-out copies of the *same* element (same payload, same global sequence
+/// number on both ports) still changes the observable output.
+struct PortTagUnion;
+
+impl Operator for PortTagUnion {
+    type In = i64;
+    type Out = i64;
+    fn on_element(&mut self, port: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        out.element(e.map(|v| v * 10 + port as i64));
+    }
+}
+
+fn elems(payloads: &[i64]) -> Vec<Element<i64>> {
+    payloads
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| Element::at(v, Timestamp::new(i as u64 + 1)))
+        .collect()
+}
+
+fn build_union(left: &[i64], right: &[i64]) -> (QueryGraph, Vec<NodeId>, Recorded) {
+    let g = QueryGraph::new();
+    let a = g.add_source("a", VecSource::new(elems(left)));
+    let b = g.add_source("b", VecSource::new(elems(right)));
+    let (a_id, b_id) = (a.node(), b.node());
+    let u = g.add_nary("union", Union, &[a, b]);
+    let (sink, buf) = RecordingSink::new();
+    let sink_id = g.add_sink("sink", sink, &u);
+    (g, vec![a_id, b_id, u.node(), sink_id], buf)
+}
+
+fn build_merge(left: &[i64], right: &[i64]) -> (QueryGraph, Vec<NodeId>, Recorded) {
+    let g = QueryGraph::new();
+    let a = g.add_source("a", VecSource::new(elems(left)));
+    let b = g.add_source("b", VecSource::new(elems(right)));
+    let (a_id, b_id) = (a.node(), b.node());
+    let m = g.add_binary("merge", TaggedMerge, &a, &b);
+    let (sink, buf) = RecordingSink::new();
+    let sink_id = g.add_sink("sink", sink, &m);
+    (g, vec![a_id, b_id, m.node(), sink_id], buf)
+}
+
+/// Diamond: one source fans out to *both* ports of the consumer, so the two
+/// copies of each message carry the same arrival sequence number — the only
+/// way to produce genuine cross-port ties, which must resolve to the lowest
+/// port index.
+fn build_diamond_union(left: &[i64], _right: &[i64]) -> (QueryGraph, Vec<NodeId>, Recorded) {
+    let g = QueryGraph::new();
+    let a = g.add_source("a", VecSource::new(elems(left)));
+    let a_id = a.node();
+    let u = g.add_nary("union", PortTagUnion, &[a.clone(), a]);
+    let (sink, buf) = RecordingSink::new();
+    let sink_id = g.add_sink("sink", sink, &u);
+    (g, vec![a_id, u.node(), sink_id], buf)
+}
+
+/// Diamond into a binary operator: ties between the left and right queue.
+fn build_diamond_merge(left: &[i64], _right: &[i64]) -> (QueryGraph, Vec<NodeId>, Recorded) {
+    let g = QueryGraph::new();
+    let a = g.add_source("a", VecSource::new(elems(left)));
+    let a_id = a.node();
+    let m = g.add_binary("merge", TaggedMerge, &a, &a);
+    let (sink, buf) = RecordingSink::new();
+    let sink_id = g.add_sink("sink", sink, &m);
+    (g, vec![a_id, m.node(), sink_id], buf)
+}
+
+/// Drives the graph to completion with a deterministic round-robin schedule
+/// whose per-step budgets cycle through `budgets`. The schedule depends only
+/// on its inputs, so two graphs driven with the same `order`/`budgets` see
+/// identical quanta — any output difference is the batching's fault.
+fn run(g: &QueryGraph, order: &[NodeId], budgets: &[usize], batch_limit: Option<usize>) {
+    if let Some(limit) = batch_limit {
+        g.set_batch_limit(limit);
+    }
+    let mut step = 0usize;
+    let mut rounds = 0usize;
+    while !g.all_finished() {
+        for &id in order {
+            g.step_node(id, budgets[step % budgets.len()]);
+            step += 1;
+        }
+        rounds += 1;
+        assert!(rounds < 100_000, "schedule did not converge");
+    }
+}
+
+/// Runs `build` output under the given batch limit and returns everything the
+/// sink recorded.
+fn observe(
+    build: Build,
+    left: &[i64],
+    right: &[i64],
+    budgets: &[usize],
+    batch_limit: Option<usize>,
+) -> Vec<(usize, Message<i64>)> {
+    let (g, order, buf) = build(left, right);
+    run(&g, &order, budgets, batch_limit);
+    let out = buf.lock().clone();
+    assert!(
+        matches!(out.last(), Some((_, Message::Close))),
+        "sink must end with Close"
+    );
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Union (multi-port unary): batched == per-message, for the default
+    /// (unbounded) limit and an arbitrary intermediate one.
+    #[test]
+    fn union_batched_equals_per_message(
+        left in prop::collection::vec(-1000i64..1000, 0..40),
+        right in prop::collection::vec(-1000i64..1000, 0..40),
+        budgets in prop::collection::vec(1usize..8, 1..6),
+        mid_limit in 2usize..32,
+    ) {
+        let reference = observe(build_union, &left, &right, &budgets, Some(1));
+        let batched = observe(build_union, &left, &right, &budgets, None);
+        let mid = observe(build_union, &left, &right, &budgets, Some(mid_limit));
+        prop_assert_eq!(&batched, &reference);
+        prop_assert_eq!(&mid, &reference);
+    }
+
+    /// Binary merge (join-shaped): batched == per-message.
+    #[test]
+    fn merge_batched_equals_per_message(
+        left in prop::collection::vec(-1000i64..1000, 0..40),
+        right in prop::collection::vec(-1000i64..1000, 0..40),
+        budgets in prop::collection::vec(1usize..8, 1..6),
+        mid_limit in 2usize..32,
+    ) {
+        let reference = observe(build_merge, &left, &right, &budgets, Some(1));
+        let batched = observe(build_merge, &left, &right, &budgets, None);
+        let mid = observe(build_merge, &left, &right, &budgets, Some(mid_limit));
+        prop_assert_eq!(&batched, &reference);
+        prop_assert_eq!(&mid, &reference);
+    }
+
+    /// Diamond fan-out: every element arrives on both ports with the same
+    /// sequence number, so batched runs must stop exactly at ties and yield
+    /// to the lower port.
+    #[test]
+    fn diamond_batched_equals_per_message(
+        payloads in prop::collection::vec(-1000i64..1000, 0..40),
+        budgets in prop::collection::vec(1usize..8, 1..6),
+        mid_limit in 2usize..32,
+    ) {
+        for build in [build_diamond_union, build_diamond_merge] {
+            let reference = observe(build, &payloads, &[], &budgets, Some(1));
+            let batched = observe(build, &payloads, &[], &budgets, None);
+            let mid = observe(build, &payloads, &[], &budgets, Some(mid_limit));
+            prop_assert_eq!(&batched, &reference);
+            prop_assert_eq!(&mid, &reference);
+        }
+    }
+}
+
+/// Pin one concrete interleaving so a property-test regression has a readable
+/// sibling failure.
+#[test]
+fn union_concrete_case_matches() {
+    let left = [10, 20, 30, 40, 50];
+    let right = [1, 2, 3];
+    let budgets = [3, 1, 2];
+    let reference = observe(build_union, &left, &right, &budgets, Some(1));
+    let batched = observe(build_union, &left, &right, &budgets, None);
+    assert_eq!(batched, reference);
+    let payloads: Vec<i64> = reference
+        .iter()
+        .filter_map(|(_, m)| match m {
+            Message::Element(e) => Some(e.payload),
+            _ => None,
+        })
+        .collect();
+    let mut sorted = payloads.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, vec![1, 2, 3, 10, 20, 30, 40, 50]);
+}

@@ -178,8 +178,12 @@ mod tests {
         let g = QueryGraph::new();
         // Long-lived elements; no heartbeat can purge them early because the
         // opposing side's watermark trails.
-        let left: Vec<Element<i64>> = (0..100i64).map(|i| el(i % 10, i as u64, i as u64 + 200)).collect();
-        let right: Vec<Element<i64>> = (0..100i64).map(|i| el(i % 10, i as u64, i as u64 + 200)).collect();
+        let left: Vec<Element<i64>> = (0..100i64)
+            .map(|i| el(i % 10, i as u64, i as u64 + 200))
+            .collect();
+        let right: Vec<Element<i64>> = (0..100i64)
+            .map(|i| el(i % 10, i as u64, i as u64 + 200))
+            .collect();
         let l = g.add_source("l", VecSource::new(left.clone()));
         let r = g.add_source("r", VecSource::new(right.clone()));
         let j1 = g.add_binary(
@@ -243,7 +247,11 @@ mod tests {
         mgr.subscribe(j2);
         assert!(mgr.over_budget(&g), "joins should have accumulated state");
         let report = mgr.rebalance(&g);
-        assert!(report.usage_after <= 40, "usage {} > 40", report.usage_after);
+        assert!(
+            report.usage_after <= 40,
+            "usage {} > 40",
+            report.usage_after
+        );
         assert!(report.shed > 0);
         assert!(!mgr.over_budget(&g));
     }
@@ -258,17 +266,18 @@ mod tests {
         mgr.subscribe(j1);
         mgr.subscribe(j2);
         let a = mgr.assignments(&g);
-        assert!(a[0].1 > a[1].1, "bigger user should get the bigger share: {a:?}");
+        assert!(
+            a[0].1 > a[1].1,
+            "bigger user should get the bigger share: {a:?}"
+        );
     }
 
     #[test]
     fn weighted_strategy_and_runtime_budget_change() {
         let (g, j1, j2) = join_graph();
         fill(&g);
-        let mut mgr = MemoryManager::new(
-            90,
-            AssignmentStrategy::Weighted(vec![(j1, 2.0), (j2, 1.0)]),
-        );
+        let mut mgr =
+            MemoryManager::new(90, AssignmentStrategy::Weighted(vec![(j1, 2.0), (j2, 1.0)]));
         mgr.subscribe(j1);
         mgr.subscribe(j2);
         let a = mgr.assignments(&g);

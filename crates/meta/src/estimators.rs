@@ -514,7 +514,7 @@ mod tests {
         r.record(0.0, 10);
         r.record(1.0, 10);
         assert!((r.rate(1.0) - 10.0).abs() < 1e-9); // 20 events / 2s
-        // After the first batch leaves the window:
+                                                    // After the first batch leaves the window:
         assert!((r.rate(2.5) - 5.0).abs() < 1e-9); // 10 events / 2s
         assert!((r.rate(10.0) - 0.0).abs() < 1e-9);
     }

@@ -36,6 +36,8 @@ pub enum SeriesView {
     Selectivity,
     /// Number of subscribed sinks.
     Subscribers,
+    /// Cumulative mean batch size (messages per batched queue drain).
+    BatchSize,
 }
 
 impl SeriesView {
@@ -48,6 +50,7 @@ impl SeriesView {
             SeriesView::Memory => "mem",
             SeriesView::Selectivity => "sel",
             SeriesView::Subscribers => "subs",
+            SeriesView::BatchSize => "batch",
         }
     }
 }
@@ -67,6 +70,11 @@ impl TimeSeries {
                 .snapshots
                 .iter()
                 .map(|s| s.selectivity().unwrap_or(0.0))
+                .collect(),
+            SeriesView::BatchSize => self
+                .snapshots
+                .iter()
+                .map(|s| s.avg_batch_size().unwrap_or(0.0))
                 .collect(),
             SeriesView::InputRate => self.rate(|s| s.in_count),
             SeriesView::OutputRate => self.rate(|s| s.out_count),
@@ -198,17 +206,20 @@ impl Monitor {
         out
     }
 
-    /// Dumps all samples as CSV: `time,node,in,out,queue,mem,sel,subs`.
+    /// Dumps all samples as CSV:
+    /// `time,node,in,out,queue,mem,sel,subs,avg_batch`.
     pub fn to_csv(&self) -> String {
         let nodes = self.inner.nodes.lock();
         let series = self.inner.series.lock();
-        let mut out = String::from("time,node,in_count,out_count,queue_len,memory,selectivity,subscribers\n");
+        let mut out = String::from(
+            "time,node,in_count,out_count,queue_len,memory,selectivity,subscribers,avg_batch\n",
+        );
         for (i, node) in nodes.iter().enumerate() {
             let name = node.name();
             for (t, s) in series[i].times.iter().zip(&series[i].snapshots) {
                 let _ = writeln!(
                     out,
-                    "{:.3},{},{},{},{},{},{:.4},{}",
+                    "{:.3},{},{},{},{},{},{:.4},{},{:.2}",
                     t,
                     name,
                     s.in_count,
@@ -216,7 +227,8 @@ impl Monitor {
                     s.queue_len,
                     s.memory,
                     s.selectivity().unwrap_or(0.0),
-                    s.subscribers
+                    s.subscribers,
+                    s.avg_batch_size().unwrap_or(0.0)
                 );
             }
         }
@@ -305,6 +317,20 @@ mod tests {
         let s = &m.series()[0];
         let sel = s.view(SeriesView::Selectivity);
         assert!((sel[0] - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_size_series() {
+        let m = Monitor::new();
+        let stats = Arc::new(NodeStats::new("op"));
+        m.register(Arc::clone(&stats));
+        m.sample_at(0.0); // before any drains: reported as 0
+        stats.record_in(32);
+        stats.record_batches(4);
+        m.sample_at(1.0);
+        let s = &m.series()[0];
+        assert_eq!(s.view(SeriesView::BatchSize), vec![0.0, 8.0]);
+        assert!(m.to_csv().lines().next().unwrap().ends_with("avg_batch"));
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub struct NodeStats {
     in_count: AtomicU64,
     out_count: AtomicU64,
     heartbeat_count: AtomicU64,
+    batch_count: AtomicU64,
     queue_len: AtomicUsize,
     memory: AtomicUsize,
     subscribers: AtomicUsize,
@@ -52,6 +53,12 @@ impl NodeStats {
         self.heartbeat_count.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` batched input-queue drains (runs moved under one lock).
+    #[inline]
+    pub fn record_batches(&self, n: u64) {
+        self.batch_count.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Publishes the current total input-queue length.
     #[inline]
     pub fn set_queue_len(&self, len: usize) {
@@ -82,6 +89,7 @@ impl NodeStats {
             in_count: self.in_count.load(Ordering::Relaxed),
             out_count: self.out_count.load(Ordering::Relaxed),
             heartbeat_count: self.heartbeat_count.load(Ordering::Relaxed),
+            batch_count: self.batch_count.load(Ordering::Relaxed),
             queue_len: self.queue_len.load(Ordering::Relaxed),
             memory: self.memory.load(Ordering::Relaxed),
             subscribers: self.subscribers.load(Ordering::Relaxed),
@@ -100,6 +108,8 @@ pub struct StatsSnapshot {
     pub out_count: u64,
     /// Heartbeats processed so far.
     pub heartbeat_count: u64,
+    /// Batched input-queue drains so far (runs moved under one lock).
+    pub batch_count: u64,
     /// Current total input-queue length.
     pub queue_len: usize,
     /// Current state memory in retained elements.
@@ -118,6 +128,17 @@ impl StatsSnapshot {
             Some(self.out_count as f64 / self.in_count as f64)
         }
     }
+
+    /// Mean messages moved per batched queue drain: how much per-message
+    /// locking the batched data path amortized away. `None` until the node
+    /// has drained anything (e.g. sources, which consume no input).
+    pub fn avg_batch_size(&self) -> Option<f64> {
+        if self.batch_count == 0 {
+            None
+        } else {
+            Some(self.in_count as f64 / self.batch_count as f64)
+        }
+    }
 }
 
 #[cfg(test)]
@@ -132,6 +153,7 @@ mod tests {
         s.record_in(5);
         s.record_out(6);
         s.record_heartbeat(2);
+        s.record_batches(3);
         s.set_queue_len(3);
         s.set_memory(42);
         s.set_subscribers(2);
@@ -140,10 +162,19 @@ mod tests {
         assert_eq!(snap.in_count, 15);
         assert_eq!(snap.out_count, 6);
         assert_eq!(snap.heartbeat_count, 2);
+        assert_eq!(snap.batch_count, 3);
         assert_eq!(snap.queue_len, 3);
         assert_eq!(snap.memory, 42);
         assert_eq!(snap.subscribers, 2);
         assert!((snap.selectivity().unwrap() - 0.4).abs() < 1e-12);
+        assert!((snap.avg_batch_size().unwrap() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn avg_batch_size_undefined_without_batches() {
+        let s = NodeStats::new("src");
+        s.record_in(10);
+        assert_eq!(s.snapshot().avg_batch_size(), None);
     }
 
     #[test]

@@ -90,7 +90,13 @@ impl NexmarkGenerator {
             "ada", "bob", "cleo", "dev", "eve", "finn", "gus", "hana", "iris", "joe",
         ];
         const CITIES: [&str; 8] = [
-            "oakland", "hayward", "berkeley", "fremont", "alameda", "san jose", "palo alto",
+            "oakland",
+            "hayward",
+            "berkeley",
+            "fremont",
+            "alameda",
+            "san jose",
+            "palo alto",
             "richmond",
         ];
         let id = self.next_person;
@@ -200,9 +206,15 @@ mod tests {
     fn proportions_are_nexmark_like() {
         let evs = events(20_000);
         let persons = evs.iter().filter(|e| matches!(e, Event::Person(_))).count();
-        let auctions = evs.iter().filter(|e| matches!(e, Event::Auction(_))).count();
+        let auctions = evs
+            .iter()
+            .filter(|e| matches!(e, Event::Auction(_)))
+            .count();
         let bids = evs.iter().filter(|e| matches!(e, Event::Bid(_))).count();
-        assert!(bids > auctions && auctions > persons, "{persons}/{auctions}/{bids}");
+        assert!(
+            bids > auctions && auctions > persons,
+            "{persons}/{auctions}/{bids}"
+        );
         let bid_share = bids as f64 / evs.len() as f64;
         assert!(
             (0.8..=0.97).contains(&bid_share),
@@ -273,8 +285,7 @@ mod tests {
                 Event::Bid(b) => {
                     open.retain(|(_, exp)| *exp > b.ts);
                     bids += 1;
-                    let recent: Vec<i64> =
-                        open.iter().rev().take(4).map(|(id, _)| *id).collect();
+                    let recent: Vec<i64> = open.iter().rev().take(4).map(|(id, _)| *id).collect();
                     if recent.contains(&b.auction) {
                         hot += 1;
                     }

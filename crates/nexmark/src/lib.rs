@@ -202,12 +202,7 @@ pub fn register(catalog: &mut Catalog, config: NexmarkConfig) {
             people.upsert(p.to_tuple());
         }
     }
-    catalog.add_relation(
-        "people",
-        person_schema(),
-        0,
-        SharedRelation::new(people),
-    );
+    catalog.add_relation("people", person_schema(), 0, SharedRelation::new(people));
 }
 
 #[cfg(test)]

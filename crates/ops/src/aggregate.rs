@@ -70,16 +70,17 @@ impl<A: Clone> Partials<A> {
 
     /// Folds `v` over `[s, e)`: existing partials inside get `add`, gaps get
     /// `init`.
-    pub(crate) fn insert<T>(&mut self, iv: TimeInterval, v: &T, agg: &impl AggregateFn<T, Acc = A>) {
+    pub(crate) fn insert<T>(
+        &mut self,
+        iv: TimeInterval,
+        v: &T,
+        agg: &impl AggregateFn<T, Acc = A>,
+    ) {
         let (s, e) = (iv.start(), iv.end());
         self.split_at(s);
         self.split_at(e);
         // All partials now either lie fully inside [s, e) or fully outside.
-        let inside: Vec<Timestamp> = self
-            .map
-            .range(s..e)
-            .map(|(&start, _)| start)
-            .collect();
+        let inside: Vec<Timestamp> = self.map.range(s..e).map(|(&start, _)| start).collect();
         let mut cursor = s;
         let mut gaps: Vec<(Timestamp, Timestamp)> = Vec::new();
         for start in inside {
@@ -166,8 +167,9 @@ where
 
     fn on_heartbeat(&mut self, _port: usize, t: Timestamp, out: &mut dyn Collector<A::Out>) {
         let agg = &self.agg;
-        self.partials
-            .flush(t, |iv, acc| out.element(Element::new(agg.finalize(acc), iv)));
+        self.partials.flush(t, |iv, acc| {
+            out.element(Element::new(agg.finalize(acc), iv))
+        });
         out.heartbeat(t);
     }
 
@@ -415,10 +417,7 @@ mod tests {
     #[test]
     fn snapshot_equivalence_max() {
         let input = vec![el(3, 0, 8), el(9, 2, 5), el(1, 4, 12)];
-        let out = run_unary(
-            ScalarAggregate::new(MaxAgg(|v: &i64| *v)),
-            input.clone(),
-        );
+        let out = run_unary(ScalarAggregate::new(MaxAgg(|v: &i64| *v)), input.clone());
         snapshot::check_unary(&input, &out, |s| {
             snapshot::rel::aggregate(s, |v| *v.iter().max().unwrap())
         })
@@ -440,10 +439,7 @@ mod tests {
     #[test]
     fn stats_agg_uses_shared_welford() {
         let input = vec![el(2, 0, 4), el(4, 0, 4), el(6, 0, 4)];
-        let out = run_unary(
-            ScalarAggregate::new(StatsAgg(|v: &i64| *v as f64)),
-            input,
-        );
+        let out = run_unary(ScalarAggregate::new(StatsAgg(|v: &i64| *v as f64)), input);
         assert_eq!(out.len(), 1);
         let (mean, var) = out[0].payload;
         assert!((mean - 4.0).abs() < 1e-12);
@@ -465,7 +461,10 @@ mod tests {
             .filter(|(_, m)| m.is_element())
             .map(|(i, _)| i)
             .collect();
-        assert!(positions[0] < msgs.len() - 2, "first result held until close");
+        assert!(
+            positions[0] < msgs.len() - 2,
+            "first result held until close"
+        );
     }
 
     #[test]

@@ -196,8 +196,12 @@ mod tests {
 
     #[test]
     fn watermark_contract_upheld() {
-        let left: Vec<Element<i64>> = (0..20i64).map(|i| el(i % 3, i as u64, i as u64 + 5)).collect();
-        let right: Vec<Element<i64>> = (0..10i64).map(|i| el(i % 3, 2 * i as u64, 2 * i as u64 + 4)).collect();
+        let left: Vec<Element<i64>> = (0..20i64)
+            .map(|i| el(i % 3, i as u64, i as u64 + 5))
+            .collect();
+        let right: Vec<Element<i64>> = (0..10i64)
+            .map(|i| el(i % 3, 2 * i as u64, 2 * i as u64 + 4))
+            .collect();
         let msgs = run_binary_messages(Difference::new(), left, right);
         check_watermark_contract(&msgs).unwrap();
     }

@@ -264,9 +264,7 @@ mod tests {
 
     #[test]
     fn watermark_contract_upheld() {
-        let input: Vec<Element<i64>> = (0..40)
-            .map(|i| el(i % 4, i as u64, i as u64 + 7))
-            .collect();
+        let input: Vec<Element<i64>> = (0..40).map(|i| el(i % 4, i as u64, i as u64 + 7)).collect();
         let msgs = run_unary_messages(Distinct::new(), input);
         check_watermark_contract(&msgs).unwrap();
     }

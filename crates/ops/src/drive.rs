@@ -35,10 +35,7 @@ pub fn run_unary<O: Operator>(op: O, input: Vec<Element<O::In>>) -> Vec<Element<
 /// Runs an n-ary operator; `inputs[i]` feeds port `i`. Elements are
 /// interleaved across ports in global start order, as the arrival-ordered
 /// graph runtime would deliver them.
-pub fn run_nary<O: Operator>(
-    mut op: O,
-    inputs: Vec<Vec<Element<O::In>>>,
-) -> Vec<Element<O::Out>> {
+pub fn run_nary<O: Operator>(mut op: O, inputs: Vec<Vec<Element<O::In>>>) -> Vec<Element<O::Out>> {
     let ports = inputs.len();
     let mut tagged: Vec<(usize, Element<O::In>)> = inputs
         .into_iter()
@@ -122,7 +119,9 @@ pub fn check_watermark_contract<T>(messages: &[Message<T>]) -> Result<(), String
         match m {
             Message::Heartbeat(t) => {
                 if *t < wm {
-                    return Err(format!("heartbeat regressed to {t:?} at index {i} (wm {wm:?})"));
+                    return Err(format!(
+                        "heartbeat regressed to {t:?} at index {i} (wm {wm:?})"
+                    ));
                 }
                 wm = *t;
             }

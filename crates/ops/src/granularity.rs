@@ -54,10 +54,7 @@ impl<T> Granularity<T> {
             let until = g.saturating_add(self.period);
             for e in &self.buffer {
                 if e.interval.contains(g) {
-                    out.element(Element::new(
-                        e.payload.clone(),
-                        TimeInterval::new(g, until),
-                    ));
+                    out.element(Element::new(e.payload.clone(), TimeInterval::new(g, until)));
                 }
             }
             self.buffer.retain(|e| e.end() > until);
@@ -137,7 +134,10 @@ mod tests {
     fn samples_on_grid() {
         // Period 10; element valid [5, 25) is seen at grids 10 and 20 but
         // not at 0.
-        let out = run_unary(Granularity::new(Duration::from_ticks(10)), vec![el(7, 5, 25)]);
+        let out = run_unary(
+            Granularity::new(Duration::from_ticks(10)),
+            vec![el(7, 5, 25)],
+        );
         assert_eq!(
             out,
             vec![Element::new(7, iv(10, 20)), Element::new(7, iv(20, 30))]
@@ -146,7 +146,10 @@ mod tests {
 
     #[test]
     fn element_covering_grid_zero() {
-        let out = run_unary(Granularity::new(Duration::from_ticks(10)), vec![el(1, 0, 5)]);
+        let out = run_unary(
+            Granularity::new(Duration::from_ticks(10)),
+            vec![el(1, 0, 5)],
+        );
         assert_eq!(out, vec![Element::new(1, iv(0, 10))]);
     }
 

@@ -189,7 +189,11 @@ mod tests {
         let mut op = GroupedAggregate::new(|p: &(i64, i64)| p.0, CountAgg);
         let mut sink: Vec<pipes_time::Message<(i64, u64)>> = Vec::new();
         for i in 0..20 {
-            op.on_element(0, el((i % 4, i), (i * 10) as u64, (i * 10 + 5) as u64), &mut sink);
+            op.on_element(
+                0,
+                el((i % 4, i), (i * 10) as u64, (i * 10 + 5) as u64),
+                &mut sink,
+            );
         }
         let before = op.memory();
         assert_eq!(before, 20);

@@ -252,8 +252,12 @@ mod tests {
 
     #[test]
     fn watermark_contract_upheld() {
-        let left: Vec<Element<i64>> = (0..30i64).map(|i| el(i % 5, i as u64, i as u64 + 8)).collect();
-        let right: Vec<Element<i64>> = (0..30i64).map(|i| el(i % 5, i as u64 + 2, i as u64 + 9)).collect();
+        let left: Vec<Element<i64>> = (0..30i64)
+            .map(|i| el(i % 5, i as u64, i as u64 + 8))
+            .collect();
+        let right: Vec<Element<i64>> = (0..30i64)
+            .map(|i| el(i % 5, i as u64 + 2, i as u64 + 9))
+            .collect();
         let msgs = run_binary_messages(
             RippleJoin::equi(|x: &i64| *x, |y: &i64| *y, |x, y| (*x, *y)),
             left,
@@ -264,8 +268,7 @@ mod tests {
 
     #[test]
     fn shedding_degrades_but_bounds_memory() {
-        let mut join: RippleJoin<i64, i64, i64> =
-            RippleJoin::equi(|x| *x, |y| *y, |x, y| x + y);
+        let mut join: RippleJoin<i64, i64, i64> = RippleJoin::equi(|x| *x, |y| *y, |x, y| x + y);
         let mut out: Vec<pipes_time::Message<i64>> = Vec::new();
         for i in 0..100 {
             join.on_left(el(i, i as u64, i as u64 + 50), &mut out);

@@ -73,8 +73,7 @@ where
         // Depth-first expansion of combinations; prune on empty buckets.
         // Each combination slot i holds the element chosen for `order[i]`.
         let mut results: Vec<(Vec<(usize, T)>, TimeInterval)> = Vec::new();
-        let mut stack: Vec<(Vec<(usize, T)>, TimeInterval)> =
-            vec![(Vec::new(), e.interval)];
+        let mut stack: Vec<(Vec<(usize, T)>, TimeInterval)> = vec![(Vec::new(), e.interval)];
         for &p in &order {
             let Some(bucket) = self.areas[p].get(&k) else {
                 stack.clear();
@@ -173,12 +172,13 @@ mod tests {
     fn multiway_matches_reference_on_two_inputs() {
         let a = vec![el(1, 0, 10), el(12, 3, 9), el(21, 5, 12)];
         let b = vec![el(11, 2, 7), el(2, 4, 8), el(31, 6, 14)];
-        let out = run_nary(MultiwayJoin::new(2, |v: &i64| v % 10), vec![a.clone(), b.clone()]);
+        let out = run_nary(
+            MultiwayJoin::new(2, |v: &i64| v % 10),
+            vec![a.clone(), b.clone()],
+        );
         // Flatten to pairs for comparison with the reference join.
-        let pairs: Vec<Element<(i64, i64)>> = out
-            .into_iter()
-            .map(|e| e.map(|v| (v[0], v[1])))
-            .collect();
+        let pairs: Vec<Element<(i64, i64)>> =
+            out.into_iter().map(|e| e.map(|v| (v[0], v[1]))).collect();
         snapshot::check_binary(&a, &b, &pairs, |x, y| {
             snapshot::rel::join(x, y, |l, r| l % 10 == r % 10, |l, r| (*l, *r))
         })

@@ -57,9 +57,11 @@ pub use coalesce::Coalesce;
 pub use difference::Difference;
 pub use distinct::Distinct;
 pub use granularity::Granularity;
-pub use reorder::Reorder;
 pub use groupby::GroupedAggregate;
-pub use join::{HashSweepArea, ListSweepArea, MultiwayJoin, OrderedSweepArea, RippleJoin, SweepArea};
+pub use join::{
+    HashSweepArea, ListSweepArea, MultiwayJoin, OrderedSweepArea, RippleJoin, SweepArea,
+};
+pub use reorder::Reorder;
 pub use stateless::{Filter, FlatMap, Map};
 pub use union::Union;
 pub use window::{CountWindow, NowWindow, PartitionedCountWindow, TimeWindow};

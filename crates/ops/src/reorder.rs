@@ -144,7 +144,6 @@ impl<T: Send + Clone + 'static> Operator for Reorder<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pipes_graph::Operator as _;
     use pipes_time::Message;
 
     fn drive(slack: u64, arrivals: &[(i64, u64)]) -> (Vec<Message<i64>>, u64) {

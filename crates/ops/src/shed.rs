@@ -86,7 +86,9 @@ mod tests {
     use pipes_time::Timestamp;
 
     fn input(n: u64) -> Vec<Element<i64>> {
-        (0..n).map(|i| Element::at(i as i64, Timestamp::new(i))).collect()
+        (0..n)
+            .map(|i| Element::at(i as i64, Timestamp::new(i)))
+            .collect()
     }
 
     #[test]

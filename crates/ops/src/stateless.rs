@@ -122,10 +122,7 @@ mod tests {
         let input = vec![el(1, 0, 5), el(2, 1, 4), el(3, 2, 8)];
         let out = run_unary(Filter::new(|v: &i64| v % 2 == 1), input.clone());
         assert_eq!(out, vec![el(1, 0, 5), el(3, 2, 8)]);
-        snapshot::check_unary(&input, &out, |s| {
-            snapshot::rel::filter(s, |v| v % 2 == 1)
-        })
-        .unwrap();
+        snapshot::check_unary(&input, &out, |s| snapshot::rel::filter(s, |v| v % 2 == 1)).unwrap();
     }
 
     #[test]

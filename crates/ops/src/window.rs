@@ -240,7 +240,10 @@ mod tests {
 
     #[test]
     fn count_window_expires_after_n_rows() {
-        let out = run_unary(CountWindow::new(2), vec![ev(1, 0), ev(2, 3), ev(3, 5), ev(4, 9)]);
+        let out = run_unary(
+            CountWindow::new(2),
+            vec![ev(1, 0), ev(2, 3), ev(3, 5), ev(4, 9)],
+        );
         // 1 valid [0, start of 3rd element)=... element 1 displaced by element 3 (t=5)
         assert_eq!(out[0], Element::new(1, iv(0, 5)));
         assert_eq!(out[1], Element::new(2, iv(3, 9)));
@@ -269,10 +272,7 @@ mod tests {
     fn partitioned_count_window_is_per_key() {
         let input = vec![ev(10, 0), ev(20, 1), ev(11, 5), ev(21, 6), ev(12, 8)];
         // key = tens digit: group 1x: 10(t0),11(t5),12(t8); group 2x: 20(t1),21(t6)
-        let out = run_unary(
-            PartitionedCountWindow::new(1, |v: &i64| v / 10),
-            input,
-        );
+        let out = run_unary(PartitionedCountWindow::new(1, |v: &i64| v / 10), input);
         let find = |p: i64| out.iter().find(|e| e.payload == p).unwrap().clone();
         assert_eq!(find(10).interval, iv(0, 5));
         assert_eq!(find(11).interval, iv(5, 8));

@@ -19,7 +19,10 @@ use proptest::prelude::*;
 fn arb_bag(max_len: usize) -> impl Strategy<Value = Vec<Element<i64>>> {
     prop::collection::vec(
         (0i64..6, 0u64..60, 1u64..25).prop_map(|(p, s, len)| {
-            Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(s + len)))
+            Element::new(
+                p,
+                TimeInterval::new(Timestamp::new(s), Timestamp::new(s + len)),
+            )
         }),
         0..max_len,
     )

@@ -367,9 +367,8 @@ fn compile_new(
                     .iter()
                     .map(|(e, _)| e.bind(&in_schema))
                     .collect::<Result<_, _>>()?;
-                let key_fn = move |t: &Tuple| -> Vec<Value> {
-                    keys.iter().map(|k| k.eval(t)).collect()
-                };
+                let key_fn =
+                    move |t: &Tuple| -> Vec<Value> { keys.iter().map(|k| k.eval(t)).collect() };
                 let grouped = ctx.graph.add_unary(
                     "aggregate[grouped]",
                     GroupedAggregate::new(key_fn, tuple_aggs),
@@ -403,15 +402,15 @@ fn compile_new(
         LogicalPlan::Difference { left, right } => {
             let l = compile(left, ctx)?;
             let r = compile(right, ctx)?;
-            Ok(ctx.graph.add_binary("difference", Difference::new(), &l, &r))
+            Ok(ctx
+                .graph
+                .add_binary("difference", Difference::new(), &l, &r))
         }
         LogicalPlan::Every { input, period } => {
             let up = compile(input, ctx)?;
-            Ok(ctx.graph.add_unary(
-                &format!("every[{period}]"),
-                Granularity::new(*period),
-                &up,
-            ))
+            Ok(ctx
+                .graph
+                .add_unary(&format!("every[{period}]"), Granularity::new(*period), &up))
         }
         LogicalPlan::Coalesce { input } => {
             let up = compile(input, ctx)?;
@@ -545,7 +544,12 @@ mod tests {
         );
         let mut rel = Relation::new("dim", |t: &Tuple| t[0].clone());
         rel.bulk_load((0..3i64).map(|k| vec![Value::Int(k), Value::str(format!("name{k}"))]));
-        cat.add_relation("dim", Schema::of(&["id", "label"]), 0, SharedRelation::new(rel));
+        cat.add_relation(
+            "dim",
+            Schema::of(&["id", "label"]),
+            0,
+            SharedRelation::new(rel),
+        );
         cat
     }
 

@@ -296,8 +296,11 @@ mod tests {
 
     #[test]
     fn comparisons_and_logic() {
-        let e = Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(3i64))
-            .and(Expr::bin(Expr::col("name"), BinOp::Eq, Expr::lit("x")));
+        let e = Expr::bin(Expr::col("a"), BinOp::Gt, Expr::lit(3i64)).and(Expr::bin(
+            Expr::col("name"),
+            BinOp::Eq,
+            Expr::lit("x"),
+        ));
         assert_eq!(e.bind(&schema()).unwrap().eval(&row()), Value::Bool(true));
 
         let e = Expr::Unary(

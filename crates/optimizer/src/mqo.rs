@@ -137,8 +137,7 @@ impl Optimizer {
                 best = Some((v, est));
             }
         }
-        let (chosen, estimate) =
-            best.ok_or_else(|| "no valid plan variant".to_string())?;
+        let (chosen, estimate) = best.ok_or_else(|| "no valid plan variant".to_string())?;
 
         let mut ctx = CompileContext::new(graph, catalog, &mut self.installed);
         let handle = compile(&chosen, &mut ctx)?;
@@ -214,7 +213,11 @@ mod tests {
         let (sink, buf) = CollectSink::new();
         graph.add_sink("out", sink, &report.handle);
         graph.run_to_completion(16);
-        let vals: Vec<i64> = buf.lock().iter().map(|e| e.payload[1].as_i64().unwrap()).collect();
+        let vals: Vec<i64> = buf
+            .lock()
+            .iter()
+            .map(|e| e.payload[1].as_i64().unwrap())
+            .collect();
         assert_eq!(vals, vec![15, 16, 17, 18, 19]);
     }
 

@@ -165,8 +165,9 @@ impl LogicalPlan {
             | LogicalPlan::Distinct { input }
             | LogicalPlan::Every { input, .. }
             | LogicalPlan::Coalesce { input } => vec![input],
-            LogicalPlan::Join { left, right, .. }
-            | LogicalPlan::Difference { left, right } => vec![left, right],
+            LogicalPlan::Join { left, right, .. } | LogicalPlan::Difference { left, right } => {
+                vec![left, right]
+            }
             LogicalPlan::Union { inputs } => inputs.iter().collect(),
         }
     }
@@ -334,7 +335,9 @@ impl LogicalPlan {
     /// Graphviz rendering of the plan DAG (the paper's visual plan GUI,
     /// reproduced as `dot` output).
     pub fn render_dot(&self) -> String {
-        let mut out = String::from("digraph plan {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n");
+        let mut out = String::from(
+            "digraph plan {\n  rankdir=BT;\n  node [shape=box, fontname=\"monospace\"];\n",
+        );
         let mut counter = 0usize;
         self.dot_into(&mut out, &mut counter);
         out.push_str("}\n");

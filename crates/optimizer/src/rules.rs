@@ -156,8 +156,7 @@ pub fn commute_joins(plan: &LogicalPlan, catalog: &Catalog) -> LogicalPlan {
         predicate,
     } = &plan
     {
-        let (Ok(ls), Ok(rs)) = (output_schema(left, catalog), output_schema(right, catalog))
-        else {
+        let (Ok(ls), Ok(rs)) = (output_schema(left, catalog), output_schema(right, catalog)) else {
             return plan;
         };
         let mut exprs: Vec<(Expr, String)> = Vec::new();
@@ -306,9 +305,11 @@ mod tests {
 
     #[test]
     fn split_and_merge_are_inverses_up_to_signature() {
-        let pred = Expr::col("a")
-            .eq(Expr::lit(1i64))
-            .and(Expr::bin(Expr::col("b"), BinOp::Gt, Expr::lit(2i64)));
+        let pred = Expr::col("a").eq(Expr::lit(1i64)).and(Expr::bin(
+            Expr::col("b"),
+            BinOp::Gt,
+            Expr::lit(2i64),
+        ));
         let plan = LogicalPlan::Filter {
             input: Box::new(stream("s")),
             predicate: pred,
@@ -360,8 +361,11 @@ mod tests {
                 right: Box::new(stream("t")),
                 predicate: Expr::col("a").eq(Expr::col("c")),
             }),
-            predicate: Expr::bin(Expr::col("b"), BinOp::Gt, Expr::lit(7i64))
-                .and(Expr::bin(Expr::col("d"), BinOp::Lt, Expr::lit(3i64))),
+            predicate: Expr::bin(Expr::col("b"), BinOp::Gt, Expr::lit(7i64)).and(Expr::bin(
+                Expr::col("d"),
+                BinOp::Lt,
+                Expr::lit(3i64),
+            )),
         };
         let pushed = push_filters(&split_filters(&plan), &cat);
         // The top node is the join; both filters have sunk.

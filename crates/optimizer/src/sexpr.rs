@@ -179,7 +179,11 @@ fn write_expr(e: &Expr, out: &mut String) {
                 let _ = write!(out, "(lit float {f})");
             }
             Value::Str(s) => {
-                let _ = write!(out, "(lit str \"{}\")", s.replace('\\', "\\\\").replace('"', "\\\""));
+                let _ = write!(
+                    out,
+                    "(lit str \"{}\")",
+                    s.replace('\\', "\\\\").replace('"', "\\\"")
+                );
             }
         },
         Expr::Binary(l, op, r) => {

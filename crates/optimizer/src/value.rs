@@ -273,7 +273,10 @@ mod tests {
         }
         assert!(Value::Int(1) < Value::Int(2));
         assert!(Value::str("a") < Value::str("b"));
-        assert_eq!(Value::Float(f64::NAN).cmp(&Value::Float(f64::NAN)), Ordering::Equal);
+        assert_eq!(
+            Value::Float(f64::NAN).cmp(&Value::Float(f64::NAN)),
+            Ordering::Equal
+        );
     }
 
     #[test]

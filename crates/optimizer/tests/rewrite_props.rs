@@ -45,10 +45,7 @@ fn catalog() -> Catalog {
 // ---------------------------------------------------------------------------
 
 fn arb_predicate(alias: &'static str) -> impl Strategy<Value = Expr> {
-    let col = prop_oneof![
-        Just(format!("{alias}.k")),
-        Just(format!("{alias}.v")),
-    ];
+    let col = prop_oneof![Just(format!("{alias}.k")), Just(format!("{alias}.v")),];
     let cmp = prop_oneof![
         Just(BinOp::Eq),
         Just(BinOp::Ne),
@@ -120,10 +117,7 @@ fn arb_join_plan() -> impl Strategy<Value = LogicalPlan> {
     (
         1u64..25,
         1u64..25,
-        prop::collection::vec(
-            prop_oneof![arb_predicate("s"), arb_predicate("t")],
-            0..3,
-        ),
+        prop::collection::vec(prop_oneof![arb_predicate("s"), arb_predicate("t")], 0..3),
     )
         .prop_map(|(wl, wr, preds)| {
             let mut plan = LogicalPlan::Join {

@@ -89,7 +89,12 @@ impl<K: Ord + Clone, R: Clone> Relation<K, R> {
 
     /// Range scan over the primary key (inclusive bounds).
     pub fn range(&self, from: &K, to: &K) -> VecCursor<R> {
-        VecCursor::new(self.rows.range(from.clone()..=to.clone()).map(|(_, r)| r.clone()).collect())
+        VecCursor::new(
+            self.rows
+                .range(from.clone()..=to.clone())
+                .map(|(_, r)| r.clone())
+                .collect(),
+        )
     }
 }
 
@@ -311,8 +316,10 @@ mod tests {
         g.add_sink("maintain", UpsertSink::new(shared.clone()), &upd_src);
 
         // ...and the probe stream arrives later.
-        let probes: Vec<Element<i64>> =
-            vec![Element::at(7, Timestamp::new(5)), Element::at(8, Timestamp::new(6))];
+        let probes: Vec<Element<i64>> = vec![
+            Element::at(7, Timestamp::new(5)),
+            Element::at(8, Timestamp::new(6)),
+        ];
         let probe_src = g.add_source("probes", VecSource::new(probes));
         let joined = g.add_unary(
             "lookup",

@@ -5,7 +5,7 @@ use crate::strategy::{SchedView, Strategy};
 use pipes_graph::{NodeId, QueryGraph};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Measurements from one execution.
 #[derive(Clone, Debug, Default)]
@@ -18,6 +18,9 @@ pub struct ExecutionReport {
     pub consumed: u64,
     /// Elements produced across all nodes.
     pub produced: u64,
+    /// Batched input-queue drains across all nodes (each moved a run of
+    /// messages under one lock acquisition).
+    pub batches: u64,
     /// Wall-clock time.
     pub wall: std::time::Duration,
     /// Largest total queued-message count observed (queue memory peak).
@@ -35,6 +38,64 @@ impl ExecutionReport {
     pub fn throughput(&self) -> f64 {
         self.produced as f64 / self.wall.as_secs_f64().max(1e-9)
     }
+
+    /// Mean messages moved per batched queue drain (0 if nothing consumed).
+    pub fn avg_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.consumed as f64 / self.batches as f64
+        }
+    }
+}
+
+/// Adaptive idle waiting: spin briefly (the common case — another worker is
+/// about to publish), then yield the core, then park with growing timeouts.
+/// Replaces both the bare `yield_now` idle loop and the former 200µs polling
+/// watchdog thread: an idle worker burns almost no CPU, yet still notices
+/// new work within a spin or at worst one bounded park timeout.
+struct Backoff {
+    rounds: u32,
+}
+
+impl Backoff {
+    /// Rounds spent busy-spinning (with exponentially more `spin_loop`
+    /// hints each round) before yielding.
+    const SPIN_ROUNDS: u32 = 6;
+    /// Additional rounds spent yielding before parking.
+    const YIELD_ROUNDS: u32 = 4;
+    /// First park timeout; doubles per round up to [`Backoff::MAX_PARK`].
+    const FIRST_PARK: Duration = Duration::from_micros(50);
+    /// Longest park timeout — bounds how stale an idle worker's view of the
+    /// stop flag and of graph completion can get.
+    const MAX_PARK: Duration = Duration::from_micros(1600);
+
+    fn new() -> Self {
+        Backoff { rounds: 0 }
+    }
+
+    /// Waits a little longer than last time.
+    fn wait(&mut self) {
+        if self.rounds < Self::SPIN_ROUNDS {
+            for _ in 0..(1u32 << self.rounds) {
+                std::hint::spin_loop();
+            }
+        } else if self.rounds < Self::SPIN_ROUNDS + Self::YIELD_ROUNDS {
+            std::thread::yield_now();
+        } else {
+            let doublings = (self.rounds - Self::SPIN_ROUNDS - Self::YIELD_ROUNDS).min(5);
+            let timeout = Self::FIRST_PARK
+                .saturating_mul(1 << doublings)
+                .min(Self::MAX_PARK);
+            std::thread::park_timeout(timeout);
+        }
+        self.rounds = self.rounds.saturating_add(1);
+    }
+
+    /// Progress was made: start the next idle episode from the spin phase.
+    fn reset(&mut self) {
+        self.rounds = 0;
+    }
 }
 
 /// Runs one layer-2 strategy over a set of nodes until the graph finishes
@@ -43,6 +104,7 @@ pub struct SingleThreadExecutor {
     quantum: usize,
     sample_every: u64,
     max_quanta: Option<u64>,
+    batch_limit: Option<usize>,
 }
 
 impl Default for SingleThreadExecutor {
@@ -59,12 +121,21 @@ impl SingleThreadExecutor {
             quantum: 64,
             sample_every: 16,
             max_quanta: None,
+            batch_limit: None,
         }
     }
 
     /// Sets the per-selection message budget.
     pub fn with_quantum(mut self, quantum: usize) -> Self {
         self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Caps the per-run batch size of every node this executor drives
+    /// (see [`QueryGraph::set_node_batch_limit`]). A limit of 1 reproduces
+    /// the per-message data path — useful as a benchmarking baseline.
+    pub fn with_batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = Some(limit.max(1));
         self
     }
 
@@ -96,6 +167,11 @@ impl SingleThreadExecutor {
         stop: Option<&AtomicBool>,
     ) -> ExecutionReport {
         let start = Instant::now();
+        if let Some(limit) = self.batch_limit {
+            for &id in nodes {
+                graph.set_node_batch_limit(id, limit);
+            }
+        }
         let mut report = ExecutionReport {
             strategy: strategy.name().to_string(),
             ..Default::default()
@@ -103,6 +179,7 @@ impl SingleThreadExecutor {
         let mut queue_samples: u64 = 0;
         let mut queue_sum: f64 = 0.0;
         let mut idle_rounds = 0u32;
+        let mut backoff = Backoff::new();
         loop {
             if let Some(flag) = stop {
                 if flag.load(Ordering::Relaxed) {
@@ -120,28 +197,53 @@ impl SingleThreadExecutor {
             }
             let view = SchedView::new(graph, nodes);
             let Some(id) = strategy.select(&view) else {
-                // Nothing runnable here right now (another partition may
-                // still feed us): back off briefly.
+                // Nothing runnable here right now.
                 idle_rounds += 1;
-                if stop.is_none() && idle_rounds > 1000 {
-                    // Single-partition execution with no runnable node and
-                    // unfinished graph: the graph is stalled.
-                    break;
+                match stop {
+                    None => {
+                        // Single-partition execution with no runnable node
+                        // and unfinished graph: the graph is stalled. Stay
+                        // on cheap yields so the stall is detected quickly.
+                        if idle_rounds > 1000 {
+                            break;
+                        }
+                        std::thread::yield_now();
+                    }
+                    Some(flag) => {
+                        // Another partition may still feed us. Each idle
+                        // worker also checks global completion itself and
+                        // releases the others — this replaces the polling
+                        // watchdog thread the multi-thread executor used
+                        // to spawn.
+                        if graph.all_finished() {
+                            flag.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                        backoff.wait();
+                    }
                 }
-                std::thread::yield_now();
                 continue;
             };
             let step = graph.step_node(id, self.quantum);
             report.quanta += 1;
             report.consumed += step.consumed as u64;
             report.produced += step.produced as u64;
+            report.batches += step.batches as u64;
             if step.consumed == 0 && step.produced == 0 {
                 idle_rounds += 1;
                 if idle_rounds > 10_000 {
                     break; // safety valve against stuck strategies
                 }
+                if let Some(flag) = stop {
+                    if graph.all_finished() {
+                        flag.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                    backoff.wait();
+                }
             } else {
                 idle_rounds = 0;
+                backoff.reset();
             }
             if report.quanta.is_multiple_of(self.sample_every) {
                 let total: usize = nodes.iter().map(|&id| graph.queued(id)).sum();
@@ -168,6 +270,7 @@ pub struct MultiThreadExecutor {
     threads: usize,
     quantum: usize,
     max_quanta_per_thread: Option<u64>,
+    batch_limit: Option<usize>,
 }
 
 impl MultiThreadExecutor {
@@ -182,6 +285,7 @@ impl MultiThreadExecutor {
             threads,
             quantum: 64,
             max_quanta_per_thread: None,
+            batch_limit: None,
         }
     }
 
@@ -194,6 +298,13 @@ impl MultiThreadExecutor {
     /// Caps quanta per thread (for unbounded sources).
     pub fn with_max_quanta(mut self, max: u64) -> Self {
         self.max_quanta_per_thread = Some(max);
+        self
+    }
+
+    /// Caps the per-run batch size of every node (see
+    /// [`SingleThreadExecutor::with_batch_limit`]).
+    pub fn with_batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = Some(limit.max(1));
         self
     }
 
@@ -218,27 +329,17 @@ impl MultiThreadExecutor {
         make_strategy: impl Fn() -> Box<dyn Strategy>,
         partitions: Vec<Vec<NodeId>>,
     ) -> Vec<ExecutionReport> {
+        // Completion detection is decentralized: each idle worker checks
+        // `graph.all_finished()` from its backoff loop and flips the shared
+        // stop flag itself, so no polling watchdog thread is needed.
         let stop = Arc::new(AtomicBool::new(false));
-
-        // A watchdog flips the stop flag once the whole graph is finished,
-        // releasing threads whose own partition ran dry early.
-        let watchdog = {
-            let graph = Arc::clone(graph);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                while !stop.load(Ordering::Relaxed) {
-                    if graph.all_finished() {
-                        stop.store(true, Ordering::Relaxed);
-                        break;
-                    }
-                    std::thread::sleep(std::time::Duration::from_micros(200));
-                }
-            })
-        };
 
         let mut exec = SingleThreadExecutor::new().with_quantum(self.quantum);
         if let Some(max) = self.max_quanta_per_thread {
             exec = exec.with_max_quanta(max);
+        }
+        if let Some(limit) = self.batch_limit {
+            exec = exec.with_batch_limit(limit);
         }
 
         let reports: Vec<ExecutionReport> = std::thread::scope(|scope| {
@@ -260,7 +361,6 @@ impl MultiThreadExecutor {
                 .collect()
         });
         stop.store(true, Ordering::Relaxed);
-        let _ = watchdog.join();
         reports
     }
 }
@@ -345,11 +445,32 @@ mod tests {
     }
 
     #[test]
+    fn batches_counted_and_limit_one_matches_batched_output() {
+        let (g, buf) = build(400);
+        let mut s = RoundRobinStrategy::new();
+        let report = SingleThreadExecutor::new().run(&g, &mut s);
+        assert!(report.batches > 0);
+        assert!(
+            report.avg_batch_size() > 1.0,
+            "unbounded batching should amortize: avg {}",
+            report.avg_batch_size()
+        );
+
+        let (g1, buf1) = build(400);
+        let mut s1 = RoundRobinStrategy::new();
+        let r1 = SingleThreadExecutor::new()
+            .with_batch_limit(1)
+            .run(&g1, &mut s1);
+        assert!(r1.avg_batch_size() <= 1.0 + 1e-9);
+        // Batch granularity must not change what reaches the sink.
+        assert_eq!(*buf.lock(), *buf1.lock());
+    }
+
+    #[test]
     fn multi_thread_completes_and_preserves_results() {
         let (g, buf) = build(500);
         let g = Arc::new(g);
-        let reports =
-            MultiThreadExecutor::new(3).run(&g, || Box::new(RoundRobinStrategy::new()));
+        let reports = MultiThreadExecutor::new(3).run(&g, || Box::new(RoundRobinStrategy::new()));
         assert_eq!(reports.len(), 3);
         assert!(g.all_finished());
         assert_eq!(buf.lock().len(), 250);

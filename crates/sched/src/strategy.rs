@@ -270,7 +270,9 @@ impl Strategy for ChainStrategy {
     }
 
     fn select(&mut self, view: &SchedView<'_>) -> Option<NodeId> {
-        if self.ticks.is_multiple_of(self.refresh_every) || self.priorities.len() != view.nodes().len() {
+        if self.ticks.is_multiple_of(self.refresh_every)
+            || self.priorities.len() != view.nodes().len()
+        {
             self.recompute(view);
         }
         self.ticks += 1;

@@ -90,7 +90,9 @@ fn build(shape: &Shape) -> (QueryGraph, pipes_graph::io::Collected<u64>) {
 
 fn run_with(shape: &Shape, strategy: &mut dyn SchedStrategy) -> Vec<Element<u64>> {
     let (g, buf) = build(shape);
-    let report = SingleThreadExecutor::new().with_quantum(16).run(&g, strategy);
+    let report = SingleThreadExecutor::new()
+        .with_quantum(16)
+        .run(&g, strategy);
     assert!(g.all_finished(), "{} stalled on {shape:?}", report.strategy);
     let out = buf.lock().clone();
     out

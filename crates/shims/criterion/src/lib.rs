@@ -1,0 +1,253 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build host cannot reach crates.io, so the workspace ships this path
+//! crate under the same package name. It implements the criterion 0.5 API
+//! subset the workspace's benches use — `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Throughput::Elements`, `BenchmarkId`, `Bencher::iter`
+//! and the `criterion_group!` / `criterion_main!` macros — with a simple
+//! calibrated wall-clock loop instead of criterion's statistical engine.
+//! Results print as `time/iter` plus element throughput when a group set
+//! [`BenchmarkGroup::throughput`]; there is no HTML report and no
+//! regression detection.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Expected amount of work per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Each iteration processes this many elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handed to benchmark closures.
+pub struct Bencher {
+    /// Mean wall-clock time of one iteration, filled in by [`iter`](Bencher::iter).
+    elapsed_per_iter: Duration,
+    measure_for: Duration,
+    warm_up_for: Duration,
+}
+
+impl Bencher {
+    /// Calibrates, warms up, then measures `routine` and records the mean
+    /// per-iteration wall-clock time. The routine's return value is passed
+    /// through [`black_box`] so its computation cannot be optimised away.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibrate: how many iterations fit in the warm-up window?
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_start.elapsed() >= self.warm_up_for {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_secs_f64() / calib_iters as f64;
+        let measure_iters = ((self.measure_for.as_secs_f64() / per_iter).ceil() as u64).max(1);
+
+        let start = Instant::now();
+        for _ in 0..measure_iters {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / measure_iters as u32;
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares how much work one iteration performs; subsequent benchmarks
+    /// in this group report a derived rate.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs `f` as the benchmark `id` and prints its timing.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            measure_for: self.criterion.measurement_time,
+            warm_up_for: self.criterion.warm_up_time,
+        };
+        f(&mut bencher);
+        self.report(&id.into(), bencher.elapsed_per_iter);
+    }
+
+    /// Runs `f` with `input` as the benchmark `id` and prints its timing.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) {
+        self.bench_function(id, |b| f(b, input));
+    }
+
+    /// Ends the group (prints a trailing blank line, mirroring criterion's
+    /// visual grouping).
+    pub fn finish(self) {
+        println!();
+    }
+
+    fn report(&self, id: &BenchmarkId, per_iter: Duration) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / per_iter.as_secs_f64();
+                format!("  {:.4} Melem/s", per_sec / 1e6)
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / per_iter.as_secs_f64();
+                format!("  {:.4} MiB/s", per_sec / (1024.0 * 1024.0))
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{:<32} {:>12.4} ms/iter{}",
+            self.name,
+            id.id,
+            per_iter.as_secs_f64() * 1e3,
+            rate
+        );
+    }
+}
+
+/// Benchmark harness entry point (stand-in for criterion's).
+pub struct Criterion {
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            measurement_time: Duration::from_millis(700),
+            warm_up_time: Duration::from_millis(150),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Sets the measurement window per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("== group {name} ==");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(id, f);
+        group.finish();
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default()
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut group = c.benchmark_group("smoke");
+        group.throughput(Throughput::Elements(100));
+        let mut ran = 0u32;
+        group.bench_function("sum", |b| {
+            ran += 1;
+            b.iter(|| (0..100u64).sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::new("scaled", 7), &7u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,622 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build host cannot reach crates.io, so the workspace ships this path
+//! crate under the same package name. It implements the proptest 1.x API
+//! subset the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_oneof!`],
+//! * the [`Strategy`](strategy::Strategy) trait with `prop_map`,
+//!   `prop_recursive` and `boxed`,
+//! * strategies for integer/float ranges, tuples, [`Just`](strategy::Just),
+//!   `any::<T>()`, simple regex string literals (`[class]{m,n}` atoms), and
+//!   [`collection::vec`],
+//! * [`ProptestConfig`](test_runner::ProptestConfig) and
+//!   [`TestCaseError`](test_runner::TestCaseError).
+//!
+//! Differences from real proptest: cases are drawn from a deterministic
+//! per-test RNG (seeded from the test's module path and name), and failing
+//! inputs are **not shrunk** — the failing case's values are reported as
+//! sampled.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod test_runner {
+    //! Test configuration and failure reporting.
+
+    /// How a property test runs.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of random cases to execute per test.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// A failed test case.
+    #[derive(Clone, Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Creates a failure carrying `message`.
+        pub fn fail<S: Into<String>>(message: S) -> Self {
+            TestCaseError(message.into())
+        }
+
+        /// Alias for [`fail`](TestCaseError::fail) (proptest-compatible).
+        pub fn reject<S: Into<String>>(message: S) -> Self {
+            TestCaseError(message.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result type of one generated test case.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Derives a deterministic RNG seed from a test's identity.
+    pub fn seed_for(test_path: &str, case: u64) -> u64 {
+        // FNV-1a over the path, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01B3);
+        }
+        h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+}
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// A recipe for generating random values of an output type.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a recursive strategy: `leaf` values from `self`, composite
+        /// values from `f(inner)`, nested at most `depth` levels. The
+        /// `_size`/`_items` arguments are accepted for API compatibility.
+        fn prop_recursive<F, S2>(
+            self,
+            depth: u32,
+            _size: u32,
+            _items: u32,
+            f: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+            S2: Strategy<Value = Self::Value> + 'static,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let branch = f(cur).boxed();
+                cur = OneOf {
+                    arms: vec![leaf.clone(), branch],
+                }
+                .boxed();
+            }
+            cur
+        }
+
+        /// Type-erases the strategy behind a cheaply clonable handle.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Rc::new(self))
+        }
+    }
+
+    /// Object-safe view of [`Strategy`] (used by [`BoxedStrategy`]).
+    trait DynStrategy<T> {
+        fn sample_dyn(&self, rng: &mut SmallRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn sample_dyn(&self, rng: &mut SmallRng) -> S::Value {
+            self.sample(rng)
+        }
+    }
+
+    /// A type-erased, clonable strategy handle.
+    pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            self.0.sample_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut SmallRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy adapter produced by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn sample(&self, rng: &mut SmallRng) -> U {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Uniform choice between alternative strategies (see [`prop_oneof!`]).
+    ///
+    /// [`prop_oneof!`]: crate::prop_oneof
+    pub struct OneOf<T> {
+        /// The alternatives; each sample picks one uniformly.
+        pub arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Strategy for OneOf<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            assert!(!self.arms.is_empty(), "prop_oneof! needs at least one arm");
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].sample(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut SmallRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident . $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut SmallRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A.0);
+    impl_tuple_strategy!(A.0, B.1);
+    impl_tuple_strategy!(A.0, B.1, C.2);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    impl_tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+    /// String literals act as regex-subset strategies: a sequence of
+    /// `[class]` / literal-char atoms, each optionally repeated `{m,n}` or
+    /// `{m}`. Classes support ranges (`a-z`) and literal members.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut SmallRng) -> String {
+            sample_pattern(self, rng)
+        }
+    }
+
+    fn sample_pattern(pattern: &str, rng: &mut SmallRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut out = String::new();
+        let mut i = 0;
+        while i < chars.len() {
+            // One atom: a character class or a literal character.
+            let alphabet: Vec<char> = if chars[i] == '[' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                        for c in lo..=hi {
+                            set.push(char::from_u32(c).expect("class range"));
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            // Optional {m} / {m,n} repetition.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim().parse::<usize>().expect("repeat lower bound"),
+                        n.trim().parse::<usize>().expect("repeat upper bound"),
+                    ),
+                    None => {
+                        let m = body.trim().parse::<usize>().expect("repeat count");
+                        (m, m)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            let count = if lo == hi { lo } else { rng.gen_range(lo..=hi) };
+            for _ in 0..count {
+                out.push(alphabet[rng.gen_range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+
+    /// Values with a canonical default strategy (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut SmallRng) -> bool {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> $t {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy returned by [`any`](crate::any).
+    pub struct Any<T>(std::marker::PhantomData<fn() -> T>);
+
+    impl<T> Default for Any<T> {
+        fn default() -> Self {
+            Any(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// An element-count range for [`vec`].
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length lies in `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// Returns the canonical strategy for `T` (currently `bool` and the integer
+/// primitives).
+pub fn any<T: strategy::Arbitrary>() -> strategy::Any<T> {
+    strategy::Any::default()
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::strategy::{Any, BoxedStrategy, Just, OneOf, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop` namespace (`prop::collection::vec(..)`).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// item becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg) $($rest)*);
+    };
+    (@cfg ($cfg:expr)
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                use $crate::strategy::Strategy as _;
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let test_path = concat!(module_path!(), "::", stringify!($name));
+                for case in 0..config.cases {
+                    let seed = $crate::test_runner::seed_for(test_path, case as u64);
+                    let mut rng = <rand::rngs::SmallRng as rand::SeedableRng>::seed_from_u64(seed);
+                    $(let $arg = ($strat).sample(&mut rng);)*
+                    let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!(
+                            "proptest {test_path} failed at case {case} (seed {seed:#x}): {e}"
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing the case (not
+/// panicking) so the harness can report the seed.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}", l, r),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} != {:?}: {}", l, r, format!($($fmt)+)),
+            ));
+        }
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                l, r
+            )));
+        }
+    }};
+}
+
+/// Uniform choice between strategies generating the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf {
+            arms: vec![$($crate::strategy::Strategy::boxed($arm)),+],
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn regex_subset_patterns() {
+        use crate::strategy::Strategy;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = "[xyz][a-z0-9_]{0,6}".sample(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "bad sample {s:?}");
+            assert!("xyz".contains(&s[..1]));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_and_tuples(a in 0i64..10, pair in (5u64..8, 0.0f64..1.0)) {
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((5..8).contains(&pair.0));
+            prop_assert!((0.0..1.0).contains(&pair.1), "float {} escaped", pair.1);
+        }
+
+        #[test]
+        fn vec_and_oneof(v in prop::collection::vec(1usize..4, 0..5),
+                         pick in prop_oneof![Just(1i32), Just(2i32)]) {
+            prop_assert!(v.len() < 5);
+            prop_assert!(v.iter().all(|&x| (1..4).contains(&x)));
+            prop_assert!(pick == 1 || pick == 2);
+        }
+
+        #[test]
+        fn recursion_bounded(n in nested()) {
+            prop_assert!(depth(&n) <= 4, "depth {} too deep", depth(&n));
+        }
+    }
+
+    #[derive(Clone, Debug)]
+    enum Tree {
+        Leaf(#[allow(dead_code)] i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn nested() -> impl crate::strategy::Strategy<Value = Tree> {
+        (0i64..100)
+            .prop_map(Tree::Leaf)
+            .prop_recursive(3, 16, 2, |inner| {
+                (inner.clone(), inner).prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+            })
+    }
+
+    fn depth(t: &Tree) -> usize {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+}

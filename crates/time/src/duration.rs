@@ -115,10 +115,7 @@ mod tests {
     #[test]
     fn arithmetic_saturates() {
         assert_eq!(Duration::MAX + Duration::from_ticks(1), Duration::MAX);
-        assert_eq!(
-            Duration::ZERO - Duration::from_ticks(1),
-            Duration::ZERO
-        );
+        assert_eq!(Duration::ZERO - Duration::from_ticks(1), Duration::ZERO);
         assert_eq!(Duration::from_ticks(6) / 2, Duration::from_ticks(3));
         assert_eq!(Duration::from_ticks(6) * 2, Duration::from_ticks(12));
     }

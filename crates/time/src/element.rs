@@ -90,7 +90,10 @@ mod tests {
         let e = Element::at("x", Timestamp::new(4));
         assert_eq!(e.start(), Timestamp::new(4));
         assert_eq!(e.end(), Timestamp::new(5));
-        let w = Element::new(1u32, TimeInterval::window(Timestamp::new(2), Duration::from_ticks(8)));
+        let w = Element::new(
+            1u32,
+            TimeInterval::window(Timestamp::new(2), Duration::from_ticks(8)),
+        );
         assert_eq!(w.end(), Timestamp::new(10));
     }
 

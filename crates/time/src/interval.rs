@@ -240,7 +240,10 @@ mod tests {
     #[test]
     fn split() {
         let i = iv(2, 8);
-        assert_eq!(i.split_at(Timestamp::new(5)), (Some(iv(2, 5)), Some(iv(5, 8))));
+        assert_eq!(
+            i.split_at(Timestamp::new(5)),
+            (Some(iv(2, 5)), Some(iv(5, 8)))
+        );
         assert_eq!(i.split_at(Timestamp::new(2)), (None, Some(iv(2, 8))));
         assert_eq!(i.split_at(Timestamp::new(8)), (Some(iv(2, 8)), None));
         assert_eq!(i.split_at(Timestamp::new(1)), (None, Some(iv(2, 8))));

@@ -95,7 +95,10 @@ mod tests {
         match e.map(|v| u32::from(v) * 10) {
             Message::Element(el) => {
                 assert_eq!(el.payload, 20);
-                assert_eq!(el.interval, TimeInterval::new(Timestamp::new(1), Timestamp::new(4)));
+                assert_eq!(
+                    el.interval,
+                    TimeInterval::new(Timestamp::new(1), Timestamp::new(4))
+                );
             }
             _ => panic!("expected element"),
         }

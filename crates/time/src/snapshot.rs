@@ -275,10 +275,7 @@ mod tests {
 
     #[test]
     fn rel_difference_is_monus() {
-        assert_eq!(
-            rel::difference(vec![1, 1, 2, 3], vec![1, 3, 3]),
-            vec![1, 2]
-        );
+        assert_eq!(rel::difference(vec![1, 1, 2, 3], vec![1, 3, 3]), vec![1, 2]);
         assert_eq!(rel::difference(vec![], vec![1]), Vec::<i32>::new());
     }
 

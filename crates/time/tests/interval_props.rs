@@ -5,9 +5,8 @@ use pipes_time::{Duration, TimeInterval, Timestamp};
 use proptest::prelude::*;
 
 fn arb_interval() -> impl Strategy<Value = TimeInterval> {
-    (0u64..200, 1u64..60).prop_map(|(s, len)| {
-        TimeInterval::new(Timestamp::new(s), Timestamp::new(s + len))
-    })
+    (0u64..200, 1u64..60)
+        .prop_map(|(s, len)| TimeInterval::new(Timestamp::new(s), Timestamp::new(s + len)))
 }
 
 /// Instants worth checking around two intervals.

@@ -231,8 +231,8 @@ impl FspGenerator {
 
     fn draw_speed(&mut self, now_ms: u64, section: u16, direction: Direction, lane: u8) -> f64 {
         let severity = self.congestion_severity(now_ms, section, direction);
-        let load = (self.load_factor(now_ms) - 1.0)
-            / (self.config.rush_hour_factor - 1.0).max(1e-9); // 0..1
+        let load =
+            (self.load_factor(now_ms) - 1.0) / (self.config.rush_hour_factor - 1.0).max(1e-9); // 0..1
         let mut mean = self.config.free_flow_mph;
         mean -= load * 12.0; // rush hour slows everyone a bit
         mean -= severity * (self.config.free_flow_mph - 12.0); // incidents collapse speed
@@ -265,8 +265,12 @@ impl FspGenerator {
                 continue;
             }
             // Schedule the follower.
-            let next =
-                self.draw_headway_ms(arrival.at_ms, arrival.detector, arrival.direction, arrival.lane);
+            let next = self.draw_headway_ms(
+                arrival.at_ms,
+                arrival.detector,
+                arrival.direction,
+                arrival.lane,
+            );
             self.heap.push(Arrival {
                 at_ms: next,
                 detector: arrival.detector,

@@ -87,7 +87,14 @@ impl LoopReading {
 
 /// The relational schema of the traffic stream.
 pub fn schema() -> Schema {
-    Schema::of(&["detector", "section", "lane", "direction", "speed", "length"])
+    Schema::of(&[
+        "detector",
+        "section",
+        "lane",
+        "direction",
+        "speed",
+        "length",
+    ])
 }
 
 /// Registers the `traffic` stream in a catalog, backed by the synthetic FSP

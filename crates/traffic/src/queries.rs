@@ -131,7 +131,11 @@ pub fn q4_truck_share_cql() -> &'static str {
 /// with the traffic stream registered.
 pub fn validate_all(catalog: &Catalog) -> Result<Vec<LogicalPlan>, String> {
     let mut plans = Vec::new();
-    for sql in [q1_hov_avg_speed_cql(), q3_section_flow_cql(), q4_truck_share_cql()] {
+    for sql in [
+        q1_hov_avg_speed_cql(),
+        q3_section_flow_cql(),
+        q4_truck_share_cql(),
+    ] {
         plans.push(pipes_cql::compile_cql(sql, catalog)?);
     }
     plans.push(q2_persistent_slowdown_plan(0, 40.0));

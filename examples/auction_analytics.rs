@@ -53,7 +53,10 @@ fn main() {
         .with_quantum(128)
         .run(&graph, || Box::new(FifoStrategy));
     let total: u64 = reports.iter().map(|r| r.consumed).sum();
-    println!("\nprocessed {total} messages across {} threads", reports.len());
+    println!(
+        "\nprocessed {total} messages across {} threads",
+        reports.len()
+    );
 
     println!("\nresults:");
     for (name, buf) in &sinks {

@@ -39,9 +39,15 @@ fn main() {
     let q3 = compile_cql(queries::q3_section_flow_cql(), &catalog).expect("Q3 parses");
     let q2 = queries::q2_persistent_slowdown_plan(0, 40.0);
 
-    let r1 = optimizer.install(&q1, &graph, &catalog).expect("install Q1");
-    let r3 = optimizer.install(&q3, &graph, &catalog).expect("install Q3");
-    let r2 = optimizer.install(&q2, &graph, &catalog).expect("install Q2");
+    let r1 = optimizer
+        .install(&q1, &graph, &catalog)
+        .expect("install Q1");
+    let r3 = optimizer
+        .install(&q3, &graph, &catalog)
+        .expect("install Q3");
+    let r2 = optimizer
+        .install(&q2, &graph, &catalog)
+        .expect("install Q2");
     println!(
         "installed 3 queries: {} nodes created, {} subplans shared",
         r1.created + r2.created + r3.created,

@@ -52,7 +52,10 @@ fn install_and_remove_queries_under_live_execution() {
     let mut buffers = Vec::new();
     for i in 0..6 {
         let q = compile_cql(
-            &format!("SELECT auction, price FROM bid WHERE price > {}", 1000 * (i + 1)),
+            &format!(
+                "SELECT auction, price FROM bid WHERE price > {}",
+                1000 * (i + 1)
+            ),
             &cat,
         )
         .unwrap();

@@ -67,7 +67,12 @@ fn cql_results_match_naive_snapshot_semantics() {
     // the full stack, and compare against the snapshot reference evaluator.
     let mut cat = Catalog::new();
     let data: Vec<Element<Tuple>> = (0..30i64)
-        .map(|i| Element::at(vec![Value::Int(i % 3), Value::Int(i)], Timestamp::new(i as u64)))
+        .map(|i| {
+            Element::at(
+                vec![Value::Int(i % 3), Value::Int(i)],
+                Timestamp::new(i as u64),
+            )
+        })
         .collect();
     let data2 = data.clone();
     cat.add_stream(
@@ -260,7 +265,10 @@ fn memory_manager_bounds_join_state_with_graceful_degradation() {
     let approx_results = approx.lock().len();
 
     assert!(peak_after <= 50, "budget violated: {peak_after}");
-    assert!(approx_results < full_results, "shedding must lose some results");
+    assert!(
+        approx_results < full_results,
+        "shedding must lose some results"
+    );
     assert!(
         approx_results > 0,
         "approximate answers should still produce output"

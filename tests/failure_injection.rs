@@ -149,17 +149,11 @@ fn shedding_to_zero_then_continuing_is_safe() {
     assert_eq!(join.shed(0), 0);
     // The operator keeps working after total state loss.
     join.on_right(
-        Element::new(
-            1,
-            TimeInterval::new(Timestamp::new(60), Timestamp::new(80)),
-        ),
+        Element::new(1, TimeInterval::new(Timestamp::new(60), Timestamp::new(80))),
         &mut out,
     );
     join.on_left(
-        Element::new(
-            1,
-            TimeInterval::new(Timestamp::new(61), Timestamp::new(70)),
-        ),
+        Element::new(1, TimeInterval::new(Timestamp::new(61), Timestamp::new(70))),
         &mut out,
     );
     let results = out.iter().filter(|m| m.is_element()).count();
@@ -172,7 +166,12 @@ fn cql_type_errors_drop_rows_instead_of_crashing() {
     // (not truthy): all rows filtered, no panic.
     let mut cat = Catalog::new();
     let data: Vec<Element<Tuple>> = (0..5)
-        .map(|i| Element::at(vec![Value::str("x"), Value::Int(i)], Timestamp::new(i as u64)))
+        .map(|i| {
+            Element::at(
+                vec![Value::str("x"), Value::Int(i)],
+                Timestamp::new(i as u64),
+            )
+        })
         .collect();
     cat.add_stream(
         "s",

@@ -63,11 +63,7 @@ fn migrate_then_retire_frees_exclusive_nodes_only() {
 
     // Unsubscribe the old sink and retire the old plan.
     graph.remove_node(old_sink);
-    let live_before = graph
-        .infos()
-        .iter()
-        .filter(|i| !i.removed)
-        .count();
+    let live_before = graph.infos().iter().filter(|i| !i.removed).count();
     let removed = optimizer.retire(&r_old.chosen, &graph);
     let live_after = graph.infos().iter().filter(|i| !i.removed).count();
 
