@@ -1,9 +1,9 @@
 //! Queued edges between nodes.
 
-use parking_lot::Mutex;
+use pipes_sync::atomic::{AtomicUsize, Ordering};
+use pipes_sync::Mutex;
 use pipes_time::Message;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Identifies an edge (subscription) within one graph.
 pub type EdgeId = u64;
@@ -54,6 +54,9 @@ impl<T> Edge<T> {
         //   B: len.store(2)                 A: len.store(1)
         // leaving `len` stuck below the true queue length (and symmetrically
         // above it when racing a pop) until the next mutation repaired it.
+        // ordering: Relaxed — the queue mutex is the synchronization; the
+        // cached len/high_water are monotonicity-free scheduling hints and
+        // no other data is published through them.
         self.len.store(len, Ordering::Relaxed);
         self.high_water.fetch_max(len, Ordering::Relaxed);
     }
@@ -70,6 +73,8 @@ impl<T> Edge<T> {
             q.push_back((seq_base + i as u64, msg));
         }
         let len = q.len();
+        // ordering: Relaxed — stored inside the critical section; the queue
+        // mutex synchronizes, the cached values are scheduling hints.
         self.len.store(len, Ordering::Relaxed);
         self.high_water.fetch_max(len, Ordering::Relaxed);
     }
@@ -78,6 +83,7 @@ impl<T> Edge<T> {
     pub fn pop(&self) -> Option<(u64, Message<T>)> {
         let mut q = self.queue.lock();
         let item = q.pop_front();
+        // ordering: Relaxed — stored inside the critical section; see push().
         self.len.store(q.len(), Ordering::Relaxed);
         item
     }
@@ -116,6 +122,7 @@ impl<T> Edge<T> {
                 _ => break,
             }
         }
+        // ordering: Relaxed — stored inside the critical section; see push().
         self.len.store(q.len(), Ordering::Relaxed);
         n
     }
@@ -127,6 +134,8 @@ impl<T> Edge<T> {
 
     /// Current queue length (racy but monotonic enough for scheduling).
     pub fn len(&self) -> usize {
+        // ordering: Relaxed — advisory read for scheduling; callers that
+        // need the exact length take the queue lock instead.
         self.len.load(Ordering::Relaxed)
     }
 
@@ -137,6 +146,7 @@ impl<T> Edge<T> {
 
     /// The largest queue length ever observed.
     pub fn high_water(&self) -> usize {
+        // ordering: Relaxed — advisory statistic.
         self.high_water.load(Ordering::Relaxed)
     }
 }
@@ -154,6 +164,7 @@ impl<T: Clone> Edge<T> {
             q.push_back((seq_base + i as u64, msg.clone()));
         }
         let len = q.len();
+        // ordering: Relaxed — stored inside the critical section; see push().
         self.len.store(len, Ordering::Relaxed);
         self.high_water.fetch_max(len, Ordering::Relaxed);
     }
@@ -188,12 +199,12 @@ mod tests {
 
     #[test]
     fn concurrent_producers() {
-        use std::sync::Arc;
+        use pipes_sync::Arc;
         let e: Arc<Edge<u64>> = Arc::new(Edge::new(0));
         let handles: Vec<_> = (0..4u64)
             .map(|tid| {
                 let e = Arc::clone(&e);
-                std::thread::spawn(move || {
+                pipes_sync::thread::spawn(move || {
                     for i in 0..500 {
                         e.push(tid * 1000 + i, Message::Heartbeat(Timestamp::new(i)));
                     }
@@ -219,13 +230,13 @@ mod tests {
     /// length always reflects the most recent mutation once all threads join.
     #[test]
     fn len_consistent_after_concurrent_push_and_pop() {
-        use std::sync::Arc;
+        use pipes_sync::Arc;
         for _ in 0..50 {
             let e: Arc<Edge<u64>> = Arc::new(Edge::new(0));
             let pushers: Vec<_> = (0..2u64)
                 .map(|tid| {
                     let e = Arc::clone(&e);
-                    std::thread::spawn(move || {
+                    pipes_sync::thread::spawn(move || {
                         for i in 0..200 {
                             e.push(tid * 1000 + i, Message::Heartbeat(Timestamp::new(i)));
                         }
@@ -234,13 +245,13 @@ mod tests {
                 .collect();
             let popper = {
                 let e = Arc::clone(&e);
-                std::thread::spawn(move || {
+                pipes_sync::thread::spawn(move || {
                     let mut got = 0;
                     while got < 100 {
                         if e.pop().is_some() {
                             got += 1;
                         } else {
-                            std::hint::spin_loop();
+                            pipes_sync::hint::spin_loop();
                         }
                     }
                 })

@@ -4,10 +4,9 @@ use crate::edge::{Edge, EdgeId};
 use crate::node::{BinNode, OpNode, Runnable, SinkNode, SourceNode, StepReport};
 use crate::operator::{BinaryOperator, NodeId, Operator, SinkOp, SourceOp};
 use crate::outputs::{OutputPort, Outputs};
-use parking_lot::{Mutex, RwLock};
 use pipes_meta::NodeStats;
-use std::sync::atomic::AtomicU64;
-use std::sync::Arc;
+use pipes_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use pipes_sync::{Arc, Mutex, RwLock};
 
 /// The role a node plays in the graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,7 +60,7 @@ struct NodeCell {
     out_port: Option<Arc<dyn OutputPort>>,
     /// (upstream node, edge id) for every input subscription.
     incoming: Mutex<Vec<(NodeId, EdgeId)>>,
-    removed: std::sync::atomic::AtomicBool,
+    removed: AtomicBool,
 }
 
 /// Static description of a node, for topology-aware strategies and plan
@@ -120,9 +119,9 @@ impl QueryGraph {
     }
 
     fn new_edge<T>(&self) -> Arc<Edge<T>> {
-        let id = self
-            .next_edge
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // ordering: Relaxed — unique-id allocation, nothing else is
+        // published through this counter.
+        let id = self.next_edge.fetch_add(1, Ordering::Relaxed);
         Arc::new(Edge::new(id))
     }
 
@@ -140,7 +139,7 @@ impl QueryGraph {
             stats: Arc::new(NodeStats::new(name)),
             out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
             incoming: Mutex::new(Vec::new()),
-            removed: std::sync::atomic::AtomicBool::new(false),
+            removed: AtomicBool::new(false),
         });
         StreamHandle { node: id, outputs }
     }
@@ -189,7 +188,7 @@ impl QueryGraph {
             stats: Arc::new(NodeStats::new(name)),
             out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
             incoming: Mutex::new(incoming),
-            removed: std::sync::atomic::AtomicBool::new(false),
+            removed: AtomicBool::new(false),
         });
         self.refresh_subscriber_counts(inputs.iter().map(|i| i.node));
         StreamHandle { node: id, outputs }
@@ -222,7 +221,7 @@ impl QueryGraph {
             stats: Arc::new(NodeStats::new(name)),
             out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
             incoming: Mutex::new(incoming),
-            removed: std::sync::atomic::AtomicBool::new(false),
+            removed: AtomicBool::new(false),
         });
         self.refresh_subscriber_counts([left.node, right.node]);
         StreamHandle { node: id, outputs }
@@ -263,7 +262,7 @@ impl QueryGraph {
             stats: Arc::new(NodeStats::new(name)),
             out_port: None,
             incoming: Mutex::new(incoming),
-            removed: std::sync::atomic::AtomicBool::new(false),
+            removed: AtomicBool::new(false),
         });
         self.refresh_subscriber_counts(inputs.iter().map(|i| i.node));
         id
@@ -291,15 +290,16 @@ impl QueryGraph {
                 up_cell.stats.set_subscribers(port.subscriber_count());
             }
         }
-        cell.removed
-            .store(true, std::sync::atomic::Ordering::Relaxed);
+        // ordering: Relaxed — the flag is a scheduling filter; executors
+        // tolerate stepping a node once more after removal (the runnable
+        // lock serializes actual access), so no release fence is needed.
+        cell.removed.store(true, Ordering::Relaxed);
     }
 
     /// Whether `node` has been removed.
     pub fn is_removed(&self, node: NodeId) -> bool {
-        self.cell(node)
-            .removed
-            .load(std::sync::atomic::Ordering::Relaxed)
+        // ordering: Relaxed — advisory read; see remove_node().
+        self.cell(node).removed.load(Ordering::Relaxed)
     }
 
     /// Number of consumers currently subscribed to `node`'s output
@@ -330,7 +330,8 @@ impl QueryGraph {
             name: cell.name.clone(),
             kind: cell.kind,
             upstream,
-            removed: cell.removed.load(std::sync::atomic::Ordering::Relaxed),
+            // ordering: Relaxed — advisory snapshot; see remove_node().
+            removed: cell.removed.load(Ordering::Relaxed),
         }
     }
 
@@ -349,7 +350,8 @@ impl QueryGraph {
     /// updating its statistics.
     pub fn step_node(&self, id: NodeId, budget: usize) -> StepReport {
         let cell = self.cell(id);
-        if cell.removed.load(std::sync::atomic::Ordering::Relaxed) {
+        // ordering: Relaxed — scheduling filter; see remove_node().
+        if cell.removed.load(Ordering::Relaxed) {
             return StepReport::default();
         }
         let mut runnable = cell.runnable.lock();
@@ -389,8 +391,8 @@ impl QueryGraph {
     /// Whether `node` has finished (closed or removed).
     pub fn is_finished(&self, id: NodeId) -> bool {
         let cell = self.cell(id);
-        cell.removed.load(std::sync::atomic::Ordering::Relaxed)
-            || cell.runnable.lock().is_finished()
+        // ordering: Relaxed — scheduling filter; see remove_node().
+        cell.removed.load(Ordering::Relaxed) || cell.runnable.lock().is_finished()
     }
 
     /// Whether every node has finished.

@@ -6,9 +6,8 @@
 //! closure adapters for wrapping application callbacks.
 
 use crate::operator::{Collector, SinkOp, SourceOp, SourceStatus};
-use parking_lot::Mutex;
+use pipes_sync::{Arc, Mutex};
 use pipes_time::{Element, Message, Timestamp};
-use std::sync::Arc;
 
 /// A source replaying a materialized, start-ordered vector of elements.
 ///

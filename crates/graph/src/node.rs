@@ -11,8 +11,8 @@
 use crate::edge::Edge;
 use crate::operator::{BinaryOperator, Operator, SinkOp, SourceOp, SourceStatus};
 use crate::outputs::{Outputs, PublishCollector, DEFAULT_FLUSH_CAP};
+use pipes_sync::Arc;
 use pipes_time::Message;
-use std::sync::Arc;
 
 /// What one scheduling quantum accomplished.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

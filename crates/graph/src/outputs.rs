@@ -2,10 +2,9 @@
 
 use crate::edge::{Edge, EdgeId};
 use crate::operator::Collector;
-use parking_lot::RwLock;
+use pipes_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use pipes_sync::{Arc, RwLock};
 use pipes_time::{Element, Message, Timestamp};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
 
 /// Default cap on how many messages a [`PublishCollector`] buffers before
 /// flushing mid-quantum, bounding scratch memory for high-fan-out operators.
@@ -44,13 +43,20 @@ impl<T: Clone> Outputs<T> {
 
     /// Attaches a subscriber edge.
     pub fn subscribe(&self, edge: Arc<Edge<T>>) {
+        // ordering: Relaxed — priming reads are best-effort snapshots; a
+        // concurrent publisher delivers anything newer through the edge
+        // itself once the subscription below is visible.
         let wm = self.last_heartbeat.load(Ordering::Relaxed);
         if wm > 0 {
             edge.push(
+                // ordering: Relaxed — seq only needs atomicity: each
+                // fetch_add yields a unique arrival number; ordering across
+                // edges is established by the per-edge queue locks.
                 self.seq.fetch_add(1, Ordering::Relaxed),
                 Message::Heartbeat(Timestamp::new(wm)),
             );
         }
+        // ordering: Relaxed — see priming comment above.
         if self.closed.load(Ordering::Relaxed) {
             edge.push(self.seq.fetch_add(1, Ordering::Relaxed), Message::Close);
         }
@@ -73,6 +79,7 @@ impl<T: Clone> Outputs<T> {
 
     /// Publishes a data element to every subscriber.
     pub fn publish_element(&self, e: Element<T>) {
+        // ordering: Relaxed — unique-id allocation; see subscribe().
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         let subs = self.subs.read();
         match subs.split_last() {
@@ -88,10 +95,14 @@ impl<T: Clone> Outputs<T> {
 
     /// Publishes a heartbeat, suppressing non-monotonic duplicates.
     pub fn publish_heartbeat(&self, t: Timestamp) {
+        // ordering: Relaxed — the fetch_max itself is the whole protocol:
+        // exactly one publisher observes prev < t and forwards t, so a
+        // given timestamp is delivered at most once regardless of order.
         let prev = self.last_heartbeat.fetch_max(t.ticks(), Ordering::Relaxed);
         if t.ticks() <= prev {
             return; // stale or duplicate punctuation: suppress
         }
+        // ordering: Relaxed — unique-id allocation; see subscribe().
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         for edge in self.subs.read().iter() {
             edge.push(seq, Message::Heartbeat(t));
@@ -109,6 +120,8 @@ impl<T: Clone> Outputs<T> {
     pub fn publish_batch(&self, batch: &mut Vec<Message<T>>) {
         batch.retain(|m| match m {
             Message::Heartbeat(t) => {
+                // ordering: Relaxed — same single-winner fetch_max dedup
+                // protocol as publish_heartbeat().
                 let prev = self.last_heartbeat.fetch_max(t.ticks(), Ordering::Relaxed);
                 t.ticks() > prev
             }
@@ -118,6 +131,8 @@ impl<T: Clone> Outputs<T> {
         if k == 0 {
             return;
         }
+        // ordering: Relaxed — one fetch_add(k) claims the whole contiguous
+        // block; uniqueness is all that is required (see subscribe()).
         let seq_base = self.seq.fetch_add(k as u64, Ordering::Relaxed);
         let subs = self.subs.read();
         match subs.split_last() {
@@ -133,9 +148,12 @@ impl<T: Clone> Outputs<T> {
 
     /// Publishes end-of-stream (idempotent).
     pub fn publish_close(&self) {
+        // ordering: Relaxed — the swap makes exactly one caller the
+        // closer; subscribers observe the close via the edge queues.
         if self.closed.swap(true, Ordering::Relaxed) {
             return;
         }
+        // ordering: Relaxed — unique-id allocation; see subscribe().
         let seq = self.seq.fetch_add(1, Ordering::Relaxed);
         for edge in self.subs.read().iter() {
             edge.push(seq, Message::Close);
@@ -144,6 +162,8 @@ impl<T: Clone> Outputs<T> {
 
     /// Whether `Close` has been published.
     pub fn is_closed(&self) -> bool {
+        // ordering: Relaxed — advisory read; the authoritative close is
+        // the Close message in each edge queue.
         self.closed.load(Ordering::Relaxed)
     }
 }
@@ -299,6 +319,7 @@ mod tests {
         out.publish_batch(&mut batch);
         assert!(batch.is_empty(), "batch buffer must drain");
         // 3 survivors stamped with the contiguous block 1..=3.
+        // ordering: Relaxed — single-threaded test readback.
         assert_eq!(seq.load(Ordering::Relaxed), 4);
         for edge in [&e1, &e2] {
             assert_eq!(edge.len(), 4); // priming heartbeat + 3 batch messages

@@ -9,12 +9,11 @@
 //! *exact same message sequence* — elements, heartbeats, and `Close`, in the
 //! same cross-port order.
 
-use parking_lot::Mutex;
 use pipes_graph::io::VecSource;
 use pipes_graph::{BinaryOperator, Collector, NodeId, Operator, QueryGraph, SinkOp};
+use pipes_sync::{Arc, Mutex};
 use pipes_time::{Element, Message, Timestamp};
 use proptest::prelude::*;
-use std::sync::Arc;
 
 /// Every message a sink saw, with the port it arrived on.
 type Recorded = Arc<Mutex<Vec<(usize, Message<i64>)>>>;

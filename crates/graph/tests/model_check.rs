@@ -1,0 +1,264 @@
+//! Model-checked concurrency tests for the graph kernel's data path.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg pipes_model_check"` (see
+//! `scripts/ci.sh`), where `pipes_sync` resolves to the in-tree `loom`
+//! shim: every lock and atomic operation becomes a deterministic
+//! scheduling point and [`pipes_sync::model`] exhaustively explores
+//! thread interleavings up to a preemption bound, reporting failing
+//! schedules with a `PIPES_MC_REPLAY` recipe.
+//!
+//! These cover the PR-1 batched-data-path invariants deterministically;
+//! `tests/concurrency.rs` at the workspace root keeps the wall-clock
+//! stress form of the same scenarios.
+
+#![cfg(pipes_model_check)]
+
+use pipes_graph::{Collector, Edge, Outputs, PublishCollector};
+use pipes_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use pipes_sync::{Arc, Mutex};
+use pipes_time::{Element, Message, Timestamp};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+fn hb(t: u64) -> Message<i32> {
+    Message::Heartbeat(Timestamp::new(t))
+}
+
+fn el(p: i32, t: u64) -> Message<i32> {
+    Message::Element(Element::at(p, Timestamp::new(t)))
+}
+
+/// PR-1 invariant: the cached length is stored *inside* the queue's
+/// critical section, so once all threads join it exactly matches the queue
+/// — no interleaving of a racing push and pop can leave it stale.
+#[test]
+fn cached_len_matches_queue_under_push_pop_race() {
+    let report = pipes_sync::model(|| {
+        let e: Arc<Edge<i32>> = Arc::new(Edge::new(0));
+        e.push(1, hb(1));
+        let pusher = {
+            let e = Arc::clone(&e);
+            pipes_sync::thread::spawn(move || e.push(2, hb(2)))
+        };
+        let popper = {
+            let e = Arc::clone(&e);
+            pipes_sync::thread::spawn(move || e.pop().is_some())
+        };
+        pusher.join().unwrap();
+        let popped = popper.join().unwrap();
+        let expected = if popped { 1 } else { 2 };
+        assert_eq!(e.len(), expected, "cached len diverged from queue");
+        let mut actual = 0;
+        while e.pop().is_some() {
+            actual += 1;
+        }
+        assert_eq!(actual, expected, "queue content diverged");
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
+/// Expect-fail companion: reintroduce the pre-PR-1 bug (cached length
+/// stored *after* the lock is released) and assert the model checker
+/// catches the interleaving where two critical sections publish their
+/// lengths in the opposite order, leaving the cache under-reporting.
+#[test]
+fn model_checker_catches_stale_length_bug() {
+    /// An [`Edge`]-shaped queue with the stale-length bug seeded back in.
+    struct BuggyEdge {
+        queue: Mutex<VecDeque<u64>>,
+        len: AtomicUsize,
+    }
+
+    impl BuggyEdge {
+        fn push(&self, v: u64) {
+            let len = {
+                let mut q = self.queue.lock();
+                q.push_back(v);
+                q.len()
+            };
+            // BUG (deliberate): the guard dropped above, so a concurrent
+            // mutation can slip between the critical section and this
+            // store, publishing lengths out of order.
+            // ordering: Relaxed — irrelevant here; the bug is the store's
+            // position, not its memory order.
+            self.len.store(len, Ordering::Relaxed);
+        }
+    }
+
+    let err = catch_unwind(AssertUnwindSafe(|| {
+        pipes_sync::model(|| {
+            let e = Arc::new(BuggyEdge {
+                queue: Mutex::new(VecDeque::new()),
+                len: AtomicUsize::new(0),
+            });
+            let t = {
+                let e = Arc::clone(&e);
+                pipes_sync::thread::spawn(move || e.push(1))
+            };
+            e.push(2);
+            t.join().unwrap();
+            // ordering: Relaxed — single-threaded readback after join.
+            let cached = e.len.load(Ordering::Relaxed);
+            assert_eq!(cached, 2, "cached len under-reports the queue");
+        })
+    }))
+    .expect_err("the stale-length bug must be caught");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .expect("failure report is a string panic");
+    assert!(msg.contains("under-reports"), "unexpected report: {msg}");
+    assert!(
+        msg.contains("PIPES_MC_REPLAY"),
+        "report lacks replay recipe"
+    );
+}
+
+/// Batch transfers race a consumer: no message is lost or reordered, and
+/// a run never interleaves foreign messages into a batch's seq block.
+#[test]
+fn push_batch_vs_pop_run_preserves_order_and_count() {
+    let report = pipes_sync::model(|| {
+        let e: Arc<Edge<i32>> = Arc::new(Edge::new(0));
+        let producer = {
+            let e = Arc::clone(&e);
+            pipes_sync::thread::spawn(move || {
+                let mut batch = vec![hb(1), hb(2)];
+                e.push_batch(10, &mut batch);
+            })
+        };
+        let mut got = Vec::new();
+        e.pop_run(2, u64::MAX, &mut got);
+        producer.join().unwrap();
+        while e.pop_run(2, u64::MAX, &mut got) > 0 {}
+        let seqs: Vec<u64> = got.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, [10, 11], "batch must arrive whole and in order");
+        assert_eq!(e.len(), 0);
+    });
+    assert!(report.complete);
+}
+
+/// PR-1 invariant: every flush claims one contiguous sequence block, so
+/// two racing batch flushes into the same subscriber produce disjoint
+/// contiguous blocks (in either order), never interleaved stamps.
+#[test]
+fn racing_batch_flushes_get_disjoint_contiguous_seq_blocks() {
+    let report = pipes_sync::model(|| {
+        let out: Arc<Outputs<i32>> = Arc::new(Outputs::new(Arc::new(AtomicU64::new(0))));
+        let e = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&e));
+        let flusher = {
+            let out = Arc::clone(&out);
+            pipes_sync::thread::spawn(move || {
+                let mut buf = vec![el(10, 1), el(11, 2)];
+                out.publish_batch(&mut buf);
+            })
+        };
+        let mut buf = vec![el(20, 1), el(21, 2)];
+        out.publish_batch(&mut buf);
+        flusher.join().unwrap();
+
+        let mut by_payload = std::collections::HashMap::new();
+        while let Some((seq, Message::Element(e))) = e.pop() {
+            by_payload.insert(e.payload, seq);
+        }
+        assert_eq!(by_payload.len(), 4, "a flush lost messages");
+        for pair in [(10, 11), (20, 21)] {
+            assert_eq!(
+                by_payload[&pair.0] + 1,
+                by_payload[&pair.1],
+                "flush {pair:?} was not stamped from one contiguous block"
+            );
+        }
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
+/// The heartbeat fetch_max dedup: when two publishers race the same
+/// timestamp, exactly one wins and subscribers see it exactly once.
+#[test]
+fn racing_heartbeats_deliver_exactly_once() {
+    let report = pipes_sync::model(|| {
+        let out: Arc<Outputs<i32>> = Arc::new(Outputs::new(Arc::new(AtomicU64::new(0))));
+        let e = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&e));
+        let racer = {
+            let out = Arc::clone(&out);
+            pipes_sync::thread::spawn(move || out.publish_heartbeat(Timestamp::new(5)))
+        };
+        out.publish_heartbeat(Timestamp::new(5));
+        racer.join().unwrap();
+        let mut beats = 0;
+        while let Some((_, m)) = e.pop() {
+            assert_eq!(m, hb(5));
+            beats += 1;
+        }
+        assert_eq!(beats, 1, "duplicate heartbeat slipped through the dedup");
+    });
+    assert!(report.complete);
+}
+
+/// The close swap: racing closers publish exactly one `Close`.
+#[test]
+fn racing_closes_deliver_exactly_one_close() {
+    let report = pipes_sync::model(|| {
+        let out: Arc<Outputs<i32>> = Arc::new(Outputs::new(Arc::new(AtomicU64::new(0))));
+        let e = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&e));
+        let racer = {
+            let out = Arc::clone(&out);
+            pipes_sync::thread::spawn(move || out.publish_close())
+        };
+        out.publish_close();
+        racer.join().unwrap();
+        assert!(out.is_closed());
+        let mut closes = 0;
+        while let Some((_, m)) = e.pop() {
+            assert_eq!(m, Message::Close);
+            closes += 1;
+        }
+        assert_eq!(closes, 1, "close must be published exactly once");
+    });
+    assert!(report.complete);
+}
+
+/// A `PublishCollector` flushing at its cap races another collector into
+/// the same output port: both quanta's messages arrive, each flush in one
+/// contiguous block.
+#[test]
+fn racing_collector_flushes_into_one_subscriber() {
+    let report = pipes_sync::model(|| {
+        let out: Arc<Outputs<i32>> = Arc::new(Outputs::new(Arc::new(AtomicU64::new(0))));
+        let e = Arc::new(Edge::new(1));
+        out.subscribe(Arc::clone(&e));
+        let other = {
+            let out = Arc::clone(&out);
+            pipes_sync::thread::spawn(move || {
+                let mut scratch = Vec::new();
+                let mut c = PublishCollector::new(&out, &mut scratch).with_flush_cap(2);
+                c.element(Element::at(10, Timestamp::new(1)));
+                c.element(Element::at(11, Timestamp::new(2))); // cap: flushes
+                c.finish()
+            })
+        };
+        let mut scratch = Vec::new();
+        let mut c = PublishCollector::new(&out, &mut scratch);
+        c.element(Element::at(20, Timestamp::new(1)));
+        let mine = c.finish();
+        drop(c);
+        assert_eq!(other.join().unwrap(), 2);
+        assert_eq!(mine, 1);
+        let mut payloads: Vec<i32> = Vec::new();
+        let mut seqs = std::collections::HashMap::new();
+        while let Some((seq, Message::Element(e))) = e.pop() {
+            payloads.push(e.payload);
+            seqs.insert(e.payload, seq);
+        }
+        payloads.sort_unstable();
+        assert_eq!(payloads, [10, 11, 20], "a flush lost messages");
+        assert_eq!(seqs[&10] + 1, seqs[&11], "capped flush split its block");
+    });
+    assert!(report.complete);
+}

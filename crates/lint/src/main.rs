@@ -1,0 +1,600 @@
+//! `pipes-lint`: the token-level static-analysis gate for the kernel's
+//! concurrency discipline. No external dependencies; `scripts/ci.sh` runs
+//! it as a hard gate.
+//!
+//! Three rules (see DESIGN.md § "Concurrency discipline"):
+//!
+//! 1. **`no-direct-sync`** — inside the concurrency-bearing kernel crates
+//!    (`crates/graph`, `crates/sched`, `crates/mem`), every lock, atomic,
+//!    and thread primitive must come from the `pipes-sync` facade; direct
+//!    `std::sync`, `std::thread`, `parking_lot`, or `loom` paths are
+//!    rejected. This is what keeps the model checker's view of the kernel
+//!    complete: an uninstrumented primitive is invisible to it.
+//! 2. **`ordering-justification`** — `Ordering::Relaxed` and
+//!    `Ordering::SeqCst` (workspace-wide) require an adjacent
+//!    `// ordering:` comment explaining why that extreme is correct.
+//!    Acquire/Release need no comment: they are the safe middle ground.
+//! 3. **`no-lock-in-unsafe`** — lock acquisitions (`.lock()`,
+//!    `.try_lock()`, `.read()`, `.write()`) inside `unsafe` blocks are
+//!    rejected; mixing blocking and `unsafe` invariants is how suspended
+//!    safety proofs deadlock. (The workspace forbids `unsafe` entirely
+//!    today; the rule keeps that front door locked.)
+//!
+//! A finding can be waived with a `pipes-lint: allow(rule-name)` comment
+//! on the offending line or the line above — intended for `crates/shims/`
+//! vendored code only (which is excluded from scanning anyway); the
+//! workspace itself is expected to carry **zero** waivers.
+//!
+//! The scanner is line-oriented but comment- and string-aware: comments,
+//! string/char literals, and raw strings are masked out before token
+//! matching, so `"std::sync"` in a string or a doc comment never trips
+//! rule 1.
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// Crates whose sources must go through the `pipes-sync` facade (rule 1).
+const KERNEL_CRATES: &[&str] = &["crates/graph", "crates/sched", "crates/mem"];
+
+/// Directories never scanned: vendored shims (foreign idiom), build
+/// output, VCS metadata.
+const SKIP_DIRS: &[&str] = &["crates/shims", "target", ".git"];
+
+/// Paths rule 1 deliberately tolerates even inside kernel crates: the
+/// facade itself re-exports from these.
+const FORBIDDEN_SYNC_PATHS: &[&str] = &["std::sync", "std::thread", "parking_lot", "loom::"];
+
+#[derive(Debug)]
+struct Violation {
+    path: PathBuf,
+    line: usize, // 1-based
+    rule: &'static str,
+    msg: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// One source line, split into masked code and extracted comment text.
+struct Line {
+    /// Code with comments, strings, and char literals blanked out.
+    code: String,
+    /// Concatenated text of every comment piece on the line.
+    comment: String,
+}
+
+/// Splits a source file into per-line (masked code, comment text) pairs.
+///
+/// Handles line and (nested) block comments, string literals with escapes,
+/// raw strings with arbitrary `#` fencing, byte strings, char literals,
+/// and distinguishes lifetimes (`'a`) from char literals.
+fn split_lines(src: &str) -> Vec<Line> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut st = St::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        st = St::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        st = St::BlockComment(1);
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        st = St::Str;
+                        code.push(' ');
+                    }
+                    'r' | 'b'
+                        if matches!(next, Some('"') | Some('#') | Some('r'))
+                            && is_raw_or_byte_string(&chars, i) =>
+                    {
+                        let (state, consumed) = enter_string(&chars, i);
+                        st = match state {
+                            StState::Str => St::Str,
+                            StState::RawStr(h) => St::RawStr(h),
+                        };
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                        continue;
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                        let is_lifetime = matches!(next, Some(n) if n.is_alphanumeric() || n == '_')
+                            && chars.get(i + 2).copied() != Some('\'');
+                        if is_lifetime {
+                            code.push(c);
+                        } else {
+                            st = St::Char;
+                            code.push(' ');
+                        }
+                    }
+                    _ => code.push(c),
+                }
+            }
+            St::LineComment => comment.push(c),
+            St::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+            }
+            St::Str => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    st = St::Code;
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    st = St::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment });
+    }
+    lines
+}
+
+/// Whether the `r`/`b` at `chars[i]` starts a raw or byte string literal
+/// (as opposed to an identifier like `ready`).
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false; // part of a longer identifier
+        }
+    }
+    let mut j = i;
+    // Accept the prefixes r" r#" br" b" rb is not valid Rust; keep simple.
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+/// Consumes a string prefix starting at `chars[i]` (`r#"`, `b"`, ...),
+/// returning the scanner state and the number of chars consumed up to and
+/// including the opening quote.
+fn enter_string(chars: &[char], i: usize) -> (StState, usize) {
+    let mut j = i;
+    let mut raw = false;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+        raw |= chars[j] == 'r';
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j).copied(), Some('"'));
+    let consumed = j + 1 - i;
+    if raw {
+        (StState::RawStr(hashes), consumed)
+    } else {
+        (StState::Str, consumed)
+    }
+}
+
+/// Mirror of the scanner state for `enter_string` (avoids exposing the
+/// private enum from inside `split_lines`).
+#[derive(Clone, Copy, PartialEq)]
+enum StState {
+    Str,
+    RawStr(u32),
+}
+
+/// Whether the `"` at `chars[i]` is followed by `hashes` `#`s, closing a
+/// raw string with that fencing.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// Whether line `idx` (or the line above) carries a waiver for `rule`.
+fn waived(lines: &[Line], idx: usize, rule: &str) -> bool {
+    let tag = format!("pipes-lint: allow({rule})");
+    lines[idx].comment.contains(&tag) || (idx > 0 && lines[idx - 1].comment.contains(&tag))
+}
+
+/// Rule 1: kernel crates use the `pipes-sync` facade only.
+fn check_direct_sync(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        for pat in FORBIDDEN_SYNC_PATHS {
+            if line.code.contains(pat) && !waived(lines, idx, "no-direct-sync") {
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "no-direct-sync",
+                    msg: format!(
+                        "`{pat}` in a kernel crate: import locks/atomics/threads \
+                         from `pipes_sync` so the model checker can see them"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 2: extreme memory orderings carry an adjacent justification.
+///
+/// A line with `Ordering::Relaxed`/`Ordering::SeqCst` is justified when a
+/// comment containing `ordering:` sits on the same line, or in the
+/// comment block directly above — where "directly above" skips over other
+/// lines of the same contiguous `Ordering::` run, so one comment may
+/// cover a cluster like a `store` + `fetch_max` pair.
+fn check_ordering_justification(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    let has_extreme =
+        |l: &Line| l.code.contains("Ordering::Relaxed") || l.code.contains("Ordering::SeqCst");
+    for (idx, line) in lines.iter().enumerate() {
+        if !has_extreme(line) {
+            continue;
+        }
+        if line.comment.contains("ordering:") {
+            continue;
+        }
+        // Walk upward: skip lines in the same Ordering:: run, then accept
+        // a contiguous comment block if any line of it says "ordering:".
+        let mut j = idx;
+        let mut justified = false;
+        while j > 0 && has_extreme(&lines[j - 1]) {
+            j -= 1;
+            if lines[j].comment.contains("ordering:") {
+                justified = true;
+                break;
+            }
+        }
+        while !justified && j > 0 {
+            let above = &lines[j - 1];
+            let is_comment_only = above.code.trim().is_empty() && !above.comment.is_empty();
+            if !is_comment_only {
+                break;
+            }
+            if above.comment.contains("ordering:") {
+                justified = true;
+            }
+            j -= 1;
+        }
+        if !justified && !waived(lines, idx, "ordering-justification") {
+            out.push(Violation {
+                path: path.to_path_buf(),
+                line: idx + 1,
+                rule: "ordering-justification",
+                msg: "Relaxed/SeqCst without an adjacent `// ordering:` comment \
+                      justifying the choice"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Rule 3: no lock acquisitions inside `unsafe` blocks.
+fn check_lock_in_unsafe(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    // Flatten to (line, char) so brace tracking can span lines.
+    let mut depth_inside: i32 = -1; // brace depth of the unsafe block, -1 = not inside
+    let mut depth: i32 = 0;
+    let mut pending_unsafe = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let mut k = 0;
+        let bytes: Vec<char> = code.chars().collect();
+        while k < bytes.len() {
+            let rest: String = bytes[k..].iter().collect();
+            if depth_inside < 0 && rest.starts_with("unsafe") {
+                let before_ok = k == 0 || !(bytes[k - 1].is_alphanumeric() || bytes[k - 1] == '_');
+                let after = bytes.get(k + 6).copied();
+                let after_ok = !matches!(after, Some(a) if a.is_alphanumeric() || a == '_');
+                if before_ok && after_ok {
+                    pending_unsafe = true;
+                }
+                k += 6;
+                continue;
+            }
+            match bytes[k] {
+                '{' => {
+                    depth += 1;
+                    if pending_unsafe && depth_inside < 0 {
+                        depth_inside = depth;
+                        pending_unsafe = false;
+                    }
+                }
+                '}' => {
+                    if depth_inside >= 0 && depth == depth_inside {
+                        depth_inside = -1;
+                    }
+                    depth -= 1;
+                }
+                '(' if depth_inside >= 0 => {
+                    for m in [".lock", ".try_lock", ".read", ".write"] {
+                        if k >= m.len() {
+                            let prefix: String = bytes[k - m.len()..k].iter().collect();
+                            if prefix == m && !waived(lines, idx, "no-lock-in-unsafe") {
+                                out.push(Violation {
+                                    path: path.to_path_buf(),
+                                    line: idx + 1,
+                                    rule: "no-lock-in-unsafe",
+                                    msg: format!(
+                                        "`{m}()` inside an `unsafe` block: blocking while a \
+                                         safety proof is suspended invites deadlock; take the \
+                                         lock outside the block"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Runs every applicable rule over one file's source.
+fn check_source(rel_path: &Path, src: &str) -> Vec<Violation> {
+    let lines = split_lines(src);
+    let mut out = Vec::new();
+    let in_kernel = KERNEL_CRATES.iter().any(|k| rel_path.starts_with(k));
+    if in_kernel {
+        check_direct_sync(rel_path, &lines, &mut out);
+    }
+    check_ordering_justification(rel_path, &lines, &mut out);
+    check_lock_in_unsafe(rel_path, &lines, &mut out);
+    out
+}
+
+/// Recursively collects `.rs` files under `root`, skipping `SKIP_DIRS`.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let rel = path.strip_prefix(root).unwrap_or(&path);
+        if SKIP_DIRS.iter().any(|s| rel.starts_with(s))
+            || rel
+                .file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with('.'))
+        {
+            continue;
+        }
+        if path.is_dir() {
+            collect_rs_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Locates the workspace root: an explicit argument, or the nearest
+/// ancestor of the current directory containing a `[workspace]` manifest.
+fn workspace_root() -> PathBuf {
+    if let Some(arg) = std::env::args().nth(1) {
+        return PathBuf::from(arg);
+    }
+    let mut dir = std::env::current_dir().expect("cwd");
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(s) = std::fs::read_to_string(&manifest) {
+                if s.contains("[workspace]") {
+                    return dir;
+                }
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    if let Err(e) = collect_rs_files(&root, &root, &mut files) {
+        eprintln!("pipes-lint: cannot walk {}: {e}", root.display());
+        return ExitCode::FAILURE;
+    }
+    files.sort();
+    let mut violations = Vec::new();
+    for file in &files {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("pipes-lint: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        violations.extend(check_source(rel, &src));
+    }
+    for v in &violations {
+        eprintln!("{v}");
+    }
+    if violations.is_empty() {
+        println!(
+            "pipes-lint: OK — {} files, 3 rules, 0 findings",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "pipes-lint: {} finding(s) in {} files scanned",
+            violations.len(),
+            files.len()
+        );
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(path: &str, src: &str) -> Vec<String> {
+        check_source(Path::new(path), src)
+            .into_iter()
+            .map(|v| format!("{}:{}", v.rule, v.line))
+            .collect()
+    }
+
+    #[test]
+    fn masks_comments_strings_and_chars() {
+        let lines = split_lines(
+            "let s = \"std::sync\"; // std::thread here\nlet c = 'x'; /* parking_lot */ let l = 'a: loop {};",
+        );
+        assert!(!lines[0].code.contains("std::sync"));
+        assert!(lines[0].comment.contains("std::thread"));
+        assert!(!lines[1].code.contains("parking_lot"));
+        assert!(lines[1].comment.contains("parking_lot"));
+        assert!(lines[1].code.contains("'a: loop"), "lifetime survives");
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let lines = split_lines("let s = r#\"std::sync \" still\"#; std::thread::x();");
+        assert!(!lines[0].code.contains("std::sync"));
+        assert!(lines[0].code.contains("std::thread"));
+    }
+
+    #[test]
+    fn direct_sync_flagged_only_in_kernel_crates() {
+        let src = "use std::sync::Arc;\n";
+        assert_eq!(
+            check("crates/graph/src/edge.rs", src),
+            vec!["no-direct-sync:1"]
+        );
+        assert!(check("crates/meta/src/stats.rs", src).is_empty());
+        assert!(check("crates/sync/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn string_mention_of_std_sync_is_not_flagged() {
+        let src = "let m = \"std::sync is banned\"; // std::thread too\n";
+        assert!(check("crates/graph/src/edge.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unjustified_relaxed_is_flagged() {
+        let src = "x.store(1, Ordering::Relaxed);\n";
+        assert_eq!(
+            check("crates/meta/src/stats.rs", src),
+            vec!["ordering-justification:1"]
+        );
+    }
+
+    #[test]
+    fn same_line_and_above_comment_justify() {
+        let same = "x.store(1, Ordering::Relaxed); // ordering: mutex holds\n";
+        assert!(check("a.rs", same).is_empty());
+        let above = "// ordering: the queue mutex synchronizes; hints only.\n\
+                     x.store(1, Ordering::Relaxed);\n\
+                     y.fetch_max(2, Ordering::Relaxed);\n";
+        assert!(check("a.rs", above).is_empty(), "comment covers the run");
+    }
+
+    #[test]
+    fn acquire_release_need_no_comment() {
+        let src = "x.store(1, Ordering::Release);\nlet v = x.load(Ordering::Acquire);\n";
+        assert!(check("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unrelated_code_between_comment_and_ordering_breaks_adjacency() {
+        let src = "// ordering: stale justification\nlet y = 3;\nx.store(1, Ordering::SeqCst);\n";
+        assert_eq!(check("a.rs", src), vec!["ordering-justification:3"]);
+    }
+
+    #[test]
+    fn cmp_ordering_is_not_confused_with_atomics() {
+        let src = "if a.cmp(b) == Ordering::Equal { return Ordering::Less; }\n";
+        assert!(check("a.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_inside_unsafe_block_is_flagged() {
+        let src = "unsafe {\n    let g = m.lock();\n}\nlet ok = m.lock();\n";
+        assert_eq!(check("a.rs", src), vec!["no-lock-in-unsafe:2"]);
+    }
+
+    #[test]
+    fn waiver_suppresses_a_finding() {
+        let src = "// pipes-lint: allow(no-direct-sync)\nuse std::sync::Arc;\n";
+        assert!(check("crates/graph/src/x.rs", src).is_empty());
+    }
+}

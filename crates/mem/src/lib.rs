@@ -19,6 +19,7 @@
 #![warn(missing_docs)]
 
 use pipes_graph::{NodeId, QueryGraph};
+use pipes_sync::atomic::{AtomicUsize, Ordering};
 use std::collections::HashMap;
 
 /// How the global budget is split across subscribed operators.
@@ -50,8 +51,13 @@ pub struct MemoryReport {
 }
 
 /// Globally assigns and redistributes memory across subscribed operators.
+///
+/// The total budget is atomic so a monitoring thread (e.g. one reacting to
+/// system load, per the paper's runtime-adaptivity argument) can shrink or
+/// grow it through a shared reference while another thread is mid-rebalance;
+/// the new value takes effect at the next [`MemoryManager::rebalance`].
 pub struct MemoryManager {
-    budget: usize,
+    budget: AtomicUsize,
     strategy: AssignmentStrategy,
     subscribers: Vec<NodeId>,
 }
@@ -60,7 +66,7 @@ impl MemoryManager {
     /// Creates a manager with a total budget of `budget` retained elements.
     pub fn new(budget: usize, strategy: AssignmentStrategy) -> Self {
         MemoryManager {
-            budget,
+            budget: AtomicUsize::new(budget),
             strategy,
             subscribers: Vec::new(),
         }
@@ -85,13 +91,19 @@ impl MemoryManager {
 
     /// The total budget.
     pub fn budget(&self) -> usize {
-        self.budget
+        // ordering: Relaxed — the budget is a single word with no associated
+        // payload to publish; a rebalance that races a set_budget() may
+        // enforce either the old or the new value, both of which were valid
+        // budgets at some point during the round.
+        self.budget.load(Ordering::Relaxed)
     }
 
     /// Changes the total budget at runtime (e.g. in reaction to system
-    /// load); the next [`MemoryManager::rebalance`] enforces it.
-    pub fn set_budget(&mut self, budget: usize) {
-        self.budget = budget;
+    /// load); the next [`MemoryManager::rebalance`] enforces it. Takes
+    /// `&self` so a monitor thread can adjust the budget concurrently.
+    pub fn set_budget(&self, budget: usize) {
+        // ordering: Relaxed — see budget().
+        self.budget.store(budget, Ordering::Relaxed);
     }
 
     /// Replaces the assignment strategy at runtime.
@@ -129,7 +141,7 @@ impl MemoryManager {
         self.subscribers
             .iter()
             .zip(&weights)
-            .map(|(&id, w)| (id, ((w / total) * self.budget as f64).floor() as usize))
+            .map(|(&id, w)| (id, ((w / total) * self.budget() as f64).floor() as usize))
             .collect()
     }
 
@@ -158,7 +170,7 @@ impl MemoryManager {
     /// Convenience check: total subscriber usage against the budget.
     pub fn over_budget(&self, graph: &QueryGraph) -> bool {
         let usage: usize = self.subscribers.iter().map(|&id| graph.memory(id)).sum();
-        usage > self.budget
+        usage > self.budget()
     }
 }
 

@@ -1,0 +1,29 @@
+//! Model-checked test for concurrent budget adjustment.
+//!
+//! Compiled only under `RUSTFLAGS="--cfg pipes_model_check"` (see
+//! `scripts/ci.sh`).
+
+#![cfg(pipes_model_check)]
+
+use pipes_mem::{AssignmentStrategy, MemoryManager};
+use pipes_sync::Arc;
+
+/// A monitor thread shrinking the budget races a reader: the budget is a
+/// single atomic word, so every interleaving observes one of the two
+/// written values — never a torn or stale third value.
+#[test]
+fn concurrent_budget_update_is_atomic() {
+    let report = pipes_sync::model(|| {
+        let mgr = Arc::new(MemoryManager::new(100, AssignmentStrategy::Uniform));
+        let monitor = {
+            let mgr = Arc::clone(&mgr);
+            pipes_sync::thread::spawn(move || mgr.set_budget(40))
+        };
+        let seen = mgr.budget();
+        assert!(seen == 100 || seen == 40, "torn or invented budget: {seen}");
+        monitor.join().unwrap();
+        assert_eq!(mgr.budget(), 40, "final budget must be the monitor's");
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}

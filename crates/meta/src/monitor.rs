@@ -157,10 +157,14 @@ impl Monitor {
     /// Spawns a background thread sampling every `interval`. Returns a
     /// guard; dropping it (or calling its `stop` method) stops the thread.
     pub fn spawn(&self, interval: std::time::Duration) -> MonitorGuard {
+        // ordering: SeqCst — start/stop happen at human timescales on a
+        // cold path; the strongest ordering keeps the sampling loop's
+        // lifecycle trivially correct and costs nothing that matters here.
         self.inner.running.store(true, Ordering::SeqCst);
         let inner = Arc::clone(&self.inner);
         let started = self.started;
         let handle = std::thread::spawn(move || {
+            // ordering: SeqCst — see spawn(); pairs with stop_inner().
             while inner.running.load(Ordering::SeqCst) {
                 let t = started.elapsed().as_secs_f64();
                 {
@@ -249,6 +253,8 @@ impl MonitorGuard {
     }
 
     fn stop_inner(&mut self) {
+        // ordering: SeqCst — see spawn(); the join() below is the real
+        // synchronization with the sampling thread.
         self.inner.running.store(false, Ordering::SeqCst);
         if let Some(h) = self.handle.take() {
             let _ = h.join();

@@ -38,42 +38,51 @@ impl NodeStats {
     /// Records `n` consumed elements.
     #[inline]
     pub fn record_in(&self, n: u64) {
+        // ordering: Relaxed — statistics counters carry no payload and
+        // synchronize nothing; snapshots tolerate torn cross-counter reads
+        // (see snapshot()). Applies to every counter update in this impl.
         self.in_count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` produced elements.
     #[inline]
     pub fn record_out(&self, n: u64) {
+        // ordering: Relaxed — see record_in().
         self.out_count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` processed heartbeats.
     #[inline]
     pub fn record_heartbeat(&self, n: u64) {
+        // ordering: Relaxed — see record_in().
         self.heartbeat_count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records `n` batched input-queue drains (runs moved under one lock).
     #[inline]
     pub fn record_batches(&self, n: u64) {
+        // ordering: Relaxed — see record_in().
         self.batch_count.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Publishes the current total input-queue length.
     #[inline]
     pub fn set_queue_len(&self, len: usize) {
+        // ordering: Relaxed — see record_in().
         self.queue_len.store(len, Ordering::Relaxed);
     }
 
     /// Publishes the node's current state memory (in retained elements).
     #[inline]
     pub fn set_memory(&self, elems: usize) {
+        // ordering: Relaxed — see record_in().
         self.memory.store(elems, Ordering::Relaxed);
     }
 
     /// Publishes the current number of subscribed sinks.
     #[inline]
     pub fn set_subscribers(&self, n: usize) {
+        // ordering: Relaxed — see record_in().
         self.subscribers.store(n, Ordering::Relaxed);
     }
 
@@ -86,6 +95,10 @@ impl NodeStats {
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
             name: self.name(),
+            // ordering: Relaxed — the snapshot is "consistent enough" by
+            // contract: each counter is read atomically but the set is not
+            // a cross-counter linearization point; monitoring tolerates a
+            // snapshot taken mid-update.
             in_count: self.in_count.load(Ordering::Relaxed),
             out_count: self.out_count.load(Ordering::Relaxed),
             heartbeat_count: self.heartbeat_count.load(Ordering::Relaxed),

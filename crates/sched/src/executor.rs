@@ -3,8 +3,8 @@
 
 use crate::strategy::{SchedView, Strategy};
 use pipes_graph::{NodeId, QueryGraph};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use pipes_sync::atomic::{AtomicBool, Ordering};
+use pipes_sync::{hint, thread, Arc};
 use std::time::{Duration, Instant};
 
 /// Measurements from one execution.
@@ -78,16 +78,16 @@ impl Backoff {
     fn wait(&mut self) {
         if self.rounds < Self::SPIN_ROUNDS {
             for _ in 0..(1u32 << self.rounds) {
-                std::hint::spin_loop();
+                hint::spin_loop();
             }
         } else if self.rounds < Self::SPIN_ROUNDS + Self::YIELD_ROUNDS {
-            std::thread::yield_now();
+            thread::yield_now();
         } else {
             let doublings = (self.rounds - Self::SPIN_ROUNDS - Self::YIELD_ROUNDS).min(5);
             let timeout = Self::FIRST_PARK
                 .saturating_mul(1 << doublings)
                 .min(Self::MAX_PARK);
-            std::thread::park_timeout(timeout);
+            thread::park_timeout(timeout);
         }
         self.rounds = self.rounds.saturating_add(1);
     }
@@ -182,7 +182,12 @@ impl SingleThreadExecutor {
         let mut backoff = Backoff::new();
         loop {
             if let Some(flag) = stop {
-                if flag.load(Ordering::Relaxed) {
+                // Acquire pairs with the Release store below (and the one
+                // in run_partitions): a worker that observes the stop flag
+                // also observes everything the stopping thread did before
+                // raising it, and the compiler cannot hoist the load out
+                // of the loop the way a Relaxed read could legally be.
+                if flag.load(Ordering::Acquire) {
                     break;
                 }
             }
@@ -207,7 +212,7 @@ impl SingleThreadExecutor {
                         if idle_rounds > 1000 {
                             break;
                         }
-                        std::thread::yield_now();
+                        thread::yield_now();
                     }
                     Some(flag) => {
                         // Another partition may still feed us. Each idle
@@ -216,7 +221,7 @@ impl SingleThreadExecutor {
                         // watchdog thread the multi-thread executor used
                         // to spawn.
                         if graph.all_finished() {
-                            flag.store(true, Ordering::Relaxed);
+                            flag.store(true, Ordering::Release);
                             break;
                         }
                         backoff.wait();
@@ -236,7 +241,7 @@ impl SingleThreadExecutor {
                 }
                 if let Some(flag) = stop {
                     if graph.all_finished() {
-                        flag.store(true, Ordering::Relaxed);
+                        flag.store(true, Ordering::Release);
                         break;
                     }
                     backoff.wait();
@@ -342,7 +347,7 @@ impl MultiThreadExecutor {
             exec = exec.with_batch_limit(limit);
         }
 
-        let reports: Vec<ExecutionReport> = std::thread::scope(|scope| {
+        let reports: Vec<ExecutionReport> = thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .into_iter()
                 .map(|part| {
@@ -360,7 +365,7 @@ impl MultiThreadExecutor {
                 .map(|h| h.join().expect("worker thread panicked"))
                 .collect()
         });
-        stop.store(true, Ordering::Relaxed);
+        stop.store(true, Ordering::Release);
         reports
     }
 }

@@ -1,0 +1,831 @@
+//! The deterministic-scheduling engine behind [`crate::model`].
+//!
+//! One *execution* runs the checked closure with every virtual thread mapped
+//! onto a real OS thread, but only one thread ever runs at a time: before
+//! each instrumented operation (atomic access, lock acquisition, spawn,
+//! join, …) the thread *announces* the operation to the controller and
+//! blocks until it is *granted*. The controller therefore observes, at every
+//! scheduling point, the full set of runnable threads and picks the next one
+//! to run — which turns thread interleaving from an OS accident into an
+//! enumerable decision tree.
+//!
+//! [`Builder::check`] explores that tree depth-first: the first execution
+//! follows the default policy (keep running the current thread), and after
+//! each completed execution the deepest decision with an unexplored
+//! alternative (within the preemption bound) is flipped and the run is
+//! replayed up to that point. Exploration is exhaustive for the given
+//! preemption bound because replay is deterministic.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+/// A virtual thread id (0 is the closure passed to [`crate::model`]).
+pub(crate) type Tid = usize;
+/// A per-execution sync-object id, assigned in first-touch order (stable
+/// across replays of the same schedule, unlike addresses).
+pub(crate) type ObjId = usize;
+
+/// The kinds of instrumented synchronization objects.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    Mutex,
+    RwLock,
+    Condvar,
+    Atomic,
+}
+
+/// An operation a virtual thread announces at a scheduling point.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum Op {
+    /// First announcement of every thread, before any user code runs.
+    Start,
+    /// An atomic load/store/rmw; always enabled.
+    Atomic { obj: ObjId, name: &'static str },
+    /// Blocking mutex acquisition; enabled while no owner.
+    MutexLock { obj: ObjId },
+    /// Shared rwlock acquisition; enabled while no writer.
+    RwRead { obj: ObjId },
+    /// Exclusive rwlock acquisition; enabled while no readers/writer.
+    RwWrite { obj: ObjId },
+    /// Waiting on a condvar with the paired mutex already released.
+    /// Enabled once notified (or at any time, if armed with a timeout)
+    /// *and* the mutex can be reacquired; the grant reacquires it.
+    CondBlocked {
+        cv: ObjId,
+        mutex: ObjId,
+        timeout: bool,
+    },
+    /// Condvar notification; always enabled.
+    CondNotify { cv: ObjId, all: bool },
+    /// `park_timeout`: the timeout may always fire, so always enabled.
+    Park,
+    /// `yield_now` / `sleep`: always enabled.
+    Yield,
+    /// Thread creation; always enabled. The grant allocates the child tid.
+    Spawn,
+    /// Joining a virtual thread; enabled once the target finished.
+    Join { target: Tid },
+}
+
+impl Op {
+    fn describe(&self) -> String {
+        match self {
+            Op::Start => "start".into(),
+            Op::Atomic { obj, name } => format!("atomic[{obj}].{name}"),
+            Op::MutexLock { obj } => format!("mutex[{obj}].lock"),
+            Op::RwRead { obj } => format!("rwlock[{obj}].read"),
+            Op::RwWrite { obj } => format!("rwlock[{obj}].write"),
+            Op::CondBlocked { cv, timeout, .. } => {
+                format!(
+                    "condvar[{cv}].{}",
+                    if *timeout { "wait_for" } else { "wait" }
+                )
+            }
+            Op::CondNotify { cv, all } => {
+                format!("condvar[{cv}].notify_{}", if *all { "all" } else { "one" })
+            }
+            Op::Park => "park_timeout".into(),
+            Op::Yield => "yield".into(),
+            Op::Spawn => "spawn".into(),
+            Op::Join { target } => format!("join(t{target})"),
+        }
+    }
+}
+
+/// Model state of one sync object.
+#[derive(Debug)]
+enum ObjState {
+    Mutex {
+        owner: Option<Tid>,
+    },
+    RwLock {
+        readers: Vec<Tid>,
+        writer: Option<Tid>,
+    },
+    Condvar {
+        notified: Vec<Tid>,
+    },
+    Atomic,
+}
+
+/// Information handed back to a thread when its announced op is granted.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct GrantInfo {
+    /// Child tid allocated by a granted [`Op::Spawn`].
+    pub(crate) spawned: Option<Tid>,
+    /// Whether a granted [`Op::CondBlocked`] woke by timeout, not notify.
+    pub(crate) timed_out: bool,
+}
+
+#[derive(Debug)]
+struct ThreadSlot {
+    pending: Option<Op>,
+    finished: bool,
+    /// Timeout-driven grants (yield, park, timed condvar wakeup) taken
+    /// while another thread was runnable. Bounded per execution so retry
+    /// loops cannot make the schedule space infinite (CHESS-style fair
+    /// yield bounding).
+    yields: usize,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Turn {
+    Controller,
+    Worker(Tid),
+}
+
+/// One recorded scheduling decision (only points with ≥ 2 candidates).
+#[derive(Clone, Debug)]
+pub(crate) struct Decision {
+    /// Candidate tids, the previously-running thread first when enabled.
+    pub(crate) cands: Vec<Tid>,
+    /// Index into `cands` that was chosen.
+    pub(crate) chosen: usize,
+    /// Whether the previously-running thread was itself a candidate
+    /// (if so, any `chosen != 0` consumed one preemption).
+    pub(crate) current_enabled: bool,
+}
+
+struct EngineState {
+    slots: Vec<ThreadSlot>,
+    turn: Turn,
+    objects: Vec<ObjState>,
+    addr_map: HashMap<usize, ObjId>,
+    current: Tid,
+    failed: Option<String>,
+    trace: Vec<String>,
+    decisions: Vec<Decision>,
+    steps: usize,
+    grant_info: Option<GrantInfo>,
+}
+
+/// What one execution produced.
+pub(crate) struct Outcome {
+    pub(crate) decisions: Vec<Decision>,
+    pub(crate) failed: Option<String>,
+    pub(crate) trace: Vec<String>,
+}
+
+/// Panic payload used to unwind virtual threads of an already-failed
+/// execution without reporting a second failure.
+pub(crate) struct Abort;
+
+/// The per-execution scheduling engine shared by controller and workers.
+pub(crate) struct Engine {
+    st: Mutex<EngineState>,
+    cv: Condvar,
+    prefix: Vec<usize>,
+    max_steps: usize,
+    yield_bound: usize,
+}
+
+fn lock_state(engine: &Engine) -> std::sync::MutexGuard<'_, EngineState> {
+    engine.st.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl Engine {
+    pub(crate) fn new(prefix: Vec<usize>, max_steps: usize, yield_bound: usize) -> Self {
+        Engine {
+            st: Mutex::new(EngineState {
+                slots: vec![ThreadSlot {
+                    pending: None,
+                    finished: false,
+                    yields: 0,
+                }],
+                turn: Turn::Controller,
+                objects: Vec::new(),
+                addr_map: HashMap::new(),
+                current: 0,
+                failed: None,
+                trace: Vec::new(),
+                decisions: Vec::new(),
+                steps: 0,
+                grant_info: None,
+            }),
+            cv: Condvar::new(),
+            prefix,
+            max_steps,
+            yield_bound,
+        }
+    }
+
+    /// Registers (or looks up) the sync object at `addr`.
+    pub(crate) fn obj_id(&self, addr: usize, kind: ObjKind) -> ObjId {
+        let mut st = lock_state(self);
+        if let Some(&id) = st.addr_map.get(&addr) {
+            return id;
+        }
+        let id = st.objects.len();
+        st.objects.push(match kind {
+            ObjKind::Mutex => ObjState::Mutex { owner: None },
+            ObjKind::RwLock => ObjState::RwLock {
+                readers: Vec::new(),
+                writer: None,
+            },
+            ObjKind::Condvar => ObjState::Condvar {
+                notified: Vec::new(),
+            },
+            ObjKind::Atomic => ObjState::Atomic,
+        });
+        st.addr_map.insert(addr, id);
+        id
+    }
+
+    /// Announces `op` for `tid` and blocks until the controller grants it.
+    /// Panics with [`Abort`] if the execution failed in the meantime.
+    pub(crate) fn announce(&self, tid: Tid, op: Op) -> GrantInfo {
+        let mut st = lock_state(self);
+        st.slots[tid].pending = Some(op);
+        if st.turn == Turn::Worker(tid) {
+            st.turn = Turn::Controller;
+        }
+        self.cv.notify_all();
+        loop {
+            if st.failed.is_some() {
+                drop(st);
+                std::panic::panic_any(Abort);
+            }
+            if st.turn == Turn::Worker(tid) {
+                return st.grant_info.take().unwrap_or_default();
+            }
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `tid` finished and hands control back to the controller.
+    pub(crate) fn finish(&self, tid: Tid) {
+        let mut st = lock_state(self);
+        st.slots[tid].finished = true;
+        st.slots[tid].pending = None;
+        st.trace.push(format!("t{tid} finished"));
+        if st.turn == Turn::Worker(tid) {
+            st.turn = Turn::Controller;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Records a failure (user panic, deadlock, step blowup) and wakes
+    /// every blocked thread so the execution unwinds.
+    pub(crate) fn fail(&self, tid: Option<Tid>, msg: String) {
+        let mut st = lock_state(self);
+        if st.failed.is_none() {
+            let who = tid.map_or_else(|| "controller".into(), |t| format!("t{t}"));
+            st.trace.push(format!("{who} FAILED: {msg}"));
+            st.failed = Some(msg);
+        }
+        st.turn = Turn::Controller;
+        self.cv.notify_all();
+    }
+
+    /// Appends ` = value` to the most recent trace event (used by atomics
+    /// to record the observed/stored value after the grant).
+    pub(crate) fn note_value(&self, v: &dyn std::fmt::Display) {
+        let mut st = lock_state(self);
+        if let Some(last) = st.trace.last_mut() {
+            last.push_str(&format!(" = {v}"));
+        }
+    }
+
+    /// Releases a mutex (called by the guard drop of the *running* thread;
+    /// not a scheduling point — the next contended acquire is one).
+    pub(crate) fn mutex_release(&self, obj: ObjId) {
+        let mut st = lock_state(self);
+        if let ObjState::Mutex { owner } = &mut st.objects[obj] {
+            *owner = None;
+        }
+    }
+
+    /// Releases a shared rwlock hold by `tid`.
+    pub(crate) fn rw_release_read(&self, obj: ObjId, tid: Tid) {
+        let mut st = lock_state(self);
+        if let ObjState::RwLock { readers, .. } = &mut st.objects[obj] {
+            readers.retain(|&t| t != tid);
+        }
+    }
+
+    /// Releases an exclusive rwlock hold.
+    pub(crate) fn rw_release_write(&self, obj: ObjId) {
+        let mut st = lock_state(self);
+        if let ObjState::RwLock { writer, .. } = &mut st.objects[obj] {
+            *writer = None;
+        }
+    }
+
+    /// Non-blocking mutex acquisition attempt by the running thread
+    /// (announced beforehand as an always-enabled point).
+    pub(crate) fn try_acquire_mutex(&self, obj: ObjId, tid: Tid) -> bool {
+        let mut st = lock_state(self);
+        if let ObjState::Mutex { owner } = &mut st.objects[obj] {
+            if owner.is_none() {
+                *owner = Some(tid);
+                return true;
+            }
+        }
+        false
+    }
+
+    fn op_enabled(st: &EngineState, tid: Tid) -> bool {
+        match st.slots[tid].pending.as_ref() {
+            None => false,
+            Some(op) => match *op {
+                Op::Start
+                | Op::Atomic { .. }
+                | Op::CondNotify { .. }
+                | Op::Park
+                | Op::Yield
+                | Op::Spawn => true,
+                Op::MutexLock { obj } => {
+                    matches!(st.objects[obj], ObjState::Mutex { owner: None })
+                }
+                Op::RwRead { obj } => {
+                    matches!(st.objects[obj], ObjState::RwLock { writer: None, .. })
+                }
+                Op::RwWrite { obj } => matches!(
+                    &st.objects[obj],
+                    ObjState::RwLock { writer: None, readers } if readers.is_empty()
+                ),
+                Op::CondBlocked { cv, mutex, timeout } => {
+                    let woken = timeout
+                        || matches!(
+                            &st.objects[cv],
+                            ObjState::Condvar { notified } if notified.contains(&tid)
+                        );
+                    woken && matches!(st.objects[mutex], ObjState::Mutex { owner: None })
+                }
+                Op::Join { target } => st.slots[target].finished,
+            },
+        }
+    }
+
+    /// Whether `tid`'s pending op would be granted by a timeout firing
+    /// (rather than real progress): yield, park, or a timed condvar wait
+    /// that has not been notified.
+    fn timeout_op(st: &EngineState, tid: Tid) -> bool {
+        match st.slots[tid].pending.as_ref() {
+            Some(Op::Yield | Op::Park) => true,
+            Some(&Op::CondBlocked { cv, timeout, .. }) => {
+                timeout
+                    && !matches!(
+                        &st.objects[cv],
+                        ObjState::Condvar { notified } if notified.contains(&tid)
+                    )
+            }
+            _ => false,
+        }
+    }
+
+    /// Applies the model-state transition of `op` for the granted `tid`.
+    fn apply(st: &mut EngineState, tid: Tid, op: &Op) -> GrantInfo {
+        let mut info = GrantInfo::default();
+        match *op {
+            Op::Start | Op::Atomic { .. } | Op::Park | Op::Yield | Op::Join { .. } => {}
+            Op::MutexLock { obj } => {
+                if let ObjState::Mutex { owner } = &mut st.objects[obj] {
+                    debug_assert!(owner.is_none());
+                    *owner = Some(tid);
+                }
+            }
+            Op::RwRead { obj } => {
+                if let ObjState::RwLock { readers, .. } = &mut st.objects[obj] {
+                    readers.push(tid);
+                }
+            }
+            Op::RwWrite { obj } => {
+                if let ObjState::RwLock { writer, .. } = &mut st.objects[obj] {
+                    *writer = Some(tid);
+                }
+            }
+            Op::CondBlocked { cv, mutex, .. } => {
+                if let ObjState::Condvar { notified } = &mut st.objects[cv] {
+                    match notified.iter().position(|&t| t == tid) {
+                        Some(pos) => {
+                            notified.remove(pos);
+                        }
+                        None => info.timed_out = true,
+                    }
+                }
+                if let ObjState::Mutex { owner } = &mut st.objects[mutex] {
+                    debug_assert!(owner.is_none());
+                    *owner = Some(tid);
+                }
+            }
+            Op::CondNotify { cv, all } => {
+                // Waiters are the threads currently blocked on this condvar
+                // and not yet notified; notify_one picks the lowest tid so
+                // replays are deterministic.
+                let waiting: Vec<Tid> = st
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(t, s)| {
+                        matches!(s.pending, Some(Op::CondBlocked { cv: c, .. }) if c == cv)
+                            && !matches!(
+                                &st.objects[cv],
+                                ObjState::Condvar { notified } if notified.contains(t)
+                            )
+                    })
+                    .map(|(t, _)| t)
+                    .collect();
+                if let ObjState::Condvar { notified } = &mut st.objects[cv] {
+                    if all {
+                        notified.extend(waiting);
+                    } else if let Some(&first) = waiting.first() {
+                        notified.push(first);
+                    }
+                }
+            }
+            Op::Spawn => {
+                let child = st.slots.len();
+                st.slots.push(ThreadSlot {
+                    pending: None,
+                    finished: false,
+                    yields: 0,
+                });
+                info.spawned = Some(child);
+            }
+        }
+        info
+    }
+
+    /// Runs the controller until the execution completes or fails.
+    pub(crate) fn run_controller(&self) -> Outcome {
+        loop {
+            let mut st = lock_state(self);
+            loop {
+                if st.failed.is_some() {
+                    return Outcome {
+                        decisions: st.decisions.clone(),
+                        failed: st.failed.clone(),
+                        trace: std::mem::take(&mut st.trace),
+                    };
+                }
+                if st.turn == Turn::Controller
+                    && st.slots.iter().all(|s| s.finished || s.pending.is_some())
+                {
+                    break;
+                }
+                st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+            }
+            if st.slots.iter().all(|s| s.finished) {
+                return Outcome {
+                    decisions: st.decisions.clone(),
+                    failed: None,
+                    trace: std::mem::take(&mut st.trace),
+                };
+            }
+            // Candidate threads: enabled ones, previously-running first.
+            let enabled: Vec<Tid> = (0..st.slots.len())
+                .filter(|&t| !st.slots[t].finished && Self::op_enabled(&st, t))
+                .collect();
+            if enabled.is_empty() {
+                let blocked: Vec<String> = st
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.finished)
+                    .map(|(t, s)| {
+                        format!(
+                            "t{t} blocked on {}",
+                            s.pending.as_ref().map_or("??".into(), Op::describe)
+                        )
+                    })
+                    .collect();
+                let msg = format!("deadlock: no runnable thread ({})", blocked.join("; "));
+                st.failed = Some(msg.clone());
+                st.trace.push(format!("controller FAILED: {msg}"));
+                self.cv.notify_all();
+                return Outcome {
+                    decisions: st.decisions.clone(),
+                    failed: st.failed.clone(),
+                    trace: std::mem::take(&mut st.trace),
+                };
+            }
+            // Fair yield bounding: once a thread has burned its budget of
+            // timeout-driven grants while others were runnable, it only
+            // runs again when no fresh thread can — this keeps retry
+            // loops (backoff, timed waits) from making the schedule space
+            // infinite, without false deadlocks when the timed-out thread
+            // is the only one left.
+            let enabled_len = enabled.len();
+            let fresh: Vec<Tid> = enabled
+                .iter()
+                .copied()
+                .filter(|&t| !(Self::timeout_op(&st, t) && st.slots[t].yields >= self.yield_bound))
+                .collect();
+            let mut cands = if fresh.is_empty() { enabled } else { fresh };
+            let mut current_enabled = cands.contains(&st.current);
+            if current_enabled {
+                // A thread announcing a waiting op (yield, park, timed
+                // condvar wait) switches *voluntarily*: schedule it last
+                // and charge no preemption for picking someone else —
+                // otherwise the default stay-with-current policy would
+                // livelock on every backoff loop.
+                let waiting = matches!(
+                    st.slots[st.current].pending,
+                    Some(Op::Yield | Op::Park | Op::CondBlocked { .. })
+                );
+                let pos = cands.iter().position(|&t| t == st.current).unwrap();
+                cands.remove(pos);
+                if waiting {
+                    cands.push(st.current);
+                    current_enabled = false;
+                } else {
+                    cands.insert(0, st.current);
+                }
+            }
+            let chosen_idx = if cands.len() == 1 {
+                0
+            } else {
+                let d = st.decisions.len();
+                let idx = if d < self.prefix.len() {
+                    assert!(
+                        self.prefix[d] < cands.len(),
+                        "nondeterministic replay: decision {d} has {} candidates, \
+                         prefix wants index {}",
+                        cands.len(),
+                        self.prefix[d]
+                    );
+                    self.prefix[d]
+                } else {
+                    0
+                };
+                st.decisions.push(Decision {
+                    cands: cands.clone(),
+                    chosen: idx,
+                    current_enabled,
+                });
+                idx
+            };
+            let chosen = cands[chosen_idx];
+            let op = st.slots[chosen].pending.take().expect("enabled => pending");
+            st.trace.push(format!("t{chosen} {}", op.describe()));
+            let info = Self::apply(&mut st, chosen, &op);
+            let timeout_grant = matches!(op, Op::Yield | Op::Park)
+                || (matches!(op, Op::CondBlocked { .. }) && info.timed_out);
+            if timeout_grant && enabled_len > 1 {
+                st.slots[chosen].yields += 1;
+            }
+            st.grant_info = Some(info);
+            st.current = chosen;
+            st.turn = Turn::Worker(chosen);
+            st.steps += 1;
+            if st.steps > self.max_steps {
+                let msg = format!(
+                    "exceeded {} scheduling steps in one execution (livelock, or raise \
+                     Builder::max_steps)",
+                    self.max_steps
+                );
+                st.failed = Some(msg.clone());
+                st.trace.push(format!("controller FAILED: {msg}"));
+            }
+            self.cv.notify_all();
+        }
+    }
+}
+
+// --- thread-local link between sync objects and the active execution ------
+
+#[derive(Clone)]
+pub(crate) struct Ctx {
+    pub(crate) engine: Arc<Engine>,
+    pub(crate) tid: Tid,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Ctx>> = const { std::cell::RefCell::new(None) };
+}
+
+/// The controlling execution of the calling thread, if it is a virtual
+/// thread of an active model check.
+pub(crate) fn ctx() -> Option<Ctx> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Runs `f` as virtual thread `tid` of `engine`: announces `Start`, reports
+/// panics as execution failures, and marks the thread finished on success.
+pub(crate) fn worker_entry<T>(engine: Arc<Engine>, tid: Tid, f: impl FnOnce() -> T) -> Option<T> {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(Ctx {
+            engine: Arc::clone(&engine),
+            tid,
+        })
+    });
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        engine.announce(tid, Op::Start);
+        f()
+    }));
+    CURRENT.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => {
+            engine.finish(tid);
+            Some(v)
+        }
+        Err(payload) => {
+            if !payload.is::<Abort>() {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "panic with non-string payload".into());
+                engine.fail(Some(tid), msg);
+            }
+            None
+        }
+    }
+}
+
+// --- exploration ----------------------------------------------------------
+
+/// Summary of a completed exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct Report {
+    /// Executions (distinct schedules) run.
+    pub executions: u64,
+    /// Whether the bounded state space was explored exhaustively (`false`
+    /// only for single-schedule replays).
+    pub complete: bool,
+}
+
+/// Configures and runs a bounded-exhaustive model check.
+///
+/// Environment overrides: `PIPES_MC_PREEMPTIONS` (preemption bound),
+/// `PIPES_MC_MAX_EXECUTIONS` (exploration cap), and `PIPES_MC_REPLAY`
+/// (comma-separated decision indices from a failure report — runs that
+/// single schedule instead of exploring).
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Maximum number of preemptive context switches per execution
+    /// (switching away from a thread that could have kept running).
+    /// Exploration is exhaustive w.r.t. this bound. Default 2.
+    pub preemption_bound: usize,
+    /// Maximum timeout-driven grants (yield, park, timed condvar wakeup)
+    /// per thread per execution while other threads are runnable. Bounds
+    /// the schedule space of retry loops. Default 4.
+    pub yield_bound: usize,
+    /// Safety valve: maximum scheduling steps in one execution before the
+    /// run is reported as a livelock. Default 20 000.
+    pub max_steps: usize,
+    /// Safety valve: maximum executions before the check panics with a
+    /// "state space too large" error. Default 500 000.
+    pub max_executions: u64,
+}
+
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Builder {
+            preemption_bound: env_usize("PIPES_MC_PREEMPTIONS").unwrap_or(2),
+            yield_bound: env_usize("PIPES_MC_YIELDS").unwrap_or(4),
+            max_steps: 20_000,
+            max_executions: env_usize("PIPES_MC_MAX_EXECUTIONS").unwrap_or(500_000) as u64,
+        }
+    }
+}
+
+impl Builder {
+    /// A builder with the default bounds.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the preemption bound.
+    pub fn preemption_bound(mut self, bound: usize) -> Self {
+        self.preemption_bound = bound;
+        self
+    }
+
+    fn run_one<F>(&self, f: &Arc<F>, prefix: Vec<usize>) -> Outcome
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let engine = Arc::new(Engine::new(prefix, self.max_steps, self.yield_bound));
+        let e2 = Arc::clone(&engine);
+        let f2 = Arc::clone(f);
+        let main = std::thread::spawn(move || worker_entry(e2, 0, move || f2()));
+        let outcome = engine.run_controller();
+        let _ = main.join();
+        outcome
+    }
+
+    fn report_failure(msg: &str, outcome: &Outcome, executions: u64) -> ! {
+        let schedule: Vec<String> = outcome
+            .decisions
+            .iter()
+            .map(|d| d.chosen.to_string())
+            .collect();
+        let cands: Vec<String> = outcome
+            .decisions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                format!(
+                    "  #{i}: chose t{} of {:?}{}",
+                    d.cands[d.chosen],
+                    d.cands,
+                    if d.current_enabled && d.chosen != 0 {
+                        " (preemption)"
+                    } else {
+                        ""
+                    }
+                )
+            })
+            .collect();
+        let tail: Vec<&str> = outcome
+            .trace
+            .iter()
+            .rev()
+            .take(60)
+            .map(String::as_str)
+            .collect();
+        let tail: Vec<&str> = tail.into_iter().rev().collect();
+        panic!(
+            "concurrency model check failed (execution #{executions}): {msg}\n\
+             decisions:\n{}\n\
+             trace ({} events, last 60 shown):\n  {}\n\
+             replay this schedule with PIPES_MC_REPLAY=\"{}\"",
+            cands.join("\n"),
+            outcome.trace.len(),
+            tail.join("\n  "),
+            schedule.join(",")
+        );
+    }
+
+    /// Explores `f` under every interleaving within the preemption bound,
+    /// panicking with a replayable report on the first failing schedule.
+    pub fn check<F>(&self, f: F) -> Report
+    where
+        F: Fn() + Send + Sync + 'static,
+    {
+        let f = Arc::new(f);
+        if let Ok(replay) = std::env::var("PIPES_MC_REPLAY") {
+            let prefix: Vec<usize> = replay
+                .split(',')
+                .filter(|s| !s.trim().is_empty())
+                .map(|s| s.trim().parse().expect("bad PIPES_MC_REPLAY index"))
+                .collect();
+            let outcome = self.run_one(&f, prefix);
+            if let Some(msg) = &outcome.failed {
+                Self::report_failure(msg, &outcome, 1);
+            }
+            return Report {
+                executions: 1,
+                complete: false,
+            };
+        }
+        let mut prefix: Vec<usize> = Vec::new();
+        let mut executions: u64 = 0;
+        loop {
+            executions += 1;
+            assert!(
+                executions <= self.max_executions,
+                "model check explored {executions} executions without exhausting the \
+                 schedule space; shrink the scenario or lower the preemption bound"
+            );
+            let outcome = self.run_one(&f, prefix.clone());
+            if let Some(msg) = &outcome.failed {
+                Self::report_failure(msg, &outcome, executions);
+            }
+            // Depth-first backtrack: flip the deepest decision that still
+            // has an in-budget alternative, keep the prefix before it.
+            let ds = &outcome.decisions;
+            let mut cum = 0usize;
+            let cum_at: Vec<usize> = ds
+                .iter()
+                .map(|d| {
+                    let before = cum;
+                    if d.current_enabled && d.chosen != 0 {
+                        cum += 1;
+                    }
+                    before
+                })
+                .collect();
+            let mut next: Option<(usize, usize)> = None;
+            for d in (0..ds.len()).rev() {
+                let alt = ds[d].chosen + 1;
+                if alt < ds[d].cands.len() {
+                    let cost = usize::from(ds[d].current_enabled);
+                    if cum_at[d] + cost <= self.preemption_bound {
+                        next = Some((d, alt));
+                        break;
+                    }
+                }
+            }
+            match next {
+                None => {
+                    return Report {
+                        executions,
+                        complete: true,
+                    }
+                }
+                Some((d, alt)) => {
+                    prefix = ds[..d].iter().map(|dec| dec.chosen).collect();
+                    prefix.push(alt);
+                }
+            }
+        }
+    }
+}

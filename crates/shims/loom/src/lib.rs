@@ -1,0 +1,62 @@
+//! Offline, in-tree reimplementation of the `loom` model checker's API
+//! surface, built for the PIPES kernel (no package registry available —
+//! same convention as the sibling `parking_lot`/`proptest` shims).
+//!
+//! [`model`] runs a closure under a deterministic scheduler that maps each
+//! spawned thread onto an OS thread but lets exactly one run at a time,
+//! interposing on every instrumented operation ([`sync::Mutex`],
+//! [`sync::Condvar`], [`sync::RwLock`], [`sync::atomic`], [`thread::spawn`],
+//! [`thread::scope`]). It then explores all interleavings up to a
+//! configurable preemption bound, reporting the first failing schedule as
+//! a panic that includes the decision trace and a `PIPES_MC_REPLAY`
+//! recipe to re-run exactly that schedule.
+//!
+//! ```no_run
+//! use loom::sync::atomic::{AtomicUsize, Ordering};
+//! use loom::sync::Arc;
+//!
+//! loom::model(|| {
+//!     let n = Arc::new(AtomicUsize::new(0));
+//!     let n2 = Arc::clone(&n);
+//!     let h = loom::thread::spawn(move || n2.fetch_add(1, Ordering::SeqCst));
+//!     n.fetch_add(1, Ordering::SeqCst);
+//!     h.join().unwrap();
+//!     assert_eq!(n.load(Ordering::SeqCst), 2);
+//! });
+//! ```
+//!
+//! Scope and caveats (documented, deliberate):
+//! - exploration is exhaustive w.r.t. the preemption bound (default 2 —
+//!   empirically where almost all concurrency bugs live), not w.r.t. weak
+//!   memory: instrumented atomics execute sequentially consistent.
+//! - only operations routed through this crate are scheduling points;
+//!   plain shared memory (e.g. uninstrumented `std` atomics) is invisible
+//!   to the checker.
+//! - threads not spawned inside the checked closure use the real
+//!   primitives, so instrumented code keeps working in ordinary tests and
+//!   binaries even when compiled against this crate.
+
+mod engine;
+pub mod sync;
+pub mod thread;
+
+pub use engine::{Builder, Report};
+
+/// Scheduling hints; mirrors `std::hint` for code ported to `pipes-sync`.
+pub mod hint {
+    /// Spin-loop hint (not a scheduling point; spinning code must contain
+    /// an instrumented read for the checker to see progress).
+    pub fn spin_loop() {
+        std::hint::spin_loop();
+    }
+}
+
+/// Explores `f` under every thread interleaving within the default
+/// preemption bound, panicking with a replayable trace on the first
+/// failing schedule. Returns exploration statistics.
+pub fn model<F>(f: F) -> Report
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    Builder::new().check(f)
+}

@@ -1,0 +1,165 @@
+//! Instrumented thread creation and scheduling hints.
+//!
+//! Threads spawned from inside an active model check become *virtual
+//! threads* of the execution: their sync operations are scheduling points
+//! and the checker explores their interleavings. Spawns from uncontrolled
+//! threads fall through to `std::thread`.
+
+use crate::engine::{ctx, worker_entry, Op, Tid};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Yields the current thread (a scheduling point under model checking).
+pub fn yield_now() {
+    match ctx() {
+        Some(c) => {
+            c.engine.announce(c.tid, Op::Yield);
+        }
+        None => std::thread::yield_now(),
+    }
+}
+
+/// Sleeps for `dur`. Under model checking time does not pass; this is a
+/// plain scheduling point like [`yield_now`].
+pub fn sleep(dur: Duration) {
+    match ctx() {
+        Some(c) => {
+            c.engine.announce(c.tid, Op::Yield);
+        }
+        None => std::thread::sleep(dur),
+    }
+}
+
+/// Parks the current thread for at most `dur`. Under model checking the
+/// timeout may fire at any scheduling point, so this never blocks the
+/// model — exactly the semantics timeout-based backoff must tolerate.
+pub fn park_timeout(dur: Duration) {
+    match ctx() {
+        Some(c) => {
+            c.engine.announce(c.tid, Op::Park);
+        }
+        None => std::thread::park_timeout(dur),
+    }
+}
+
+enum Inner<T> {
+    Raw(std::thread::JoinHandle<T>),
+    Model {
+        handle: std::thread::JoinHandle<Option<T>>,
+        tid: Tid,
+    },
+}
+
+/// Handle to a spawned thread; `join` is a scheduling point under model
+/// checking (enabled once the target thread finished).
+pub struct JoinHandle<T> {
+    inner: Inner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            Inner::Raw(h) => h.join(),
+            Inner::Model { handle, tid } => {
+                let c = ctx().expect("model thread joined from outside its model check");
+                c.engine.announce(c.tid, Op::Join { target: tid });
+                handle.join().map(|v| v.expect("joined thread completed"))
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Inside a model check the child becomes a virtual
+/// thread of the active execution.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match ctx() {
+        None => JoinHandle {
+            inner: Inner::Raw(std::thread::spawn(f)),
+        },
+        Some(c) => {
+            let info = c.engine.announce(c.tid, Op::Spawn);
+            let child = info.spawned.expect("spawn grant carries the child tid");
+            let engine = Arc::clone(&c.engine);
+            let handle = std::thread::spawn(move || worker_entry(engine, child, f));
+            JoinHandle {
+                inner: Inner::Model { handle, tid: child },
+            }
+        }
+    }
+}
+
+/// Scope for spawning borrowing threads, mirroring `std::thread::scope`
+/// but passing the [`Scope`] *by value* (it is `Copy`), which lets the
+/// same call sites compile against both this shim and the real-primitive
+/// configuration of `pipes-sync`.
+///
+/// Inside a model check every scoped handle must be explicitly joined:
+/// the implicit join at scope exit is not a scheduling point.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(|s| f(Scope { inner: s }))
+}
+
+/// A scope handed to the [`scope`] closure.
+#[derive(Clone, Copy)]
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+enum ScopedInner<'scope, T> {
+    Raw(std::thread::ScopedJoinHandle<'scope, T>),
+    Model {
+        handle: std::thread::ScopedJoinHandle<'scope, Option<T>>,
+        tid: Tid,
+    },
+}
+
+/// Handle to a scoped thread; see [`JoinHandle`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: ScopedInner<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish and returns its result.
+    pub fn join(self) -> std::thread::Result<T> {
+        match self.inner {
+            ScopedInner::Raw(h) => h.join(),
+            ScopedInner::Model { handle, tid } => {
+                let c = ctx().expect("model thread joined from outside its model check");
+                c.engine.announce(c.tid, Op::Join { target: tid });
+                handle.join().map(|v| v.expect("joined thread completed"))
+            }
+        }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; see [`spawn`].
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce() -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        match ctx() {
+            None => ScopedJoinHandle {
+                inner: ScopedInner::Raw(self.inner.spawn(f)),
+            },
+            Some(c) => {
+                let info = c.engine.announce(c.tid, Op::Spawn);
+                let child = info.spawned.expect("spawn grant carries the child tid");
+                let engine = Arc::clone(&c.engine);
+                let handle = self.inner.spawn(move || worker_entry(engine, child, f));
+                ScopedJoinHandle {
+                    inner: ScopedInner::Model { handle, tid: child },
+                }
+            }
+        }
+    }
+}

@@ -19,7 +19,11 @@ use std::sync::PoisonError;
 pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
 
 /// RAII guard returned by [`Mutex::lock`].
-pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+///
+/// The inner guard lives in an `Option` so [`Condvar::wait`] can hand it
+/// to `std::sync::Condvar` (which consumes and returns guards) while this
+/// wrapper keeps the `parking_lot` borrow-based API.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
 
 impl<T> Mutex<T> {
     /// Creates a mutex protecting `value`.
@@ -36,14 +40,14 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the lock, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
     }
 
     /// Attempts to acquire the lock without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.0.try_lock() {
-            Ok(g) => Some(MutexGuard(g)),
-            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
             Err(std::sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -72,13 +76,73 @@ impl<T> From<T> for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        &self.0
+        self.0.as_ref().expect("guard present outside wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        &mut self.0
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
+
+/// A condition variable paired with [`Mutex`], using the `parking_lot`
+/// borrow-based API (`wait(&mut guard)` instead of consuming the guard).
+#[derive(Default)]
+pub struct Condvar(std::sync::Condvar);
+
+/// Result of a timed [`Condvar`] wait.
+#[derive(Clone, Copy, Debug)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended by timeout rather than notification.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified, atomically releasing the guarded mutex.
+    /// Wakeups may be spurious; callers must re-check their predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let g = guard.0.take().expect("guard present");
+        let g = self.0.wait(g).unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(g);
+    }
+
+    /// Blocks until notified or `timeout` elapsed.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let g = guard.0.take().expect("guard present");
+        let (g, r) = self
+            .0
+            .wait_timeout(g, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(g);
+        WaitTimeoutResult {
+            timed_out: r.timed_out(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
@@ -171,6 +235,25 @@ mod tests {
         assert_eq!(l.read().len(), 2);
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_handshake() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&state);
+        let h = std::thread::spawn(move || {
+            let (lock, cv) = &*s2;
+            *lock.lock() = true;
+            cv.notify_one();
+        });
+        let (lock, cv) = &*state;
+        let mut g = lock.lock();
+        while !*g {
+            let r = cv.wait_for(&mut g, std::time::Duration::from_millis(50));
+            let _ = r.timed_out();
+        }
+        drop(g);
+        h.join().unwrap();
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Synchronization facade for the PIPES kernel.
+//!
+//! Concurrency-bearing kernel crates (`pipes-graph`, `pipes-sched`,
+//! `pipes-mem`) import every primitive — locks, atomics, threads,
+//! spin-loop hints — from this crate instead of `std::sync`,
+//! `std::thread`, or `parking_lot` directly (`pipes-lint` enforces this).
+//! The facade selects the implementation at compile time:
+//!
+//! - **normally**: `parking_lot` locks, `std` atomics and threads — zero
+//!   overhead, identical behavior to before the facade existed;
+//! - **under `RUSTFLAGS="--cfg pipes_model_check"`**: the in-tree `loom`
+//!   shim's instrumented primitives, which turn every operation into a
+//!   deterministic scheduling point so [`model`] can exhaustively explore
+//!   thread interleavings (bounded by preemption count) and report
+//!   failing schedules with a replay recipe.
+//!
+//! The instrumented primitives degrade to the real ones on any thread not
+//! controlled by an active `model()` run, so the ordinary test suite also
+//! passes when compiled under the cfg; model-checked tests live in
+//! `tests/model_check.rs` files gated on `#![cfg(pipes_model_check)]`.
+//!
+//! See DESIGN.md § "Concurrency discipline" for how to write a
+//! model-checked test and what the lint rules require.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+// --- locks and Arc --------------------------------------------------------
+
+#[cfg(not(pipes_model_check))]
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+#[cfg(not(pipes_model_check))]
+pub use std::sync::Arc;
+
+#[cfg(pipes_model_check)]
+pub use loom::sync::{
+    Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+// --- atomics --------------------------------------------------------------
+
+/// Atomic types; `std::sync::atomic` normally, instrumented under
+/// `cfg(pipes_model_check)`.
+pub mod atomic {
+    #[cfg(not(pipes_model_check))]
+    pub use std::sync::atomic::{
+        AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+
+    #[cfg(pipes_model_check)]
+    pub use loom::sync::atomic::{
+        AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+    };
+}
+
+// --- threads --------------------------------------------------------------
+
+/// Thread creation and scheduling; `std::thread` normally, instrumented
+/// under `cfg(pipes_model_check)`.
+///
+/// [`thread::scope`](scope) passes the [`Scope`] *by value* (it is
+/// `Copy`) in both configurations — the one deliberate deviation from the
+/// `std::thread` signature, needed so call sites compile against both.
+pub mod thread {
+    #[cfg(pipes_model_check)]
+    pub use loom::thread::{
+        park_timeout, scope, sleep, spawn, yield_now, JoinHandle, Scope, ScopedJoinHandle,
+    };
+
+    #[cfg(not(pipes_model_check))]
+    pub use real::*;
+
+    #[cfg(not(pipes_model_check))]
+    mod real {
+        pub use std::thread::{park_timeout, sleep, spawn, yield_now, JoinHandle};
+
+        /// A scope handed to the [`scope`] closure; wraps
+        /// `std::thread::Scope` so it can be passed by value.
+        #[derive(Clone, Copy)]
+        pub struct Scope<'scope, 'env: 'scope> {
+            inner: &'scope std::thread::Scope<'scope, 'env>,
+        }
+
+        /// Handle to a scoped thread.
+        pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+        impl<T> ScopedJoinHandle<'_, T> {
+            /// Waits for the thread to finish and returns its result.
+            pub fn join(self) -> std::thread::Result<T> {
+                self.0.join()
+            }
+        }
+
+        impl<'scope, 'env> Scope<'scope, 'env> {
+            /// Spawns a scoped thread; see `std::thread::Scope::spawn`.
+            pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+            where
+                F: FnOnce() -> T + Send + 'scope,
+                T: Send + 'scope,
+            {
+                ScopedJoinHandle(self.inner.spawn(f))
+            }
+        }
+
+        /// Creates a scope for spawning borrowing threads; see
+        /// `std::thread::scope`.
+        pub fn scope<'env, F, T>(f: F) -> T
+        where
+            F: for<'scope> FnOnce(Scope<'scope, 'env>) -> T,
+        {
+            std::thread::scope(|s| f(Scope { inner: s }))
+        }
+    }
+}
+
+// --- hints ----------------------------------------------------------------
+
+/// Spin-loop hints.
+pub mod hint {
+    #[cfg(not(pipes_model_check))]
+    pub use std::hint::spin_loop;
+
+    #[cfg(pipes_model_check)]
+    pub use loom::hint::spin_loop;
+}
+
+// --- model-check entry points ---------------------------------------------
+
+#[cfg(pipes_model_check)]
+pub use loom::{model, Builder, Report};

@@ -1,5 +1,17 @@
 //! Concurrency stress: queries installed into and removed from a graph
 //! *while* worker threads are executing it.
+//!
+//! This is the nondeterministic, wall-clock form of the kernel's
+//! concurrency coverage: it shakes out races probabilistically under real
+//! threads. The *deterministic* form lives in the model-checked suites
+//! (`crates/graph/tests/model_check.rs`, `crates/sched/tests/model_check.rs`,
+//! run by `scripts/ci.sh` under `RUSTFLAGS="--cfg pipes_model_check"`),
+//! which exhaustively enumerate interleavings of the same hot scenarios —
+//! concurrent push vs pop_run, racing batch flushes into one subscriber,
+//! the executor completion protocol — with bounded preemptions and
+//! replayable failure traces. New concurrency invariants should get a
+//! model-checked test first and a stress form here only if they need
+//! scale.
 
 use pipes::nexmark::{self, generator::NexmarkConfig};
 use pipes::prelude::*;
@@ -35,6 +47,8 @@ fn install_and_remove_queries_under_live_execution() {
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
                 let mut spin = w; // desynchronize thread cursors
+                                  // ordering: Relaxed — stop is a latency-tolerant quit hint;
+                                  // join() below is the real synchronization with workers.
                 while !stop.load(Ordering::Relaxed) {
                     let len = graph.len();
                     if len == 0 {
@@ -79,6 +93,7 @@ fn install_and_remove_queries_under_live_execution() {
             graph.step_node(id, 128);
         }
     }
+    // ordering: Relaxed — see the worker loop's load.
     stop.store(true, Ordering::Relaxed);
     for w in workers {
         w.join().expect("worker panicked");
