@@ -1,4 +1,4 @@
-//! The experiments E1–E14 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E15 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
@@ -12,8 +12,9 @@ mod plans;
 mod rate;
 mod reuse;
 mod scheduling;
+mod trace_overhead;
 
-/// Runs one experiment by id (`e1`..`e14`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e15`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -59,5 +60,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e14") {
         batching::e14_batching(quick);
+    }
+    if want("e15") {
+        trace_overhead::e15_trace_overhead(quick);
     }
 }

@@ -44,21 +44,27 @@ impl<T> Edge<T> {
 
     /// Enqueues a message stamped with arrival sequence `seq`.
     pub fn push(&self, seq: u64, msg: Message<T>) {
-        let mut q = self.queue.lock();
-        q.push_back((seq, msg));
-        let len = q.len();
-        // The cached length must be stored while the lock is still held.
-        // If it were stored after the guard drops, two concurrent critical
-        // sections could interleave as
-        //   A: push -> len 1, unlock        B: push -> len 2, unlock
-        //   B: len.store(2)                 A: len.store(1)
-        // leaving `len` stuck below the true queue length (and symmetrically
-        // above it when racing a pop) until the next mutation repaired it.
-        // ordering: Relaxed — the queue mutex is the synchronization; the
-        // cached len/high_water are monotonicity-free scheduling hints and
-        // no other data is published through them.
-        self.len.store(len, Ordering::Relaxed);
-        self.high_water.fetch_max(len, Ordering::Relaxed);
+        let len = {
+            let mut q = self.queue.lock();
+            q.push_back((seq, msg));
+            let len = q.len();
+            // The cached length must be stored while the lock is still held.
+            // If it were stored after the guard drops, two concurrent critical
+            // sections could interleave as
+            //   A: push -> len 1, unlock        B: push -> len 2, unlock
+            //   B: len.store(2)                 A: len.store(1)
+            // leaving `len` stuck below the true queue length (and symmetrically
+            // above it when racing a pop) until the next mutation repaired it.
+            // ordering: Relaxed — the queue mutex is the synchronization; the
+            // cached len/high_water are monotonicity-free scheduling hints and
+            // no other data is published through them.
+            self.len.store(len, Ordering::Relaxed);
+            self.high_water.fetch_max(len, Ordering::Relaxed);
+            len
+        };
+        // Recorded outside the critical section: contended consumers must
+        // not wait on the recorder.
+        pipes_trace::instant(pipes_trace::names::EDGE_PUSH, [self.id, len as u64, 0]);
     }
 
     /// Enqueues a batch under one lock acquisition. `msgs` is drained (its
@@ -106,24 +112,38 @@ impl<T> Edge<T> {
         if max == 0 {
             return 0;
         }
-        let mut q = self.queue.lock();
-        let mut n = 0;
-        while n < max {
-            match q.front() {
-                Some((seq, _)) if *seq <= seq_bound => {
-                    let (seq, msg) = q.pop_front().expect("front() guaranteed a message");
-                    let is_close = matches!(msg, Message::Close);
-                    out.push((seq, msg));
-                    n += 1;
-                    if is_close {
-                        break;
+        let (n, remaining) = {
+            let mut q = self.queue.lock();
+            let mut n = 0;
+            while n < max {
+                match q.front() {
+                    Some((seq, _)) if *seq <= seq_bound => {
+                        let (seq, msg) = q.pop_front().expect("front() guaranteed a message");
+                        let is_close = matches!(msg, Message::Close);
+                        out.push((seq, msg));
+                        n += 1;
+                        if is_close {
+                            break;
+                        }
                     }
+                    _ => break,
                 }
-                _ => break,
             }
+            // ordering: Relaxed — stored inside the critical section; see push().
+            self.len.store(q.len(), Ordering::Relaxed);
+            (n, q.len())
+        };
+        if n > 0 {
+            // Recorded outside the critical section (one event per drained
+            // run, not per message — the batched path's cost model).
+            // Coarse-timestamped: a drain always runs inside its consumer's
+            // node-step span, and skipping the clock read keeps this site
+            // off the hot path's budget.
+            pipes_trace::instant_coarse(
+                pipes_trace::names::EDGE_DRAIN,
+                [self.id, n as u64, remaining as u64],
+            );
         }
-        // ordering: Relaxed — stored inside the critical section; see push().
-        self.len.store(q.len(), Ordering::Relaxed);
         n
     }
 

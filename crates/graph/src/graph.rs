@@ -355,13 +355,38 @@ impl QueryGraph {
             return StepReport::default();
         }
         let mut runnable = cell.runnable.lock();
-        let report = runnable.step(budget);
+        let report = {
+            let _span = pipes_trace::span_args(
+                pipes_trace::names::NODE_STEP,
+                [id as u64, budget as u64, 0],
+            );
+            runnable.step(budget)
+        };
         cell.stats.record_in(report.consumed as u64);
         cell.stats.record_out(report.produced as u64);
         cell.stats.record_batches(report.batches as u64);
         cell.stats.set_queue_len(runnable.queued());
         cell.stats.set_memory(runnable.memory());
         report
+    }
+
+    /// Joins every node currently in the graph to one source-to-sink
+    /// latency pipeline: sources stamp `(logical start, wall clock)` pairs
+    /// into the returned [`pipes_trace::LatencyTracker`] as they produce,
+    /// and sinks sample elements against those stamps, folding observed
+    /// latencies into their [`NodeStats`] quantile estimators (see
+    /// [`pipes_meta::LatencySummary`]). Nodes added afterwards are not
+    /// covered; call again to re-attach (re-attachment replaces the
+    /// tracker, so prefer enabling once after the topology is built).
+    pub fn enable_latency_tracking(&self) -> Arc<pipes_trace::LatencyTracker> {
+        let tracker = Arc::new(pipes_trace::LatencyTracker::new());
+        let nodes = self.nodes.read();
+        for cell in nodes.iter() {
+            cell.runnable
+                .lock()
+                .attach_latency(Arc::clone(&tracker), Arc::clone(&cell.stats));
+        }
+        tracker
     }
 
     /// Caps the input-run / output-flush batch size of `node` (see

@@ -9,10 +9,16 @@
 //! per-message processing.
 
 use crate::edge::Edge;
-use crate::operator::{BinaryOperator, Operator, SinkOp, SourceOp, SourceStatus};
+use crate::operator::{BinaryOperator, Collector, Operator, SinkOp, SourceOp, SourceStatus};
 use crate::outputs::{Outputs, PublishCollector, DEFAULT_FLUSH_CAP};
+use pipes_meta::NodeStats;
 use pipes_sync::Arc;
-use pipes_time::Message;
+use pipes_time::{Element, Message, Timestamp};
+use pipes_trace::LatencyTracker;
+
+/// Sinks on the latency pipeline observe every Nth element rather than all
+/// of them: the P² update and stamp lookup stay off the per-tuple path.
+const LATENCY_SAMPLE_EVERY: u64 = 32;
 
 /// What one scheduling quantum accomplished.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -47,6 +53,34 @@ pub trait Runnable: Send {
     /// the per-message data path; the default is effectively unbounded.
     fn set_batch_limit(&mut self, limit: usize) {
         let _ = limit;
+    }
+    /// Joins the node to a source-to-sink latency pipeline. Sources stamp
+    /// `(logical start, wall clock)` pairs into `tracker` as they produce;
+    /// sinks look elements up against those stamps and record the observed
+    /// latency into `stats`. Interior nodes ignore the call.
+    fn attach_latency(&mut self, tracker: Arc<LatencyTracker>, stats: Arc<NodeStats>) {
+        let _ = (tracker, stats);
+    }
+}
+
+/// Wraps a collector to track the largest element-start timestamp that
+/// passed through during one produce quantum, so the source can stamp the
+/// latency tracker once per quantum instead of once per element.
+struct StampingCollector<'a, 'b, T> {
+    inner: &'a mut dyn Collector<T>,
+    max_ticks: &'b mut Option<u64>,
+}
+
+impl<T> Collector<T> for StampingCollector<'_, '_, T> {
+    fn element(&mut self, e: Element<T>) {
+        let t = e.start().ticks();
+        if self.max_ticks.is_none_or(|m| t > m) {
+            *self.max_ticks = Some(t);
+        }
+        self.inner.element(e);
+    }
+    fn heartbeat(&mut self, t: Timestamp) {
+        self.inner.heartbeat(t);
     }
 }
 
@@ -102,6 +136,7 @@ pub struct SourceNode<S: SourceOp> {
     exhausted: bool,
     batch_limit: usize,
     out_scratch: Vec<Message<S::Out>>,
+    latency: Option<Arc<LatencyTracker>>,
 }
 
 impl<S: SourceOp> SourceNode<S> {
@@ -113,6 +148,7 @@ impl<S: SourceOp> SourceNode<S> {
             exhausted: false,
             batch_limit: usize::MAX,
             out_scratch: Vec::new(),
+            latency: None,
         }
     }
 }
@@ -124,7 +160,26 @@ impl<S: SourceOp> Runnable for SourceNode<S> {
         }
         let mut collector = PublishCollector::new(&self.outputs, &mut self.out_scratch)
             .with_flush_cap(flush_cap(self.batch_limit));
-        let status = self.op.produce(budget, &mut collector);
+        let status;
+        if let Some(tracker) = &self.latency {
+            let mut max_ticks = None;
+            let mut stamping = StampingCollector {
+                inner: &mut collector,
+                max_ticks: &mut max_ticks,
+            };
+            status = self.op.produce(budget, &mut stamping);
+            if let Some(logical) = max_ticks {
+                // One stamp per quantum, taken before the final flush. The
+                // stamp covers every element of the quantum, so per-element
+                // latencies are slight overestimates (conservative for SLO
+                // monitoring). Elements flushed mid-quantum by the output
+                // cap may briefly outrun their stamp; sinks simply skip
+                // samples with no covering stamp.
+                tracker.stamp(logical, pipes_trace::now_ns());
+            }
+        } else {
+            status = self.op.produce(budget, &mut collector);
+        }
         let produced = collector.finish();
         drop(collector);
         if status == SourceStatus::Exhausted {
@@ -160,6 +215,10 @@ impl<S: SourceOp> Runnable for SourceNode<S> {
 
     fn set_batch_limit(&mut self, limit: usize) {
         self.batch_limit = limit.max(1);
+    }
+
+    fn attach_latency(&mut self, tracker: Arc<LatencyTracker>, _stats: Arc<NodeStats>) {
+        self.latency = Some(tracker);
     }
 }
 
@@ -436,6 +495,8 @@ pub struct SinkNode<K: SinkOp> {
     open_ports: Vec<bool>,
     batch_limit: usize,
     in_scratch: Vec<(u64, Message<K::In>)>,
+    latency: Option<(Arc<LatencyTracker>, Arc<NodeStats>)>,
+    latency_ctr: u64,
 }
 
 impl<K: SinkOp> SinkNode<K> {
@@ -448,6 +509,8 @@ impl<K: SinkOp> SinkNode<K> {
             open_ports,
             batch_limit: usize::MAX,
             in_scratch: Vec::new(),
+            latency: None,
+            latency_ctr: 0,
         }
     }
 }
@@ -456,6 +519,9 @@ impl<K: SinkOp> Runnable for SinkNode<K> {
     fn step(&mut self, budget: usize) -> StepReport {
         let mut report = StepReport::default();
         let mut run = std::mem::take(&mut self.in_scratch);
+        // Latency samples observed this quantum; folded into the node's
+        // quantile estimators in one batch (one stats lock per quantum).
+        let mut lat_samples: Vec<u64> = Vec::new();
         while report.consumed < budget {
             let Some(port) = earliest_port(&self.inputs) else {
                 break;
@@ -469,13 +535,30 @@ impl<K: SinkOp> Runnable for SinkNode<K> {
             report.batches += 1;
             report.consumed += n;
             for (_, msg) in run.drain(..) {
-                if matches!(msg, Message::Close) {
-                    self.open_ports[port] = false;
+                match &msg {
+                    Message::Close => self.open_ports[port] = false,
+                    Message::Element(e) => {
+                        if let Some((tracker, _)) = &self.latency {
+                            self.latency_ctr += 1;
+                            // `== 1` so the very first element is sampled:
+                            // short streams still produce a summary.
+                            if self.latency_ctr % LATENCY_SAMPLE_EVERY == 1 {
+                                let logical = e.start().ticks();
+                                if let Some(lat) = tracker.observe(logical, pipes_trace::now_ns()) {
+                                    lat_samples.push(lat);
+                                }
+                            }
+                        }
+                    }
+                    Message::Heartbeat(_) => {}
                 }
                 self.op.on_message(port, msg);
             }
         }
         self.in_scratch = run;
+        if let Some((_, stats)) = &self.latency {
+            stats.record_latency_ns(&lat_samples);
+        }
         report
     }
 
@@ -501,5 +584,9 @@ impl<K: SinkOp> Runnable for SinkNode<K> {
 
     fn set_batch_limit(&mut self, limit: usize) {
         self.batch_limit = limit.max(1);
+    }
+
+    fn attach_latency(&mut self, tracker: Arc<LatencyTracker>, stats: Arc<NodeStats>) {
+        self.latency = Some((tracker, stats));
     }
 }

@@ -107,6 +107,7 @@ impl<T: Clone> Outputs<T> {
         for edge in self.subs.read().iter() {
             edge.push(seq, Message::Heartbeat(t));
         }
+        pipes_trace::instant(pipes_trace::names::HEARTBEAT, [t.ticks(), 0, 0]);
     }
 
     /// Publishes a whole batch of elements and heartbeats.
@@ -135,6 +136,7 @@ impl<T: Clone> Outputs<T> {
         // block; uniqueness is all that is required (see subscribe()).
         let seq_base = self.seq.fetch_add(k as u64, Ordering::Relaxed);
         let subs = self.subs.read();
+        let n_subs = subs.len();
         match subs.split_last() {
             None => batch.clear(),
             Some((last, rest)) => {
@@ -144,6 +146,13 @@ impl<T: Clone> Outputs<T> {
                 last.push_batch(seq_base, batch);
             }
         }
+        drop(subs);
+        // Coarse-timestamped: flushes fire once per batch inside the
+        // publisher's node-step span; see EDGE_DRAIN in edge.rs.
+        pipes_trace::instant_coarse(
+            pipes_trace::names::FLUSH,
+            [k as u64, n_subs as u64, seq_base],
+        );
     }
 
     /// Publishes end-of-stream (idempotent).
@@ -158,6 +167,7 @@ impl<T: Clone> Outputs<T> {
         for edge in self.subs.read().iter() {
             edge.push(seq, Message::Close);
         }
+        pipes_trace::instant(pipes_trace::names::CLOSE, [0; 3]);
     }
 
     /// Whether `Close` has been published.

@@ -5,11 +5,12 @@
 //! Three rules (see DESIGN.md § "Concurrency discipline"):
 //!
 //! 1. **`no-direct-sync`** — inside the concurrency-bearing kernel crates
-//!    (`crates/graph`, `crates/sched`, `crates/mem`), every lock, atomic,
-//!    and thread primitive must come from the `pipes-sync` facade; direct
-//!    `std::sync`, `std::thread`, `parking_lot`, or `loom` paths are
-//!    rejected. This is what keeps the model checker's view of the kernel
-//!    complete: an uninstrumented primitive is invisible to it.
+//!    (`crates/graph`, `crates/sched`, `crates/mem`, `crates/meta`,
+//!    `crates/trace`), every lock, atomic, and thread primitive must come
+//!    from the `pipes-sync` facade; direct `std::sync`, `std::thread`,
+//!    `parking_lot`, or `loom` paths are rejected. This is what keeps the
+//!    model checker's view of the kernel complete: an uninstrumented
+//!    primitive is invisible to it.
 //! 2. **`ordering-justification`** — `Ordering::Relaxed` and
 //!    `Ordering::SeqCst` (workspace-wide) require an adjacent
 //!    `// ordering:` comment explaining why that extreme is correct.
@@ -35,7 +36,13 @@ use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Crates whose sources must go through the `pipes-sync` facade (rule 1).
-const KERNEL_CRATES: &[&str] = &["crates/graph", "crates/sched", "crates/mem"];
+const KERNEL_CRATES: &[&str] = &[
+    "crates/graph",
+    "crates/sched",
+    "crates/mem",
+    "crates/meta",
+    "crates/trace",
+];
 
 /// Directories never scanned: vendored shims (foreign idiom), build
 /// output, VCS metadata.
@@ -539,7 +546,17 @@ mod tests {
             check("crates/graph/src/edge.rs", src),
             vec!["no-direct-sync:1"]
         );
-        assert!(check("crates/meta/src/stats.rs", src).is_empty());
+        assert_eq!(
+            check("crates/meta/src/stats.rs", src),
+            vec!["no-direct-sync:1"],
+            "meta joined the facade-only set"
+        );
+        assert_eq!(
+            check("crates/trace/src/ring.rs", src),
+            vec!["no-direct-sync:1"],
+            "trace joined the facade-only set"
+        );
+        assert!(check("crates/cql/src/lib.rs", src).is_empty());
         assert!(check("crates/sync/src/lib.rs", src).is_empty());
     }
 

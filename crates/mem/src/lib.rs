@@ -19,7 +19,7 @@
 #![warn(missing_docs)]
 
 use pipes_graph::{NodeId, QueryGraph};
-use pipes_sync::atomic::{AtomicUsize, Ordering};
+use pipes_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::collections::HashMap;
 
 /// How the global budget is split across subscribed operators.
@@ -40,6 +40,9 @@ pub enum AssignmentStrategy {
 /// One rebalancing round's outcome.
 #[derive(Clone, Debug, Default)]
 pub struct MemoryReport {
+    /// Monotone index of this rebalancing round (1-based); shed trace
+    /// events carry the same index, tying each shed to its trigger.
+    pub round: u64,
     /// Total retained elements before enforcement.
     pub usage_before: usize,
     /// Total retained elements after enforcement.
@@ -60,6 +63,7 @@ pub struct MemoryManager {
     budget: AtomicUsize,
     strategy: AssignmentStrategy,
     subscribers: Vec<NodeId>,
+    rounds: AtomicU64,
 }
 
 impl MemoryManager {
@@ -69,6 +73,7 @@ impl MemoryManager {
             budget: AtomicUsize::new(budget),
             strategy,
             subscribers: Vec::new(),
+            rounds: AtomicU64::new(0),
         }
     }
 
@@ -148,7 +153,17 @@ impl MemoryManager {
     /// One management round: recompute assignments and shed every
     /// over-budget subscriber down to its share.
     pub fn rebalance(&self, graph: &QueryGraph) -> MemoryReport {
-        let mut report = MemoryReport::default();
+        // ordering: Relaxed — the round counter only labels trace events
+        // and reports; nothing is published through it.
+        let round = self.rounds.fetch_add(1, Ordering::Relaxed) + 1;
+        let _span = pipes_trace::span_args(
+            pipes_trace::names::REBALANCE,
+            [round, self.budget() as u64, self.subscribers.len() as u64],
+        );
+        let mut report = MemoryReport {
+            round,
+            ..MemoryReport::default()
+        };
         let assignments = self.assignments(graph);
         for &(id, _) in &assignments {
             report.usage_before += graph.memory(id);
@@ -160,7 +175,12 @@ impl MemoryManager {
             } else {
                 usage
             };
-            report.shed += usage.saturating_sub(after);
+            let shed = usage.saturating_sub(after);
+            if shed > 0 {
+                // Each actual shed references the round that triggered it.
+                pipes_trace::instant(pipes_trace::names::SHED, [round, id as u64, shed as u64]);
+            }
+            report.shed += shed;
             report.usage_after += after;
             report.per_node.push((id, assigned, after));
         }

@@ -286,6 +286,12 @@ impl P2Quantile {
     pub fn count(&self) -> u64 {
         self.count
     }
+
+    /// The quantile this estimator was configured for (the `p` passed to
+    /// [`P2Quantile::new`]).
+    pub fn quantile(&self) -> f64 {
+        self.p
+    }
 }
 
 /// Uniform reservoir sample of a stream (Vitter's algorithm R).

@@ -33,4 +33,4 @@ mod stats;
 
 pub use metrics::{EstimatorSpec, MetadataFactory, MetricSet, OnlineEstimator};
 pub use monitor::{Monitor, SeriesView, TimeSeries};
-pub use stats::{NodeStats, StatsSnapshot};
+pub use stats::{LatencySummary, NodeStats, StatsSnapshot};

@@ -63,7 +63,7 @@ impl OnlineEstimator for P2Quantile {
     }
     fn reset(&mut self) {
         // P² has no cheap reset; rebuild at the same quantile.
-        *self = P2Quantile::new(0.5);
+        *self = P2Quantile::new(self.quantile());
     }
 }
 
@@ -248,6 +248,27 @@ mod tests {
         set.observe("rate", 10.0);
         factory2.apply(&mut set);
         assert_eq!(set.value("rate"), Some(10.0));
+    }
+
+    #[test]
+    fn p2_reset_keeps_configured_quantile() {
+        // Regression: reset used to rebuild at the hardcoded median,
+        // silently turning a p95 estimator into a p50 one.
+        let mut est: Box<dyn OnlineEstimator> = EstimatorSpec::Quantile(0.95).build();
+        for i in 0..10_000 {
+            est.observe(i as f64);
+        }
+        est.reset();
+        for i in 0..10_000 {
+            est.observe(i as f64);
+        }
+        // exact p95 of 0..10000 is 9499; a median estimator would sit
+        // near 5000.
+        assert!(
+            (est.value() - 9499.0).abs() < 500.0,
+            "post-reset estimate drifted to {}",
+            est.value()
+        );
     }
 
     #[test]

@@ -6,10 +6,8 @@
 //! sparklines and CSV rather than a Swing window.
 
 use crate::{NodeStats, StatsSnapshot};
-use parking_lot::Mutex;
+use pipes_sync::{Arc, Condvar, Mutex};
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
 use std::time::Instant;
 
 /// A sampled metric series for one node.
@@ -38,6 +36,9 @@ pub enum SeriesView {
     Subscribers,
     /// Cumulative mean batch size (messages per batched queue drain).
     BatchSize,
+    /// p95 source-to-sink latency in nanoseconds (0 until the trace
+    /// latency pipeline reports samples for the node).
+    LatencyP95,
 }
 
 impl SeriesView {
@@ -51,6 +52,7 @@ impl SeriesView {
             SeriesView::Selectivity => "sel",
             SeriesView::Subscribers => "subs",
             SeriesView::BatchSize => "batch",
+            SeriesView::LatencyP95 => "p95lat",
         }
     }
 }
@@ -76,6 +78,11 @@ impl TimeSeries {
                 .iter()
                 .map(|s| s.avg_batch_size().unwrap_or(0.0))
                 .collect(),
+            SeriesView::LatencyP95 => self
+                .snapshots
+                .iter()
+                .map(|s| s.latency.map(|l| l.p95_ns).unwrap_or(0.0))
+                .collect(),
             SeriesView::InputRate => self.rate(|s| s.in_count),
             SeriesView::OutputRate => self.rate(|s| s.out_count),
         }
@@ -88,6 +95,9 @@ impl TimeSeries {
                 out.push(0.0);
             } else {
                 let dt = (self.times[i] - self.times[i - 1]).max(1e-9);
+                // saturating_sub: a counter that went backwards (node
+                // restarted / stats reset) reads as a zero-rate interval
+                // instead of wrapping to ~u64::MAX.
                 let dn = f(&self.snapshots[i]).saturating_sub(f(&self.snapshots[i - 1]));
                 out.push(dn as f64 / dt);
             }
@@ -105,7 +115,11 @@ pub struct Monitor {
 struct MonitorInner {
     nodes: Mutex<Vec<Arc<NodeStats>>>,
     series: Mutex<Vec<TimeSeries>>,
-    running: AtomicBool,
+    /// Sampler lifecycle flag; paired with `stop` so `MonitorGuard::stop`
+    /// interrupts the sampler's inter-sample wait instead of letting it
+    /// sleep out a full interval.
+    running: Mutex<bool>,
+    stop: Condvar,
 }
 
 impl Default for Monitor {
@@ -122,7 +136,8 @@ impl Monitor {
             inner: Arc::new(MonitorInner {
                 nodes: Mutex::new(Vec::new()),
                 series: Mutex::new(Vec::new()),
-                running: AtomicBool::new(false),
+                running: Mutex::new(false),
+                stop: Condvar::new(),
             }),
         }
     }
@@ -136,6 +151,12 @@ impl Monitor {
     /// Number of registered nodes.
     pub fn node_count(&self) -> usize {
         self.inner.nodes.lock().len()
+    }
+
+    /// The registered nodes, in registration order (e.g. for the
+    /// Prometheus dumper in `pipes-trace`).
+    pub fn registered(&self) -> Vec<Arc<NodeStats>> {
+        self.inner.nodes.lock().clone()
     }
 
     /// Takes one sample of every registered node at the given logical time
@@ -155,27 +176,32 @@ impl Monitor {
     }
 
     /// Spawns a background thread sampling every `interval`. Returns a
-    /// guard; dropping it (or calling its `stop` method) stops the thread.
+    /// guard; dropping it (or calling its `stop` method) stops the thread
+    /// promptly — the inter-sample wait is a condvar the guard signals, so
+    /// stopping never blocks for a full `interval`.
     pub fn spawn(&self, interval: std::time::Duration) -> MonitorGuard {
-        // ordering: SeqCst — start/stop happen at human timescales on a
-        // cold path; the strongest ordering keeps the sampling loop's
-        // lifecycle trivially correct and costs nothing that matters here.
-        self.inner.running.store(true, Ordering::SeqCst);
+        *self.inner.running.lock() = true;
         let inner = Arc::clone(&self.inner);
         let started = self.started;
-        let handle = std::thread::spawn(move || {
-            // ordering: SeqCst — see spawn(); pairs with stop_inner().
-            while inner.running.load(Ordering::SeqCst) {
-                let t = started.elapsed().as_secs_f64();
-                {
-                    let nodes = inner.nodes.lock();
-                    let mut series = inner.series.lock();
-                    for (i, node) in nodes.iter().enumerate() {
-                        series[i].times.push(t);
-                        series[i].snapshots.push(node.snapshot());
-                    }
+        let handle = pipes_sync::thread::spawn(move || loop {
+            let t = started.elapsed().as_secs_f64();
+            {
+                let nodes = inner.nodes.lock();
+                let mut series = inner.series.lock();
+                for (i, node) in nodes.iter().enumerate() {
+                    series[i].times.push(t);
+                    series[i].snapshots.push(node.snapshot());
                 }
-                std::thread::sleep(interval);
+            }
+            let mut running = inner.running.lock();
+            if !*running {
+                break;
+            }
+            // Timeout = the sampling interval; a stop notification wakes
+            // the wait early.
+            let _ = inner.stop.wait_for(&mut running, interval);
+            if !*running {
+                break;
             }
         });
         MonitorGuard {
@@ -191,12 +217,17 @@ impl Monitor {
     }
 
     /// Renders one sparkline per registered node for the given view.
+    /// Nodes with no samples yet render a `-` placeholder.
     pub fn render_sparklines(&self, view: SeriesView) -> String {
         let nodes = self.inner.nodes.lock();
         let series = self.inner.series.lock();
         let mut out = String::new();
         for (i, node) in nodes.iter().enumerate() {
             let values = series[i].view(view);
+            if values.is_empty() {
+                let _ = writeln!(out, "{:>20} {:>6} -", node.name(), view.label());
+                continue;
+            }
             let _ = writeln!(
                 out,
                 "{:>20} {:>6} {} [min {:.1}, max {:.1}]",
@@ -211,19 +242,19 @@ impl Monitor {
     }
 
     /// Dumps all samples as CSV:
-    /// `time,node,in,out,queue,mem,sel,subs,avg_batch`.
+    /// `time,node,in,out,queue,mem,sel,subs,avg_batch,p95_lat_ns`.
     pub fn to_csv(&self) -> String {
         let nodes = self.inner.nodes.lock();
         let series = self.inner.series.lock();
         let mut out = String::from(
-            "time,node,in_count,out_count,queue_len,memory,selectivity,subscribers,avg_batch\n",
+            "time,node,in_count,out_count,queue_len,memory,selectivity,subscribers,avg_batch,p95_lat_ns\n",
         );
         for (i, node) in nodes.iter().enumerate() {
             let name = node.name();
             for (t, s) in series[i].times.iter().zip(&series[i].snapshots) {
                 let _ = writeln!(
                     out,
-                    "{:.3},{},{},{},{},{},{:.4},{},{:.2}",
+                    "{:.3},{},{},{},{},{},{:.4},{},{:.2},{:.0}",
                     t,
                     name,
                     s.in_count,
@@ -232,7 +263,8 @@ impl Monitor {
                     s.memory,
                     s.selectivity().unwrap_or(0.0),
                     s.subscribers,
-                    s.avg_batch_size().unwrap_or(0.0)
+                    s.avg_batch_size().unwrap_or(0.0),
+                    s.latency.map(|l| l.p95_ns).unwrap_or(0.0),
                 );
             }
         }
@@ -243,7 +275,7 @@ impl Monitor {
 /// Stops the background sampling thread when dropped.
 pub struct MonitorGuard {
     inner: Arc<MonitorInner>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    handle: Option<pipes_sync::thread::JoinHandle<()>>,
 }
 
 impl MonitorGuard {
@@ -253,9 +285,10 @@ impl MonitorGuard {
     }
 
     fn stop_inner(&mut self) {
-        // ordering: SeqCst — see spawn(); the join() below is the real
-        // synchronization with the sampling thread.
-        self.inner.running.store(false, Ordering::SeqCst);
+        *self.inner.running.lock() = false;
+        // Wake the sampler out of its inter-sample wait; the join() below
+        // is the real synchronization with the sampling thread.
+        self.inner.stop.notify_all();
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -336,7 +369,49 @@ mod tests {
         m.sample_at(1.0);
         let s = &m.series()[0];
         assert_eq!(s.view(SeriesView::BatchSize), vec![0.0, 8.0]);
-        assert!(m.to_csv().lines().next().unwrap().ends_with("avg_batch"));
+        assert!(m.to_csv().lines().next().unwrap().ends_with("p95_lat_ns"));
+    }
+
+    #[test]
+    fn latency_series() {
+        let m = Monitor::new();
+        let stats = Arc::new(NodeStats::new("sink"));
+        m.register(Arc::clone(&stats));
+        m.sample_at(0.0); // before any latency samples: reported as 0
+        stats.record_latency_ns(&(1..=100).collect::<Vec<_>>());
+        m.sample_at(1.0);
+        let s = &m.series()[0];
+        let lat = s.view(SeriesView::LatencyP95);
+        assert_eq!(lat[0], 0.0);
+        assert!(lat[1] > 0.0, "p95lat={}", lat[1]);
+    }
+
+    #[test]
+    fn rate_tolerates_non_monotonic_counters() {
+        // A node restart (or stats reset) makes a cumulative counter go
+        // backwards between samples; the differenced rate must clamp to 0
+        // rather than wrap to ~u64::MAX.
+        fn snap(name: &str, in_count: u64) -> StatsSnapshot {
+            StatsSnapshot {
+                name: name.into(),
+                in_count,
+                out_count: 0,
+                heartbeat_count: 0,
+                batch_count: 0,
+                queue_len: 0,
+                memory: 0,
+                subscribers: 0,
+                latency: None,
+            }
+        }
+        let series = TimeSeries {
+            times: vec![0.0, 1.0, 2.0],
+            snapshots: vec![snap("n", 1000), snap("n", 200), snap("n", 700)],
+        };
+        let rates = series.view(SeriesView::InputRate);
+        assert_eq!(rates[0], 0.0);
+        assert_eq!(rates[1], 0.0, "backwards counter must clamp, not wrap");
+        assert!((rates[2] - 500.0).abs() < 1e-9);
     }
 
     #[test]
@@ -351,6 +426,16 @@ mod tests {
         // Constant series renders at the floor, not NaN.
         let flat = sparkline(&[5.0, 5.0]);
         assert_eq!(flat, "▁▁");
+    }
+
+    #[test]
+    fn render_with_zero_samples_shows_placeholder() {
+        let m = Monitor::new();
+        m.register(Arc::new(NodeStats::new("idle")));
+        let out = m.render_sparklines(SeriesView::QueueLen);
+        assert!(out.contains("idle"));
+        assert!(out.trim_end().ends_with('-'), "got: {out:?}");
+        assert!(!out.contains("inf"), "got: {out:?}");
     }
 
     #[test]
@@ -376,11 +461,27 @@ mod tests {
         let guard = m.spawn(std::time::Duration::from_millis(5));
         for _ in 0..10 {
             stats.record_in(10);
-            std::thread::sleep(std::time::Duration::from_millis(5));
+            pipes_sync::thread::sleep(std::time::Duration::from_millis(5));
         }
         guard.stop();
         let n = m.series()[0].times.len();
         assert!(n >= 2, "expected at least 2 samples, got {n}");
+    }
+
+    #[test]
+    fn stop_does_not_wait_out_the_interval() {
+        let m = Monitor::new();
+        m.register(Arc::new(NodeStats::new("slow")));
+        // A pathologically long interval: stopping must still be prompt.
+        let guard = m.spawn(std::time::Duration::from_secs(60));
+        pipes_sync::thread::sleep(std::time::Duration::from_millis(20));
+        let t0 = Instant::now();
+        guard.stop();
+        assert!(
+            t0.elapsed() < std::time::Duration::from_secs(5),
+            "stop took {:?}",
+            t0.elapsed()
+        );
     }
 
     #[test]

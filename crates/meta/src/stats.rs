@@ -1,8 +1,9 @@
 //! Always-on per-node statistics.
 
+use crate::estimators::P2Quantile;
 use crate::MetricSet;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use pipes_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use pipes_sync::Mutex;
 
 /// Cheap, always-on counters maintained by every node of a query graph.
 ///
@@ -20,6 +21,17 @@ pub struct NodeStats {
     memory: AtomicUsize,
     subscribers: AtomicUsize,
     custom: Mutex<MetricSet>,
+    latency: Mutex<Option<LatencyQuantiles>>,
+}
+
+/// P² estimators fed by the trace latency pipeline; lazily created on the
+/// first batch of samples so nodes without latency tracking pay nothing.
+#[derive(Debug)]
+struct LatencyQuantiles {
+    p50: P2Quantile,
+    p95: P2Quantile,
+    p99: P2Quantile,
+    count: u64,
 }
 
 impl NodeStats {
@@ -91,6 +103,43 @@ impl NodeStats {
         f(&mut self.custom.lock())
     }
 
+    /// Feeds a batch of source-to-sink latency samples (nanoseconds) into
+    /// the node's P² quantile estimators.
+    ///
+    /// Called by sinks on the trace latency pipeline, once per scheduler
+    /// quantum with the quantum's sampled observations — one lock per
+    /// quantum, not per tuple. The estimators are created on first use.
+    pub fn record_latency_ns(&self, samples: &[u64]) {
+        if samples.is_empty() {
+            return;
+        }
+        let mut guard = self.latency.lock();
+        let lat = guard.get_or_insert_with(|| LatencyQuantiles {
+            p50: P2Quantile::new(0.5),
+            p95: P2Quantile::new(0.95),
+            p99: P2Quantile::new(0.99),
+            count: 0,
+        });
+        for &s in samples {
+            let x = s as f64;
+            lat.p50.observe(x);
+            lat.p95.observe(x);
+            lat.p99.observe(x);
+        }
+        lat.count += samples.len() as u64;
+    }
+
+    /// Current latency quantiles, or `None` if no latency sample was ever
+    /// recorded (latency tracking disabled or node is not a sink).
+    pub fn latency(&self) -> Option<LatencySummary> {
+        self.latency.lock().as_ref().map(|l| LatencySummary {
+            count: l.count,
+            p50_ns: l.p50.value(),
+            p95_ns: l.p95.value(),
+            p99_ns: l.p99.value(),
+        })
+    }
+
     /// Takes a consistent-enough snapshot of the counters.
     pub fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot {
@@ -106,12 +155,26 @@ impl NodeStats {
             queue_len: self.queue_len.load(Ordering::Relaxed),
             memory: self.memory.load(Ordering::Relaxed),
             subscribers: self.subscribers.load(Ordering::Relaxed),
+            latency: self.latency(),
         }
     }
 }
 
+/// A point-in-time copy of a node's source-to-sink latency quantiles.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Number of latency samples observed.
+    pub count: u64,
+    /// Median latency estimate, nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile latency estimate, nanoseconds.
+    pub p95_ns: f64,
+    /// 99th-percentile latency estimate, nanoseconds.
+    pub p99_ns: f64,
+}
+
 /// A point-in-time copy of a node's counters.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct StatsSnapshot {
     /// Node display name.
     pub name: String,
@@ -129,6 +192,8 @@ pub struct StatsSnapshot {
     pub memory: usize,
     /// Current number of subscribed sinks.
     pub subscribers: usize,
+    /// Latency quantiles, when the trace latency pipeline is attached.
+    pub latency: Option<LatencySummary>,
 }
 
 impl StatsSnapshot {
@@ -179,6 +244,7 @@ mod tests {
         assert_eq!(snap.queue_len, 3);
         assert_eq!(snap.memory, 42);
         assert_eq!(snap.subscribers, 2);
+        assert_eq!(snap.latency, None);
         assert!((snap.selectivity().unwrap() - 0.4).abs() < 1e-12);
         assert!((snap.avg_batch_size().unwrap() - 5.0).abs() < 1e-12);
     }
@@ -205,13 +271,31 @@ mod tests {
     }
 
     #[test]
+    fn latency_quantiles_track_samples() {
+        let s = NodeStats::new("sink");
+        assert_eq!(s.latency(), None);
+        s.record_latency_ns(&[]);
+        assert_eq!(s.latency(), None, "empty batches must not create state");
+
+        let samples: Vec<u64> = (1..=1000).collect();
+        s.record_latency_ns(&samples);
+        let lat = s.latency().expect("latency recorded");
+        assert_eq!(lat.count, 1000);
+        assert!((lat.p50_ns - 500.0).abs() < 50.0, "p50={}", lat.p50_ns);
+        assert!((lat.p95_ns - 950.0).abs() < 50.0, "p95={}", lat.p95_ns);
+        assert!((lat.p99_ns - 990.0).abs() < 50.0, "p99={}", lat.p99_ns);
+        assert!(lat.p50_ns <= lat.p95_ns && lat.p95_ns <= lat.p99_ns);
+        assert_eq!(s.snapshot().latency, Some(lat));
+    }
+
+    #[test]
     fn stats_shared_across_threads() {
-        use std::sync::Arc;
+        use pipes_sync::Arc;
         let s = Arc::new(NodeStats::new("shared"));
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let s = Arc::clone(&s);
-                std::thread::spawn(move || {
+                pipes_sync::thread::spawn(move || {
                     for _ in 0..1000 {
                         s.record_in(1);
                     }

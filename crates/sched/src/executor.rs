@@ -87,7 +87,9 @@ impl Backoff {
             let timeout = Self::FIRST_PARK
                 .saturating_mul(1 << doublings)
                 .min(Self::MAX_PARK);
+            pipes_trace::instant(pipes_trace::names::PARK, [timeout.as_micros() as u64, 0, 0]);
             thread::park_timeout(timeout);
+            pipes_trace::instant(pipes_trace::names::UNPARK, [0; 3]);
         }
         self.rounds = self.rounds.saturating_add(1);
     }
@@ -222,6 +224,7 @@ impl SingleThreadExecutor {
                         // to spawn.
                         if graph.all_finished() {
                             flag.store(true, Ordering::Release);
+                            pipes_trace::instant(pipes_trace::names::STOP, [0; 3]);
                             break;
                         }
                         backoff.wait();
@@ -229,7 +232,16 @@ impl SingleThreadExecutor {
                 }
                 continue;
             };
-            let step = graph.step_node(id, self.quantum);
+            let step = {
+                // One span per strategy decision: nested NODE_STEP spans
+                // (recorded by the graph layer) reconstruct which node the
+                // quantum ran.
+                let _span = pipes_trace::span_args(
+                    pipes_trace::names::QUANTUM,
+                    [id as u64, report.quanta, 0],
+                );
+                graph.step_node(id, self.quantum)
+            };
             report.quanta += 1;
             report.consumed += step.consumed as u64;
             report.produced += step.produced as u64;
@@ -242,6 +254,7 @@ impl SingleThreadExecutor {
                 if let Some(flag) = stop {
                     if graph.all_finished() {
                         flag.store(true, Ordering::Release);
+                        pipes_trace::instant(pipes_trace::names::STOP, [0; 3]);
                         break;
                     }
                     backoff.wait();
@@ -347,15 +360,18 @@ impl MultiThreadExecutor {
             exec = exec.with_batch_limit(limit);
         }
 
+        let n_workers = partitions.len();
         let reports: Vec<ExecutionReport> = thread::scope(|scope| {
             let handles: Vec<_> = partitions
                 .into_iter()
-                .map(|part| {
+                .enumerate()
+                .map(|(i, part)| {
                     let mut strategy = make_strategy();
                     let graph = Arc::clone(graph);
                     let stop = Arc::clone(&stop);
                     let exec = &exec;
                     scope.spawn(move || {
+                        pipes_trace::set_thread_name(&format!("worker-{i}"));
                         exec.run_nodes(&graph, strategy.as_mut(), &part, Some(&stop))
                     })
                 })
@@ -366,6 +382,7 @@ impl MultiThreadExecutor {
                 .collect()
         });
         stop.store(true, Ordering::Release);
+        pipes_trace::instant(pipes_trace::names::SHUTDOWN, [n_workers as u64, 0, 0]);
         reports
     }
 }

@@ -39,6 +39,13 @@ pub use loom::sync::{
     Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
 };
 
+/// A write-once cell (`std::sync::OnceLock` in both configurations).
+///
+/// The model checker does not instrument it: use it only for init-once
+/// caches whose value is immutable after initialization (lazy globals),
+/// never for data whose interleavings a model test should explore.
+pub use std::sync::OnceLock;
+
 // --- atomics --------------------------------------------------------------
 
 /// Atomic types; `std::sync::atomic` normally, instrumented under

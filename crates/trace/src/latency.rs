@@ -1,0 +1,124 @@
+//! Source-to-sink tuple-latency pipeline.
+//!
+//! Polled counters cannot answer "how long does a tuple take to cross the
+//! graph". This module can, without per-tuple overhead: sources *stamp*
+//! (logical timestamp → wall clock) once per produced batch, sinks look a
+//! sampled element's logical timestamp up and record the wall-clock delta
+//! into their node's P² quantile estimators (`NodeStats` p50/p95/p99).
+//!
+//! A stamp `(l, w)` means "every element with logical start ≤ `l` had been
+//! produced by wall time `w`". Sources record the *maximum* element start
+//! of a batch before flushing it downstream, so a sink observing logical
+//! `l` finds the first stamp with logical ≥ `l`: the batch that carried
+//! the element. The reported latency slightly *overestimates* (stamping
+//! happens before the flush leaves the source), which is the conservative
+//! direction for a latency SLO.
+//!
+//! The tracker is opt-in (`QueryGraph::enable_latency_tracking`) and
+//! compiles to a no-op alongside the rest of the recorder under
+//! `trace-off`.
+
+use std::collections::VecDeque;
+
+use pipes_sync::Mutex;
+
+/// Maximum retained stamps; older ones are evicted (their tuples have
+/// almost certainly drained — at one stamp per batch this covers millions
+/// of in-flight elements).
+const STAMP_CAPACITY: usize = 4096;
+
+/// Shared stamp table connecting a graph's sources to its sinks.
+#[derive(Default)]
+pub struct LatencyTracker {
+    stamps: Mutex<VecDeque<(u64, u64)>>,
+}
+
+impl LatencyTracker {
+    /// Creates an empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records "all elements with logical start ≤ `logical` were produced
+    /// by `wall_ns`". Called by sources once per flushed batch; stamps
+    /// must arrive with non-decreasing `logical` (others are dropped, so
+    /// multiple sources sharing a tracker degrade to sampling rather than
+    /// corrupting the table).
+    pub fn stamp(&self, logical: u64, wall_ns: u64) {
+        if crate::COMPILED_OUT {
+            return;
+        }
+        let mut stamps = self.stamps.lock();
+        if let Some(&(back, _)) = stamps.back() {
+            if logical <= back {
+                return;
+            }
+        }
+        if stamps.len() >= STAMP_CAPACITY {
+            stamps.pop_front();
+        }
+        stamps.push_back((logical, wall_ns));
+    }
+
+    /// Looks up when the element with logical start `logical` was
+    /// produced and returns `now_ns - produced_ns`, or `None` if its
+    /// stamp was never taken or already evicted.
+    pub fn observe(&self, logical: u64, now_ns: u64) -> Option<u64> {
+        if crate::COMPILED_OUT {
+            return None;
+        }
+        let stamps = self.stamps.lock();
+        let idx = stamps.partition_point(|&(l, _)| l < logical);
+        let &(_, wall) = stamps.get(idx)?;
+        Some(now_ns.saturating_sub(wall))
+    }
+
+    /// Number of retained stamps (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        self.stamps.lock().len()
+    }
+
+    /// Whether no stamps are retained.
+    pub fn is_empty(&self) -> bool {
+        self.stamps.lock().is_empty()
+    }
+}
+
+#[cfg(all(test, not(any(feature = "trace-off", pipes_model_check))))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn observe_finds_covering_stamp() {
+        let t = LatencyTracker::new();
+        t.stamp(10, 100);
+        t.stamp(20, 200);
+        // Element 5 was covered by the first batch (logical ≤ 10).
+        assert_eq!(t.observe(5, 150), Some(50));
+        // Element 15 rode the second batch.
+        assert_eq!(t.observe(15, 260), Some(60));
+        // Element 25 has no stamp yet.
+        assert_eq!(t.observe(25, 300), None);
+    }
+
+    #[test]
+    fn non_monotone_stamps_are_dropped() {
+        let t = LatencyTracker::new();
+        t.stamp(10, 100);
+        t.stamp(10, 999);
+        t.stamp(5, 999);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.observe(10, 100), Some(0));
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let t = LatencyTracker::new();
+        for i in 0..(STAMP_CAPACITY as u64 + 10) {
+            t.stamp(i, i * 10);
+        }
+        assert_eq!(t.len(), STAMP_CAPACITY);
+        // The oldest stamps are gone.
+        assert_eq!(t.observe(0, 1000), Some(1000 - 100));
+    }
+}

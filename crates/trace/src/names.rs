@@ -1,0 +1,56 @@
+//! Well-known event names used by the kernel's instrumentation points.
+//!
+//! Each constant documents the meaning of the event's `args` triple.
+//! Instrumentation is not limited to these — any `&'static str` interns —
+//! but sharing constants keeps the replay assertions and exporters in one
+//! vocabulary.
+
+/// Span around one `Runnable::step` call inside `QueryGraph::step_node`.
+/// args: `[node_id, budget, 0]`.
+pub const NODE_STEP: &str = "node.step";
+
+/// Span around one scheduler quantum (strategy decision + node step) in
+/// the executor loop. args: `[node_id, quanta_index, 0]`.
+pub const QUANTUM: &str = "sched.quantum";
+
+/// Instant when an idle worker parks. args: `[timeout_us, 0, 0]`.
+pub const PARK: &str = "sched.park";
+
+/// Instant when a parked worker resumes. args: `[0, 0, 0]`.
+pub const UNPARK: &str = "sched.unpark";
+
+/// Instant when a worker observes global completion and raises the stop
+/// flag. args: `[0, 0, 0]`.
+pub const STOP: &str = "sched.stop";
+
+/// Instant after a multi-threaded run has joined all workers.
+/// args: `[n_workers, 0, 0]`.
+pub const SHUTDOWN: &str = "sched.shutdown";
+
+/// Instant for a single-message edge push (rare on the batched path).
+/// args: `[edge_id, queue_len_after, 0]`.
+pub const EDGE_PUSH: &str = "graph.push";
+
+/// Instant for a non-empty `Edge::pop_run` drain.
+/// args: `[edge_id, drained, remaining]`.
+pub const EDGE_DRAIN: &str = "graph.drain";
+
+/// Instant for one `Outputs::publish_batch` flush.
+/// args: `[batch_len, n_subscribers, seq_base]`.
+pub const FLUSH: &str = "graph.flush";
+
+/// Instant for a non-suppressed heartbeat broadcast.
+/// args: `[heartbeat_ticks, 0, 0]`.
+pub const HEARTBEAT: &str = "graph.heartbeat";
+
+/// Instant for the first close broadcast of an output port.
+/// args: `[0, 0, 0]`.
+pub const CLOSE: &str = "graph.close";
+
+/// Span around one `MemoryManager::rebalance` round.
+/// args: `[round, budget, n_subscribers]`.
+pub const REBALANCE: &str = "mem.rebalance";
+
+/// Instant for one operator actually shedding state during a rebalance.
+/// args: `[round, node_id, shed_count]`.
+pub const SHED: &str = "mem.shed";

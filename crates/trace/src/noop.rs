@@ -1,0 +1,61 @@
+//! Compiled-out recorder: the same API surface as the live one, with
+//! every entry point an inline empty function. Selected by the
+//! `trace-off` feature or under `cfg(pipes_model_check)` (instrumented
+//! trace atomics would only multiply the model checker's schedule space).
+
+use crate::Trace;
+
+/// Always 0 when the recorder is compiled out.
+#[inline(always)]
+pub fn now_ns() -> u64 {
+    0
+}
+
+/// No-op; the recorder is compiled out.
+#[inline(always)]
+pub fn set_enabled(_on: bool) {}
+
+/// Always false when the recorder is compiled out.
+#[inline(always)]
+pub fn enabled() -> bool {
+    false
+}
+
+/// No-op; the recorder is compiled out.
+#[inline(always)]
+pub fn set_thread_name(_name: &str) {}
+
+/// No-op; the recorder is compiled out.
+#[inline(always)]
+pub fn instant(_name: &'static str, _args: [u64; 3]) {}
+
+/// No-op; the recorder is compiled out.
+#[inline(always)]
+pub fn instant_coarse(_name: &'static str, _args: [u64; 3]) {}
+
+/// Returns an inert guard; the recorder is compiled out.
+#[inline(always)]
+#[must_use = "dropping the guard immediately closes the span"]
+pub fn span(_name: &'static str) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+/// Returns an inert guard; the recorder is compiled out.
+#[inline(always)]
+#[must_use = "dropping the guard immediately closes the span"]
+pub fn span_args(_name: &'static str, _args: [u64; 3]) -> SpanGuard {
+    SpanGuard { _priv: () }
+}
+
+/// Zero-sized stand-in for the live guard.
+pub struct SpanGuard {
+    _priv: (),
+}
+
+/// Always empty when the recorder is compiled out.
+pub fn snapshot() -> Trace {
+    Trace::default()
+}
+
+/// No-op; the recorder is compiled out.
+pub fn clear() {}

@@ -1,0 +1,176 @@
+//! Prometheus text-exposition dumper.
+//!
+//! Renders a set of `NodeStats` (and their latency quantiles, when the
+//! latency pipeline is attached) in the Prometheus text exposition
+//! format, suitable for a file-based textfile collector or an ad-hoc
+//! `curl`-style endpoint.
+
+use std::fmt::Write as _;
+
+use pipes_meta::NodeStats;
+use pipes_sync::Arc;
+
+/// Renders all node counters, gauges, and latency quantiles in Prometheus
+/// text exposition format.
+pub fn render(nodes: &[Arc<NodeStats>]) -> String {
+    let snaps: Vec<_> = nodes.iter().map(|n| n.snapshot()).collect();
+    let mut out = String::new();
+
+    counter_family(
+        &mut out,
+        "pipes_node_in_total",
+        "Elements consumed by the node.",
+        snaps.iter().map(|s| (s.name.as_str(), s.in_count)),
+    );
+    counter_family(
+        &mut out,
+        "pipes_node_out_total",
+        "Elements produced by the node.",
+        snaps.iter().map(|s| (s.name.as_str(), s.out_count)),
+    );
+    counter_family(
+        &mut out,
+        "pipes_node_heartbeats_total",
+        "Heartbeats forwarded by the node.",
+        snaps.iter().map(|s| (s.name.as_str(), s.heartbeat_count)),
+    );
+    counter_family(
+        &mut out,
+        "pipes_node_batches_total",
+        "Scheduler quanta in which the node did work.",
+        snaps.iter().map(|s| (s.name.as_str(), s.batch_count)),
+    );
+    gauge_family(
+        &mut out,
+        "pipes_node_queue_len",
+        "Elements queued on the node's input edges.",
+        snaps.iter().map(|s| (s.name.as_str(), s.queue_len as u64)),
+    );
+    gauge_family(
+        &mut out,
+        "pipes_node_memory_elements",
+        "Elements held in the node's operator state.",
+        snaps.iter().map(|s| (s.name.as_str(), s.memory as u64)),
+    );
+    gauge_family(
+        &mut out,
+        "pipes_node_subscribers",
+        "Downstream edges subscribed to the node's output.",
+        snaps
+            .iter()
+            .map(|s| (s.name.as_str(), s.subscribers as u64)),
+    );
+
+    let with_latency: Vec<_> = snaps
+        .iter()
+        .filter_map(|s| s.latency.map(|l| (s.name.as_str(), l)))
+        .collect();
+    if !with_latency.is_empty() {
+        let _ = writeln!(
+            out,
+            "# HELP pipes_node_latency_seconds Source-to-sink tuple latency observed at the node."
+        );
+        let _ = writeln!(out, "# TYPE pipes_node_latency_seconds summary");
+        for (name, l) in &with_latency {
+            for (q, v) in [("0.5", l.p50_ns), ("0.95", l.p95_ns), ("0.99", l.p99_ns)] {
+                let _ = writeln!(
+                    out,
+                    "pipes_node_latency_seconds{{node=\"{}\",quantile=\"{q}\"}} {}",
+                    escape_label(name),
+                    fmt_value(v / 1e9)
+                );
+            }
+            let _ = writeln!(
+                out,
+                "pipes_node_latency_seconds_count{{node=\"{}\"}} {}",
+                escape_label(name),
+                l.count
+            );
+        }
+    }
+    out
+}
+
+fn counter_family<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    values: impl Iterator<Item = (&'a str, u64)>,
+) {
+    family(out, name, help, "counter", values);
+}
+
+fn gauge_family<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    values: impl Iterator<Item = (&'a str, u64)>,
+) {
+    family(out, name, help, "gauge", values);
+}
+
+fn family<'a>(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    values: impl Iterator<Item = (&'a str, u64)>,
+) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+    for (node, value) in values {
+        let _ = writeln!(out, "{name}{{node=\"{}\"}} {value}", escape_label(node));
+    }
+}
+
+/// Escapes a label value per the exposition format (backslash, quote,
+/// newline).
+fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Formats an f64 without scientific notation surprises; NaN (no
+/// observations yet) renders as the exposition format's `NaN`.
+fn fmt_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_all_families_with_labels() {
+        let a = Arc::new(NodeStats::new("src"));
+        let b = Arc::new(NodeStats::new("sink \"q\""));
+        a.record_in(10);
+        a.record_out(8);
+        b.set_queue_len(3);
+        let text = render(&[a, b]);
+        assert!(text.contains("# TYPE pipes_node_in_total counter"));
+        assert!(text.contains("pipes_node_in_total{node=\"src\"} 10"));
+        assert!(text.contains("pipes_node_out_total{node=\"src\"} 8"));
+        assert!(text.contains("pipes_node_queue_len{node=\"sink \\\"q\\\"\"} 3"));
+        // No latency attached → no summary family.
+        assert!(!text.contains("pipes_node_latency_seconds"));
+    }
+
+    #[test]
+    fn renders_latency_summary_when_recorded() {
+        let s = Arc::new(NodeStats::new("sink"));
+        let samples: Vec<u64> = (1..=1000).map(|i| i * 1_000_000).collect();
+        s.record_latency_ns(&samples);
+        let text = render(&[s]);
+        assert!(text.contains("# TYPE pipes_node_latency_seconds summary"));
+        assert!(text.contains("pipes_node_latency_seconds{node=\"sink\",quantile=\"0.5\"}"));
+        assert!(text.contains("pipes_node_latency_seconds{node=\"sink\",quantile=\"0.95\"}"));
+        assert!(text.contains("pipes_node_latency_seconds{node=\"sink\",quantile=\"0.99\"}"));
+        assert!(text.contains("pipes_node_latency_seconds_count{node=\"sink\"} 1000"));
+    }
+}

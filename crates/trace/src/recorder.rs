@@ -1,0 +1,281 @@
+//! The live recorder: global ring registry, name interning, trace epoch,
+//! and the public recording API re-exported from the crate root.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::time::Instant;
+
+use pipes_sync::atomic::{AtomicBool, Ordering};
+use pipes_sync::{Arc, Mutex, OnceLock};
+
+use crate::ring::Ring;
+use crate::{EventKind, ThreadInfo, Trace, TraceEvent};
+
+// --- global state ----------------------------------------------------------
+
+/// Runtime switch; the recorder is *always on* by default (the flight-
+/// recorder model: the last ~16 Ki events per thread are always there to
+/// snapshot after the fact).
+static ENABLED: AtomicBool = AtomicBool::new(true);
+
+/// All rings ever registered, in registration order. Rings are `Arc`ed so
+/// they outlive their owner thread and a late `snapshot` still sees its
+/// events.
+static REGISTRY: Mutex<Vec<Arc<Ring>>> = Mutex::new(Vec::new());
+
+/// Interned name table: id → name, plus the reverse map for interning.
+struct NameTable {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+static NAMES: Mutex<Option<NameTable>> = Mutex::new(None);
+
+/// Process-wide trace epoch; all timestamps are nanoseconds since this.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Nanoseconds since the process's trace epoch (first call wins).
+///
+/// The u64 arithmetic (instead of `Duration::as_nanos`'s u128) keeps this
+/// on the recording hot path's budget; it overflows after ~584 years of
+/// process uptime.
+#[inline]
+pub fn now_ns() -> u64 {
+    let d = EPOCH.get_or_init(Instant::now).elapsed();
+    d.as_secs() * 1_000_000_000 + u64::from(d.subsec_nanos())
+}
+
+/// Enables or disables recording at runtime. Disabling does not discard
+/// already-recorded events; pair with [`clear`] for a fresh start.
+pub fn set_enabled(on: bool) {
+    // ordering: Relaxed — a pure on/off flag polled by recording sites;
+    // no data is published under it.
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether recording is currently enabled.
+#[inline]
+pub fn enabled() -> bool {
+    // ordering: Relaxed — see set_enabled().
+    ENABLED.load(Ordering::Relaxed)
+}
+
+// --- interning -------------------------------------------------------------
+
+/// Interns a `&'static str` into the global table (slow path).
+fn intern_global(name: &'static str) -> u32 {
+    let mut guard = NAMES.lock();
+    let table = guard.get_or_insert_with(|| NameTable {
+        by_name: HashMap::new(),
+        names: Vec::new(),
+    });
+    if let Some(&id) = table.by_name.get(name) {
+        return id;
+    }
+    let id = table.names.len() as u32;
+    table.names.push(name);
+    table.by_name.insert(name, id);
+    id
+}
+
+/// Everything the hot path touches per thread, behind a *single*
+/// thread-local access: the thread's ring and its pointer-keyed intern
+/// cache. The cache is a linear-scanned `Vec` keyed by the `&'static str`
+/// identity (address, length) — the workspace records a dozen-odd distinct
+/// names, for which a handful of pointer compares beats hashing string
+/// contents or taking the NAMES lock. Two distinct statics with equal
+/// contents intern to the same id via the global table; their pointers
+/// just occupy two cache entries.
+struct ThreadState {
+    ring: Option<Arc<Ring>>,
+    names: Vec<(usize, usize, u32)>,
+    /// Timestamp of this thread's most recent event; what
+    /// [`instant_coarse`] reuses instead of reading the clock again.
+    last_ts: u64,
+}
+
+thread_local! {
+    static LOCAL: RefCell<ThreadState> = const {
+        RefCell::new(ThreadState {
+            ring: None,
+            names: Vec::new(),
+            last_ts: 0,
+        })
+    };
+}
+
+/// Allocates and registers this thread's ring (slow path, once per thread).
+fn register_ring() -> Arc<Ring> {
+    let mut registry = REGISTRY.lock();
+    let index = registry.len();
+    let ring = Arc::new(Ring::new(index, format!("thread-{index}")));
+    registry.push(Arc::clone(&ring));
+    ring
+}
+
+/// Names the calling thread's track in exported traces (e.g.
+/// `"worker-0"`). Idempotent; the last call wins.
+pub fn set_thread_name(name: &str) {
+    LOCAL.with(|state| {
+        let mut state = state.borrow_mut();
+        let ring = state.ring.get_or_insert_with(register_ring);
+        *ring.name.lock() = name.to_string();
+    });
+}
+
+// --- recording -------------------------------------------------------------
+
+/// Interns `name` through the thread-local cache and appends one event to
+/// the thread's ring. Callers have already read (or chosen) `ts`.
+#[inline]
+fn push_event(
+    state: &mut ThreadState,
+    ts: u64,
+    kind: EventKind,
+    name: &'static str,
+    args: [u64; 3],
+) {
+    state.last_ts = ts;
+    let key = (name.as_ptr() as usize, name.len());
+    let id = match state.names.iter().position(|e| (e.0, e.1) == key) {
+        Some(pos) => state.names[pos].2,
+        None => {
+            let id = intern_global(name);
+            state.names.push((key.0, key.1, id));
+            id
+        }
+    };
+    state
+        .ring
+        .get_or_insert_with(register_ring)
+        .push(ts, kind.code(), id, args);
+}
+
+/// Records one event on the calling thread's ring (crate-internal; the
+/// public entry points below all funnel here).
+#[inline]
+pub(crate) fn record(kind: EventKind, name: &'static str, args: [u64; 3]) {
+    if !enabled() {
+        return;
+    }
+    let ts = now_ns();
+    LOCAL.with(|state| push_event(&mut state.borrow_mut(), ts, kind, name, args));
+}
+
+/// Records a point event.
+#[inline]
+pub fn instant(name: &'static str, args: [u64; 3]) {
+    record(EventKind::Instant, name, args);
+}
+
+/// Records a point event timestamped with the calling thread's *most
+/// recent* event time instead of reading the clock.
+///
+/// The clock read is most of an event's cost, and per-batch events fired
+/// inside an already-timed span (an edge drain inside its node-step span)
+/// don't need sub-span precision. The event lands at the enclosing span's
+/// latest boundary; causal order is still exact, because [`snapshot`]
+/// breaks timestamp ties by per-thread recording order. Falls back to the
+/// clock when the thread has not recorded yet.
+#[inline]
+pub fn instant_coarse(name: &'static str, args: [u64; 3]) {
+    if !enabled() {
+        return;
+    }
+    LOCAL.with(|state| {
+        let mut state = state.borrow_mut();
+        let ts = if state.last_ts == 0 {
+            now_ns()
+        } else {
+            state.last_ts
+        };
+        push_event(&mut state, ts, EventKind::Instant, name, args);
+    });
+}
+
+/// Opens a span; the returned guard records the matching end when
+/// dropped.
+#[inline]
+#[must_use = "dropping the guard immediately closes the span"]
+pub fn span(name: &'static str) -> SpanGuard {
+    span_args(name, [0; 3])
+}
+
+/// Opens a span with arguments attached to its begin event.
+#[inline]
+#[must_use = "dropping the guard immediately closes the span"]
+pub fn span_args(name: &'static str, args: [u64; 3]) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { name: None };
+    }
+    record(EventKind::SpanBegin, name, args);
+    SpanGuard { name: Some(name) }
+}
+
+/// Closes its span on drop. If recording was disabled when the span
+/// opened, the guard is inert (no dangling end event).
+pub struct SpanGuard {
+    name: Option<&'static str>,
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(name) = self.name {
+            record(EventKind::SpanEnd, name, [0; 3]);
+        }
+    }
+}
+
+// --- snapshotting ----------------------------------------------------------
+
+/// Collects a process-wide [`Trace`]: every surviving event of every
+/// thread that has recorded, merged into global timestamp order.
+///
+/// Safe to call at any time; slots being overwritten concurrently are
+/// detected and dropped. For exact traces, snapshot at a quiescent point
+/// (after executors have joined their workers).
+pub fn snapshot() -> Trace {
+    let rings: Vec<Arc<Ring>> = REGISTRY.lock().clone();
+    let names: Vec<&'static str> = NAMES
+        .lock()
+        .as_ref()
+        .map(|t| t.names.clone())
+        .unwrap_or_default();
+
+    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut threads: Vec<ThreadInfo> = Vec::with_capacity(rings.len());
+    for ring in &rings {
+        threads.push(ThreadInfo {
+            index: ring.index,
+            name: ring.name.lock().clone(),
+        });
+        for raw in ring.drain() {
+            let Some(kind) = EventKind::from_code(raw.kind) else {
+                continue;
+            };
+            let Some(name) = names.get(raw.name_id as usize) else {
+                continue;
+            };
+            events.push(TraceEvent {
+                thread: ring.index,
+                ts_ns: raw.ts_ns,
+                kind,
+                name: (*name).to_string(),
+                args: raw.args,
+            });
+        }
+    }
+    // Stable sort: events with equal timestamps keep per-ring recording
+    // order, so replay still sees begin-before-end within a thread.
+    events.sort_by_key(|e| e.ts_ns);
+    Trace { events, threads }
+}
+
+/// Logically empties every registered ring. Thread names and the name
+/// table survive; use between test phases or benchmark reps.
+pub fn clear() {
+    for ring in REGISTRY.lock().iter() {
+        ring.clear();
+    }
+}

@@ -1,0 +1,270 @@
+//! Trace replay: rebuilds per-thread span trees from a flat [`Trace`] so
+//! tests can assert event *causality* — which spans nested inside which,
+//! and which instants fired under them — instead of merely counting
+//! events.
+
+use crate::{EventKind, Trace, TraceEvent};
+
+/// One reconstructed span (a matched begin/end pair, or an unclosed begin
+/// if the trace was snapshotted mid-span).
+#[derive(Clone, Debug)]
+pub struct Span {
+    /// Event name.
+    pub name: String,
+    /// Recording thread index.
+    pub thread: usize,
+    /// Begin timestamp.
+    pub start_ns: u64,
+    /// End timestamp, or `None` for a span still open at snapshot time.
+    pub end_ns: Option<u64>,
+    /// Arguments from the begin event.
+    pub args: [u64; 3],
+    /// Spans that began (on the same thread) while this one was open.
+    pub children: Vec<Span>,
+}
+
+impl Span {
+    /// Depth-first iterator over this span and all its descendants.
+    fn walk<'a>(&'a self, out: &mut Vec<&'a Span>) {
+        out.push(self);
+        for c in &self.children {
+            c.walk(out);
+        }
+    }
+}
+
+/// A replayed trace: per-thread span forests plus the flat instant and
+/// counter events.
+pub struct TraceReplay {
+    /// Root spans per thread (`roots[i]` belongs to thread index `i`;
+    /// threads that recorded no spans have an empty forest).
+    pub roots: Vec<Vec<Span>>,
+    /// All instant events, in global timestamp order.
+    pub instants: Vec<TraceEvent>,
+    /// All counter events, in global timestamp order.
+    pub counters: Vec<TraceEvent>,
+}
+
+impl TraceReplay {
+    /// Rebuilds span trees from a trace.
+    ///
+    /// Per thread, a stack matches `SpanEnd`s to the innermost open
+    /// `SpanBegin` with the same name (closing any more-deeply-nested
+    /// spans left open above it). Unmatched ends are dropped; spans still
+    /// open at the end of the trace survive with `end_ns: None`. A ring
+    /// that wrapped can therefore lose old begins — the replay degrades
+    /// gracefully instead of failing.
+    pub fn new(trace: &Trace) -> Self {
+        let n_threads = trace
+            .threads
+            .iter()
+            .map(|t| t.index + 1)
+            .max()
+            .unwrap_or(0)
+            .max(trace.events.iter().map(|e| e.thread + 1).max().unwrap_or(0));
+        let mut roots: Vec<Vec<Span>> = vec![Vec::new(); n_threads];
+        let mut stacks: Vec<Vec<Span>> = vec![Vec::new(); n_threads];
+        let mut instants = Vec::new();
+        let mut counters = Vec::new();
+
+        for e in &trace.events {
+            match e.kind {
+                EventKind::SpanBegin => {
+                    stacks[e.thread].push(Span {
+                        name: e.name.clone(),
+                        thread: e.thread,
+                        start_ns: e.ts_ns,
+                        end_ns: None,
+                        args: e.args,
+                        children: Vec::new(),
+                    });
+                }
+                EventKind::SpanEnd => {
+                    let stack = &mut stacks[e.thread];
+                    let Some(pos) = stack.iter().rposition(|s| s.name == e.name) else {
+                        continue; // unmatched end (begin lost to wrap)
+                    };
+                    // Close anything left open above the match (its ends
+                    // were lost); they stay as children with end_ns None.
+                    while stack.len() > pos + 1 {
+                        let orphan = stack.pop().expect("len > pos+1");
+                        attach(&mut roots[e.thread], stack, orphan);
+                    }
+                    let mut span = stack.pop().expect("rposition found an entry");
+                    span.end_ns = Some(e.ts_ns);
+                    attach(&mut roots[e.thread], stack, span);
+                }
+                EventKind::Instant => instants.push(e.clone()),
+                EventKind::Counter => counters.push(e.clone()),
+            }
+        }
+        // Spans still open at snapshot time become roots (outermost last
+        // popped ends up in tree order via attach).
+        for (thread, stack) in stacks.iter_mut().enumerate() {
+            while let Some(span) = stack.pop() {
+                attach(&mut roots[thread], stack, span);
+            }
+        }
+        TraceReplay {
+            roots,
+            instants,
+            counters,
+        }
+    }
+
+    /// All spans (any thread, any depth), depth-first per thread.
+    pub fn all_spans(&self) -> Vec<&Span> {
+        let mut out = Vec::new();
+        for forest in &self.roots {
+            for root in forest {
+                root.walk(&mut out);
+            }
+        }
+        out
+    }
+
+    /// All spans with the given name.
+    pub fn spans_named(&self, name: &str) -> Vec<&Span> {
+        self.all_spans()
+            .into_iter()
+            .filter(|s| s.name == name)
+            .collect()
+    }
+
+    /// All instants with the given name.
+    pub fn instants_named(&self, name: &str) -> Vec<&TraceEvent> {
+        self.instants.iter().filter(|e| e.name == name).collect()
+    }
+
+    /// Whether every span named `inner` (on threads where `outer` spans
+    /// exist at all) is a descendant of some span named `outer`.
+    /// Threads with no `outer` span are skipped: single-threaded test
+    /// code may step nodes directly, outside any scheduler quantum.
+    pub fn nested_within(&self, inner: &str, outer: &str) -> bool {
+        for forest in &self.roots {
+            let mut all = Vec::new();
+            for root in forest {
+                root.walk(&mut all);
+            }
+            if !all.iter().any(|s| s.name == outer) {
+                continue;
+            }
+            // Collect every span reachable under an `outer` span.
+            let mut covered: Vec<*const Span> = Vec::new();
+            for s in &all {
+                if s.name == outer {
+                    let mut sub = Vec::new();
+                    s.walk(&mut sub);
+                    covered.extend(sub.iter().map(|x| *x as *const Span));
+                }
+            }
+            for s in &all {
+                if s.name == inner && !covered.contains(&(*s as *const Span)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+fn attach(roots: &mut Vec<Span>, stack: &mut [Span], span: Span) {
+    if let Some(parent) = stack.last_mut() {
+        parent.children.push(span);
+    } else {
+        roots.push(span);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ThreadInfo;
+
+    fn ev(thread: usize, ts_ns: u64, kind: EventKind, name: &str, args: [u64; 3]) -> TraceEvent {
+        TraceEvent {
+            thread,
+            ts_ns,
+            kind,
+            name: name.to_string(),
+            args,
+        }
+    }
+
+    fn trace(events: Vec<TraceEvent>) -> Trace {
+        let n = events.iter().map(|e| e.thread + 1).max().unwrap_or(0);
+        Trace {
+            events,
+            threads: (0..n)
+                .map(|index| ThreadInfo {
+                    index,
+                    name: format!("thread-{index}"),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn rebuilds_nesting() {
+        let t = trace(vec![
+            ev(0, 10, EventKind::SpanBegin, "outer", [1, 0, 0]),
+            ev(0, 20, EventKind::SpanBegin, "inner", [2, 0, 0]),
+            ev(0, 25, EventKind::Instant, "tick", [0; 3]),
+            ev(0, 30, EventKind::SpanEnd, "inner", [0; 3]),
+            ev(0, 40, EventKind::SpanEnd, "outer", [0; 3]),
+        ]);
+        let replay = TraceReplay::new(&t);
+        assert_eq!(replay.roots[0].len(), 1);
+        let outer = &replay.roots[0][0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.end_ns, Some(40));
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert!(replay.nested_within("inner", "outer"));
+        assert!(!replay.nested_within("outer", "inner"));
+        assert_eq!(replay.instants_named("tick").len(), 1);
+    }
+
+    #[test]
+    fn unmatched_end_is_dropped_and_open_span_survives() {
+        let t = trace(vec![
+            ev(0, 5, EventKind::SpanEnd, "ghost", [0; 3]),
+            ev(0, 10, EventKind::SpanBegin, "open", [0; 3]),
+        ]);
+        let replay = TraceReplay::new(&t);
+        assert_eq!(replay.roots[0].len(), 1);
+        assert_eq!(replay.roots[0][0].name, "open");
+        assert_eq!(replay.roots[0][0].end_ns, None);
+        assert!(replay.spans_named("ghost").is_empty());
+    }
+
+    #[test]
+    fn threads_do_not_share_stacks() {
+        let t = trace(vec![
+            ev(0, 10, EventKind::SpanBegin, "a", [0; 3]),
+            ev(1, 15, EventKind::SpanBegin, "b", [0; 3]),
+            ev(0, 20, EventKind::SpanEnd, "a", [0; 3]),
+            ev(1, 25, EventKind::SpanEnd, "b", [0; 3]),
+        ]);
+        let replay = TraceReplay::new(&t);
+        assert_eq!(replay.roots[0].len(), 1);
+        assert_eq!(replay.roots[1].len(), 1);
+        assert!(replay.roots[0][0].children.is_empty());
+        assert!(replay.roots[1][0].children.is_empty());
+    }
+
+    #[test]
+    fn nested_within_skips_threads_without_outer() {
+        // Thread 0 has quantum ⊃ step; thread 1 stepped directly.
+        let t = trace(vec![
+            ev(0, 10, EventKind::SpanBegin, "q", [0; 3]),
+            ev(0, 11, EventKind::SpanBegin, "s", [0; 3]),
+            ev(0, 12, EventKind::SpanEnd, "s", [0; 3]),
+            ev(0, 13, EventKind::SpanEnd, "q", [0; 3]),
+            ev(1, 20, EventKind::SpanBegin, "s", [0; 3]),
+            ev(1, 21, EventKind::SpanEnd, "s", [0; 3]),
+        ]);
+        let replay = TraceReplay::new(&t);
+        assert!(replay.nested_within("s", "q"));
+    }
+}

@@ -1,0 +1,84 @@
+//! Memory-manager causality: every shed event must reference the
+//! rebalancing round that triggered it. Lives in its own test binary so
+//! the only shed events in the process-global trace are the ones this
+//! test provokes.
+#![cfg(not(feature = "trace-off"))]
+
+use std::collections::HashSet;
+
+use pipes_graph::io::CollectSink;
+use pipes_graph::io::VecSource;
+use pipes_graph::QueryGraph;
+use pipes_mem::{AssignmentStrategy, MemoryManager};
+use pipes_ops::RippleJoin;
+use pipes_time::{Element, TimeInterval, Timestamp};
+use pipes_trace::replay::TraceReplay;
+
+fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+    Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+}
+
+#[test]
+fn every_shed_event_references_its_rebalance_round() {
+    let g = QueryGraph::new();
+    // Long-lived elements so the join accumulates state that must be shed.
+    let left: Vec<Element<i64>> = (0..100i64)
+        .map(|i| el(i % 10, i as u64, i as u64 + 200))
+        .collect();
+    let right = left.clone();
+    let l = g.add_source("l", VecSource::new(left));
+    let r = g.add_source("r", VecSource::new(right));
+    let j = g.add_binary(
+        "join",
+        RippleJoin::equi(|x: &i64| *x, |y: &i64| *y, |x, y| (*x, *y)),
+        &l,
+        &r,
+    );
+    let (sink, _) = CollectSink::new();
+    g.add_sink("sink", sink, &j);
+
+    let mut mgr = MemoryManager::new(60, AssignmentStrategy::Uniform);
+    mgr.subscribe(j.node());
+
+    // Interleave execution with management rounds; shrink the budget so
+    // later rounds shed again.
+    let mut reports = Vec::new();
+    for round in 0..4 {
+        for _ in 0..8 {
+            for id in 0..g.len() {
+                g.step_node(id, 8);
+            }
+        }
+        mgr.set_budget(60usize.saturating_sub(round * 15));
+        reports.push(mgr.rebalance(&g));
+    }
+    assert!(
+        reports.iter().any(|r| r.shed > 0),
+        "the join should have been shed at least once"
+    );
+    // Round indices are monotone and 1-based.
+    assert_eq!(
+        reports.iter().map(|r| r.round).collect::<Vec<_>>(),
+        vec![1, 2, 3, 4]
+    );
+
+    let trace = pipes_trace::snapshot();
+    let replay = TraceReplay::new(&trace);
+    let rounds: HashSet<u64> = replay
+        .spans_named(pipes_trace::names::REBALANCE)
+        .iter()
+        .map(|s| s.args[0])
+        .collect();
+    assert_eq!(rounds.len(), 4, "one rebalance span per round");
+    let sheds = replay.instants_named(pipes_trace::names::SHED);
+    assert!(!sheds.is_empty(), "shedding should have been traced");
+    for shed in sheds {
+        assert!(
+            rounds.contains(&shed.args[0]),
+            "shed event references unknown round {}",
+            shed.args[0]
+        );
+        assert_eq!(shed.args[1], j.node() as u64, "shed names the join node");
+        assert!(shed.args[2] > 0, "shed count is recorded");
+    }
+}

@@ -1,0 +1,27 @@
+//! Runtime enable/disable. Lives in its own test binary (one test, one
+//! process) because it flips the process-global recording switch.
+#![cfg(not(feature = "trace-off"))]
+
+#[test]
+fn set_enabled_false_suppresses_recording() {
+    pipes_trace::set_enabled(false);
+    pipes_trace::instant("toggle.off", [0; 3]);
+    {
+        let _g = pipes_trace::span("toggle.span");
+    }
+    pipes_trace::set_enabled(true);
+    pipes_trace::instant("toggle.on", [1, 2, 3]);
+
+    let trace = pipes_trace::snapshot();
+    assert!(
+        trace
+            .events
+            .iter()
+            .all(|e| e.name != "toggle.off" && e.name != "toggle.span"),
+        "nothing may be recorded while disabled"
+    );
+    assert!(trace
+        .events
+        .iter()
+        .any(|e| e.name == "toggle.on" && e.args == [1, 2, 3]));
+}

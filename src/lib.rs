@@ -15,6 +15,7 @@
 //! | scheduling | [`sched`] | the 3-layer scheduler framework with exchangeable strategies |
 //! | memory | [`mem`] | the adaptive memory manager with load shedding |
 //! | metadata | [`meta`] | secondary-metadata estimators, decorator factory, performance monitor |
+//! | observability | [`trace`] | always-on flight recorder, Chrome-trace / Prometheus exporters, source-to-sink latency pipeline |
 //! | demand-driven | [`cursor`] | the cursor algebra and cursor⇄stream translation |
 //! | persistence | [`rel`] | indexed relations, stream–relation joins, historical replay |
 //! | relational | [`optimizer`] | tuples, expressions, logical plans, rewrite rules, multi-query optimization |
@@ -66,6 +67,7 @@ pub use pipes_optimizer as optimizer;
 pub use pipes_rel as rel;
 pub use pipes_sched as sched;
 pub use pipes_time as time;
+pub use pipes_trace as trace;
 pub use pipes_traffic as traffic;
 
 /// The most commonly used items, re-exported flat.
