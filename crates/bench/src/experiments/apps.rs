@@ -73,7 +73,7 @@ pub fn e1_architecture(quick: bool) {
         .with_quantum(128)
         .run(&graph, || Box::new(FifoStrategy));
     let wall = start.elapsed();
-    let consumed: u64 = reports.iter().map(|r| r.consumed).sum();
+    let consumed = ExecutionReport::merge(&reports).consumed;
 
     let mut rows = Vec::new();
     for (name, buf) in &sinks {

@@ -1,4 +1,4 @@
-//! The experiments E1–E15 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E16 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
@@ -11,10 +11,11 @@ mod mqo;
 mod plans;
 mod rate;
 mod reuse;
+mod sched_layers;
 mod scheduling;
 mod trace_overhead;
 
-/// Runs one experiment by id (`e1`..`e15`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e16`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -63,5 +64,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e15") {
         trace_overhead::e15_trace_overhead(quick);
+    }
+    if want("e16") {
+        sched_layers::e16_sched_layers(quick);
     }
 }

@@ -1,0 +1,210 @@
+//! E16 — the three scheduler layers on a skewed multi-chain workload.
+//!
+//! One hot chain (source → `K` maps → sink) carries most of the stream
+//! while several cold chains idle along beside it. Three executors run the
+//! identical graph on two worker threads:
+//!
+//! * **static round-robin** — the former default split
+//!   ([`MultiThreadExecutor::run_static_round_robin`]): node ids dealt over
+//!   threads, so every edge of every chain crosses threads and each hop
+//!   pays cross-thread queue locking plus wakeup latency;
+//! * **topology** — [`MultiThreadExecutor::run`]: layer-1 virtual-node
+//!   groups from [`ExecutionPlan`], chains fused and placed whole, edges
+//!   thread-local;
+//! * **topology + stealing** — [`WorkStealingExecutor`]: the same plan with
+//!   the dynamic layer 3 on top (group ownership, idle-steal, targeted
+//!   wakeups, stats-driven rebalance).
+//!
+//! Methodology follows E15: every rep runs the paired variants back to
+//! back in alternating order, the per-rep throughput ratio cancels machine
+//! drift, and the median over all reps damps outliers. Acceptance:
+//! topology + stealing reaches ≥ 1.5× the static round-robin throughput.
+//!
+//! Results are written to `BENCH_sched_layers.json`.
+
+use crate::{f, table};
+use pipes::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Maps per hot chain; cold chains get a single map.
+const K: usize = 6;
+/// Cold chains riding along beside the hot one.
+const COLD_CHAINS: usize = 3;
+/// Worker threads for every variant.
+const THREADS: usize = 2;
+
+fn input(n: u64) -> Vec<Element<i64>> {
+    (0..n)
+        .map(|i| Element::at(i as i64, Timestamp::new(i)))
+        .collect()
+}
+
+/// Builds the skewed graph: one hot `K`-map chain of `hot_n` elements plus
+/// `COLD_CHAINS` single-map chains of `cold_n` elements each. Returns the
+/// graph and the per-sink buffers (hot sink first).
+fn skewed_graph(
+    hot_n: u64,
+    cold_n: u64,
+) -> (Arc<QueryGraph>, Vec<pipes::graph::io::Collected<i64>>) {
+    let g = QueryGraph::new();
+    let mut bufs = Vec::new();
+    let src = g.add_source("hot-src", VecSource::new(input(hot_n)));
+    let mut cur = g.add_unary("hot-op0", Map::new(|v: i64| v + 1), &src);
+    for i in 1..K {
+        cur = g.add_unary(&format!("hot-op{i}"), Map::new(|v: i64| v ^ 7), &cur);
+    }
+    let (sink, buf) = CollectSink::new();
+    g.add_sink("hot-sink", sink, &cur);
+    bufs.push(buf);
+    for c in 0..COLD_CHAINS {
+        let src = g.add_source(&format!("cold-src{c}"), VecSource::new(input(cold_n)));
+        let op = g.add_unary(&format!("cold-op{c}"), Map::new(|v: i64| v - 1), &src);
+        let (sink, buf) = CollectSink::new();
+        g.add_sink(&format!("cold-sink{c}"), sink, &op);
+        bufs.push(buf);
+    }
+    (Arc::new(g), bufs)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Variant {
+    StaticRoundRobin,
+    Topology,
+    Stealing,
+}
+
+/// Runs one variant on a fresh graph and returns elements/s over the whole
+/// stream (hot + cold).
+fn run_variant(variant: Variant, hot_n: u64, cold_n: u64) -> f64 {
+    let (g, bufs) = skewed_graph(hot_n, cold_n);
+    let total = hot_n + COLD_CHAINS as u64 * cold_n;
+    let start = Instant::now();
+    match variant {
+        Variant::StaticRoundRobin => {
+            MultiThreadExecutor::new(THREADS)
+                .run_static_round_robin(&g, || Box::new(RoundRobinStrategy::new()));
+        }
+        Variant::Topology => {
+            MultiThreadExecutor::new(THREADS).run(&g, || Box::new(RoundRobinStrategy::new()));
+        }
+        Variant::Stealing => {
+            WorkStealingExecutor::new(THREADS).run(&g, || Box::new(RoundRobinStrategy::new()));
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let delivered: u64 = bufs.iter().map(|b| b.lock().len() as u64).sum();
+    assert_eq!(delivered, total, "stream not fully delivered");
+    assert!(g.all_finished());
+    total as f64 / secs
+}
+
+fn median(ratios: &mut [f64]) -> f64 {
+    ratios.sort_by(f64::total_cmp);
+    if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    }
+}
+
+/// Runs E16 and prints the table; writes `BENCH_sched_layers.json`.
+pub fn e16_sched_layers(quick: bool) {
+    let hot_n: u64 = if quick { 60_000 } else { 200_000 };
+    let cold_n: u64 = hot_n / 10;
+    let reps = if quick { 6 } else { 24 };
+
+    // Warm up allocator and page cache off the clock.
+    run_variant(Variant::Topology, hot_n.min(20_000), cold_n.min(2_000));
+
+    // Per E15: alternating-order back-to-back runs per rep; the per-rep
+    // ratio cancels whatever the machine is doing at that moment, and the
+    // median over reps damps single-rep outliers. Best-of throughputs are
+    // reported alongside for scale.
+    let mut best = [f64::MIN; 3];
+    let mut steal_ratios = Vec::with_capacity(reps);
+    let mut topo_ratios = Vec::with_capacity(reps);
+    for rep in 0..reps {
+        let order = if rep % 2 == 0 {
+            [
+                Variant::StaticRoundRobin,
+                Variant::Topology,
+                Variant::Stealing,
+            ]
+        } else {
+            [
+                Variant::Stealing,
+                Variant::Topology,
+                Variant::StaticRoundRobin,
+            ]
+        };
+        let mut thr = [0.0f64; 3];
+        for v in order {
+            let t = run_variant(v, hot_n, cold_n);
+            let slot = match v {
+                Variant::StaticRoundRobin => 0,
+                Variant::Topology => 1,
+                Variant::Stealing => 2,
+            };
+            thr[slot] = t;
+            best[slot] = best[slot].max(t);
+        }
+        topo_ratios.push(thr[1] / thr[0]);
+        steal_ratios.push(thr[2] / thr[0]);
+        if std::env::var_os("PIPES_E16_DEBUG").is_some() {
+            eprintln!(
+                "rep {rep:>2}: static {:.3e} topo {:.3e} steal {:.3e} (x{:.2}, x{:.2})",
+                thr[0],
+                thr[1],
+                thr[2],
+                thr[1] / thr[0],
+                thr[2] / thr[0]
+            );
+        }
+    }
+    let topo_ratio = median(&mut topo_ratios);
+    let steal_ratio = median(&mut steal_ratios);
+
+    table(
+        &format!(
+            "E16 — scheduler layers, hot {K}-op chain ({hot_n} elems) + \
+             {COLD_CHAINS} cold chains ({cold_n} elems each), {THREADS} threads"
+        ),
+        &["executor", "Melem/s", "vs static (median)"],
+        &[
+            vec![
+                "static round-robin".into(),
+                f(best[0] / 1e6, 2),
+                "1.00".into(),
+            ],
+            vec!["topology".into(), f(best[1] / 1e6, 2), f(topo_ratio, 2)],
+            vec![
+                "topology + stealing".into(),
+                f(best[2] / 1e6, 2),
+                f(steal_ratio, 2),
+            ],
+        ],
+    );
+    println!(
+        "shape check: fusing chains into thread-local virtual-node groups \
+         removes the cross-thread hop every edge pays under the round-robin \
+         split; the dynamic layer (stealing + targeted wakeups) holds that \
+         gain at >= 1.5x while also absorbing runtime skew."
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"sched_layers\",\n  \"threads\": {THREADS},\n  \
+         \"hot_chain_ops\": {K},\n  \"hot_elements\": {hot_n},\n  \
+         \"cold_chains\": {COLD_CHAINS},\n  \"cold_elements\": {cold_n},\n  \
+         \"static_elem_per_s\": {:.0},\n  \
+         \"topology_elem_per_s\": {:.0},\n  \
+         \"stealing_elem_per_s\": {:.0},\n  \
+         \"topology_vs_static_median_ratio\": {topo_ratio:.3},\n  \
+         \"stealing_vs_static_median_ratio\": {steal_ratio:.3}\n}}\n",
+        best[0], best[1], best[2]
+    );
+    match std::fs::write("BENCH_sched_layers.json", &json) {
+        Ok(()) => println!("wrote BENCH_sched_layers.json"),
+        Err(e) => eprintln!("could not write BENCH_sched_layers.json: {e}"),
+    }
+}

@@ -1,7 +1,7 @@
 //! # pipes-bench
 //!
 //! The experiment harness: one reproducible experiment per demonstrated
-//! claim of the PIPES paper (see `DESIGN.md`, experiment index E1–E13).
+//! claim of the PIPES paper (see `DESIGN.md`, experiment index E1–E16).
 //!
 //! Each experiment prints the table/series it regenerates. Run everything:
 //!

@@ -86,10 +86,23 @@ pub struct NodeInfo {
 /// while executors are stepping the graph from other threads. This is the
 /// foundation for multi-query optimization, which splices new queries into
 /// the *running* graph.
+/// Callback invoked after a productive scheduling quantum with the id of the
+/// producing node (see [`QueryGraph::set_wake_hook`]).
+pub type WakeHook = dyn Fn(NodeId) + Send + Sync;
+
+/// A directed acyclic graph of sources, operators and sinks, built through
+/// the publish–subscribe architecture of PIPES.
+///
+/// All methods take `&self`: nodes can be added, subscribed and unsubscribed
+/// while executors are stepping the graph from other threads. This is the
+/// foundation for multi-query optimization, which splices new queries into
+/// the *running* graph.
 pub struct QueryGraph {
     nodes: RwLock<Vec<Arc<NodeCell>>>,
     seq: Arc<AtomicU64>,
     next_edge: AtomicU64,
+    wake_hook: RwLock<Option<Arc<WakeHook>>>,
+    has_wake_hook: AtomicBool,
 }
 
 impl Default for QueryGraph {
@@ -105,6 +118,8 @@ impl QueryGraph {
             nodes: RwLock::new(Vec::new()),
             seq: Arc::new(AtomicU64::new(1)),
             next_edge: AtomicU64::new(1),
+            wake_hook: RwLock::new(None),
+            has_wake_hook: AtomicBool::new(false),
         }
     }
 
@@ -340,6 +355,76 @@ impl QueryGraph {
         (0..self.len()).map(|id| self.info(id)).collect()
     }
 
+    /// The role of a node, without cloning its name (cheap; safe in hot
+    /// loops, unlike [`QueryGraph::info`]).
+    pub fn kind(&self, id: NodeId) -> NodeKind {
+        self.cell(id).kind
+    }
+
+    /// Appends the ids of the nodes `id` subscribes to onto `out`, one entry
+    /// per input edge (an upstream node subscribed twice appears twice).
+    /// Allocation-free for the caller across repeated queries.
+    pub fn upstream_ids_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        out.extend(self.cell(id).incoming.lock().iter().map(|(n, _)| *n));
+    }
+
+    /// Ids of the nodes `id` subscribes to (see
+    /// [`QueryGraph::upstream_ids_into`] for the allocation-free form).
+    pub fn upstream_ids(&self, id: NodeId) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        self.upstream_ids_into(id, &mut out);
+        out
+    }
+
+    /// Number of input edges of `id` (ports, counting duplicates).
+    pub fn in_degree(&self, id: NodeId) -> usize {
+        self.cell(id).incoming.lock().len()
+    }
+
+    /// Whether `node` subscribes to `producer` on at least one port.
+    /// Allocation-free, unlike checking [`NodeInfo::upstream`].
+    pub fn subscribes_to(&self, node: NodeId, producer: NodeId) -> bool {
+        self.cell(node)
+            .incoming
+            .lock()
+            .iter()
+            .any(|(up, _)| *up == producer)
+    }
+
+    /// Ids of the nodes currently subscribed to `id`'s output, deduplicated,
+    /// in node-id order. O(nodes + edges) — intended for launch-time
+    /// planning, not per-quantum scheduling.
+    pub fn downstream_ids(&self, id: NodeId) -> Vec<NodeId> {
+        let nodes = self.nodes.read();
+        let mut out = Vec::new();
+        for (candidate, cell) in nodes.iter().enumerate() {
+            if cell.incoming.lock().iter().any(|(up, _)| *up == id) {
+                out.push(candidate);
+            }
+        }
+        out
+    }
+
+    /// Installs a hook invoked after every scheduling quantum in which a
+    /// node produced output, with the producer's id. Executors use this to
+    /// wake the specific worker owning the producer's consumers instead of
+    /// relying on bounded-staleness park timeouts. Replaces any previous
+    /// hook; the hook must not call back into the graph node it was invoked
+    /// for (the runnable lock is not held, but re-entrant stepping from
+    /// inside the hook would deadlock on `step_node`'s state).
+    pub fn set_wake_hook(&self, hook: Arc<WakeHook>) {
+        *self.wake_hook.write() = Some(hook);
+        // ordering: the fast-path flag uses Release/Acquire so a reader that
+        // observes `true` also observes the hook written above.
+        self.has_wake_hook.store(true, Ordering::Release);
+    }
+
+    /// Removes the wake hook installed by [`QueryGraph::set_wake_hook`].
+    pub fn clear_wake_hook(&self) {
+        self.has_wake_hook.store(false, Ordering::Release);
+        *self.wake_hook.write() = None;
+    }
+
     /// The statistics handle of a node (register it with a
     /// [`pipes_meta::Monitor`] to observe the node at runtime).
     pub fn stats(&self, id: NodeId) -> Arc<NodeStats> {
@@ -367,6 +452,13 @@ impl QueryGraph {
         cell.stats.record_batches(report.batches as u64);
         cell.stats.set_queue_len(runnable.queued());
         cell.stats.set_memory(runnable.memory());
+        drop(runnable);
+        if report.produced > 0 && self.has_wake_hook.load(Ordering::Acquire) {
+            let hook = self.wake_hook.read().clone();
+            if let Some(hook) = hook {
+                hook(id);
+            }
+        }
         report
     }
 
@@ -628,5 +720,50 @@ mod tests {
     fn empty_inputs_rejected() {
         let g = QueryGraph::new();
         let _ = g.add_nary::<Mul>("bad", Mul(1), &[]);
+    }
+
+    #[test]
+    fn topology_queries_report_edges() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[1])));
+        let a = g.add_unary("a", Mul(2), &src);
+        let b = g.add_unary("b", Mul(3), &src);
+        let (sink, _) = CountSink::<i64>::new();
+        let k = g.add_sink_nary("count", sink, &[a.clone(), b.clone()]);
+
+        assert_eq!(g.kind(src.node()), NodeKind::Source);
+        assert_eq!(g.kind(a.node()), NodeKind::Operator);
+        assert_eq!(g.kind(k), NodeKind::Sink);
+        assert_eq!(g.upstream_ids(src.node()), Vec::<NodeId>::new());
+        assert_eq!(g.upstream_ids(a.node()), vec![src.node()]);
+        assert_eq!(g.upstream_ids(k), vec![a.node(), b.node()]);
+        assert_eq!(g.in_degree(k), 2);
+        assert_eq!(g.downstream_ids(src.node()), vec![a.node(), b.node()]);
+        assert_eq!(g.downstream_ids(a.node()), vec![k]);
+        assert_eq!(g.downstream_ids(k), Vec::<NodeId>::new());
+
+        let mut buf = vec![99];
+        g.upstream_ids_into(k, &mut buf);
+        assert_eq!(buf, vec![99, a.node(), b.node()]);
+    }
+
+    #[test]
+    fn wake_hook_fires_on_productive_steps_only() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(&[1, 2])));
+        let (sink, _) = CollectSink::new();
+        let s = g.add_sink("sink", sink, &src);
+
+        let fired = Arc::new(Mutex::new(Vec::new()));
+        let fired2 = Arc::clone(&fired);
+        g.set_wake_hook(Arc::new(move |id| fired2.lock().push(id)));
+
+        g.step_node(src.node(), 8); // produces → hook fires
+        g.step_node(s, 8); // sink produces nothing → no hook
+        assert_eq!(fired.lock().clone(), vec![src.node()]);
+
+        g.clear_wake_hook();
+        g.run_to_completion(8);
+        assert_eq!(fired.lock().len(), 1, "cleared hook must not fire");
     }
 }

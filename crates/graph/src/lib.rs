@@ -43,7 +43,7 @@ pub mod watermark;
 
 pub use edge::{Edge, EdgeId};
 pub use fuse::{Fused, OperatorExt};
-pub use graph::{NodeInfo, NodeKind, QueryGraph, StreamHandle};
+pub use graph::{NodeInfo, NodeKind, QueryGraph, StreamHandle, WakeHook};
 pub use node::{BinNode, OpNode, Runnable, SinkNode, SourceNode, StepReport};
 pub use operator::{BinaryOperator, Collector, NodeId, Operator, SinkOp, SourceOp, SourceStatus};
 pub use outputs::{OutputPort, Outputs, PublishCollector};

@@ -561,6 +561,21 @@ mod tests {
     }
 
     #[test]
+    fn new_sched_layer_modules_are_inside_the_gate() {
+        // The three-layer scheduler modules (plan/steal/worker) live in a
+        // kernel crate; their claim/steal/park primitives must come from
+        // the facade so the model checker can instrument them.
+        let src = "use std::sync::atomic::AtomicUsize;\n";
+        for path in [
+            "crates/sched/src/plan.rs",
+            "crates/sched/src/steal.rs",
+            "crates/sched/src/worker.rs",
+        ] {
+            assert_eq!(check(path, src), vec!["no-direct-sync:1"], "{path}");
+        }
+    }
+
+    #[test]
     fn string_mention_of_std_sync_is_not_flagged() {
         let src = "let m = \"std::sync is banned\"; // std::thread too\n";
         assert!(check("crates/graph/src/edge.rs", src).is_empty());

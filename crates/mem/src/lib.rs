@@ -20,7 +20,14 @@
 
 use pipes_graph::{NodeId, QueryGraph};
 use pipes_sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use pipes_sync::Arc;
 use std::collections::HashMap;
+
+/// Maps a node to the worker thread currently owning its virtual-node
+/// group, or `None` when the node is not placed (see
+/// [`MemoryManager::set_placement`]). The layer-3 scheduler's
+/// `OwnershipView::worker_of` (`pipes-sched`) has exactly this shape.
+pub type PlacementFn = dyn Fn(NodeId) -> Option<usize> + Send + Sync;
 
 /// How the global budget is split across subscribed operators.
 #[derive(Clone, Debug, PartialEq)]
@@ -64,6 +71,7 @@ pub struct MemoryManager {
     strategy: AssignmentStrategy,
     subscribers: Vec<NodeId>,
     rounds: AtomicU64,
+    placement: Option<Arc<PlacementFn>>,
 }
 
 impl MemoryManager {
@@ -74,6 +82,7 @@ impl MemoryManager {
             strategy,
             subscribers: Vec::new(),
             rounds: AtomicU64::new(0),
+            placement: None,
         }
     }
 
@@ -116,13 +125,74 @@ impl MemoryManager {
         self.strategy = strategy;
     }
 
-    /// Computes each subscriber's assignment under the current strategy.
+    /// Makes assignments follow the layer-3 group placement: the budget is
+    /// first split evenly across the worker threads that own subscribers
+    /// (placement buckets; unplaced subscribers share one extra bucket),
+    /// then within each worker's bucket by the assignment strategy. When a
+    /// rebalance moves a group, the next [`MemoryManager::rebalance`] moves
+    /// the memory budget with it — co-located operators compete for their
+    /// worker's share instead of the global pot.
+    pub fn set_placement(&mut self, placement: Arc<PlacementFn>) {
+        self.placement = Some(placement);
+    }
+
+    /// Reverts to placement-oblivious assignment.
+    pub fn clear_placement(&mut self) {
+        self.placement = None;
+    }
+
+    /// Computes each subscriber's assignment under the current strategy
+    /// (and, if set, the current placement; see
+    /// [`MemoryManager::set_placement`]).
     pub fn assignments(&self, graph: &QueryGraph) -> Vec<(NodeId, usize)> {
         let n = self.subscribers.len();
         if n == 0 {
             return Vec::new();
         }
-        let weights: Vec<f64> = match &self.strategy {
+        let weights = self.weights(graph);
+        match &self.placement {
+            None => {
+                let total: f64 = weights.iter().sum::<f64>().max(1e-9);
+                self.subscribers
+                    .iter()
+                    .zip(&weights)
+                    .map(|(&id, w)| (id, ((w / total) * self.budget() as f64).floor() as usize))
+                    .collect()
+            }
+            Some(placement) => {
+                // Bucket subscribers by owning worker, in first-seen order.
+                let keys: Vec<Option<usize>> =
+                    self.subscribers.iter().map(|&id| placement(id)).collect();
+                let mut buckets: Vec<Option<usize>> = Vec::new();
+                for &k in &keys {
+                    if !buckets.contains(&k) {
+                        buckets.push(k);
+                    }
+                }
+                let per_bucket = self.budget() as f64 / buckets.len() as f64;
+                let mut out = Vec::with_capacity(n);
+                for (i, &id) in self.subscribers.iter().enumerate() {
+                    let bucket_total: f64 = keys
+                        .iter()
+                        .zip(&weights)
+                        .filter(|(k, _)| **k == keys[i])
+                        .map(|(_, w)| *w)
+                        .sum::<f64>()
+                        .max(1e-9);
+                    out.push((
+                        id,
+                        ((weights[i] / bucket_total) * per_bucket).floor() as usize,
+                    ));
+                }
+                out
+            }
+        }
+    }
+
+    /// Per-subscriber weights under the current strategy.
+    fn weights(&self, graph: &QueryGraph) -> Vec<f64> {
+        let n = self.subscribers.len();
+        match &self.strategy {
             AssignmentStrategy::Uniform => vec![1.0; n],
             AssignmentStrategy::ProportionalToUsage => self
                 .subscribers
@@ -141,13 +211,7 @@ impl MemoryManager {
                     .map(|id| map.get(id).copied().unwrap_or(1.0).max(0.0))
                     .collect()
             }
-        };
-        let total: f64 = weights.iter().sum::<f64>().max(1e-9);
-        self.subscribers
-            .iter()
-            .zip(&weights)
-            .map(|(&id, w)| (id, ((w / total) * self.budget() as f64).floor() as usize))
-            .collect()
+        }
     }
 
     /// One management round: recompute assignments and shed every
@@ -320,6 +384,72 @@ mod tests {
         mgr.set_strategy(AssignmentStrategy::Uniform);
         let report = mgr.rebalance(&g);
         assert!(report.usage_after <= 30);
+    }
+
+    #[test]
+    fn placement_splits_budget_per_worker_before_strategy_weights() {
+        let (g, j1, j2) = join_graph();
+        let mut mgr = MemoryManager::new(
+            100,
+            AssignmentStrategy::Weighted(vec![(j1, 3.0), (j2, 1.0)]),
+        );
+        mgr.subscribe(j1);
+        mgr.subscribe(j2);
+        // Placement-oblivious: pure strategy weights, 75/25.
+        assert_eq!(mgr.assignments(&g), vec![(j1, 75), (j2, 25)]);
+
+        // The joins live on different workers: each worker's bucket gets
+        // half the budget regardless of weights across buckets.
+        mgr.set_placement(Arc::new(move |id| if id == j1 { Some(0) } else { Some(1) }));
+        assert_eq!(mgr.assignments(&g), vec![(j1, 50), (j2, 50)]);
+
+        // Same worker: one bucket, strategy weights apply within it.
+        mgr.set_placement(Arc::new(|_| Some(0)));
+        assert_eq!(mgr.assignments(&g), vec![(j1, 75), (j2, 25)]);
+
+        // Unplaced subscribers share one extra bucket.
+        mgr.set_placement(Arc::new(move |id| if id == j1 { Some(0) } else { None }));
+        assert_eq!(mgr.assignments(&g), vec![(j1, 50), (j2, 50)]);
+
+        mgr.clear_placement();
+        assert_eq!(mgr.assignments(&g), vec![(j1, 75), (j2, 25)]);
+    }
+
+    #[test]
+    fn budget_follows_live_scheduler_placement() {
+        use pipes_sched::{FifoStrategy, WorkStealingExecutor};
+
+        let (g, j1, j2) = join_graph();
+        let g = Arc::new(g);
+        let mut observed = None;
+        WorkStealingExecutor::new(2).run_observed(
+            &g,
+            || Box::new(FifoStrategy),
+            |view| observed = Some(view),
+        );
+        let view = observed.expect("observe ran");
+        // Workers keep their groups on exit, so each join has an owner.
+        let (w1, w2) = (view.worker_of(j1), view.worker_of(j2));
+        assert!(w1.is_some() && w2.is_some());
+
+        let mut mgr = MemoryManager::new(
+            120,
+            AssignmentStrategy::Weighted(vec![(j1, 2.0), (j2, 1.0)]),
+        );
+        mgr.subscribe(j1);
+        mgr.subscribe(j2);
+        mgr.set_placement(Arc::new(move |id| view.worker_of(id)));
+        let a = mgr.assignments(&g);
+        if w1 == w2 {
+            // Co-located: strategy weights split their worker's budget.
+            assert_eq!(a, vec![(j1, 80), (j2, 40)]);
+        } else {
+            // Separate workers: each join owns its worker's bucket, so the
+            // cross-bucket weight skew no longer applies.
+            assert_eq!(a, vec![(j1, 60), (j2, 60)]);
+        }
+        let report = mgr.rebalance(&g);
+        assert_eq!(report.per_node.len(), 2);
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub struct ExecutionReport {
     pub peak_state: usize,
     /// Whether execution ended because the quantum limit was hit.
     pub hit_limit: bool,
+    /// Virtual-node groups this worker stole from peers (always 0 outside
+    /// the [`crate::WorkStealingExecutor`]).
+    pub steals: u64,
 }
 
 impl ExecutionReport {
@@ -46,6 +49,41 @@ impl ExecutionReport {
         } else {
             self.consumed as f64 / self.batches as f64
         }
+    }
+
+    /// Aggregates per-thread reports from a multi-threaded run into one:
+    /// quanta, consumed, produced, batches and steals are summed; queue and
+    /// state peaks are maxed; wall time is the maximum (the threads ran
+    /// concurrently); the average queue is weighted by each thread's
+    /// quanta; `hit_limit` is set if any thread hit its limit. The strategy
+    /// name is taken from the first report.
+    pub fn merge(reports: &[ExecutionReport]) -> ExecutionReport {
+        let mut merged = ExecutionReport {
+            strategy: reports
+                .first()
+                .map(|r| r.strategy.clone())
+                .unwrap_or_default(),
+            ..Default::default()
+        };
+        let mut weighted_queue = 0.0;
+        for r in reports {
+            merged.quanta += r.quanta;
+            merged.consumed += r.consumed;
+            merged.produced += r.produced;
+            merged.batches += r.batches;
+            merged.steals += r.steals;
+            merged.wall = merged.wall.max(r.wall);
+            merged.peak_queue = merged.peak_queue.max(r.peak_queue);
+            merged.peak_state = merged.peak_state.max(r.peak_state);
+            merged.hit_limit |= r.hit_limit;
+            weighted_queue += r.avg_queue * r.quanta as f64;
+        }
+        merged.avg_queue = if merged.quanta > 0 {
+            weighted_queue / merged.quanta as f64
+        } else {
+            0.0
+        };
+        merged
     }
 }
 
@@ -326,9 +364,23 @@ impl MultiThreadExecutor {
         self
     }
 
-    /// Partitions nodes round-robin and runs `make_strategy()` per thread.
-    /// Returns the per-thread reports.
+    /// Partitions nodes topology-aware — virtual-node groups from
+    /// [`crate::ExecutionPlan::analyze`], balanced over threads by static
+    /// cost, so operator chains stay thread-local — and runs
+    /// `make_strategy()` per thread. Returns the per-thread reports.
     pub fn run(
+        &self,
+        graph: &Arc<QueryGraph>,
+        make_strategy: impl Fn() -> Box<dyn Strategy>,
+    ) -> Vec<ExecutionReport> {
+        let partitions = crate::ExecutionPlan::analyze(graph).partitions(self.threads);
+        self.run_partitions(graph, make_strategy, partitions)
+    }
+
+    /// The former default split, kept as an explicit baseline (E16): deals
+    /// node ids round-robin over threads, scattering chains so most edges
+    /// cross threads.
+    pub fn run_static_round_robin(
         &self,
         graph: &Arc<QueryGraph>,
         make_strategy: impl Fn() -> Box<dyn Strategy>,
@@ -496,6 +548,56 @@ mod tests {
         assert_eq!(reports.len(), 3);
         assert!(g.all_finished());
         assert_eq!(buf.lock().len(), 250);
+    }
+
+    #[test]
+    fn multi_thread_static_round_robin_baseline_still_completes() {
+        let (g, buf) = build(500);
+        let g = Arc::new(g);
+        let reports =
+            MultiThreadExecutor::new(3).run_static_round_robin(&g, || Box::new(FifoStrategy));
+        assert_eq!(reports.len(), 3);
+        assert!(g.all_finished());
+        assert_eq!(buf.lock().len(), 250);
+    }
+
+    #[test]
+    fn merge_aggregates_per_thread_reports() {
+        let mk =
+            |quanta, consumed, produced, batches, wall_ms, peak_queue, avg_queue| ExecutionReport {
+                strategy: "fifo".into(),
+                quanta,
+                consumed,
+                produced,
+                batches,
+                wall: Duration::from_millis(wall_ms),
+                peak_queue,
+                avg_queue,
+                peak_state: peak_queue / 2,
+                hit_limit: false,
+                steals: 1,
+            };
+        let a = mk(10, 100, 80, 5, 30, 40, 4.0);
+        let mut b = mk(30, 300, 240, 15, 20, 70, 8.0);
+        b.hit_limit = true;
+        let m = ExecutionReport::merge(&[a, b]);
+        assert_eq!(m.strategy, "fifo");
+        assert_eq!(m.quanta, 40);
+        assert_eq!(m.consumed, 400);
+        assert_eq!(m.produced, 320);
+        assert_eq!(m.batches, 20);
+        assert_eq!(m.steals, 2);
+        assert_eq!(m.wall, Duration::from_millis(30), "wall is the max");
+        assert_eq!(m.peak_queue, 70);
+        assert_eq!(m.peak_state, 35);
+        assert!(m.hit_limit);
+        // (4.0 * 10 + 8.0 * 30) / 40 = 7.0 — weighted by quanta.
+        assert!((m.avg_queue - 7.0).abs() < 1e-9);
+        assert!((m.throughput() - 320.0 / 0.03).abs() < 1.0);
+
+        let empty = ExecutionReport::merge(&[]);
+        assert_eq!(empty.quanta, 0);
+        assert_eq!(empty.avg_queue, 0.0);
     }
 
     #[test]

@@ -2,9 +2,13 @@
 //!
 //! The scheduling framework of PIPES: a 3-layer architecture.
 //!
-//! 1. **Layer 1 — virtual nodes.** Adjacent operators are fused into one
-//!    node *before* graph construction (`pipes_graph::OperatorExt::then`),
-//!    eliminating inter-operator queues inside the virtual node.
+//! 1. **Layer 1 — virtual nodes.** Adjacent operators become one scheduling
+//!    unit, two ways: fused *before* graph construction
+//!    (`pipes_graph::OperatorExt::then`, no inter-operator queue at all),
+//!    or grouped *at launch* by [`ExecutionPlan::analyze`], which walks the
+//!    assembled topology and fuses single-producer/single-consumer chains
+//!    into [`VirtualGroup`]s that are scheduled and placed together, so
+//!    intra-chain edges stay thread-local.
 //! 2. **Layer 2 — intra-thread strategies.** Within one thread, an
 //!    exchangeable [`Strategy`] decides which node runs its next quantum:
 //!    round-robin, FIFO (global arrival order), greedy-by-queue, Chain
@@ -14,22 +18,33 @@
 //!    selectivity), which is what makes the framework "powerful enough to
 //!    compare most of the recent scheduling techniques … within a uniform
 //!    framework" (PIPES, SIGMOD 2004).
-//! 3. **Layer 3 — threads.** [`MultiThreadExecutor`] partitions the node set
-//!    over worker threads, each running its own layer-2 strategy; the OS
-//!    schedules the threads.
+//! 3. **Layer 3 — threads.** [`MultiThreadExecutor`] statically assigns the
+//!    plan's groups to worker threads, each running its own layer-2
+//!    strategy. [`WorkStealingExecutor`] makes the placement dynamic:
+//!    workers *own* groups through an atomic claim protocol
+//!    ([`GroupTable`]), idle workers steal runnable groups from loaded
+//!    peers, a periodic rebalance re-places groups from runtime queue
+//!    depths, and productive quanta wake the specific owning worker
+//!    (targeted unpark) instead of relying on park timeouts.
 //!
 //! Executors collect an [`ExecutionReport`] (throughput, queue memory peaks
 //! and averages) — the measurements behind the scheduler-comparison
-//! experiment (E5).
+//! experiments (E5, E16).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod executor;
+mod plan;
+mod steal;
 mod strategy;
+mod worker;
 
 pub use executor::{ExecutionReport, MultiThreadExecutor, SingleThreadExecutor};
+pub use plan::{ExecutionPlan, GroupId, VirtualGroup};
+pub use steal::{GroupTable, Parker};
 pub use strategy::{
     ChainStrategy, FifoStrategy, GreedyStrategy, RandomStrategy, RateBasedStrategy,
     RoundRobinStrategy, SchedView, Strategy,
 };
+pub use worker::{OwnershipView, WorkStealingExecutor};

@@ -1,0 +1,363 @@
+//! Layer 1 at runtime: virtual-node planning over the assembled graph.
+//!
+//! [`ExecutionPlan::analyze`] inspects the [`QueryGraph`] topology at launch
+//! and groups maximal single-producer/single-consumer chains into
+//! [`VirtualGroup`]s — the runtime counterpart of the compile-time
+//! [`pipes_graph::Fused`] combinator. A group is the unit layer 3 schedules
+//! and places: all nodes of a group run on the same worker thread, so every
+//! intra-chain edge stays thread-local (the producer's batch flush and the
+//! consumer's drain never contend across cores), and only the compara­tively
+//! rare chain-crossing edges (fan-out, fan-in, joins) pay cross-thread lock
+//! traffic.
+//!
+//! The plan also derives topology-aware default partitions (longest-
+//! processing-time greedy over group cost estimates), replacing the old
+//! static `skip(t).step_by(threads)` node split that scattered hot pipelines
+//! across threads.
+
+use pipes_graph::{NodeId, NodeKind, QueryGraph};
+
+/// Identifier of a virtual-node group within an [`ExecutionPlan`].
+pub type GroupId = usize;
+
+/// One runtime virtual node: a maximal chain of nodes connected by
+/// single-producer/single-consumer edges, scheduled and placed as a unit.
+#[derive(Clone, Debug)]
+pub struct VirtualGroup {
+    id: GroupId,
+    nodes: Vec<NodeId>,
+    has_source: bool,
+    cost: u64,
+}
+
+impl VirtualGroup {
+    /// The group's id (its index in [`ExecutionPlan::groups`]).
+    pub fn id(&self) -> GroupId {
+        self.id
+    }
+
+    /// The member nodes in chain order (each node feeds the next).
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of member nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the group has no members (never produced by `analyze`).
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Whether the group contains a live source (always runnable until the
+    /// source closes — weighted heavier by the static cost estimate).
+    pub fn has_source(&self) -> bool {
+        self.has_source
+    }
+
+    /// Launch-time cost estimate used by the default partitioning: chain
+    /// length, plus a bonus for live sources.
+    pub fn static_cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+/// The launch-time analysis of a query graph: virtual-node groups, the
+/// node → group index, per-node downstream group adjacency, and
+/// topology-aware partitions over worker threads.
+pub struct ExecutionPlan {
+    groups: Vec<VirtualGroup>,
+    group_of: Vec<GroupId>,
+    downstream_groups: Vec<Vec<GroupId>>,
+}
+
+impl ExecutionPlan {
+    /// Analyzes the current topology of `graph`.
+    ///
+    /// An edge `a → b` is *fusable* when it is `a`'s only outgoing edge and
+    /// `b`'s only incoming edge (and neither endpoint is removed); maximal
+    /// fusable chains become groups, everything else (fan-out points, join
+    /// inputs, removed nodes) forms singleton groups. Nodes added to the
+    /// graph after analysis are not covered — re-analyze after splicing.
+    pub fn analyze(graph: &QueryGraph) -> Self {
+        let n = graph.len();
+        let up: Vec<Vec<NodeId>> = (0..n).map(|id| graph.upstream_ids(id)).collect();
+        let removed: Vec<bool> = (0..n).map(|id| graph.is_removed(id)).collect();
+        let mut out_edges = vec![0usize; n];
+        for ups in &up {
+            for &a in ups {
+                out_edges[a] += 1;
+            }
+        }
+        // Chain successor/predecessor along fusable edges.
+        let mut next: Vec<Option<NodeId>> = vec![None; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        for b in 0..n {
+            if removed[b] || up[b].len() != 1 {
+                continue;
+            }
+            let a = up[b][0];
+            if removed[a] || out_edges[a] != 1 || a == b {
+                continue;
+            }
+            next[a] = Some(b);
+            prev[b] = Some(a);
+        }
+        // Walk each chain from its head.
+        let mut groups: Vec<VirtualGroup> = Vec::new();
+        let mut group_of = vec![0 as GroupId; n];
+        for (head, pred) in prev.iter().enumerate() {
+            if pred.is_some() {
+                continue;
+            }
+            let id = groups.len();
+            let mut nodes = Vec::new();
+            let mut cur = head;
+            loop {
+                group_of[cur] = id;
+                nodes.push(cur);
+                match next[cur] {
+                    Some(nx) => cur = nx,
+                    None => break,
+                }
+            }
+            let has_source = nodes
+                .iter()
+                .any(|&m| !removed[m] && graph.kind(m) == NodeKind::Source);
+            let cost = nodes.len() as u64 + if has_source { 2 } else { 0 };
+            groups.push(VirtualGroup {
+                id,
+                nodes,
+                has_source,
+                cost,
+            });
+        }
+        // Per node: the distinct *foreign* groups its output feeds.
+        let mut downstream_groups: Vec<Vec<GroupId>> = vec![Vec::new(); n];
+        for b in 0..n {
+            for &a in &up[b] {
+                let (ga, gb) = (group_of[a], group_of[b]);
+                if ga != gb && !downstream_groups[a].contains(&gb) {
+                    downstream_groups[a].push(gb);
+                }
+            }
+        }
+        ExecutionPlan {
+            groups,
+            group_of,
+            downstream_groups,
+        }
+    }
+
+    /// The virtual-node groups, indexed by [`GroupId`].
+    pub fn groups(&self) -> &[VirtualGroup] {
+        &self.groups
+    }
+
+    /// The group containing `node`.
+    pub fn group_of(&self, node: NodeId) -> GroupId {
+        self.group_of[node]
+    }
+
+    /// The distinct groups other than `node`'s own that consume `node`'s
+    /// output — the placement units a productive step of `node` can wake.
+    pub fn downstream_groups(&self, node: NodeId) -> &[GroupId] {
+        &self.downstream_groups[node]
+    }
+
+    /// Assigns groups to `threads` partitions by longest-processing-time
+    /// greedy over [`VirtualGroup::static_cost`]: heaviest group first, each
+    /// onto the currently lightest partition. Deterministic (ties break
+    /// toward lower ids / lower thread indices); partitions may be empty
+    /// when there are fewer groups than threads.
+    pub fn partition_groups(&self, threads: usize) -> Vec<Vec<GroupId>> {
+        assert!(threads > 0, "need at least one partition");
+        let mut order: Vec<GroupId> = (0..self.groups.len()).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(self.groups[g].cost));
+        let mut parts: Vec<Vec<GroupId>> = vec![Vec::new(); threads];
+        let mut load = vec![0u64; threads];
+        for g in order {
+            let lightest = (0..threads).min_by_key(|&t| load[t]).expect("threads > 0");
+            parts[lightest].push(g);
+            load[lightest] += self.groups[g].cost.max(1);
+        }
+        for p in &mut parts {
+            p.sort_unstable();
+        }
+        parts
+    }
+
+    /// Topology-aware node partitions for `threads` workers: the node lists
+    /// of [`ExecutionPlan::partition_groups`], with each group's chain kept
+    /// contiguous and in order.
+    pub fn partitions(&self, threads: usize) -> Vec<Vec<NodeId>> {
+        self.partition_groups(threads)
+            .into_iter()
+            .map(|gids| self.nodes_of(&gids))
+            .collect()
+    }
+
+    /// Flattens the member nodes of the given groups, preserving group order
+    /// and intra-group chain order.
+    pub fn nodes_of(&self, groups: &[GroupId]) -> Vec<NodeId> {
+        groups
+            .iter()
+            .flat_map(|&g| self.groups[g].nodes.iter().copied())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_graph::io::{CollectSink, CountSink, VecSource};
+    use pipes_graph::{Collector, Operator};
+    use pipes_time::{Element, Timestamp};
+
+    struct PassThrough;
+    impl Operator for PassThrough {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            out.element(e);
+        }
+    }
+
+    fn elems(n: i64) -> Vec<Element<i64>> {
+        (0..n)
+            .map(|i| Element::at(i, Timestamp::new(i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn linear_chain_fuses_into_one_group() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(4)));
+        let a = g.add_unary("a", PassThrough, &src);
+        let b = g.add_unary("b", PassThrough, &a);
+        let (sink, _) = CollectSink::new();
+        let s = g.add_sink("sink", sink, &b);
+
+        let plan = ExecutionPlan::analyze(&g);
+        assert_eq!(plan.groups().len(), 1);
+        assert_eq!(
+            plan.groups()[0].nodes(),
+            &[src.node(), a.node(), b.node(), s]
+        );
+        assert!(plan.groups()[0].has_source());
+        assert!(plan.downstream_groups(src.node()).is_empty());
+    }
+
+    #[test]
+    fn fan_out_breaks_chains_at_the_branch_point() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(4)));
+        let a = g.add_unary("a", PassThrough, &src);
+        let b = g.add_unary("b", PassThrough, &src);
+        let (s1, _) = CollectSink::new();
+        let (s2, _) = CollectSink::new();
+        let k1 = g.add_sink("s1", s1, &a);
+        let k2 = g.add_sink("s2", s2, &b);
+
+        let plan = ExecutionPlan::analyze(&g);
+        // src alone (two consumers), then two fused operator→sink chains.
+        assert_eq!(plan.groups().len(), 3);
+        assert_eq!(
+            plan.groups()[plan.group_of(src.node())].nodes(),
+            &[src.node()]
+        );
+        assert_eq!(plan.group_of(a.node()), plan.group_of(k1));
+        assert_eq!(plan.group_of(b.node()), plan.group_of(k2));
+        assert_ne!(plan.group_of(a.node()), plan.group_of(b.node()));
+        // The source's output feeds both foreign chains.
+        let mut fed = plan.downstream_groups(src.node()).to_vec();
+        fed.sort_unstable();
+        let mut expect = vec![plan.group_of(a.node()), plan.group_of(b.node())];
+        expect.sort_unstable();
+        assert_eq!(fed, expect);
+    }
+
+    #[test]
+    fn fan_in_breaks_chains_at_the_join_point() {
+        let g = QueryGraph::new();
+        let s1 = g.add_source("s1", VecSource::new(elems(4)));
+        let s2 = g.add_source("s2", VecSource::new(elems(4)));
+        let (sink, _) = CountSink::<i64>::new();
+        let k = g.add_sink_nary("merge", sink, &[s1.clone(), s2.clone()]);
+
+        let plan = ExecutionPlan::analyze(&g);
+        assert_eq!(plan.groups().len(), 3);
+        assert_ne!(plan.group_of(s1.node()), plan.group_of(k));
+        assert_ne!(plan.group_of(s2.node()), plan.group_of(k));
+        assert_eq!(plan.downstream_groups(s1.node()), &[plan.group_of(k)]);
+    }
+
+    #[test]
+    fn removed_nodes_stay_singletons() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(4)));
+        let a = g.add_unary("a", PassThrough, &src);
+        let (sink, _) = CollectSink::new();
+        let s = g.add_sink("sink", sink, &a);
+        g.remove_node(a.node());
+
+        let plan = ExecutionPlan::analyze(&g);
+        // Removal detaches a's subscription, so nothing fuses through it.
+        assert_eq!(plan.groups().len(), 3);
+        assert_eq!(plan.groups()[plan.group_of(a.node())].len(), 1);
+        let _ = s;
+    }
+
+    #[test]
+    fn lpt_partitions_balance_costs_and_keep_chains_whole() {
+        let g = QueryGraph::new();
+        // One long chain plus three short ones.
+        let src = g.add_source("hot", VecSource::new(elems(4)));
+        let mut cur = g.add_unary("h0", PassThrough, &src);
+        for i in 1..8 {
+            cur = g.add_unary(&format!("h{i}"), PassThrough, &cur);
+        }
+        let (sink, _) = CollectSink::new();
+        g.add_sink("hsink", sink, &cur);
+        for c in 0..3 {
+            let s = g.add_source(&format!("c{c}"), VecSource::new(elems(4)));
+            let (k, _) = CollectSink::new();
+            g.add_sink(&format!("c{c}sink"), k, &s);
+        }
+
+        let plan = ExecutionPlan::analyze(&g);
+        assert_eq!(plan.groups().len(), 4);
+        let parts = plan.partition_groups(2);
+        assert_eq!(parts.len(), 2);
+        // The heavy chain lands alone; the three cold chains share the other.
+        let hot = plan.group_of(src.node());
+        let solo = parts.iter().find(|p| p.contains(&hot)).unwrap();
+        assert_eq!(solo.len(), 1);
+        let other = parts.iter().find(|p| !p.contains(&hot)).unwrap();
+        assert_eq!(other.len(), 3);
+        // Node partitions keep each chain contiguous.
+        let nodes = plan.partitions(2);
+        assert_eq!(
+            nodes.iter().map(|p| p.len()).sum::<usize>(),
+            g.len(),
+            "every node placed exactly once"
+        );
+        assert!(!nodes[0].is_empty() && !nodes[1].is_empty());
+    }
+
+    #[test]
+    fn more_threads_than_groups_leaves_empty_partitions() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(2)));
+        let (sink, _) = CollectSink::new();
+        g.add_sink("sink", sink, &src);
+        let plan = ExecutionPlan::analyze(&g);
+        assert_eq!(plan.groups().len(), 1);
+        let parts = plan.partitions(3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0].len(), 2);
+        assert!(parts[1].is_empty() && parts[2].is_empty());
+    }
+}

@@ -1,0 +1,238 @@
+//! Layer 3 ownership: the atomic claim/steal protocol and targeted parking.
+//!
+//! Each virtual-node group has one word of state in a [`GroupTable`]:
+//! either *free*, or *owned* by a worker, with an *active* bit set while the
+//! owner is executing a quantum on one of the group's nodes. All transitions
+//! are single-word compare-and-swaps, which makes the two safety properties
+//! structural rather than emergent:
+//!
+//! * **no double execution** — `begin` is a CAS from the inactive owned
+//!   state, so two threads can never both hold the active bit;
+//! * **no lost groups** — a group is only ever free or owned by exactly one
+//!   worker; steals move ownership in one CAS (which fails while the victim
+//!   is mid-quantum), and rebalance hand-offs release to free before the
+//!   target claims, with free runnable groups re-adopted by any idle worker.
+//!
+//! These properties are model-checked under `--cfg pipes_model_check`
+//! (see `crates/sched/tests/model_check.rs`).
+
+use crate::plan::GroupId;
+use pipes_sync::atomic::{AtomicUsize, Ordering};
+use pipes_sync::{Condvar, Mutex};
+use std::time::Duration;
+
+const FREE: usize = 0;
+
+fn owned_by(worker: usize) -> usize {
+    (worker + 1) << 1
+}
+
+/// One word of ownership state per virtual-node group.
+pub struct GroupTable {
+    states: Vec<AtomicUsize>,
+}
+
+impl GroupTable {
+    /// Creates a table of `groups` slots, all free.
+    pub fn new(groups: usize) -> Self {
+        GroupTable {
+            states: (0..groups).map(|_| AtomicUsize::new(FREE)).collect(),
+        }
+    }
+
+    /// Number of group slots.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Whether the table has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The worker currently owning `group`, if any.
+    pub fn owner(&self, group: GroupId) -> Option<usize> {
+        let s = self.states[group].load(Ordering::Acquire);
+        if s == FREE {
+            None
+        } else {
+            Some((s >> 1) - 1)
+        }
+    }
+
+    /// Whether `group`'s owner is currently executing a quantum on it.
+    pub fn is_active(&self, group: GroupId) -> bool {
+        self.states[group].load(Ordering::Acquire) & 1 == 1
+    }
+
+    /// Claims a free group for `me`. Fails if the group is owned.
+    pub fn try_claim(&self, group: GroupId, me: usize) -> bool {
+        self.states[group]
+            .compare_exchange(FREE, owned_by(me), Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// Steals `group` from `victim` for `me`. Fails if the victim is not
+    /// the (inactive) owner — in particular while the victim is mid-quantum
+    /// on the group, so a steal never interrupts an execution.
+    pub fn try_steal(&self, group: GroupId, victim: usize, me: usize) -> bool {
+        victim != me
+            && self.states[group]
+                .compare_exchange(
+                    owned_by(victim),
+                    owned_by(me),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_ok()
+    }
+
+    /// Marks the start of a quantum on `group` by its owner `me`. Fails if
+    /// `me` no longer owns the group (it was stolen or handed off since the
+    /// caller last looked) — the caller must then re-derive its owned set.
+    pub fn begin(&self, group: GroupId, me: usize) -> bool {
+        self.states[group]
+            .compare_exchange(
+                owned_by(me),
+                owned_by(me) | 1,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_ok()
+    }
+
+    /// Marks the end of a quantum started with a successful
+    /// [`GroupTable::begin`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not the active owner — that would mean two workers
+    /// executed the group at once, which the protocol rules out.
+    pub fn end(&self, group: GroupId, me: usize) {
+        let prev = self.states[group].swap(owned_by(me), Ordering::AcqRel);
+        assert_eq!(
+            prev,
+            owned_by(me) | 1,
+            "group {group} ended by non-active worker {me}"
+        );
+    }
+
+    /// Releases an owned, inactive group back to the free pool (rebalance
+    /// hand-off). Fails if `me` is not the inactive owner.
+    pub fn release(&self, group: GroupId, me: usize) -> bool {
+        self.states[group]
+            .compare_exchange(owned_by(me), FREE, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    /// The groups currently owned by `me`, in id order. A snapshot — other
+    /// workers may steal concurrently, which [`GroupTable::begin`] detects.
+    pub fn owned(&self, me: usize) -> Vec<GroupId> {
+        (0..self.states.len())
+            .filter(|&g| self.owner(g) == Some(me))
+            .collect()
+    }
+}
+
+/// A per-worker wake token: [`Parker::park`] consumes a pending token or
+/// blocks until [`Parker::unpark`] (or the timeout); an unpark that races
+/// ahead of the park is never lost. Built on the facade mutex + condvar so
+/// it works identically under the model checker.
+pub struct Parker {
+    token: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Default for Parker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Parker {
+    /// Creates a parker with no pending token.
+    pub fn new() -> Self {
+        Parker {
+            token: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Blocks until a token is available or `timeout` elapses; consumes the
+    /// token. Returns `true` if a token was consumed (an unpark happened
+    /// before or during the wait), `false` on timeout.
+    pub fn park(&self, timeout: Duration) -> bool {
+        let mut token = self.token.lock();
+        if !*token {
+            let _ = self.cv.wait_for(&mut token, timeout);
+        }
+        let woken = *token;
+        *token = false;
+        woken
+    }
+
+    /// Deposits a wake token and wakes the parked worker, if any.
+    pub fn unpark(&self) {
+        let mut token = self.token.lock();
+        *token = true;
+        self.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn claim_steal_release_lifecycle() {
+        let t = GroupTable::new(2);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.owner(0), None);
+        assert!(t.try_claim(0, 3));
+        assert_eq!(t.owner(0), Some(3));
+        assert!(!t.try_claim(0, 1), "owned groups cannot be re-claimed");
+        assert!(t.try_steal(0, 3, 1));
+        assert_eq!(t.owner(0), Some(1));
+        assert!(!t.try_steal(0, 3, 2), "stale victim fails");
+        assert!(!t.try_steal(0, 1, 1), "self-steal rejected");
+        assert!(t.release(0, 1));
+        assert_eq!(t.owner(0), None);
+        assert!(!t.release(0, 1));
+        assert_eq!(t.owned(1), Vec::<GroupId>::new());
+    }
+
+    #[test]
+    fn active_groups_resist_steal_and_release() {
+        let t = GroupTable::new(1);
+        assert!(t.try_claim(0, 0));
+        assert!(!t.begin(0, 1), "only the owner can begin");
+        assert!(t.begin(0, 0));
+        assert!(t.is_active(0));
+        assert!(!t.try_steal(0, 0, 1), "active group cannot be stolen");
+        assert!(!t.release(0, 0), "active group cannot be released");
+        assert!(!t.begin(0, 0), "no nested begin");
+        t.end(0, 0);
+        assert!(!t.is_active(0));
+        assert_eq!(t.owner(0), Some(0));
+        assert_eq!(t.owned(0), vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-active")]
+    fn end_without_begin_panics() {
+        let t = GroupTable::new(1);
+        assert!(t.try_claim(0, 0));
+        t.end(0, 0);
+    }
+
+    #[test]
+    fn parker_token_is_not_lost_when_unpark_comes_first() {
+        let p = Parker::new();
+        p.unpark();
+        assert!(p.park(Duration::from_secs(0)), "pending token consumed");
+        assert!(
+            !p.park(Duration::from_millis(1)),
+            "second park times out: token was consumed"
+        );
+    }
+}

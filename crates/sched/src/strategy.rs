@@ -43,7 +43,7 @@ impl<'a> SchedView<'a> {
 
     /// The node's role in the graph.
     pub fn kind(&self, id: NodeId) -> NodeKind {
-        self.graph.info(id).kind
+        self.graph.kind(id)
     }
 
     /// Observed selectivity (elements out / messages in), defaulting to 1.
@@ -56,13 +56,26 @@ impl<'a> SchedView<'a> {
             .min(4.0)
     }
 
-    /// Direct downstream consumers of `id` among the candidate set.
+    /// Appends the direct downstream consumers of `id` among the candidate
+    /// set onto `out`. Allocation-free for callers that reuse the buffer —
+    /// this sits in strategy hot loops (e.g. the [`ChainStrategy`] priority
+    /// recomputation), where the old per-call `Vec` (and the `NodeInfo`
+    /// name clone behind it) dominated the selection cost.
+    pub fn downstream_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        out.extend(
+            self.nodes
+                .iter()
+                .copied()
+                .filter(|&n| self.graph.subscribes_to(n, id)),
+        );
+    }
+
+    /// Direct downstream consumers of `id` among the candidate set
+    /// (allocating convenience form of [`SchedView::downstream_into`]).
     pub fn downstream(&self, id: NodeId) -> Vec<NodeId> {
-        self.nodes
-            .iter()
-            .copied()
-            .filter(|&n| self.graph.info(n).upstream.contains(&id))
-            .collect()
+        let mut out = Vec::new();
+        self.downstream_into(id, &mut out);
+        out
     }
 
     /// Whether the node can make progress right now: it has queued input,
@@ -222,6 +235,9 @@ impl Strategy for RandomStrategy {
 /// are recomputed periodically as the estimates move.
 pub struct ChainStrategy {
     priorities: Vec<(NodeId, f64)>,
+    /// Reused downstream buffer — recompute runs hot, one allocation-free
+    /// `downstream_into` per chain hop instead of a fresh `Vec` each.
+    scratch: Vec<NodeId>,
     refresh_every: u64,
     ticks: u64,
 }
@@ -232,6 +248,7 @@ impl ChainStrategy {
     pub fn new(refresh_every: u64) -> Self {
         ChainStrategy {
             priorities: Vec::new(),
+            scratch: Vec::new(),
             refresh_every: refresh_every.max(1),
             ticks: 0,
         }
@@ -239,6 +256,7 @@ impl ChainStrategy {
 
     fn recompute(&mut self, view: &SchedView<'_>) {
         self.priorities.clear();
+        let mut scratch = std::mem::take(&mut self.scratch);
         for &id in view.nodes() {
             let mut best: f64 = 0.0;
             // Walk the downstream chain, accumulating survival probability.
@@ -250,17 +268,19 @@ impl ChainStrategy {
                 len += 1.0;
                 let slope = (1.0 - survival) / len;
                 best = best.max(slope);
-                let down = view.downstream(cur);
-                if down.len() != 1 {
+                scratch.clear();
+                view.downstream_into(cur, &mut scratch);
+                if scratch.len() != 1 {
                     break;
                 }
-                cur = down[0];
+                cur = scratch[0];
                 if len > 32.0 {
                     break;
                 }
             }
             self.priorities.push((id, best));
         }
+        self.scratch = scratch;
     }
 }
 
@@ -412,6 +432,94 @@ mod tests {
         // Initially only the source is runnable.
         let view = SchedView::new(&g, &nodes);
         assert_eq!(rr.select(&view), Some(nodes[0]));
+    }
+
+    struct DropMost;
+    impl Operator for DropMost {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            if e.payload % 10 == 0 {
+                out.element(e);
+            }
+        }
+    }
+
+    #[test]
+    fn rate_based_prefers_the_high_rate_path_under_skew() {
+        // Two parallel chains with skewed selectivity: `fast` passes
+        // everything, `slow` drops 90%.
+        let g = QueryGraph::new();
+        let elems: Vec<Element<i64>> = (0..40)
+            .map(|i| Element::at(i, Timestamp::new(i as u64)))
+            .collect();
+        let s1 = g.add_source("s1", VecSource::new(elems.clone()));
+        let s2 = g.add_source("s2", VecSource::new(elems));
+        let fast = g.add_unary("fast", PassThrough, &s1);
+        let slow = g.add_unary("slow", DropMost, &s2);
+        let (k1, _) = CollectSink::new();
+        let (k2, _) = CollectSink::new();
+        g.add_sink("k1", k1, &fast);
+        g.add_sink("k2", k2, &slow);
+
+        // Feed both operators and let them observe their selectivities.
+        g.step_node(s1.node(), 20);
+        g.step_node(s2.node(), 20);
+        g.step_node(fast.node(), 10);
+        g.step_node(slow.node(), 10);
+        assert!(g.queued(fast.node()) > 0 && g.queued(slow.node()) > 0);
+
+        let candidates = vec![fast.node(), slow.node()];
+        let view = SchedView::new(&g, &candidates);
+        assert!(view.selectivity(fast.node()) > view.selectivity(slow.node()));
+        assert_eq!(
+            RateBasedStrategy.select(&view),
+            Some(fast.node()),
+            "rate-based must push the productive path first"
+        );
+    }
+
+    #[test]
+    fn random_strategy_is_deterministic_per_seed() {
+        // Three always-runnable sources: the candidate set never changes,
+        // so selection sequences depend only on the seed.
+        let g = QueryGraph::new();
+        let mk = |n: &str| {
+            let h = g.add_source(n, VecSource::new(elems_n(1000)));
+            let (k, _) = CollectSink::new();
+            g.add_sink(&format!("{n}-sink"), k, &h);
+            h.node()
+        };
+        let nodes = vec![mk("a"), mk("b"), mk("c")];
+        let view = SchedView::new(&g, &nodes);
+
+        let draw = |seed: u64| -> Vec<NodeId> {
+            let mut s = RandomStrategy::new(seed);
+            (0..64).map(|_| s.select(&view).unwrap()).collect()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same schedule");
+        assert_ne!(draw(7), draw(8), "different seeds diverge");
+    }
+
+    fn elems_n(n: i64) -> Vec<Element<i64>> {
+        (0..n)
+            .map(|i| Element::at(i, Timestamp::new(i as u64)))
+            .collect()
+    }
+
+    #[test]
+    fn downstream_into_reuses_the_buffer() {
+        let (g, nodes) = demo_graph();
+        let view = SchedView::new(&g, &nodes);
+        let mut buf = Vec::with_capacity(4);
+        view.downstream_into(nodes[0], &mut buf);
+        assert_eq!(buf, vec![nodes[1]]);
+        let cap = buf.capacity();
+        buf.clear();
+        view.downstream_into(nodes[1], &mut buf);
+        assert_eq!(buf, vec![nodes[2]]);
+        assert_eq!(buf.capacity(), cap, "no reallocation");
+        assert_eq!(view.downstream(nodes[2]), Vec::<NodeId>::new());
     }
 
     #[test]

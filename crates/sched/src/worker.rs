@@ -1,0 +1,687 @@
+//! Layer 3 proper: a dynamic thread layer over the execution plan.
+//!
+//! [`WorkStealingExecutor`] runs the layer-1 plan with true dynamic
+//! placement: each worker *owns* a set of virtual-node groups through the
+//! [`GroupTable`] claim protocol, runs its layer-2 [`Strategy`] over the
+//! nodes of the groups it owns, and when it runs dry it first adopts free
+//! runnable groups, then **steals** a runnable group from the most loaded
+//! peer. A leader worker periodically re-places all groups from runtime
+//! queue-depth statistics (`pipes-meta`) when the load spread grows too
+//! wide, and every productive quantum wakes the specific workers owning the
+//! producer's downstream groups through per-worker [`Parker`]s — a targeted
+//! unpark instead of the bounded-staleness park timeouts the static
+//! executor relies on.
+
+use crate::executor::ExecutionReport;
+use crate::plan::{ExecutionPlan, GroupId};
+use crate::steal::{GroupTable, Parker};
+use crate::strategy::{SchedView, Strategy};
+use pipes_graph::{NodeId, NodeKind, QueryGraph};
+use pipes_sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use pipes_sync::{hint, thread, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Shared coordination state for one run.
+struct Shared {
+    plan: ExecutionPlan,
+    table: GroupTable,
+    parkers: Vec<Parker>,
+    stop: AtomicBool,
+    /// Bumped when a new placement is published in `targets`.
+    epoch: AtomicU64,
+    /// Target worker per group for the current epoch.
+    targets: Mutex<Vec<usize>>,
+}
+
+impl Shared {
+    fn wake_all(&self) {
+        for p in &self.parkers {
+            p.unpark();
+        }
+    }
+}
+
+/// Read-only view of the live group placement of a running
+/// [`WorkStealingExecutor`] — e.g. for a memory manager whose budget split
+/// should follow placement (`pipes_mem::MemoryManager::set_placement`).
+#[derive(Clone)]
+pub struct OwnershipView {
+    shared: Arc<Shared>,
+}
+
+impl OwnershipView {
+    /// The group containing `node` in the run's execution plan.
+    pub fn group_of(&self, node: NodeId) -> GroupId {
+        self.shared.plan.group_of(node)
+    }
+
+    /// The worker currently owning `node`'s group, if any.
+    pub fn worker_of(&self, node: NodeId) -> Option<usize> {
+        self.shared.table.owner(self.shared.plan.group_of(node))
+    }
+
+    /// Number of worker threads in the run.
+    pub fn workers(&self) -> usize {
+        self.shared.parkers.len()
+    }
+}
+
+/// Adaptive idle waiting against a targeted [`Parker`]: spin, then yield,
+/// then park with growing timeouts — but an `unpark` aimed at this worker
+/// ends the park immediately (and is never lost if it races ahead).
+struct IdleWait {
+    rounds: u32,
+}
+
+impl IdleWait {
+    const SPIN_ROUNDS: u32 = 6;
+    const YIELD_ROUNDS: u32 = 4;
+    const FIRST_PARK: Duration = Duration::from_micros(50);
+    /// Bounds how stale a parked worker's view of the stop flag can get
+    /// should a wakeup be missed for a reason outside the protocol.
+    const MAX_PARK: Duration = Duration::from_micros(1600);
+
+    fn new() -> Self {
+        IdleWait { rounds: 0 }
+    }
+
+    fn wait(&mut self, parker: &Parker) {
+        if self.rounds < Self::SPIN_ROUNDS {
+            for _ in 0..(1u32 << self.rounds) {
+                hint::spin_loop();
+            }
+        } else if self.rounds < Self::SPIN_ROUNDS + Self::YIELD_ROUNDS {
+            thread::yield_now();
+        } else {
+            let doublings = (self.rounds - Self::SPIN_ROUNDS - Self::YIELD_ROUNDS).min(5);
+            let timeout = Self::FIRST_PARK
+                .saturating_mul(1 << doublings)
+                .min(Self::MAX_PARK);
+            pipes_trace::instant(pipes_trace::names::PARK, [timeout.as_micros() as u64, 0, 0]);
+            parker.park(timeout);
+            pipes_trace::instant(pipes_trace::names::UNPARK, [0; 3]);
+        }
+        self.rounds = self.rounds.saturating_add(1);
+    }
+
+    fn reset(&mut self) {
+        self.rounds = 0;
+    }
+}
+
+/// Whether any node of `group` can make progress right now.
+fn group_runnable(graph: &QueryGraph, plan: &ExecutionPlan, group: GroupId) -> bool {
+    plan.groups()[group].nodes().iter().any(|&n| {
+        !graph.is_finished(n) && (graph.queued(n) > 0 || graph.kind(n) == NodeKind::Source)
+    })
+}
+
+/// The dynamic layer-3 executor: plan-derived initial placement, group
+/// ownership with work stealing, periodic stats-driven rebalance, and
+/// targeted wakeups.
+pub struct WorkStealingExecutor {
+    threads: usize,
+    quantum: usize,
+    sample_every: u64,
+    max_quanta_per_thread: Option<u64>,
+    batch_limit: Option<usize>,
+    rebalance_every: u64,
+    initial_groups: Option<Vec<Vec<GroupId>>>,
+}
+
+impl WorkStealingExecutor {
+    /// Creates an executor with the given number of worker threads, a
+    /// quantum of 64 messages, queue sampling every 16 quanta, and a
+    /// rebalance check every 256 scheduler iterations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "need at least one worker thread");
+        WorkStealingExecutor {
+            threads,
+            quantum: 64,
+            sample_every: 16,
+            max_quanta_per_thread: None,
+            batch_limit: None,
+            rebalance_every: 256,
+            initial_groups: None,
+        }
+    }
+
+    /// Sets the per-selection message budget.
+    pub fn with_quantum(mut self, quantum: usize) -> Self {
+        self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Caps quanta per worker (for unbounded sources).
+    pub fn with_max_quanta(mut self, max: u64) -> Self {
+        self.max_quanta_per_thread = Some(max);
+        self
+    }
+
+    /// Caps the per-run batch size of every node (see
+    /// [`crate::SingleThreadExecutor::with_batch_limit`]).
+    pub fn with_batch_limit(mut self, limit: usize) -> Self {
+        self.batch_limit = Some(limit.max(1));
+        self
+    }
+
+    /// Sets how often (in quanta) each worker samples queue totals.
+    pub fn with_sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every.max(1);
+        self
+    }
+
+    /// Sets how often (in scheduler iterations of the leader worker) the
+    /// placement is re-examined against runtime queue depths. `0` disables
+    /// rebalancing; stealing still runs.
+    pub fn with_rebalance_every(mut self, every: u64) -> Self {
+        self.rebalance_every = every;
+        self
+    }
+
+    /// Overrides the initial group placement (one group-id list per
+    /// worker), e.g. to benchmark stealing from a deliberately skewed
+    /// start. Defaults to [`ExecutionPlan::partition_groups`].
+    pub fn with_initial_groups(mut self, groups: Vec<Vec<GroupId>>) -> Self {
+        self.initial_groups = Some(groups);
+        self
+    }
+
+    /// Plans the graph and runs `make_strategy()` per worker until the
+    /// graph finishes. Returns the per-worker reports (merge them with
+    /// [`ExecutionReport::merge`]).
+    pub fn run(
+        &self,
+        graph: &Arc<QueryGraph>,
+        make_strategy: impl Fn() -> Box<dyn Strategy>,
+    ) -> Vec<ExecutionReport> {
+        self.run_observed(graph, make_strategy, |_| {})
+    }
+
+    /// Like [`WorkStealingExecutor::run`], but hands an [`OwnershipView`]
+    /// of the live placement to `observe` after launch (before workers
+    /// start), so monitors can follow group ownership while the run is in
+    /// flight.
+    pub fn run_observed(
+        &self,
+        graph: &Arc<QueryGraph>,
+        make_strategy: impl Fn() -> Box<dyn Strategy>,
+        observe: impl FnOnce(OwnershipView),
+    ) -> Vec<ExecutionReport> {
+        let plan = ExecutionPlan::analyze(graph);
+        let n_groups = plan.groups().len();
+        let initial = match &self.initial_groups {
+            Some(parts) => {
+                assert_eq!(parts.len(), self.threads, "one group list per worker");
+                parts.clone()
+            }
+            None => plan.partition_groups(self.threads),
+        };
+        if let Some(limit) = self.batch_limit {
+            graph.set_batch_limit(limit);
+        }
+        let shared = Arc::new(Shared {
+            plan,
+            table: GroupTable::new(n_groups),
+            parkers: (0..self.threads).map(|_| Parker::new()).collect(),
+            stop: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            targets: Mutex::new(Vec::new()),
+        });
+
+        // Targeted wakeups: a productive quantum on `producer` wakes the
+        // owners of the foreign groups its output feeds.
+        let hook_shared = Arc::clone(&shared);
+        graph.set_wake_hook(Arc::new(move |producer| {
+            for &g in hook_shared.plan.downstream_groups(producer) {
+                if let Some(w) = hook_shared.table.owner(g) {
+                    if let Some(p) = hook_shared.parkers.get(w) {
+                        pipes_trace::instant(
+                            pipes_trace::names::WAKE,
+                            [producer as u64, w as u64, 0],
+                        );
+                        p.unpark();
+                    }
+                }
+            }
+        }));
+
+        observe(OwnershipView {
+            shared: Arc::clone(&shared),
+        });
+
+        let n_workers = self.threads;
+        let reports: Vec<ExecutionReport> = thread::scope(|scope| {
+            let handles: Vec<_> = initial
+                .into_iter()
+                .enumerate()
+                .map(|(me, my_groups)| {
+                    let mut strategy = make_strategy();
+                    let graph = Arc::clone(graph);
+                    let shared = Arc::clone(&shared);
+                    scope.spawn(move || {
+                        pipes_trace::set_thread_name(&format!("worker-{me}"));
+                        self.worker_loop(me, &graph, &shared, strategy.as_mut(), &my_groups)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        graph.clear_wake_hook();
+        shared.stop.store(true, Ordering::Release);
+        pipes_trace::instant(pipes_trace::names::SHUTDOWN, [n_workers as u64, 0, 0]);
+        reports
+    }
+
+    fn worker_loop(
+        &self,
+        me: usize,
+        graph: &QueryGraph,
+        shared: &Shared,
+        strategy: &mut dyn Strategy,
+        initial: &[GroupId],
+    ) -> ExecutionReport {
+        let start = Instant::now();
+        for &g in initial {
+            if shared.table.try_claim(g, me) {
+                pipes_trace::instant(pipes_trace::names::GROUP_CLAIM, [g as u64, me as u64, 0]);
+            }
+        }
+        let mut nodes = shared.plan.nodes_of(&shared.table.owned(me));
+        let mut report = ExecutionReport {
+            strategy: strategy.name().to_string(),
+            ..Default::default()
+        };
+        let mut queue_samples: u64 = 0;
+        let mut queue_sum: f64 = 0.0;
+        let mut idle_rounds = 0u32;
+        let mut idle = IdleWait::new();
+        let mut seen_epoch = 0u64;
+        let mut since_rebalance = 0u64;
+        loop {
+            if shared.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let epoch = shared.epoch.load(Ordering::Acquire);
+            if epoch != seen_epoch {
+                seen_epoch = epoch;
+                self.apply_targets(me, shared, epoch);
+                nodes = shared.plan.nodes_of(&shared.table.owned(me));
+            }
+            if let Some(max) = self.max_quanta_per_thread {
+                if report.quanta >= max {
+                    report.hit_limit = true;
+                    break;
+                }
+            }
+            if me == 0 && self.rebalance_every > 0 {
+                since_rebalance += 1;
+                if since_rebalance >= self.rebalance_every {
+                    since_rebalance = 0;
+                    self.plan_rebalance(graph, shared);
+                }
+            }
+            let view = SchedView::new(graph, &nodes);
+            let Some(id) = strategy.select(&view) else {
+                idle_rounds += 1;
+                if idle_rounds > 10_000 {
+                    break; // safety valve against a stalled graph
+                }
+                if self.acquire_work(me, graph, shared, &mut report.steals) {
+                    nodes = shared.plan.nodes_of(&shared.table.owned(me));
+                    idle_rounds = 0;
+                    idle.reset();
+                    continue;
+                }
+                if graph.all_finished() {
+                    shared.stop.store(true, Ordering::Release);
+                    pipes_trace::instant(pipes_trace::names::STOP, [0; 3]);
+                    shared.wake_all();
+                    break;
+                }
+                idle.wait(&shared.parkers[me]);
+                continue;
+            };
+            let group = shared.plan.group_of(id);
+            if !shared.table.begin(group, me) {
+                // The group left us (stolen or handed off) since the last
+                // ownership refresh — re-derive what we own.
+                nodes = shared.plan.nodes_of(&shared.table.owned(me));
+                continue;
+            }
+            let step = {
+                let _span = pipes_trace::span_args(
+                    pipes_trace::names::QUANTUM,
+                    [id as u64, report.quanta, 0],
+                );
+                graph.step_node(id, self.quantum)
+            };
+            shared.table.end(group, me);
+            report.quanta += 1;
+            report.consumed += step.consumed as u64;
+            report.produced += step.produced as u64;
+            report.batches += step.batches as u64;
+            if step.consumed == 0 && step.produced == 0 {
+                idle_rounds += 1;
+                if idle_rounds > 10_000 {
+                    break;
+                }
+                if graph.all_finished() {
+                    shared.stop.store(true, Ordering::Release);
+                    pipes_trace::instant(pipes_trace::names::STOP, [0; 3]);
+                    shared.wake_all();
+                    break;
+                }
+            } else {
+                idle_rounds = 0;
+                idle.reset();
+            }
+            if report.quanta.is_multiple_of(self.sample_every) {
+                let total: usize = nodes.iter().map(|&n| graph.queued(n)).sum();
+                let state: usize = nodes.iter().map(|&n| graph.memory(n)).sum();
+                report.peak_queue = report.peak_queue.max(total);
+                report.peak_state = report.peak_state.max(state);
+                queue_sum += total as f64;
+                queue_samples += 1;
+            }
+        }
+        report.avg_queue = if queue_samples > 0 {
+            queue_sum / queue_samples as f64
+        } else {
+            0.0
+        };
+        report.wall = start.elapsed();
+        report
+    }
+
+    /// Idle-path work acquisition: adopt free runnable groups, else steal
+    /// one runnable group from the most loaded peer. A peer keeps its last
+    /// runnable group (stealing only targets owners of two or more), so a
+    /// worker that simply hasn't been scheduled is not stripped of the work
+    /// a wakeup is already heading its way for. Returns whether anything
+    /// was acquired.
+    fn acquire_work(
+        &self,
+        me: usize,
+        graph: &QueryGraph,
+        shared: &Shared,
+        steals: &mut u64,
+    ) -> bool {
+        let table = &shared.table;
+        let mut got = false;
+        for g in 0..table.len() {
+            if table.owner(g).is_none()
+                && group_runnable(graph, &shared.plan, g)
+                && table.try_claim(g, me)
+            {
+                pipes_trace::instant(pipes_trace::names::GROUP_CLAIM, [g as u64, me as u64, 0]);
+                got = true;
+            }
+        }
+        if got {
+            return true;
+        }
+        let mut runnable_of: Vec<Vec<GroupId>> = vec![Vec::new(); self.threads];
+        for g in 0..table.len() {
+            if let Some(w) = table.owner(g) {
+                if w != me && w < self.threads && group_runnable(graph, &shared.plan, g) {
+                    runnable_of[w].push(g);
+                }
+            }
+        }
+        let Some((victim, groups)) = runnable_of
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| v.len() >= 2)
+            .max_by_key(|(_, v)| v.len())
+        else {
+            return false;
+        };
+        // Take from the tail: the victim's strategy reaches those last.
+        for &g in groups.iter().rev() {
+            if table.try_steal(g, victim, me) {
+                pipes_trace::instant(
+                    pipes_trace::names::STEAL,
+                    [g as u64, victim as u64, me as u64],
+                );
+                *steals += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Applies a published placement: release own groups targeted
+    /// elsewhere (waking the target), claim free groups targeted here.
+    fn apply_targets(&self, me: usize, shared: &Shared, epoch: u64) {
+        let targets = shared.targets.lock().clone();
+        for g in shared.table.owned(me) {
+            let target = targets.get(g).copied().unwrap_or(me);
+            if target != me && shared.table.release(g, me) {
+                pipes_trace::instant(
+                    pipes_trace::names::GROUP_RELEASE,
+                    [g as u64, me as u64, epoch],
+                );
+                if let Some(p) = shared.parkers.get(target) {
+                    p.unpark();
+                }
+            }
+        }
+        for (g, &target) in targets.iter().enumerate() {
+            if target == me && shared.table.owner(g).is_none() && shared.table.try_claim(g, me) {
+                pipes_trace::instant(pipes_trace::names::GROUP_CLAIM, [g as u64, me as u64, 0]);
+            }
+        }
+    }
+
+    /// Leader-only: re-place groups by longest-processing-time over runtime
+    /// queue depths (from `pipes-meta` stats) when the per-worker load
+    /// spread has grown past 2× plus slack. Publishing a new epoch makes
+    /// every worker hand off / pick up groups at its next iteration.
+    fn plan_rebalance(&self, graph: &QueryGraph, shared: &Shared) {
+        let n = shared.table.len();
+        if n < 2 || self.threads < 2 {
+            return;
+        }
+        let costs: Vec<u64> = shared
+            .plan
+            .groups()
+            .iter()
+            .map(|grp| {
+                let queued: u64 = grp
+                    .nodes()
+                    .iter()
+                    .map(|&m| graph.stats(m).snapshot().queue_len as u64)
+                    .sum();
+                let live_source = grp
+                    .nodes()
+                    .iter()
+                    .any(|&m| graph.kind(m) == NodeKind::Source && !graph.is_finished(m));
+                queued + if live_source { self.quantum as u64 } else { 0 }
+            })
+            .collect();
+        let mut load = vec![0u64; self.threads];
+        for (g, &cost) in costs.iter().enumerate() {
+            if let Some(w) = shared.table.owner(g) {
+                if w < self.threads {
+                    load[w] += cost;
+                }
+            }
+        }
+        let max = load.iter().copied().max().unwrap_or(0);
+        let min = load.iter().copied().min().unwrap_or(0);
+        if max <= min.saturating_mul(2).saturating_add(self.quantum as u64) {
+            return; // balanced enough; avoid churn
+        }
+        let mut order: Vec<GroupId> = (0..n).collect();
+        order.sort_by_key(|&g| std::cmp::Reverse(costs[g]));
+        let mut targets = vec![0usize; n];
+        let mut target_load = vec![0u64; self.threads];
+        for g in order {
+            let w = (0..self.threads)
+                .min_by_key(|&t| target_load[t])
+                .expect("threads > 0");
+            targets[g] = w;
+            target_load[w] += costs[g].max(1);
+        }
+        let moved = (0..n)
+            .filter(|&g| shared.table.owner(g).is_some_and(|w| w != targets[g]))
+            .count();
+        if moved == 0 {
+            return;
+        }
+        *shared.targets.lock() = targets;
+        let epoch = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
+        pipes_trace::instant(pipes_trace::names::REBALANCE_PLAN, [epoch, moved as u64, 0]);
+        shared.wake_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{FifoStrategy, RoundRobinStrategy};
+    use pipes_graph::io::{CollectSink, VecSource};
+    use pipes_graph::{Collector, Operator};
+    use pipes_time::{Element, Timestamp};
+
+    struct HalfFilter;
+    impl Operator for HalfFilter {
+        type In = i64;
+        type Out = i64;
+        fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+            if e.payload % 2 == 0 {
+                out.element(e);
+            }
+        }
+    }
+
+    fn elems(n: i64) -> Vec<Element<i64>> {
+        (0..n)
+            .map(|i| Element::at(i, Timestamp::new(i as u64)))
+            .collect()
+    }
+
+    /// `chains` independent source→filter→sink pipelines of `n` elements.
+    fn multi_chain(
+        chains: usize,
+        n: i64,
+    ) -> (Arc<QueryGraph>, Vec<pipes_graph::io::Collected<i64>>) {
+        let g = QueryGraph::new();
+        let mut bufs = Vec::new();
+        for c in 0..chains {
+            let src = g.add_source(&format!("src{c}"), VecSource::new(elems(n)));
+            let f = g.add_unary(&format!("f{c}"), HalfFilter, &src);
+            let (sink, buf) = CollectSink::new();
+            g.add_sink(&format!("sink{c}"), sink, &f);
+            bufs.push(buf);
+        }
+        (Arc::new(g), bufs)
+    }
+
+    #[test]
+    fn completes_and_preserves_results() {
+        let (g, bufs) = multi_chain(3, 400);
+        let reports = WorkStealingExecutor::new(2).run(&g, || Box::new(RoundRobinStrategy::new()));
+        assert_eq!(reports.len(), 2);
+        assert!(g.all_finished());
+        for buf in &bufs {
+            assert_eq!(buf.lock().len(), 200);
+        }
+        let merged = ExecutionReport::merge(&reports);
+        assert!(merged.consumed > 0);
+        assert!(!merged.hit_limit);
+    }
+
+    #[test]
+    fn idle_worker_steals_from_a_skewed_start() {
+        let (g, bufs) = multi_chain(8, 4000);
+        let plan = ExecutionPlan::analyze(&g);
+        assert_eq!(plan.groups().len(), 8);
+        // Deliberately park every group on worker 0; worker 1 must steal.
+        let all: Vec<GroupId> = (0..plan.groups().len()).collect();
+        let reports = WorkStealingExecutor::new(2)
+            .with_rebalance_every(0)
+            .with_initial_groups(vec![all, Vec::new()])
+            .run(&g, || Box::new(FifoStrategy));
+        assert!(g.all_finished());
+        for buf in &bufs {
+            assert_eq!(buf.lock().len(), 2000);
+        }
+        let merged = ExecutionReport::merge(&reports);
+        assert!(
+            merged.steals >= 1,
+            "the empty worker should have stolen at least one of the 8 runnable groups"
+        );
+        assert!(
+            reports[1].quanta > 0,
+            "worker 1 did real work after stealing"
+        );
+    }
+
+    #[test]
+    fn rebalance_path_preserves_results() {
+        let (g, bufs) = multi_chain(4, 1000);
+        // Rebalance aggressively from a skewed start so release/claim
+        // hand-offs actually happen mid-run.
+        let plan_groups = ExecutionPlan::analyze(&g).groups().len();
+        let reports = WorkStealingExecutor::new(2)
+            .with_rebalance_every(8)
+            .with_initial_groups(vec![(0..plan_groups).collect(), Vec::new()])
+            .run(&g, || Box::new(RoundRobinStrategy::new()));
+        assert!(g.all_finished());
+        for buf in &bufs {
+            assert_eq!(buf.lock().len(), 500);
+        }
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn ownership_view_tracks_placement() {
+        let (g, _bufs) = multi_chain(2, 100);
+        let mut seen = None;
+        let reports = WorkStealingExecutor::new(2).run_observed(
+            &g,
+            || Box::new(FifoStrategy),
+            |view| seen = Some(view),
+        );
+        let view = seen.expect("observe callback ran");
+        assert_eq!(view.workers(), 2);
+        assert_eq!(view.group_of(0), view.group_of(1), "chain fused");
+        assert_ne!(view.group_of(0), view.group_of(3));
+        // Workers keep their groups on exit, so the final placement is
+        // visible after the run.
+        assert!(view.worker_of(0).is_some());
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn single_thread_work_stealing_degenerates_gracefully() {
+        let (g, bufs) = multi_chain(2, 200);
+        let reports = WorkStealingExecutor::new(1).run(&g, || Box::new(FifoStrategy));
+        assert_eq!(reports.len(), 1);
+        assert_eq!(reports[0].steals, 0);
+        assert!(g.all_finished());
+        for buf in &bufs {
+            assert_eq!(buf.lock().len(), 100);
+        }
+    }
+
+    #[test]
+    fn max_quanta_bounds_unfinished_runs() {
+        let (g, _bufs) = multi_chain(2, 100_000);
+        let reports = WorkStealingExecutor::new(2)
+            .with_quantum(8)
+            .with_max_quanta(5)
+            .run(&g, || Box::new(FifoStrategy));
+        assert!(reports.iter().any(|r| r.hit_limit));
+        assert!(reports.iter().all(|r| r.quanta <= 5));
+    }
+}

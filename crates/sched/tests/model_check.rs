@@ -12,8 +12,10 @@
 
 use pipes_graph::io::{CountSink, VecSource};
 use pipes_graph::QueryGraph;
-use pipes_sched::{FifoStrategy, MultiThreadExecutor, SingleThreadExecutor};
-use pipes_sync::atomic::{AtomicBool, Ordering};
+use pipes_sched::{
+    FifoStrategy, GroupTable, MultiThreadExecutor, SingleThreadExecutor, WorkStealingExecutor,
+};
+use pipes_sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use pipes_sync::Arc;
 use pipes_time::{Element, Timestamp};
 
@@ -110,4 +112,103 @@ fn stop_flag_is_raised_only_after_completion() {
         assert_eq!(count.lock().0, 1);
     });
     assert!(report.complete);
+}
+
+/// Two workers race claim-or-steal over one group, then try to execute it.
+/// In every interleaving: ownership transfers atomically (the group always
+/// ends up owned, never lost), at least one worker executes, and the
+/// begin/end active bit rules out any overlap of the two critical sections
+/// (no double execution).
+#[test]
+fn claim_steal_protocol_never_loses_or_double_executes_a_group() {
+    let report = pipes_sync::Builder::new().preemption_bound(1).check(|| {
+        let table = Arc::new(GroupTable::new(1));
+        let in_section = Arc::new(AtomicUsize::new(0));
+        let executed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..2usize)
+            .map(|me| {
+                let table = Arc::clone(&table);
+                let in_section = Arc::clone(&in_section);
+                let executed = Arc::clone(&executed);
+                pipes_sync::thread::spawn(move || {
+                    let victim = 1 - me;
+                    let got = table.try_claim(0, me) || table.try_steal(0, victim, me);
+                    if got && table.begin(0, me) {
+                        let overlap = in_section.fetch_add(1, Ordering::AcqRel);
+                        assert_eq!(overlap, 0, "double execution of a group");
+                        executed.fetch_add(1, Ordering::AcqRel);
+                        in_section.fetch_sub(1, Ordering::AcqRel);
+                        table.end(0, me);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(table.owner(0).is_some(), "group lost in the hand-off");
+        assert!(
+            executed.load(Ordering::Acquire) >= 1,
+            "nobody executed the group"
+        );
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
+/// A rebalance hand-off (owner releases, target claims) racing a third
+/// idle scavenger: at most one of the claimants wins, and the group is
+/// either owned by the winner or still free for later adoption — never
+/// duplicated, never lost.
+#[test]
+fn release_claim_handoff_keeps_exactly_one_owner() {
+    let report = pipes_sync::Builder::new().preemption_bound(1).check(|| {
+        let table = Arc::new(GroupTable::new(1));
+        assert!(table.try_claim(0, 0));
+        let releaser = {
+            let table = Arc::clone(&table);
+            pipes_sync::thread::spawn(move || {
+                assert!(table.release(0, 0), "inactive owner release must win")
+            })
+        };
+        let claimants: Vec<_> = (1..3usize)
+            .map(|me| {
+                let table = Arc::clone(&table);
+                pipes_sync::thread::spawn(move || table.try_claim(0, me))
+            })
+            .collect();
+        releaser.join().unwrap();
+        let wins: Vec<bool> = claimants.into_iter().map(|h| h.join().unwrap()).collect();
+        let winners = wins.iter().filter(|&&w| w).count();
+        assert!(winners <= 1, "two claimants both won the group");
+        match table.owner(0) {
+            Some(w) => {
+                assert_eq!(winners, 1);
+                assert!(wins[w - 1], "owner {w} is not the recorded winner");
+            }
+            None => assert_eq!(winners, 0, "a winner's group vanished"),
+        }
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
+/// The full dynamic layer 3 under the model checker: plan, claim, targeted
+/// wakeups, idle adoption and the decentralized stop protocol. Every
+/// interleaving must terminate (bounded shutdown — no lost wakeup can park
+/// a worker forever), deliver the whole stream, and join both workers.
+#[test]
+fn work_stealing_executor_terminates_and_delivers_in_every_schedule() {
+    let report = pipes_sync::Builder::new().preemption_bound(1).check(|| {
+        let (graph, count) = tiny_graph(2);
+        let reports = WorkStealingExecutor::new(2)
+            .with_quantum(4)
+            .with_rebalance_every(0)
+            .run(&graph, || Box::new(FifoStrategy));
+        assert_eq!(reports.len(), 2, "a worker was lost");
+        assert_eq!(count.lock().0, 2, "stream not fully delivered");
+        assert!(graph.all_finished());
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
 }

@@ -47,6 +47,26 @@ pub const HEARTBEAT: &str = "graph.heartbeat";
 /// args: `[0, 0, 0]`.
 pub const CLOSE: &str = "graph.close";
 
+/// Instant when a worker claims a free virtual-node group.
+/// args: `[group_id, worker, 0]`.
+pub const GROUP_CLAIM: &str = "sched.claim";
+
+/// Instant when an idle worker steals a group from a loaded peer.
+/// args: `[group_id, victim_worker, thief_worker]`.
+pub const STEAL: &str = "sched.steal";
+
+/// Instant when a worker releases a group back to the free pool (rebalance
+/// hand-off). args: `[group_id, worker, epoch]`.
+pub const GROUP_RELEASE: &str = "sched.release";
+
+/// Instant when the rebalance leader publishes a new group placement.
+/// args: `[epoch, groups_moved, 0]`.
+pub const REBALANCE_PLAN: &str = "sched.rebalance";
+
+/// Instant for a targeted owner wakeup after a productive quantum.
+/// args: `[producer_node, woken_worker, 0]`.
+pub const WAKE: &str = "sched.wake";
+
 /// Span around one `MemoryManager::rebalance` round.
 /// args: `[round, budget, n_subscribers]`.
 pub const REBALANCE: &str = "mem.rebalance";

@@ -52,7 +52,7 @@ fn main() {
     let reports = MultiThreadExecutor::new(2)
         .with_quantum(128)
         .run(&graph, || Box::new(FifoStrategy));
-    let total: u64 = reports.iter().map(|r| r.consumed).sum();
+    let total = ExecutionReport::merge(&reports).consumed;
     println!(
         "\nprocessed {total} messages across {} threads",
         reports.len()

@@ -31,6 +31,14 @@ python3 -c 'import json,sys; json.load(open("target/quickstart_trace.json"))' 2>
     || node -e 'JSON.parse(require("fs").readFileSync("target/quickstart_trace.json"))' 2>/dev/null \
     || echo "==> NOTICE: no python3/node on PATH; skipped JSON parse check (file is non-empty)"
 
+# Scheduler-layers smoke run: E16 exercises all three executors (static
+# round-robin baseline, topology partitions, work stealing) end to end on
+# the skewed multi-chain workload and asserts full delivery; quick mode
+# keeps it to seconds. The ratio acceptance bar is checked in the full
+# (non-quick) run recorded in EXPERIMENTS.md, not gated here.
+echo "==> E16 scheduler-layers smoke run (quick)"
+cargo run -q --release -p pipes-bench --bin experiments -- e16 --quick >/dev/null
+
 # Model-checked concurrency suite: compile the kernel against the
 # instrumented loom-shim primitives and exhaustively explore interleavings
 # of the data-path/scheduler invariants (see DESIGN.md § "Concurrency

@@ -91,8 +91,9 @@ pub mod prelude {
         Catalog, Expr, LogicalPlan, Optimizer, Schema, Tuple, Value, WindowSpec,
     };
     pub use pipes_sched::{
-        ChainStrategy, ExecutionReport, FifoStrategy, GreedyStrategy, MultiThreadExecutor,
-        RandomStrategy, RateBasedStrategy, RoundRobinStrategy, SingleThreadExecutor, Strategy,
+        ChainStrategy, ExecutionPlan, ExecutionReport, FifoStrategy, GreedyStrategy,
+        MultiThreadExecutor, RandomStrategy, RateBasedStrategy, RoundRobinStrategy,
+        SingleThreadExecutor, Strategy, WorkStealingExecutor,
     };
     pub use pipes_time::{Duration, Element, Message, TimeInterval, Timestamp};
 }
