@@ -1,4 +1,4 @@
-//! The experiments E1–E16 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E17 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
@@ -8,6 +8,7 @@ mod join;
 mod memory;
 mod monitoring;
 mod mqo;
+mod ops_runs;
 mod plans;
 mod rate;
 mod reuse;
@@ -15,7 +16,7 @@ mod sched_layers;
 mod scheduling;
 mod trace_overhead;
 
-/// Runs one experiment by id (`e1`..`e16`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e17`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -67,5 +68,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e16") {
         sched_layers::e16_sched_layers(quick);
+    }
+    if want("e17") {
+        ops_runs::e17_ops_runs(quick);
     }
 }

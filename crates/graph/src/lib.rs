@@ -39,6 +39,7 @@ pub mod io;
 mod node;
 mod operator;
 mod outputs;
+pub mod run;
 pub mod watermark;
 
 pub use edge::{Edge, EdgeId};

@@ -2,15 +2,22 @@
 //!
 //! All four node kinds run a *batched* data path: input edges are drained in
 //! runs via [`Edge::pop_run`] (one lock per run, not per message) into a
-//! node-owned scratch buffer, operator callbacks stay per-message, and
-//! produced output is buffered by a [`PublishCollector`] and flushed once
-//! per quantum. Multi-port nodes bound each run by the head sequence of
-//! their other ports, so cross-port arrival order is identical to
-//! per-message processing.
+//! node-owned scratch buffer, and produced output is buffered by a
+//! [`PublishCollector`] and flushed once per quantum. Multi-port nodes bound
+//! each run by the head sequence of their other ports, so cross-port arrival
+//! order is identical to per-message processing.
+//!
+//! Operator and binary nodes dispatch **whole runs**: after stripping the
+//! terminal `Close` and coalescing adjacent heartbeats (see [`crate::run`]),
+//! the drained run goes to the operator's run-level entry point
+//! ([`Operator::on_run`] / the [`BinaryOperator`] run pair) in one call.
+//! Sinks consume per message — they record every message anyway, so
+//! heartbeat coalescing would change what tests observe for no gain.
 
 use crate::edge::Edge;
 use crate::operator::{BinaryOperator, Collector, Operator, SinkOp, SourceOp, SourceStatus};
 use crate::outputs::{Outputs, PublishCollector, DEFAULT_FLUSH_CAP};
+use crate::run::{coalesce_adjacent_heartbeats, take_trailing_close};
 use pipes_meta::NodeStats;
 use pipes_sync::Arc;
 use pipes_time::{Element, Message, Timestamp};
@@ -30,6 +37,9 @@ pub struct StepReport {
     /// Input runs drained in one lock acquisition each (sources: always 0).
     /// `consumed / batches` is the mean batch size of the quantum.
     pub batches: usize,
+    /// Largest single run (in messages) drained from one input edge this
+    /// quantum (sources: always 0).
+    pub peak_run: usize,
 }
 
 /// The type-erased face of a node, as seen by schedulers and the memory
@@ -190,6 +200,7 @@ impl<S: SourceOp> Runnable for SourceNode<S> {
             consumed: 0,
             produced,
             batches: 0,
+            peak_run: 0,
         }
     }
 
@@ -235,6 +246,7 @@ pub struct OpNode<O: Operator> {
     closed_downstream: bool,
     batch_limit: usize,
     in_scratch: Vec<(u64, Message<O::In>)>,
+    run_scratch: Vec<Message<O::In>>,
     out_scratch: Vec<Message<O::Out>>,
 }
 
@@ -250,6 +262,7 @@ impl<O: Operator> OpNode<O> {
             closed_downstream: false,
             batch_limit: usize::MAX,
             in_scratch: Vec::new(),
+            run_scratch: Vec::new(),
             out_scratch: Vec::new(),
         }
     }
@@ -261,40 +274,48 @@ impl<O: Operator> Runnable for OpNode<O> {
         if self.closed_downstream {
             return report;
         }
-        let mut run = std::mem::take(&mut self.in_scratch);
+        let mut drained = std::mem::take(&mut self.in_scratch);
+        let mut run = std::mem::take(&mut self.run_scratch);
         let mut out_buf = std::mem::take(&mut self.out_scratch);
         let mut collector = PublishCollector::new(&self.outputs, &mut out_buf)
             .with_flush_cap(flush_cap(self.batch_limit));
-        'quantum: while report.consumed < budget {
+        while report.consumed < budget {
             let Some(port) = earliest_port(&self.inputs) else {
                 break;
             };
             let bound = run_bound(&self.inputs, port);
             let max = (budget - report.consumed).min(self.batch_limit);
-            let n = self.inputs[port].pop_run(max, bound, &mut run);
+            let n = self.inputs[port].pop_run(max, bound, &mut drained);
             if n == 0 {
                 break;
             }
             report.batches += 1;
             report.consumed += n;
-            for (_, msg) in run.drain(..) {
-                match msg {
-                    Message::Element(e) => self.op.on_element(port, e, &mut collector),
-                    Message::Heartbeat(t) => self.op.on_heartbeat(port, t, &mut collector),
-                    Message::Close => {
-                        self.open_ports[port] = false;
-                        if self.open_ports.iter().all(|o| !o) {
-                            self.op.on_close(&mut collector);
-                            self.closed_downstream = true;
-                            break 'quantum;
-                        }
-                    }
+            report.peak_run = report.peak_run.max(n);
+            run.extend(drained.drain(..).map(|(_, msg)| msg));
+            let closed = take_trailing_close(&mut run);
+            if !run.is_empty() {
+                let coalesced = coalesce_adjacent_heartbeats(&mut run);
+                pipes_trace::instant_coarse(
+                    pipes_trace::names::OP_RUN,
+                    [run.len() as u64, port as u64, coalesced as u64],
+                );
+                self.op.on_run(port, &mut run, &mut collector);
+                run.clear();
+            }
+            if closed {
+                self.open_ports[port] = false;
+                if self.open_ports.iter().all(|o| !o) {
+                    self.op.on_close(&mut collector);
+                    self.closed_downstream = true;
+                    break;
                 }
             }
         }
         report.produced = collector.finish();
         drop(collector);
-        self.in_scratch = run;
+        self.in_scratch = drained;
+        self.run_scratch = run;
         self.out_scratch = out_buf;
         if self.closed_downstream {
             self.outputs.publish_close();
@@ -343,6 +364,8 @@ pub struct BinNode<B: BinaryOperator> {
     batch_limit: usize,
     left_scratch: Vec<(u64, Message<B::Left>)>,
     right_scratch: Vec<(u64, Message<B::Right>)>,
+    left_run: Vec<Message<B::Left>>,
+    right_run: Vec<Message<B::Right>>,
     out_scratch: Vec<Message<B::Out>>,
 }
 
@@ -365,6 +388,8 @@ impl<B: BinaryOperator> BinNode<B> {
             batch_limit: usize::MAX,
             left_scratch: Vec::new(),
             right_scratch: Vec::new(),
+            left_run: Vec::new(),
+            right_run: Vec::new(),
             out_scratch: Vec::new(),
         }
     }
@@ -376,12 +401,14 @@ impl<B: BinaryOperator> Runnable for BinNode<B> {
         if self.closed_downstream {
             return report;
         }
-        let mut left_run = std::mem::take(&mut self.left_scratch);
-        let mut right_run = std::mem::take(&mut self.right_scratch);
+        let mut left_drained = std::mem::take(&mut self.left_scratch);
+        let mut right_drained = std::mem::take(&mut self.right_scratch);
+        let mut left_run = std::mem::take(&mut self.left_run);
+        let mut right_run = std::mem::take(&mut self.right_run);
         let mut out_buf = std::mem::take(&mut self.out_scratch);
         let mut collector = PublishCollector::new(&self.outputs, &mut out_buf)
             .with_flush_cap(flush_cap(self.batch_limit));
-        'quantum: while report.consumed < budget {
+        while report.consumed < budget {
             // Process in arrival order across the two sides; the side whose
             // head arrived first drains a run bounded by the other head.
             let ls = self.left.head_seq();
@@ -393,60 +420,71 @@ impl<B: BinaryOperator> Runnable for BinNode<B> {
                 (Some(l), Some(r)) => l <= r,
             };
             let max = (budget - report.consumed).min(self.batch_limit);
-            if take_left {
+            let closed_side = if take_left {
                 // Left wins sequence ties, so its run may include the
                 // right head's sequence itself.
                 let bound = rs.unwrap_or(u64::MAX);
-                let n = self.left.pop_run(max, bound, &mut left_run);
+                let n = self.left.pop_run(max, bound, &mut left_drained);
                 if n == 0 {
                     break;
                 }
                 report.batches += 1;
                 report.consumed += n;
-                for (_, msg) in left_run.drain(..) {
-                    match msg {
-                        Message::Element(e) => self.op.on_left(e, &mut collector),
-                        Message::Heartbeat(t) => self.op.on_heartbeat_left(t, &mut collector),
-                        Message::Close => {
-                            self.left_open = false;
-                            if !self.right_open {
-                                self.op.on_close(&mut collector);
-                                self.closed_downstream = true;
-                                break 'quantum;
-                            }
-                        }
-                    }
+                report.peak_run = report.peak_run.max(n);
+                left_run.extend(left_drained.drain(..).map(|(_, msg)| msg));
+                let closed = take_trailing_close(&mut left_run);
+                if !left_run.is_empty() {
+                    let coalesced = coalesce_adjacent_heartbeats(&mut left_run);
+                    pipes_trace::instant_coarse(
+                        pipes_trace::names::OP_RUN,
+                        [left_run.len() as u64, 0, coalesced as u64],
+                    );
+                    self.op.on_run_left(&mut left_run, &mut collector);
+                    left_run.clear();
                 }
+                if closed {
+                    self.left_open = false;
+                }
+                closed
             } else {
                 // Right loses sequence ties: stop strictly before the left
                 // head's sequence.
                 let bound = ls.map_or(u64::MAX, |l| l.saturating_sub(1));
-                let n = self.right.pop_run(max, bound, &mut right_run);
+                let n = self.right.pop_run(max, bound, &mut right_drained);
                 if n == 0 {
                     break;
                 }
                 report.batches += 1;
                 report.consumed += n;
-                for (_, msg) in right_run.drain(..) {
-                    match msg {
-                        Message::Element(e) => self.op.on_right(e, &mut collector),
-                        Message::Heartbeat(t) => self.op.on_heartbeat_right(t, &mut collector),
-                        Message::Close => {
-                            self.right_open = false;
-                            if !self.left_open {
-                                self.op.on_close(&mut collector);
-                                self.closed_downstream = true;
-                                break 'quantum;
-                            }
-                        }
-                    }
+                report.peak_run = report.peak_run.max(n);
+                right_run.extend(right_drained.drain(..).map(|(_, msg)| msg));
+                let closed = take_trailing_close(&mut right_run);
+                if !right_run.is_empty() {
+                    let coalesced = coalesce_adjacent_heartbeats(&mut right_run);
+                    pipes_trace::instant_coarse(
+                        pipes_trace::names::OP_RUN,
+                        [right_run.len() as u64, 1, coalesced as u64],
+                    );
+                    self.op.on_run_right(&mut right_run, &mut collector);
+                    right_run.clear();
                 }
+                if closed {
+                    self.right_open = false;
+                }
+                closed
+            };
+            if closed_side && !self.left_open && !self.right_open {
+                self.op.on_close(&mut collector);
+                self.closed_downstream = true;
+                break;
             }
         }
         report.produced = collector.finish();
         drop(collector);
-        self.left_scratch = left_run;
-        self.right_scratch = right_run;
+        self.left_scratch = left_drained;
+        self.right_scratch = right_drained;
+        self.left_run = left_run;
+        self.right_run = right_run;
         self.out_scratch = out_buf;
         if self.closed_downstream {
             self.outputs.publish_close();
@@ -534,6 +572,7 @@ impl<K: SinkOp> Runnable for SinkNode<K> {
             }
             report.batches += 1;
             report.consumed += n;
+            report.peak_run = report.peak_run.max(n);
             for (_, msg) in run.drain(..) {
                 match &msg {
                     Message::Close => self.open_ports[port] = false,

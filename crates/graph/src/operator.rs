@@ -1,4 +1,13 @@
 //! The node-type traits: sources, sinks and operators (pipes).
+//!
+//! Besides the per-message callbacks, operators expose a **run-level**
+//! entry point ([`Operator::on_run`] and the
+//! [`BinaryOperator::on_run_left`]/[`BinaryOperator::on_run_right`] pair):
+//! the runtime hands an operator the whole run it drained from an input
+//! edge in one call. The default implementations loop over the per-message
+//! callbacks, so every operator works unmodified; hot operators override
+//! the run entry point to amortize state lookups and allocations across
+//! the run (see `DESIGN.md` § "Run-at-a-time algebra" for the contract).
 
 use pipes_time::{Element, Message, Timestamp};
 
@@ -16,6 +25,12 @@ pub trait Collector<T> {
     fn element(&mut self, e: Element<T>);
     /// Emits a heartbeat: no element produced later will start before `t`.
     fn heartbeat(&mut self, t: Timestamp);
+    /// Hints that roughly `additional` further messages are coming, so a
+    /// buffering collector can grow its storage once per run instead of
+    /// once per emission. Purely advisory; the default does nothing.
+    fn reserve(&mut self, additional: usize) {
+        let _ = additional;
+    }
 }
 
 /// A [`Collector`] that appends into a `Vec<Message<T>>`; convenient for
@@ -26,6 +41,9 @@ impl<T> Collector<T> for Vec<Message<T>> {
     }
     fn heartbeat(&mut self, t: Timestamp) {
         self.push(Message::Heartbeat(t));
+    }
+    fn reserve(&mut self, additional: usize) {
+        Vec::reserve(self, additional);
     }
 }
 
@@ -87,6 +105,40 @@ pub trait Operator: Send + 'static {
         out.heartbeat(t);
     }
 
+    /// Processes one whole drained run from `port`. The run is drained
+    /// (emptied, capacity retained) by the callee.
+    ///
+    /// Contract (see `DESIGN.md` § "Run-at-a-time algebra"):
+    ///
+    /// * the run is in arrival order and never contains `Close`;
+    /// * heartbeats inside the run are non-decreasing, and no element in
+    ///   the run starts before a heartbeat that precedes it (the watermark
+    ///   contract holds *within* the run);
+    /// * a run is **not** necessarily start-ordered — only upstreams that
+    ///   preserve start order (sources, stateless operators) produce
+    ///   start-ordered runs, so stateful operators must not assume it;
+    /// * processing the run must produce the same output sequence as
+    ///   feeding its messages one by one through
+    ///   `on_element`/`on_heartbeat` — the equivalence every override is
+    ///   property-tested against.
+    ///
+    /// The default does exactly that loop, so existing operators work
+    /// unmodified; overrides amortize lookups/allocations across the run.
+    fn on_run(
+        &mut self,
+        port: usize,
+        run: &mut Vec<Message<Self::In>>,
+        out: &mut dyn Collector<Self::Out>,
+    ) {
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => self.on_element(port, e, out),
+                Message::Heartbeat(t) => self.on_heartbeat(port, t, out),
+                Message::Close => {}
+            }
+        }
+    }
+
     /// Flushes remaining state after all inputs closed. Default: nothing.
     fn on_close(&mut self, out: &mut dyn Collector<Self::Out>) {
         let _ = out;
@@ -124,6 +176,40 @@ pub trait BinaryOperator: Send + 'static {
     /// Processes a heartbeat from the right input.
     fn on_heartbeat_right(&mut self, t: Timestamp, out: &mut dyn Collector<Self::Out>);
 
+    /// Processes one whole drained run from the left input. Same contract
+    /// as [`Operator::on_run`]; the default loops over
+    /// `on_left`/`on_heartbeat_left`.
+    fn on_run_left(
+        &mut self,
+        run: &mut Vec<Message<Self::Left>>,
+        out: &mut dyn Collector<Self::Out>,
+    ) {
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => self.on_left(e, out),
+                Message::Heartbeat(t) => self.on_heartbeat_left(t, out),
+                Message::Close => {}
+            }
+        }
+    }
+
+    /// Processes one whole drained run from the right input. Same contract
+    /// as [`Operator::on_run`]; the default loops over
+    /// `on_right`/`on_heartbeat_right`.
+    fn on_run_right(
+        &mut self,
+        run: &mut Vec<Message<Self::Right>>,
+        out: &mut dyn Collector<Self::Out>,
+    ) {
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => self.on_right(e, out),
+                Message::Heartbeat(t) => self.on_heartbeat_right(t, out),
+                Message::Close => {}
+            }
+        }
+    }
+
     /// Flushes remaining state after both inputs closed. Default: nothing.
     fn on_close(&mut self, out: &mut dyn Collector<Self::Out>) {
         let _ = out;
@@ -158,6 +244,12 @@ impl<I: Send + Clone + 'static, O: Send + Clone + 'static> Operator
     }
     fn on_heartbeat(&mut self, port: usize, t: Timestamp, out: &mut dyn Collector<O>) {
         (**self).on_heartbeat(port, t, out)
+    }
+    // Forwarded so a boxed operator keeps its native run path: without
+    // this, planner-built graphs would silently fall back to the default
+    // per-message loop of the blanket `Box` impl.
+    fn on_run(&mut self, port: usize, run: &mut Vec<Message<I>>, out: &mut dyn Collector<O>) {
+        (**self).on_run(port, run, out)
     }
     fn on_close(&mut self, out: &mut dyn Collector<O>) {
         (**self).on_close(out)

@@ -265,6 +265,10 @@ impl<T: Clone> Collector<T> for PublishCollector<'_, T> {
             self.flush();
         }
     }
+    fn reserve(&mut self, additional: usize) {
+        // The buffer flushes at the cap, so capacity past it is dead weight.
+        self.buf.reserve(additional.min(self.flush_cap));
+    }
 }
 
 impl<T: Clone> Drop for PublishCollector<'_, T> {

@@ -1,0 +1,116 @@
+//! Run preparation: what a node does to a drained run before handing it to
+//! an operator's run-level entry point.
+//!
+//! Two normalizations happen between [`crate::Edge::pop_run`] and
+//! [`crate::Operator::on_run`]:
+//!
+//! 1. **Close splitting** — `Close` is the terminal message of an edge, so
+//!    if present it is the run's last message; the node strips it and does
+//!    the port bookkeeping itself. Runs handed to operators never contain
+//!    `Close`.
+//! 2. **Heartbeat coalescing** — *adjacent* heartbeats collapse to the
+//!    last (strongest) of each consecutive group. Heartbeats are monotone
+//!    promises, so the last of an adjacent group subsumes the others; the
+//!    per-instant snapshots of the output are unchanged (operators only
+//!    flush *more* per heartbeat, never differently). Coalescing across an
+//!    element would be unsound: moving a heartbeat `t` in front of an
+//!    element starting before `t` breaks the watermark contract, so only
+//!    adjacent groups are collapsed.
+
+use pipes_time::Message;
+
+/// Collapses every group of *adjacent* heartbeats to its last member,
+/// in place and order-preserving. Returns how many were removed.
+///
+/// Edges already deduplicate non-monotone heartbeats, so within a drained
+/// run each surviving group is increasing and its last member is the
+/// strongest promise; the helper itself only relies on adjacency, not on
+/// monotonicity.
+pub fn coalesce_adjacent_heartbeats<T>(run: &mut Vec<Message<T>>) -> usize {
+    let before = run.len();
+    let mut write = 0;
+    for read in 0..run.len() {
+        let drop_prev = write > 0
+            && matches!(run[write - 1], Message::Heartbeat(_))
+            && matches!(run[read], Message::Heartbeat(_));
+        if drop_prev {
+            run.swap(write - 1, read);
+        } else {
+            run.swap(write, read);
+            write += 1;
+        }
+    }
+    run.truncate(write);
+    before - run.len()
+}
+
+/// Splits a trailing `Close` off the run: returns `true` (and pops it)
+/// when the run's last message is `Close`.
+///
+/// `Close` is published exactly once, after everything else on an edge,
+/// and [`crate::Edge::pop_run`] ends a run at `Close` — so a drained run
+/// contains at most one `Close`, in last position. The debug assertion
+/// pins that invariant.
+pub fn take_trailing_close<T>(run: &mut Vec<Message<T>>) -> bool {
+    debug_assert!(
+        run.iter()
+            .position(|m| matches!(m, Message::Close))
+            .is_none_or(|p| p == run.len() - 1),
+        "Close must be the terminal message of a run"
+    );
+    if matches!(run.last(), Some(Message::Close)) {
+        run.pop();
+        true
+    } else {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pipes_time::{Element, Timestamp};
+
+    fn hb(t: u64) -> Message<i64> {
+        Message::Heartbeat(Timestamp::new(t))
+    }
+
+    fn el(v: i64, s: u64) -> Message<i64> {
+        Message::Element(Element::at(v, Timestamp::new(s)))
+    }
+
+    #[test]
+    fn adjacent_groups_collapse_to_last() {
+        let mut run = vec![hb(1), hb(2), el(7, 2), hb(3), hb(4), hb(6), el(8, 6), hb(9)];
+        let removed = coalesce_adjacent_heartbeats(&mut run);
+        assert_eq!(removed, 3);
+        assert_eq!(run, vec![hb(2), el(7, 2), hb(6), el(8, 6), hb(9)]);
+    }
+
+    #[test]
+    fn no_heartbeats_or_singletons_untouched() {
+        let mut run = vec![el(1, 0), hb(1), el(2, 1), hb(2)];
+        assert_eq!(coalesce_adjacent_heartbeats(&mut run), 0);
+        assert_eq!(run, vec![el(1, 0), hb(1), el(2, 1), hb(2)]);
+        let mut empty: Vec<Message<i64>> = Vec::new();
+        assert_eq!(coalesce_adjacent_heartbeats(&mut empty), 0);
+    }
+
+    #[test]
+    fn all_heartbeats_collapse_to_one() {
+        let mut run = vec![hb(1), hb(2), hb(5)];
+        assert_eq!(coalesce_adjacent_heartbeats(&mut run), 2);
+        assert_eq!(run, vec![hb(5)]);
+    }
+
+    #[test]
+    fn trailing_close_is_taken() {
+        let mut run = vec![el(1, 0), hb(1), Message::Close];
+        assert!(take_trailing_close(&mut run));
+        assert_eq!(run, vec![el(1, 0), hb(1)]);
+        assert!(!take_trailing_close(&mut run));
+        let mut only_close: Vec<Message<i64>> = vec![Message::Close];
+        assert!(take_trailing_close(&mut only_close));
+        assert!(only_close.is_empty());
+    }
+}

@@ -1,0 +1,219 @@
+//! Run-level dispatch must be observationally identical to per-message
+//! dispatch, and nodes must uphold the run contract they promise operators.
+//!
+//! Covers the `Fused` virtual node's native `on_run` (run-to-run hand-over
+//! between the two halves) against the default per-message loop, and checks
+//! through a real graph that every run an operator receives is already
+//! Close-stripped and free of adjacent heartbeats.
+
+use pipes_graph::io::VecSource;
+use pipes_graph::run::coalesce_adjacent_heartbeats;
+use pipes_graph::{Collector, Fused, Operator, OperatorExt, QueryGraph, SinkOp};
+use pipes_sync::{Arc, Mutex};
+use pipes_time::{Element, Message, Timestamp};
+use proptest::prelude::*;
+
+/// Forwards per-message callbacks but *not* `on_run`, so the wrapped
+/// operator is driven by the trait's default per-message loop — the
+/// baseline for run-dispatch equivalence.
+struct PerMessage<O>(O);
+
+impl<O: Operator> Operator for PerMessage<O> {
+    type In = O::In;
+    type Out = O::Out;
+    fn on_element(&mut self, port: usize, e: Element<O::In>, out: &mut dyn Collector<O::Out>) {
+        self.0.on_element(port, e, out)
+    }
+    fn on_heartbeat(&mut self, port: usize, t: Timestamp, out: &mut dyn Collector<O::Out>) {
+        self.0.on_heartbeat(port, t, out)
+    }
+    fn on_close(&mut self, out: &mut dyn Collector<O::Out>) {
+        self.0.on_close(out)
+    }
+}
+
+/// A map with a native `on_run` (reserve + tight loop), so fusing it
+/// exercises run-to-run composition rather than default loops only.
+struct BatchMap(fn(i64) -> i64);
+
+impl Operator for BatchMap {
+    type In = i64;
+    type Out = i64;
+    fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        out.element(e.map(self.0));
+    }
+    fn on_run(&mut self, _p: usize, run: &mut Vec<Message<i64>>, out: &mut dyn Collector<i64>) {
+        out.reserve(run.len());
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => out.element(e.map(self.0)),
+                Message::Heartbeat(t) => out.heartbeat(t),
+                Message::Close => {}
+            }
+        }
+    }
+}
+
+/// Stateful half: holds each element until the next arrives, flushing the
+/// remainder on close — sensitive to both run boundaries and close order.
+struct HoldLast(Option<Element<i64>>);
+
+impl Operator for HoldLast {
+    type In = i64;
+    type Out = i64;
+    fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        if let Some(prev) = self.0.replace(e) {
+            out.element(prev);
+        }
+    }
+    fn on_close(&mut self, out: &mut dyn Collector<i64>) {
+        if let Some(e) = self.0.take() {
+            out.element(e);
+        }
+    }
+}
+
+/// A watermark-valid message trace: elements at non-decreasing timestamps,
+/// optional (sometimes duplicated) heartbeats, horizon heartbeat last.
+fn arb_trace() -> impl Strategy<Value = Vec<Message<i64>>> {
+    prop::collection::vec((0i64..100, 0u64..50, any::<bool>(), any::<bool>()), 0..24).prop_map(
+        |mut raw| {
+            raw.sort_by_key(|&(_, t, ..)| t);
+            let mut msgs: Vec<Message<i64>> = Vec::new();
+            for (p, t, hb, dup) in raw {
+                msgs.push(Message::Element(Element::at(p, Timestamp::new(t))));
+                if hb {
+                    msgs.push(Message::Heartbeat(Timestamp::new(t)));
+                    if dup {
+                        msgs.push(Message::Heartbeat(Timestamp::new(t)));
+                    }
+                }
+            }
+            msgs.push(Message::Heartbeat(Timestamp::MAX));
+            msgs
+        },
+    )
+}
+
+/// Feeds `msgs` to `op` as node-style runs (coalesced, Close-free) cut at
+/// the cycled boundary pattern, returning every produced message.
+fn feed_runs<O>(mut op: O, msgs: &[Message<O::In>], sizes: &[usize]) -> Vec<Message<O::Out>>
+where
+    O: Operator,
+    O::In: Clone,
+{
+    let mut out: Vec<Message<O::Out>> = Vec::new();
+    let mut run: Vec<Message<O::In>> = Vec::new();
+    let (mut i, mut s) = (0, 0);
+    while i < msgs.len() {
+        let end = (i + sizes[s % sizes.len()]).min(msgs.len());
+        s += 1;
+        run.extend(msgs[i..end].iter().cloned());
+        i = end;
+        coalesce_adjacent_heartbeats(&mut run);
+        op.on_run(0, &mut run, &mut out);
+        run.clear();
+    }
+    op.on_close(&mut out);
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Fused chains (run-native × stateful × run-native) produce the same
+    /// sequence through `on_run` as through the per-message default loop,
+    /// for every run-boundary pattern.
+    #[test]
+    fn fused_on_run_matches_per_message(
+        msgs in arb_trace(),
+        cuts in prop::collection::vec(1usize..6, 1..16),
+    ) {
+        fn fused() -> Fused<Fused<BatchMap, HoldLast>, BatchMap> {
+            BatchMap(|v| v * 2).then(HoldLast(None)).then(BatchMap(|v| v - 1))
+        }
+        let native = feed_runs(fused(), &msgs, &cuts);
+        let baseline = feed_runs(PerMessage(fused()), &msgs, &cuts);
+        prop_assert_eq!(native, baseline);
+    }
+}
+
+/// Records every run it is handed, so the node's dispatch contract can be
+/// checked from the outside.
+struct RunRecorder {
+    runs: Arc<Mutex<Vec<Vec<Message<i64>>>>>,
+}
+
+impl Operator for RunRecorder {
+    type In = i64;
+    type Out = i64;
+    fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        out.element(e);
+    }
+    fn on_run(&mut self, _p: usize, run: &mut Vec<Message<i64>>, out: &mut dyn Collector<i64>) {
+        self.runs.lock().push(run.clone());
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => out.element(e),
+                Message::Heartbeat(t) => out.heartbeat(t),
+                Message::Close => {}
+            }
+        }
+    }
+}
+
+struct NullSink;
+impl SinkOp for NullSink {
+    type In = i64;
+    fn on_message(&mut self, _port: usize, _msg: Message<i64>) {}
+}
+
+/// Every run a real `OpNode` dispatches is Close-free and contains no
+/// adjacent heartbeats, regardless of quantum budget.
+#[test]
+fn node_runs_are_close_stripped_and_coalesced() {
+    let elems: Vec<Element<i64>> = (0..40)
+        .map(|i| Element::at(i, Timestamp::new(i as u64 / 3)))
+        .collect();
+    for budget in [1usize, 2, 5, 64] {
+        let runs = Arc::new(Mutex::new(Vec::new()));
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems.clone()));
+        let src_id = src.node();
+        let rec = g.add_unary(
+            "rec",
+            RunRecorder {
+                runs: Arc::clone(&runs),
+            },
+            &src,
+        );
+        let sink_id = g.add_sink("sink", NullSink, &rec);
+        let order = [src_id, rec.node(), sink_id];
+        let mut rounds = 0;
+        while !g.all_finished() {
+            for &id in &order {
+                g.step_node(id, budget);
+            }
+            rounds += 1;
+            assert!(rounds < 100_000, "schedule did not converge");
+        }
+        let runs = runs.lock();
+        assert!(!runs.is_empty(), "operator saw at least one run");
+        for run in runs.iter() {
+            assert!(!run.is_empty(), "empty runs are never dispatched");
+            assert!(
+                !run.iter().any(|m| matches!(m, Message::Close)),
+                "Close must be stripped before on_run"
+            );
+            for pair in run.windows(2) {
+                assert!(
+                    !matches!(
+                        (&pair[0], &pair[1]),
+                        (Message::Heartbeat(_), Message::Heartbeat(_))
+                    ),
+                    "adjacent heartbeats must be coalesced before on_run"
+                );
+            }
+        }
+    }
+}

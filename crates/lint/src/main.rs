@@ -2,7 +2,8 @@
 //! concurrency discipline. No external dependencies; `scripts/ci.sh` runs
 //! it as a hard gate.
 //!
-//! Three rules (see DESIGN.md § "Concurrency discipline"):
+//! Four rules (see DESIGN.md § "Concurrency discipline" and § "Run-at-a-time
+//! algebra"):
 //!
 //! 1. **`no-direct-sync`** — inside the concurrency-bearing kernel crates
 //!    (`crates/graph`, `crates/sched`, `crates/mem`, `crates/meta`,
@@ -20,6 +21,15 @@
 //!    rejected; mixing blocking and `unsafe` invariants is how suspended
 //!    safety proofs deadlock. (The workspace forbids `unsafe` entirely
 //!    today; the rule keeps that front door locked.)
+//! 4. **`run-equivalence-test`** — every operator that overrides the
+//!    run-level entry points (`fn on_run`, `fn on_run_left`,
+//!    `fn on_run_right`) must be covered by an equivalence test: some file
+//!    under a `tests/` directory has to mention both the implementing
+//!    type's name and `on_run`. A native run path that is not pinned
+//!    batched-vs-per-message is exactly the kind of "fast but subtly
+//!    different" code this workspace refuses to carry. The trait
+//!    definition itself (`crates/graph/src/operator.rs`, whose defaults
+//!    *are* the per-message semantics) and test fixtures are exempt.
 //!
 //! A finding can be waived with a `pipes-lint: allow(rule-name)` comment
 //! on the offending line or the line above — intended for `crates/shims/`
@@ -184,6 +194,14 @@ fn split_lines(src: &str) -> Vec<Line> {
             }
             St::Str => {
                 if c == '\\' {
+                    // A `\` + newline continuation still ends a source
+                    // line; record the break so line numbers stay true.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        lines.push(Line {
+                            code: std::mem::take(&mut code),
+                            comment: std::mem::take(&mut comment),
+                        });
+                    }
                     i += 2;
                     continue;
                 }
@@ -413,6 +431,117 @@ fn check_lock_in_unsafe(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
     }
 }
 
+/// Whether `rel_path` lives under a `tests/` directory (integration test
+/// trees — the place rule 4 looks for equivalence coverage).
+fn is_test_file(path: &Path) -> bool {
+    path.components().any(|c| c.as_os_str() == "tests")
+}
+
+/// Extracts the implementing type from a masked `impl ... for Type<...>`
+/// line: the first identifier after ` for `.
+fn impl_type_name(code: &str) -> Option<String> {
+    let pos = code.find(" for ")?;
+    let name: String = code[pos + 5..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Whether `haystack` contains `token` with identifier boundaries on both
+/// sides (so `Map` is not satisfied by `FlatMap`).
+fn contains_token(haystack: &str, token: &str) -> bool {
+    let bytes: Vec<char> = haystack.chars().collect();
+    let tok: Vec<char> = token.chars().collect();
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    bytes.windows(tok.len()).enumerate().any(|(i, w)| {
+        w == tok.as_slice()
+            && (i == 0 || !is_ident(bytes[i - 1]))
+            && bytes
+                .get(i + tok.len())
+                .copied()
+                .is_none_or(|c| !is_ident(c))
+    })
+}
+
+/// Whether a masked code line declares one of the run entry points —
+/// exactly `fn on_run`, `fn on_run_left`, or `fn on_run_right`, not a
+/// longer identifier that merely starts with `on_run`.
+fn has_run_override(code: &str) -> bool {
+    code.match_indices("fn on_run").any(|(i, pat)| {
+        let boundary_before = i == 0
+            || !code[..i]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let tail: String = code[i + pat.len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        boundary_before && matches!(tail.as_str(), "" | "_left" | "_right")
+    })
+}
+
+/// Rule 4: every `on_run`/`on_run_left`/`on_run_right` override has an
+/// equivalence test naming the implementing type.
+///
+/// Cross-file: the override is attributed to a type via the nearest
+/// preceding `impl ... for Type` line; coverage means some test file's
+/// masked code contains both that type name (as a whole token) and
+/// `on_run`. The trait definition file and test files themselves are
+/// exempt (a fixture overriding `on_run` inside a test *is* the test).
+fn check_run_equivalence(files: &[(PathBuf, String)], out: &mut Vec<Violation>) {
+    let exempt = Path::new("crates/graph/src/operator.rs");
+    let test_code: Vec<String> = files
+        .iter()
+        .filter(|(p, _)| is_test_file(p))
+        .map(|(_, src)| {
+            split_lines(src)
+                .into_iter()
+                .map(|l| l.code)
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    let covered = |ty: &str| {
+        test_code
+            .iter()
+            .any(|code| code.contains("on_run") && contains_token(code, ty))
+    };
+    for (path, src) in files {
+        if is_test_file(path) || path == exempt {
+            continue;
+        }
+        let lines = split_lines(src);
+        for idx in 0..lines.len() {
+            if !has_run_override(&lines[idx].code) {
+                continue;
+            }
+            let ty = lines[..idx].iter().rev().find_map(|l| {
+                (l.code.contains("impl") && l.code.contains(" for "))
+                    .then(|| impl_type_name(&l.code))
+                    .flatten()
+            });
+            let Some(ty) = ty else {
+                continue; // trait default in a trait body: nothing to test
+            };
+            if !covered(&ty) && !waived(&lines, idx, "run-equivalence-test") {
+                out.push(Violation {
+                    path: path.clone(),
+                    line: idx + 1,
+                    rule: "run-equivalence-test",
+                    msg: format!(
+                        "`{ty}` overrides a run entry point but no tests/ file names \
+                         `{ty}` together with `on_run`: add a batched-vs-per-message \
+                         equivalence proptest (see crates/ops/tests/run_props.rs)"
+                    ),
+                });
+            }
+        }
+    }
+}
+
 /// Runs every applicable rule over one file's source.
 fn check_source(rel_path: &Path, src: &str) -> Vec<Violation> {
     let lines = split_lines(src);
@@ -478,7 +607,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     files.sort();
-    let mut violations = Vec::new();
+    let mut sources: Vec<(PathBuf, String)> = Vec::with_capacity(files.len());
     for file in &files {
         let src = match std::fs::read_to_string(file) {
             Ok(s) => s,
@@ -488,14 +617,19 @@ fn main() -> ExitCode {
             }
         };
         let rel = file.strip_prefix(&root).unwrap_or(file);
-        violations.extend(check_source(rel, &src));
+        sources.push((rel.to_path_buf(), src));
     }
+    let mut violations = Vec::new();
+    for (rel, src) in &sources {
+        violations.extend(check_source(rel, src));
+    }
+    check_run_equivalence(&sources, &mut violations);
     for v in &violations {
         eprintln!("{v}");
     }
     if violations.is_empty() {
         println!(
-            "pipes-lint: OK — {} files, 3 rules, 0 findings",
+            "pipes-lint: OK — {} files, 4 rules, 0 findings",
             files.len()
         );
         ExitCode::SUCCESS
@@ -628,5 +762,108 @@ mod tests {
     fn waiver_suppresses_a_finding() {
         let src = "// pipes-lint: allow(no-direct-sync)\nuse std::sync::Arc;\n";
         assert!(check("crates/graph/src/x.rs", src).is_empty());
+    }
+
+    fn run_rule4(files: &[(&str, &str)]) -> Vec<String> {
+        let owned: Vec<(PathBuf, String)> = files
+            .iter()
+            .map(|(p, s)| (PathBuf::from(p), (*s).to_string()))
+            .collect();
+        let mut out = Vec::new();
+        check_run_equivalence(&owned, &mut out);
+        out.into_iter()
+            .map(|v| format!("{}:{}:{}", v.path.display(), v.rule, v.line))
+            .collect()
+    }
+
+    const OVERRIDE_SRC: &str = "impl<F> Operator for MyOp<F> {\n\
+                                \x20   fn on_run(&mut self, port: usize) {}\n\
+                                }\n";
+
+    #[test]
+    fn on_run_override_without_test_is_flagged() {
+        assert_eq!(
+            run_rule4(&[("crates/ops/src/my.rs", OVERRIDE_SRC)]),
+            vec!["crates/ops/src/my.rs:run-equivalence-test:2"]
+        );
+    }
+
+    #[test]
+    fn on_run_override_with_named_test_passes() {
+        let test = "fn check() { let op = MyOp::new(); op.on_run(0, &mut r, &mut o); }\n";
+        assert!(run_rule4(&[
+            ("crates/ops/src/my.rs", OVERRIDE_SRC),
+            ("crates/ops/tests/run_props.rs", test),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn type_token_must_match_whole_word() {
+        // `FlatMyOp` must not satisfy coverage for `MyOp`.
+        let test = "fn check() { let op = FlatMyOp::new(); op.on_run(0, &mut r, &mut o); }\n";
+        assert_eq!(
+            run_rule4(&[
+                ("crates/ops/src/my.rs", OVERRIDE_SRC),
+                ("crates/ops/tests/run_props.rs", test),
+            ]),
+            vec!["crates/ops/src/my.rs:run-equivalence-test:2"]
+        );
+    }
+
+    #[test]
+    fn run_pair_overrides_are_attributed_to_the_impl_type() {
+        let src = "impl<L, R> BinaryOperator for MyJoin<L, R> {\n\
+                   \x20   fn on_run_left(&mut self) {}\n\
+                   \x20   fn on_run_right(&mut self) {}\n\
+                   }\n";
+        let found = run_rule4(&[("crates/ops/src/j.rs", src)]);
+        assert_eq!(
+            found,
+            vec![
+                "crates/ops/src/j.rs:run-equivalence-test:2",
+                "crates/ops/src/j.rs:run-equivalence-test:3",
+            ]
+        );
+    }
+
+    #[test]
+    fn trait_defaults_and_test_fixtures_are_exempt() {
+        let trait_src = "pub trait Operator {\n    fn on_run(&mut self) {}\n}\n";
+        let fixture = "impl Operator for Fixture {\n    fn on_run(&mut self) {}\n}\n";
+        assert!(run_rule4(&[
+            ("crates/graph/src/operator.rs", trait_src),
+            ("crates/graph/tests/run_props.rs", fixture),
+        ])
+        .is_empty());
+    }
+
+    #[test]
+    fn longer_identifiers_starting_with_on_run_are_not_overrides() {
+        // A function *named* e.g. `on_run_override_check` is not a run
+        // entry point; neither is `fn on_running`.
+        let src = "impl Operator for MyOp {\n\
+                   \x20   fn on_running(&mut self) {}\n\
+                   \x20   fn on_run_helper(&mut self) {}\n\
+                   }\n";
+        assert!(run_rule4(&[("crates/ops/src/my.rs", src)]).is_empty());
+    }
+
+    #[test]
+    fn string_continuations_keep_line_numbers_true() {
+        let src = "let s = \"a\\\n  b\";\nuse std::sync::Arc;\n";
+        assert_eq!(
+            check("crates/graph/src/x.rs", src),
+            vec!["no-direct-sync:3"]
+        );
+    }
+
+    #[test]
+    fn rule4_waiver_suppresses_the_finding() {
+        let src = "impl Operator for MyOp {\n\
+                   \x20   // pipes-lint: allow(run-equivalence-test)\n\
+                   \x20   fn on_run(&mut self) {}\n\
+                   }\n";
+        assert!(run_rule4(&[("crates/ops/src/my.rs", src)]).is_empty());
     }
 }

@@ -15,7 +15,7 @@
 
 use pipes_graph::{Collector, Operator};
 use pipes_meta::estimators::Welford;
-use pipes_time::{Element, TimeInterval, Timestamp};
+use pipes_time::{Element, Message, TimeInterval, Timestamp};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
 
@@ -99,6 +99,67 @@ impl<A: Clone> Partials<A> {
         }
     }
 
+    /// Folds a whole group of same-interval elements over `[s, e)` with a
+    /// *single* boundary-split pair. Every message in `group` must be an
+    /// element whose interval equals `iv` (non-elements are skipped
+    /// defensively).
+    ///
+    /// Equivalent to calling [`insert`](Partials::insert) once per payload:
+    /// the first per-element insert fully tiles `[s, e)`, so later splits
+    /// and gap scans are no-ops — this method just skips them. Existing
+    /// partials get every payload via `add`; gaps get one accumulator
+    /// built from the group (`init` first, `add` rest), cloned per gap.
+    pub(crate) fn insert_group<T>(
+        &mut self,
+        iv: TimeInterval,
+        group: &[Message<T>],
+        agg: &impl AggregateFn<T, Acc = A>,
+    ) {
+        debug_assert!(
+            group
+                .iter()
+                .all(|m| matches!(m, Message::Element(e) if e.interval == iv)),
+            "insert_group requires same-interval element messages"
+        );
+        let (s, e) = (iv.start(), iv.end());
+        self.split_at(s);
+        self.split_at(e);
+        let inside: Vec<Timestamp> = self.map.range(s..e).map(|(&start, _)| start).collect();
+        let mut cursor = s;
+        let mut gaps: Vec<(Timestamp, Timestamp)> = Vec::new();
+        for start in inside {
+            if cursor < start {
+                gaps.push((cursor, start));
+            }
+            let (end, acc) = self.map.get_mut(&start).expect("partial exists");
+            for m in group {
+                if let Message::Element(el) = m {
+                    agg.add(acc, &el.payload);
+                }
+            }
+            cursor = *end;
+        }
+        if cursor < e {
+            gaps.push((cursor, e));
+        }
+        if !gaps.is_empty() {
+            let mut payloads = group.iter().filter_map(|m| match m {
+                Message::Element(el) => Some(&el.payload),
+                _ => None,
+            });
+            let Some(first) = payloads.next() else { return };
+            let mut acc = agg.init(first);
+            for v in payloads {
+                agg.add(&mut acc, v);
+            }
+            let (last, rest) = gaps.split_last().expect("non-empty");
+            for &(gs, ge) in rest {
+                self.map.insert(gs, (ge, acc.clone()));
+            }
+            self.map.insert(last.0, (last.1, acc));
+        }
+    }
+
     /// Finalizes and removes every partial ending at or before `wm`,
     /// splitting a partial that straddles the watermark. Calls `emit` in
     /// start order.
@@ -171,6 +232,37 @@ where
             out.element(Element::new(agg.finalize(acc), iv))
         });
         out.heartbeat(t);
+    }
+
+    /// Applies adjacent same-interval elements as one
+    /// [`Partials::insert_group`] — bursty streams (many readings stamped
+    /// with the same interval) pay one boundary-split pair per burst
+    /// instead of one per element.
+    fn on_run(&mut self, port: usize, run: &mut Vec<Message<T>>, out: &mut dyn Collector<A::Out>) {
+        let mut i = 0;
+        while i < run.len() {
+            match &run[i] {
+                Message::Element(e) => {
+                    let iv = e.interval;
+                    let mut j = i + 1;
+                    while j < run.len() {
+                        match &run[j] {
+                            Message::Element(n) if n.interval == iv => j += 1,
+                            _ => break,
+                        }
+                    }
+                    self.partials.insert_group(iv, &run[i..j], &self.agg);
+                    i = j;
+                }
+                Message::Heartbeat(t) => {
+                    let t = *t;
+                    self.on_heartbeat(port, t, out);
+                    i += 1;
+                }
+                Message::Close => i += 1,
+            }
+        }
+        run.clear();
     }
 
     fn on_close(&mut self, out: &mut dyn Collector<A::Out>) {

@@ -7,8 +7,68 @@
 //! these drivers and checks the collected output against the naive snapshot
 //! semantics.
 
-use pipes_graph::{BinaryOperator, Operator};
+use pipes_graph::{BinaryOperator, Collector, Operator};
 use pipes_time::{Element, Message, Timestamp};
+
+/// Wraps an operator, suppressing its native [`Operator::on_run`]: the
+/// wrapper forwards the per-message callbacks but *not* the run entry
+/// point, so dispatch falls back to the trait's default per-message loop.
+/// Equivalence proptests and the E17 benchmark use this to compare
+/// run-native against element-at-a-time dispatch on the identical kernel.
+pub struct ElementWise<O>(pub O);
+
+impl<O: Operator> Operator for ElementWise<O> {
+    type In = O::In;
+    type Out = O::Out;
+    fn on_element(&mut self, port: usize, e: Element<O::In>, out: &mut dyn Collector<O::Out>) {
+        self.0.on_element(port, e, out)
+    }
+    fn on_heartbeat(&mut self, port: usize, t: Timestamp, out: &mut dyn Collector<O::Out>) {
+        self.0.on_heartbeat(port, t, out)
+    }
+    // on_run deliberately not forwarded.
+    fn on_close(&mut self, out: &mut dyn Collector<O::Out>) {
+        self.0.on_close(out)
+    }
+    fn memory(&self) -> usize {
+        self.0.memory()
+    }
+    fn shed(&mut self, target: usize) -> usize {
+        self.0.shed(target)
+    }
+}
+
+/// Binary-operator counterpart of [`ElementWise`]: forwards everything
+/// except `on_run_left`/`on_run_right`.
+pub struct BinaryElementWise<B>(pub B);
+
+impl<B: BinaryOperator> BinaryOperator for BinaryElementWise<B> {
+    type Left = B::Left;
+    type Right = B::Right;
+    type Out = B::Out;
+    fn on_left(&mut self, e: Element<B::Left>, out: &mut dyn Collector<B::Out>) {
+        self.0.on_left(e, out)
+    }
+    fn on_right(&mut self, e: Element<B::Right>, out: &mut dyn Collector<B::Out>) {
+        self.0.on_right(e, out)
+    }
+    fn on_heartbeat_left(&mut self, t: Timestamp, out: &mut dyn Collector<B::Out>) {
+        self.0.on_heartbeat_left(t, out)
+    }
+    fn on_heartbeat_right(&mut self, t: Timestamp, out: &mut dyn Collector<B::Out>) {
+        self.0.on_heartbeat_right(t, out)
+    }
+    // The run pair deliberately not forwarded.
+    fn on_close(&mut self, out: &mut dyn Collector<B::Out>) {
+        self.0.on_close(out)
+    }
+    fn memory(&self) -> usize {
+        self.0.memory()
+    }
+    fn shed(&mut self, target: usize) -> usize {
+        self.0.shed(target)
+    }
+}
 
 /// Runs a unary operator over `input`, returning all produced messages.
 pub fn run_unary_messages<O: Operator>(

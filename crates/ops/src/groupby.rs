@@ -3,7 +3,7 @@
 
 use crate::aggregate::{AggregateFn, Partials};
 use pipes_graph::{Collector, Operator};
-use pipes_time::{Element, Timestamp};
+use pipes_time::{Element, Message, Timestamp};
 use std::collections::HashMap;
 use std::hash::Hash;
 use std::marker::PhantomData;
@@ -68,6 +68,49 @@ where
         }
         self.groups.retain(|_, g| g.len() > 0);
         out.heartbeat(t);
+    }
+
+    /// Applies adjacent elements sharing both key and interval as one
+    /// [`Partials::insert_group`]: one hash lookup and one boundary-split
+    /// pair per burst instead of per element.
+    fn on_run(
+        &mut self,
+        port: usize,
+        run: &mut Vec<Message<T>>,
+        out: &mut dyn Collector<Self::Out>,
+    ) {
+        let mut i = 0;
+        while i < run.len() {
+            match &run[i] {
+                Message::Element(e) => {
+                    let iv = e.interval;
+                    let k = (self.key)(&e.payload);
+                    let mut j = i + 1;
+                    while j < run.len() {
+                        match &run[j] {
+                            Message::Element(n)
+                                if n.interval == iv && (self.key)(&n.payload) == k =>
+                            {
+                                j += 1
+                            }
+                            _ => break,
+                        }
+                    }
+                    self.groups
+                        .entry(k)
+                        .or_insert_with(Partials::new)
+                        .insert_group(iv, &run[i..j], &self.agg);
+                    i = j;
+                }
+                Message::Heartbeat(t) => {
+                    let t = *t;
+                    self.on_heartbeat(port, t, out);
+                    i += 1;
+                }
+                Message::Close => i += 1,
+            }
+        }
+        run.clear();
     }
 
     fn on_close(&mut self, out: &mut dyn Collector<Self::Out>) {

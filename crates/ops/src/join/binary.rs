@@ -2,7 +2,7 @@
 
 use super::sweeparea::{HashSweepArea, ListSweepArea, SweepArea};
 use pipes_graph::{BinaryOperator, Collector};
-use pipes_time::{Element, Timestamp};
+use pipes_time::{Element, Message, Timestamp};
 use std::hash::Hash;
 
 /// Boxed combiner producing an output payload from a matched pair.
@@ -24,6 +24,11 @@ pub struct RippleJoin<L, R, O> {
     left_wm: Timestamp,
     right_wm: Timestamp,
     emitted_wm: Timestamp,
+    /// Run segments: consecutive same-side elements between heartbeats,
+    /// probed and inserted as one sweep-area run. Always drained before a
+    /// run entry point returns, so `memory`/`shed` never see them.
+    left_seg: Vec<Element<L>>,
+    right_seg: Vec<Element<R>>,
 }
 
 impl<L, R, O> RippleJoin<L, R, O>
@@ -45,6 +50,8 @@ where
             left_wm: Timestamp::ZERO,
             right_wm: Timestamp::ZERO,
             emitted_wm: Timestamp::ZERO,
+            left_seg: Vec::new(),
+            right_seg: Vec::new(),
         }
     }
 
@@ -86,6 +93,42 @@ where
             out.heartbeat(wm);
         }
     }
+
+    /// Probes the buffered left segment against the right area in one
+    /// `query_run`, then bulk-inserts it into the left area. Sound because
+    /// left inserts never affect right-area probes: a segment of
+    /// consecutive left elements produces the same matches batched as one
+    /// by one.
+    fn flush_left(&mut self, out: &mut dyn Collector<O>) {
+        if self.left_seg.is_empty() {
+            return;
+        }
+        let combine = &self.combine;
+        let seg = &self.left_seg;
+        self.right_area.query_run(seg, &mut |i, matched| {
+            let probe = &seg[i];
+            if let Some(iv) = probe.interval.intersect(&matched.interval) {
+                out.element(Element::new(combine(&probe.payload, &matched.payload), iv));
+            }
+        });
+        self.left_area.insert_run(&mut self.left_seg);
+    }
+
+    /// Mirror of [`flush_left`](Self::flush_left) for the right input.
+    fn flush_right(&mut self, out: &mut dyn Collector<O>) {
+        if self.right_seg.is_empty() {
+            return;
+        }
+        let combine = &self.combine;
+        let seg = &self.right_seg;
+        self.left_area.query_run(seg, &mut |i, matched| {
+            let probe = &seg[i];
+            if let Some(iv) = probe.interval.intersect(&matched.interval) {
+                out.element(Element::new(combine(&matched.payload, &probe.payload), iv));
+            }
+        });
+        self.right_area.insert_run(&mut self.right_seg);
+    }
 }
 
 impl<L, R, O> BinaryOperator for RippleJoin<L, R, O>
@@ -116,6 +159,39 @@ where
             }
         });
         self.right_area.insert(e);
+    }
+
+    /// Buffers consecutive elements into the left segment; a heartbeat
+    /// flushes the segment *before* purging (the preceding elements must
+    /// probe the pre-purge right area, exactly as per-message dispatch
+    /// would).
+    fn on_run_left(&mut self, run: &mut Vec<Message<L>>, out: &mut dyn Collector<O>) {
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => self.left_seg.push(e),
+                Message::Heartbeat(t) => {
+                    self.flush_left(out);
+                    self.on_heartbeat_left(t, out);
+                }
+                Message::Close => {}
+            }
+        }
+        self.flush_left(out);
+    }
+
+    /// Mirror of [`on_run_left`](Self::on_run_left).
+    fn on_run_right(&mut self, run: &mut Vec<Message<R>>, out: &mut dyn Collector<O>) {
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => self.right_seg.push(e),
+                Message::Heartbeat(t) => {
+                    self.flush_right(out);
+                    self.on_heartbeat_right(t, out);
+                }
+                Message::Close => {}
+            }
+        }
+        self.flush_right(out);
     }
 
     fn on_heartbeat_left(&mut self, t: Timestamp, out: &mut dyn Collector<O>) {

@@ -1,28 +1,30 @@
 //! MJoin-style multiway stream join.
 
+use super::sweeparea::{HashSweepArea, SweepArea};
 use pipes_graph::watermark::Watermarks;
 use pipes_graph::{Collector, Operator};
 use pipes_time::{Element, TimeInterval, Timestamp};
-use std::collections::HashMap;
 use std::hash::Hash;
 
-/// N-way symmetric equi-join (after Viglas et al.'s MJoin): one sweep area
-/// per input; an arriving element probes the *other* areas in ascending
-/// size order (cheapest first, pruning early), producing one output per
-/// complete combination. Output payloads are the matched payloads ordered
-/// by port; validity is the intersection of all matched intervals.
+/// N-way symmetric equi-join (after Viglas et al.'s MJoin): one
+/// [`HashSweepArea`] per input; an arriving element probes the *other*
+/// areas in ascending bucket-size order (cheapest first, pruning early),
+/// producing one output per complete combination. Output payloads are the
+/// matched payloads ordered by port; validity is the intersection of all
+/// matched intervals.
+///
+/// Purging and shedding are the sweep area's own — the join adds no
+/// bucket bookkeeping of its own.
 pub struct MultiwayJoin<T, K, KF> {
     key: KF,
-    areas: Vec<HashMap<K, Vec<Element<T>>>>,
-    counts: Vec<usize>,
+    areas: Vec<HashSweepArea<T, T, K, KF, KF>>,
     watermarks: Watermarks,
-    _marker: std::marker::PhantomData<fn(T) -> K>,
 }
 
 impl<T, K, KF> MultiwayJoin<T, K, KF>
 where
     K: Hash + Eq + Clone,
-    KF: Fn(&T) -> K,
+    KF: Fn(&T) -> K + Clone,
 {
     /// Creates a join over `ports` inputs keyed by `key`.
     ///
@@ -32,24 +34,11 @@ where
     pub fn new(ports: usize, key: KF) -> Self {
         assert!(ports >= 2, "a multiway join needs at least two inputs");
         MultiwayJoin {
+            areas: (0..ports)
+                .map(|_| HashSweepArea::new(key.clone(), key.clone()))
+                .collect(),
             key,
-            areas: (0..ports).map(|_| HashMap::new()).collect(),
-            counts: vec![0; ports],
             watermarks: Watermarks::new(ports),
-            _marker: std::marker::PhantomData,
-        }
-    }
-
-    fn purge(&mut self, wm: Timestamp) {
-        for (area, count) in self.areas.iter_mut().zip(&mut self.counts) {
-            let mut removed = 0;
-            area.retain(|_, bucket| {
-                let before = bucket.len();
-                bucket.retain(|e| !e.interval.before(wm));
-                removed += before - bucket.len();
-                !bucket.is_empty()
-            });
-            *count -= removed;
         }
     }
 }
@@ -68,14 +57,14 @@ where
 
         // Probe the other ports in ascending bucket-size order.
         let mut order: Vec<usize> = (0..self.areas.len()).filter(|&p| p != port).collect();
-        order.sort_by_key(|&p| self.areas[p].get(&k).map_or(0, Vec::len));
+        order.sort_by_key(|&p| self.areas[p].bucket(&k).map_or(0, <[Element<T>]>::len));
 
         // Depth-first expansion of combinations; prune on empty buckets.
         // Each combination slot i holds the element chosen for `order[i]`.
         let mut results: Vec<(Vec<(usize, T)>, TimeInterval)> = Vec::new();
         let mut stack: Vec<(Vec<(usize, T)>, TimeInterval)> = vec![(Vec::new(), e.interval)];
         for &p in &order {
-            let Some(bucket) = self.areas[p].get(&k) else {
+            let Some(bucket) = self.areas[p].bucket(&k) else {
                 stack.clear();
                 break;
             };
@@ -105,39 +94,34 @@ where
             ));
         }
 
-        self.areas[port].entry(k).or_default().push(e);
-        self.counts[port] += 1;
+        self.areas[port].insert(e);
     }
 
     fn on_heartbeat(&mut self, port: usize, t: Timestamp, out: &mut dyn Collector<Vec<T>>) {
         if let Some(min) = self.watermarks.update(port, t) {
             // Conservative purge: an entry is dead once *every* other input
             // has passed its end; the combined minimum is a safe bound.
-            self.purge(min);
+            for area in &mut self.areas {
+                area.purge(min);
+            }
             out.heartbeat(min);
         }
     }
 
     fn memory(&self) -> usize {
-        self.counts.iter().sum()
+        self.areas.iter().map(SweepArea::len).sum()
     }
 
     fn shed(&mut self, target: usize) -> usize {
+        // Shed proportionally per port; each area keeps its latest-expiring
+        // share (the sweep area's own eviction policy).
         let total = self.memory();
         if total == 0 {
             return 0;
         }
-        for (area, count) in self.areas.iter_mut().zip(&mut self.counts) {
-            let share = *count * target / total;
-            let mut to_drop = count.saturating_sub(share);
-            area.retain(|_, bucket| {
-                while to_drop > 0 && !bucket.is_empty() {
-                    bucket.remove(0);
-                    to_drop -= 1;
-                    *count -= 1;
-                }
-                !bucket.is_empty()
-            });
+        for area in &mut self.areas {
+            let share = area.len() * target / total;
+            area.shed(share);
         }
         self.memory()
     }

@@ -22,6 +22,28 @@ pub trait SweepArea<T, P>: Send {
     /// and matches `probe.payload` under this sweep area's predicate.
     fn query(&mut self, probe: &Element<P>, f: &mut dyn FnMut(&Element<T>));
 
+    /// Probes a whole run: invokes `f(i, matched)` for every match of
+    /// `probes[i]`, probing in slice order. Equivalent to calling
+    /// [`query`](SweepArea::query) per probe; indexed implementations
+    /// amortize one index lookup across adjacent probes sharing a key, so
+    /// callers should hand over runs in upstream arrival order (bursty keys
+    /// then collapse to one lookup per burst).
+    fn query_run(&mut self, probes: &[Element<P>], f: &mut dyn FnMut(usize, &Element<T>)) {
+        for (i, p) in probes.iter().enumerate() {
+            self.query(p, &mut |e| f(i, e));
+        }
+    }
+
+    /// Inserts a whole run, draining `elems` (capacity kept for reuse).
+    /// Equivalent to calling [`insert`](SweepArea::insert) per element;
+    /// indexed implementations batch adjacent same-key elements into one
+    /// index lookup and one capacity reservation per group.
+    fn insert_run(&mut self, elems: &mut Vec<Element<T>>) {
+        for e in elems.drain(..) {
+            self.insert(e);
+        }
+    }
+
     /// Removes every element whose validity ended at or before `wm`
     /// (no future probe can overlap it); returns how many were removed.
     fn purge(&mut self, wm: Timestamp) -> usize;
@@ -113,6 +135,9 @@ pub struct HashSweepArea<T, P, K, KT, KP> {
     count: usize,
     key_of_stored: KT,
     key_of_probe: KP,
+    /// Scratch for [`SweepArea::insert_run`]'s adjacent-group lengths;
+    /// capacity persists across runs.
+    run_groups: Vec<u32>,
     _marker: std::marker::PhantomData<fn(P)>,
 }
 
@@ -129,8 +154,15 @@ where
             count: 0,
             key_of_stored,
             key_of_probe,
+            run_groups: Vec::new(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// The stored elements whose key equals `k`, if any. Used by callers
+    /// that plan probe order by bucket size (e.g. multiway joins).
+    pub fn bucket(&self, k: &K) -> Option<&[Element<T>]> {
+        self.buckets.get(k).map(Vec::as_slice)
     }
 }
 
@@ -159,6 +191,68 @@ where
         }
     }
 
+    fn query_run(&mut self, probes: &[Element<P>], f: &mut dyn FnMut(usize, &Element<T>)) {
+        // Adjacent probes sharing a key reuse the cached bucket: one hash
+        // lookup per distinct adjacent key instead of one per probe.
+        let mut cached: Option<(K, Option<&Vec<Element<T>>>)> = None;
+        for (i, probe) in probes.iter().enumerate() {
+            let k = (self.key_of_probe)(&probe.payload);
+            let bucket = match &cached {
+                Some((ck, b)) if *ck == k => *b,
+                _ => {
+                    let b = self.buckets.get(&k);
+                    cached = Some((k, b));
+                    b
+                }
+            };
+            if let Some(bucket) = bucket {
+                for e in bucket {
+                    if e.interval.overlaps(&probe.interval) {
+                        f(i, e);
+                    }
+                }
+            }
+        }
+    }
+
+    fn insert_run(&mut self, elems: &mut Vec<Element<T>>) {
+        if elems.is_empty() {
+            return;
+        }
+        self.count += elems.len();
+        // Pass 1: lengths of adjacent same-key groups. Pass 2: one bucket
+        // lookup and one capacity reservation per group, then bulk push.
+        let mut groups = std::mem::take(&mut self.run_groups);
+        groups.clear();
+        let mut iter = elems.iter();
+        let mut prev = (self.key_of_stored)(&iter.next().expect("non-empty").payload);
+        let mut len = 1u32;
+        for e in iter {
+            let k = (self.key_of_stored)(&e.payload);
+            if k == prev {
+                len += 1;
+            } else {
+                groups.push(len);
+                len = 1;
+                prev = k;
+            }
+        }
+        groups.push(len);
+        let mut drain = elems.drain(..);
+        for &g in &groups {
+            let first = drain.next().expect("group is non-empty");
+            let k = (self.key_of_stored)(&first.payload);
+            let bucket = self.buckets.entry(k).or_default();
+            bucket.reserve(g as usize);
+            bucket.push(first);
+            for _ in 1..g {
+                bucket.push(drain.next().expect("group length counted above"));
+            }
+        }
+        drop(drain);
+        self.run_groups = groups;
+    }
+
     fn purge(&mut self, wm: Timestamp) -> usize {
         let mut removed = 0;
         self.buckets.retain(|_, bucket| {
@@ -179,15 +273,17 @@ where
         if self.count <= target {
             return self.count;
         }
-        // Evict elements expiring soonest, globally across buckets.
+        // Evict elements expiring soonest, globally across buckets. The
+        // cutoff is the (len − target)-th smallest end — a selection, not
+        // a full sort, so finding it is O(n).
         let mut ends: Vec<Timestamp> = self
             .buckets
             .values()
             .flat_map(|b| b.iter().map(Element::end))
             .collect();
-        ends.sort();
+        let idx = ends.len() - target.max(1);
         // Keep the `target` latest-expiring elements.
-        let cutoff = ends[ends.len() - target.max(1)];
+        let cutoff = *ends.select_nth_unstable(idx).1;
         let mut kept = 0;
         self.buckets.retain(|_, bucket| {
             bucket.retain(|e| {
@@ -264,9 +360,20 @@ where
     }
 
     fn shed(&mut self, target: usize) -> usize {
-        while self.elems.len() > target {
-            let key = *self.elems.keys().next().expect("non-empty");
-            self.elems.remove(&key);
+        if self.elems.len() > target {
+            if target == 0 {
+                self.elems.clear();
+            } else {
+                // The survivors are the `target` largest (end, seq) keys;
+                // one tree split at the (len − target)-th key replaces
+                // len − target single smallest-key removals.
+                let k = *self
+                    .elems
+                    .keys()
+                    .nth(self.elems.len() - target)
+                    .expect("index < len because len > target >= 1");
+                self.elems = self.elems.split_off(&k);
+            }
         }
         self.elems.len()
     }
@@ -367,5 +474,153 @@ mod tests {
         sa.insert(el(2, 0, 50));
         // Probe starting at 10 can only match element 2.
         assert_eq!(collect_matches(&mut sa, &el(0, 10, 12)), vec![2]);
+    }
+
+    /// Pins the split_off-based `OrderedSweepArea::shed` to the old
+    /// remove-smallest-key-in-a-loop behavior: identical survivor sets,
+    /// including duplicate ends (distinguished by insertion sequence).
+    #[test]
+    fn ordered_shed_split_matches_loop_eviction() {
+        let elems = [
+            el(1, 0, 10),
+            el(2, 0, 10), // duplicate end: seq breaks the tie
+            el(3, 0, 30),
+            el(4, 0, 20),
+            el(5, 0, 10),
+            el(6, 0, 25),
+        ];
+        for target in 0..=elems.len() + 1 {
+            let mut sa = OrderedSweepArea::new(|_: &i64, _: &i64| true);
+            for e in &elems {
+                sa.insert(e.clone());
+            }
+            // Reference: the old implementation evicted the smallest
+            // (end, seq) key one at a time.
+            let mut reference: Vec<(Timestamp, usize)> = elems
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (e.end(), i))
+                .collect();
+            reference.sort();
+            let survivors: Vec<i64> = reference
+                .iter()
+                .skip(elems.len().saturating_sub(target))
+                .map(|&(_, i)| elems[i].payload)
+                .collect();
+            assert_eq!(sa.shed(target), target.min(elems.len()));
+            let mut got = collect_matches(&mut sa, &el(0, 0, 100));
+            got.sort();
+            let mut want = survivors;
+            want.sort();
+            assert_eq!(got, want, "target {target}");
+        }
+    }
+
+    /// Tie-at-cutoff: more elements share the cutoff end than the target
+    /// allows. The selection-based shed must still keep exactly `target`
+    /// elements, all ending at or after the cutoff.
+    #[test]
+    fn hash_shed_tie_at_cutoff() {
+        let mut sa = HashSweepArea::new(|t: &i64| t % 3, |p: &i64| p % 3);
+        // Five elements ending at 10 (the cutoff), two ending later.
+        for p in 0..5 {
+            sa.insert(el(p, 0, 10));
+        }
+        sa.insert(el(5, 0, 20));
+        sa.insert(el(6, 0, 30));
+        assert_eq!(sa.shed(4), 4);
+        assert_eq!(sa.len(), 4);
+        let mut rest = Vec::new();
+        sa.query_run(
+            &(0..3).map(|k| el(k, 0, 100)).collect::<Vec<_>>(),
+            &mut |_, e| rest.push(e.clone()),
+        );
+        assert_eq!(rest.len(), 4);
+        // The 4th-largest end is the tied 10, so every survivor must end
+        // at or after 10; which of the tied elements survive is arbitrary.
+        assert!(rest.iter().all(|e| e.end() >= Timestamp::new(10)));
+    }
+
+    #[test]
+    fn hash_shed_to_zero_clears() {
+        let mut sa = HashSweepArea::new(|t: &i64| *t, |p: &i64| *p);
+        sa.insert(el(1, 0, 5));
+        sa.insert(el(2, 0, 6));
+        assert_eq!(sa.shed(0), 0);
+        assert_eq!(sa.len(), 0);
+    }
+
+    /// `query_run` must match per-probe `query` exactly — same matches,
+    /// attributed to the right probe index — across key changes, repeats,
+    /// and missing buckets.
+    #[test]
+    fn hash_query_run_matches_per_probe_query() {
+        let mut sa = HashSweepArea::new(|t: &i64| t % 4, |p: &i64| p % 4);
+        for (i, p) in [0i64, 1, 2, 4, 5, 8, 13].iter().enumerate() {
+            sa.insert(el(*p, i as u64, i as u64 + 10));
+        }
+        // Bursty probe run: repeated keys, a key with no bucket (3), and
+        // non-overlapping intervals.
+        let probes = vec![
+            el(4, 0, 5),
+            el(8, 2, 6),
+            el(8, 50, 60), // same key, overlaps nothing
+            el(3, 0, 100), // empty bucket
+            el(1, 0, 100),
+            el(1, 0, 100),
+        ];
+        let mut batched: Vec<(usize, i64)> = Vec::new();
+        sa.query_run(&probes, &mut |i, e| batched.push((i, e.payload)));
+        let mut reference: Vec<(usize, i64)> = Vec::new();
+        for (i, p) in probes.iter().enumerate() {
+            sa.query(p, &mut |e| reference.push((i, e.payload)));
+        }
+        assert_eq!(batched, reference);
+    }
+
+    /// `insert_run` must leave the area in the same state as per-element
+    /// `insert`, and drain the input buffer.
+    #[test]
+    fn hash_insert_run_matches_per_element_insert() {
+        let elems: Vec<Element<i64>> = vec![
+            el(3, 0, 10),
+            el(3, 1, 11), // adjacent same key: one lookup
+            el(7, 2, 12),
+            el(3, 3, 13), // key returns: new group
+            el(11, 4, 14),
+            el(11, 5, 15),
+        ];
+        let mut batched = HashSweepArea::new(|t: &i64| t % 4, |p: &i64| p % 4);
+        let mut buf = elems.clone();
+        batched.insert_run(&mut buf);
+        assert!(buf.is_empty(), "insert_run drains its input");
+        let mut reference = HashSweepArea::new(|t: &i64| t % 4, |p: &i64| p % 4);
+        for e in elems {
+            reference.insert(e);
+        }
+        assert_eq!(batched.len(), reference.len());
+        for k in 0..4 {
+            let probe = el(k, 0, 100);
+            assert_eq!(
+                collect_matches(&mut batched, &probe),
+                collect_matches(&mut reference, &probe),
+                "bucket {k}"
+            );
+        }
+    }
+
+    /// The default trait implementations of the run entry points must be
+    /// exactly the per-element loops (list area has no overrides).
+    #[test]
+    fn default_run_methods_loop_over_singles() {
+        let mut sa = ListSweepArea::new(|p: &i64, t: &i64| p != t);
+        let mut buf = vec![el(1, 0, 10), el(2, 0, 10), el(3, 5, 15)];
+        sa.insert_run(&mut buf);
+        assert!(buf.is_empty());
+        assert_eq!(sa.len(), 3);
+        let probes = vec![el(1, 0, 8), el(9, 12, 14)];
+        let mut hits: Vec<(usize, i64)> = Vec::new();
+        sa.query_run(&probes, &mut |i, e| hits.push((i, e.payload)));
+        assert_eq!(hits, vec![(0, 2), (0, 3), (1, 3)]);
     }
 }

@@ -1,7 +1,12 @@
 //! Stateless operators: selection, mapping, flat-mapping.
+//!
+//! All three override [`Operator::on_run`]: stateless operators touch no
+//! shared state, so a run is processed in one tight loop with a single
+//! output-capacity reservation up front instead of growth checks per
+//! emission.
 
 use pipes_graph::{Collector, Operator};
-use pipes_time::Element;
+use pipes_time::{Element, Message};
 use std::marker::PhantomData;
 
 /// Selection: keeps the elements whose payload satisfies a predicate.
@@ -35,6 +40,24 @@ where
             out.element(e);
         }
     }
+
+    fn on_run(&mut self, _port: usize, run: &mut Vec<Message<T>>, out: &mut dyn Collector<T>) {
+        // Worst case every element passes; the hint is advisory and capped
+        // by the collector, so over-reserving for selective predicates is
+        // bounded.
+        out.reserve(run.len());
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => {
+                    if (self.pred)(&e.payload) {
+                        out.element(e);
+                    }
+                }
+                Message::Heartbeat(t) => out.heartbeat(t),
+                Message::Close => {}
+            }
+        }
+    }
 }
 
 /// Projection / mapping: transforms each payload, keeping its interval.
@@ -65,6 +88,20 @@ where
     fn on_element(&mut self, _port: usize, e: Element<I>, out: &mut dyn Collector<O>) {
         let interval = e.interval;
         out.element(Element::new((self.f)(e.payload), interval));
+    }
+
+    fn on_run(&mut self, _port: usize, run: &mut Vec<Message<I>>, out: &mut dyn Collector<O>) {
+        out.reserve(run.len());
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => {
+                    let interval = e.interval;
+                    out.element(Element::new((self.f)(e.payload), interval));
+                }
+                Message::Heartbeat(t) => out.heartbeat(t),
+                Message::Close => {}
+            }
+        }
     }
 }
 
@@ -103,6 +140,24 @@ where
         let interval = e.interval;
         for v in (self.f)(e.payload) {
             out.element(Element::new(v, interval));
+        }
+    }
+
+    fn on_run(&mut self, _port: usize, run: &mut Vec<Message<I>>, out: &mut dyn Collector<O>) {
+        // Expansion factor is unknown; reserve for the identity case (one
+        // output per input) and let larger expansions grow as usual.
+        out.reserve(run.len());
+        for msg in run.drain(..) {
+            match msg {
+                Message::Element(e) => {
+                    let interval = e.interval;
+                    for v in (self.f)(e.payload) {
+                        out.element(Element::new(v, interval));
+                    }
+                }
+                Message::Heartbeat(t) => out.heartbeat(t),
+                Message::Close => {}
+            }
         }
     }
 }

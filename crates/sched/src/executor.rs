@@ -34,6 +34,9 @@ pub struct ExecutionReport {
     /// Virtual-node groups this worker stole from peers (always 0 outside
     /// the [`crate::WorkStealingExecutor`]).
     pub steals: u64,
+    /// Largest single input run (in messages) any node drained in one
+    /// quantum — how far the run-at-a-time operator path actually batched.
+    pub peak_run: usize,
 }
 
 impl ExecutionReport {
@@ -75,6 +78,7 @@ impl ExecutionReport {
             merged.wall = merged.wall.max(r.wall);
             merged.peak_queue = merged.peak_queue.max(r.peak_queue);
             merged.peak_state = merged.peak_state.max(r.peak_state);
+            merged.peak_run = merged.peak_run.max(r.peak_run);
             merged.hit_limit |= r.hit_limit;
             weighted_queue += r.avg_queue * r.quanta as f64;
         }
@@ -284,6 +288,7 @@ impl SingleThreadExecutor {
             report.consumed += step.consumed as u64;
             report.produced += step.produced as u64;
             report.batches += step.batches as u64;
+            report.peak_run = report.peak_run.max(step.peak_run);
             if step.consumed == 0 && step.produced == 0 {
                 idle_rounds += 1;
                 if idle_rounds > 10_000 {
@@ -576,11 +581,13 @@ mod tests {
                 peak_state: peak_queue / 2,
                 hit_limit: false,
                 steals: 1,
+                peak_run: peak_queue / 4,
             };
         let a = mk(10, 100, 80, 5, 30, 40, 4.0);
         let mut b = mk(30, 300, 240, 15, 20, 70, 8.0);
         b.hit_limit = true;
         let m = ExecutionReport::merge(&[a, b]);
+        assert_eq!(m.peak_run, 17, "peak_run is maxed across threads");
         assert_eq!(m.strategy, "fifo");
         assert_eq!(m.quanta, 40);
         assert_eq!(m.consumed, 400);

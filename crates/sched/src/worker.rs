@@ -368,6 +368,7 @@ impl WorkStealingExecutor {
             report.consumed += step.consumed as u64;
             report.produced += step.produced as u64;
             report.batches += step.batches as u64;
+            report.peak_run = report.peak_run.max(step.peak_run);
             if step.consumed == 0 && step.produced == 0 {
                 idle_rounds += 1;
                 if idle_rounds > 10_000 {

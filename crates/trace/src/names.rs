@@ -35,6 +35,11 @@ pub const EDGE_PUSH: &str = "graph.push";
 /// args: `[edge_id, drained, remaining]`.
 pub const EDGE_DRAIN: &str = "graph.drain";
 
+/// Instant for one run-level operator dispatch (`Operator::on_run` or the
+/// binary pair), emitted after Close stripping and heartbeat coalescing.
+/// args: `[run_len, port, coalesced_heartbeats]`.
+pub const OP_RUN: &str = "graph.oprun";
+
 /// Instant for one `Outputs::publish_batch` flush.
 /// args: `[batch_len, n_subscribers, seq_base]`.
 pub const FLUSH: &str = "graph.flush";

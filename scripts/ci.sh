@@ -39,6 +39,13 @@ python3 -c 'import json,sys; json.load(open("target/quickstart_trace.json"))' 2>
 echo "==> E16 scheduler-layers smoke run (quick)"
 cargo run -q --release -p pipes-bench --bin experiments -- e16 --quick >/dev/null
 
+# Run-algebra smoke run: E17 drives the NEXMark-style join + aggregate
+# plan under both dispatch granularities and asserts they produce the
+# same sink output; quick mode keeps it to seconds. As with E16, the
+# ratio acceptance bar lives in the full run recorded in EXPERIMENTS.md.
+echo "==> E17 run-at-a-time algebra smoke run (quick)"
+cargo run -q --release -p pipes-bench --bin experiments -- e17 --quick >/dev/null
+
 # Model-checked concurrency suite: compile the kernel against the
 # instrumented loom-shim primitives and exhaustively explore interleavings
 # of the data-path/scheduler invariants (see DESIGN.md § "Concurrency
