@@ -163,6 +163,9 @@ fn bench_join(c: &mut Criterion) {
 }
 
 /// Temporal aggregation throughput at several window sizes.
+/// `count_window` is the operator as shipped (`AggStrategy::Auto`: the
+/// partial-aggregate tree once inserts get wide); `count_window_naive`
+/// pins the pre-tree boundary scan for the before/after comparison.
 fn bench_aggregate(c: &mut Criterion) {
     const N: u64 = 10_000;
     let mut group = c.benchmark_group("temporal_aggregate");
@@ -180,6 +183,19 @@ fn bench_aggregate(c: &mut Criterion) {
             BenchmarkId::new("count_window", window),
             &input,
             |b, input| b.iter(|| run_unary(ScalarAggregate::new(CountAgg), input.clone()).len()),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("count_window_naive", window),
+            &input,
+            |b, input| {
+                b.iter(|| {
+                    run_unary(
+                        ScalarAggregate::with_strategy(CountAgg, AggStrategy::Naive),
+                        input.clone(),
+                    )
+                    .len()
+                })
+            },
         );
     }
     group.finish();

@@ -3,7 +3,7 @@
 //! ```text
 //! experiments all            # full pass (minutes)
 //! experiments all --quick    # small workloads (seconds)
-//! experiments e5 e6          # selected experiments (e1..e17)
+//! experiments e5 e6          # selected experiments (e1..e18)
 //! ```
 
 fn main() {
@@ -11,7 +11,7 @@ fn main() {
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
     let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with('-')).collect();
     if ids.is_empty() {
-        eprintln!("usage: experiments <e1..e17|all> [--quick]");
+        eprintln!("usage: experiments <e1..e18|all> [--quick]");
         eprintln!("running 'all --quick' by default\n");
         pipes_bench::experiments::run("all", true);
         return;

@@ -1,4 +1,4 @@
-//! The experiments E1–E17 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E18 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
@@ -15,8 +15,9 @@ mod reuse;
 mod sched_layers;
 mod scheduling;
 mod trace_overhead;
+mod window_agg;
 
-/// Runs one experiment by id (`e1`..`e17`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e18`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -71,5 +72,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e17") {
         ops_runs::e17_ops_runs(quick);
+    }
+    if want("e18") {
+        window_agg::e18_window_agg(quick);
     }
 }

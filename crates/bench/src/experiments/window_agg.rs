@@ -1,0 +1,170 @@
+//! E18 — sub-linear sliding-window aggregation vs the naive partial scan.
+//!
+//! The exact temporal count over sliding windows of width w: element `i`
+//! is valid on `[i, i+w)`, so every arriving element overlaps w live
+//! partials. Two variants run the identical driver
+//! (`run_unary_messages`: start-ordered elements, the strongest valid
+//! heartbeat after each, close at the end):
+//!
+//! * **naive** — `AggStrategy::Naive`, the boundary table as originally
+//!   shipped: every insert folds its payload into all w covered partials,
+//!   O(r·w) for r elements — the throughput cliff this experiment
+//!   documents;
+//! * **tree** — `AggStrategy::Auto` (the shipped default): the partial-
+//!   aggregate tree of `pipes-ops::aggtree` defers combining to the
+//!   heartbeat sweep, touching O(1) amortized accumulators per insert,
+//!   converting from the naive table once an insert covers the
+//!   conversion threshold (so narrow windows keep the naive fast path).
+//!
+//! Both variants must produce the **byte-identical** sink message
+//! sequence — asserted on every rep, heartbeats included. Methodology
+//! follows E15: paired back-to-back runs in alternating order per rep,
+//! per-rep ratio, median over reps. Acceptance (full run): ≥ 20× at
+//! window 1024, no regression at window 16 beyond the paired-median
+//! noise bound. Results go to `BENCH_window_agg.json`.
+
+use crate::{f, table};
+use pipes::ops::drive::run_unary_messages;
+use pipes::prelude::*;
+use std::time::Instant;
+
+/// Elements valid on `[i, i+window)`: the exact sliding-window shape the
+/// criterion `temporal_aggregate/count_window` series uses.
+fn input(n: u64, window: u64) -> Vec<Element<i64>> {
+    (0..n)
+        .map(|i| {
+            Element::new(
+                i as i64,
+                TimeInterval::new(Timestamp::new(i), Timestamp::new(i + window)),
+            )
+        })
+        .collect()
+}
+
+/// Runs one variant over a pre-built input, returning elements/s and the
+/// produced message sequence (for the byte-identical check).
+fn run_variant(strategy: AggStrategy, input: &[Element<i64>]) -> (f64, Vec<Message<u64>>) {
+    let op = ScalarAggregate::with_strategy(CountAgg, strategy);
+    let cloned = input.to_vec();
+    let start = Instant::now();
+    let out = run_unary_messages(op, cloned);
+    let secs = start.elapsed().as_secs_f64();
+    (input.len() as f64 / secs, out)
+}
+
+fn median(ratios: &mut [f64]) -> f64 {
+    ratios.sort_by(f64::total_cmp);
+    if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    }
+}
+
+/// Runs E18 and prints the window-sweep table; writes
+/// `BENCH_window_agg.json`.
+pub fn e18_window_agg(quick: bool) {
+    // (window, elements, reps): larger windows get smaller inputs so the
+    // naive baseline finishes in reasonable time; reps stay odd for a
+    // clean median.
+    let plan: Vec<(u64, u64, usize)> = if quick {
+        vec![(16, 4_000, 3), (1024, 4_000, 3)]
+    } else {
+        vec![
+            (16, 20_000, 9),
+            (64, 20_000, 9),
+            (256, 10_000, 7),
+            (1024, 10_000, 7),
+            (8192, 3_000, 5),
+        ]
+    };
+
+    // Warm up allocator and page cache off the clock.
+    run_variant(AggStrategy::Auto, &input(2_000, 64));
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut json_rows: Vec<String> = Vec::new();
+    for &(window, n, reps) in &plan {
+        let elems = input(n, window);
+        let mut best = [f64::MIN; 2]; // [naive, tree]
+        let mut ratios = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let order = if rep % 2 == 0 {
+                [AggStrategy::Naive, AggStrategy::Auto]
+            } else {
+                [AggStrategy::Auto, AggStrategy::Naive]
+            };
+            let mut thr = [0.0f64; 2];
+            let mut outs: [Option<Vec<Message<u64>>>; 2] = [None, None];
+            for v in order {
+                let (t, out) = run_variant(v, &elems);
+                let slot = usize::from(v != AggStrategy::Naive);
+                thr[slot] = t;
+                best[slot] = best[slot].max(t);
+                outs[slot] = Some(out);
+            }
+            // Byte-identical sink output, heartbeats included, every rep:
+            // the state layout is not allowed to change what the operator
+            // computes or when it emits it.
+            assert_eq!(
+                outs[0], outs[1],
+                "naive and tree layouts diverged at window {window}"
+            );
+            ratios.push(thr[1] / thr[0]);
+            if std::env::var_os("PIPES_E18_DEBUG").is_some() {
+                eprintln!(
+                    "w={window:>5} rep {rep}: naive {:.3e} tree {:.3e} (x{:.2})",
+                    thr[0],
+                    thr[1],
+                    thr[1] / thr[0]
+                );
+            }
+        }
+        let ratio = median(&mut ratios);
+        rows.push(vec![
+            window.to_string(),
+            n.to_string(),
+            f(best[0] / 1e3, 1),
+            f(best[1] / 1e3, 1),
+            f(ratio, 2),
+        ]);
+        json_rows.push(format!(
+            "    {{\"window\": {window}, \"elements\": {n}, \
+             \"naive_elem_per_s\": {:.0}, \"tree_elem_per_s\": {:.0}, \
+             \"tree_vs_naive_median_ratio\": {ratio:.3}}}",
+            best[0], best[1]
+        ));
+    }
+
+    table(
+        "E18 — sliding-window count, partial-aggregate tree vs naive scan \
+         (exact temporal aggregation, per-element heartbeats)",
+        &[
+            "window",
+            "elements",
+            "naive kelem/s",
+            "tree kelem/s",
+            "tree/naive (median)",
+        ],
+        &rows,
+    );
+    println!(
+        "shape check: the naive boundary table folds every element into all w \
+         covered partials (O(r*w) — the cliff from 2.75 Melem/s at w=16 to \
+         31.6 kelem/s at w=1024); the tree keeps the identical boundary index \
+         but defers combining to the heartbeat sweep, touching O(1) amortized \
+         accumulators per insert, so throughput stays flat as w grows. Bar \
+         (full run): >= 20x at window 1024, parity at window 16 (Auto stays \
+         on the naive fast path below the conversion threshold)."
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"window_agg\",\n  \"aggregate\": \"count\",\n  \
+         \"quick\": {quick},\n  \"windows\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_window_agg.json", &json) {
+        Ok(()) => println!("wrote BENCH_window_agg.json"),
+        Err(e) => eprintln!("could not write BENCH_window_agg.json: {e}"),
+    }
+}

@@ -132,6 +132,10 @@ where
         self.a.memory() + self.b.memory()
     }
 
+    fn state_bytes(&self) -> usize {
+        self.a.state_bytes() + self.b.state_bytes()
+    }
+
     fn shed(&mut self, target: usize) -> usize {
         // Split the target proportionally to current usage.
         let (ma, mb) = (self.a.memory(), self.b.memory());

@@ -452,6 +452,7 @@ impl QueryGraph {
         cell.stats.record_batches(report.batches as u64);
         cell.stats.set_queue_len(runnable.queued());
         cell.stats.set_memory(runnable.memory());
+        cell.stats.set_state_bytes(runnable.state_bytes());
         drop(runnable);
         if report.produced > 0 && self.has_wake_hook.load(Ordering::Acquire) {
             let hook = self.wake_hook.read().clone();
@@ -520,6 +521,12 @@ impl QueryGraph {
     /// Operator state size of `node` in retained elements.
     pub fn memory(&self, id: NodeId) -> usize {
         self.cell(id).runnable.lock().memory()
+    }
+
+    /// Estimated operator state footprint of `node` in bytes (0 when the
+    /// operator does not report one).
+    pub fn state_bytes(&self, id: NodeId) -> usize {
+        self.cell(id).runnable.lock().state_bytes()
     }
 
     /// Sheds `node`'s operator state to roughly `target` elements.

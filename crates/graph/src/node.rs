@@ -56,6 +56,11 @@ pub trait Runnable: Send {
     fn is_finished(&self) -> bool;
     /// Current operator state size in retained elements.
     fn memory(&self) -> usize;
+    /// Estimated operator state footprint in bytes (see
+    /// `Operator::state_bytes`). Default: 0 (unreported).
+    fn state_bytes(&self) -> usize {
+        0
+    }
     /// Sheds operator state to roughly `target` elements; returns new size.
     fn shed(&mut self, target: usize) -> usize;
     /// Caps how many messages one input run may drain (and how many output
@@ -339,6 +344,10 @@ impl<O: Operator> Runnable for OpNode<O> {
         self.op.memory()
     }
 
+    fn state_bytes(&self) -> usize {
+        self.op.state_bytes()
+    }
+
     fn shed(&mut self, target: usize) -> usize {
         self.op.shed(target)
     }
@@ -511,6 +520,10 @@ impl<B: BinaryOperator> Runnable for BinNode<B> {
 
     fn memory(&self) -> usize {
         self.op.memory()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.op.state_bytes()
     }
 
     fn shed(&mut self, target: usize) -> usize {

@@ -149,6 +149,15 @@ pub trait Operator: Send + 'static {
         0
     }
 
+    /// Estimated byte footprint of the retained state (count × per-unit
+    /// size estimate; see `pipes_meta::estimators::StateSize`). Unlike
+    /// [`memory`](Operator::memory), which counts abstract units for
+    /// shedding ratios, this is byte-denominated so heterogeneous
+    /// operators are comparable. Default: 0 (unreported).
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
     /// Sheds state down to approximately `target` retained elements using
     /// the operator's load-shedding strategy; returns the new state size.
     /// Stateless operators ignore this.
@@ -220,6 +229,12 @@ pub trait BinaryOperator: Send + 'static {
         0
     }
 
+    /// Estimated byte footprint of the retained state (see
+    /// [`Operator::state_bytes`]). Default: 0 (unreported).
+    fn state_bytes(&self) -> usize {
+        0
+    }
+
     /// Sheds state down to approximately `target` retained elements.
     fn shed(&mut self, target: usize) -> usize {
         let _ = target;
@@ -256,6 +271,9 @@ impl<I: Send + Clone + 'static, O: Send + Clone + 'static> Operator
     }
     fn memory(&self) -> usize {
         (**self).memory()
+    }
+    fn state_bytes(&self) -> usize {
+        (**self).state_bytes()
     }
     fn shed(&mut self, target: usize) -> usize {
         (**self).shed(target)

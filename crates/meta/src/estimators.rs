@@ -341,6 +341,57 @@ impl<T> Reservoir<T> {
     }
 }
 
+/// A units×size state-footprint estimator for stateful operators.
+///
+/// Operators report live state as a number of homogeneous *units* (partial
+/// aggregates, sweep-area entries, tree nodes); the estimator converts
+/// that count into bytes using a per-unit payload estimate plus a per-unit
+/// container overhead (map node, key, bookkeeping). This keeps the
+/// operator-side accounting O(1) per update — the count is maintained
+/// anyway for load shedding — while giving the memory manager a
+/// byte-denominated view of aggregates as memory users.
+#[derive(Clone, Copy, Debug)]
+pub struct StateSize {
+    unit_bytes: usize,
+    overhead_bytes: usize,
+    units: usize,
+}
+
+impl StateSize {
+    /// Creates an estimator for units of `unit_bytes` payload each, held
+    /// in a container costing `overhead_bytes` per unit.
+    pub fn new(unit_bytes: usize, overhead_bytes: usize) -> Self {
+        StateSize {
+            unit_bytes,
+            overhead_bytes,
+            units: 0,
+        }
+    }
+
+    /// Returns the estimator with the live unit count set to `units`.
+    pub fn with_units(mut self, units: usize) -> Self {
+        self.units = units;
+        self
+    }
+
+    /// Sets the live unit count.
+    pub fn set_units(&mut self, units: usize) {
+        self.units = units;
+    }
+
+    /// Live unit count.
+    pub fn units(&self) -> usize {
+        self.units
+    }
+
+    /// Estimated byte footprint: `units × (unit_bytes + overhead_bytes)`,
+    /// saturating on overflow.
+    pub fn bytes(&self) -> usize {
+        self.units
+            .saturating_mul(self.unit_bytes.saturating_add(self.overhead_bytes))
+    }
+}
+
 /// A windowed event-rate estimator: events per second over a sliding window
 /// of wall-clock time.
 #[derive(Clone, Debug)]
@@ -512,6 +563,20 @@ mod tests {
         // Mean of a uniform sample of 0..10000 should be near 5000.
         let mean = r.sample().iter().sum::<u64>() as f64 / 100.0;
         assert!((mean - 5000.0).abs() < 1200.0, "mean={mean}");
+    }
+
+    #[test]
+    fn state_size_scales_with_units() {
+        let s = StateSize::new(8, 32);
+        assert_eq!(s.bytes(), 0);
+        assert_eq!(s.with_units(10).bytes(), 400);
+        let mut m = StateSize::new(16, 0);
+        m.set_units(3);
+        assert_eq!(m.units(), 3);
+        assert_eq!(m.bytes(), 48);
+        // Overflow saturates instead of wrapping.
+        let big = StateSize::new(usize::MAX, 0).with_units(2);
+        assert_eq!(big.bytes(), usize::MAX);
     }
 
     #[test]

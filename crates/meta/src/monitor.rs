@@ -400,6 +400,7 @@ mod tests {
                 batch_count: 0,
                 queue_len: 0,
                 memory: 0,
+                state_bytes: 0,
                 subscribers: 0,
                 latency: None,
             }

@@ -19,6 +19,7 @@ pub struct NodeStats {
     batch_count: AtomicU64,
     queue_len: AtomicUsize,
     memory: AtomicUsize,
+    state_bytes: AtomicUsize,
     subscribers: AtomicUsize,
     custom: Mutex<MetricSet>,
     latency: Mutex<Option<LatencyQuantiles>>,
@@ -91,6 +92,14 @@ impl NodeStats {
         self.memory.store(elems, Ordering::Relaxed);
     }
 
+    /// Publishes the node's estimated state footprint in bytes (count ×
+    /// per-unit estimate; see `pipes_meta::estimators::StateSize`).
+    #[inline]
+    pub fn set_state_bytes(&self, bytes: usize) {
+        // ordering: Relaxed — see record_in().
+        self.state_bytes.store(bytes, Ordering::Relaxed);
+    }
+
     /// Publishes the current number of subscribed sinks.
     #[inline]
     pub fn set_subscribers(&self, n: usize) {
@@ -154,6 +163,7 @@ impl NodeStats {
             batch_count: self.batch_count.load(Ordering::Relaxed),
             queue_len: self.queue_len.load(Ordering::Relaxed),
             memory: self.memory.load(Ordering::Relaxed),
+            state_bytes: self.state_bytes.load(Ordering::Relaxed),
             subscribers: self.subscribers.load(Ordering::Relaxed),
             latency: self.latency(),
         }
@@ -190,6 +200,9 @@ pub struct StatsSnapshot {
     pub queue_len: usize,
     /// Current state memory in retained elements.
     pub memory: usize,
+    /// Estimated state footprint in bytes (0 when the operator does not
+    /// report one).
+    pub state_bytes: usize,
     /// Current number of subscribed sinks.
     pub subscribers: usize,
     /// Latency quantiles, when the trace latency pipeline is attached.
@@ -234,6 +247,7 @@ mod tests {
         s.record_batches(3);
         s.set_queue_len(3);
         s.set_memory(42);
+        s.set_state_bytes(42 * 40);
         s.set_subscribers(2);
         let snap = s.snapshot();
         assert_eq!(snap.name, "filter");
@@ -243,6 +257,7 @@ mod tests {
         assert_eq!(snap.batch_count, 3);
         assert_eq!(snap.queue_len, 3);
         assert_eq!(snap.memory, 42);
+        assert_eq!(snap.state_bytes, 1680);
         assert_eq!(snap.subscribers, 2);
         assert_eq!(snap.latency, None);
         assert!((snap.selectivity().unwrap() - 0.4).abs() < 1e-12);

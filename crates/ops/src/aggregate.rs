@@ -4,17 +4,36 @@
 //! operator maintains a list of **partial aggregates**, each covering a
 //! maximal sub-interval during which the set of valid input elements is
 //! constant. An arriving element `[s, e)` splits the overlapping partials at
-//! `s` and `e`, folds its payload into every partial inside `[s, e)`, and
-//! opens fresh partials over uncovered gaps. A heartbeat at `t` finalizes
-//! every partial ending at or before `t` — no future element can start
-//! before `t`, so those partials can never change again.
+//! `s` and `e`, contributes its payload to every partial inside `[s, e)`,
+//! and opens fresh partials over uncovered gaps. A heartbeat at `t`
+//! finalizes every partial ending at or before `t` — no future element can
+//! start before `t`, so those partials can never change again.
+//!
+//! Two interchangeable state layouts implement that contract (see
+//! [`AggStrategy`]):
+//!
+//! * the **naive** boundary table folds the payload into every covered
+//!   partial eagerly — O(w) accumulator touches per insert at window
+//!   width w;
+//! * the **tree** ([`crate::aggtree`]) keeps the identical boundary
+//!   structure as a pure interval index and defers all combining to the
+//!   heartbeat sweep through a two-stacks/treap partial-aggregation
+//!   structure — O(1) amortized (O(log w) worst-case) accumulator touches,
+//!   provided the aggregate exposes an associative, commutative
+//!   [`AggregateFn::combine`].
+//!
+//! Both emit byte-identical output for exact (integer-like) aggregates;
+//! the default [`AggStrategy::Auto`] starts naive and converts once an
+//! insert is observed covering [`TREE_CONVERT_WIDTH`] partials, so narrow
+//! windows never pay the tree's bookkeeping.
 //!
 //! The output is a stream of aggregate values whose snapshots equal the
 //! relational aggregate of the input snapshot at every instant (empty
 //! snapshots produce no row).
 
+use crate::aggtree::TreePartials;
 use pipes_graph::{Collector, Operator};
-use pipes_meta::estimators::Welford;
+use pipes_meta::estimators::{StateSize, Welford};
 use pipes_time::{Element, Message, TimeInterval, Timestamp};
 use std::collections::BTreeMap;
 use std::marker::PhantomData;
@@ -24,6 +43,18 @@ use std::marker::PhantomData;
 ///
 /// Accumulators must be cloneable because interval splits duplicate the
 /// partial state covering each half.
+///
+/// Aggregates whose accumulators can be **merged** should additionally
+/// override [`combinable`](AggregateFn::combinable) and
+/// [`combine`](AggregateFn::combine): that unlocks the sub-linear
+/// partial-aggregate tree ([`AggStrategy`]), which folds whole accumulators
+/// instead of re-adding individual payloads. `combine` must be associative
+/// and commutative with respect to `add` — for accumulators built from any
+/// payload partition, merging them in any order must equal accumulating all
+/// payloads into one accumulator. All combinable built-ins (count, sum,
+/// avg, min, max) satisfy this; [`StatsAgg`] deliberately does not claim it
+/// because merging Welford states rounds differently than sequential
+/// observation.
 pub trait AggregateFn<T>: Send + 'static {
     /// Accumulator state.
     type Acc: Clone + Send + 'static;
@@ -36,24 +67,122 @@ pub trait AggregateFn<T>: Send + 'static {
     fn add(&self, acc: &mut Self::Acc, v: &T);
     /// Produces the output value.
     fn finalize(&self, acc: &Self::Acc) -> Self::Out;
+
+    /// Whether [`combine`](AggregateFn::combine) is implemented. Defaults
+    /// to `false`: such aggregates always use the naive partial table.
+    fn combinable(&self) -> bool {
+        false
+    }
+
+    /// Merges two independently built accumulators. Must be associative
+    /// and commutative (see the trait docs). The default panics; only
+    /// called when [`combinable`](AggregateFn::combinable) returns `true`.
+    fn combine(&self, a: &Self::Acc, b: &Self::Acc) -> Self::Acc {
+        let _ = (a, b);
+        unimplemented!("this AggregateFn does not implement combine()")
+    }
 }
 
+/// Wraps any [`AggregateFn`] with a user-supplied merge function, making it
+/// eligible for the sub-linear partial-aggregate tree.
+///
+/// ```
+/// use pipes_ops::aggregate::{FoldAgg, WithCombine};
+///
+/// // An integer sum as a custom fold, made combinable:
+/// let agg = WithCombine::new(
+///     FoldAgg::new(|v: &i64| *v, |acc: &mut i64, v: &i64| *acc += *v, |acc: &i64| *acc),
+///     |a: &i64, b: &i64| a + b,
+/// );
+/// ```
+pub struct WithCombine<G, C> {
+    inner: G,
+    combine: C,
+}
+
+impl<G, C> WithCombine<G, C> {
+    /// Attaches `combine` to `inner`. `combine` must be associative and
+    /// commutative with respect to the inner aggregate's `add`.
+    pub fn new(inner: G, combine: C) -> Self {
+        WithCombine { inner, combine }
+    }
+}
+
+impl<T, G, C> AggregateFn<T> for WithCombine<G, C>
+where
+    G: AggregateFn<T>,
+    C: Fn(&G::Acc, &G::Acc) -> G::Acc + Send + 'static,
+{
+    type Acc = G::Acc;
+    type Out = G::Out;
+    fn init(&self, v: &T) -> Self::Acc {
+        self.inner.init(v)
+    }
+    fn add(&self, acc: &mut Self::Acc, v: &T) {
+        self.inner.add(acc, v);
+    }
+    fn finalize(&self, acc: &Self::Acc) -> Self::Out {
+        self.inner.finalize(acc)
+    }
+    fn combinable(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: &Self::Acc, b: &Self::Acc) -> Self::Acc {
+        (self.combine)(a, b)
+    }
+}
+
+/// Partial-aggregate state layout used by [`ScalarAggregate`] and
+/// [`crate::groupby::GroupedAggregate`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum AggStrategy {
+    /// Start with the naive boundary table and convert to the tree the
+    /// first time an insert covers [`TREE_CONVERT_WIDTH`] partials.
+    /// Requires a combinable aggregate to ever convert; otherwise this is
+    /// [`AggStrategy::Naive`]. The default.
+    #[default]
+    Auto,
+    /// Always the naive boundary table: O(covered partials) per insert.
+    Naive,
+    /// Always the partial-aggregate tree. Panics at construction if the
+    /// aggregate is not combinable.
+    Tree,
+}
+
+/// Covered-partials threshold at which [`AggStrategy::Auto`] converts the
+/// naive table to the tree. Below this width the naive scan's contiguous
+/// `BTreeMap` walk is at least as fast as the tree's deferred machinery.
+pub const TREE_CONVERT_WIDTH: usize = 48;
+
+/// Estimated per-partial index overhead (map node, key, bookkeeping) used
+/// for state-size reporting, on top of the accumulator payload itself.
+const PARTIAL_OVERHEAD_BYTES: usize = 32;
+
 /// The partial-aggregate table: disjoint intervals, each with accumulated
-/// state, ordered by start. Shared by scalar and grouped aggregation.
+/// state, ordered by start. Shared by scalar and grouped aggregation;
+/// dispatches between the naive boundary table and the sub-linear tree.
 pub(crate) struct Partials<A> {
+    state: PartialsState<A>,
+    auto_convert: bool,
+}
+
+enum PartialsState<A> {
+    Naive(NaivePartials<A>),
+    Tree(TreePartials<A>),
+}
+
+/// The eager boundary table: every insert folds the payload into each
+/// covered partial.
+struct NaivePartials<A> {
     /// start → (end, accumulator)
     map: BTreeMap<Timestamp, (Timestamp, A)>,
 }
 
-impl<A: Clone> Partials<A> {
-    pub(crate) fn new() -> Self {
-        Partials {
+impl<A: Clone> NaivePartials<A> {
+    fn new() -> Self {
+        NaivePartials {
             map: BTreeMap::new(),
         }
-    }
-
-    pub(crate) fn len(&self) -> usize {
-        self.map.len()
     }
 
     /// Splits the partial containing `t` (if any) so that `t` becomes a
@@ -68,19 +197,16 @@ impl<A: Clone> Partials<A> {
         }
     }
 
-    /// Folds `v` over `[s, e)`: existing partials inside get `add`, gaps get
-    /// `init`.
-    pub(crate) fn insert<T>(
-        &mut self,
-        iv: TimeInterval,
-        v: &T,
-        agg: &impl AggregateFn<T, Acc = A>,
-    ) {
+    /// Folds `v` over `[s, e)`: existing partials inside get `add`, gaps
+    /// get `init`. Returns how many existing partials the insert covered
+    /// (the naive cost driver, and the Auto conversion trigger).
+    fn insert<T>(&mut self, iv: TimeInterval, v: &T, agg: &impl AggregateFn<T, Acc = A>) -> usize {
         let (s, e) = (iv.start(), iv.end());
         self.split_at(s);
         self.split_at(e);
         // All partials now either lie fully inside [s, e) or fully outside.
         let inside: Vec<Timestamp> = self.map.range(s..e).map(|(&start, _)| start).collect();
+        let covered = inside.len();
         let mut cursor = s;
         let mut gaps: Vec<(Timestamp, Timestamp)> = Vec::new();
         for start in inside {
@@ -97,24 +223,26 @@ impl<A: Clone> Partials<A> {
         for (gs, ge) in gaps {
             self.map.insert(gs, (ge, agg.init(v)));
         }
+        covered
     }
 
     /// Folds a whole group of same-interval elements over `[s, e)` with a
     /// *single* boundary-split pair. Every message in `group` must be an
     /// element whose interval equals `iv` (non-elements are skipped
-    /// defensively).
+    /// defensively). Returns the covered-partials count, as
+    /// [`insert`](NaivePartials::insert) does.
     ///
-    /// Equivalent to calling [`insert`](Partials::insert) once per payload:
-    /// the first per-element insert fully tiles `[s, e)`, so later splits
-    /// and gap scans are no-ops — this method just skips them. Existing
-    /// partials get every payload via `add`; gaps get one accumulator
-    /// built from the group (`init` first, `add` rest), cloned per gap.
-    pub(crate) fn insert_group<T>(
+    /// Equivalent to calling `insert` once per payload: the first
+    /// per-element insert fully tiles `[s, e)`, so later splits and gap
+    /// scans are no-ops — this method just skips them. Existing partials
+    /// get every payload via `add`; gaps get one accumulator built from
+    /// the group (`init` first, `add` rest), cloned per gap.
+    fn insert_group<T>(
         &mut self,
         iv: TimeInterval,
         group: &[Message<T>],
         agg: &impl AggregateFn<T, Acc = A>,
-    ) {
+    ) -> usize {
         debug_assert!(
             group
                 .iter()
@@ -125,6 +253,7 @@ impl<A: Clone> Partials<A> {
         self.split_at(s);
         self.split_at(e);
         let inside: Vec<Timestamp> = self.map.range(s..e).map(|(&start, _)| start).collect();
+        let covered = inside.len();
         let mut cursor = s;
         let mut gaps: Vec<(Timestamp, Timestamp)> = Vec::new();
         for start in inside {
@@ -147,7 +276,9 @@ impl<A: Clone> Partials<A> {
                 Message::Element(el) => Some(&el.payload),
                 _ => None,
             });
-            let Some(first) = payloads.next() else { return };
+            let Some(first) = payloads.next() else {
+                return covered;
+            };
             let mut acc = agg.init(first);
             for v in payloads {
                 agg.add(&mut acc, v);
@@ -158,12 +289,13 @@ impl<A: Clone> Partials<A> {
             }
             self.map.insert(last.0, (last.1, acc));
         }
+        covered
     }
 
     /// Finalizes and removes every partial ending at or before `wm`,
     /// splitting a partial that straddles the watermark. Calls `emit` in
     /// start order.
-    pub(crate) fn flush(&mut self, wm: Timestamp, mut emit: impl FnMut(TimeInterval, &A)) {
+    fn flush(&mut self, wm: Timestamp, mut emit: impl FnMut(TimeInterval, &A)) {
         self.split_at(wm);
         let ready: Vec<Timestamp> = self
             .map
@@ -178,7 +310,7 @@ impl<A: Clone> Partials<A> {
     }
 
     /// Finalizes everything (end of stream).
-    pub(crate) fn flush_all(&mut self, mut emit: impl FnMut(TimeInterval, &A)) {
+    fn flush_all(&mut self, mut emit: impl FnMut(TimeInterval, &A)) {
         let map = std::mem::take(&mut self.map);
         for (start, (end, acc)) in map {
             emit(TimeInterval::new(start, end), &acc);
@@ -187,12 +319,177 @@ impl<A: Clone> Partials<A> {
 
     /// Drops the oldest partials until at most `target` remain (load
     /// shedding: the dropped time ranges simply produce no output).
-    pub(crate) fn shed_oldest(&mut self, target: usize) -> usize {
+    fn shed_oldest(&mut self, target: usize) -> usize {
         while self.map.len() > target {
-            let &start = self.map.keys().next().expect("non-empty");
-            self.map.remove(&start);
+            self.map.pop_first();
         }
         self.map.len()
+    }
+}
+
+impl<A: Clone> Partials<A> {
+    /// A plain naive table (no Auto conversion); the conservative default
+    /// for callers that never probed the aggregate for combinability.
+    pub(crate) fn new() -> Self {
+        Partials {
+            state: PartialsState::Naive(NaivePartials::new()),
+            auto_convert: false,
+        }
+    }
+
+    /// Builds the table for `strategy`; `combinable` is what the
+    /// aggregate's [`AggregateFn::combinable`] reported.
+    pub(crate) fn with_strategy(strategy: AggStrategy, combinable: bool) -> Self {
+        match strategy {
+            AggStrategy::Naive => Partials::new(),
+            AggStrategy::Auto => Partials {
+                state: PartialsState::Naive(NaivePartials::new()),
+                auto_convert: combinable,
+            },
+            AggStrategy::Tree => {
+                assert!(
+                    combinable,
+                    "AggStrategy::Tree requires an aggregate with combine() \
+                     (combinable() == true)"
+                );
+                Partials {
+                    state: PartialsState::Tree(TreePartials::new()),
+                    auto_convert: false,
+                }
+            }
+        }
+    }
+
+    /// Live partial count (identical across layouts).
+    pub(crate) fn len(&self) -> usize {
+        match &self.state {
+            PartialsState::Naive(n) => n.map.len(),
+            PartialsState::Tree(t) => t.len(),
+        }
+    }
+
+    /// Whether the sub-linear tree layout is active.
+    pub(crate) fn is_tree(&self) -> bool {
+        matches!(self.state, PartialsState::Tree(_))
+    }
+
+    /// Index/accumulator entries held, for state-size estimation: the
+    /// naive table has one per partial; the tree additionally counts its
+    /// coverage index and pending/active range accumulators.
+    pub(crate) fn size_units(&self) -> usize {
+        match &self.state {
+            PartialsState::Naive(n) => n.map.len(),
+            PartialsState::Tree(t) => t.size_units(),
+        }
+    }
+
+    /// Estimated byte footprint of this table for accumulators of
+    /// `acc_bytes` each.
+    pub(crate) fn state_bytes(&self, acc_bytes: usize) -> usize {
+        StateSize::new(acc_bytes, PARTIAL_OVERHEAD_BYTES)
+            .with_units(self.size_units())
+            .bytes()
+    }
+
+    fn maybe_convert(&mut self, covered: usize) {
+        if !self.auto_convert || covered < TREE_CONVERT_WIDTH {
+            return;
+        }
+        if let PartialsState::Naive(n) = &mut self.state {
+            let map = std::mem::take(&mut n.map);
+            let mut t = TreePartials::new();
+            for (start, (end, acc)) in map {
+                t.adopt_slot(start, end, acc);
+            }
+            self.state = PartialsState::Tree(t);
+        }
+    }
+
+    /// Folds `v` over `[s, e)`: existing partials inside get `add`, gaps
+    /// get `init`.
+    pub(crate) fn insert<T>(
+        &mut self,
+        iv: TimeInterval,
+        v: &T,
+        agg: &impl AggregateFn<T, Acc = A>,
+    ) {
+        match &mut self.state {
+            PartialsState::Naive(n) => {
+                let covered = n.insert(iv, v, agg);
+                self.maybe_convert(covered);
+            }
+            PartialsState::Tree(t) => t.insert_range(iv, agg.init(v)),
+        }
+    }
+
+    /// Folds a whole group of same-interval elements over `[s, e)` as one
+    /// update (the run-native bulk entry point): one boundary-split pair
+    /// per burst on the naive table, one range insert on the tree.
+    pub(crate) fn insert_group<T>(
+        &mut self,
+        iv: TimeInterval,
+        group: &[Message<T>],
+        agg: &impl AggregateFn<T, Acc = A>,
+    ) {
+        match &mut self.state {
+            PartialsState::Naive(n) => {
+                let covered = n.insert_group(iv, group, agg);
+                self.maybe_convert(covered);
+            }
+            PartialsState::Tree(t) => {
+                let mut acc: Option<A> = None;
+                for m in group {
+                    if let Message::Element(el) = m {
+                        match &mut acc {
+                            None => acc = Some(agg.init(&el.payload)),
+                            Some(a) => agg.add(a, &el.payload),
+                        }
+                    }
+                }
+                match acc {
+                    Some(acc) => t.insert_range(iv, acc),
+                    // No payloads: still mirror the boundary splits the
+                    // naive table would perform.
+                    None => t.split_only(iv),
+                }
+            }
+        }
+    }
+
+    /// Finalizes and removes every partial ending at or before `wm`,
+    /// splitting a partial that straddles the watermark. Calls `emit` in
+    /// start order. `agg` supplies `combine` for the tree layout.
+    pub(crate) fn flush<T>(
+        &mut self,
+        wm: Timestamp,
+        agg: &impl AggregateFn<T, Acc = A>,
+        emit: impl FnMut(TimeInterval, &A),
+    ) {
+        match &mut self.state {
+            PartialsState::Naive(n) => n.flush(wm, emit),
+            PartialsState::Tree(t) => t.flush(wm, &|a: &A, b: &A| agg.combine(a, b), emit),
+        }
+    }
+
+    /// Finalizes everything (end of stream).
+    pub(crate) fn flush_all<T>(
+        &mut self,
+        agg: &impl AggregateFn<T, Acc = A>,
+        emit: impl FnMut(TimeInterval, &A),
+    ) {
+        match &mut self.state {
+            PartialsState::Naive(n) => n.flush_all(emit),
+            PartialsState::Tree(t) => t.flush_all(&|a: &A, b: &A| agg.combine(a, b), emit),
+        }
+    }
+
+    /// Drops the oldest partials until at most `target` remain (load
+    /// shedding: the dropped time ranges simply produce no output).
+    pub(crate) fn shed_oldest(&mut self, target: usize) -> usize {
+        match &mut self.state {
+            PartialsState::Naive(n) => n.shed_oldest(target),
+            PartialsState::Tree(t) => t.shed_oldest(target),
+        }
     }
 }
 
@@ -204,11 +501,18 @@ pub struct ScalarAggregate<T, A: AggregateFn<T>> {
 }
 
 impl<T, A: AggregateFn<T>> ScalarAggregate<T, A> {
-    /// Creates the operator with the given aggregate function.
+    /// Creates the operator with the given aggregate function and the
+    /// default [`AggStrategy::Auto`] state layout.
     pub fn new(agg: A) -> Self {
+        Self::with_strategy(agg, AggStrategy::Auto)
+    }
+
+    /// Creates the operator with an explicit partial-state layout.
+    pub fn with_strategy(agg: A, strategy: AggStrategy) -> Self {
+        let partials = Partials::with_strategy(strategy, agg.combinable());
         ScalarAggregate {
             agg,
-            partials: Partials::new(),
+            partials,
             _marker: PhantomData,
         }
     }
@@ -228,7 +532,7 @@ where
 
     fn on_heartbeat(&mut self, _port: usize, t: Timestamp, out: &mut dyn Collector<A::Out>) {
         let agg = &self.agg;
-        self.partials.flush(t, |iv, acc| {
+        self.partials.flush(t, agg, |iv, acc| {
             out.element(Element::new(agg.finalize(acc), iv))
         });
         out.heartbeat(t);
@@ -237,8 +541,12 @@ where
     /// Applies adjacent same-interval elements as one
     /// [`Partials::insert_group`] — bursty streams (many readings stamped
     /// with the same interval) pay one boundary-split pair per burst
-    /// instead of one per element.
+    /// instead of one per element. Emits the aggregate hot-path trace
+    /// instants (`agg.insert_run` per run, `agg.finalize` per in-run
+    /// heartbeat); the per-message callbacks stay uninstrumented.
     fn on_run(&mut self, port: usize, run: &mut Vec<Message<T>>, out: &mut dyn Collector<A::Out>) {
+        let run_len = run.len();
+        let mut bursts = 0u64;
         let mut i = 0;
         while i < run.len() {
             match &run[i] {
@@ -252,27 +560,45 @@ where
                         }
                     }
                     self.partials.insert_group(iv, &run[i..j], &self.agg);
+                    bursts += 1;
                     i = j;
                 }
                 Message::Heartbeat(t) => {
                     let t = *t;
                     self.on_heartbeat(port, t, out);
+                    pipes_trace::instant_coarse(
+                        pipes_trace::names::AGG_FINALIZE,
+                        [
+                            t.ticks(),
+                            self.partials.len() as u64,
+                            self.partials.is_tree() as u64,
+                        ],
+                    );
                     i += 1;
                 }
                 Message::Close => i += 1,
             }
         }
+        pipes_trace::instant_coarse(
+            pipes_trace::names::AGG_INSERT_RUN,
+            [run_len as u64, bursts, self.partials.len() as u64],
+        );
         run.clear();
     }
 
     fn on_close(&mut self, out: &mut dyn Collector<A::Out>) {
         let agg = &self.agg;
-        self.partials
-            .flush_all(|iv, acc| out.element(Element::new(agg.finalize(acc), iv)));
+        self.partials.flush_all(agg, |iv, acc| {
+            out.element(Element::new(agg.finalize(acc), iv))
+        });
     }
 
     fn memory(&self) -> usize {
         self.partials.len()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.partials.state_bytes(std::mem::size_of::<A::Acc>())
     }
 
     fn shed(&mut self, target: usize) -> usize {
@@ -299,6 +625,12 @@ impl<T> AggregateFn<T> for CountAgg {
     fn finalize(&self, acc: &u64) -> u64 {
         *acc
     }
+    fn combinable(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: &u64, b: &u64) -> u64 {
+        a + b
+    }
 }
 
 /// Sums a numeric projection of the payload.
@@ -318,6 +650,12 @@ where
     }
     fn finalize(&self, acc: &f64) -> f64 {
         *acc
+    }
+    fn combinable(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: &f64, b: &f64) -> f64 {
+        a + b
     }
 }
 
@@ -339,6 +677,12 @@ where
     }
     fn finalize(&self, acc: &(f64, u64)) -> f64 {
         acc.0 / acc.1 as f64
+    }
+    fn combinable(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: &(f64, u64), b: &(f64, u64)) -> (f64, u64) {
+        (a.0 + b.0, a.1 + b.1)
     }
 }
 
@@ -364,6 +708,16 @@ where
     fn finalize(&self, acc: &V) -> V {
         acc.clone()
     }
+    fn combinable(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: &V, b: &V) -> V {
+        if *b < *a {
+            b.clone()
+        } else {
+            a.clone()
+        }
+    }
 }
 
 /// Maximum of an orderable projection.
@@ -388,11 +742,25 @@ where
     fn finalize(&self, acc: &V) -> V {
         acc.clone()
     }
+    fn combinable(&self) -> bool {
+        true
+    }
+    fn combine(&self, a: &V, b: &V) -> V {
+        if *b > *a {
+            b.clone()
+        } else {
+            a.clone()
+        }
+    }
 }
 
 /// Mean and variance via the shared online-aggregation package of
 /// `pipes-meta` — the same [`Welford`] estimator also backs demand-driven
 /// cursor aggregation, demonstrating the paper's code-reuse claim.
+///
+/// Deliberately **not** combinable: merging two Welford states rounds
+/// differently than observing the same values sequentially, which would
+/// break the exact naive/tree output equivalence this module guarantees.
 pub struct StatsAgg<F>(pub F);
 
 impl<T, F> AggregateFn<T> for StatsAgg<F>
@@ -414,7 +782,8 @@ where
     }
 }
 
-/// A fully custom aggregate built from closures.
+/// A fully custom aggregate built from closures. Not combinable by itself;
+/// wrap it in [`WithCombine`] to provide a merge function.
 pub struct FoldAgg<I, A, F> {
     init: I,
     add: A,
@@ -485,6 +854,58 @@ mod tests {
     }
 
     #[test]
+    fn count_tree_strategy_matches_naive_exactly() {
+        let input: Vec<Element<i64>> = (0..200u64).map(|i| el(i as i64, i, i + 60)).collect();
+        let naive = run_unary_messages(
+            ScalarAggregate::with_strategy(CountAgg, AggStrategy::Naive),
+            input.clone(),
+        );
+        let tree = run_unary_messages(
+            ScalarAggregate::with_strategy(CountAgg, AggStrategy::Tree),
+            input.clone(),
+        );
+        let auto = run_unary_messages(ScalarAggregate::new(CountAgg), input);
+        assert_eq!(naive, tree);
+        assert_eq!(naive, auto);
+    }
+
+    #[test]
+    fn auto_converts_on_wide_windows_only() {
+        let mut narrow = ScalarAggregate::new(CountAgg);
+        let mut sink: Vec<Message<u64>> = Vec::new();
+        for i in 0..200u64 {
+            narrow.on_element(0, el(1, i, i + 8), &mut sink);
+        }
+        assert!(
+            !narrow.partials.is_tree(),
+            "narrow windows must stay on the naive table"
+        );
+
+        let mut wide = ScalarAggregate::new(CountAgg);
+        for i in 0..200u64 {
+            wide.on_element(0, el(1, i, i + 200), &mut sink);
+        }
+        assert!(
+            wide.partials.is_tree(),
+            "wide windows must convert to the tree"
+        );
+
+        // Non-combinable aggregates never convert, no matter the width.
+        let mut stats = ScalarAggregate::new(StatsAgg(|v: &i64| *v as f64));
+        let mut sink2: Vec<Message<(f64, f64)>> = Vec::new();
+        for i in 0..200u64 {
+            stats.on_element(0, el(1, i, i + 200), &mut sink2);
+        }
+        assert!(!stats.partials.is_tree());
+    }
+
+    #[test]
+    #[should_panic(expected = "combinable")]
+    fn tree_strategy_rejects_non_combinable() {
+        let _ = ScalarAggregate::with_strategy(StatsAgg(|v: &i64| *v as f64), AggStrategy::Tree);
+    }
+
+    #[test]
     fn sum_with_gap() {
         // Disjoint intervals produce separate partials with a silent gap.
         let out = run_unary(
@@ -500,6 +921,19 @@ mod tests {
     fn snapshot_equivalence_count() {
         let input = vec![el(1, 0, 10), el(2, 5, 15), el(3, 5, 7), el(4, 12, 20)];
         let out = run_unary(ScalarAggregate::new(CountAgg), input.clone());
+        snapshot::check_unary(&input, &out, |s| {
+            snapshot::rel::aggregate(s, |v| v.len() as u64)
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn snapshot_equivalence_count_tree() {
+        let input = vec![el(1, 0, 10), el(2, 5, 15), el(3, 5, 7), el(4, 12, 20)];
+        let out = run_unary(
+            ScalarAggregate::with_strategy(CountAgg, AggStrategy::Tree),
+            input.clone(),
+        );
         snapshot::check_unary(&input, &out, |s| {
             snapshot::rel::aggregate(s, |v| v.len() as u64)
         })
@@ -569,6 +1003,57 @@ mod tests {
         assert_eq!(op.memory(), 10);
         assert_eq!(op.shed(3), 3);
         assert_eq!(op.memory(), 3);
+    }
+
+    #[test]
+    fn state_bytes_tracks_partials_len() {
+        let mut op = ScalarAggregate::with_strategy(CountAgg, AggStrategy::Naive);
+        let mut sink: Vec<pipes_time::Message<u64>> = Vec::new();
+        assert_eq!(op.state_bytes(), 0);
+        for i in 0..10u64 {
+            op.on_element(0, el(1, i * 10, i * 10 + 5), &mut sink);
+        }
+        // Naive layout: one unit per partial, so the estimate is exactly
+        // len × (accumulator + per-partial overhead).
+        assert_eq!(op.memory(), 10);
+        let expected = StateSize::new(std::mem::size_of::<u64>(), PARTIAL_OVERHEAD_BYTES)
+            .with_units(op.memory())
+            .bytes();
+        assert_eq!(op.state_bytes(), expected);
+
+        // The tree layout reports at least as much (it also counts its
+        // coverage index and pending range accumulators).
+        let mut tree = ScalarAggregate::with_strategy(CountAgg, AggStrategy::Tree);
+        for i in 0..10u64 {
+            tree.on_element(0, el(1, i * 10, i * 10 + 5), &mut sink);
+        }
+        assert_eq!(tree.memory(), 10);
+        assert!(tree.state_bytes() >= expected);
+    }
+
+    #[test]
+    fn with_combine_enables_tree_for_custom_folds() {
+        let agg = || {
+            WithCombine::new(
+                FoldAgg::new(
+                    |v: &i64| *v,
+                    |acc: &mut i64, v: &i64| *acc += *v,
+                    |acc: &i64| *acc,
+                ),
+                |a: &i64, b: &i64| a + b,
+            )
+        };
+        assert!(agg().combinable());
+        let input: Vec<Element<i64>> = (0..100u64).map(|i| el(1, i, i + 30)).collect();
+        let tree = run_unary_messages(
+            ScalarAggregate::with_strategy(agg(), AggStrategy::Tree),
+            input.clone(),
+        );
+        let naive = run_unary_messages(
+            ScalarAggregate::with_strategy(agg(), AggStrategy::Naive),
+            input,
+        );
+        assert_eq!(tree, naive);
     }
 
     #[test]

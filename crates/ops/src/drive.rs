@@ -33,6 +33,9 @@ impl<O: Operator> Operator for ElementWise<O> {
     fn memory(&self) -> usize {
         self.0.memory()
     }
+    fn state_bytes(&self) -> usize {
+        self.0.state_bytes()
+    }
     fn shed(&mut self, target: usize) -> usize {
         self.0.shed(target)
     }
@@ -64,6 +67,9 @@ impl<B: BinaryOperator> BinaryOperator for BinaryElementWise<B> {
     }
     fn memory(&self) -> usize {
         self.0.memory()
+    }
+    fn state_bytes(&self) -> usize {
+        self.0.state_bytes()
     }
     fn shed(&mut self, target: usize) -> usize {
         self.0.shed(target)

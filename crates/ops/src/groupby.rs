@@ -1,7 +1,7 @@
 //! Grouped aggregation: hash partitioning plus per-group temporal
 //! aggregation.
 
-use crate::aggregate::{AggregateFn, Partials};
+use crate::aggregate::{AggStrategy, AggregateFn, Partials};
 use pipes_graph::{Collector, Operator};
 use pipes_time::{Element, Message, Timestamp};
 use std::collections::HashMap;
@@ -13,9 +13,16 @@ use std::marker::PhantomData;
 /// are `(key, aggregate)` pairs whose snapshots match relational grouped
 /// aggregation at every instant (groups with an empty snapshot produce no
 /// row).
+///
+/// A group whose partials are fully finalized by a heartbeat is dropped
+/// from the key map entirely, so long-tail key spaces (keys seen once and
+/// never again) do not grow the state map unboundedly — the group is
+/// re-created from scratch if the key reappears.
 pub struct GroupedAggregate<T, K, KF, A: AggregateFn<T>> {
     key: KF,
     agg: A,
+    strategy: AggStrategy,
+    combinable: bool,
     groups: HashMap<K, Partials<A::Acc>>,
     _marker: PhantomData<fn(T) -> K>,
 }
@@ -26,14 +33,32 @@ where
     KF: Fn(&T) -> K,
     A: AggregateFn<T>,
 {
-    /// Creates the operator with key extractor `key` and aggregate `agg`.
+    /// Creates the operator with key extractor `key` and aggregate `agg`,
+    /// using the default [`AggStrategy::Auto`] per-group state layout.
     pub fn new(key: KF, agg: A) -> Self {
+        Self::with_strategy(key, agg, AggStrategy::Auto)
+    }
+
+    /// Creates the operator with an explicit per-group partial-state
+    /// layout.
+    pub fn with_strategy(key: KF, agg: A, strategy: AggStrategy) -> Self {
+        let combinable = agg.combinable();
+        // Surface an incompatible explicit choice at construction, not at
+        // the first element of some unlucky key.
+        let _probe = Partials::<A::Acc>::with_strategy(strategy, combinable);
         GroupedAggregate {
             key,
             agg,
+            strategy,
+            combinable,
             groups: HashMap::new(),
             _marker: PhantomData,
         }
+    }
+
+    /// Number of keys currently holding live (unfinalized) partial state.
+    pub fn live_groups(&self) -> usize {
+        self.groups.len()
     }
 }
 
@@ -49,10 +74,12 @@ where
 
     fn on_element(&mut self, _port: usize, e: Element<T>, _out: &mut dyn Collector<Self::Out>) {
         let k = (self.key)(&e.payload);
+        let agg = &self.agg;
+        let (strategy, combinable) = (self.strategy, self.combinable);
         self.groups
             .entry(k)
-            .or_insert_with(Partials::new)
-            .insert(e.interval, &e.payload, &self.agg);
+            .or_insert_with(|| Partials::with_strategy(strategy, combinable))
+            .insert(e.interval, &e.payload, agg);
     }
 
     fn on_heartbeat(&mut self, _port: usize, t: Timestamp, out: &mut dyn Collector<Self::Out>) {
@@ -62,23 +89,29 @@ where
         for k in keys {
             let group = self.groups.get_mut(&k).expect("group exists");
             let agg = &self.agg;
-            group.flush(t, |iv, acc| {
+            group.flush(t, agg, |iv, acc| {
                 out.element(Element::new((k.clone(), agg.finalize(acc)), iv));
             });
         }
+        // Fully-finalized keys release their map entry (long-tail GC).
         self.groups.retain(|_, g| g.len() > 0);
         out.heartbeat(t);
     }
 
     /// Applies adjacent elements sharing both key and interval as one
     /// [`Partials::insert_group`]: one hash lookup and one boundary-split
-    /// pair per burst instead of per element.
+    /// pair per burst instead of per element. Emits the aggregate
+    /// hot-path trace instants (`agg.insert_run` per run, `agg.finalize`
+    /// per in-run heartbeat); the per-message callbacks stay
+    /// uninstrumented.
     fn on_run(
         &mut self,
         port: usize,
         run: &mut Vec<Message<T>>,
         out: &mut dyn Collector<Self::Out>,
     ) {
+        let run_len = run.len();
+        let mut bursts = 0u64;
         let mut i = 0;
         while i < run.len() {
             match &run[i] {
@@ -96,20 +129,35 @@ where
                             _ => break,
                         }
                     }
+                    let agg = &self.agg;
+                    let (strategy, combinable) = (self.strategy, self.combinable);
                     self.groups
                         .entry(k)
-                        .or_insert_with(Partials::new)
-                        .insert_group(iv, &run[i..j], &self.agg);
+                        .or_insert_with(|| Partials::with_strategy(strategy, combinable))
+                        .insert_group(iv, &run[i..j], agg);
+                    bursts += 1;
                     i = j;
                 }
                 Message::Heartbeat(t) => {
                     let t = *t;
                     self.on_heartbeat(port, t, out);
+                    pipes_trace::instant_coarse(
+                        pipes_trace::names::AGG_FINALIZE,
+                        [
+                            t.ticks(),
+                            self.memory() as u64,
+                            self.groups.values().any(Partials::is_tree) as u64,
+                        ],
+                    );
                     i += 1;
                 }
                 Message::Close => i += 1,
             }
         }
+        pipes_trace::instant_coarse(
+            pipes_trace::names::AGG_INSERT_RUN,
+            [run_len as u64, bursts, self.memory() as u64],
+        );
         run.clear();
     }
 
@@ -119,7 +167,7 @@ where
         for k in keys {
             let group = self.groups.get_mut(&k).expect("group exists");
             let agg = &self.agg;
-            group.flush_all(|iv, acc| {
+            group.flush_all(agg, |iv, acc| {
                 out.element(Element::new((k.clone(), agg.finalize(acc)), iv));
             });
         }
@@ -128,6 +176,11 @@ where
 
     fn memory(&self) -> usize {
         self.groups.values().map(Partials::len).sum()
+    }
+
+    fn state_bytes(&self) -> usize {
+        let acc = std::mem::size_of::<A::Acc>();
+        self.groups.values().map(|g| g.state_bytes(acc)).sum()
     }
 
     fn shed(&mut self, target: usize) -> usize {
@@ -225,6 +278,45 @@ mod tests {
             input,
         );
         check_watermark_contract(&msgs).unwrap();
+    }
+
+    #[test]
+    fn finalized_keys_are_dropped_on_heartbeat() {
+        let mut op = GroupedAggregate::new(|p: &(i64, i64)| p.0, CountAgg);
+        let mut sink: Vec<pipes_time::Message<(i64, u64)>> = Vec::new();
+        // 8 long-tail keys, each seen once on an early interval, plus one
+        // hot key with live state reaching past the watermark.
+        for k in 0..8 {
+            op.on_element(0, el((k, 0), 0, 10), &mut sink);
+        }
+        op.on_element(0, el((100, 0), 0, 50), &mut sink);
+        assert_eq!(op.live_groups(), 9);
+
+        // Watermark 20 finalizes every [0,10) partial: the 8 one-shot keys
+        // must release their map entries, not linger with empty tables.
+        op.on_heartbeat(0, Timestamp::new(20), &mut sink);
+        assert_eq!(op.live_groups(), 1, "finalized keys must be dropped");
+        assert_eq!(op.memory(), 1);
+
+        // Past the hot key's interval, the map empties completely.
+        op.on_heartbeat(0, Timestamp::new(60), &mut sink);
+        assert_eq!(op.live_groups(), 0);
+    }
+
+    #[test]
+    fn grouped_tree_strategy_matches_naive() {
+        let input: Vec<Element<(i64, i64)>> = (0..120)
+            .map(|i| el((i % 3, i), i as u64, i as u64 + 60))
+            .collect();
+        let naive = run_unary_messages(
+            GroupedAggregate::with_strategy(|p: &(i64, i64)| p.0, CountAgg, AggStrategy::Naive),
+            input.clone(),
+        );
+        let tree = run_unary_messages(
+            GroupedAggregate::with_strategy(|p: &(i64, i64)| p.0, CountAgg, AggStrategy::Tree),
+            input,
+        );
+        assert_eq!(naive, tree);
     }
 
     #[test]

@@ -39,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+mod aggtree;
 pub mod coalesce;
 pub mod difference;
 pub mod distinct;
@@ -52,7 +53,7 @@ pub mod stateless;
 pub mod union;
 pub mod window;
 
-pub use aggregate::{AggregateFn, ScalarAggregate};
+pub use aggregate::{AggStrategy, AggregateFn, ScalarAggregate, WithCombine};
 pub use coalesce::Coalesce;
 pub use difference::Difference;
 pub use distinct::Distinct;

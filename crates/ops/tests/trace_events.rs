@@ -1,0 +1,74 @@
+//! Flight-recorder coverage of the aggregate hot path: the run-level
+//! dispatch of `ScalarAggregate` and `GroupedAggregate` must emit the
+//! `agg.insert_run` instant (with run length, burst count, and the
+//! partials-depth-after) and one `agg.finalize` instant per in-run
+//! heartbeat (with the watermark, the depth after the sweep, and the
+//! tree-layout flag). Lives in its own test binary because it inspects
+//! the process-global trace buffer.
+#![cfg(not(feature = "trace-off"))]
+
+use pipes_graph::Operator;
+use pipes_ops::aggregate::{AggStrategy, CountAgg, ScalarAggregate};
+use pipes_ops::GroupedAggregate;
+use pipes_time::{Element, Message, TimeInterval, Timestamp};
+
+fn el(p: i64, s: u64, e: u64) -> Element<i64> {
+    Element::new(p, TimeInterval::new(Timestamp::new(s), Timestamp::new(e)))
+}
+
+#[test]
+fn aggregate_run_dispatch_emits_hot_path_instants() {
+    pipes_trace::set_enabled(true);
+
+    // Scalar, tree layout: a run of two same-interval bursts and a
+    // heartbeat that finalizes the first slot.
+    let mut scalar = ScalarAggregate::with_strategy(CountAgg, AggStrategy::Tree);
+    let mut out: Vec<Message<u64>> = Vec::new();
+    let mut run = vec![
+        Message::Element(el(1, 0, 10)),
+        Message::Element(el(2, 0, 10)),
+        Message::Element(el(3, 5, 15)),
+        Message::Heartbeat(Timestamp::new(12)),
+    ];
+    scalar.on_run(0, &mut run, &mut out);
+
+    // Grouped, naive layout: two keys, no heartbeat.
+    let mut grouped = GroupedAggregate::new(|v: &i64| v % 2, CountAgg);
+    let mut gout: Vec<Message<(i64, u64)>> = Vec::new();
+    let mut grun = vec![
+        Message::Element(el(0, 0, 10)),
+        Message::Element(el(1, 0, 10)),
+    ];
+    grouped.on_run(0, &mut grun, &mut gout);
+
+    let trace = pipes_trace::snapshot();
+    let inserts: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == pipes_trace::names::AGG_INSERT_RUN)
+        .collect();
+    let finalizes: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.name == pipes_trace::names::AGG_FINALIZE)
+        .collect();
+
+    // Scalar run: 4 messages, 2 element bursts; after the heartbeat at 12
+    // finalized [0,5) and [5,10), one partial ([12,15)) remains.
+    assert!(
+        inserts.iter().any(|e| e.args == [4, 2, 1]),
+        "scalar insert_run instant missing: {inserts:?}"
+    );
+    // Finalize at watermark 12 on the tree layout (is_tree == 1).
+    assert!(
+        finalizes.iter().any(|e| e.args == [12, 1, 1]),
+        "scalar finalize instant missing: {finalizes:?}"
+    );
+
+    // Grouped run: 2 messages, 2 bursts (one per key), 2 live partials,
+    // and no heartbeat → no new finalize instant.
+    assert!(
+        inserts.iter().any(|e| e.args == [2, 2, 2]),
+        "grouped insert_run instant missing: {inserts:?}"
+    );
+}

@@ -72,6 +72,19 @@ pub const REBALANCE_PLAN: &str = "sched.rebalance";
 /// args: `[producer_node, woken_worker, 0]`.
 pub const WAKE: &str = "sched.wake";
 
+/// Instant for one aggregate run dispatch (`ScalarAggregate` /
+/// `GroupedAggregate` `on_run`), after the burst-grouped inserts.
+/// args: `[run_len, bursts, partials_after]` — `partials_after` is the
+/// live partial count (summed over keys for the grouped operator), i.e.
+/// the depth of the aggregation state after the run.
+pub const AGG_INSERT_RUN: &str = "agg.insert_run";
+
+/// Instant for one aggregate finalization sweep triggered by an in-run
+/// heartbeat. args: `[heartbeat_ticks, partials_after, is_tree]` —
+/// `is_tree` is 1 when the sub-linear partial-aggregate tree layout is
+/// active (for the grouped operator: when any live group uses it).
+pub const AGG_FINALIZE: &str = "agg.finalize";
+
 /// Span around one `MemoryManager::rebalance` round.
 /// args: `[round, budget, n_subscribers]`.
 pub const REBALANCE: &str = "mem.rebalance";

@@ -54,6 +54,14 @@ pub fn render(nodes: &[Arc<NodeStats>]) -> String {
     );
     gauge_family(
         &mut out,
+        "pipes_node_state_bytes",
+        "Estimated bytes held in the node's operator state.",
+        snaps
+            .iter()
+            .map(|s| (s.name.as_str(), s.state_bytes as u64)),
+    );
+    gauge_family(
+        &mut out,
         "pipes_node_subscribers",
         "Downstream edges subscribed to the node's output.",
         snaps
@@ -152,8 +160,11 @@ mod tests {
         a.record_in(10);
         a.record_out(8);
         b.set_queue_len(3);
+        b.set_state_bytes(4096);
         let text = render(&[a, b]);
         assert!(text.contains("# TYPE pipes_node_in_total counter"));
+        assert!(text.contains("# TYPE pipes_node_state_bytes gauge"));
+        assert!(text.contains("pipes_node_state_bytes{node=\"sink \\\"q\\\"\"} 4096"));
         assert!(text.contains("pipes_node_in_total{node=\"src\"} 10"));
         assert!(text.contains("pipes_node_out_total{node=\"src\"} 8"));
         assert!(text.contains("pipes_node_queue_len{node=\"sink \\\"q\\\"\"} 3"));

@@ -46,6 +46,14 @@ cargo run -q --release -p pipes-bench --bin experiments -- e16 --quick >/dev/nul
 echo "==> E17 run-at-a-time algebra smoke run (quick)"
 cargo run -q --release -p pipes-bench --bin experiments -- e17 --quick >/dev/null
 
+# Window-aggregation smoke run: E18 sweeps the sliding-window count under
+# both partial-state layouts (naive boundary scan vs partial-aggregate
+# tree) and asserts byte-identical sink output on every rep; quick mode
+# keeps it to seconds. The >= 20x acceptance bar at window 1024 lives in
+# the full run recorded in EXPERIMENTS.md.
+echo "==> E18 window-aggregation smoke run (quick)"
+cargo run -q --release -p pipes-bench --bin experiments -- e18 --quick >/dev/null
+
 # Model-checked concurrency suite: compile the kernel against the
 # instrumented loom-shim primitives and exhaustively explore interleavings
 # of the data-path/scheduler invariants (see DESIGN.md § "Concurrency

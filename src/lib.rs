@@ -81,7 +81,9 @@ pub mod prelude {
     };
     pub use pipes_mem::{AssignmentStrategy, MemoryManager};
     pub use pipes_meta::{MetadataFactory, Monitor, NodeStats, SeriesView};
-    pub use pipes_ops::aggregate::{AvgAgg, CountAgg, MaxAgg, MinAgg, StatsAgg, SumAgg};
+    pub use pipes_ops::aggregate::{
+        AggStrategy, AvgAgg, CountAgg, MaxAgg, MinAgg, StatsAgg, SumAgg, WithCombine,
+    };
     pub use pipes_ops::{
         Coalesce, CountWindow, Difference, Distinct, Filter, FlatMap, Granularity,
         GroupedAggregate, Map, MultiwayJoin, NowWindow, PartitionedCountWindow, Reorder,
