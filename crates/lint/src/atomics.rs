@@ -1,0 +1,304 @@
+//! Atomic passes: **acquire-release pairing** and the import-aware
+//! **ordering-justification** rule.
+//!
+//! Ordering resolution is shared: a site is `Ordering::X` / `O::X` (for
+//! any `use ...::Ordering as O`) / bare `X` when `use
+//! ...::Ordering::{X}` (possibly aliased or globbed) is in scope in the
+//! file. Mentions inside the `use` declaration itself are not sites, and
+//! `std::cmp::Ordering` never resolves — its variants are not memory
+//! orderings.
+//!
+//! **ordering-justification** (rule 2, rebuilt on the resolver): every
+//! line with a `Relaxed`/`SeqCst` site needs an `// ordering:` comment on
+//! the line or in the comment block directly above (one comment covers a
+//! contiguous run of ordering-bearing lines). `Acquire`/`Release` need no
+//! comment: they are the safe middle ground.
+//!
+//! **atomic-pairing**: for every declared atomic field, all load/store/RMW
+//! sites across the analyzed crates are collected into one per-field view
+//! (keyed by field name — same-named fields merge, see the module docs in
+//! [`crate::locks`]). A field with a `Release`-side store but no
+//! `Acquire`-side load anywhere (or vice versa) is a one-armed fence:
+//! the release publishes nothing anyone acquires, which is either dead
+//! synchronization or a missing pairing — both findings. `SeqCst` counts
+//! for both sides; RMWs count for the side(s) their ordering implies.
+//!
+//! What this deliberately cannot prove: orderings passed through
+//! variables or function parameters are invisible, fences
+//! (`atomic::fence`) are not modeled as pairing partners, and per-name
+//! keying cannot separate two unrelated fields that share a name (their
+//! sites merge, which can mask a one-armed field behind a paired
+//! namesake — the model checker remains the authority on protocols it
+//! has tests for).
+
+use crate::lex::{Imports, Kind, Tok, ORDERING_VARIANTS};
+use crate::lines::{waived, Line};
+use crate::locks::receiver_key;
+use crate::parse::Decls;
+use crate::Violation;
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// One resolved memory-ordering mention.
+pub struct OrdSite {
+    /// Token index of the variant identifier.
+    pub tok: usize,
+    /// 1-based source line.
+    pub line: usize,
+    /// Resolved variant (`"Relaxed"`, ..., `"SeqCst"`).
+    pub variant: &'static str,
+}
+
+/// Resolves every memory-ordering mention in one file.
+pub fn ordering_sites(toks: &[Tok], imports: &Imports) -> Vec<OrdSite> {
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || imports.in_use_decl(i) {
+            continue;
+        }
+        let path_form = i >= 3
+            && toks[i - 1].is_p(':')
+            && toks[i - 2].is_p(':')
+            && toks[i - 3].kind == Kind::Ident;
+        if path_form {
+            // `Alias::Variant` — only when Alias names the Ordering type.
+            if ORDERING_VARIANTS.contains(&t.text.as_str())
+                && imports.type_aliases.contains(&toks[i - 3].text)
+            {
+                let variant = ORDERING_VARIANTS.iter().find(|v| **v == t.text).unwrap();
+                out.push(OrdSite {
+                    tok: i,
+                    line: t.line,
+                    variant,
+                });
+            }
+            continue;
+        }
+        // Bare name imported from `Ordering::{...}` (possibly aliased).
+        if let Some(variant) = imports.variant_names.get(&t.text) {
+            let variant = ORDERING_VARIANTS
+                .iter()
+                .find(|v| *v == variant)
+                .expect("variant names map to real variants");
+            out.push(OrdSite {
+                tok: i,
+                line: t.line,
+                variant,
+            });
+        }
+    }
+    out
+}
+
+/// Rule 2: extreme memory orderings carry an adjacent justification.
+///
+/// A line with a `Relaxed`/`SeqCst` site is justified when a comment
+/// containing `ordering:` sits on the same line, or in the comment block
+/// directly above — where "directly above" skips over other lines of the
+/// same contiguous ordering-site run, so one comment may cover a cluster
+/// like a `store` + `fetch_max` pair.
+pub fn check_ordering_justification(
+    path: &Path,
+    lines: &[Line],
+    sites: &[OrdSite],
+    out: &mut Vec<Violation>,
+) {
+    let extreme_lines: HashSet<usize> = sites
+        .iter()
+        .filter(|s| s.variant == "Relaxed" || s.variant == "SeqCst")
+        .map(|s| s.line)
+        .collect();
+    // Lines that carry *any* ordering site (Acquire/Release included)
+    // count as part of a cluster for the upward walk.
+    let site_lines: HashSet<usize> = sites.iter().map(|s| s.line).collect();
+    let mut flagged: Vec<usize> = extreme_lines.iter().copied().collect();
+    flagged.sort_unstable();
+    for line_no in flagged {
+        let idx = line_no - 1;
+        if lines[idx].comment.contains("ordering:") {
+            continue;
+        }
+        // Walk upward: skip lines in the same ordering-site run, then
+        // accept a contiguous comment block if any line says "ordering:".
+        let mut j = idx;
+        let mut justified = false;
+        while j > 0 && site_lines.contains(&j) {
+            j -= 1;
+            if lines[j].comment.contains("ordering:") {
+                justified = true;
+                break;
+            }
+        }
+        while !justified && j > 0 {
+            let above = &lines[j - 1];
+            let is_comment_only = above.code.trim().is_empty() && !above.comment.is_empty();
+            if !is_comment_only {
+                break;
+            }
+            if above.comment.contains("ordering:") {
+                justified = true;
+            }
+            j -= 1;
+        }
+        if !justified && !waived(lines, idx, "ordering-justification") {
+            out.push(Violation {
+                path: path.to_path_buf(),
+                line: line_no,
+                rule: "ordering-justification",
+                msg: "Relaxed/SeqCst without an adjacent `// ordering:` comment \
+                      justifying the choice"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// Which side(s) of a synchronization edge an atomic method touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+/// Methods that read, write, or read-modify-write an atomic.
+fn op_kind(name: &str) -> Option<OpKind> {
+    match name {
+        "load" => Some(OpKind::Load),
+        "store" => Some(OpKind::Store),
+        "swap" | "compare_exchange" | "compare_exchange_weak" | "fetch_update" => Some(OpKind::Rmw),
+        _ if name.starts_with("fetch_") => Some(OpKind::Rmw),
+        _ => None,
+    }
+}
+
+/// One atomic access site for the pairing view.
+pub struct AtomicSite {
+    file: PathBuf,
+    line: usize,
+    kind: OpKind,
+    orderings: Vec<&'static str>,
+    /// Whether an `atomic-pairing` waiver covers the line.
+    waived: bool,
+}
+
+/// Collects every atomic access in one file into the per-field map.
+pub fn collect_atomic_sites(
+    path: &Path,
+    toks: &[Tok],
+    lines: &[Line],
+    sites: &[OrdSite],
+    decls: &Decls,
+    fields: &mut BTreeMap<String, Vec<AtomicSite>>,
+) {
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != Kind::Ident || i == 0 || !toks[i - 1].is_p('.') {
+            continue;
+        }
+        let Some(kind) = op_kind(&t.text) else {
+            continue;
+        };
+        if !toks.get(i + 1).is_some_and(|n| n.is_p('(')) {
+            continue;
+        }
+        let Some(key) = receiver_key(toks, i - 2) else {
+            continue;
+        };
+        if !decls.atomic_fields.contains(&key) {
+            continue;
+        }
+        let close = matching_paren(toks, i + 1);
+        let orderings: Vec<&'static str> = sites
+            .iter()
+            .filter(|s| s.tok > i + 1 && s.tok < close)
+            .map(|s| s.variant)
+            .collect();
+        fields.entry(key).or_default().push(AtomicSite {
+            file: path.to_path_buf(),
+            line: t.line,
+            kind,
+            orderings,
+            waived: waived(lines, t.line - 1, "atomic-pairing"),
+        });
+    }
+}
+
+fn matching_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_p('(') {
+            depth += 1;
+        } else if t.is_p(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len()
+}
+
+fn is_release(o: &str) -> bool {
+    matches!(o, "Release" | "AcqRel" | "SeqCst")
+}
+
+fn is_acquire(o: &str) -> bool {
+    matches!(o, "Acquire" | "AcqRel" | "SeqCst")
+}
+
+/// Reports one-armed fences from the per-field view.
+pub fn pairing_violations(fields: &BTreeMap<String, Vec<AtomicSite>>) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (key, sites) in fields {
+        let mut sorted: Vec<&AtomicSite> = sites.iter().collect();
+        sorted.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+        let release_stores: Vec<&&AtomicSite> = sorted
+            .iter()
+            .filter(|s| {
+                matches!(s.kind, OpKind::Store | OpKind::Rmw)
+                    && s.orderings.iter().any(|o| is_release(o))
+            })
+            .collect();
+        let acquire_loads: Vec<&&AtomicSite> = sorted
+            .iter()
+            .filter(|s| {
+                matches!(s.kind, OpKind::Load | OpKind::Rmw)
+                    && s.orderings.iter().any(|o| is_acquire(o))
+            })
+            .collect();
+        if let (Some(first), true) = (release_stores.first(), acquire_loads.is_empty()) {
+            if !first.waived {
+                out.push(Violation {
+                    path: first.file.clone(),
+                    line: first.line,
+                    rule: "atomic-pairing",
+                    msg: format!(
+                        "atomic field `{key}`: Release-side store here but no \
+                         Acquire/AcqRel/SeqCst load of `{key}` anywhere in the analyzed \
+                         crates ({} sites total) — the release publishes nothing; pair \
+                         it or relax it",
+                        sorted.len()
+                    ),
+                });
+            }
+        }
+        if let (Some(first), true) = (acquire_loads.first(), release_stores.is_empty()) {
+            if !first.waived {
+                out.push(Violation {
+                    path: first.file.clone(),
+                    line: first.line,
+                    rule: "atomic-pairing",
+                    msg: format!(
+                        "atomic field `{key}`: Acquire-side load here but no \
+                         Release/AcqRel/SeqCst store of `{key}` anywhere in the analyzed \
+                         crates ({} sites total) — there is nothing to acquire; pair it \
+                         or relax it",
+                        sorted.len()
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}

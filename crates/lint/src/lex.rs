@@ -1,0 +1,320 @@
+//! Token stream over masked lines, plus `use`-declaration resolution.
+//!
+//! The lexer is deliberately small: identifiers/number runs and
+//! single-char punctuation, each tagged with its 1-based source line.
+//! Because it runs on [`crate::lines::split_lines`] output, strings and
+//! comments are already gone and no token ever spans a line break.
+//!
+//! [`Imports`] resolves `use` declarations far enough to answer one
+//! question precisely: *which local names denote `Ordering` variants?*
+//! That closes the rule-2 bypass where
+//! `use std::sync::atomic::Ordering::{Relaxed, SeqCst}` (or
+//! `Ordering as O`) made the extreme orderings invisible to a textual
+//! `Ordering::Relaxed` match.
+
+use crate::lines::Line;
+use std::collections::{HashMap, HashSet};
+
+/// Token kind: enough structure for brace-tree and call-site matching.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword (`fn`, `let`, `queue`, ...).
+    Ident,
+    /// Numeric literal run (`42`, `0x1f`).
+    Num,
+    /// Single punctuation character.
+    Punct,
+}
+
+/// One token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Token text (one char for punctuation).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// Token kind.
+    pub kind: Kind,
+}
+
+impl Tok {
+    /// Whether this token is the identifier `s`.
+    pub fn is(&self, s: &str) -> bool {
+        self.kind == Kind::Ident && self.text == s
+    }
+
+    /// Whether this token is the punctuation char `c`.
+    pub fn is_p(&self, c: char) -> bool {
+        self.kind == Kind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// Tokenizes masked lines into a flat stream.
+pub fn lex(lines: &[Line]) -> Vec<Tok> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+                continue;
+            }
+            if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: idx + 1,
+                    kind: Kind::Ident,
+                });
+                continue;
+            }
+            if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                out.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    line: idx + 1,
+                    kind: Kind::Num,
+                });
+                continue;
+            }
+            out.push(Tok {
+                text: c.to_string(),
+                line: idx + 1,
+                kind: Kind::Punct,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+/// The five atomic memory-ordering variants.
+pub const ORDERING_VARIANTS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// What one file's `use` declarations say about `Ordering` names.
+#[derive(Default)]
+pub struct Imports {
+    /// Local name → ordering variant it denotes
+    /// (`use ...::Ordering::{Relaxed, SeqCst as S}` maps `Relaxed` and `S`).
+    pub variant_names: HashMap<String, String>,
+    /// Local names aliasing the `Ordering` *type* itself (always contains
+    /// `Ordering`; `use ...::Ordering as O` adds `O`).
+    pub type_aliases: HashSet<String>,
+    /// Token index ranges covered by `use` declarations (so variant
+    /// mentions inside the declaration itself are not treated as sites).
+    pub use_spans: Vec<(usize, usize)>,
+}
+
+impl Imports {
+    /// Whether token index `i` falls inside a `use` declaration.
+    pub fn in_use_decl(&self, i: usize) -> bool {
+        self.use_spans.iter().any(|&(a, b)| i >= a && i < b)
+    }
+}
+
+/// Scans the token stream for `use` declarations and resolves every
+/// imported leaf name against the `Ordering` variant set.
+pub fn resolve_imports(toks: &[Tok]) -> Imports {
+    let mut imp = Imports::default();
+    imp.type_aliases.insert("Ordering".to_string());
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is("use") {
+            let start = i;
+            i += 1;
+            let mut leaves = Vec::new();
+            i = parse_use_tree(toks, i, &mut Vec::new(), &mut leaves);
+            imp.use_spans.push((start, i));
+            for (path, local) in leaves {
+                let n = path.len();
+                if n >= 2
+                    && path[n - 2] == "Ordering"
+                    && ORDERING_VARIANTS.contains(&path[n - 1].as_str())
+                {
+                    imp.variant_names.insert(local, path[n - 1].clone());
+                } else if n >= 1 && path[n - 1] == "Ordering" {
+                    imp.type_aliases.insert(local);
+                } else if n >= 2 && path[n - 1] == "*" && path[n - 2] == "Ordering" {
+                    for v in ORDERING_VARIANTS {
+                        imp.variant_names.insert(v.to_string(), v.to_string());
+                    }
+                }
+            }
+            // `i` already sits one past the declaration's end.
+            continue;
+        }
+        i += 1;
+    }
+    imp
+}
+
+/// Recursive-descent parse of one `use` tree starting at token `i`;
+/// appends `(full_path, local_name)` pairs for every leaf and returns the
+/// index one past the tree's end (the `;`, or the group's `}`).
+fn parse_use_tree(
+    toks: &[Tok],
+    mut i: usize,
+    prefix: &mut Vec<String>,
+    leaves: &mut Vec<(Vec<String>, String)>,
+) -> usize {
+    let depth_at_entry = prefix.len();
+    while let Some(t) = toks.get(i) {
+        if t.kind == Kind::Ident && t.text != "as" {
+            prefix.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_p(':') && toks.get(i + 1).is_some_and(|n| n.is_p(':')) {
+            i += 2;
+            continue;
+        }
+        if t.is_p('*') {
+            prefix.push("*".to_string());
+            leaves.push((prefix.clone(), "*".to_string()));
+            prefix.pop();
+            i += 1;
+            continue;
+        }
+        if t.is("as") {
+            if let Some(alias) = toks.get(i + 1).filter(|a| a.kind == Kind::Ident) {
+                leaves.push((prefix.clone(), alias.text.clone()));
+                prefix.truncate(depth_at_entry);
+                i += 2;
+                // The path segment consumed by this leaf is done; eat a
+                // trailing comma at this level if present.
+                if toks.get(i).is_some_and(|t| t.is_p(',')) {
+                    i += 1;
+                }
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_p('{') {
+            i += 1;
+            // Each group entry re-enters with the shared prefix.
+            loop {
+                match toks.get(i) {
+                    Some(t) if t.is_p('}') => {
+                        i += 1;
+                        break;
+                    }
+                    Some(t) if t.is_p(',') => i += 1,
+                    Some(_) => {
+                        let mut sub = prefix.clone();
+                        i = parse_use_tree(toks, i, &mut sub, leaves);
+                    }
+                    None => break,
+                }
+            }
+            prefix.truncate(depth_at_entry);
+            // A `{...}` group ends this branch of the tree.
+            if toks.get(i).is_some_and(|t| t.is_p(';')) {
+                i += 1;
+            }
+            return i;
+        }
+        if t.is_p(',') || t.is_p('}') {
+            // End of this entry inside a group: emit the pending segment.
+            if prefix.len() > depth_at_entry {
+                leaves.push((prefix.clone(), prefix.last().unwrap().clone()));
+                prefix.truncate(depth_at_entry);
+            }
+            return i;
+        }
+        if t.is_p(';') {
+            if prefix.len() > depth_at_entry {
+                leaves.push((prefix.clone(), prefix.last().unwrap().clone()));
+                prefix.truncate(depth_at_entry);
+            }
+            return i + 1;
+        }
+        // Unexpected token (attribute chars etc.): skip.
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lines::split_lines;
+
+    fn imports(src: &str) -> Imports {
+        resolve_imports(&lex(&split_lines(src)))
+    }
+
+    #[test]
+    fn lexes_idents_numbers_and_punct_with_lines() {
+        let toks = lex(&split_lines("let x = 2*i + 1;\nfoo.bar()"));
+        let texts: Vec<&str> = toks.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(
+            texts,
+            ["let", "x", "=", "2", "*", "i", "+", "1", ";", "foo", ".", "bar", "(", ")"]
+        );
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[9].line, 2);
+    }
+
+    #[test]
+    fn direct_variant_imports_resolve() {
+        let imp = imports("use std::sync::atomic::Ordering::{Relaxed, SeqCst};");
+        assert_eq!(imp.variant_names.get("Relaxed").unwrap(), "Relaxed");
+        assert_eq!(imp.variant_names.get("SeqCst").unwrap(), "SeqCst");
+        assert!(!imp.variant_names.contains_key("Acquire"));
+    }
+
+    #[test]
+    fn aliased_variant_and_type_imports_resolve() {
+        let imp = imports(
+            "use std::sync::atomic::Ordering::Relaxed as Rx;\nuse pipes_sync::atomic::Ordering as O;",
+        );
+        assert_eq!(imp.variant_names.get("Rx").unwrap(), "Relaxed");
+        assert!(imp.type_aliases.contains("O"));
+        assert!(imp.type_aliases.contains("Ordering"));
+    }
+
+    #[test]
+    fn glob_import_of_ordering_maps_all_variants() {
+        let imp = imports("use std::sync::atomic::Ordering::*;");
+        for v in ORDERING_VARIANTS {
+            assert_eq!(imp.variant_names.get(*v).unwrap(), *v);
+        }
+    }
+
+    #[test]
+    fn nested_group_imports_resolve() {
+        let imp = imports("use std::sync::atomic::{AtomicUsize, Ordering::{self, Relaxed}};");
+        assert_eq!(imp.variant_names.get("Relaxed").unwrap(), "Relaxed");
+    }
+
+    #[test]
+    fn cmp_ordering_variants_are_not_ordering_names() {
+        let imp = imports("use std::cmp::Ordering::{Less, Equal};");
+        assert!(
+            imp.variant_names.is_empty(),
+            "Less/Equal are not memory orderings"
+        );
+    }
+
+    #[test]
+    fn use_spans_cover_the_declaration() {
+        let imp = imports("use std::sync::atomic::Ordering::Relaxed;\nx.store(1, Relaxed);");
+        // The `Relaxed` inside the use decl is covered; the site is not.
+        let toks = lex(&split_lines(
+            "use std::sync::atomic::Ordering::Relaxed;\nx.store(1, Relaxed);",
+        ));
+        let decl_idx = toks.iter().position(|t| t.is("Relaxed")).unwrap();
+        let site_idx = toks.iter().rposition(|t| t.is("Relaxed")).unwrap();
+        assert!(imp.in_use_decl(decl_idx));
+        assert!(!imp.in_use_decl(site_idx));
+    }
+}

@@ -1,0 +1,329 @@
+//! Comment/string-aware line splitting: the masking state machine every
+//! pass sits on.
+//!
+//! [`split_lines`] turns a source file into per-line pairs of *masked
+//! code* (comments, string/char literals blanked out) and *comment text*
+//! (the concatenation of every comment piece on the line). All token
+//! matching downstream operates on the masked code, so `"std::sync"` in a
+//! string or a doc comment never trips a rule; all waiver and
+//! justification matching operates on the comment text.
+
+/// One source line, split into masked code and extracted comment text.
+pub struct Line {
+    /// Code with comments, strings, and char literals blanked out.
+    pub code: String,
+    /// Concatenated text of every comment piece on the line.
+    pub comment: String,
+}
+
+/// Splits a source file into per-line (masked code, comment text) pairs.
+///
+/// Handles line and (nested) block comments, string literals with escapes,
+/// raw strings with arbitrary `#` fencing, byte strings, char literals,
+/// and distinguishes lifetimes (`'a`) from char literals.
+pub fn split_lines(src: &str) -> Vec<Line> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum St {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+        Char,
+    }
+    let mut lines = Vec::new();
+    let mut code = String::new();
+    let mut comment = String::new();
+    let mut st = St::Code;
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            if st == St::LineComment {
+                st = St::Code;
+            }
+            lines.push(Line {
+                code: std::mem::take(&mut code),
+                comment: std::mem::take(&mut comment),
+            });
+            i += 1;
+            continue;
+        }
+        match st {
+            St::Code => {
+                let next = chars.get(i + 1).copied();
+                match c {
+                    '/' if next == Some('/') => {
+                        st = St::LineComment;
+                        i += 2;
+                        continue;
+                    }
+                    '/' if next == Some('*') => {
+                        st = St::BlockComment(1);
+                        code.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    '"' => {
+                        st = St::Str;
+                        code.push(' ');
+                    }
+                    'r' | 'b'
+                        if matches!(next, Some('"') | Some('#') | Some('r'))
+                            && is_raw_or_byte_string(&chars, i) =>
+                    {
+                        let (state, consumed) = enter_string(&chars, i);
+                        st = match state {
+                            StState::Str => St::Str,
+                            StState::RawStr(h) => St::RawStr(h),
+                        };
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                        continue;
+                    }
+                    '\'' => {
+                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
+                        let is_lifetime = matches!(next, Some(n) if n.is_alphanumeric() || n == '_')
+                            && chars.get(i + 2).copied() != Some('\'');
+                        if is_lifetime {
+                            code.push(c);
+                        } else {
+                            st = St::Char;
+                            code.push(' ');
+                        }
+                    }
+                    _ => code.push(c),
+                }
+            }
+            St::LineComment => comment.push(c),
+            St::BlockComment(depth) => {
+                let next = chars.get(i + 1).copied();
+                if c == '*' && next == Some('/') {
+                    st = if depth == 1 {
+                        St::Code
+                    } else {
+                        St::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && next == Some('*') {
+                    st = St::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+                comment.push(c);
+            }
+            St::Str => {
+                if c == '\\' {
+                    // A `\` + newline continuation still ends a source
+                    // line; record the break so line numbers stay true.
+                    if chars.get(i + 1) == Some(&'\n') {
+                        lines.push(Line {
+                            code: std::mem::take(&mut code),
+                            comment: std::mem::take(&mut comment),
+                        });
+                    }
+                    i += 2;
+                    continue;
+                }
+                if c == '"' {
+                    st = St::Code;
+                }
+            }
+            St::RawStr(hashes) => {
+                if c == '"' && closes_raw(&chars, i, hashes) {
+                    st = St::Code;
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+            }
+            St::Char => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    st = St::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    if !code.is_empty() || !comment.is_empty() {
+        lines.push(Line { code, comment });
+    }
+    lines
+}
+
+/// Whether the `r`/`b` at `chars[i]` starts a raw or byte string literal
+/// (as opposed to an identifier like `ready`).
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false; // part of a longer identifier
+        }
+    }
+    let mut j = i;
+    // Accept the prefixes r" r#" br" b" rb is not valid Rust; keep simple.
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && j - i < 2 {
+        j += 1;
+    }
+    while j < chars.len() && chars[j] == '#' {
+        j += 1;
+    }
+    chars.get(j).copied() == Some('"')
+}
+
+/// Consumes a string prefix starting at `chars[i]` (`r#"`, `b"`, ...),
+/// returning the scanner state and the number of chars consumed up to and
+/// including the opening quote.
+fn enter_string(chars: &[char], i: usize) -> (StState, usize) {
+    let mut j = i;
+    let mut raw = false;
+    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
+        raw |= chars[j] == 'r';
+        j += 1;
+    }
+    let mut hashes = 0u32;
+    while j < chars.len() && chars[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert_eq!(chars.get(j).copied(), Some('"'));
+    let consumed = j + 1 - i;
+    if raw {
+        (StState::RawStr(hashes), consumed)
+    } else {
+        (StState::Str, consumed)
+    }
+}
+
+/// Mirror of the scanner state for `enter_string` (avoids exposing the
+/// private enum from inside `split_lines`).
+#[derive(Clone, Copy, PartialEq)]
+enum StState {
+    Str,
+    RawStr(u32),
+}
+
+/// Whether the `"` at `chars[i]` is followed by `hashes` `#`s, closing a
+/// raw string with that fencing.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k).copied() == Some('#'))
+}
+
+/// Whether line `idx` (or the line above) carries a waiver for `rule`.
+pub fn waived(lines: &[Line], idx: usize, rule: &str) -> bool {
+    let tag = format!("pipes-lint: allow({rule})");
+    lines[idx].comment.contains(&tag) || (idx > 0 && lines[idx - 1].comment.contains(&tag))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_strings_and_chars() {
+        let lines = split_lines(
+            "let s = \"std::sync\"; // std::thread here\nlet c = 'x'; /* parking_lot */ let l = 'a: loop {};",
+        );
+        assert!(!lines[0].code.contains("std::sync"));
+        assert!(lines[0].comment.contains("std::thread"));
+        assert!(!lines[1].code.contains("parking_lot"));
+        assert!(lines[1].comment.contains("parking_lot"));
+        assert!(lines[1].code.contains("'a: loop"), "lifetime survives");
+    }
+
+    #[test]
+    fn masks_raw_strings() {
+        let lines = split_lines("let s = r#\"std::sync \" still\"#; std::thread::x();");
+        assert!(!lines[0].code.contains("std::sync"));
+        assert!(lines[0].code.contains("std::thread"));
+    }
+
+    #[test]
+    fn nested_raw_string_fencing_is_respected() {
+        // `r##"…"#…"##`: the single-hash close inside must NOT end the
+        // literal; the double-hash close must.
+        let src = "let s = r##\"body \"# std::sync \"##; std::thread::park();";
+        let lines = split_lines(src);
+        assert!(!lines[0].code.contains("std::sync"), "inside the literal");
+        assert!(lines[0].code.contains("std::thread"), "after the literal");
+    }
+
+    #[test]
+    fn multiline_raw_string_masks_every_spanned_line() {
+        let src = "let s = r#\"first\nstd::sync::Arc\nlast\"#;\nuse x;";
+        let lines = split_lines(src);
+        assert_eq!(lines.len(), 4);
+        assert!(!lines[1].code.contains("std::sync"));
+        assert!(lines[3].code.contains("use x"), "line numbers stay true");
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings_are_masked() {
+        let lines = split_lines("let b = b\"std::sync\"; let rb = br#\"parking_lot\"#; ok();");
+        assert!(!lines[0].code.contains("std::sync"));
+        assert!(!lines[0].code.contains("parking_lot"));
+        assert!(lines[0].code.contains("ok()"));
+    }
+
+    #[test]
+    fn identifier_ending_in_b_or_r_is_not_a_string_prefix() {
+        let lines = split_lines("let ptr = addr\"x\"; let b = var\"y\";");
+        // `addr` / `var` end in r/b-adjacent letters but are plain idents;
+        // the quote after them still opens an ordinary string.
+        assert!(lines[0].code.contains("ptr"));
+        assert!(lines[0].code.contains("var"));
+        assert!(!lines[0].code.contains('x'));
+        assert!(!lines[0].code.contains('y'));
+    }
+
+    #[test]
+    fn double_quote_char_literal_does_not_open_a_string() {
+        // `'"'` is a char literal containing a quote; everything after it
+        // is code, not string interior.
+        let lines = split_lines("let q = '\"'; std::thread::park(); let e = '\\''; after();");
+        assert!(lines[0].code.contains("std::thread"));
+        assert!(lines[0].code.contains("after()"));
+    }
+
+    #[test]
+    fn escaped_quote_inside_string_does_not_close_it() {
+        let lines = split_lines("let s = \"a\\\"std::sync\\\"b\"; tail();");
+        assert!(!lines[0].code.contains("std::sync"));
+        assert!(lines[0].code.contains("tail()"));
+    }
+
+    #[test]
+    fn char_literal_spanning_statement_boundary_chars() {
+        // `';'` must consume the semicolon as literal content, not as a
+        // statement terminator, and `'{'`/`'}'` must not unbalance braces.
+        let lines = split_lines("let a = ';'; let b = '{'; let c = '}'; done();");
+        let code = &lines[0].code;
+        assert!(code.contains("done()"));
+        assert!(!code.contains('{'), "brace literal masked: {code}");
+        assert!(!code.contains('}'), "brace literal masked: {code}");
+    }
+
+    #[test]
+    fn nested_block_comments_track_depth() {
+        let lines = split_lines("a(); /* one /* two */ still comment */ b();");
+        assert!(lines[0].code.contains("a()"));
+        assert!(lines[0].code.contains("b()"));
+        assert!(!lines[0].code.contains("still"));
+        assert!(lines[0].comment.contains("still comment"));
+    }
+
+    #[test]
+    fn trailing_line_without_newline_is_kept() {
+        let lines = split_lines("use std::sync::Arc;");
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].code.contains("std::sync"));
+    }
+}

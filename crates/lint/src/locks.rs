@@ -1,0 +1,548 @@
+//! Guard-flow passes: **lock-order** and **blocking-while-locked**.
+//!
+//! Both passes share one per-function walk that tracks which lock guards
+//! are live at each token:
+//!
+//! * a guard is born at `.lock()` / `.try_lock()` (any receiver — the
+//!   method names are unambiguous) or `.read()` / `.write()` (only on
+//!   receivers declared as `RwLock` fields, so `hasher.write(..)` or
+//!   `file.read(..)` never count);
+//! * a guard bound by `let g = ...lock();` lives until its block closes,
+//!   `drop(g)`, or the function ends; an unbound (temporary) guard dies
+//!   at the end of its statement (`;`). Two statement heads get Rust's
+//!   extended-temporary treatment: `match x.lock().y { ... }` and
+//!   `for v in x.lock().drain(..) { ... }` keep the scrutinee/iterator
+//!   guard live across the whole block (the classic extended-temporary
+//!   deadlock), while `if`/`while` condition temporaries die at the `{`
+//!   because Rust drops them before the body runs;
+//! * guards are keyed by the **receiver's final field name**
+//!   (`self.cell(id).runnable.lock()` → `runnable`). Same-named fields on
+//!   different types merge — a conservative approximation that can
+//!   over-connect the graph but never hides an inversion between two
+//!   actually-identical fields.
+//!
+//! **lock-order** records every acquisition made while another guard is
+//! live as a directed edge `held → acquired` in a global (workspace-wide)
+//! graph; any cycle — including a self-loop, i.e. re-acquiring a lock
+//! already held, which parking_lot does not tolerate — is reported with
+//! the two acquisition chains file:line. Edges *into* `.try_lock()` are
+//! excluded: a failed try does not block, so it cannot close a wait cycle.
+//!
+//! **blocking-while-locked** rejects calls to known blocking operations
+//! (`park`, `park_timeout`, `wait`, `wait_for`, `wait_while`, `join`,
+//! `recv`, `recv_timeout`, `sleep`) while any guard is live. The one
+//! sanctioned shape is condvar-style waiting, where the guard is *passed
+//! to* the wait call (`cv.wait_for(&mut g, t)` releases and reacquires
+//! `g`): a guard named in the call's arguments is exempt, but every
+//! *other* live guard still triggers the rule. `.join(..)`/`.recv(..)`
+//! with arguments are ignored (`Path::join`, `Vec::join` are not
+//! blocking).
+//!
+//! What this deliberately cannot prove: acquisitions made by *callees*
+//! are invisible (the analysis is intra-procedural; the model checker
+//! covers cross-function protocols it has tests for), guards smuggled
+//! through struct fields or returned from helpers are not tracked, and
+//! closure bodies are analyzed as if they ran inline at their definition
+//! site.
+
+use crate::lex::{Kind, Tok};
+use crate::lines::{waived, Line};
+use crate::parse::{Decls, Func, LockKind};
+use crate::Violation;
+use std::collections::{BTreeMap, HashSet};
+use std::path::{Path, PathBuf};
+
+/// How a guard was acquired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AcqKind {
+    /// `.lock()` (blocking, exclusive).
+    Lock,
+    /// `.try_lock()` (non-blocking).
+    TryLock,
+    /// `.read()` on an `RwLock` field (blocking, shared).
+    Read,
+    /// `.write()` on an `RwLock` field (blocking, exclusive).
+    Write,
+}
+
+impl AcqKind {
+    fn name(self) -> &'static str {
+        match self {
+            AcqKind::Lock => "lock",
+            AcqKind::TryLock => "try_lock",
+            AcqKind::Read => "read",
+            AcqKind::Write => "write",
+        }
+    }
+}
+
+/// One acquisition site.
+#[derive(Clone, Debug)]
+pub struct Acq {
+    /// Lock key: the receiver's final field name.
+    pub key: String,
+    /// Acquisition method.
+    pub kind: AcqKind,
+    /// File the site is in.
+    pub file: PathBuf,
+    /// 1-based line of the site.
+    pub line: usize,
+    /// `Type::function` the site is in, for diagnostics.
+    pub func: String,
+}
+
+/// A nested acquisition: `to` acquired while `from`'s guard was live.
+#[derive(Clone, Debug)]
+pub struct NestedAcq {
+    /// The guard already held.
+    pub from: Acq,
+    /// The acquisition made under it.
+    pub to: Acq,
+    /// Whether a `lock-order` waiver covers the nested site.
+    pub waived: bool,
+}
+
+/// Calls that block the calling thread.
+const BLOCKING: &[&str] = &[
+    "park",
+    "park_timeout",
+    "wait",
+    "wait_for",
+    "wait_while",
+    "join",
+    "recv",
+    "recv_timeout",
+    "sleep",
+];
+
+/// Blocking calls that only count with an empty argument list (their
+/// argument-taking namesakes — `Path::join`, `slice::join` — are not
+/// blocking).
+const BLOCKING_IF_NO_ARGS: &[&str] = &["join", "recv"];
+
+/// A live guard during the walk.
+struct Guard {
+    key: String,
+    kind: AcqKind,
+    line: usize,
+    name: Option<String>,
+    depth: i32,
+    temp: bool,
+}
+
+/// Walks every function in one file, appending nested acquisitions to
+/// `edges` and blocking-while-locked findings to `out`.
+pub fn analyze_file(
+    path: &Path,
+    toks: &[Tok],
+    lines: &[Line],
+    funcs: &[Func],
+    decls: &Decls,
+    edges: &mut Vec<NestedAcq>,
+    out: &mut Vec<Violation>,
+) {
+    for f in funcs {
+        walk_function(path, toks, lines, f, decls, edges, out);
+    }
+}
+
+fn func_label(f: &Func) -> String {
+    match &f.impl_ty {
+        Some(ty) => format!("{ty}::{}", f.name),
+        None => f.name.clone(),
+    }
+}
+
+fn walk_function(
+    path: &Path,
+    toks: &[Tok],
+    lines: &[Line],
+    f: &Func,
+    decls: &Decls,
+    edges: &mut Vec<NestedAcq>,
+    out: &mut Vec<Violation>,
+) {
+    let label = func_label(f);
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth: i32 = 0;
+    let mut stmt_start = f.body.start;
+    let mut i = f.body.start;
+    while i < f.body.end {
+        let t = &toks[i];
+        if t.is_p('{') {
+            // `if`/`while` condition temporaries are dropped before the
+            // body runs (let-bound condition guards are not temps).
+            if toks
+                .get(stmt_start)
+                .is_some_and(|h| h.is("if") || h.is("while"))
+            {
+                guards.retain(|g| !g.temp);
+            }
+            depth += 1;
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.is_p('}') {
+            guards.retain(|g| !g.temp && g.depth < depth);
+            depth -= 1;
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.is_p(';') {
+            guards.retain(|g| !g.temp);
+            stmt_start = i + 1;
+            i += 1;
+            continue;
+        }
+        if t.is_p('=') && toks.get(i + 1).is_some_and(|n| n.is_p('>')) {
+            stmt_start = i + 2;
+            i += 2;
+            continue;
+        }
+        // `drop(g)` ends guard `g` early.
+        if t.is("drop")
+            && toks.get(i + 1).is_some_and(|n| n.is_p('('))
+            && toks.get(i + 2).is_some_and(|n| n.kind == Kind::Ident)
+            && toks.get(i + 3).is_some_and(|n| n.is_p(')'))
+        {
+            let name = &toks[i + 2].text;
+            guards.retain(|g| g.name.as_deref() != Some(name));
+            i += 4;
+            continue;
+        }
+        // Acquisition: `.lock()`, `.try_lock()`, `.read()`, `.write()`
+        // — all nullary.
+        if t.kind == Kind::Ident
+            && i > f.body.start
+            && toks[i - 1].is_p('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_p('('))
+            && toks.get(i + 2).is_some_and(|n| n.is_p(')'))
+        {
+            let kind = match t.text.as_str() {
+                "lock" => Some(AcqKind::Lock),
+                "try_lock" => Some(AcqKind::TryLock),
+                "read" => Some(AcqKind::Read),
+                "write" => Some(AcqKind::Write),
+                _ => None,
+            };
+            if let Some(kind) = kind {
+                let key = receiver_key(toks, i.wrapping_sub(2));
+                let rw_ok = !matches!(kind, AcqKind::Read | AcqKind::Write)
+                    || key
+                        .as_ref()
+                        .is_some_and(|k| decls.lock_fields.get(k) == Some(&LockKind::RwLock));
+                if let (Some(key), true) = (key, rw_ok) {
+                    let acq = Acq {
+                        key: key.clone(),
+                        kind,
+                        file: path.to_path_buf(),
+                        line: t.line,
+                        func: label.clone(),
+                    };
+                    let w = waived(lines, t.line - 1, "lock-order");
+                    for g in &guards {
+                        edges.push(NestedAcq {
+                            from: Acq {
+                                key: g.key.clone(),
+                                kind: g.kind,
+                                file: path.to_path_buf(),
+                                line: g.line,
+                                func: label.clone(),
+                            },
+                            to: acq.clone(),
+                            waived: w,
+                        });
+                    }
+                    let (name, gdepth, temp) = binding(toks, stmt_start, i, depth);
+                    guards.push(Guard {
+                        key,
+                        kind,
+                        line: t.line,
+                        name,
+                        depth: gdepth,
+                        temp,
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        // Blocking call while guards are live.
+        if t.kind == Kind::Ident
+            && BLOCKING.contains(&t.text.as_str())
+            && toks.get(i + 1).is_some_and(|n| n.is_p('('))
+            && !(i > f.body.start && toks[i - 1].is("fn"))
+            && !guards.is_empty()
+        {
+            let close = matching_paren(toks, i + 1, f.body.end);
+            let has_args = close > i + 2;
+            if !(BLOCKING_IF_NO_ARGS.contains(&t.text.as_str()) && has_args) {
+                let arg_idents: HashSet<&str> = toks[i + 2..close]
+                    .iter()
+                    .filter(|a| a.kind == Kind::Ident)
+                    .map(|a| a.text.as_str())
+                    .collect();
+                let held: Vec<&Guard> = guards
+                    .iter()
+                    .filter(|g| g.name.as_deref().is_none_or(|n| !arg_idents.contains(n)))
+                    .collect();
+                if !held.is_empty() && !waived(lines, t.line - 1, "blocking-while-locked") {
+                    let held_desc: Vec<String> = held
+                        .iter()
+                        .map(|g| format!("`{}` ({}:{})", g.key, path.display(), g.line))
+                        .collect();
+                    out.push(Violation {
+                        path: path.to_path_buf(),
+                        line: t.line,
+                        rule: "blocking-while-locked",
+                        msg: format!(
+                            "`{}()` in `{label}` while holding {}: a parked thread \
+                             cannot release a guard; drop it first (condvar waits \
+                             must be passed the guard they release)",
+                            t.text,
+                            held_desc.join(", ")
+                        ),
+                    });
+                }
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`, bounded by `end`.
+fn matching_paren(toks: &[Tok], open: usize, end: usize) -> usize {
+    let mut depth = 0;
+    let mut k = open;
+    while k < end {
+        if toks[k].is_p('(') {
+            depth += 1;
+        } else if toks[k].is_p(')') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+        k += 1;
+    }
+    end
+}
+
+/// The receiver's final field name for a method call whose `.` sits right
+/// after token `i`: an identifier directly (`self.queue.lock()` →
+/// `queue`), or the identifier behind a balanced `[..]` / `(..)` group
+/// (`self.states[g].load(..)` → `states`).
+pub fn receiver_key(toks: &[Tok], i: usize) -> Option<String> {
+    let t = toks.get(i)?;
+    if t.kind == Kind::Ident {
+        return Some(t.text.clone());
+    }
+    let (close, open) = if t.is_p(']') {
+        (']', '[')
+    } else if t.is_p(')') {
+        (')', '(')
+    } else {
+        return None;
+    };
+    let mut depth = 0i32;
+    let mut k = i;
+    loop {
+        let t = toks.get(k)?;
+        if t.is_p(close) {
+            depth += 1;
+        } else if t.is_p(open) {
+            depth -= 1;
+            if depth == 0 {
+                break;
+            }
+        }
+        k = k.checked_sub(1)?;
+    }
+    let prev = toks.get(k.checked_sub(1)?)?;
+    (prev.kind == Kind::Ident).then(|| prev.text.clone())
+}
+
+/// Determines whether the acquisition at token `i` (statement starting at
+/// `stmt_start`, current brace depth `depth`) is bound by a `let`:
+/// returns `(binding name, guard scope depth, is_temporary)`.
+fn binding(toks: &[Tok], stmt_start: usize, i: usize, depth: i32) -> (Option<String>, i32, bool) {
+    let stmt = &toks[stmt_start..i.min(toks.len())];
+    // `match expr { .. }` and `for pat in expr { .. }` extend expression
+    // temporaries to the end of the block (match-scrutinee / for-head
+    // desugaring): the guard is unnamed but scoped to the block.
+    if stmt.first().is_some_and(|t| t.is("match") || t.is("for")) {
+        return (None, depth + 1, false);
+    }
+    let mut k = 0;
+    let mut cond_let = false;
+    if stmt.first().is_some_and(|t| t.is("if") || t.is("while")) {
+        cond_let = true;
+        k += 1;
+    }
+    if !stmt.get(k).is_some_and(|t| t.is("let")) {
+        return (None, depth, true);
+    }
+    k += 1;
+    // Pattern: [Some|Ok] [(] [mut] name
+    if stmt.get(k).is_some_and(|t| t.is("Some") || t.is("Ok")) {
+        k += 1;
+        if stmt.get(k).is_some_and(|t| t.is_p('(')) {
+            k += 1;
+        }
+    }
+    if stmt.get(k).is_some_and(|t| t.is("mut")) {
+        k += 1;
+    }
+    let name = match stmt.get(k) {
+        Some(t) if t.kind == Kind::Ident && t.text != "_" => t.text.clone(),
+        _ => return (None, depth, true),
+    };
+    // The binding only names the *guard* when the chain ends the
+    // statement: `...lock();` possibly via `.unwrap()` / `.expect(..)` /
+    // `?`. Otherwise (`let v = q.lock().drain().collect();`) the guard is
+    // a temporary.
+    let mut j = i + 3; // past `name ( )`
+    loop {
+        match toks.get(j) {
+            Some(t) if t.is_p('?') => j += 1,
+            Some(t)
+                if t.is_p('.')
+                    && toks
+                        .get(j + 1)
+                        .is_some_and(|m| m.is("unwrap") || m.is("expect"))
+                    && toks.get(j + 2).is_some_and(|p| p.is_p('(')) =>
+            {
+                j = matching_paren(toks, j + 2, toks.len()) + 1;
+            }
+            Some(t) if t.is_p(';') => return (Some(name), depth, false),
+            Some(t) if t.is_p('{') && cond_let => return (Some(name), depth + 1, false),
+            _ => return (None, depth, true),
+        }
+    }
+}
+
+/// Builds the global lock-order graph from every nested acquisition and
+/// reports self-loops and cycles.
+pub fn lock_order_violations(edges: &[NestedAcq]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    // Deterministic representative per (from, to) key pair: first in
+    // (file, line) order.
+    let mut sorted: Vec<&NestedAcq> = edges.iter().filter(|e| !e.waived).collect();
+    sorted.sort_by(|a, b| {
+        (&a.to.file, a.to.line, &a.from.file, a.from.line).cmp(&(
+            &b.to.file,
+            b.to.line,
+            &b.from.file,
+            b.from.line,
+        ))
+    });
+    // Self-loops: re-acquiring a key already held. Blocking destinations
+    // only (a nested try_lock fails instead of deadlocking).
+    let mut seen_self: HashSet<(PathBuf, usize)> = HashSet::new();
+    let mut adj: BTreeMap<&str, BTreeMap<&str, &NestedAcq>> = BTreeMap::new();
+    for e in &sorted {
+        if e.to.kind == AcqKind::TryLock {
+            continue;
+        }
+        if e.from.key == e.to.key {
+            if seen_self.insert((e.to.file.clone(), e.to.line)) {
+                out.push(Violation {
+                    path: e.to.file.clone(),
+                    line: e.to.line,
+                    rule: "lock-order",
+                    msg: format!(
+                        "`{}` re-{}s `{}` while already holding it ({} at {}:{}, in `{}`): \
+                         parking_lot locks are not reentrant",
+                        e.to.func,
+                        e.to.kind.name(),
+                        e.to.key,
+                        e.from.kind.name(),
+                        e.from.file.display(),
+                        e.from.line,
+                        e.to.func,
+                    ),
+                });
+            }
+            continue;
+        }
+        adj.entry(e.from.key.as_str())
+            .or_default()
+            .entry(e.to.key.as_str())
+            .or_insert(e);
+    }
+    // Cycle detection: DFS over the key graph, keys in sorted order.
+    let mut reported: HashSet<Vec<String>> = HashSet::new();
+    let keys: Vec<&str> = adj.keys().copied().collect();
+    for &start in &keys {
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        let mut visited: HashSet<&str> = HashSet::new();
+        while let Some((node, path)) = stack.pop() {
+            let Some(nexts) = adj.get(node) else { continue };
+            for (&next, _) in nexts.iter() {
+                if let Some(pos) = path.iter().position(|&k| k == next) {
+                    let cycle: Vec<&str> = path[pos..].to_vec();
+                    // Canonicalize: rotate the minimum key to the front.
+                    let min = cycle.iter().enumerate().min_by_key(|(_, k)| **k).unwrap().0;
+                    let canon: Vec<String> = cycle
+                        .iter()
+                        .cycle()
+                        .skip(min)
+                        .take(cycle.len())
+                        .map(|k| k.to_string())
+                        .collect();
+                    if reported.insert(canon.clone()) {
+                        out.push(cycle_violation(&adj, &canon));
+                    }
+                    continue;
+                }
+                if visited.insert(next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    out
+}
+
+/// Formats one cycle with each hop's held-site and acquired-site.
+fn cycle_violation(
+    adj: &BTreeMap<&str, BTreeMap<&str, &NestedAcq>>,
+    cycle: &[String],
+) -> Violation {
+    let mut hops = Vec::new();
+    let mut first: Option<&NestedAcq> = None;
+    for w in 0..cycle.len() {
+        let from = cycle[w].as_str();
+        let to = cycle[(w + 1) % cycle.len()].as_str();
+        if let Some(e) = adj.get(from).and_then(|m| m.get(to)) {
+            first.get_or_insert(e);
+            hops.push(format!(
+                "`{}` then `{}` in `{}` ({}:{})",
+                e.from.key,
+                e.to.key,
+                e.to.func,
+                e.to.file.display(),
+                e.to.line
+            ));
+        }
+    }
+    let e = first.expect("cycle has at least one recorded edge");
+    Violation {
+        path: e.to.file.clone(),
+        line: e.to.line,
+        rule: "lock-order",
+        msg: format!(
+            "lock-order cycle over {{{}}}: {} — these acquisition chains can \
+             deadlock; pick one global order",
+            cycle.join(" → "),
+            hops.join("; ")
+        ),
+    }
+}

@@ -1,588 +1,29 @@
-//! `pipes-lint`: the token-level static-analysis gate for the kernel's
-//! concurrency discipline. No external dependencies; `scripts/ci.sh` runs
-//! it as a hard gate.
+//! `pipes-lint` CLI: scans the workspace, prints the per-pass report, and
+//! exits with a stable code.
 //!
-//! Four rules (see DESIGN.md § "Concurrency discipline" and § "Run-at-a-time
-//! algebra"):
+//! ```text
+//! pipes-lint [ROOT] [--json] [--edges]
+//! ```
 //!
-//! 1. **`no-direct-sync`** — inside the concurrency-bearing kernel crates
-//!    (`crates/graph`, `crates/sched`, `crates/mem`, `crates/meta`,
-//!    `crates/trace`), every lock, atomic, and thread primitive must come
-//!    from the `pipes-sync` facade; direct `std::sync`, `std::thread`,
-//!    `parking_lot`, or `loom` paths are rejected. This is what keeps the
-//!    model checker's view of the kernel complete: an uninstrumented
-//!    primitive is invisible to it.
-//! 2. **`ordering-justification`** — `Ordering::Relaxed` and
-//!    `Ordering::SeqCst` (workspace-wide) require an adjacent
-//!    `// ordering:` comment explaining why that extreme is correct.
-//!    Acquire/Release need no comment: they are the safe middle ground.
-//! 3. **`no-lock-in-unsafe`** — lock acquisitions (`.lock()`,
-//!    `.try_lock()`, `.read()`, `.write()`) inside `unsafe` blocks are
-//!    rejected; mixing blocking and `unsafe` invariants is how suspended
-//!    safety proofs deadlock. (The workspace forbids `unsafe` entirely
-//!    today; the rule keeps that front door locked.)
-//! 4. **`run-equivalence-test`** — every operator that overrides the
-//!    run-level entry points (`fn on_run`, `fn on_run_left`,
-//!    `fn on_run_right`) must be covered by an equivalence test: some file
-//!    under a `tests/` directory has to mention both the implementing
-//!    type's name and `on_run`. A native run path that is not pinned
-//!    batched-vs-per-message is exactly the kind of "fast but subtly
-//!    different" code this workspace refuses to carry. The trait
-//!    definition itself (`crates/graph/src/operator.rs`, whose defaults
-//!    *are* the per-message semantics) and test fixtures are exempt.
+//! * `ROOT` — workspace root; defaults to the nearest ancestor of the
+//!   current directory whose `Cargo.toml` declares `[workspace]`.
+//! * `--json` — machine-readable report on stdout
+//!   (`{"files":..,"passes":{..},"violations":[..],"waivers":[..]}`).
+//! * `--edges` — dump the raw lock-order graph (every nested
+//!   acquisition) before the report, for debugging a cycle finding.
 //!
-//! A finding can be waived with a `pipes-lint: allow(rule-name)` comment
-//! on the offending line or the line above — intended for `crates/shims/`
-//! vendored code only (which is excluded from scanning anyway); the
-//! workspace itself is expected to carry **zero** waivers.
-//!
-//! The scanner is line-oriented but comment- and string-aware: comments,
-//! string/char literals, and raw strings are masked out before token
-//! matching, so `"std::sync"` in a string or a doc comment never trips
-//! rule 1.
+//! Exit codes are stable for CI: **0** clean, **1** findings, **2**
+//! usage/IO error. Waivers alone do not fail the run, but every waiver is
+//! listed — the workspace expectation is zero.
 
-use std::fmt;
-use std::path::{Path, PathBuf};
+use pipes_lint::{analyze, collect_sources, to_json, Config, PASSES};
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
-/// Crates whose sources must go through the `pipes-sync` facade (rule 1).
-const KERNEL_CRATES: &[&str] = &[
-    "crates/graph",
-    "crates/sched",
-    "crates/mem",
-    "crates/meta",
-    "crates/trace",
-];
-
-/// Directories never scanned: vendored shims (foreign idiom), build
-/// output, VCS metadata.
-const SKIP_DIRS: &[&str] = &["crates/shims", "target", ".git"];
-
-/// Paths rule 1 deliberately tolerates even inside kernel crates: the
-/// facade itself re-exports from these.
-const FORBIDDEN_SYNC_PATHS: &[&str] = &["std::sync", "std::thread", "parking_lot", "loom::"];
-
-#[derive(Debug)]
-struct Violation {
-    path: PathBuf,
-    line: usize, // 1-based
-    rule: &'static str,
-    msg: String,
-}
-
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}:{}: [{}] {}",
-            self.path.display(),
-            self.line,
-            self.rule,
-            self.msg
-        )
-    }
-}
-
-/// One source line, split into masked code and extracted comment text.
-struct Line {
-    /// Code with comments, strings, and char literals blanked out.
-    code: String,
-    /// Concatenated text of every comment piece on the line.
-    comment: String,
-}
-
-/// Splits a source file into per-line (masked code, comment text) pairs.
-///
-/// Handles line and (nested) block comments, string literals with escapes,
-/// raw strings with arbitrary `#` fencing, byte strings, char literals,
-/// and distinguishes lifetimes (`'a`) from char literals.
-fn split_lines(src: &str) -> Vec<Line> {
-    #[derive(Clone, Copy, PartialEq)]
-    enum St {
-        Code,
-        LineComment,
-        BlockComment(u32),
-        Str,
-        RawStr(u32),
-        Char,
-    }
-    let mut lines = Vec::new();
-    let mut code = String::new();
-    let mut comment = String::new();
-    let mut st = St::Code;
-    let chars: Vec<char> = src.chars().collect();
-    let mut i = 0;
-    while i < chars.len() {
-        let c = chars[i];
-        if c == '\n' {
-            if st == St::LineComment {
-                st = St::Code;
-            }
-            lines.push(Line {
-                code: std::mem::take(&mut code),
-                comment: std::mem::take(&mut comment),
-            });
-            i += 1;
-            continue;
-        }
-        match st {
-            St::Code => {
-                let next = chars.get(i + 1).copied();
-                match c {
-                    '/' if next == Some('/') => {
-                        st = St::LineComment;
-                        i += 2;
-                        continue;
-                    }
-                    '/' if next == Some('*') => {
-                        st = St::BlockComment(1);
-                        code.push(' ');
-                        i += 2;
-                        continue;
-                    }
-                    '"' => {
-                        st = St::Str;
-                        code.push(' ');
-                    }
-                    'r' | 'b'
-                        if matches!(next, Some('"') | Some('#') | Some('r'))
-                            && is_raw_or_byte_string(&chars, i) =>
-                    {
-                        let (state, consumed) = enter_string(&chars, i);
-                        st = match state {
-                            StState::Str => St::Str,
-                            StState::RawStr(h) => St::RawStr(h),
-                        };
-                        for _ in 0..consumed {
-                            code.push(' ');
-                        }
-                        i += consumed;
-                        continue;
-                    }
-                    '\'' => {
-                        // Lifetime (`'a`) vs char literal (`'a'`, `'\n'`).
-                        let is_lifetime = matches!(next, Some(n) if n.is_alphanumeric() || n == '_')
-                            && chars.get(i + 2).copied() != Some('\'');
-                        if is_lifetime {
-                            code.push(c);
-                        } else {
-                            st = St::Char;
-                            code.push(' ');
-                        }
-                    }
-                    _ => code.push(c),
-                }
-            }
-            St::LineComment => comment.push(c),
-            St::BlockComment(depth) => {
-                let next = chars.get(i + 1).copied();
-                if c == '*' && next == Some('/') {
-                    st = if depth == 1 {
-                        St::Code
-                    } else {
-                        St::BlockComment(depth - 1)
-                    };
-                    i += 2;
-                    continue;
-                }
-                if c == '/' && next == Some('*') {
-                    st = St::BlockComment(depth + 1);
-                    i += 2;
-                    continue;
-                }
-                comment.push(c);
-            }
-            St::Str => {
-                if c == '\\' {
-                    // A `\` + newline continuation still ends a source
-                    // line; record the break so line numbers stay true.
-                    if chars.get(i + 1) == Some(&'\n') {
-                        lines.push(Line {
-                            code: std::mem::take(&mut code),
-                            comment: std::mem::take(&mut comment),
-                        });
-                    }
-                    i += 2;
-                    continue;
-                }
-                if c == '"' {
-                    st = St::Code;
-                }
-            }
-            St::RawStr(hashes) => {
-                if c == '"' && closes_raw(&chars, i, hashes) {
-                    st = St::Code;
-                    i += 1 + hashes as usize;
-                    continue;
-                }
-            }
-            St::Char => {
-                if c == '\\' {
-                    i += 2;
-                    continue;
-                }
-                if c == '\'' {
-                    st = St::Code;
-                }
-            }
-        }
-        i += 1;
-    }
-    if !code.is_empty() || !comment.is_empty() {
-        lines.push(Line { code, comment });
-    }
-    lines
-}
-
-/// Whether the `r`/`b` at `chars[i]` starts a raw or byte string literal
-/// (as opposed to an identifier like `ready`).
-fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
-    if i > 0 {
-        let prev = chars[i - 1];
-        if prev.is_alphanumeric() || prev == '_' {
-            return false; // part of a longer identifier
-        }
-    }
-    let mut j = i;
-    // Accept the prefixes r" r#" br" b" rb is not valid Rust; keep simple.
-    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') && j - i < 2 {
-        j += 1;
-    }
-    while j < chars.len() && chars[j] == '#' {
-        j += 1;
-    }
-    chars.get(j).copied() == Some('"')
-}
-
-/// Consumes a string prefix starting at `chars[i]` (`r#"`, `b"`, ...),
-/// returning the scanner state and the number of chars consumed up to and
-/// including the opening quote.
-fn enter_string(chars: &[char], i: usize) -> (StState, usize) {
-    let mut j = i;
-    let mut raw = false;
-    while j < chars.len() && (chars[j] == 'r' || chars[j] == 'b') {
-        raw |= chars[j] == 'r';
-        j += 1;
-    }
-    let mut hashes = 0u32;
-    while j < chars.len() && chars[j] == '#' {
-        hashes += 1;
-        j += 1;
-    }
-    debug_assert_eq!(chars.get(j).copied(), Some('"'));
-    let consumed = j + 1 - i;
-    if raw {
-        (StState::RawStr(hashes), consumed)
-    } else {
-        (StState::Str, consumed)
-    }
-}
-
-/// Mirror of the scanner state for `enter_string` (avoids exposing the
-/// private enum from inside `split_lines`).
-#[derive(Clone, Copy, PartialEq)]
-enum StState {
-    Str,
-    RawStr(u32),
-}
-
-/// Whether the `"` at `chars[i]` is followed by `hashes` `#`s, closing a
-/// raw string with that fencing.
-fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
-    (1..=hashes as usize).all(|k| chars.get(i + k).copied() == Some('#'))
-}
-
-/// Whether line `idx` (or the line above) carries a waiver for `rule`.
-fn waived(lines: &[Line], idx: usize, rule: &str) -> bool {
-    let tag = format!("pipes-lint: allow({rule})");
-    lines[idx].comment.contains(&tag) || (idx > 0 && lines[idx - 1].comment.contains(&tag))
-}
-
-/// Rule 1: kernel crates use the `pipes-sync` facade only.
-fn check_direct_sync(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    for (idx, line) in lines.iter().enumerate() {
-        for pat in FORBIDDEN_SYNC_PATHS {
-            if line.code.contains(pat) && !waived(lines, idx, "no-direct-sync") {
-                out.push(Violation {
-                    path: path.to_path_buf(),
-                    line: idx + 1,
-                    rule: "no-direct-sync",
-                    msg: format!(
-                        "`{pat}` in a kernel crate: import locks/atomics/threads \
-                         from `pipes_sync` so the model checker can see them"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Rule 2: extreme memory orderings carry an adjacent justification.
-///
-/// A line with `Ordering::Relaxed`/`Ordering::SeqCst` is justified when a
-/// comment containing `ordering:` sits on the same line, or in the
-/// comment block directly above — where "directly above" skips over other
-/// lines of the same contiguous `Ordering::` run, so one comment may
-/// cover a cluster like a `store` + `fetch_max` pair.
-fn check_ordering_justification(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    let has_extreme =
-        |l: &Line| l.code.contains("Ordering::Relaxed") || l.code.contains("Ordering::SeqCst");
-    for (idx, line) in lines.iter().enumerate() {
-        if !has_extreme(line) {
-            continue;
-        }
-        if line.comment.contains("ordering:") {
-            continue;
-        }
-        // Walk upward: skip lines in the same Ordering:: run, then accept
-        // a contiguous comment block if any line of it says "ordering:".
-        let mut j = idx;
-        let mut justified = false;
-        while j > 0 && has_extreme(&lines[j - 1]) {
-            j -= 1;
-            if lines[j].comment.contains("ordering:") {
-                justified = true;
-                break;
-            }
-        }
-        while !justified && j > 0 {
-            let above = &lines[j - 1];
-            let is_comment_only = above.code.trim().is_empty() && !above.comment.is_empty();
-            if !is_comment_only {
-                break;
-            }
-            if above.comment.contains("ordering:") {
-                justified = true;
-            }
-            j -= 1;
-        }
-        if !justified && !waived(lines, idx, "ordering-justification") {
-            out.push(Violation {
-                path: path.to_path_buf(),
-                line: idx + 1,
-                rule: "ordering-justification",
-                msg: "Relaxed/SeqCst without an adjacent `// ordering:` comment \
-                      justifying the choice"
-                    .to_string(),
-            });
-        }
-    }
-}
-
-/// Rule 3: no lock acquisitions inside `unsafe` blocks.
-fn check_lock_in_unsafe(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
-    // Flatten to (line, char) so brace tracking can span lines.
-    let mut depth_inside: i32 = -1; // brace depth of the unsafe block, -1 = not inside
-    let mut depth: i32 = 0;
-    let mut pending_unsafe = false;
-    for (idx, line) in lines.iter().enumerate() {
-        let code = &line.code;
-        let mut k = 0;
-        let bytes: Vec<char> = code.chars().collect();
-        while k < bytes.len() {
-            let rest: String = bytes[k..].iter().collect();
-            if depth_inside < 0 && rest.starts_with("unsafe") {
-                let before_ok = k == 0 || !(bytes[k - 1].is_alphanumeric() || bytes[k - 1] == '_');
-                let after = bytes.get(k + 6).copied();
-                let after_ok = !matches!(after, Some(a) if a.is_alphanumeric() || a == '_');
-                if before_ok && after_ok {
-                    pending_unsafe = true;
-                }
-                k += 6;
-                continue;
-            }
-            match bytes[k] {
-                '{' => {
-                    depth += 1;
-                    if pending_unsafe && depth_inside < 0 {
-                        depth_inside = depth;
-                        pending_unsafe = false;
-                    }
-                }
-                '}' => {
-                    if depth_inside >= 0 && depth == depth_inside {
-                        depth_inside = -1;
-                    }
-                    depth -= 1;
-                }
-                '(' if depth_inside >= 0 => {
-                    for m in [".lock", ".try_lock", ".read", ".write"] {
-                        if k >= m.len() {
-                            let prefix: String = bytes[k - m.len()..k].iter().collect();
-                            if prefix == m && !waived(lines, idx, "no-lock-in-unsafe") {
-                                out.push(Violation {
-                                    path: path.to_path_buf(),
-                                    line: idx + 1,
-                                    rule: "no-lock-in-unsafe",
-                                    msg: format!(
-                                        "`{m}()` inside an `unsafe` block: blocking while a \
-                                         safety proof is suspended invites deadlock; take the \
-                                         lock outside the block"
-                                    ),
-                                });
-                            }
-                        }
-                    }
-                }
-                _ => {}
-            }
-            k += 1;
-        }
-    }
-}
-
-/// Whether `rel_path` lives under a `tests/` directory (integration test
-/// trees — the place rule 4 looks for equivalence coverage).
-fn is_test_file(path: &Path) -> bool {
-    path.components().any(|c| c.as_os_str() == "tests")
-}
-
-/// Extracts the implementing type from a masked `impl ... for Type<...>`
-/// line: the first identifier after ` for `.
-fn impl_type_name(code: &str) -> Option<String> {
-    let pos = code.find(" for ")?;
-    let name: String = code[pos + 5..]
-        .trim_start()
-        .chars()
-        .take_while(|c| c.is_alphanumeric() || *c == '_')
-        .collect();
-    (!name.is_empty()).then_some(name)
-}
-
-/// Whether `haystack` contains `token` with identifier boundaries on both
-/// sides (so `Map` is not satisfied by `FlatMap`).
-fn contains_token(haystack: &str, token: &str) -> bool {
-    let bytes: Vec<char> = haystack.chars().collect();
-    let tok: Vec<char> = token.chars().collect();
-    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
-    bytes.windows(tok.len()).enumerate().any(|(i, w)| {
-        w == tok.as_slice()
-            && (i == 0 || !is_ident(bytes[i - 1]))
-            && bytes
-                .get(i + tok.len())
-                .copied()
-                .is_none_or(|c| !is_ident(c))
-    })
-}
-
-/// Whether a masked code line declares one of the run entry points —
-/// exactly `fn on_run`, `fn on_run_left`, or `fn on_run_right`, not a
-/// longer identifier that merely starts with `on_run`.
-fn has_run_override(code: &str) -> bool {
-    code.match_indices("fn on_run").any(|(i, pat)| {
-        let boundary_before = i == 0
-            || !code[..i]
-                .chars()
-                .next_back()
-                .is_some_and(|c| c.is_alphanumeric() || c == '_');
-        let tail: String = code[i + pat.len()..]
-            .chars()
-            .take_while(|c| c.is_alphanumeric() || *c == '_')
-            .collect();
-        boundary_before && matches!(tail.as_str(), "" | "_left" | "_right")
-    })
-}
-
-/// Rule 4: every `on_run`/`on_run_left`/`on_run_right` override has an
-/// equivalence test naming the implementing type.
-///
-/// Cross-file: the override is attributed to a type via the nearest
-/// preceding `impl ... for Type` line; coverage means some test file's
-/// masked code contains both that type name (as a whole token) and
-/// `on_run`. The trait definition file and test files themselves are
-/// exempt (a fixture overriding `on_run` inside a test *is* the test).
-fn check_run_equivalence(files: &[(PathBuf, String)], out: &mut Vec<Violation>) {
-    let exempt = Path::new("crates/graph/src/operator.rs");
-    let test_code: Vec<String> = files
-        .iter()
-        .filter(|(p, _)| is_test_file(p))
-        .map(|(_, src)| {
-            split_lines(src)
-                .into_iter()
-                .map(|l| l.code)
-                .collect::<Vec<_>>()
-                .join("\n")
-        })
-        .collect();
-    let covered = |ty: &str| {
-        test_code
-            .iter()
-            .any(|code| code.contains("on_run") && contains_token(code, ty))
-    };
-    for (path, src) in files {
-        if is_test_file(path) || path == exempt {
-            continue;
-        }
-        let lines = split_lines(src);
-        for idx in 0..lines.len() {
-            if !has_run_override(&lines[idx].code) {
-                continue;
-            }
-            let ty = lines[..idx].iter().rev().find_map(|l| {
-                (l.code.contains("impl") && l.code.contains(" for "))
-                    .then(|| impl_type_name(&l.code))
-                    .flatten()
-            });
-            let Some(ty) = ty else {
-                continue; // trait default in a trait body: nothing to test
-            };
-            if !covered(&ty) && !waived(&lines, idx, "run-equivalence-test") {
-                out.push(Violation {
-                    path: path.clone(),
-                    line: idx + 1,
-                    rule: "run-equivalence-test",
-                    msg: format!(
-                        "`{ty}` overrides a run entry point but no tests/ file names \
-                         `{ty}` together with `on_run`: add a batched-vs-per-message \
-                         equivalence proptest (see crates/ops/tests/run_props.rs)"
-                    ),
-                });
-            }
-        }
-    }
-}
-
-/// Runs every applicable rule over one file's source.
-fn check_source(rel_path: &Path, src: &str) -> Vec<Violation> {
-    let lines = split_lines(src);
-    let mut out = Vec::new();
-    let in_kernel = KERNEL_CRATES.iter().any(|k| rel_path.starts_with(k));
-    if in_kernel {
-        check_direct_sync(rel_path, &lines, &mut out);
-    }
-    check_ordering_justification(rel_path, &lines, &mut out);
-    check_lock_in_unsafe(rel_path, &lines, &mut out);
-    out
-}
-
-/// Recursively collects `.rs` files under `root`, skipping `SKIP_DIRS`.
-fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
-    for entry in std::fs::read_dir(dir)? {
-        let entry = entry?;
-        let path = entry.path();
-        let rel = path.strip_prefix(root).unwrap_or(&path);
-        if SKIP_DIRS.iter().any(|s| rel.starts_with(s))
-            || rel
-                .file_name()
-                .is_some_and(|n| n.to_string_lossy().starts_with('.'))
-        {
-            continue;
-        }
-        if path.is_dir() {
-            collect_rs_files(root, &path, out)?;
-        } else if path.extension().is_some_and(|e| e == "rs") {
-            out.push(path);
-        }
-    }
-    Ok(())
-}
-
-/// Locates the workspace root: an explicit argument, or the nearest
-/// ancestor of the current directory containing a `[workspace]` manifest.
+/// Locates the workspace root: the nearest ancestor of the current
+/// directory containing a `[workspace]` manifest.
 fn workspace_root() -> PathBuf {
-    if let Some(arg) = std::env::args().nth(1) {
-        return PathBuf::from(arg);
-    }
     let mut dir = std::env::current_dir().expect("cwd");
     loop {
         let manifest = dir.join("Cargo.toml");
@@ -600,270 +41,103 @@ fn workspace_root() -> PathBuf {
 }
 
 fn main() -> ExitCode {
-    let root = workspace_root();
-    let mut files = Vec::new();
-    if let Err(e) = collect_rs_files(&root, &root, &mut files) {
-        eprintln!("pipes-lint: cannot walk {}: {e}", root.display());
-        return ExitCode::FAILURE;
-    }
-    files.sort();
-    let mut sources: Vec<(PathBuf, String)> = Vec::with_capacity(files.len());
-    for file in &files {
-        let src = match std::fs::read_to_string(file) {
-            Ok(s) => s,
-            Err(e) => {
-                eprintln!("pipes-lint: cannot read {}: {e}", file.display());
-                return ExitCode::FAILURE;
+    let mut json = false;
+    let mut edges = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--edges" => edges = true,
+            "--help" | "-h" => {
+                println!("usage: pipes-lint [ROOT] [--json] [--edges]");
+                return ExitCode::SUCCESS;
             }
-        };
-        let rel = file.strip_prefix(&root).unwrap_or(file);
-        sources.push((rel.to_path_buf(), src));
-    }
-    let mut violations = Vec::new();
-    for (rel, src) in &sources {
-        violations.extend(check_source(rel, src));
-    }
-    check_run_equivalence(&sources, &mut violations);
-    for v in &violations {
-        eprintln!("{v}");
-    }
-    if violations.is_empty() {
-        println!(
-            "pipes-lint: OK — {} files, 4 rules, 0 findings",
-            files.len()
-        );
-        ExitCode::SUCCESS
-    } else {
-        eprintln!(
-            "pipes-lint: {} finding(s) in {} files scanned",
-            violations.len(),
-            files.len()
-        );
-        ExitCode::FAILURE
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn check(path: &str, src: &str) -> Vec<String> {
-        check_source(Path::new(path), src)
-            .into_iter()
-            .map(|v| format!("{}:{}", v.rule, v.line))
-            .collect()
-    }
-
-    #[test]
-    fn masks_comments_strings_and_chars() {
-        let lines = split_lines(
-            "let s = \"std::sync\"; // std::thread here\nlet c = 'x'; /* parking_lot */ let l = 'a: loop {};",
-        );
-        assert!(!lines[0].code.contains("std::sync"));
-        assert!(lines[0].comment.contains("std::thread"));
-        assert!(!lines[1].code.contains("parking_lot"));
-        assert!(lines[1].comment.contains("parking_lot"));
-        assert!(lines[1].code.contains("'a: loop"), "lifetime survives");
-    }
-
-    #[test]
-    fn masks_raw_strings() {
-        let lines = split_lines("let s = r#\"std::sync \" still\"#; std::thread::x();");
-        assert!(!lines[0].code.contains("std::sync"));
-        assert!(lines[0].code.contains("std::thread"));
-    }
-
-    #[test]
-    fn direct_sync_flagged_only_in_kernel_crates() {
-        let src = "use std::sync::Arc;\n";
-        assert_eq!(
-            check("crates/graph/src/edge.rs", src),
-            vec!["no-direct-sync:1"]
-        );
-        assert_eq!(
-            check("crates/meta/src/stats.rs", src),
-            vec!["no-direct-sync:1"],
-            "meta joined the facade-only set"
-        );
-        assert_eq!(
-            check("crates/trace/src/ring.rs", src),
-            vec!["no-direct-sync:1"],
-            "trace joined the facade-only set"
-        );
-        assert!(check("crates/cql/src/lib.rs", src).is_empty());
-        assert!(check("crates/sync/src/lib.rs", src).is_empty());
-    }
-
-    #[test]
-    fn new_sched_layer_modules_are_inside_the_gate() {
-        // The three-layer scheduler modules (plan/steal/worker) live in a
-        // kernel crate; their claim/steal/park primitives must come from
-        // the facade so the model checker can instrument them.
-        let src = "use std::sync::atomic::AtomicUsize;\n";
-        for path in [
-            "crates/sched/src/plan.rs",
-            "crates/sched/src/steal.rs",
-            "crates/sched/src/worker.rs",
-        ] {
-            assert_eq!(check(path, src), vec!["no-direct-sync:1"], "{path}");
+            a if a.starts_with("--") => {
+                eprintln!(
+                    "pipes-lint: unknown flag `{a}` (usage: pipes-lint [ROOT] [--json] [--edges])"
+                );
+                return ExitCode::from(2);
+            }
+            a => {
+                if root.replace(PathBuf::from(a)).is_some() {
+                    eprintln!("pipes-lint: more than one ROOT argument");
+                    return ExitCode::from(2);
+                }
+            }
         }
     }
+    let root = root.unwrap_or_else(workspace_root);
+    let cfg = Config::default();
+    let started = Instant::now();
+    let sources = match collect_sources(&root, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("pipes-lint: cannot scan {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    let outcome = analyze(&sources, &cfg);
+    let elapsed = started.elapsed();
 
-    #[test]
-    fn string_mention_of_std_sync_is_not_flagged() {
-        let src = "let m = \"std::sync is banned\"; // std::thread too\n";
-        assert!(check("crates/graph/src/edge.rs", src).is_empty());
+    if edges {
+        for e in &outcome.lock_edges {
+            println!(
+                "{} -> {}  in `{}` ({}:{}, held since line {}){}",
+                e.from.key,
+                e.to.key,
+                e.to.func,
+                e.to.file.display(),
+                e.to.line,
+                e.from.line,
+                if e.waived { "  [waived]" } else { "" }
+            );
+        }
     }
-
-    #[test]
-    fn unjustified_relaxed_is_flagged() {
-        let src = "x.store(1, Ordering::Relaxed);\n";
-        assert_eq!(
-            check("crates/meta/src/stats.rs", src),
-            vec!["ordering-justification:1"]
+    if json {
+        println!("{}", to_json(&outcome));
+    } else {
+        for v in &outcome.violations {
+            eprintln!("{v}");
+        }
+        println!(
+            "pipes-lint: {} files, {} passes, {:.0?}",
+            outcome.files,
+            PASSES.len(),
+            elapsed
         );
-    }
-
-    #[test]
-    fn same_line_and_above_comment_justify() {
-        let same = "x.store(1, Ordering::Relaxed); // ordering: mutex holds\n";
-        assert!(check("a.rs", same).is_empty());
-        let above = "// ordering: the queue mutex synchronizes; hints only.\n\
-                     x.store(1, Ordering::Relaxed);\n\
-                     y.fetch_max(2, Ordering::Relaxed);\n";
-        assert!(check("a.rs", above).is_empty(), "comment covers the run");
-    }
-
-    #[test]
-    fn acquire_release_need_no_comment() {
-        let src = "x.store(1, Ordering::Release);\nlet v = x.load(Ordering::Acquire);\n";
-        assert!(check("a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn unrelated_code_between_comment_and_ordering_breaks_adjacency() {
-        let src = "// ordering: stale justification\nlet y = 3;\nx.store(1, Ordering::SeqCst);\n";
-        assert_eq!(check("a.rs", src), vec!["ordering-justification:3"]);
-    }
-
-    #[test]
-    fn cmp_ordering_is_not_confused_with_atomics() {
-        let src = "if a.cmp(b) == Ordering::Equal { return Ordering::Less; }\n";
-        assert!(check("a.rs", src).is_empty());
-    }
-
-    #[test]
-    fn lock_inside_unsafe_block_is_flagged() {
-        let src = "unsafe {\n    let g = m.lock();\n}\nlet ok = m.lock();\n";
-        assert_eq!(check("a.rs", src), vec!["no-lock-in-unsafe:2"]);
-    }
-
-    #[test]
-    fn waiver_suppresses_a_finding() {
-        let src = "// pipes-lint: allow(no-direct-sync)\nuse std::sync::Arc;\n";
-        assert!(check("crates/graph/src/x.rs", src).is_empty());
-    }
-
-    fn run_rule4(files: &[(&str, &str)]) -> Vec<String> {
-        let owned: Vec<(PathBuf, String)> = files
-            .iter()
-            .map(|(p, s)| (PathBuf::from(p), (*s).to_string()))
-            .collect();
-        let mut out = Vec::new();
-        check_run_equivalence(&owned, &mut out);
-        out.into_iter()
-            .map(|v| format!("{}:{}:{}", v.path.display(), v.rule, v.line))
-            .collect()
-    }
-
-    const OVERRIDE_SRC: &str = "impl<F> Operator for MyOp<F> {\n\
-                                \x20   fn on_run(&mut self, port: usize) {}\n\
-                                }\n";
-
-    #[test]
-    fn on_run_override_without_test_is_flagged() {
-        assert_eq!(
-            run_rule4(&[("crates/ops/src/my.rs", OVERRIDE_SRC)]),
-            vec!["crates/ops/src/my.rs:run-equivalence-test:2"]
+        let s = &outcome.stats;
+        println!(
+            "  coverage: {} fns walked, {} lock fields, {} atomic fields \
+             ({} accessed), {} nested acquisitions",
+            s.functions, s.lock_fields, s.atomic_fields, s.atomics_accessed, s.nested_acquisitions
         );
+        for p in PASSES {
+            println!(
+                "  {p:<24} {}",
+                outcome.per_pass.get(p).copied().unwrap_or(0)
+            );
+        }
+        if outcome.waivers.is_empty() {
+            println!("  waivers                  0   (workspace expectation: zero)");
+        } else {
+            println!(
+                "  waivers                  {}   (workspace expectation: zero — each must \
+                 carry a written justification)",
+                outcome.waivers.len()
+            );
+            for w in &outcome.waivers {
+                println!("    {}:{}: allow({})", w.path.display(), w.line, w.rule);
+            }
+        }
+        if outcome.violations.is_empty() {
+            println!("pipes-lint: OK — 0 findings");
+        } else {
+            eprintln!("pipes-lint: {} finding(s)", outcome.violations.len());
+        }
     }
-
-    #[test]
-    fn on_run_override_with_named_test_passes() {
-        let test = "fn check() { let op = MyOp::new(); op.on_run(0, &mut r, &mut o); }\n";
-        assert!(run_rule4(&[
-            ("crates/ops/src/my.rs", OVERRIDE_SRC),
-            ("crates/ops/tests/run_props.rs", test),
-        ])
-        .is_empty());
-    }
-
-    #[test]
-    fn type_token_must_match_whole_word() {
-        // `FlatMyOp` must not satisfy coverage for `MyOp`.
-        let test = "fn check() { let op = FlatMyOp::new(); op.on_run(0, &mut r, &mut o); }\n";
-        assert_eq!(
-            run_rule4(&[
-                ("crates/ops/src/my.rs", OVERRIDE_SRC),
-                ("crates/ops/tests/run_props.rs", test),
-            ]),
-            vec!["crates/ops/src/my.rs:run-equivalence-test:2"]
-        );
-    }
-
-    #[test]
-    fn run_pair_overrides_are_attributed_to_the_impl_type() {
-        let src = "impl<L, R> BinaryOperator for MyJoin<L, R> {\n\
-                   \x20   fn on_run_left(&mut self) {}\n\
-                   \x20   fn on_run_right(&mut self) {}\n\
-                   }\n";
-        let found = run_rule4(&[("crates/ops/src/j.rs", src)]);
-        assert_eq!(
-            found,
-            vec![
-                "crates/ops/src/j.rs:run-equivalence-test:2",
-                "crates/ops/src/j.rs:run-equivalence-test:3",
-            ]
-        );
-    }
-
-    #[test]
-    fn trait_defaults_and_test_fixtures_are_exempt() {
-        let trait_src = "pub trait Operator {\n    fn on_run(&mut self) {}\n}\n";
-        let fixture = "impl Operator for Fixture {\n    fn on_run(&mut self) {}\n}\n";
-        assert!(run_rule4(&[
-            ("crates/graph/src/operator.rs", trait_src),
-            ("crates/graph/tests/run_props.rs", fixture),
-        ])
-        .is_empty());
-    }
-
-    #[test]
-    fn longer_identifiers_starting_with_on_run_are_not_overrides() {
-        // A function *named* e.g. `on_run_override_check` is not a run
-        // entry point; neither is `fn on_running`.
-        let src = "impl Operator for MyOp {\n\
-                   \x20   fn on_running(&mut self) {}\n\
-                   \x20   fn on_run_helper(&mut self) {}\n\
-                   }\n";
-        assert!(run_rule4(&[("crates/ops/src/my.rs", src)]).is_empty());
-    }
-
-    #[test]
-    fn string_continuations_keep_line_numbers_true() {
-        let src = "let s = \"a\\\n  b\";\nuse std::sync::Arc;\n";
-        assert_eq!(
-            check("crates/graph/src/x.rs", src),
-            vec!["no-direct-sync:3"]
-        );
-    }
-
-    #[test]
-    fn rule4_waiver_suppresses_the_finding() {
-        let src = "impl Operator for MyOp {\n\
-                   \x20   // pipes-lint: allow(run-equivalence-test)\n\
-                   \x20   fn on_run(&mut self) {}\n\
-                   }\n";
-        assert!(run_rule4(&[("crates/ops/src/my.rs", src)]).is_empty());
+    if outcome.violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
     }
 }

@@ -1,0 +1,341 @@
+//! Brace-tree parse: per-function token ranges and field declarations.
+//!
+//! This is not a Rust parser — it is the minimal structural layer the
+//! passes need, built on the masked token stream: which token ranges are
+//! function bodies (and which `impl` type they belong to), and which
+//! field/static names are declared with lock or atomic types. Everything
+//! else (generics, expressions, patterns) stays a flat token sequence.
+
+use crate::lex::{Kind, Tok};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// One parsed function: name, enclosing `impl` type, and its body's token
+/// index range (exclusive of the outer braces).
+pub struct Func {
+    /// Function name.
+    pub name: String,
+    /// Enclosing `impl` type, when the function sits inside one.
+    pub impl_ty: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Token index range of the body, braces excluded.
+    pub body: Range<usize>,
+}
+
+/// Extracts every function body from the token stream.
+///
+/// Nested items are scanned too (an inner `fn` yields its own entry whose
+/// range is a subrange of the outer body — the passes tolerate the
+/// overlap, which only over-approximates guard lifetimes).
+pub fn functions(toks: &[Tok]) -> Vec<Func> {
+    let mut out = Vec::new();
+    let mut impl_stack: Vec<(i32, String)> = Vec::new();
+    let mut pending_impl: Option<String> = None;
+    let mut depth: i32 = 0;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.is_p('{') {
+            depth += 1;
+            if let Some(ty) = pending_impl.take() {
+                impl_stack.push((depth, ty));
+            }
+            i += 1;
+            continue;
+        }
+        if t.is_p('}') {
+            if impl_stack.last().is_some_and(|(d, _)| *d == depth) {
+                impl_stack.pop();
+            }
+            depth -= 1;
+            i += 1;
+            continue;
+        }
+        if t.is("impl") {
+            pending_impl = impl_type(toks, i + 1);
+            i += 1;
+            continue;
+        }
+        if t.is("fn") {
+            let name = toks
+                .get(i + 1)
+                .filter(|n| n.kind == Kind::Ident)
+                .map(|n| n.text.clone())
+                .unwrap_or_default();
+            // Scan the signature for the body `{` (or `;` for a bodyless
+            // trait method). Signatures contain no braces.
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_p('{') && !toks[j].is_p(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_p('{') {
+                let end = matching_brace(toks, j);
+                out.push(Func {
+                    name,
+                    impl_ty: impl_stack.last().map(|(_, ty)| ty.clone()),
+                    line: t.line,
+                    body: (j + 1)..end,
+                });
+                // Continue scanning *inside* the body so nested items and
+                // the impl stack stay consistent.
+            }
+            i += 1;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Index of the `}` matching the `{` at `open` (or the last token).
+fn matching_brace(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        if t.is_p('{') {
+            depth += 1;
+        } else if t.is_p('}') {
+            depth -= 1;
+            if depth == 0 {
+                return k;
+            }
+        }
+    }
+    toks.len()
+}
+
+/// Resolves the type named by an `impl` header starting right after the
+/// `impl` token: the first identifier after `for` when present (trait
+/// impl), otherwise the first identifier after the generic parameter list.
+fn impl_type(toks: &[Tok], start: usize) -> Option<String> {
+    let mut i = start;
+    // Skip `<...>` generics, tolerating `->` inside bounds.
+    if toks.get(i).is_some_and(|t| t.is_p('<')) {
+        let mut angle = 0i32;
+        while i < toks.len() {
+            let t = &toks[i];
+            if t.is_p('<') {
+                angle += 1;
+            } else if t.is_p('>') {
+                // `->` is not an angle close.
+                if !(i > 0 && toks[i - 1].is_p('-')) {
+                    angle -= 1;
+                    if angle == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+            }
+            i += 1;
+        }
+    }
+    // Find `for` before the opening brace, if any.
+    let mut j = i;
+    let mut for_at = None;
+    while j < toks.len() && !toks[j].is_p('{') && !toks[j].is_p(';') {
+        if toks[j].is("for") {
+            for_at = Some(j);
+            break;
+        }
+        j += 1;
+    }
+    let from = for_at.map(|f| f + 1).unwrap_or(i);
+    toks[from..]
+        .iter()
+        .find(|t| t.kind == Kind::Ident && t.text != "dyn")
+        .map(|t| t.text.clone())
+}
+
+/// Which lock type a field is declared with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockKind {
+    /// `Mutex<..>` (exclusive; `.lock()`/`.try_lock()`).
+    Mutex,
+    /// `RwLock<..>` (shared/exclusive; `.read()`/`.write()`).
+    RwLock,
+}
+
+/// Field/static declarations the passes key on, collected workspace-wide.
+#[derive(Default)]
+pub struct Decls {
+    /// Field or static names declared with a `Mutex`/`RwLock` type
+    /// (directly or through a one-level type alias).
+    pub lock_fields: HashMap<String, LockKind>,
+    /// Field or static names declared with an `Atomic*` type.
+    pub atomic_fields: HashSet<String>,
+}
+
+/// Whether a type token names an atomic type (`AtomicUsize`, ...).
+fn is_atomic_type(name: &str) -> bool {
+    name.starts_with("Atomic") && name.len() > 6
+}
+
+/// Collects lock/atomic field declarations from one file's tokens into
+/// `decls`, resolving aliases recorded in `aliases`.
+pub fn collect_decls(toks: &[Tok], aliases: &HashMap<String, LockKind>, decls: &mut Decls) {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        // Pattern: ident `:` <type window>. Skip `::` paths.
+        let name_ok = toks[i].kind == Kind::Ident;
+        let colon = toks[i + 1].is_p(':')
+            && !toks.get(i + 2).is_some_and(|t| t.is_p(':'))
+            && !(i > 0 && toks[i - 1].is_p(':'));
+        if !(name_ok && colon) {
+            i += 1;
+            continue;
+        }
+        let name = toks[i].text.clone();
+        // Walk the type window: stop at `,` `;` `{` `}` `=` at zero
+        // angle/paren depth (generic args may contain commas and parens).
+        let mut j = i + 2;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        while j < toks.len() {
+            let t = &toks[j];
+            if t.is_p('<') {
+                angle += 1;
+            } else if t.is_p('>') && !(toks[j - 1].is_p('-')) {
+                angle -= 1;
+            } else if t.is_p('(') || t.is_p('[') {
+                paren += 1;
+            } else if t.is_p(')') || t.is_p(']') {
+                if paren == 0 {
+                    break; // closing paren of an enclosing list: not ours
+                }
+                paren -= 1;
+            } else if angle == 0
+                && paren == 0
+                && (t.is_p(',') || t.is_p(';') || t.is_p('{') || t.is_p('}') || t.is_p('='))
+            {
+                break;
+            }
+            if t.kind == Kind::Ident {
+                if t.text == "Mutex" {
+                    decls
+                        .lock_fields
+                        .entry(name.clone())
+                        .or_insert(LockKind::Mutex);
+                } else if t.text == "RwLock" {
+                    decls.lock_fields.insert(name.clone(), LockKind::RwLock);
+                } else if is_atomic_type(&t.text) {
+                    decls.atomic_fields.insert(name.clone());
+                } else if let Some(kind) = aliases.get(&t.text) {
+                    decls.lock_fields.entry(name.clone()).or_insert(*kind);
+                }
+            }
+            j += 1;
+        }
+        i = j.max(i + 1);
+    }
+}
+
+/// Collects `type X = ...Mutex/RwLock...;` aliases from one file.
+pub fn collect_aliases(toks: &[Tok], aliases: &mut HashMap<String, LockKind>) {
+    let mut i = 0;
+    while i + 1 < toks.len() {
+        if toks[i].is("type") && toks[i + 1].kind == Kind::Ident {
+            let name = toks[i + 1].text.clone();
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_p(';') {
+                if toks[j].is("Mutex") {
+                    aliases.entry(name.clone()).or_insert(LockKind::Mutex);
+                } else if toks[j].is("RwLock") {
+                    aliases.insert(name.clone(), LockKind::RwLock);
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex::lex;
+    use crate::lines::split_lines;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(&split_lines(src))
+    }
+
+    #[test]
+    fn finds_functions_with_impl_attribution() {
+        let t = toks(
+            "impl<T: Clone> Edge<T> {\n    pub fn push(&self) -> bool { self.x() }\n}\n\
+             fn free() { body(); }\n\
+             impl Operator for Map<F> { fn on_run(&mut self) { go(); } }",
+        );
+        let fns = functions(&t);
+        let names: Vec<(String, Option<String>)> = fns
+            .iter()
+            .map(|f| (f.name.clone(), f.impl_ty.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("push".into(), Some("Edge".into())),
+                ("free".into(), None),
+                ("on_run".into(), Some("Map".into())),
+            ]
+        );
+        assert_eq!(fns[0].line, 2);
+    }
+
+    #[test]
+    fn bodyless_trait_methods_are_skipped() {
+        let fns = functions(&toks("trait T { fn a(&self); fn b(&self) { x(); } }"));
+        assert_eq!(fns.len(), 1);
+        assert_eq!(fns[0].name, "b");
+    }
+
+    #[test]
+    fn generics_with_fn_bounds_do_not_break_impl_headers() {
+        let fns = functions(&toks(
+            "impl<F: Fn(usize) -> bool> Filter<F> { fn call(&self) { x(); } }",
+        ));
+        assert_eq!(fns[0].impl_ty.as_deref(), Some("Filter"));
+    }
+
+    #[test]
+    fn collects_lock_and_atomic_fields() {
+        let t = toks(
+            "struct S { queue: Mutex<VecDeque<(u64, M)>>, subs: RwLock<Vec<E>>, seq: AtomicU64, n: usize }\n\
+             static REG: Mutex<Vec<u8>> = Mutex::new(Vec::new());",
+        );
+        let mut d = Decls::default();
+        collect_decls(&t, &HashMap::new(), &mut d);
+        assert_eq!(d.lock_fields.get("queue"), Some(&LockKind::Mutex));
+        assert_eq!(d.lock_fields.get("subs"), Some(&LockKind::RwLock));
+        assert_eq!(d.lock_fields.get("REG"), Some(&LockKind::Mutex));
+        assert!(d.atomic_fields.contains("seq"));
+        assert!(!d.lock_fields.contains_key("n"));
+        assert!(!d.atomic_fields.contains("n"));
+    }
+
+    #[test]
+    fn alias_typed_fields_resolve_one_level() {
+        let t = toks("pub type Collected<T> = Arc<Mutex<Vec<Element<T>>>>;");
+        let mut aliases = HashMap::new();
+        collect_aliases(&t, &mut aliases);
+        assert_eq!(aliases.get("Collected"), Some(&LockKind::Mutex));
+        let mut d = Decls::default();
+        collect_decls(
+            &toks("struct Sink<T> { buf: Collected<T> }"),
+            &aliases,
+            &mut d,
+        );
+        assert_eq!(d.lock_fields.get("buf"), Some(&LockKind::Mutex));
+    }
+
+    #[test]
+    fn tuple_typed_lock_fields_do_not_leak_into_siblings() {
+        let t = toks("struct S { count: Arc<Mutex<(u64, Timestamp)>>, next: usize }");
+        let mut d = Decls::default();
+        collect_decls(&t, &HashMap::new(), &mut d);
+        assert_eq!(d.lock_fields.get("count"), Some(&LockKind::Mutex));
+        assert!(!d.lock_fields.contains_key("next"));
+    }
+}

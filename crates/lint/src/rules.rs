@@ -1,0 +1,203 @@
+//! The line-oriented rules: facade-only sync (1), no-lock-in-unsafe (3),
+//! and run-equivalence-test (4). Rule 2 (ordering-justification) lives in
+//! [`crate::atomics`], rebuilt on the import-aware resolver.
+
+use crate::lines::{split_lines, waived, Line};
+use crate::Violation;
+use std::path::{Path, PathBuf};
+
+/// Paths rule 1 deliberately rejects inside kernel crates: the facade
+/// itself re-exports from these.
+pub const FORBIDDEN_SYNC_PATHS: &[&str] = &["std::sync", "std::thread", "parking_lot", "loom::"];
+
+/// Rule 1: kernel crates use the `pipes-sync` facade only.
+pub fn check_direct_sync(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    for (idx, line) in lines.iter().enumerate() {
+        for pat in FORBIDDEN_SYNC_PATHS {
+            if line.code.contains(pat) && !waived(lines, idx, "no-direct-sync") {
+                out.push(Violation {
+                    path: path.to_path_buf(),
+                    line: idx + 1,
+                    rule: "no-direct-sync",
+                    msg: format!(
+                        "`{pat}` in a kernel crate: import locks/atomics/threads \
+                         from `pipes_sync` so the model checker can see them"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 3: no lock acquisitions inside `unsafe` blocks.
+pub fn check_lock_in_unsafe(path: &Path, lines: &[Line], out: &mut Vec<Violation>) {
+    // Flatten to (line, char) so brace tracking can span lines.
+    let mut depth_inside: i32 = -1; // brace depth of the unsafe block, -1 = not inside
+    let mut depth: i32 = 0;
+    let mut pending_unsafe = false;
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let mut k = 0;
+        let bytes: Vec<char> = code.chars().collect();
+        while k < bytes.len() {
+            let rest: String = bytes[k..].iter().collect();
+            if depth_inside < 0 && rest.starts_with("unsafe") {
+                let before_ok = k == 0 || !(bytes[k - 1].is_alphanumeric() || bytes[k - 1] == '_');
+                let after = bytes.get(k + 6).copied();
+                let after_ok = !matches!(after, Some(a) if a.is_alphanumeric() || a == '_');
+                if before_ok && after_ok {
+                    pending_unsafe = true;
+                }
+                k += 6;
+                continue;
+            }
+            match bytes[k] {
+                '{' => {
+                    depth += 1;
+                    if pending_unsafe && depth_inside < 0 {
+                        depth_inside = depth;
+                        pending_unsafe = false;
+                    }
+                }
+                '}' => {
+                    if depth_inside >= 0 && depth == depth_inside {
+                        depth_inside = -1;
+                    }
+                    depth -= 1;
+                }
+                '(' if depth_inside >= 0 => {
+                    for m in [".lock", ".try_lock", ".read", ".write"] {
+                        if k >= m.len() {
+                            let prefix: String = bytes[k - m.len()..k].iter().collect();
+                            if prefix == m && !waived(lines, idx, "no-lock-in-unsafe") {
+                                out.push(Violation {
+                                    path: path.to_path_buf(),
+                                    line: idx + 1,
+                                    rule: "no-lock-in-unsafe",
+                                    msg: format!(
+                                        "`{m}()` inside an `unsafe` block: blocking while a \
+                                         safety proof is suspended invites deadlock; take the \
+                                         lock outside the block"
+                                    ),
+                                });
+                            }
+                        }
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+}
+
+/// Whether `rel_path` lives under a `tests/` directory (integration test
+/// trees — the place rule 4 looks for equivalence coverage).
+pub fn is_test_file(path: &Path) -> bool {
+    path.components().any(|c| c.as_os_str() == "tests")
+}
+
+/// Extracts the implementing type from a masked `impl ... for Type<...>`
+/// line: the first identifier after ` for `.
+fn impl_type_name(code: &str) -> Option<String> {
+    let pos = code.find(" for ")?;
+    let name: String = code[pos + 5..]
+        .trim_start()
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    (!name.is_empty()).then_some(name)
+}
+
+/// Whether `haystack` contains `token` with identifier boundaries on both
+/// sides (so `Map` is not satisfied by `FlatMap`).
+fn contains_token(haystack: &str, token: &str) -> bool {
+    let bytes: Vec<char> = haystack.chars().collect();
+    let tok: Vec<char> = token.chars().collect();
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    bytes.windows(tok.len()).enumerate().any(|(i, w)| {
+        w == tok.as_slice()
+            && (i == 0 || !is_ident(bytes[i - 1]))
+            && bytes
+                .get(i + tok.len())
+                .copied()
+                .is_none_or(|c| !is_ident(c))
+    })
+}
+
+/// Whether a masked code line declares one of the run entry points —
+/// exactly `fn on_run`, `fn on_run_left`, or `fn on_run_right`, not a
+/// longer identifier that merely starts with `on_run`.
+fn has_run_override(code: &str) -> bool {
+    code.match_indices("fn on_run").any(|(i, pat)| {
+        let boundary_before = i == 0
+            || !code[..i]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let tail: String = code[i + pat.len()..]
+            .chars()
+            .take_while(|c| c.is_alphanumeric() || *c == '_')
+            .collect();
+        boundary_before && matches!(tail.as_str(), "" | "_left" | "_right")
+    })
+}
+
+/// Rule 4: every `on_run`/`on_run_left`/`on_run_right` override has an
+/// equivalence test naming the implementing type.
+///
+/// Cross-file: the override is attributed to a type via the nearest
+/// preceding `impl ... for Type` line; coverage means some test file's
+/// masked code contains both that type name (as a whole token) and
+/// `on_run`. The trait definition file and test files themselves are
+/// exempt (a fixture overriding `on_run` inside a test *is* the test).
+pub fn check_run_equivalence(files: &[(PathBuf, String)], out: &mut Vec<Violation>) {
+    let exempt = Path::new("crates/graph/src/operator.rs");
+    let test_code: Vec<String> = files
+        .iter()
+        .filter(|(p, _)| is_test_file(p))
+        .map(|(_, src)| {
+            split_lines(src)
+                .into_iter()
+                .map(|l| l.code)
+                .collect::<Vec<_>>()
+                .join("\n")
+        })
+        .collect();
+    let covered = |ty: &str| {
+        test_code
+            .iter()
+            .any(|code| code.contains("on_run") && contains_token(code, ty))
+    };
+    for (path, src) in files {
+        if is_test_file(path) || path == exempt {
+            continue;
+        }
+        let lines = split_lines(src);
+        for idx in 0..lines.len() {
+            if !has_run_override(&lines[idx].code) {
+                continue;
+            }
+            let ty = lines[..idx].iter().rev().find_map(|l| {
+                (l.code.contains("impl") && l.code.contains(" for "))
+                    .then(|| impl_type_name(&l.code))
+                    .flatten()
+            });
+            let Some(ty) = ty else {
+                continue; // trait default in a trait body: nothing to test
+            };
+            if !covered(&ty) && !waived(&lines, idx, "run-equivalence-test") {
+                out.push(Violation {
+                    path: path.clone(),
+                    line: idx + 1,
+                    rule: "run-equivalence-test",
+                    msg: format!(
+                        "`{ty}` overrides a run entry point but no tests/ file names \
+                         `{ty}` together with `on_run`: add a batched-vs-per-message \
+                         equivalence proptest (see crates/ops/tests/run_props.rs)"
+                    ),
+                });
+            }
+        }
+    }
+}

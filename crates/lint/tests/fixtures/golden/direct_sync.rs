@@ -1,0 +1,8 @@
+// Golden fixture for rule 1 (no-direct-sync): a kernel-crate file
+// reaching for `std::sync` instead of the `pipes-sync` facade.
+
+use std::sync::Mutex;
+
+fn guarded() -> Mutex<u32> {
+    Mutex::new(0)
+}

@@ -1,0 +1,13 @@
+// Golden fixture for rule 3 (no-lock-in-unsafe): blocking on a lock
+// while a safety proof is suspended.
+
+use pipes_sync::Mutex;
+
+static REGISTRY: Mutex<u32> = Mutex::new(0);
+
+fn poke(slot: *mut u32) {
+    unsafe {
+        let guard = REGISTRY.lock();
+        *slot = *guard;
+    }
+}

@@ -1,0 +1,15 @@
+// Golden fixture for rule 2 (ordering-justification): unjustified
+// Relaxed and SeqCst — the SeqCst through an imported bare variant
+// name, the historical bypass — plus a justified Relaxed that stays
+// silent.
+
+use pipes_sync::atomic::{AtomicUsize, Ordering};
+use pipes_sync::atomic::Ordering::SeqCst;
+
+fn stamp(x: &AtomicUsize) {
+    x.store(1, Ordering::Relaxed);
+    x.store(2, SeqCst);
+    // ordering: Relaxed — drop/reset counter, nothing synchronizes on it.
+    x.store(3, Ordering::Relaxed);
+    x.load(Ordering::Acquire);
+}

@@ -1,0 +1,8 @@
+// Golden fixture for rule 4 (run-equivalence-test): an operator
+// overriding the batched run path with no equivalence test naming it.
+
+struct Doubler;
+
+impl Operator for Doubler {
+    fn on_run(&mut self) {}
+}

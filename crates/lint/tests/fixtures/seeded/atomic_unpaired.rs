@@ -1,0 +1,35 @@
+// Seeded violations for the atomic-pairing pass: `published` has a
+// Release store nobody acquires; `consumed` has an Acquire load
+// nobody releases for. `ready` is properly paired and must stay
+// silent.
+
+use pipes_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+struct Flags {
+    published: AtomicBool,
+    consumed: AtomicU64,
+    ready: AtomicUsize,
+}
+
+impl Flags {
+    fn publish(&self) {
+        self.published.store(true, Ordering::Release);
+    }
+
+    fn peek(&self) -> bool {
+        // ordering: Relaxed — advisory peek, never a synchronization edge.
+        self.published.load(Ordering::Relaxed)
+    }
+
+    fn consume(&self) -> u64 {
+        self.consumed.load(Ordering::Acquire)
+    }
+
+    fn set_ready(&self) {
+        self.ready.store(1, Ordering::Release);
+    }
+
+    fn is_ready(&self) -> bool {
+        self.ready.load(Ordering::Acquire) == 1
+    }
+}

@@ -1,0 +1,34 @@
+// Seeded violations for the blocking-while-locked pass: a thread
+// parked while holding a guard, and a condvar wait made while a
+// *second* unrelated guard is held. The condvar wait that is passed
+// its own guard is the sanctioned shape and must stay silent.
+
+use pipes_sync::{Condvar, Mutex};
+
+struct Inbox {
+    items: Mutex<Vec<u32>>,
+    side: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Inbox {
+    fn park_holding_items(&self) {
+        let guard = self.items.lock();
+        pipes_sync::thread::park();
+        drop(guard);
+    }
+
+    fn wait_holding_side(&self) {
+        let side = self.side.lock();
+        let mut guard = self.items.lock();
+        self.cv.wait(&mut guard);
+        drop(side);
+    }
+
+    fn wait_correctly(&self) {
+        let mut guard = self.items.lock();
+        while guard.is_empty() {
+            self.cv.wait(&mut guard);
+        }
+    }
+}

@@ -1,0 +1,33 @@
+// Seeded violations for the lock-order pass: an AB/BA inversion that
+// must be reported as a cycle, and a reentrant re-acquisition that
+// must be reported as a self-loop.
+
+use pipes_sync::Mutex;
+
+struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    fn forward(&self) {
+        let ga = self.a.lock();
+        let gb = self.b.lock();
+        drop(gb);
+        drop(ga);
+    }
+
+    fn backward(&self) {
+        let gb = self.b.lock();
+        let ga = self.a.lock();
+        drop(ga);
+        drop(gb);
+    }
+
+    fn reentrant(&self) {
+        let first = self.a.lock();
+        let second = self.a.lock();
+        drop(second);
+        drop(first);
+    }
+}

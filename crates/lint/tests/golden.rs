@@ -1,0 +1,100 @@
+//! Golden fixtures for the four original line-oriented rules
+//! (`tests/fixtures/golden/`): each known-bad snippet produces exactly
+//! the expected `(rule, line)` findings — no more, no fewer — under a
+//! configuration where every pass family applies.
+
+use pipes_lint::{analyze, Config};
+use std::path::PathBuf;
+
+fn findings(name: &str, src: &str) -> Vec<(String, usize)> {
+    let sources = vec![(PathBuf::from(name), src.to_string())];
+    analyze(&sources, &Config::all_paths())
+        .violations
+        .iter()
+        .map(|v| (v.rule.to_string(), v.line))
+        .collect()
+}
+
+#[test]
+fn rule_1_direct_sync_import_is_flagged_at_the_use_line() {
+    assert_eq!(
+        findings(
+            "kernel/src/direct_sync.rs",
+            include_str!("fixtures/golden/direct_sync.rs"),
+        ),
+        [("no-direct-sync".to_string(), 4)]
+    );
+}
+
+#[test]
+fn rule_2_unjustified_extremes_flagged_including_imported_variant() {
+    assert_eq!(
+        findings(
+            "kernel/src/ordering.rs",
+            include_str!("fixtures/golden/ordering.rs"),
+        ),
+        [
+            ("ordering-justification".to_string(), 10),
+            // Line 11 is the historical bypass: a bare `SeqCst` imported
+            // via `use ...::Ordering::SeqCst`, invisible to the old
+            // textual `Ordering::SeqCst` match.
+            ("ordering-justification".to_string(), 11),
+        ]
+    );
+}
+
+#[test]
+fn rule_3_lock_inside_unsafe_is_flagged_at_the_acquisition() {
+    assert_eq!(
+        findings(
+            "kernel/src/lock_in_unsafe.rs",
+            include_str!("fixtures/golden/lock_in_unsafe.rs"),
+        ),
+        [("no-lock-in-unsafe".to_string(), 10)]
+    );
+}
+
+#[test]
+fn rule_4_uncovered_run_override_is_flagged_at_the_fn_line() {
+    assert_eq!(
+        findings(
+            "kernel/src/run_equivalence.rs",
+            include_str!("fixtures/golden/run_equivalence.rs"),
+        ),
+        [("run-equivalence-test".to_string(), 7)]
+    );
+}
+
+#[test]
+fn rule_4_goes_silent_once_a_test_names_the_type_with_on_run() {
+    let fixture = include_str!("fixtures/golden/run_equivalence.rs");
+    let sources = vec![
+        (
+            PathBuf::from("kernel/src/run_equivalence.rs"),
+            fixture.to_string(),
+        ),
+        (
+            PathBuf::from("kernel/tests/run_props.rs"),
+            "fn equivalence() { /* Doubler on_run vs per-message */ }".to_string(),
+        ),
+    ];
+    // The comment is masked, so coverage must come from code tokens.
+    let o = analyze(&sources, &Config::all_paths());
+    assert_eq!(
+        o.violations.len(),
+        1,
+        "masked comment must not count as coverage"
+    );
+    let sources = vec![
+        (
+            PathBuf::from("kernel/src/run_equivalence.rs"),
+            fixture.to_string(),
+        ),
+        (
+            PathBuf::from("kernel/tests/run_props.rs"),
+            "fn equivalence_doubler() { let d = Doubler; d.on_run(); }".to_string(),
+        ),
+    ];
+    let o = analyze(&sources, &Config::all_paths());
+    assert!(o.violations.is_empty(), "named coverage silences rule 4");
+}

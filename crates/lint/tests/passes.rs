@@ -1,0 +1,187 @@
+//! The three structural passes each demonstrably fire on a committed
+//! seeded-violation fixture (`tests/fixtures/seeded/`), and the real
+//! workspace stays clean with the coverage counters proving the passes
+//! saw real code rather than silently matching nothing.
+//!
+//! Fixtures are fed through [`pipes_lint::analyze`] under synthetic
+//! `kernel/src/...` path labels: every pass family applies
+//! ([`Config::all_paths`]), and the label avoids a `tests` component so
+//! rule 4's test-file exemption does not kick in.
+
+use pipes_lint::{analyze, collect_sources, Config, Outcome};
+use std::path::PathBuf;
+
+fn run(name: &str, src: &str) -> Outcome {
+    let sources = vec![(PathBuf::from(name), src.to_string())];
+    analyze(&sources, &Config::all_paths())
+}
+
+fn render(o: &Outcome) -> String {
+    o.violations
+        .iter()
+        .map(|v| v.to_string())
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[test]
+fn lock_order_fires_on_seeded_inversion_and_self_loop() {
+    let o = run(
+        "kernel/src/lock_cycle.rs",
+        include_str!("fixtures/seeded/lock_cycle.rs"),
+    );
+    assert_eq!(
+        o.violations.len(),
+        2,
+        "exactly the seeded pair:\n{}",
+        render(&o)
+    );
+    assert!(o.violations.iter().all(|v| v.rule == "lock-order"));
+    let cycle = &o.violations[0];
+    assert_eq!(cycle.line, 15, "cycle anchored at the first `a → b` hop");
+    assert!(
+        cycle.msg.contains("cycle over {a → b}"),
+        "got: {}",
+        cycle.msg
+    );
+    assert!(cycle.msg.contains("Pair::forward") && cycle.msg.contains("Pair::backward"));
+    let reentrant = &o.violations[1];
+    assert_eq!(reentrant.line, 29);
+    assert!(
+        reentrant.msg.contains("not reentrant"),
+        "got: {}",
+        reentrant.msg
+    );
+}
+
+#[test]
+fn atomic_pairing_fires_on_seeded_one_armed_fences() {
+    let o = run(
+        "kernel/src/atomic_unpaired.rs",
+        include_str!("fixtures/seeded/atomic_unpaired.rs"),
+    );
+    assert_eq!(
+        o.violations.len(),
+        2,
+        "both one-armed fields, nothing else:\n{}",
+        render(&o)
+    );
+    assert!(o.violations.iter().all(|v| v.rule == "atomic-pairing"));
+    let release_only = &o.violations[0];
+    assert_eq!(release_only.line, 16);
+    assert!(
+        release_only.msg.contains("`published`"),
+        "got: {}",
+        release_only.msg
+    );
+    assert!(release_only.msg.contains("no Acquire"));
+    let acquire_only = &o.violations[1];
+    assert_eq!(acquire_only.line, 25);
+    assert!(
+        acquire_only.msg.contains("`consumed`"),
+        "got: {}",
+        acquire_only.msg
+    );
+    assert!(acquire_only.msg.contains("nothing to acquire"));
+    // `ready` is paired and silent.
+    assert!(!render(&o).contains("ready"));
+}
+
+#[test]
+fn blocking_while_locked_fires_but_condvar_shape_is_exempt() {
+    let o = run(
+        "kernel/src/blocking_locked.rs",
+        include_str!("fixtures/seeded/blocking_locked.rs"),
+    );
+    assert_eq!(
+        o.violations.len(),
+        2,
+        "park + foreign-guard wait only (the guard-passing wait is exempt):\n{}",
+        render(&o)
+    );
+    assert!(o
+        .violations
+        .iter()
+        .all(|v| v.rule == "blocking-while-locked"));
+    let park = &o.violations[0];
+    assert_eq!(park.line, 17);
+    assert!(
+        park.msg.contains("`park()`") && park.msg.contains("`items`"),
+        "got: {}",
+        park.msg
+    );
+    let wait = &o.violations[1];
+    assert_eq!(wait.line, 24);
+    assert!(
+        wait.msg.contains("`wait()`") && wait.msg.contains("`side`"),
+        "got: {}",
+        wait.msg
+    );
+    // The wait was passed `guard`, so `items` itself is not reported.
+    assert!(!wait.msg.contains("`items`"), "got: {}", wait.msg);
+}
+
+#[test]
+fn seeded_fixtures_are_committed_and_skipped_by_real_scans() {
+    // The corpus must exist on disk (not only in include_str! history)...
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/seeded");
+    for f in ["lock_cycle.rs", "atomic_unpaired.rs", "blocking_locked.rs"] {
+        assert!(dir.join(f).is_file(), "missing committed fixture {f}");
+    }
+    // ...and the workspace scan must never pick it up.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let sources = collect_sources(&root, &Config::default()).expect("scan workspace");
+    assert!(
+        sources
+            .iter()
+            .all(|(p, _)| !p.starts_with("crates/lint/tests/fixtures")),
+        "fixture corpus leaked into the real scan"
+    );
+}
+
+#[test]
+fn workspace_is_clean_with_zero_waivers_and_real_coverage() {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = Config::default();
+    let sources = collect_sources(&root, &cfg).expect("scan workspace");
+    let o = analyze(&sources, &cfg);
+    assert!(
+        o.violations.is_empty(),
+        "workspace findings:\n{}",
+        render(&o)
+    );
+    assert!(
+        o.waivers.is_empty(),
+        "workspace expectation is zero waivers"
+    );
+    // Coverage floor: the passes must keep seeing real code. If a parser
+    // regression silently dropped every function, these would catch it.
+    assert!(
+        o.stats.functions > 500,
+        "only {} fns walked",
+        o.stats.functions
+    );
+    assert!(
+        o.stats.lock_fields >= 10,
+        "only {} lock fields",
+        o.stats.lock_fields
+    );
+    assert!(
+        o.stats.atomic_fields >= 10,
+        "only {} atomic fields",
+        o.stats.atomic_fields
+    );
+    assert!(
+        o.stats.nested_acquisitions >= 5,
+        "only {} nested acquisitions",
+        o.stats.nested_acquisitions
+    );
+    // Pin one real edge the walker must keep seeing: downstream_ids
+    // acquires an `incoming` mutex under the `nodes` read lock.
+    assert!(
+        o.lock_edges
+            .iter()
+            .any(|e| e.from.key == "nodes" && e.to.key == "incoming"),
+        "lost the nodes → incoming edge from QueryGraph::downstream_ids"
+    );
+}
