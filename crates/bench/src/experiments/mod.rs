@@ -1,4 +1,4 @@
-//! The experiments E1–E18 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E19 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
@@ -6,6 +6,7 @@ mod batching;
 mod fusion;
 mod join;
 mod memory;
+mod meta_overhead;
 mod monitoring;
 mod mqo;
 mod ops_runs;
@@ -17,7 +18,7 @@ mod scheduling;
 mod trace_overhead;
 mod window_agg;
 
-/// Runs one experiment by id (`e1`..`e18`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e19`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -75,5 +76,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e18") {
         window_agg::e18_window_agg(quick);
+    }
+    if want("e19") {
+        meta_overhead::e19_meta_overhead(quick);
     }
 }

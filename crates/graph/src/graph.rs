@@ -1,10 +1,11 @@
 //! The query graph: nodes, subscriptions and a minimal executor.
 
 use crate::edge::{Edge, EdgeId};
+use crate::meta::{derive, MetaConfig, MetaSnapshot, RawNode};
 use crate::node::{BinNode, OpNode, Runnable, SinkNode, SourceNode, StepReport};
 use crate::operator::{BinaryOperator, NodeId, Operator, SinkOp, SourceOp};
 use crate::outputs::{OutputPort, Outputs};
-use pipes_meta::NodeStats;
+use pipes_meta::{NodeMeta, NodeStats};
 use pipes_sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use pipes_sync::{Arc, Mutex, RwLock};
 
@@ -57,6 +58,7 @@ struct NodeCell {
     kind: NodeKind,
     runnable: Mutex<Box<dyn Runnable>>,
     stats: Arc<NodeStats>,
+    meta: Arc<NodeMeta>,
     out_port: Option<Arc<dyn OutputPort>>,
     /// (upstream node, edge id) for every input subscription.
     incoming: Mutex<Vec<(NodeId, EdgeId)>>,
@@ -152,6 +154,7 @@ impl QueryGraph {
             kind: NodeKind::Source,
             runnable: Mutex::new(Box::new(node)),
             stats: Arc::new(NodeStats::new(name)),
+            meta: Arc::new(NodeMeta::new()),
             out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
             incoming: Mutex::new(Vec::new()),
             removed: AtomicBool::new(false),
@@ -201,6 +204,7 @@ impl QueryGraph {
             kind: NodeKind::Operator,
             runnable: Mutex::new(Box::new(node)),
             stats: Arc::new(NodeStats::new(name)),
+            meta: Arc::new(NodeMeta::new()),
             out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
             incoming: Mutex::new(incoming),
             removed: AtomicBool::new(false),
@@ -234,6 +238,7 @@ impl QueryGraph {
             kind: NodeKind::Operator,
             runnable: Mutex::new(Box::new(node)),
             stats: Arc::new(NodeStats::new(name)),
+            meta: Arc::new(NodeMeta::new()),
             out_port: Some(Arc::clone(&outputs) as Arc<dyn OutputPort>),
             incoming: Mutex::new(incoming),
             removed: AtomicBool::new(false),
@@ -275,6 +280,7 @@ impl QueryGraph {
             kind: NodeKind::Sink,
             runnable: Mutex::new(Box::new(node)),
             stats: Arc::new(NodeStats::new(name)),
+            meta: Arc::new(NodeMeta::new()),
             out_port: None,
             incoming: Mutex::new(incoming),
             removed: AtomicBool::new(false),
@@ -431,6 +437,42 @@ impl QueryGraph {
         Arc::clone(&self.cell(id).stats)
     }
 
+    /// The live metadata block of a node (fed by [`QueryGraph::step_node`];
+    /// snapshot it directly, or take a graph-wide derived view with
+    /// [`QueryGraph::meta_snapshot`]).
+    pub fn meta(&self, id: NodeId) -> Arc<NodeMeta> {
+        Arc::clone(&self.cell(id).meta)
+    }
+
+    /// Takes a consistent point-in-time view of every node's estimates:
+    /// live seqlock snapshots for warm nodes, topology-derived values for
+    /// cold ones (see [`crate::meta`] for the propagation semantics).
+    /// Never blocks stepping threads — estimator reads are lock-free, and
+    /// queue depths come from the always-on stats counters.
+    pub fn meta_snapshot(&self, cfg: &MetaConfig) -> MetaSnapshot {
+        let raw: Vec<RawNode> = {
+            let nodes = self.nodes.read();
+            nodes
+                .iter()
+                .map(|cell| {
+                    let stats = cell.stats.snapshot();
+                    RawNode {
+                        name: cell.name.clone(),
+                        kind: cell.kind,
+                        // ordering: Relaxed — advisory snapshot; see
+                        // remove_node().
+                        removed: cell.removed.load(Ordering::Relaxed),
+                        upstream: cell.incoming.lock().iter().map(|(n, _)| *n).collect(),
+                        queue_len: stats.queue_len,
+                        state_bytes: stats.state_bytes,
+                        meta: cell.meta.snapshot(),
+                    }
+                })
+                .collect()
+        };
+        derive(raw, cfg)
+    }
+
     /// Runs one scheduling quantum of at most `budget` messages on `node`,
     /// updating its statistics.
     pub fn step_node(&self, id: NodeId, budget: usize) -> StepReport {
@@ -452,7 +494,19 @@ impl QueryGraph {
         cell.stats.record_batches(report.batches as u64);
         cell.stats.set_queue_len(runnable.queued());
         cell.stats.set_memory(runnable.memory());
-        cell.stats.set_state_bytes(runnable.state_bytes());
+        let state_bytes = runnable.state_bytes();
+        cell.stats.set_state_bytes(state_bytes);
+        if report.consumed > 0 || report.produced > 0 {
+            // One metadata-plane update per drained run, while the runnable
+            // lock still serializes us: NodeMeta's seqlock publication
+            // assumes a single writer, and this lock is it.
+            cell.meta
+                .record_quantum(report.consumed as u64, report.produced as u64, state_bytes);
+            pipes_trace::instant_coarse(
+                pipes_trace::names::META_UPDATE,
+                [id as u64, report.consumed as u64, report.produced as u64],
+            );
+        }
         drop(runnable);
         if report.produced > 0 && self.has_wake_hook.load(Ordering::Acquire) {
             let hook = self.wake_hook.read().clone();

@@ -36,6 +36,7 @@ mod edge;
 pub mod fuse;
 mod graph;
 pub mod io;
+pub mod meta;
 mod node;
 mod operator;
 mod outputs;
@@ -45,6 +46,7 @@ pub mod watermark;
 pub use edge::{Edge, EdgeId};
 pub use fuse::{Fused, OperatorExt};
 pub use graph::{NodeInfo, NodeKind, QueryGraph, StreamHandle, WakeHook};
+pub use meta::{Confidence, MetaConfig, MetaSnapshot, NodeEstimate};
 pub use node::{BinNode, OpNode, Runnable, SinkNode, SourceNode, StepReport};
 pub use operator::{BinaryOperator, Collector, NodeId, Operator, SinkOp, SourceOp, SourceStatus};
 pub use outputs::{OutputPort, Outputs, PublishCollector};

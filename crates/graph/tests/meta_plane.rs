@@ -1,0 +1,212 @@
+//! The metadata plane observed through the public graph API: warm nodes
+//! report measured estimates, cold nodes inherit topology-derived ones,
+//! all-cold subgraphs fall back to priors, and measured selectivity
+//! composes through `Fused` chains.
+
+use pipes_graph::io::{CollectSink, VecSource};
+use pipes_graph::{Collector, Confidence, MetaConfig, Operator, OperatorExt, QueryGraph};
+use pipes_time::{Element, Timestamp};
+
+/// Keeps every `k`-th element (selectivity 1/k over elements).
+struct Keep(i64);
+
+impl Operator for Keep {
+    type In = i64;
+    type Out = i64;
+    fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
+        if e.payload % self.0 == 0 {
+            out.element(e);
+        }
+    }
+}
+
+fn elems(n: i64) -> Vec<Element<i64>> {
+    (0..n)
+        .map(|v| Element::at(v, Timestamp::new(v as u64)))
+        .collect()
+}
+
+const N: i64 = 4096;
+
+/// Message-level selectivity of `Keep(k)` over `elems(N)` drained with a
+/// generous budget: the source emits one heartbeat per quantum plus one
+/// close, so the ratio sits near 1/k but not exactly on it.
+fn sel_tolerance(observed: f64, ideal: f64) {
+    assert!(
+        (observed - ideal).abs() < 0.05,
+        "selectivity {observed} not within 0.05 of {ideal}"
+    );
+}
+
+#[test]
+fn warm_pipeline_reports_measured_estimates() {
+    if pipes_meta::META_COMPILED_OUT {
+        return;
+    }
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems(N)));
+    let half = g.add_unary("half", Keep(2), &src);
+    let (sink, _) = CollectSink::new();
+    let k = g.add_sink("sink", sink, &half);
+    g.run_to_completion(256);
+
+    let snap = g.meta_snapshot(&MetaConfig::default());
+    assert_eq!(snap.len(), 3);
+    for e in snap.iter() {
+        assert_eq!(e.confidence, Confidence::Measured, "{} is warm", e.name);
+        assert!(e.age_secs.unwrap() < 1.0);
+    }
+    let filter = snap.get(half.node()).unwrap();
+    sel_tolerance(filter.selectivity, 0.5);
+    assert!(filter.in_rate > 0.0);
+    assert!(
+        (filter.out_rate / filter.in_rate - filter.selectivity).abs() < 0.05,
+        "rates and selectivity must agree: {} / {} vs {}",
+        filter.out_rate,
+        filter.in_rate,
+        filter.selectivity
+    );
+    let sink_est = snap.get(k).unwrap();
+    assert_eq!(sink_est.out_rate, 0.0, "sinks emit nothing");
+    assert!(sink_est.in_rate > 0.0);
+    // The JSON introspection dump covers every live node.
+    let js = snap.to_json();
+    for name in ["src", "half", "sink"] {
+        assert!(js.contains(&format!("\"name\":\"{name}\"")), "{js}");
+    }
+}
+
+#[test]
+fn cold_spliced_consumer_derives_from_warm_diamond_parents() {
+    if pipes_meta::META_COMPILED_OUT {
+        return;
+    }
+    let g = QueryGraph::new();
+    // Infinite-ish warm section: drain a large prefix without finishing.
+    let src = g.add_source("src", VecSource::new(elems(N)));
+    let a = g.add_unary("a", Keep(2), &src);
+    let b = g.add_unary("b", Keep(4), &src);
+    for _ in 0..8 {
+        g.step_node(src.node(), 256);
+        g.step_node(a.node(), 512);
+        g.step_node(b.node(), 512);
+    }
+    // Splice in a cold child over both warm parents, never stepped.
+    let (sink, _) = CollectSink::new();
+    let joined = g.add_sink_nary("joined", sink, &[a.clone(), b.clone()]);
+
+    let snap = g.meta_snapshot(&MetaConfig::default());
+    let (ea, eb) = (snap.get(a.node()).unwrap(), snap.get(b.node()).unwrap());
+    assert_eq!(ea.confidence, Confidence::Measured);
+    assert_eq!(eb.confidence, Confidence::Measured);
+    sel_tolerance(ea.selectivity, 0.5);
+    sel_tolerance(eb.selectivity, 0.25);
+
+    let cold = snap.get(joined).unwrap();
+    assert_eq!(cold.confidence, Confidence::Derived);
+    assert!(
+        (cold.in_rate - (ea.out_rate + eb.out_rate)).abs() < 1e-9,
+        "diamond child in_rate {} must be the sum of parents {} + {}",
+        cold.in_rate,
+        ea.out_rate,
+        eb.out_rate
+    );
+    assert_eq!(cold.age_secs, None, "never measured");
+}
+
+#[test]
+fn all_cold_subgraph_falls_back_to_priors() {
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems(16)));
+    let f = g.add_unary("f", Keep(2), &src);
+    let (sink, _) = CollectSink::new();
+    let k = g.add_sink("sink", sink, &f);
+    // Never stepped: the whole subgraph is cold.
+    let cfg = MetaConfig::default();
+    let snap = g.meta_snapshot(&cfg);
+    for e in snap.iter() {
+        assert_eq!(e.confidence, Confidence::Prior, "{} has no data", e.name);
+    }
+    assert_eq!(
+        snap.get(src.node()).unwrap().out_rate,
+        cfg.default_source_rate
+    );
+    let fe = snap.get(f.node()).unwrap();
+    assert_eq!(fe.in_rate, cfg.default_source_rate);
+    assert_eq!(
+        fe.out_rate,
+        cfg.default_source_rate * cfg.default_selectivity
+    );
+    assert_eq!(snap.get(k).unwrap().out_rate, 0.0);
+}
+
+#[test]
+fn stale_measurement_survives_as_selectivity_prior() {
+    if pipes_meta::META_COMPILED_OUT {
+        return;
+    }
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems(N)));
+    let f = g.add_unary("f", Keep(2), &src);
+    let (sink, _) = CollectSink::new();
+    g.add_sink("sink", sink, &f);
+    g.run_to_completion(256);
+
+    // A negative bound declares every measurement stale, forcing the
+    // derivation path without having to actually wait the staleness out.
+    let cfg = MetaConfig {
+        staleness_bound_secs: -1.0,
+        ..MetaConfig::default()
+    };
+    let snap = g.meta_snapshot(&cfg);
+    let src_est = snap.get(src.node()).unwrap();
+    assert_eq!(src_est.confidence, Confidence::Prior, "stale source");
+    assert_eq!(src_est.out_rate, cfg.default_source_rate);
+    let fe = snap.get(f.node()).unwrap();
+    assert_eq!(fe.confidence, Confidence::Prior, "no fresh link anywhere");
+    sel_tolerance(fe.selectivity, 0.5); // own stale measurement, not 1.0
+    assert!(
+        (fe.out_rate - cfg.default_source_rate * fe.selectivity).abs() < 1e-9,
+        "stale selectivity prior must shape the derived rate"
+    );
+    assert!(fe.age_secs.is_some(), "staleness still reported");
+}
+
+#[test]
+fn fused_chain_measures_composed_selectivity_with_variance() {
+    if pipes_meta::META_COMPILED_OUT {
+        return;
+    }
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems(N)));
+    // Keep(2) ∘ Keep(4) fused into one virtual node: element-level
+    // selectivity 1/4 end to end (multiples of 4 survive both).
+    let fused = g.add_unary("fused", Keep(2).then(Keep(4)), &src);
+    let (sink, buf) = CollectSink::new();
+    g.add_sink("sink", sink, &fused);
+    g.run_to_completion(256);
+    assert_eq!(buf.lock().len() as i64, N / 4, "semantic ground truth");
+
+    let snap = g.meta_snapshot(&MetaConfig::default());
+    let e = snap.get(fused.node()).unwrap();
+    assert_eq!(e.confidence, Confidence::Measured);
+    sel_tolerance(e.selectivity, 0.25);
+    assert!(
+        e.selectivity_var > 0.0,
+        "per-quantum selectivity fluctuates across runs (close/heartbeat \
+         tails), so the variance estimator must have picked up spread"
+    );
+}
+
+#[test]
+fn removed_nodes_vanish_from_snapshots() {
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems(16)));
+    let (s1, _) = CollectSink::new();
+    let doomed = g.add_sink("doomed", s1, &src);
+    g.remove_node(doomed);
+    let snap = g.meta_snapshot(&MetaConfig::default());
+    assert!(snap.get(doomed).is_none());
+    assert!(snap.get(src.node()).is_some());
+    assert_eq!(snap.iter().count(), 1);
+}

@@ -166,8 +166,11 @@ fn workspace_is_clean_with_zero_waivers_and_real_coverage() {
         "only {} lock fields",
         o.stats.lock_fields
     );
+    // The metadata plane's seqlock block (crates/meta/src/nodemeta.rs)
+    // alone contributes nine atomic cells; losing sight of them would mean
+    // the atomic passes stopped walking the meta crate.
     assert!(
-        o.stats.atomic_fields >= 10,
+        o.stats.atomic_fields >= 30,
         "only {} atomic fields",
         o.stats.atomic_fields
     );
@@ -183,5 +186,15 @@ fn workspace_is_clean_with_zero_waivers_and_real_coverage() {
             .iter()
             .any(|e| e.from.key == "nodes" && e.to.key == "incoming"),
         "lost the nodes → incoming edge from QueryGraph::downstream_ids"
+    );
+    // And one from the metadata plane: Monitor::sample_at acquires the
+    // `metas` registry under the `nodes` lock (declared order
+    // nodes → metas → series), so the lock-order pass must keep seeing
+    // the monitor's sampling path.
+    assert!(
+        o.lock_edges
+            .iter()
+            .any(|e| e.from.key == "nodes" && e.to.key == "metas"),
+        "lost the nodes → metas edge from Monitor::sample_at"
     );
 }

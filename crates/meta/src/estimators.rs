@@ -430,9 +430,21 @@ impl RateEstimator {
     }
 
     /// Events per second over the window ending at `now`.
-    pub fn rate(&mut self, now: f64) -> f64 {
-        self.evict(now);
-        self.total_in_window as f64 / self.window_secs
+    ///
+    /// Reading is `&self`: the decay is computed at read time by walking the
+    /// expired prefix of the stored buckets (writes still evict eagerly, so
+    /// the prefix is almost always empty). Snapshot paths can therefore read
+    /// rates through a shared reference without taking a write borrow.
+    pub fn rate(&self, now: f64) -> f64 {
+        let mut total = self.total_in_window;
+        for &(t, n) in &self.events {
+            if now - t > self.window_secs {
+                total -= n;
+            } else {
+                break;
+            }
+        }
+        total as f64 / self.window_secs
     }
 }
 
@@ -588,5 +600,107 @@ mod tests {
                                                     // After the first batch leaves the window:
         assert!((r.rate(2.5) - 5.0).abs() < 1e-9); // 10 events / 2s
         assert!((r.rate(10.0) - 0.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_reads_through_shared_reference() {
+        // Regression for the `rate(&mut self)` API: snapshot paths read
+        // rates through `&self`, with the decay computed at read time, and
+        // reading must not mutate the estimator.
+        let mut r = RateEstimator::new(2.0);
+        r.record(0.0, 10);
+        r.record(1.0, 10);
+        let shared: &RateEstimator = &r;
+        // Two buckets live, then one expired, then both — all via `&self`.
+        assert!((shared.rate(1.0) - 10.0).abs() < 1e-9);
+        assert!((shared.rate(2.5) - 5.0).abs() < 1e-9);
+        assert!((shared.rate(10.0) - 0.0).abs() < 1e-9);
+        // A late read at an earlier `now` still sees both buckets: the
+        // read-time decay did not evict anything.
+        assert!((shared.rate(1.0) - 10.0).abs() < 1e-9);
+        // Writes keep evicting eagerly, so state stays bounded.
+        r.record(10.0, 4);
+        assert!((r.rate(10.0) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_alpha_boundaries() {
+        // alpha = 1 is valid and tracks the last observation exactly.
+        let mut e = Ewma::new(1.0);
+        e.observe(3.0);
+        e.observe(9.0);
+        assert_eq!(e.value(), 9.0);
+        // A tiny positive alpha is valid and barely moves.
+        let mut slow = Ewma::new(1e-9);
+        slow.observe(10.0);
+        slow.observe(1_000.0);
+        assert!((slow.value() - 10.0).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_alpha_above_one() {
+        let _ = Ewma::new(1.0 + 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_negative_alpha() {
+        let _ = Ewma::new(-0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_nan_alpha() {
+        let _ = Ewma::new(f64::NAN);
+    }
+
+    #[test]
+    fn p2_small_n_is_exact_for_every_count_below_five() {
+        // Below five observations P² has not initialized its markers; the
+        // estimate must be the exact quantile of what has been seen.
+        let p2 = P2Quantile::new(0.5);
+        assert!(p2.value().is_nan(), "empty estimator reports NaN");
+        assert_eq!(p2.count(), 0);
+
+        let mut one = P2Quantile::new(0.5);
+        one.observe(42.0);
+        assert_eq!(one.value(), 42.0);
+        assert_eq!(one.count(), 1);
+
+        let mut two = P2Quantile::new(0.5);
+        two.observe(7.0);
+        two.observe(1.0);
+        // Exact median of {1, 7} by nearest-rank rounding: index
+        // round((2-1)*0.5) = 1 of the sorted sample.
+        assert_eq!(two.value(), 7.0);
+
+        let mut four = P2Quantile::new(0.25);
+        for x in [40.0, 10.0, 30.0, 20.0] {
+            four.observe(x);
+        }
+        // Exact p25 of {10,20,30,40}: index round(3*0.25) = 1 → 20.
+        assert_eq!(four.value(), 20.0);
+        assert_eq!(four.count(), 4);
+
+        // Tail quantile of a small sample clamps into the sample.
+        let mut tail = P2Quantile::new(0.95);
+        tail.observe(5.0);
+        tail.observe(-5.0);
+        assert_eq!(tail.value(), 5.0);
+    }
+
+    #[test]
+    fn p2_transitions_from_exact_to_markers_at_five() {
+        let mut p2 = P2Quantile::new(0.5);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            p2.observe(x);
+        }
+        assert_eq!(p2.value(), 3.0, "still exact at n=4");
+        p2.observe(5.0);
+        // Marker initialization sorts the first five; the middle marker is
+        // the exact median of them.
+        assert_eq!(p2.value(), 3.0);
+        assert_eq!(p2.count(), 5);
     }
 }

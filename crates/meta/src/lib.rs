@@ -22,6 +22,10 @@
 //!   can be altered at runtime.
 //! * [`Monitor`] — the performance-monitoring tool: samples registered nodes
 //!   into time series and renders them (ASCII sparklines, CSV).
+//! * [`NodeMeta`] — the live metadata plane's per-node block: graph-fed
+//!   online rate/selectivity/variance estimators published through a
+//!   seqlock so readers never block the stepping thread; compiled out
+//!   under the `meta-off` feature (see [`META_COMPILED_OUT`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,8 +33,12 @@
 pub mod estimators;
 mod metrics;
 mod monitor;
+mod nodemeta;
 mod stats;
 
 pub use metrics::{EstimatorSpec, MetadataFactory, MetricSet, OnlineEstimator};
 pub use monitor::{Monitor, SeriesView, TimeSeries};
+pub use nodemeta::{
+    meta_enabled, now_secs, set_meta_enabled, NodeMeta, NodeMetaSnapshot, META_COMPILED_OUT,
+};
 pub use stats::{LatencySummary, NodeStats, StatsSnapshot};

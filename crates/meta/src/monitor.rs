@@ -5,7 +5,7 @@
 //! periodically, and visualize the resulting time series — here as ASCII
 //! sparklines and CSV rather than a Swing window.
 
-use crate::{NodeStats, StatsSnapshot};
+use crate::{NodeMeta, NodeMetaSnapshot, NodeStats, StatsSnapshot};
 use pipes_sync::{Arc, Condvar, Mutex};
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -17,6 +17,11 @@ pub struct TimeSeries {
     pub times: Vec<f64>,
     /// Snapshots taken at those times.
     pub snapshots: Vec<StatsSnapshot>,
+    /// Metadata-plane estimator snapshots taken at those times (`None`
+    /// entries: node registered without a [`NodeMeta`], block not yet warm,
+    /// or the plane compiled out). May be shorter than `snapshots` for
+    /// hand-built series; viewers treat missing entries as absent.
+    pub metas: Vec<Option<NodeMetaSnapshot>>,
 }
 
 /// Which derived series to extract from a [`TimeSeries`].
@@ -39,6 +44,13 @@ pub enum SeriesView {
     /// p95 source-to-sink latency in nanoseconds (0 until the trace
     /// latency pipeline reports samples for the node).
     LatencyP95,
+    /// Estimated input rate from the live metadata plane's sliding-window
+    /// estimator (0 while the node's [`NodeMeta`] has no snapshot).
+    EstInRate,
+    /// Estimated output rate from the live metadata plane.
+    EstOutRate,
+    /// EWMA run-level selectivity from the live metadata plane.
+    EstSelectivity,
 }
 
 impl SeriesView {
@@ -53,6 +65,9 @@ impl SeriesView {
             SeriesView::Subscribers => "subs",
             SeriesView::BatchSize => "batch",
             SeriesView::LatencyP95 => "p95lat",
+            SeriesView::EstInRate => "est-in/s",
+            SeriesView::EstOutRate => "est-out/s",
+            SeriesView::EstSelectivity => "est-sel",
         }
     }
 }
@@ -85,7 +100,18 @@ impl TimeSeries {
                 .collect(),
             SeriesView::InputRate => self.rate(|s| s.in_count),
             SeriesView::OutputRate => self.rate(|s| s.out_count),
+            SeriesView::EstInRate => self.meta_view(|m| m.in_rate),
+            SeriesView::EstOutRate => self.meta_view(|m| m.out_rate),
+            SeriesView::EstSelectivity => self.meta_view(|m| m.selectivity),
         }
+    }
+
+    /// One value per stats sample: the metadata-plane reading at that
+    /// sample, or 0 when the node had no estimator snapshot there.
+    fn meta_view(&self, f: impl Fn(&NodeMetaSnapshot) -> f64) -> Vec<f64> {
+        (0..self.snapshots.len())
+            .map(|i| self.metas.get(i).and_then(|m| m.as_ref()).map_or(0.0, &f))
+            .collect()
     }
 
     fn rate(&self, f: impl Fn(&StatsSnapshot) -> u64) -> Vec<f64> {
@@ -114,6 +140,9 @@ pub struct Monitor {
 
 struct MonitorInner {
     nodes: Mutex<Vec<Arc<NodeStats>>>,
+    /// Metadata-plane blocks, parallel to `nodes` (`None` for nodes
+    /// registered without one). Lock order: `nodes` → `metas` → `series`.
+    metas: Mutex<Vec<Option<Arc<NodeMeta>>>>,
     series: Mutex<Vec<TimeSeries>>,
     /// Sampler lifecycle flag; paired with `stop` so `MonitorGuard::stop`
     /// interrupts the sampler's inter-sample wait instead of letting it
@@ -135,6 +164,7 @@ impl Monitor {
             started: Instant::now(),
             inner: Arc::new(MonitorInner {
                 nodes: Mutex::new(Vec::new()),
+                metas: Mutex::new(Vec::new()),
                 series: Mutex::new(Vec::new()),
                 running: Mutex::new(false),
                 stop: Condvar::new(),
@@ -144,8 +174,19 @@ impl Monitor {
 
     /// Registers a node for sampling. Nodes can be added while sampling runs.
     pub fn register(&self, stats: Arc<NodeStats>) {
-        self.inner.nodes.lock().push(stats);
-        self.inner.series.lock().push(TimeSeries::default());
+        self.register_with_meta(stats, None);
+    }
+
+    /// Registers a node together with its live metadata block (e.g. from
+    /// `QueryGraph::meta`), so samples also capture the plane's
+    /// rate/selectivity estimators ([`SeriesView::EstInRate`] and friends).
+    pub fn register_with_meta(&self, stats: Arc<NodeStats>, meta: Option<Arc<NodeMeta>>) {
+        let mut nodes = self.inner.nodes.lock();
+        let mut metas = self.inner.metas.lock();
+        let mut series = self.inner.series.lock();
+        nodes.push(stats);
+        metas.push(meta);
+        series.push(TimeSeries::default());
     }
 
     /// Number of registered nodes.
@@ -163,10 +204,14 @@ impl Monitor {
     /// (seconds). Deterministic entry point for tests and simulations.
     pub fn sample_at(&self, t: f64) {
         let nodes = self.inner.nodes.lock();
+        let metas = self.inner.metas.lock();
         let mut series = self.inner.series.lock();
         for (i, node) in nodes.iter().enumerate() {
             series[i].times.push(t);
             series[i].snapshots.push(node.snapshot());
+            series[i]
+                .metas
+                .push(metas[i].as_ref().and_then(|m| m.snapshot()));
         }
     }
 
@@ -187,10 +232,14 @@ impl Monitor {
             let t = started.elapsed().as_secs_f64();
             {
                 let nodes = inner.nodes.lock();
+                let metas = inner.metas.lock();
                 let mut series = inner.series.lock();
                 for (i, node) in nodes.iter().enumerate() {
                     series[i].times.push(t);
                     series[i].snapshots.push(node.snapshot());
+                    series[i]
+                        .metas
+                        .push(metas[i].as_ref().and_then(|m| m.snapshot()));
                 }
             }
             let mut running = inner.running.lock();
@@ -237,6 +286,49 @@ impl Monitor {
                 values.iter().cloned().fold(f64::INFINITY, f64::min),
                 values.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
             );
+        }
+        out
+    }
+
+    /// Renders a `top`-style live table straight from the registered
+    /// nodes' current counters and metadata blocks (no sampling history
+    /// needed): one row per node with live rate / selectivity / state
+    /// footprint / queue depth. Estimator columns show `-` for nodes
+    /// without a warm metadata block.
+    pub fn render_top(&self) -> String {
+        let nodes = self.inner.nodes.lock();
+        let metas = self.inner.metas.lock();
+        let mut out = format!(
+            "{:<20} {:>10} {:>10} {:>7} {:>12} {:>8}\n",
+            "node", "in/s", "out/s", "sel", "state-bytes", "queue"
+        );
+        for (i, node) in nodes.iter().enumerate() {
+            let stats = node.snapshot();
+            let meta = metas
+                .get(i)
+                .and_then(|m| m.as_ref())
+                .and_then(|m| m.snapshot());
+            match meta {
+                Some(m) => {
+                    let _ = writeln!(
+                        out,
+                        "{:<20} {:>10.1} {:>10.1} {:>7.3} {:>12} {:>8}",
+                        stats.name,
+                        m.in_rate,
+                        m.out_rate,
+                        m.selectivity,
+                        m.state_bytes,
+                        stats.queue_len,
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "{:<20} {:>10} {:>10} {:>7} {:>12} {:>8}",
+                        stats.name, "-", "-", "-", stats.state_bytes, stats.queue_len,
+                    );
+                }
+            }
         }
         out
     }
@@ -408,6 +500,7 @@ mod tests {
         let series = TimeSeries {
             times: vec![0.0, 1.0, 2.0],
             snapshots: vec![snap("n", 1000), snap("n", 200), snap("n", 700)],
+            metas: vec![],
         };
         let rates = series.view(SeriesView::InputRate);
         assert_eq!(rates[0], 0.0);
@@ -483,6 +576,66 @@ mod tests {
             "stop took {:?}",
             t0.elapsed()
         );
+    }
+
+    #[test]
+    fn meta_series_track_estimator_snapshots() {
+        let m = Monitor::new();
+        let stats = Arc::new(NodeStats::new("op"));
+        let meta = Arc::new(NodeMeta::new());
+        m.register_with_meta(Arc::clone(&stats), Some(Arc::clone(&meta)));
+        m.sample_at(0.0); // block still cold → None entry → 0.0 in views
+        meta.record_quantum(100, 25, 0);
+        m.sample_at(1.0);
+        let s = &m.series()[0];
+        assert_eq!(s.metas.len(), 2);
+        let sel = s.view(SeriesView::EstSelectivity);
+        assert_eq!(sel[0], 0.0, "cold sample reads as zero");
+        if crate::META_COMPILED_OUT {
+            assert_eq!(sel[1], 0.0);
+        } else {
+            assert!((sel[1] - 0.25).abs() < 1e-9, "est-sel={}", sel[1]);
+            assert!(s.view(SeriesView::EstInRate)[1] > 0.0);
+            assert!(s.view(SeriesView::EstOutRate)[1] > 0.0);
+        }
+    }
+
+    #[test]
+    fn series_without_metas_view_estimators_as_zero() {
+        // Hand-built series (and pre-plane recordings) have no metas at
+        // all; estimator views must degrade to zeros, not panic.
+        let m = Monitor::new();
+        let stats = Arc::new(NodeStats::new("plain"));
+        m.register(Arc::clone(&stats));
+        stats.record_in(10);
+        m.sample_at(0.0);
+        let s = &m.series()[0];
+        assert_eq!(s.view(SeriesView::EstInRate), vec![0.0]);
+        assert_eq!(s.view(SeriesView::EstSelectivity), vec![0.0]);
+    }
+
+    #[test]
+    fn render_top_mixes_warm_and_plain_rows() {
+        let m = Monitor::new();
+        let plain = Arc::new(NodeStats::new("plain"));
+        plain.set_queue_len(3);
+        m.register(plain);
+        let warm = Arc::new(NodeStats::new("warm"));
+        let meta = Arc::new(NodeMeta::new());
+        meta.record_quantum(200, 100, 64);
+        m.register_with_meta(warm, Some(meta));
+        let top = m.render_top();
+        let lines: Vec<&str> = top.lines().collect();
+        assert_eq!(lines.len(), 3, "header + 2 rows:\n{top}");
+        assert!(lines[0].contains("node") && lines[0].contains("sel"));
+        assert!(lines[1].contains("plain") && lines[1].contains('-'));
+        assert!(lines[1].ends_with('3'), "queue column:\n{top}");
+        if crate::META_COMPILED_OUT {
+            assert!(lines[2].contains('-'), "compiled out → no estimates");
+        } else {
+            assert!(lines[2].contains("0.500"), "selectivity column:\n{top}");
+            assert!(lines[2].contains("64"), "state-bytes column:\n{top}");
+        }
     }
 
     #[test]

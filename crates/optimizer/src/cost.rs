@@ -5,11 +5,21 @@
 //! Rates start from catalog hints and shrink through selectivity estimates;
 //! a multi-query installation additionally discounts subplans that already
 //! run in the graph (their cost is sunk).
+//!
+//! When a [`LiveCostSource`] is supplied ([`estimate_live`]), rates come
+//! from the running graph's metadata plane instead of static hints: a
+//! bound stream or installed subplan whose [`MetaSnapshot`] estimate is
+//! measured or topology-derived overrides the structural rate at that
+//! plan node, and everything above it is costed from the observed value.
+//! Prior-confidence estimates are ignored — a prior is the same static
+//! guess the structural model already makes, so falling back keeps the
+//! two models consistent.
 
 use crate::catalog::Catalog;
 use crate::expr::{BinOp, Expr};
 use crate::plan::LogicalPlan;
-use std::collections::HashSet;
+use pipes_graph::{Confidence, MetaSnapshot, NodeId};
+use std::collections::{HashMap, HashSet};
 
 /// Estimated steady-state behaviour of a (sub)plan.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -33,6 +43,58 @@ pub fn selectivity(pred: &Expr) -> f64 {
     }
 }
 
+/// Binds plan fragments to nodes of a running graph so the cost model can
+/// read their observed rates from a [`MetaSnapshot`] instead of static
+/// hints. Build one per costing round (snapshots are point-in-time).
+pub struct LiveCostSource<'a> {
+    snap: &'a MetaSnapshot,
+    streams: HashMap<String, NodeId>,
+    subplans: HashMap<String, NodeId>,
+}
+
+impl<'a> LiveCostSource<'a> {
+    /// Creates a source over `snap` with no bindings.
+    pub fn new(snap: &'a MetaSnapshot) -> Self {
+        LiveCostSource {
+            snap,
+            streams: HashMap::new(),
+            subplans: HashMap::new(),
+        }
+    }
+
+    /// Binds catalog stream `name` to graph node `node` (its source node).
+    pub fn bind_stream(&mut self, name: &str, node: NodeId) {
+        self.streams.insert(name.to_string(), node);
+    }
+
+    /// Binds an installed subplan (by [`LogicalPlan::signature`]) to the
+    /// graph node publishing its result.
+    pub fn bind_subplan(&mut self, signature: &str, node: NodeId) {
+        self.subplans.insert(signature.to_string(), node);
+    }
+
+    /// Observed output rate of a bound node, if its estimate carries any
+    /// measurement (priors fall back to the structural model).
+    fn observed_rate(&self, node: NodeId) -> Option<f64> {
+        self.snap
+            .get(node)
+            .filter(|e| e.confidence != Confidence::Prior)
+            .map(|e| e.out_rate)
+    }
+
+    /// Live output rate of catalog stream `name`, when bound and warm.
+    pub fn stream_rate(&self, name: &str) -> Option<f64> {
+        self.streams.get(name).and_then(|n| self.observed_rate(*n))
+    }
+
+    /// Live output rate of an installed subplan, when bound and warm.
+    pub fn subplan_rate(&self, signature: &str) -> Option<f64> {
+        self.subplans
+            .get(signature)
+            .and_then(|n| self.observed_rate(*n))
+    }
+}
+
 /// Estimates rate and cost of `plan`, treating subplans whose signature is
 /// in `sunk` as already running (zero cost, but their output rate still
 /// feeds parents).
@@ -41,23 +103,54 @@ pub fn estimate_with_sunk(
     catalog: &Catalog,
     sunk: &HashSet<String>,
 ) -> PlanEstimate {
-    if sunk.contains(&plan.signature()) {
-        let mut free = estimate_with_sunk_inner(plan, catalog, sunk);
-        free.cost = 0.0;
-        return free;
-    }
-    estimate_with_sunk_inner(plan, catalog, sunk)
+    estimate_node(plan, catalog, sunk, None)
 }
 
-fn estimate_with_sunk_inner(
+/// Estimates rate and cost of `plan` against the running graph: fragments
+/// bound in `live` with warm estimates are costed at their observed output
+/// rates; everything else falls back to the structural model.
+pub fn estimate_live(
     plan: &LogicalPlan,
     catalog: &Catalog,
     sunk: &HashSet<String>,
+    live: &LiveCostSource<'_>,
 ) -> PlanEstimate {
-    let child = |p: &LogicalPlan| estimate_with_sunk(p, catalog, sunk);
+    estimate_node(plan, catalog, sunk, Some(live))
+}
+
+fn estimate_node(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    sunk: &HashSet<String>,
+    live: Option<&LiveCostSource<'_>>,
+) -> PlanEstimate {
+    let mut est = estimate_structural(plan, catalog, sunk, live);
+    if let Some(live) = live {
+        // An installed fragment's observed rate beats every structural
+        // guess below it; the cost of reaching that rate stays structural
+        // (and is zeroed just below when the fragment is sunk).
+        if let Some(rate) = live.subplan_rate(&plan.signature()) {
+            est.rate = rate;
+        }
+    }
+    if sunk.contains(&plan.signature()) {
+        est.cost = 0.0;
+    }
+    est
+}
+
+fn estimate_structural(
+    plan: &LogicalPlan,
+    catalog: &Catalog,
+    sunk: &HashSet<String>,
+    live: Option<&LiveCostSource<'_>>,
+) -> PlanEstimate {
+    let child = |p: &LogicalPlan| estimate_node(p, catalog, sunk, live);
     match plan {
         LogicalPlan::Stream { name, .. } => PlanEstimate {
-            rate: catalog.stream(name).map_or(1000.0, |s| s.rate_hint),
+            rate: live
+                .and_then(|l| l.stream_rate(name))
+                .unwrap_or_else(|| catalog.stream(name).map_or(1000.0, |s| s.rate_hint)),
             cost: 0.0,
         },
         LogicalPlan::Window { input, .. } => {

@@ -2,11 +2,11 @@
 
 use crate::catalog::Catalog;
 use crate::compile::{compile, output_schema, CompileContext};
-use crate::cost::{estimate_with_sunk, PlanEstimate};
+use crate::cost::{estimate_live, estimate_with_sunk, LiveCostSource, PlanEstimate};
 use crate::plan::LogicalPlan;
 use crate::rules;
 use crate::value::{Schema, Tuple};
-use pipes_graph::{QueryGraph, StreamHandle};
+use pipes_graph::{MetaSnapshot, QueryGraph, StreamHandle};
 use std::collections::{HashMap, HashSet};
 
 /// Outcome of installing one query into the running graph.
@@ -107,6 +107,17 @@ impl Optimizer {
         }
     }
 
+    /// A [`LiveCostSource`] over `snap` with every installed subplan bound
+    /// to its publishing node, so live costing sees the running graph's
+    /// observed rates wherever a candidate plan overlaps installed work.
+    pub fn live_cost_source<'a>(&self, snap: &'a MetaSnapshot) -> LiveCostSource<'a> {
+        let mut live = LiveCostSource::new(snap);
+        for (sig, handle) in &self.installed {
+            live.bind_subplan(sig, handle.node());
+        }
+        live
+    }
+
     /// Installs a query into the running `graph`: enumerate variants, pick
     /// the cheapest under sharing, compile, and register new subplans.
     pub fn install(
@@ -114,6 +125,29 @@ impl Optimizer {
         plan: &LogicalPlan,
         graph: &QueryGraph,
         catalog: &Catalog,
+    ) -> Result<InstallReport, String> {
+        self.install_inner(plan, graph, catalog, None)
+    }
+
+    /// Like [`Optimizer::install`], but costs every candidate variant
+    /// against the running graph's live metadata snapshot (installed
+    /// subplans costed at observed rates) instead of static catalog hints.
+    pub fn install_with_meta(
+        &mut self,
+        plan: &LogicalPlan,
+        graph: &QueryGraph,
+        catalog: &Catalog,
+        snap: &MetaSnapshot,
+    ) -> Result<InstallReport, String> {
+        self.install_inner(plan, graph, catalog, Some(snap))
+    }
+
+    fn install_inner(
+        &mut self,
+        plan: &LogicalPlan,
+        graph: &QueryGraph,
+        catalog: &Catalog,
+        snap: Option<&MetaSnapshot>,
     ) -> Result<InstallReport, String> {
         // Validate eagerly so errors carry the user's plan, not a variant.
         let schema = output_schema(plan, catalog)?;
@@ -128,7 +162,13 @@ impl Optimizer {
             }
             let mut sunk = HashSet::new();
             self.sunk_signatures(&v, &mut sunk);
-            let est = estimate_with_sunk(&v, catalog, &sunk);
+            let est = match snap {
+                Some(snap) => {
+                    let live = self.live_cost_source(snap);
+                    estimate_live(&v, catalog, &sunk, &live)
+                }
+                None => estimate_with_sunk(&v, catalog, &sunk),
+            };
             let better = match &best {
                 None => true,
                 Some((_, b)) => est.cost < b.cost,

@@ -482,30 +482,48 @@ impl WorkStealingExecutor {
         }
     }
 
-    /// Leader-only: re-place groups by longest-processing-time over runtime
-    /// queue depths (from `pipes-meta` stats) when the per-worker load
-    /// spread has grown past 2× plus slack. Publishing a new epoch makes
-    /// every worker hand off / pick up groups at its next iteration.
+    /// Seconds of projected input arrivals folded into a group's rebalance
+    /// cost: queue depth measures backlog *now*, the metadata plane's input
+    /// rate projects the immediate future, so a hot group reads as loaded
+    /// even at the instant its queues happen to be drained. Half a
+    /// millisecond keeps the backlog term dominant.
+    const RATE_HORIZON_SECS: f64 = 0.0005;
+
+    /// Leader-only: re-place groups by longest-processing-time over a
+    /// metadata-plane snapshot (queue depths plus measured input rates)
+    /// when the per-worker load spread has grown past 2× plus slack.
+    /// Publishing a new epoch makes every worker hand off / pick up groups
+    /// at its next iteration.
     fn plan_rebalance(&self, graph: &QueryGraph, shared: &Shared) {
         let n = shared.table.len();
         if n < 2 || self.threads < 2 {
             return;
         }
+        // One consistent point-in-time view for the whole placement round;
+        // per-node seqlock reads never block the stepping workers. Rate
+        // terms only count measured/derived estimates — priors (and a
+        // meta-off build, where every estimate is a prior) contribute
+        // nothing, degrading to pure queue-depth costing.
+        let snap = graph.meta_snapshot(&pipes_graph::MetaConfig::default());
         let costs: Vec<u64> = shared
             .plan
             .groups()
             .iter()
             .map(|grp| {
-                let queued: u64 = grp
-                    .nodes()
-                    .iter()
-                    .map(|&m| graph.stats(m).snapshot().queue_len as u64)
-                    .sum();
-                let live_source = grp
-                    .nodes()
-                    .iter()
-                    .any(|&m| graph.kind(m) == NodeKind::Source && !graph.is_finished(m));
-                queued + if live_source { self.quantum as u64 } else { 0 }
+                let mut queued = 0u64;
+                let mut projected = 0.0f64;
+                let mut live_source = false;
+                for &m in grp.nodes() {
+                    let Some(est) = snap.get(m) else { continue };
+                    queued += est.queue_len as u64;
+                    if est.confidence != pipes_graph::Confidence::Prior {
+                        projected += est.in_rate * Self::RATE_HORIZON_SECS;
+                    }
+                    if est.kind == NodeKind::Source && !graph.is_finished(m) {
+                        live_source = true;
+                    }
+                }
+                queued + projected as u64 + if live_source { self.quantum as u64 } else { 0 }
             })
             .collect();
         let mut load = vec![0u64; self.threads];

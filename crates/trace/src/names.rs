@@ -85,6 +85,11 @@ pub const AGG_INSERT_RUN: &str = "agg.insert_run";
 /// active (for the grouped operator: when any live group uses it).
 pub const AGG_FINALIZE: &str = "agg.finalize";
 
+/// Instant for one metadata-plane estimator update after a productive
+/// quantum (`NodeMeta::record_quantum` on the node-step path).
+/// args: `[node_id, consumed, produced]`.
+pub const META_UPDATE: &str = "meta.update";
+
 /// Span around one `MemoryManager::rebalance` round.
 /// args: `[round, budget, n_subscribers]`.
 pub const REBALANCE: &str = "mem.rebalance";

@@ -7,13 +7,24 @@
 
 use std::fmt::Write as _;
 
-use pipes_meta::NodeStats;
+use pipes_meta::{NodeMetaSnapshot, NodeStats};
 use pipes_sync::Arc;
 
 /// Renders all node counters, gauges, and latency quantiles in Prometheus
-/// text exposition format.
+/// text exposition format. Metadata-plane gauges render with no samples;
+/// use [`render_with_meta`] to include live estimator readings.
 pub fn render(nodes: &[Arc<NodeStats>]) -> String {
-    let snaps: Vec<_> = nodes.iter().map(|n| n.snapshot()).collect();
+    let entries: Vec<_> = nodes.iter().map(|n| (Arc::clone(n), None)).collect();
+    render_with_meta(&entries)
+}
+
+/// Renders node counters, gauges, latency quantiles, and — for entries
+/// carrying a metadata-plane snapshot — the live `pipes_node_rate` /
+/// `pipes_node_selectivity` estimator gauges. HELP/TYPE headers are
+/// emitted for every family regardless of whether it has samples, so
+/// scrapers see a stable schema.
+pub fn render_with_meta(entries: &[(Arc<NodeStats>, Option<NodeMetaSnapshot>)]) -> String {
+    let snaps: Vec<_> = entries.iter().map(|(n, _)| n.snapshot()).collect();
     let mut out = String::new();
 
     counter_family(
@@ -69,32 +80,65 @@ pub fn render(nodes: &[Arc<NodeStats>]) -> String {
             .map(|s| (s.name.as_str(), s.subscribers as u64)),
     );
 
+    // Metadata-plane estimator gauges. Headers always, samples only for
+    // nodes with a live snapshot.
+    let _ = writeln!(
+        out,
+        "# HELP pipes_node_rate Live estimated message rate of the node (metadata plane)."
+    );
+    let _ = writeln!(out, "# TYPE pipes_node_rate gauge");
+    for ((_, meta), snap) in entries.iter().zip(&snaps) {
+        if let Some(m) = meta {
+            for (direction, v) in [("in", m.in_rate), ("out", m.out_rate)] {
+                let _ = writeln!(
+                    out,
+                    "pipes_node_rate{{node=\"{}\",direction=\"{direction}\"}} {}",
+                    escape_label(&snap.name),
+                    fmt_value(v)
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "# HELP pipes_node_selectivity Live EWMA run-level selectivity of the node (metadata plane)."
+    );
+    let _ = writeln!(out, "# TYPE pipes_node_selectivity gauge");
+    for ((_, meta), snap) in entries.iter().zip(&snaps) {
+        if let Some(m) = meta {
+            let _ = writeln!(
+                out,
+                "pipes_node_selectivity{{node=\"{}\"}} {}",
+                escape_label(&snap.name),
+                fmt_value(m.selectivity)
+            );
+        }
+    }
+
     let with_latency: Vec<_> = snaps
         .iter()
         .filter_map(|s| s.latency.map(|l| (s.name.as_str(), l)))
         .collect();
-    if !with_latency.is_empty() {
-        let _ = writeln!(
-            out,
-            "# HELP pipes_node_latency_seconds Source-to-sink tuple latency observed at the node."
-        );
-        let _ = writeln!(out, "# TYPE pipes_node_latency_seconds summary");
-        for (name, l) in &with_latency {
-            for (q, v) in [("0.5", l.p50_ns), ("0.95", l.p95_ns), ("0.99", l.p99_ns)] {
-                let _ = writeln!(
-                    out,
-                    "pipes_node_latency_seconds{{node=\"{}\",quantile=\"{q}\"}} {}",
-                    escape_label(name),
-                    fmt_value(v / 1e9)
-                );
-            }
+    let _ = writeln!(
+        out,
+        "# HELP pipes_node_latency_seconds Source-to-sink tuple latency observed at the node."
+    );
+    let _ = writeln!(out, "# TYPE pipes_node_latency_seconds summary");
+    for (name, l) in &with_latency {
+        for (q, v) in [("0.5", l.p50_ns), ("0.95", l.p95_ns), ("0.99", l.p99_ns)] {
             let _ = writeln!(
                 out,
-                "pipes_node_latency_seconds_count{{node=\"{}\"}} {}",
+                "pipes_node_latency_seconds{{node=\"{}\",quantile=\"{q}\"}} {}",
                 escape_label(name),
-                l.count
+                fmt_value(v / 1e9)
             );
         }
+        let _ = writeln!(
+            out,
+            "pipes_node_latency_seconds_count{{node=\"{}\"}} {}",
+            escape_label(name),
+            l.count
+        );
     }
     out
 }
@@ -168,8 +212,140 @@ mod tests {
         assert!(text.contains("pipes_node_in_total{node=\"src\"} 10"));
         assert!(text.contains("pipes_node_out_total{node=\"src\"} 8"));
         assert!(text.contains("pipes_node_queue_len{node=\"sink \\\"q\\\"\"} 3"));
-        // No latency attached → no summary family.
-        assert!(!text.contains("pipes_node_latency_seconds"));
+        // No latency attached → header only, no samples.
+        assert!(text.contains("# TYPE pipes_node_latency_seconds summary"));
+        assert!(!text.contains("pipes_node_latency_seconds{"));
+        // No metadata snapshots → estimator headers only, no samples.
+        assert!(text.contains("# TYPE pipes_node_rate gauge"));
+        assert!(!text.contains("pipes_node_rate{"));
+    }
+
+    fn meta_snap(in_rate: f64, out_rate: f64, sel: f64) -> NodeMetaSnapshot {
+        NodeMetaSnapshot {
+            in_rate,
+            out_rate,
+            selectivity: sel,
+            selectivity_var: 0.0,
+            selectivity_samples: 4,
+            interarrival_var: 0.0,
+            state_bytes: 0,
+            age_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn renders_estimator_gauges_for_warm_nodes() {
+        let warm = Arc::new(NodeStats::new("filter"));
+        let cold = Arc::new(NodeStats::new("late"));
+        let text = render_with_meta(&[(warm, Some(meta_snap(200.0, 50.0, 0.25))), (cold, None)]);
+        assert!(text.contains("# HELP pipes_node_rate "));
+        assert!(text.contains("pipes_node_rate{node=\"filter\",direction=\"in\"} 200"));
+        assert!(text.contains("pipes_node_rate{node=\"filter\",direction=\"out\"} 50"));
+        assert!(text.contains("pipes_node_selectivity{node=\"filter\"} 0.25"));
+        // The cold node appears in the always-on families but not the
+        // estimator gauges.
+        assert!(text.contains("pipes_node_in_total{node=\"late\"} 0"));
+        assert!(!text.contains("pipes_node_rate{node=\"late\""));
+    }
+
+    /// Text-format conformance: the whole dump must parse line by line —
+    /// every family announces HELP and TYPE before its first sample, every
+    /// sample belongs to an announced family (modulo the summary `_count`
+    /// suffix), labels are well-formed, and values parse as f64 (Prometheus
+    /// accepts `NaN`).
+    #[test]
+    fn dump_conforms_to_text_exposition_format() {
+        let a = Arc::new(NodeStats::new("src"));
+        a.record_in(7);
+        let b = Arc::new(NodeStats::new("we\"ird\\node"));
+        b.record_latency_ns(&(1..=100).map(|i| i * 1000).collect::<Vec<_>>());
+        let text = render_with_meta(&[(a, Some(meta_snap(123.5, 61.75, 0.5))), (b, None)]);
+
+        let mut announced: Vec<String> = Vec::new();
+        let mut samples = 0;
+        for line in text.lines() {
+            assert!(!line.is_empty(), "no blank lines in the dump");
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(!name.is_empty() && rest.len() > name.len(), "{line}");
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let mut parts = rest.split(' ');
+                let name = parts.next().unwrap().to_string();
+                let kind = parts.next().unwrap();
+                assert!(
+                    ["counter", "gauge", "summary"].contains(&kind),
+                    "unknown type in {line}"
+                );
+                assert!(
+                    text.contains(&format!("# HELP {name} ")),
+                    "TYPE without HELP: {name}"
+                );
+                announced.push(name);
+                continue;
+            }
+            // A sample line: name{labels} value
+            samples += 1;
+            let brace = line
+                .find('{')
+                .unwrap_or_else(|| panic!("unlabeled sample: {line}"));
+            let name = &line[..brace];
+            assert!(
+                announced
+                    .iter()
+                    .any(|f| name == f || name == format!("{f}_count")),
+                "sample for unannounced family: {line}"
+            );
+            let close = line.rfind('}').unwrap();
+            let labels = &line[brace + 1..close];
+            for pair in split_label_pairs(labels) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .unwrap_or_else(|| panic!("bad label {pair}"));
+                assert!(k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+                assert!(v.starts_with('"') && v.ends_with('"'), "unquoted: {pair}");
+            }
+            let value = line[close + 1..].trim();
+            assert!(
+                value.parse::<f64>().is_ok() || value == "NaN",
+                "unparseable value in {line}"
+            );
+        }
+        assert!(samples > 10, "dump looked empty: {samples} samples");
+        assert!(announced.len() >= 11, "families: {announced:?}");
+    }
+
+    /// Splits `k1="v1",k2="v2"` on commas outside quotes (label values may
+    /// contain escaped quotes and commas).
+    fn split_label_pairs(labels: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut cur = String::new();
+        let mut in_quotes = false;
+        let mut escaped = false;
+        for c in labels.chars() {
+            if escaped {
+                escaped = false;
+                cur.push(c);
+                continue;
+            }
+            match c {
+                '\\' => {
+                    escaped = true;
+                    cur.push(c);
+                }
+                '"' => {
+                    in_quotes = !in_quotes;
+                    cur.push(c);
+                }
+                ',' if !in_quotes => out.push(std::mem::take(&mut cur)),
+                c => cur.push(c),
+            }
+        }
+        if !cur.is_empty() {
+            out.push(cur);
+        }
+        out
     }
 
     #[test]

@@ -10,7 +10,9 @@
 //!
 //! Set `PIPES_TRACE_OUT=/path/to/trace.json` to also dump the flight
 //! recorder's event log as Chrome tracing JSON (open it at
-//! `chrome://tracing` or <https://ui.perfetto.dev>).
+//! `chrome://tracing` or <https://ui.perfetto.dev>), and
+//! `PIPES_META_OUT=/path/to/meta.json` to dump the live metadata plane's
+//! introspection snapshot (per-node rates, selectivities, confidence tags).
 
 use pipes::prelude::*;
 
@@ -67,7 +69,28 @@ fn main() {
         );
     }
 
-    // 6. And its event log can be exported for chrome://tracing.
+    // 6. The live metadata plane was on too: every node kept graph-fed
+    //    online estimators (rates, run-level selectivity) current while the
+    //    query ran, and the snapshot tags each value with its provenance.
+    let meta = graph.meta_snapshot(&MetaConfig::default());
+    println!("metadata plane (per-node online estimates):");
+    for est in meta.iter() {
+        println!(
+            "  {:<18} in {:>9.1}/s out {:>9.1}/s sel {:>5.2} [{:?}]",
+            est.name, est.in_rate, est.out_rate, est.selectivity, est.confidence
+        );
+    }
+    if let Some(path) = std::env::var_os("PIPES_META_OUT") {
+        let json = meta.to_json();
+        std::fs::write(&path, &json).expect("write meta snapshot");
+        println!(
+            "wrote {} node estimates to {}",
+            meta.iter().count(),
+            path.to_string_lossy()
+        );
+    }
+
+    // 7. And the recorder's event log can be exported for chrome://tracing.
     if let Some(path) = std::env::var_os("PIPES_TRACE_OUT") {
         let trace = pipes::trace::snapshot();
         let json = pipes::trace::chrome::chrome_trace_json(&trace);

@@ -39,12 +39,21 @@ cargo test -q --workspace
 echo "==> trace-off configuration (recorder compiled out)"
 cargo test -q -p pipes-trace --features trace-off
 
-echo "==> quickstart Chrome-trace export smoke test"
-PIPES_TRACE_OUT=target/quickstart_trace.json cargo run -q --example quickstart >/dev/null
+# Metadata-plane gate: the compiled-out configuration must still build and
+# pass the estimator/derivation suites (every collection site becomes a
+# no-op and snapshots degrade to priors).
+echo "==> meta-off configuration (metadata plane compiled out)"
+cargo test -q -p pipes-meta -p pipes-graph --features pipes-meta/meta-off
+
+echo "==> quickstart trace + meta introspection export smoke test"
+PIPES_TRACE_OUT=target/quickstart_trace.json \
+PIPES_META_OUT=target/quickstart_meta.json \
+    cargo run -q --example quickstart >/dev/null
 test -s target/quickstart_trace.json
-python3 -c 'import json,sys; json.load(open("target/quickstart_trace.json"))' 2>/dev/null \
-    || node -e 'JSON.parse(require("fs").readFileSync("target/quickstart_trace.json"))' 2>/dev/null \
-    || echo "==> NOTICE: no python3/node on PATH; skipped JSON parse check (file is non-empty)"
+test -s target/quickstart_meta.json
+python3 -c 'import json,sys; json.load(open("target/quickstart_trace.json")); json.load(open("target/quickstart_meta.json"))' 2>/dev/null \
+    || node -e 'JSON.parse(require("fs").readFileSync("target/quickstart_trace.json")); JSON.parse(require("fs").readFileSync("target/quickstart_meta.json"))' 2>/dev/null \
+    || echo "==> NOTICE: no python3/node on PATH; skipped JSON parse check (files are non-empty)"
 
 # Scheduler-layers smoke run: E16 exercises all three executors (static
 # round-robin baseline, topology partitions, work stealing) end to end on
@@ -68,6 +77,14 @@ cargo run -q --release -p pipes-bench --bin experiments -- e17 --quick >/dev/nul
 # the full run recorded in EXPERIMENTS.md.
 echo "==> E18 window-aggregation smoke run (quick)"
 cargo run -q --release -p pipes-bench --bin experiments -- e18 --quick >/dev/null
+
+# Metadata-plane smoke run: E19 runs the E17 join plan with collection
+# disabled and enabled in alternating pairs and checks that a warm graph
+# feeds measured estimates through the snapshot; quick mode keeps it to
+# seconds. The <= 3% overhead bar is checked in the full run recorded in
+# EXPERIMENTS.md, not gated here (quick-run medians are too noisy).
+echo "==> E19 metadata-plane smoke run (quick)"
+cargo run -q --release -p pipes-bench --bin experiments -- e19 --quick >/dev/null
 
 # Model-checked concurrency suite: compile the kernel against the
 # instrumented loom-shim primitives and exhaustively explore interleavings
