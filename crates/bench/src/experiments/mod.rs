@@ -1,4 +1,4 @@
-//! The experiments E1–E19 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E20 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
@@ -9,6 +9,7 @@ mod memory;
 mod meta_overhead;
 mod monitoring;
 mod mqo;
+mod mqo_live;
 mod ops_runs;
 mod plans;
 mod rate;
@@ -18,7 +19,7 @@ mod scheduling;
 mod trace_overhead;
 mod window_agg;
 
-/// Runs one experiment by id (`e1`..`e19`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e20`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -79,5 +80,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e19") {
         meta_overhead::e19_meta_overhead(quick);
+    }
+    if want("e20") {
+        mqo_live::e20_mqo_live(quick);
     }
 }

@@ -1,0 +1,306 @@
+//! E20 — hot topology: queries spliced into a *running* work-stealing
+//! executor.
+//!
+//! E8 showed the multi-query optimizer sharing subplans when all queries
+//! are installed up front. This experiment exercises the dynamic half of
+//! the story: a fleet of NEXMark-style bid queries (shared scan, window
+//! and filter prefix, a rotating set of private projections) registers
+//! incrementally against a graph the work-stealing executor is already
+//! draining. Every install bumps the graph's topology epoch; the leader
+//! re-runs fusion analysis incrementally and splices the new chain into
+//! the live plan — the executor never stops or restarts.
+//!
+//! Measured, against the bars from the roadmap:
+//! * shared vs isolated node count — the live-shared graph must need
+//!   ≥5× fewer non-sink nodes than one pipeline per query;
+//! * steady-state throughput — the live-spliced run must not fall more
+//!   than 20% below an identical run with every query pre-installed
+//!   (in practice it lands at or above it: the replans re-partition with
+//!   measured costs where the static plan only had priors);
+//! * splice latency — install() returning to the first tuple arriving at
+//!   the new query's sink, sampled across the install stream;
+//! * peak state/queue memory from the executor reports, live vs
+//!   pre-installed.
+//!
+//! Results are written to `BENCH_mqo_live.json`.
+
+use crate::{f, table};
+use pipes::nexmark::{self, generator::NexmarkConfig};
+use pipes::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker threads draining the live graph.
+const THREADS: usize = 4;
+/// Distinct projection bodies the query fleet rotates through — every
+/// `DISTINCT`th query is textually identical and shares even its
+/// projection node; the rest share the scan/window/filter prefix.
+const DISTINCT: usize = 50;
+
+fn catalog(events: u64) -> Catalog {
+    let mut cat = Catalog::new();
+    nexmark::register(
+        &mut cat,
+        NexmarkConfig {
+            max_events: events,
+            mean_inter_event_ms: 250.0,
+            ..Default::default()
+        },
+    );
+    cat
+}
+
+fn queries(n: usize, distinct: usize) -> Vec<LogicalPlan> {
+    (0..n)
+        .map(|i| {
+            pipes::cql::compile_cql(
+                &format!(
+                    "SELECT auction, price * {} AS scaled \
+                     FROM bid [RANGE 2 MINUTES] WHERE price > 1000",
+                    (i % distinct) + 1
+                ),
+                &catalog(10),
+            )
+            .expect("query parses")
+        })
+        .collect()
+}
+
+/// Installs every plan up front and drains the graph: the static
+/// baseline the live-spliced run is held against.
+fn run_preinstalled(plans: &[LogicalPlan], events: u64) -> (ExecutionReport, usize) {
+    let cat = catalog(events);
+    let graph = Arc::new(QueryGraph::new());
+    let mut opt = Optimizer::new();
+    for p in plans {
+        let r = opt.install(p, &graph, &cat).expect("installs");
+        let (sink, _) = CollectSink::new();
+        graph.add_sink("s", sink, &r.handle);
+    }
+    let shared_nodes = graph.node_ids().count() - plans.len(); // minus sinks
+    let reports = WorkStealingExecutor::new(THREADS).run(&graph, || Box::new(FifoStrategy));
+    assert!(graph.all_finished(), "preinstalled run did not drain");
+    (ExecutionReport::merge(&reports), shared_nodes)
+}
+
+/// Builds one isolated pipeline per query (fresh optimizer = empty
+/// sharing index) and counts the nodes — the no-sharing strawman.
+fn isolated_nodes(plans: &[LogicalPlan]) -> usize {
+    let cat = catalog(10);
+    let graph = QueryGraph::new();
+    let mut total = 0;
+    for p in plans {
+        let mut fresh = Optimizer::new();
+        let r = fresh.install(p, &graph, &cat).expect("installs");
+        total += r.created;
+    }
+    total
+}
+
+/// Runs E20 and prints the table; writes `BENCH_mqo_live.json`.
+pub fn e20_mqo_live(quick: bool) {
+    let n: usize = if quick { 100 } else { 1_000 };
+    let distinct = if quick { 10 } else { DISTINCT };
+    // Sized so the drain far outlasts the install phase (~100 ms): total
+    // work scales with events × sinks, so the quick config (10× fewer
+    // sinks) needs more events than the full one to keep the executor busy
+    // while queries splice in.
+    let events: u64 = if quick { 30_000 } else { 60_000 };
+    let plans = queries(n, distinct);
+
+    let solo_nodes = isolated_nodes(&plans);
+    let (pre, shared_nodes) = run_preinstalled(&plans, events);
+    let tp_pre = pre.consumed as f64 / pre.wall.as_secs_f64();
+
+    // The live run: one query installed, the executor started, and the
+    // remaining n-1 queries spliced in while it drains. Splice latency
+    // (install returning → first tuple at the new sink) is sampled every
+    // `sample_every`th install.
+    let cat = catalog(events);
+    let graph = Arc::new(QueryGraph::new());
+    let mut opt = Optimizer::new();
+    let r0 = opt.install(&plans[0], &graph, &cat).expect("installs");
+    let (sink0, _) = CollectSink::new();
+    graph.add_sink("s", sink0, &r0.handle);
+    let epoch_at_start = graph.topology_epoch();
+
+    let exec_done = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let handle = std::thread::spawn({
+        let graph = Arc::clone(&graph);
+        let exec_done = Arc::clone(&exec_done);
+        move || {
+            let reports = WorkStealingExecutor::new(THREADS).run(&graph, || Box::new(FifoStrategy));
+            exec_done.store(true, std::sync::atomic::Ordering::Release);
+            reports
+        }
+    });
+
+    // Install the remaining queries back-to-back — no waits in the loop, so
+    // the install phase stays a sliver of the run and the live run does the
+    // same total work as the pre-installed one (comparable whole-run
+    // throughput). First-result latency for sampled installs is watched
+    // from short-lived side threads instead.
+    let sample_every = (n / 16).max(1);
+    let mut watchers = Vec::new();
+    let install_start = Instant::now();
+    for (i, p) in plans.iter().enumerate().skip(1) {
+        let t0 = Instant::now();
+        let r = opt.install(p, &graph, &cat).expect("installs");
+        let (sink, buf) = CollectSink::new();
+        graph.add_sink("s", sink, &r.handle);
+        if i % sample_every == 0 {
+            let exec_done = Arc::clone(&exec_done);
+            watchers.push(std::thread::spawn(move || -> Option<f64> {
+                let deadline = t0 + Duration::from_secs(10);
+                loop {
+                    if !buf.lock().is_empty() {
+                        return Some(t0.elapsed().as_secs_f64() * 1e6);
+                    }
+                    // Sources drained before this splice saw data (or the
+                    // watch timed out): skip the sample.
+                    if exec_done.load(std::sync::atomic::Ordering::Acquire)
+                        || Instant::now() > deadline
+                    {
+                        return None;
+                    }
+                    std::thread::yield_now();
+                }
+            }));
+        }
+    }
+    let install_wall = install_start.elapsed();
+    let epoch_after_installs = graph.topology_epoch();
+    let mut splice_us: Vec<f64> = watchers
+        .into_iter()
+        .filter_map(|w| w.join().expect("watcher thread"))
+        .collect();
+
+    let reports = handle.join().expect("executor thread");
+    // Queries spliced after the sources drained still hold a pending Close
+    // nobody steps once the executor returns; finish them sequentially.
+    // They carry no tuples, so live throughput is unaffected.
+    let mut rounds = 0;
+    while !graph.all_finished() {
+        for id in graph.node_ids() {
+            if !graph.is_finished(id) {
+                graph.step_node(id, 1024);
+            }
+        }
+        rounds += 1;
+        assert!(rounds < 10_000, "live run did not drain");
+    }
+    let live = ExecutionReport::merge(&reports);
+    let tp_live = live.consumed as f64 / live.wall.as_secs_f64();
+
+    let node_ratio = solo_nodes as f64 / shared_nodes as f64;
+    let tp_ratio = tp_live / tp_pre;
+    splice_us.sort_by(f64::total_cmp);
+    let pct = |q: f64| -> f64 {
+        if splice_us.is_empty() {
+            return 0.0;
+        }
+        splice_us[((splice_us.len() - 1) as f64 * q) as usize]
+    };
+    let (lat_p50, lat_p95, lat_max) = (pct(0.5), pct(0.95), pct(1.0));
+
+    table(
+        &format!(
+            "E20 — hot topology: {n} bid queries ({distinct} distinct projections) \
+             spliced into a running {THREADS}-thread work-stealing executor, \
+             {events} events"
+        ),
+        &[
+            "variant",
+            "nodes",
+            "kmsg/s",
+            "peak-state",
+            "peak-queue",
+            "steals",
+        ],
+        &[
+            vec![
+                "isolated (constructed)".into(),
+                solo_nodes.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ],
+            vec![
+                "shared, pre-installed".into(),
+                shared_nodes.to_string(),
+                f(tp_pre / 1e3, 0),
+                pre.peak_state.to_string(),
+                pre.peak_queue.to_string(),
+                pre.steals.to_string(),
+            ],
+            vec![
+                "shared, live-spliced".into(),
+                shared_nodes.to_string(),
+                f(tp_live / 1e3, 0),
+                live.peak_state.to_string(),
+                live.peak_queue.to_string(),
+                live.steals.to_string(),
+            ],
+        ],
+    );
+    println!(
+        "node sharing: {}× fewer nodes than isolated (bar: ≥5×) — {}",
+        f(node_ratio, 1),
+        if node_ratio >= 5.0 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "live throughput: {}% of pre-installed (bar: ≥80%, splicing must \
+         not degrade the executor) — {}",
+        f(tp_ratio * 100.0, 1),
+        if tp_ratio >= 0.80 { "PASS" } else { "FAIL" }
+    );
+    println!(
+        "splice latency (install → first result): p50 {} µs, p95 {} µs, \
+         max {} µs over {} samples; {} installs in {} ms against the live \
+         executor (topology epoch {} → {}, executor never stopped)",
+        f(lat_p50, 0),
+        f(lat_p95, 0),
+        f(lat_max, 0),
+        splice_us.len(),
+        n - 1,
+        install_wall.as_millis(),
+        epoch_at_start,
+        epoch_after_installs,
+    );
+    println!(
+        "shape check: incremental re-planning keeps old virtual-node groups \
+         and their in-flight state; each spliced query costs one replan at a \
+         quantum boundary, not an executor restart."
+    );
+
+    let json = format!(
+        "{{\n  \"experiment\": \"mqo_live\",\n  \"queries\": {n},\n  \
+         \"distinct_projections\": {distinct},\n  \"events\": {events},\n  \
+         \"threads\": {THREADS},\n  \
+         \"isolated_nodes\": {solo_nodes},\n  \
+         \"shared_nodes\": {shared_nodes},\n  \
+         \"node_ratio\": {node_ratio:.2},\n  \"node_ratio_bar\": 5,\n  \
+         \"preinstalled_msg_per_s\": {tp_pre:.0},\n  \
+         \"live_msg_per_s\": {tp_live:.0},\n  \
+         \"throughput_ratio\": {tp_ratio:.3},\n  \"throughput_bar_min_ratio\": 0.8,\n  \
+         \"splice_latency_us_p50\": {lat_p50:.0},\n  \
+         \"splice_latency_us_p95\": {lat_p95:.0},\n  \
+         \"splice_latency_us_max\": {lat_max:.0},\n  \
+         \"splice_latency_samples\": {},\n  \
+         \"install_wall_ms\": {},\n  \
+         \"topology_epoch_final\": {epoch_after_installs},\n  \
+         \"peak_state_pre\": {},\n  \"peak_state_live\": {},\n  \
+         \"peak_queue_pre\": {},\n  \"peak_queue_live\": {}\n}}\n",
+        splice_us.len(),
+        install_wall.as_millis(),
+        pre.peak_state,
+        live.peak_state,
+        pre.peak_queue,
+        live.peak_queue,
+    );
+    match std::fs::write("BENCH_mqo_live.json", &json) {
+        Ok(()) => println!("wrote BENCH_mqo_live.json"),
+        Err(e) => eprintln!("could not write BENCH_mqo_live.json: {e}"),
+    }
+}

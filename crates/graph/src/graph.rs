@@ -103,6 +103,10 @@ pub struct QueryGraph {
     nodes: RwLock<Vec<Arc<NodeCell>>>,
     seq: Arc<AtomicU64>,
     next_edge: AtomicU64,
+    /// Monotone topology epoch, bumped on every node add and retire
+    /// (seqlock-style publication, like `NodeMeta`). Schedulers poll it to
+    /// detect splices without holding the `nodes` lock.
+    topology: AtomicU64,
     wake_hook: RwLock<Option<Arc<WakeHook>>>,
     has_wake_hook: AtomicBool,
 }
@@ -120,15 +124,25 @@ impl QueryGraph {
             nodes: RwLock::new(Vec::new()),
             seq: Arc::new(AtomicU64::new(1)),
             next_edge: AtomicU64::new(1),
+            topology: AtomicU64::new(1),
             wake_hook: RwLock::new(None),
             has_wake_hook: AtomicBool::new(false),
         }
     }
 
     fn push_node(&self, cell: NodeCell) -> NodeId {
-        let mut nodes = self.nodes.write();
-        nodes.push(Arc::new(cell));
-        nodes.len() - 1
+        let id = {
+            let mut nodes = self.nodes.write();
+            nodes.push(Arc::new(cell));
+            nodes.len() - 1
+        };
+        // ordering: the epoch uses Release/Acquire so an observer of the new
+        // value also observes the node published under the write lock above
+        // (the lock release alone does not order against lock-free epoch
+        // readers).
+        let epoch = self.topology.fetch_add(1, Ordering::Release) + 1;
+        pipes_trace::instant(pipes_trace::names::GRAPH_SPLICE, [id as u64, epoch, 0]);
+        id
     }
 
     fn cell(&self, id: NodeId) -> Arc<NodeCell> {
@@ -315,6 +329,23 @@ impl QueryGraph {
         // tolerate stepping a node once more after removal (the runnable
         // lock serializes actual access), so no release fence is needed.
         cell.removed.store(true, Ordering::Relaxed);
+        // ordering: Release — pairs with the Acquire in topology_epoch();
+        // an observer of the new epoch re-scans and sees the removal flag
+        // (or harmlessly steps the node once more, see above).
+        let epoch = self.topology.fetch_add(1, Ordering::Release) + 1;
+        pipes_trace::instant(pipes_trace::names::GRAPH_SPLICE, [node as u64, epoch, 1]);
+    }
+
+    /// The current topology epoch: a monotone counter bumped on every node
+    /// add and every retirement. Executors poll this (lock-free) and
+    /// re-plan when it moves; any mutation racing the poll leaves the epoch
+    /// ahead of the value read, so the next poll re-triggers (seqlock-style
+    /// conservatism — a replan can be observed late, never lost).
+    pub fn topology_epoch(&self) -> u64 {
+        // ordering: Acquire — pairs with the Release bumps in push_node()
+        // and remove_node(); observing an epoch value orders the topology
+        // published before the matching bump.
+        self.topology.load(Ordering::Acquire)
     }
 
     /// Whether `node` has been removed.
@@ -340,6 +371,27 @@ impl QueryGraph {
     /// Whether the graph has no nodes.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Ids of the live (non-removed) nodes, in id order, snapshotted under
+    /// one read-lock acquisition. Safe under concurrent mutation: a node
+    /// spliced in after the snapshot simply does not appear (poll
+    /// [`QueryGraph::topology_epoch`] to notice), and a node retired after
+    /// the snapshot is still safe to step ([`QueryGraph::step_node`] is a
+    /// no-op on removed nodes). Use this instead of `0..graph.len()` so
+    /// id-holes left by retirement are never stepped or double-counted.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        let ids: Vec<NodeId> = {
+            let nodes = self.nodes.read();
+            nodes
+                .iter()
+                .enumerate()
+                // ordering: Relaxed — advisory filter; see remove_node().
+                .filter(|(_, cell)| !cell.removed.load(Ordering::Relaxed))
+                .map(|(id, _)| id)
+                .collect()
+        };
+        ids.into_iter()
     }
 
     /// Static node description.
@@ -545,7 +597,7 @@ impl QueryGraph {
 
     /// Caps the batch size of every node currently in the graph.
     pub fn set_batch_limit(&self, limit: usize) {
-        for id in 0..self.len() {
+        for id in self.node_ids() {
             self.set_node_batch_limit(id, limit);
         }
     }
@@ -567,9 +619,9 @@ impl QueryGraph {
         cell.removed.load(Ordering::Relaxed) || cell.runnable.lock().is_finished()
     }
 
-    /// Whether every node has finished.
+    /// Whether every node has finished (removed nodes count as finished).
     pub fn all_finished(&self) -> bool {
-        (0..self.len()).all(|id| self.is_finished(id))
+        self.node_ids().all(|id| self.is_finished(id))
     }
 
     /// Operator state size of `node` in retained elements.
@@ -590,7 +642,7 @@ impl QueryGraph {
 
     /// Total messages queued across the whole graph.
     pub fn total_queued(&self) -> usize {
-        (0..self.len()).map(|id| self.queued(id)).sum()
+        self.node_ids().map(|id| self.queued(id)).sum()
     }
 
     /// Garbage-collects dangling producers: repeatedly removes sources and
@@ -635,7 +687,7 @@ impl QueryGraph {
                 return quanta;
             }
             let mut progressed = false;
-            for id in 0..self.len() {
+            for id in self.node_ids() {
                 if self.is_finished(id) {
                     continue;
                 }
@@ -806,6 +858,27 @@ mod tests {
         let mut buf = vec![99];
         g.upstream_ids_into(k, &mut buf);
         assert_eq!(buf, vec![99, a.node(), b.node()]);
+    }
+
+    #[test]
+    fn topology_epoch_bumps_on_add_and_retire() {
+        let g = QueryGraph::new();
+        let e0 = g.topology_epoch();
+        let src = g.add_source("src", VecSource::new(elems(&[1])));
+        assert!(g.topology_epoch() > e0, "add_source must bump the epoch");
+        let (s1, _) = CollectSink::new();
+        let a = g.add_sink("a", s1, &src);
+        let (s2, _) = CollectSink::new();
+        let b = g.add_sink("b", s2, &src);
+        let before = g.topology_epoch();
+        g.remove_node(a);
+        assert!(g.topology_epoch() > before, "retire must bump the epoch");
+
+        // node_ids skips the retired id but keeps the survivors, in order.
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        assert_eq!(ids, vec![src.node(), b]);
+        // The hole cannot be double-stepped through the iterator view.
+        assert!(g.node_ids().all(|id| id != a));
     }
 
     #[test]

@@ -157,25 +157,27 @@ fn workspace_is_clean_with_zero_waivers_and_real_coverage() {
     // Coverage floor: the passes must keep seeing real code. If a parser
     // regression silently dropped every function, these would catch it.
     assert!(
-        o.stats.functions > 500,
+        o.stats.functions > 1000,
         "only {} fns walked",
         o.stats.functions
     );
     assert!(
-        o.stats.lock_fields >= 10,
+        o.stats.lock_fields >= 20,
         "only {} lock fields",
         o.stats.lock_fields
     );
     // The metadata plane's seqlock block (crates/meta/src/nodemeta.rs)
-    // alone contributes nine atomic cells; losing sight of them would mean
-    // the atomic passes stopped walking the meta crate.
+    // alone contributes nine atomic cells, and the hot-topology work added
+    // the graph's topology epoch plus the executors' interrupt flags;
+    // losing sight of them would mean the atomic passes stopped walking
+    // those crates.
     assert!(
-        o.stats.atomic_fields >= 30,
+        o.stats.atomic_fields >= 38,
         "only {} atomic fields",
         o.stats.atomic_fields
     );
     assert!(
-        o.stats.nested_acquisitions >= 5,
+        o.stats.nested_acquisitions >= 12,
         "only {} nested acquisitions",
         o.stats.nested_acquisitions
     );
@@ -196,5 +198,81 @@ fn workspace_is_clean_with_zero_waivers_and_real_coverage() {
             .iter()
             .any(|e| e.from.key == "nodes" && e.to.key == "metas"),
         "lost the nodes → metas edge from Monitor::sample_at"
+    );
+}
+
+#[test]
+fn hot_topology_modules_stay_in_coverage() {
+    // The dynamic re-planning machinery carries exactly the kind of state
+    // the structural passes exist to guard: the growable group table's
+    // slot vector behind a `RwLock`, the graph's topology epoch, and the
+    // rebalance/claim words. Pin each module's coverage individually so a
+    // path-matching regression cannot silently drop one of them from the
+    // scan while the workspace totals still look healthy.
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let cfg = Config::default();
+    let sources = collect_sources(&root, &cfg).expect("scan workspace");
+    let module = |suffix: &str| -> Outcome {
+        let subset: Vec<_> = sources
+            .iter()
+            .filter(|(p, _)| p.ends_with(suffix))
+            .cloned()
+            .collect();
+        assert_eq!(subset.len(), 1, "expected exactly one {suffix} in scan");
+        analyze(&subset, &cfg)
+    };
+
+    // crates/sched/src/steal.rs: the group-ownership table. Its slot
+    // vector lives behind a RwLock (grown under the write guard while
+    // claim/steal transitions run under the read guard).
+    let steal = module("crates/sched/src/steal.rs");
+    assert!(steal.violations.is_empty() && steal.waivers.is_empty());
+    assert!(
+        steal.stats.lock_fields >= 1,
+        "lost sight of GroupTable's states RwLock ({} lock fields)",
+        steal.stats.lock_fields
+    );
+
+    // crates/sched/src/executor.rs: the dynamic multi-thread executor's
+    // stop flag and the shared (epoch, partitions) cell.
+    let exec = module("crates/sched/src/executor.rs");
+    assert!(exec.violations.is_empty() && exec.waivers.is_empty());
+    assert!(
+        exec.stats.atomic_fields >= 1,
+        "lost the executor's stop/interrupt atomics ({} atomic fields)",
+        exec.stats.atomic_fields
+    );
+    assert!(
+        exec.stats.lock_fields >= 1,
+        "lost the executor's shared partition cell ({} lock fields)",
+        exec.stats.lock_fields
+    );
+
+    // crates/graph/src/graph.rs: the topology epoch is one of the graph's
+    // atomics, and the node table keeps its nodes → incoming edge.
+    let graph = module("crates/graph/src/graph.rs");
+    assert!(graph.violations.is_empty() && graph.waivers.is_empty());
+    assert!(
+        graph.stats.atomic_fields >= 2,
+        "lost the graph's topology-epoch/finished atomics ({} atomic fields)",
+        graph.stats.atomic_fields
+    );
+    assert!(
+        graph
+            .lock_edges
+            .iter()
+            .any(|e| e.from.key == "nodes" && e.to.key == "incoming"),
+        "lost the nodes → incoming edge inside graph.rs alone"
+    );
+
+    // crates/sched/src/worker.rs: the leader's replan path re-derives the
+    // plan and grows the table while workers run; its coordination words
+    // (rebalance epoch, claim words) are atomics the pairing pass walks.
+    let worker = module("crates/sched/src/worker.rs");
+    assert!(worker.violations.is_empty() && worker.waivers.is_empty());
+    assert!(
+        worker.stats.atomic_fields >= 1,
+        "lost the worker's rebalance/claim atomics ({} atomic fields)",
+        worker.stats.atomic_fields
     );
 }

@@ -138,11 +138,21 @@ pub struct Monitor {
     inner: Arc<MonitorInner>,
 }
 
+/// One node's metadata-plane registration: the live estimator block (if
+/// any) and the graph topology epoch at which the node was registered —
+/// for a hot graph, the splice time shown by [`Monitor::render_top`]'s
+/// `epoch` column.
+struct MetaReg {
+    meta: Option<Arc<NodeMeta>>,
+    spliced_epoch: Option<u64>,
+}
+
 struct MonitorInner {
     nodes: Mutex<Vec<Arc<NodeStats>>>,
-    /// Metadata-plane blocks, parallel to `nodes` (`None` for nodes
-    /// registered without one). Lock order: `nodes` → `metas` → `series`.
-    metas: Mutex<Vec<Option<Arc<NodeMeta>>>>,
+    /// Metadata-plane registrations, parallel to `nodes` (`meta: None`
+    /// for nodes registered without a block).
+    /// Lock order: `nodes` → `metas` → `series`.
+    metas: Mutex<Vec<MetaReg>>,
     series: Mutex<Vec<TimeSeries>>,
     /// Sampler lifecycle flag; paired with `stop` so `MonitorGuard::stop`
     /// interrupts the sampler's inter-sample wait instead of letting it
@@ -181,11 +191,37 @@ impl Monitor {
     /// `QueryGraph::meta`), so samples also capture the plane's
     /// rate/selectivity estimators ([`SeriesView::EstInRate`] and friends).
     pub fn register_with_meta(&self, stats: Arc<NodeStats>, meta: Option<Arc<NodeMeta>>) {
+        self.register_inner(stats, meta, None);
+    }
+
+    /// Like [`Monitor::register_with_meta`], additionally recording the
+    /// graph's topology epoch at registration time (from
+    /// `QueryGraph::topology_epoch()`). [`Monitor::render_top`] shows it
+    /// in the `epoch` column, tagging each row of a hot graph with when
+    /// the node was spliced in.
+    pub fn register_at_epoch(
+        &self,
+        stats: Arc<NodeStats>,
+        meta: Option<Arc<NodeMeta>>,
+        topology_epoch: u64,
+    ) {
+        self.register_inner(stats, meta, Some(topology_epoch));
+    }
+
+    fn register_inner(
+        &self,
+        stats: Arc<NodeStats>,
+        meta: Option<Arc<NodeMeta>>,
+        spliced_epoch: Option<u64>,
+    ) {
         let mut nodes = self.inner.nodes.lock();
         let mut metas = self.inner.metas.lock();
         let mut series = self.inner.series.lock();
         nodes.push(stats);
-        metas.push(meta);
+        metas.push(MetaReg {
+            meta,
+            spliced_epoch,
+        });
         series.push(TimeSeries::default());
     }
 
@@ -211,7 +247,7 @@ impl Monitor {
             series[i].snapshots.push(node.snapshot());
             series[i]
                 .metas
-                .push(metas[i].as_ref().and_then(|m| m.snapshot()));
+                .push(metas[i].meta.as_ref().and_then(|m| m.snapshot()));
         }
     }
 
@@ -239,7 +275,7 @@ impl Monitor {
                     series[i].snapshots.push(node.snapshot());
                     series[i]
                         .metas
-                        .push(metas[i].as_ref().and_then(|m| m.snapshot()));
+                        .push(metas[i].meta.as_ref().and_then(|m| m.snapshot()));
                 }
             }
             let mut running = inner.running.lock();
@@ -292,28 +328,32 @@ impl Monitor {
 
     /// Renders a `top`-style live table straight from the registered
     /// nodes' current counters and metadata blocks (no sampling history
-    /// needed): one row per node with live rate / selectivity / state
-    /// footprint / queue depth. Estimator columns show `-` for nodes
-    /// without a warm metadata block.
+    /// needed): one row per node with the splice epoch (the topology
+    /// epoch recorded at registration, `-` when none was) and live rate /
+    /// selectivity / state footprint / queue depth. Estimator columns
+    /// show `-` for nodes without a warm metadata block.
     pub fn render_top(&self) -> String {
         let nodes = self.inner.nodes.lock();
         let metas = self.inner.metas.lock();
         let mut out = format!(
-            "{:<20} {:>10} {:>10} {:>7} {:>12} {:>8}\n",
-            "node", "in/s", "out/s", "sel", "state-bytes", "queue"
+            "{:<20} {:>6} {:>10} {:>10} {:>7} {:>12} {:>8}\n",
+            "node", "epoch", "in/s", "out/s", "sel", "state-bytes", "queue"
         );
         for (i, node) in nodes.iter().enumerate() {
             let stats = node.snapshot();
-            let meta = metas
-                .get(i)
-                .and_then(|m| m.as_ref())
-                .and_then(|m| m.snapshot());
+            let reg = metas.get(i);
+            let epoch = match reg.and_then(|r| r.spliced_epoch) {
+                Some(e) => e.to_string(),
+                None => "-".to_string(),
+            };
+            let meta = reg.and_then(|r| r.meta.as_ref()).and_then(|m| m.snapshot());
             match meta {
                 Some(m) => {
                     let _ = writeln!(
                         out,
-                        "{:<20} {:>10.1} {:>10.1} {:>7.3} {:>12} {:>8}",
+                        "{:<20} {:>6} {:>10.1} {:>10.1} {:>7.3} {:>12} {:>8}",
                         stats.name,
+                        epoch,
                         m.in_rate,
                         m.out_rate,
                         m.selectivity,
@@ -324,8 +364,8 @@ impl Monitor {
                 None => {
                     let _ = writeln!(
                         out,
-                        "{:<20} {:>10} {:>10} {:>7} {:>12} {:>8}",
-                        stats.name, "-", "-", "-", stats.state_bytes, stats.queue_len,
+                        "{:<20} {:>6} {:>10} {:>10} {:>7} {:>12} {:>8}",
+                        stats.name, epoch, "-", "-", "-", stats.state_bytes, stats.queue_len,
                     );
                 }
             }
@@ -636,6 +676,20 @@ mod tests {
             assert!(lines[2].contains("0.500"), "selectivity column:\n{top}");
             assert!(lines[2].contains("64"), "state-bytes column:\n{top}");
         }
+    }
+
+    #[test]
+    fn render_top_shows_splice_epoch_column() {
+        let m = Monitor::new();
+        m.register(Arc::new(NodeStats::new("original")));
+        m.register_at_epoch(Arc::new(NodeStats::new("late-query")), None, 7);
+        let top = m.render_top();
+        let lines: Vec<&str> = top.lines().collect();
+        assert!(lines[0].contains("epoch"), "header:\n{top}");
+        let original = lines[1].split_whitespace().nth(1).unwrap();
+        assert_eq!(original, "-", "no epoch recorded at registration");
+        let late = lines[2].split_whitespace().nth(1).unwrap();
+        assert_eq!(late, "7", "splice epoch column:\n{top}");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use crate::cost::{estimate_live, estimate_with_sunk, LiveCostSource, PlanEstimat
 use crate::plan::LogicalPlan;
 use crate::rules;
 use crate::value::{Schema, Tuple};
-use pipes_graph::{MetaSnapshot, QueryGraph, StreamHandle};
+use pipes_graph::{MetaSnapshot, NodeId, QueryGraph, StreamHandle};
 use std::collections::{HashMap, HashSet};
 
 /// Outcome of installing one query into the running graph.
@@ -90,6 +90,20 @@ impl Optimizer {
         self.installed
             .retain(|_, handle| !graph.is_removed(handle.node()));
         removed
+    }
+
+    /// Uninstalls a query live: removes its application sink (which
+    /// unsubscribes the query from its result stream) and then
+    /// [`Optimizer::retire`]s every subplan no other query consumes. The
+    /// whole path is safe to call while executors are running — each
+    /// removal bumps the graph's topology epoch, and workers pick the
+    /// shrunken topology up at their next re-plan; shared prefixes keep
+    /// flowing (and keep their warm [`pipes_graph::NodeEstimate`]s)
+    /// because the other subscribers hold them live. Returns the number
+    /// of nodes removed, the sink included.
+    pub fn uninstall(&mut self, plan: &LogicalPlan, sink: NodeId, graph: &QueryGraph) -> usize {
+        graph.remove_node(sink);
+        1 + self.retire(plan, graph)
     }
 
     fn retire_walk(&mut self, plan: &LogicalPlan, graph: &QueryGraph, removed: &mut usize) {
@@ -304,7 +318,7 @@ mod tests {
 
         // Let the graph run half-way, then splice in a second query.
         for _ in 0..6 {
-            for id in 0..graph.len() {
+            for id in graph.node_ids() {
                 graph.step_node(id, 1);
             }
         }
@@ -317,6 +331,105 @@ mod tests {
         // The late query sees only the suffix produced after splicing.
         let late = b2.lock().len();
         assert!(late < 20, "late subscriber got {late}");
+    }
+
+    #[test]
+    fn uninstall_retires_only_unshared_suffix_and_keeps_prefix_warm() {
+        use pipes_graph::{Confidence, MetaConfig};
+
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let q1 = filter(windowed(), 10);
+        let q2 = filter(windowed(), 18);
+
+        let r1 = opt.install(&q1, &graph, &cat).unwrap();
+        let (s1, _b1) = CollectSink::new();
+        let k1 = graph.add_sink("q1", s1, &r1.handle);
+        let r2 = opt.install(&q2, &graph, &cat).unwrap();
+        assert!(r2.reused >= 1, "queries must share a prefix: {r2:?}");
+        let (s2, _b2) = CollectSink::new();
+        let k2 = graph.add_sink("q2", s2, &r2.handle);
+
+        // Warm the metadata plane: run a few quanta over every node.
+        for _ in 0..6 {
+            for id in graph.node_ids() {
+                graph.step_node(id, 4);
+            }
+        }
+        let installed_before = opt.installed_count();
+        let live_before: Vec<_> = graph.node_ids().collect();
+
+        // Uninstall q2 while q1 still subscribes to the shared prefix:
+        // only q2's sink and its unshared suffix go away.
+        let removed = opt.uninstall(&q2, k2, &graph);
+        assert!(removed >= 2, "sink + at least the unshared filter");
+        assert!(graph.is_removed(k2));
+        assert!(graph.is_removed(r2.handle.node()));
+        assert!(!graph.is_removed(k1));
+        assert!(!graph.is_removed(r1.handle.node()));
+        assert!(
+            opt.installed_count() < installed_before,
+            "q2's suffix left the sharing index"
+        );
+        assert!(
+            graph.node_ids().count() < live_before.len(),
+            "the graph shrank"
+        );
+
+        // The surviving prefix keeps its warm estimates: whatever was
+        // Measured before the uninstall is still Measured after it.
+        let snap = graph.meta_snapshot(&MetaConfig::default());
+        for id in graph.node_ids() {
+            if id == k1 {
+                continue; // the sink consumes; it never measures output
+            }
+            let e = snap.get(id).expect("live node has an estimate");
+            assert_eq!(
+                e.confidence,
+                Confidence::Measured,
+                "node {id} ({}) went cold across the uninstall",
+                e.name
+            );
+        }
+
+        // Uninstalling the last query drains the whole graph.
+        opt.uninstall(&q1, k1, &graph);
+        assert_eq!(opt.installed_count(), 0);
+        assert_eq!(graph.node_ids().count(), 0, "no orphans survive");
+    }
+
+    #[test]
+    fn spliced_nodes_enter_snapshot_derived_from_warm_upstream() {
+        use pipes_graph::{Confidence, MetaConfig};
+
+        let cat = catalog();
+        let graph = QueryGraph::new();
+        let mut opt = Optimizer::new();
+        let r1 = opt.install(&filter(windowed(), 10), &graph, &cat).unwrap();
+        let (s1, _b1) = CollectSink::new();
+        graph.add_sink("q1", s1, &r1.handle);
+
+        // Warm the running prefix.
+        for _ in 0..6 {
+            for id in graph.node_ids() {
+                graph.step_node(id, 4);
+            }
+        }
+
+        // Splice a prefix-sharing query in: its new filter node has never
+        // executed a quantum, but its upstream is warm, so the very first
+        // snapshot already carries a Derived estimate (not a bare Prior).
+        let r2 = opt.install(&filter(windowed(), 18), &graph, &cat).unwrap();
+        assert!(r2.created >= 1);
+        let snap = graph.meta_snapshot(&MetaConfig::default());
+        let e = snap.get(r2.handle.node()).expect("spliced node visible");
+        assert_eq!(
+            e.confidence,
+            Confidence::Derived,
+            "fresh node below a warm upstream must enter Derived: {e:?}"
+        );
+        assert!(e.in_rate > 0.0, "derived in-rate follows the upstream");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 use crate::strategy::{SchedView, Strategy};
 use pipes_graph::{NodeId, QueryGraph};
 use pipes_sync::atomic::{AtomicBool, Ordering};
-use pipes_sync::{hint, thread, Arc};
+use pipes_sync::{hint, thread, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Measurements from one execution.
@@ -52,6 +52,31 @@ impl ExecutionReport {
         } else {
             self.consumed as f64 / self.batches as f64
         }
+    }
+
+    /// Folds a *sequential* follow-up chunk into this report: counters
+    /// sum, peaks max, `hit_limit` ors, and the average queue is weighted
+    /// by quanta. Wall time **adds** — the chunks ran one after another on
+    /// the same thread, unlike [`ExecutionReport::merge`], which maxes
+    /// wall over concurrently running threads. Used by the dynamic
+    /// [`MultiThreadExecutor`] whose workers run in re-partitioned chunks.
+    pub fn absorb(&mut self, next: &ExecutionReport) {
+        let weighted = self.avg_queue * self.quanta as f64 + next.avg_queue * next.quanta as f64;
+        self.quanta += next.quanta;
+        self.consumed += next.consumed;
+        self.produced += next.produced;
+        self.batches += next.batches;
+        self.steals += next.steals;
+        self.wall += next.wall;
+        self.peak_queue = self.peak_queue.max(next.peak_queue);
+        self.peak_state = self.peak_state.max(next.peak_state);
+        self.peak_run = self.peak_run.max(next.peak_run);
+        self.hit_limit |= next.hit_limit;
+        self.avg_queue = if self.quanta > 0 {
+            weighted / self.quanta as f64
+        } else {
+            0.0
+        };
     }
 
     /// Aggregates per-thread reports from a multi-threaded run into one:
@@ -197,7 +222,7 @@ impl SingleThreadExecutor {
 
     /// Runs `strategy` over all nodes of `graph` until completion.
     pub fn run(&self, graph: &QueryGraph, strategy: &mut dyn Strategy) -> ExecutionReport {
-        let nodes: Vec<NodeId> = (0..graph.len()).collect();
+        let nodes: Vec<NodeId> = graph.node_ids().collect();
         self.run_nodes(graph, strategy, &nodes, None)
     }
 
@@ -209,6 +234,23 @@ impl SingleThreadExecutor {
         strategy: &mut dyn Strategy,
         nodes: &[NodeId],
         stop: Option<&AtomicBool>,
+    ) -> ExecutionReport {
+        self.run_nodes_until(graph, strategy, nodes, stop, None)
+    }
+
+    /// Like [`SingleThreadExecutor::run_nodes`], with an additional
+    /// `interrupt` predicate checked at every quantum boundary: when it
+    /// returns `true` the loop returns early with the partial report
+    /// (without setting `hit_limit`). The dynamic [`MultiThreadExecutor`]
+    /// uses this to pull workers out for a re-partition when the graph's
+    /// topology epoch moves.
+    pub fn run_nodes_until(
+        &self,
+        graph: &QueryGraph,
+        strategy: &mut dyn Strategy,
+        nodes: &[NodeId],
+        stop: Option<&AtomicBool>,
+        interrupt: Option<&dyn Fn() -> bool>,
     ) -> ExecutionReport {
         let start = Instant::now();
         if let Some(limit) = self.batch_limit {
@@ -232,6 +274,11 @@ impl SingleThreadExecutor {
                 // raising it, and the compiler cannot hoist the load out
                 // of the loop the way a Relaxed read could legally be.
                 if flag.load(Ordering::Acquire) {
+                    break;
+                }
+            }
+            if let Some(f) = interrupt {
+                if f() {
                     break;
                 }
             }
@@ -330,6 +377,7 @@ impl SingleThreadExecutor {
 pub struct MultiThreadExecutor {
     threads: usize,
     quantum: usize,
+    sample_every: u64,
     max_quanta_per_thread: Option<u64>,
     batch_limit: Option<usize>,
 }
@@ -345,6 +393,7 @@ impl MultiThreadExecutor {
         MultiThreadExecutor {
             threads,
             quantum: 64,
+            sample_every: 16,
             max_quanta_per_thread: None,
             batch_limit: None,
         }
@@ -353,6 +402,12 @@ impl MultiThreadExecutor {
     /// Sets the per-selection message budget.
     pub fn with_quantum(mut self, quantum: usize) -> Self {
         self.quantum = quantum.max(1);
+        self
+    }
+
+    /// Sets how often (in quanta) each worker samples queue totals.
+    pub fn with_sample_every(mut self, every: u64) -> Self {
+        self.sample_every = every.max(1);
         self
     }
 
@@ -373,24 +428,149 @@ impl MultiThreadExecutor {
     /// [`crate::ExecutionPlan::analyze`], balanced over threads by static
     /// cost, so operator chains stay thread-local — and runs
     /// `make_strategy()` per thread. Returns the per-thread reports.
+    ///
+    /// Topology is hot: every worker checks the graph's topology epoch at
+    /// quantum boundaries, and when a query is spliced in (or retired)
+    /// the first worker to notice re-runs the analysis and publishes
+    /// fresh partitions; each worker picks its new node list up at its
+    /// next boundary and keeps going — no stop/restart. (The
+    /// work-stealing executor does this with finer-grained hand-off; this
+    /// is the simpler whole-partition variant.)
     pub fn run(
         &self,
         graph: &Arc<QueryGraph>,
         make_strategy: impl Fn() -> Box<dyn Strategy>,
     ) -> Vec<ExecutionReport> {
-        let partitions = crate::ExecutionPlan::analyze(graph).partitions(self.threads);
-        self.run_partitions(graph, make_strategy, partitions)
+        let stop = Arc::new(AtomicBool::new(false));
+        let plan = crate::ExecutionPlan::analyze(graph);
+        // (epoch, partitions) the workers currently run against; the
+        // first worker observing a newer topology epoch refreshes it.
+        let parts = Arc::new(Mutex::new((
+            plan.planned_epoch(),
+            Arc::new(plan.partitions(self.threads)),
+        )));
+
+        let n_workers = self.threads;
+        let reports: Vec<ExecutionReport> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|i| {
+                    let mut strategy = make_strategy();
+                    let graph = Arc::clone(graph);
+                    let stop = Arc::clone(&stop);
+                    let parts = Arc::clone(&parts);
+                    scope.spawn(move || {
+                        pipes_trace::set_thread_name(&format!("worker-{i}"));
+                        self.dynamic_worker(i, &graph, &stop, &parts, strategy.as_mut())
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker thread panicked"))
+                .collect()
+        });
+        stop.store(true, Ordering::Release);
+        pipes_trace::instant(pipes_trace::names::SHUTDOWN, [n_workers as u64, 0, 0]);
+        reports
+    }
+
+    /// One dynamic worker: run the current partition until it drains, the
+    /// stop flag rises, or the topology epoch moves; then refresh the
+    /// shared partitions (first stale observer re-analyzes) and continue.
+    fn dynamic_worker(
+        &self,
+        i: usize,
+        graph: &Arc<QueryGraph>,
+        stop: &AtomicBool,
+        parts: &Mutex<(u64, Arc<Vec<Vec<NodeId>>>)>,
+        strategy: &mut dyn Strategy,
+    ) -> ExecutionReport {
+        let start = Instant::now();
+        let (mut cur_epoch, mut my_nodes) = {
+            let guard = parts.lock();
+            (guard.0, guard.1[i].clone())
+        };
+        let mut total = ExecutionReport {
+            strategy: strategy.name().to_string(),
+            ..Default::default()
+        };
+        let mut backoff = Backoff::new();
+        loop {
+            if stop.load(Ordering::Acquire) {
+                break;
+            }
+            let mut exec = SingleThreadExecutor::new()
+                .with_quantum(self.quantum)
+                .with_sample_every(self.sample_every);
+            if let Some(max) = self.max_quanta_per_thread {
+                let remaining = max.saturating_sub(total.quanta);
+                if remaining == 0 {
+                    total.hit_limit = true;
+                    break;
+                }
+                exec = exec.with_max_quanta(remaining);
+            }
+            if let Some(limit) = self.batch_limit {
+                exec = exec.with_batch_limit(limit);
+            }
+            let seen = cur_epoch;
+            let chunk = exec.run_nodes_until(
+                graph,
+                strategy,
+                &my_nodes,
+                Some(stop),
+                Some(&|| graph.topology_epoch() != seen),
+            );
+            total.absorb(&chunk);
+            if total.hit_limit || stop.load(Ordering::Acquire) {
+                break;
+            }
+            if graph.all_finished() {
+                stop.store(true, Ordering::Release);
+                pipes_trace::instant(pipes_trace::names::STOP, [0; 3]);
+                break;
+            }
+            let refreshed = {
+                let mut guard = parts.lock();
+                let topo = graph.topology_epoch();
+                if guard.0 != topo {
+                    let plan = crate::ExecutionPlan::analyze(graph);
+                    pipes_trace::instant(
+                        pipes_trace::names::SCHED_REPLAN,
+                        [plan.planned_epoch(), plan.groups().len() as u64, 0],
+                    );
+                    *guard = (
+                        plan.planned_epoch(),
+                        Arc::new(plan.partitions(self.threads)),
+                    );
+                }
+                let refreshed = guard.0 != cur_epoch;
+                cur_epoch = guard.0;
+                my_nodes = guard.1[i].clone();
+                refreshed
+            };
+            if refreshed {
+                backoff.reset();
+            } else {
+                // Our partition drained but the graph is not done and the
+                // topology has not moved: wait for either to change.
+                backoff.wait();
+            }
+        }
+        total.wall = start.elapsed();
+        total
     }
 
     /// The former default split, kept as an explicit baseline (E16): deals
     /// node ids round-robin over threads, scattering chains so most edges
-    /// cross threads.
+    /// cross threads. Static — topology changes after launch are not
+    /// picked up.
     pub fn run_static_round_robin(
         &self,
         graph: &Arc<QueryGraph>,
         make_strategy: impl Fn() -> Box<dyn Strategy>,
     ) -> Vec<ExecutionReport> {
-        let all: Vec<NodeId> = (0..graph.len()).collect();
+        let all: Vec<NodeId> = graph.node_ids().collect();
         let partitions: Vec<Vec<NodeId>> = (0..self.threads)
             .map(|t| all.iter().copied().skip(t).step_by(self.threads).collect())
             .collect();
@@ -605,6 +785,66 @@ mod tests {
         let empty = ExecutionReport::merge(&[]);
         assert_eq!(empty.quanta, 0);
         assert_eq!(empty.avg_queue, 0.0);
+    }
+
+    #[test]
+    fn multi_thread_picks_up_live_splice_and_retire() {
+        use pipes_graph::io::GenSource;
+        use pipes_sync::atomic::AtomicBool;
+
+        let g = Arc::new(QueryGraph::new());
+        let open = Arc::new(AtomicBool::new(true));
+        let gate = Arc::clone(&open);
+        let mut t = 0u64;
+        let src = g.add_source(
+            "live",
+            GenSource::new(move || {
+                // ordering: Acquire — pairs with the Release close below so
+                // the source observes the shutdown promptly.
+                if !gate.load(Ordering::Acquire) {
+                    return None;
+                }
+                t += 1;
+                Some(Element::at(t as i64, Timestamp::new(t)))
+            }),
+        );
+        let f = g.add_unary("f1", HalfFilter, &src);
+        let (sink, buf1) = CollectSink::new();
+        g.add_sink("sink1", sink, &f);
+
+        let graph = Arc::clone(&g);
+        let handle = thread::spawn(move || {
+            MultiThreadExecutor::new(2)
+                .with_quantum(16)
+                .run(&graph, || Box::new(FifoStrategy))
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let wait = |cond: &dyn Fn() -> bool| {
+            while !cond() {
+                assert!(Instant::now() < deadline, "timed out waiting");
+                thread::yield_now();
+            }
+        };
+        // The first query is flowing...
+        wait(&|| buf1.lock().len() >= 100);
+        // ...splice a second query onto the live source, no restart. The
+        // next worker to cross a quantum boundary re-partitions and the
+        // new chain starts executing.
+        let f2 = g.add_unary("f2", HalfFilter, &src);
+        let (sink2, buf2) = CollectSink::new();
+        let k2 = g.add_sink("sink2", sink2, &f2);
+        wait(&|| buf2.lock().len() >= 100);
+        let spliced_results = buf2.lock().len();
+        // Retire the spliced query while the executor keeps running.
+        g.remove_node(k2);
+        g.remove_node(f2.node());
+        wait(&|| buf1.lock().len() >= 2 * spliced_results);
+        // Close the source; the run drains and joins.
+        open.store(false, Ordering::Release);
+        let reports = handle.join().expect("executor thread");
+        assert!(g.all_finished());
+        assert!(buf2.lock().len() >= spliced_results);
+        assert_eq!(reports.len(), 2);
     }
 
     #[test]

@@ -28,6 +28,7 @@ pub struct VirtualGroup {
     nodes: Vec<NodeId>,
     has_source: bool,
     cost: u64,
+    retired: bool,
 }
 
 impl VirtualGroup {
@@ -62,6 +63,16 @@ impl VirtualGroup {
     pub fn static_cost(&self) -> u64 {
         self.cost
     }
+
+    /// Whether every member node has been removed from the graph. Retired
+    /// groups keep their id (in-flight `GroupTable` state stays valid) but
+    /// are excluded from partitioning and rebalance targets: the owner
+    /// finishes any quantum in flight, releases at the next epoch
+    /// hand-off, and nobody re-adopts — the group drains and leaves the
+    /// active schedule without ever being compacted out of the table.
+    pub fn is_retired(&self) -> bool {
+        self.retired
+    }
 }
 
 /// The launch-time analysis of a query graph: virtual-node groups, the
@@ -71,6 +82,11 @@ pub struct ExecutionPlan {
     groups: Vec<VirtualGroup>,
     group_of: Vec<GroupId>,
     downstream_groups: Vec<Vec<GroupId>>,
+    /// The [`QueryGraph::topology_epoch`] this plan covers, read *before*
+    /// the topology scan: a mutation racing the scan leaves the graph's
+    /// epoch ahead of this value, so pollers re-plan (seqlock-style
+    /// conservatism — a refresh can run twice, never be missed).
+    planned_epoch: u64,
 }
 
 impl ExecutionPlan {
@@ -80,8 +96,11 @@ impl ExecutionPlan {
     /// `b`'s only incoming edge (and neither endpoint is removed); maximal
     /// fusable chains become groups, everything else (fan-out points, join
     /// inputs, removed nodes) forms singleton groups. Nodes added to the
-    /// graph after analysis are not covered — re-analyze after splicing.
+    /// graph after analysis are not covered — poll
+    /// [`QueryGraph::topology_epoch`] against [`ExecutionPlan::planned_epoch`]
+    /// and extend with [`ExecutionPlan::refreshed`] after splicing.
     pub fn analyze(graph: &QueryGraph) -> Self {
+        let planned_epoch = graph.topology_epoch();
         let n = graph.len();
         let up: Vec<Vec<NodeId>> = (0..n).map(|id| graph.upstream_ids(id)).collect();
         let removed: Vec<bool> = (0..n).map(|id| graph.is_removed(id)).collect();
@@ -127,11 +146,13 @@ impl ExecutionPlan {
                 .iter()
                 .any(|&m| !removed[m] && graph.kind(m) == NodeKind::Source);
             let cost = nodes.len() as u64 + if has_source { 2 } else { 0 };
+            let retired = nodes.iter().all(|&m| removed[m]);
             groups.push(VirtualGroup {
                 id,
                 nodes,
                 has_source,
-                cost,
+                cost: if retired { 0 } else { cost },
+                retired,
             });
         }
         // Per node: the distinct *foreign* groups its output feeds.
@@ -148,7 +169,111 @@ impl ExecutionPlan {
             groups,
             group_of,
             downstream_groups,
+            planned_epoch,
         }
+    }
+
+    /// Extends this plan to cover nodes spliced into `graph` since it was
+    /// analyzed, *incrementally*: existing groups keep their ids and
+    /// member lists verbatim (in-flight `GroupTable` state and worker
+    /// ownership stay valid), groups whose members have all been removed
+    /// are flagged retired, and only new/retired nodes are re-examined.
+    ///
+    /// Fusion is restricted to new↔new SPSC edges — a new node chained
+    /// onto an already-planned producer starts a fresh group even when the
+    /// edge would have fused at launch. That asymmetry is the price of
+    /// stability: re-fusing would rewrite the old group's membership under
+    /// a worker mid-quantum. Downstream-group adjacency *is* re-derived
+    /// over the whole graph, because old → new edges (a spliced query
+    /// subscribing to a running producer) must route wakeups.
+    pub fn refreshed(&self, graph: &QueryGraph) -> Self {
+        let planned_epoch = graph.topology_epoch();
+        let n = graph.len();
+        let old_n = self.group_of.len();
+        let up: Vec<Vec<NodeId>> = (0..n).map(|id| graph.upstream_ids(id)).collect();
+        let removed: Vec<bool> = (0..n).map(|id| graph.is_removed(id)).collect();
+
+        let mut groups = self.groups.clone();
+        let mut group_of = self.group_of.clone();
+        for grp in &mut groups {
+            if !grp.retired && grp.nodes.iter().all(|&m| removed[m]) {
+                grp.retired = true;
+                grp.cost = 0;
+            }
+        }
+
+        let mut out_edges = vec![0usize; n];
+        for ups in &up {
+            for &a in ups {
+                out_edges[a] += 1;
+            }
+        }
+        let mut next: Vec<Option<NodeId>> = vec![None; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        for b in old_n..n {
+            if removed[b] || up[b].len() != 1 {
+                continue;
+            }
+            let a = up[b][0];
+            if a < old_n || removed[a] || out_edges[a] != 1 || a == b {
+                continue;
+            }
+            next[a] = Some(b);
+            prev[b] = Some(a);
+        }
+        group_of.resize(n, 0);
+        for (head, head_prev) in prev.iter().enumerate().skip(old_n) {
+            if head_prev.is_some() {
+                continue;
+            }
+            let id = groups.len();
+            let mut nodes = Vec::new();
+            let mut cur = head;
+            loop {
+                group_of[cur] = id;
+                nodes.push(cur);
+                match next[cur] {
+                    Some(nx) => cur = nx,
+                    None => break,
+                }
+            }
+            let has_source = nodes
+                .iter()
+                .any(|&m| !removed[m] && graph.kind(m) == NodeKind::Source);
+            let cost = nodes.len() as u64 + if has_source { 2 } else { 0 };
+            let retired = nodes.iter().all(|&m| removed[m]);
+            groups.push(VirtualGroup {
+                id,
+                nodes,
+                has_source,
+                cost: if retired { 0 } else { cost },
+                retired,
+            });
+        }
+
+        let mut downstream_groups: Vec<Vec<GroupId>> = vec![Vec::new(); n];
+        for b in 0..n {
+            for &a in &up[b] {
+                let (ga, gb) = (group_of[a], group_of[b]);
+                if ga != gb && !downstream_groups[a].contains(&gb) {
+                    downstream_groups[a].push(gb);
+                }
+            }
+        }
+        ExecutionPlan {
+            groups,
+            group_of,
+            downstream_groups,
+            planned_epoch,
+        }
+    }
+
+    /// The [`QueryGraph::topology_epoch`] this plan covers. When the
+    /// graph's live epoch is newer, nodes exist (or have been retired)
+    /// that this plan does not know about — refresh before trusting
+    /// coverage.
+    pub fn planned_epoch(&self) -> u64 {
+        self.planned_epoch
     }
 
     /// The virtual-node groups, indexed by [`GroupId`].
@@ -157,24 +282,43 @@ impl ExecutionPlan {
     }
 
     /// The group containing `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was spliced in after this plan's epoch; use
+    /// [`ExecutionPlan::try_group_of`] when the caller can race a splice.
     pub fn group_of(&self, node: NodeId) -> GroupId {
         self.group_of[node]
     }
 
+    /// The group containing `node`, or `None` for a node this plan does
+    /// not cover (spliced in after [`ExecutionPlan::planned_epoch`]).
+    pub fn try_group_of(&self, node: NodeId) -> Option<GroupId> {
+        self.group_of.get(node).copied()
+    }
+
     /// The distinct groups other than `node`'s own that consume `node`'s
     /// output — the placement units a productive step of `node` can wake.
+    /// Empty for nodes this plan does not cover yet (spliced after the
+    /// planned epoch): their output wakes nobody until the next re-plan.
     pub fn downstream_groups(&self, node: NodeId) -> &[GroupId] {
-        &self.downstream_groups[node]
+        self.downstream_groups
+            .get(node)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
     }
 
     /// Assigns groups to `threads` partitions by longest-processing-time
     /// greedy over [`VirtualGroup::static_cost`]: heaviest group first, each
     /// onto the currently lightest partition. Deterministic (ties break
     /// toward lower ids / lower thread indices); partitions may be empty
-    /// when there are fewer groups than threads.
+    /// when there are fewer groups than threads. Retired groups are not
+    /// placed.
     pub fn partition_groups(&self, threads: usize) -> Vec<Vec<GroupId>> {
         assert!(threads > 0, "need at least one partition");
-        let mut order: Vec<GroupId> = (0..self.groups.len()).collect();
+        let mut order: Vec<GroupId> = (0..self.groups.len())
+            .filter(|&g| !self.groups[g].retired)
+            .collect();
         order.sort_by_key(|&g| std::cmp::Reverse(self.groups[g].cost));
         let mut parts: Vec<Vec<GroupId>> = vec![Vec::new(); threads];
         let mut load = vec![0u64; threads];
@@ -345,6 +489,72 @@ mod tests {
             "every node placed exactly once"
         );
         assert!(!nodes[0].is_empty() && !nodes[1].is_empty());
+    }
+
+    #[test]
+    fn refreshed_extends_plan_incrementally_and_keeps_old_group_ids() {
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(4)));
+        let a = g.add_unary("a", PassThrough, &src);
+        let (s1, _) = CollectSink::new();
+        let k1 = g.add_sink("k1", s1, &a);
+        let plan = ExecutionPlan::analyze(&g);
+        assert_eq!(plan.planned_epoch(), g.topology_epoch());
+        let old_groups: Vec<Vec<NodeId>> =
+            plan.groups().iter().map(|gr| gr.nodes().to_vec()).collect();
+
+        // Splice a second query sharing the running source.
+        let b = g.add_unary("b", PassThrough, &src);
+        let (s2, _) = CollectSink::new();
+        let k2 = g.add_sink("k2", s2, &b);
+        assert!(g.topology_epoch() > plan.planned_epoch());
+
+        let plan2 = plan.refreshed(&g);
+        assert_eq!(plan2.planned_epoch(), g.topology_epoch());
+        // Existing groups keep their ids and member lists verbatim.
+        for (i, old) in old_groups.iter().enumerate() {
+            assert_eq!(plan2.groups()[i].nodes(), &old[..]);
+            assert_eq!(plan2.groups()[i].id(), i);
+        }
+        // The spliced operator→sink chain fused into one appended group.
+        let gb = plan2.group_of(b.node());
+        assert!(gb >= old_groups.len(), "new nodes go to appended groups");
+        assert_eq!(plan2.group_of(k2), gb);
+        assert_eq!(plan2.groups()[gb].nodes(), &[b.node(), k2]);
+        // The running producer's output now wakes the new group.
+        assert!(plan2.downstream_groups(src.node()).contains(&gb));
+        // The stale plan stays safe on ids it does not cover.
+        assert_eq!(plan.try_group_of(b.node()), None);
+        assert!(plan.downstream_groups(k2).is_empty());
+        let _ = k1;
+    }
+
+    #[test]
+    fn refreshed_retires_fully_removed_groups_and_partitions_skip_them() {
+        let g = QueryGraph::new();
+        let s1 = g.add_source("s1", VecSource::new(elems(4)));
+        let (k1, _) = CollectSink::new();
+        let sink1 = g.add_sink("k1", k1, &s1);
+        let s2 = g.add_source("s2", VecSource::new(elems(4)));
+        let (k2, _) = CollectSink::new();
+        let sink2 = g.add_sink("k2", k2, &s2);
+        let plan = ExecutionPlan::analyze(&g);
+        assert_eq!(plan.groups().len(), 2);
+        assert!(plan.groups().iter().all(|gr| !gr.is_retired()));
+
+        g.remove_node(sink2);
+        g.remove_node(s2.node());
+        let plan2 = plan.refreshed(&g);
+        let dead = plan2.group_of(s2.node());
+        assert!(plan2.groups()[dead].is_retired());
+        assert_eq!(plan2.groups()[dead].static_cost(), 0);
+        let live = plan2.group_of(s1.node());
+        assert!(!plan2.groups()[live].is_retired());
+        // Retired groups are never placed.
+        let placed: Vec<GroupId> = plan2.partition_groups(2).into_iter().flatten().collect();
+        assert!(placed.contains(&live));
+        assert!(!placed.contains(&dead));
+        let _ = sink1;
     }
 
     #[test]

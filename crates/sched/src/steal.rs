@@ -18,7 +18,7 @@
 
 use crate::plan::GroupId;
 use pipes_sync::atomic::{AtomicUsize, Ordering};
-use pipes_sync::{Condvar, Mutex};
+use pipes_sync::{Condvar, Mutex, RwLock};
 use std::time::Duration;
 
 const FREE: usize = 0;
@@ -28,31 +28,49 @@ fn owned_by(worker: usize) -> usize {
 }
 
 /// One word of ownership state per virtual-node group.
+///
+/// The slot vector sits behind a read–write lock only so the table can
+/// *grow* when the leader re-plans after a topology splice: every
+/// ownership transition is still a single-word atomic performed under the
+/// read guard (shared, uncontended in steady state), and existing slots
+/// never move logically — a grown table extends the id space, it never
+/// renumbers. `grow` takes the write guard for the duration of a `Vec`
+/// extend, which excludes transitions only for that instant.
 pub struct GroupTable {
-    states: Vec<AtomicUsize>,
+    states: RwLock<Vec<AtomicUsize>>,
 }
 
 impl GroupTable {
     /// Creates a table of `groups` slots, all free.
     pub fn new(groups: usize) -> Self {
         GroupTable {
-            states: (0..groups).map(|_| AtomicUsize::new(FREE)).collect(),
+            states: RwLock::new((0..groups).map(|_| AtomicUsize::new(FREE)).collect()),
         }
     }
 
     /// Number of group slots.
     pub fn len(&self) -> usize {
-        self.states.len()
+        self.states.read().len()
     }
 
     /// Whether the table has no slots.
     pub fn is_empty(&self) -> bool {
-        self.states.is_empty()
+        self.len() == 0
+    }
+
+    /// Extends the table to at least `total` slots, all new slots free.
+    /// Shrinking never happens: retired groups keep their slot (drained,
+    /// unowned) so ids stay stable for the life of the run.
+    pub fn grow(&self, total: usize) {
+        let mut states = self.states.write();
+        while states.len() < total {
+            states.push(AtomicUsize::new(FREE));
+        }
     }
 
     /// The worker currently owning `group`, if any.
     pub fn owner(&self, group: GroupId) -> Option<usize> {
-        let s = self.states[group].load(Ordering::Acquire);
+        let s = self.states.read()[group].load(Ordering::Acquire);
         if s == FREE {
             None
         } else {
@@ -62,12 +80,12 @@ impl GroupTable {
 
     /// Whether `group`'s owner is currently executing a quantum on it.
     pub fn is_active(&self, group: GroupId) -> bool {
-        self.states[group].load(Ordering::Acquire) & 1 == 1
+        self.states.read()[group].load(Ordering::Acquire) & 1 == 1
     }
 
     /// Claims a free group for `me`. Fails if the group is owned.
     pub fn try_claim(&self, group: GroupId, me: usize) -> bool {
-        self.states[group]
+        self.states.read()[group]
             .compare_exchange(FREE, owned_by(me), Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
@@ -77,7 +95,7 @@ impl GroupTable {
     /// on the group, so a steal never interrupts an execution.
     pub fn try_steal(&self, group: GroupId, victim: usize, me: usize) -> bool {
         victim != me
-            && self.states[group]
+            && self.states.read()[group]
                 .compare_exchange(
                     owned_by(victim),
                     owned_by(me),
@@ -91,7 +109,7 @@ impl GroupTable {
     /// `me` no longer owns the group (it was stolen or handed off since the
     /// caller last looked) — the caller must then re-derive its owned set.
     pub fn begin(&self, group: GroupId, me: usize) -> bool {
-        self.states[group]
+        self.states.read()[group]
             .compare_exchange(
                 owned_by(me),
                 owned_by(me) | 1,
@@ -109,7 +127,7 @@ impl GroupTable {
     /// Panics if `me` is not the active owner — that would mean two workers
     /// executed the group at once, which the protocol rules out.
     pub fn end(&self, group: GroupId, me: usize) {
-        let prev = self.states[group].swap(owned_by(me), Ordering::AcqRel);
+        let prev = self.states.read()[group].swap(owned_by(me), Ordering::AcqRel);
         assert_eq!(
             prev,
             owned_by(me) | 1,
@@ -120,7 +138,7 @@ impl GroupTable {
     /// Releases an owned, inactive group back to the free pool (rebalance
     /// hand-off). Fails if `me` is not the inactive owner.
     pub fn release(&self, group: GroupId, me: usize) -> bool {
-        self.states[group]
+        self.states.read()[group]
             .compare_exchange(owned_by(me), FREE, Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
     }
@@ -128,8 +146,15 @@ impl GroupTable {
     /// The groups currently owned by `me`, in id order. A snapshot — other
     /// workers may steal concurrently, which [`GroupTable::begin`] detects.
     pub fn owned(&self, me: usize) -> Vec<GroupId> {
-        (0..self.states.len())
-            .filter(|&g| self.owner(g) == Some(me))
+        let states = self.states.read();
+        states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                let v = s.load(Ordering::Acquire);
+                v != FREE && (v >> 1) - 1 == me
+            })
+            .map(|(g, _)| g)
             .collect()
     }
 }
@@ -215,6 +240,23 @@ mod tests {
         assert!(!t.is_active(0));
         assert_eq!(t.owner(0), Some(0));
         assert_eq!(t.owned(0), vec![0]);
+    }
+
+    #[test]
+    fn grow_extends_without_disturbing_existing_slots() {
+        let t = GroupTable::new(1);
+        assert!(t.try_claim(0, 0));
+        assert!(t.begin(0, 0));
+        t.grow(3);
+        assert_eq!(t.len(), 3);
+        assert!(t.is_active(0), "grow must not disturb in-flight state");
+        t.end(0, 0);
+        assert_eq!(t.owner(0), Some(0));
+        assert_eq!(t.owner(1), None);
+        assert!(t.try_claim(2, 1));
+        t.grow(2); // never shrinks
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.owned(1), vec![2]);
     }
 
     #[test]

@@ -11,6 +11,15 @@
 //! producer's downstream groups through per-worker [`Parker`]s — a targeted
 //! unpark instead of the bounded-staleness park timeouts the static
 //! executor relies on.
+//!
+//! Topology is *hot*: the leader also polls
+//! [`QueryGraph::topology_epoch`] every iteration, and when a query is
+//! spliced into (or retired from) the running graph it extends the plan
+//! incrementally ([`ExecutionPlan::refreshed`] — existing groups keep
+//! their ids and in-flight state), grows the [`GroupTable`], and hands
+//! the new groups out through the same rebalance-epoch release→claim
+//! protocol used for load rebalancing. Retired groups drain: their owner
+//! releases them at the next epoch hand-off and nobody re-adopts.
 
 use crate::executor::ExecutionReport;
 use crate::plan::{ExecutionPlan, GroupId};
@@ -18,12 +27,21 @@ use crate::steal::{GroupTable, Parker};
 use crate::strategy::{SchedView, Strategy};
 use pipes_graph::{NodeId, NodeKind, QueryGraph};
 use pipes_sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use pipes_sync::{hint, thread, Arc, Mutex};
+use pipes_sync::{hint, thread, Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
+
+/// Placement target meaning "no worker": published for retired groups so
+/// their owners release them at the next epoch hand-off and nobody
+/// re-claims — the group drains and leaves the active schedule.
+const NO_TARGET: usize = usize::MAX;
 
 /// Shared coordination state for one run.
 struct Shared {
-    plan: ExecutionPlan,
+    /// The current execution plan. Swapped (never mutated in place) by the
+    /// leader when it observes a newer topology epoch; workers snapshot
+    /// the `Arc` and run against an immutable plan between rebalance
+    /// epochs.
+    plan: RwLock<Arc<ExecutionPlan>>,
     table: GroupTable,
     parkers: Vec<Parker>,
     stop: AtomicBool,
@@ -34,6 +52,10 @@ struct Shared {
 }
 
 impl Shared {
+    fn plan(&self) -> Arc<ExecutionPlan> {
+        Arc::clone(&self.plan.read())
+    }
+
     fn wake_all(&self) {
         for p in &self.parkers {
             p.unpark();
@@ -50,14 +72,22 @@ pub struct OwnershipView {
 }
 
 impl OwnershipView {
-    /// The group containing `node` in the run's execution plan.
+    /// The group containing `node` in the run's *current* execution plan
+    /// (the view tracks re-plans after topology splices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` was spliced in after the last re-plan.
     pub fn group_of(&self, node: NodeId) -> GroupId {
-        self.shared.plan.group_of(node)
+        self.shared.plan().group_of(node)
     }
 
-    /// The worker currently owning `node`'s group, if any.
+    /// The worker currently owning `node`'s group; `None` when the group
+    /// is free or the node is not covered by the current plan yet.
     pub fn worker_of(&self, node: NodeId) -> Option<usize> {
-        self.shared.table.owner(self.shared.plan.group_of(node))
+        let plan = self.shared.plan();
+        let group = plan.try_group_of(node)?;
+        self.shared.table.owner(group)
     }
 
     /// Number of worker threads in the run.
@@ -109,11 +139,14 @@ impl IdleWait {
     }
 }
 
-/// Whether any node of `group` can make progress right now.
+/// Whether any node of `group` can make progress right now. Retired
+/// groups are never runnable (every member is removed, and removed nodes
+/// count as finished).
 fn group_runnable(graph: &QueryGraph, plan: &ExecutionPlan, group: GroupId) -> bool {
-    plan.groups()[group].nodes().iter().any(|&n| {
-        !graph.is_finished(n) && (graph.queued(n) > 0 || graph.kind(n) == NodeKind::Source)
-    })
+    !plan.groups()[group].is_retired()
+        && plan.groups()[group].nodes().iter().any(|&n| {
+            !graph.is_finished(n) && (graph.queued(n) > 0 || graph.kind(n) == NodeKind::Source)
+        })
 }
 
 /// The dynamic layer-3 executor: plan-derived initial placement, group
@@ -212,7 +245,7 @@ impl WorkStealingExecutor {
         make_strategy: impl Fn() -> Box<dyn Strategy>,
         observe: impl FnOnce(OwnershipView),
     ) -> Vec<ExecutionReport> {
-        let plan = ExecutionPlan::analyze(graph);
+        let plan = Arc::new(ExecutionPlan::analyze(graph));
         let n_groups = plan.groups().len();
         let initial = match &self.initial_groups {
             Some(parts) => {
@@ -225,7 +258,7 @@ impl WorkStealingExecutor {
             graph.set_batch_limit(limit);
         }
         let shared = Arc::new(Shared {
-            plan,
+            plan: RwLock::new(plan),
             table: GroupTable::new(n_groups),
             parkers: (0..self.threads).map(|_| Parker::new()).collect(),
             stop: AtomicBool::new(false),
@@ -234,10 +267,15 @@ impl WorkStealingExecutor {
         });
 
         // Targeted wakeups: a productive quantum on `producer` wakes the
-        // owners of the foreign groups its output feeds.
+        // owners of the foreign groups its output feeds. The plan `Arc` is
+        // snapshotted (guard dropped) before touching the table, so the
+        // hook never nests the plan lock around table state; a producer
+        // spliced in after the current plan wakes nobody until the leader
+        // re-plans, which the topology epoch guarantees happens.
         let hook_shared = Arc::clone(&shared);
         graph.set_wake_hook(Arc::new(move |producer| {
-            for &g in hook_shared.plan.downstream_groups(producer) {
+            let plan = hook_shared.plan();
+            for &g in plan.downstream_groups(producer) {
                 if let Some(w) = hook_shared.table.owner(g) {
                     if let Some(p) = hook_shared.parkers.get(w) {
                         pipes_trace::instant(
@@ -294,7 +332,11 @@ impl WorkStealingExecutor {
                 pipes_trace::instant(pipes_trace::names::GROUP_CLAIM, [g as u64, me as u64, 0]);
             }
         }
-        let mut nodes = shared.plan.nodes_of(&shared.table.owned(me));
+        // Immutable plan snapshot; re-taken whenever the rebalance epoch
+        // moves (every plan swap bumps the epoch, so a snapshot is never
+        // staler than the placement applied against it).
+        let mut plan = shared.plan();
+        let mut nodes = plan.nodes_of(&shared.table.owned(me));
         let mut report = ExecutionReport {
             strategy: strategy.name().to_string(),
             ..Default::default()
@@ -312,8 +354,9 @@ impl WorkStealingExecutor {
             let epoch = shared.epoch.load(Ordering::Acquire);
             if epoch != seen_epoch {
                 seen_epoch = epoch;
-                self.apply_targets(me, shared, epoch);
-                nodes = shared.plan.nodes_of(&shared.table.owned(me));
+                plan = shared.plan();
+                self.apply_targets(me, &plan, shared, epoch);
+                nodes = plan.nodes_of(&shared.table.owned(me));
             }
             if let Some(max) = self.max_quanta_per_thread {
                 if report.quanta >= max {
@@ -321,11 +364,24 @@ impl WorkStealingExecutor {
                     break;
                 }
             }
-            if me == 0 && self.rebalance_every > 0 {
-                since_rebalance += 1;
-                if since_rebalance >= self.rebalance_every {
-                    since_rebalance = 0;
-                    self.plan_rebalance(graph, shared);
+            if me == 0 {
+                // Leader duty 1: splice detection. One lock-free epoch
+                // poll per iteration; on a move, extend the plan and hand
+                // the delta out through the rebalance-epoch protocol.
+                if graph.topology_epoch() != plan.planned_epoch() {
+                    self.replan(graph, shared);
+                    seen_epoch = shared.epoch.load(Ordering::Acquire);
+                    plan = shared.plan();
+                    self.apply_targets(me, &plan, shared, seen_epoch);
+                    nodes = plan.nodes_of(&shared.table.owned(me));
+                }
+                // Leader duty 2: periodic load rebalance.
+                if self.rebalance_every > 0 {
+                    since_rebalance += 1;
+                    if since_rebalance >= self.rebalance_every {
+                        since_rebalance = 0;
+                        self.plan_rebalance(graph, &plan, shared);
+                    }
                 }
             }
             let view = SchedView::new(graph, &nodes);
@@ -334,8 +390,8 @@ impl WorkStealingExecutor {
                 if idle_rounds > 10_000 {
                     break; // safety valve against a stalled graph
                 }
-                if self.acquire_work(me, graph, shared, &mut report.steals) {
-                    nodes = shared.plan.nodes_of(&shared.table.owned(me));
+                if self.acquire_work(me, graph, &plan, shared, &mut report.steals) {
+                    nodes = plan.nodes_of(&shared.table.owned(me));
                     idle_rounds = 0;
                     idle.reset();
                     continue;
@@ -349,11 +405,11 @@ impl WorkStealingExecutor {
                 idle.wait(&shared.parkers[me]);
                 continue;
             };
-            let group = shared.plan.group_of(id);
+            let group = plan.group_of(id);
             if !shared.table.begin(group, me) {
                 // The group left us (stolen or handed off) since the last
                 // ownership refresh — re-derive what we own.
-                nodes = shared.plan.nodes_of(&shared.table.owned(me));
+                nodes = plan.nodes_of(&shared.table.owned(me));
                 continue;
             }
             let step = {
@@ -412,15 +468,19 @@ impl WorkStealingExecutor {
         &self,
         me: usize,
         graph: &QueryGraph,
+        plan: &ExecutionPlan,
         shared: &Shared,
         steals: &mut u64,
     ) -> bool {
         let table = &shared.table;
+        // Bounded by the caller's plan snapshot, not the table: after a
+        // splice the leader grows the table *before* publishing the new
+        // plan, so the table can be longer than a stale snapshot — those
+        // trailing groups are only touched once the worker refreshes.
+        let covered = plan.groups().len();
         let mut got = false;
-        for g in 0..table.len() {
-            if table.owner(g).is_none()
-                && group_runnable(graph, &shared.plan, g)
-                && table.try_claim(g, me)
+        for g in 0..covered {
+            if table.owner(g).is_none() && group_runnable(graph, plan, g) && table.try_claim(g, me)
             {
                 pipes_trace::instant(pipes_trace::names::GROUP_CLAIM, [g as u64, me as u64, 0]);
                 got = true;
@@ -430,9 +490,9 @@ impl WorkStealingExecutor {
             return true;
         }
         let mut runnable_of: Vec<Vec<GroupId>> = vec![Vec::new(); self.threads];
-        for g in 0..table.len() {
+        for g in 0..covered {
             if let Some(w) = table.owner(g) {
-                if w != me && w < self.threads && group_runnable(graph, &shared.plan, g) {
+                if w != me && w < self.threads && group_runnable(graph, plan, g) {
                     runnable_of[w].push(g);
                 }
             }
@@ -461,7 +521,12 @@ impl WorkStealingExecutor {
 
     /// Applies a published placement: release own groups targeted
     /// elsewhere (waking the target), claim free groups targeted here.
-    fn apply_targets(&self, me: usize, shared: &Shared, epoch: u64) {
+    /// A retired group's target is [`NO_TARGET`], so its owner releases it
+    /// and no claim loop anywhere picks it back up — that is the entire
+    /// drain protocol. The claim loop is bounded by the caller's plan
+    /// snapshot so a placement published for a newer plan can never hand
+    /// this worker a group its snapshot cannot resolve to nodes.
+    fn apply_targets(&self, me: usize, plan: &ExecutionPlan, shared: &Shared, epoch: u64) {
         let targets = shared.targets.lock().clone();
         for g in shared.table.owned(me) {
             let target = targets.get(g).copied().unwrap_or(me);
@@ -475,7 +540,7 @@ impl WorkStealingExecutor {
                 }
             }
         }
-        for (g, &target) in targets.iter().enumerate() {
+        for (g, &target) in targets.iter().enumerate().take(plan.groups().len()) {
             if target == me && shared.table.owner(g).is_none() && shared.table.try_claim(g, me) {
                 pipes_trace::instant(pipes_trace::names::GROUP_CLAIM, [g as u64, me as u64, 0]);
             }
@@ -493,9 +558,10 @@ impl WorkStealingExecutor {
     /// metadata-plane snapshot (queue depths plus measured input rates)
     /// when the per-worker load spread has grown past 2× plus slack.
     /// Publishing a new epoch makes every worker hand off / pick up groups
-    /// at its next iteration.
-    fn plan_rebalance(&self, graph: &QueryGraph, shared: &Shared) {
-        let n = shared.table.len();
+    /// at its next iteration. Retired groups are targeted at [`NO_TARGET`]
+    /// so they stay out of every worker's hands.
+    fn plan_rebalance(&self, graph: &QueryGraph, plan: &ExecutionPlan, shared: &Shared) {
+        let n = plan.groups().len();
         if n < 2 || self.threads < 2 {
             return;
         }
@@ -505,11 +571,13 @@ impl WorkStealingExecutor {
         // meta-off build, where every estimate is a prior) contribute
         // nothing, degrading to pure queue-depth costing.
         let snap = graph.meta_snapshot(&pipes_graph::MetaConfig::default());
-        let costs: Vec<u64> = shared
-            .plan
+        let costs: Vec<u64> = plan
             .groups()
             .iter()
             .map(|grp| {
+                if grp.is_retired() {
+                    return 0;
+                }
                 let mut queued = 0u64;
                 let mut projected = 0.0f64;
                 let mut live_source = false;
@@ -539,9 +607,9 @@ impl WorkStealingExecutor {
         if max <= min.saturating_mul(2).saturating_add(self.quantum as u64) {
             return; // balanced enough; avoid churn
         }
-        let mut order: Vec<GroupId> = (0..n).collect();
+        let mut order: Vec<GroupId> = (0..n).filter(|&g| !plan.groups()[g].is_retired()).collect();
         order.sort_by_key(|&g| std::cmp::Reverse(costs[g]));
-        let mut targets = vec![0usize; n];
+        let mut targets = vec![NO_TARGET; n];
         let mut target_load = vec![0u64; self.threads];
         for g in order {
             let w = (0..self.threads)
@@ -559,6 +627,62 @@ impl WorkStealingExecutor {
         *shared.targets.lock() = targets;
         let epoch = shared.epoch.fetch_add(1, Ordering::AcqRel) + 1;
         pipes_trace::instant(pipes_trace::names::REBALANCE_PLAN, [epoch, moved as u64, 0]);
+        shared.wake_all();
+    }
+
+    /// Leader-only: the topology epoch moved — extend the plan over the
+    /// spliced/retired nodes ([`ExecutionPlan::refreshed`] keeps existing
+    /// group ids and in-flight state), grow the `GroupTable` *before*
+    /// publishing the new plan (so no reader ever resolves a group the
+    /// table cannot hold), place new groups onto the lightest workers,
+    /// and hand the delta out through the existing rebalance-epoch
+    /// release→claim protocol.
+    fn replan(&self, graph: &QueryGraph, shared: &Shared) {
+        let old = shared.plan();
+        let new_plan = Arc::new(old.refreshed(graph));
+        let old_groups = old.groups().len();
+        let total = new_plan.groups().len();
+        shared.table.grow(total);
+
+        // Existing groups stay where they are (their current owner is the
+        // target; free ones join the LPT pass with the new groups);
+        // retired groups go to NO_TARGET and drain out.
+        let mut targets = vec![NO_TARGET; total];
+        let mut load = vec![0u64; self.threads];
+        let mut unplaced: Vec<GroupId> = Vec::new();
+        let mut retired_count = 0u64;
+        for (g, grp) in new_plan.groups().iter().enumerate() {
+            if grp.is_retired() {
+                if old.groups().get(g).is_none_or(|o| !o.is_retired()) {
+                    retired_count += 1;
+                }
+                continue;
+            }
+            match shared.table.owner(g) {
+                Some(w) if w < self.threads => {
+                    targets[g] = w;
+                    load[w] += grp.static_cost().max(1);
+                }
+                _ => unplaced.push(g),
+            }
+        }
+        unplaced.sort_by_key(|&g| std::cmp::Reverse(new_plan.groups()[g].static_cost()));
+        for g in unplaced {
+            let w = (0..self.threads)
+                .min_by_key(|&t| load[t])
+                .expect("threads > 0");
+            targets[g] = w;
+            load[w] += new_plan.groups()[g].static_cost().max(1);
+        }
+
+        *shared.targets.lock() = targets;
+        *shared.plan.write() = Arc::clone(&new_plan);
+        let new_groups = (total - old_groups) as u64;
+        pipes_trace::instant(
+            pipes_trace::names::SCHED_REPLAN,
+            [new_plan.planned_epoch(), new_groups, retired_count],
+        );
+        shared.epoch.fetch_add(1, Ordering::AcqRel);
         shared.wake_all();
     }
 }
@@ -691,6 +815,63 @@ mod tests {
         for buf in &bufs {
             assert_eq!(buf.lock().len(), 100);
         }
+    }
+
+    #[test]
+    fn queries_splice_into_a_running_executor_and_retire_cleanly() {
+        use pipes_graph::io::GenSource;
+
+        let g = Arc::new(QueryGraph::new());
+        let open = Arc::new(AtomicBool::new(true));
+        let gate = Arc::clone(&open);
+        let mut t = 0u64;
+        let src = g.add_source(
+            "live",
+            GenSource::new(move || {
+                // ordering: Acquire — pairs with the Release close below so
+                // the source observes the shutdown promptly.
+                if !gate.load(Ordering::Acquire) {
+                    return None;
+                }
+                t += 1;
+                Some(Element::at(t as i64, Timestamp::new(t)))
+            }),
+        );
+        let f = g.add_unary("f1", HalfFilter, &src);
+        let (sink, buf1) = CollectSink::new();
+        g.add_sink("sink1", sink, &f);
+
+        let graph = Arc::clone(&g);
+        let handle = thread::spawn(move || {
+            WorkStealingExecutor::new(2)
+                .with_quantum(16)
+                .run(&graph, || Box::new(FifoStrategy))
+        });
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let wait = |cond: &dyn Fn() -> bool| {
+            while !cond() {
+                assert!(Instant::now() < deadline, "timed out waiting");
+                thread::yield_now();
+            }
+        };
+        // The first query is demonstrably flowing...
+        wait(&|| buf1.lock().len() >= 100);
+        // ...now splice a second query onto the live source, no restart.
+        let f2 = g.add_unary("f2", HalfFilter, &src);
+        let (sink2, buf2) = CollectSink::new();
+        let k2 = g.add_sink("sink2", sink2, &f2);
+        wait(&|| buf2.lock().len() >= 100);
+        let spliced_results = buf2.lock().len();
+        // Retire the spliced query while the executor keeps running.
+        g.remove_node(k2);
+        g.remove_node(f2.node());
+        wait(&|| buf1.lock().len() >= 2 * spliced_results);
+        // Close the source; the run drains and joins.
+        open.store(false, Ordering::Release);
+        let reports = handle.join().expect("executor thread");
+        assert!(g.all_finished());
+        assert!(buf2.lock().len() >= spliced_results);
+        assert_eq!(reports.len(), 2);
     }
 
     #[test]

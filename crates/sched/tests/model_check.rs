@@ -193,6 +193,112 @@ fn release_claim_handoff_keeps_exactly_one_owner() {
     assert!(report.executions > 1, "expected multiple schedules");
 }
 
+/// Splice-vs-steal at the table level: the leader grows the table for a
+/// spliced group and claims the fresh slot while a thief concurrently
+/// steals the pre-existing group from its idle owner. In every
+/// interleaving both transitions land, no slot is lost, and the grown
+/// slot starts free (grow never disturbs in-flight CAS traffic on the
+/// old slots).
+#[test]
+fn table_grow_racing_steal_keeps_every_slot_consistent() {
+    let report = pipes_sync::Builder::new().preemption_bound(1).check(|| {
+        let table = Arc::new(GroupTable::new(1));
+        assert!(table.try_claim(0, 0));
+        let leader = {
+            let table = Arc::clone(&table);
+            pipes_sync::thread::spawn(move || {
+                table.grow(2);
+                assert!(table.try_claim(1, 0), "fresh slot must start free");
+            })
+        };
+        let thief = {
+            let table = Arc::clone(&table);
+            pipes_sync::thread::spawn(move || table.try_steal(0, 0, 1))
+        };
+        let stolen = thief.join().unwrap();
+        leader.join().unwrap();
+        assert!(stolen, "idle owner cannot resist the steal");
+        assert_eq!(table.len(), 2);
+        assert_eq!(table.owner(0), Some(1), "stolen group lost in the grow");
+        assert_eq!(table.owner(1), Some(0), "fresh group lost");
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
+/// Retire-vs-claim: a replan retires group 0 — its owner finishes the
+/// in-flight quantum and releases at the epoch hand-off, and per the
+/// NO_TARGET rule nobody ever re-claims it — while an idle worker races
+/// to adopt the freshly spliced group the same replan added. In every
+/// interleaving the retired slot drains to free and stays free, and the
+/// fresh group ends with exactly one owner.
+#[test]
+fn retire_drain_racing_idle_adoption_frees_retired_and_owns_fresh() {
+    let report = pipes_sync::Builder::new().preemption_bound(1).check(|| {
+        let table = Arc::new(GroupTable::new(1));
+        assert!(table.try_claim(0, 0));
+        // Grow-before-publish: the table is extended before any worker can
+        // see (and claim from) the new plan, exactly as `replan` orders it.
+        table.grow(2);
+        let owner = {
+            let table = Arc::clone(&table);
+            pipes_sync::thread::spawn(move || {
+                assert!(table.begin(0, 0), "owner finishes its last quantum");
+                table.end(0, 0);
+                assert!(table.release(0, 0), "retired drain release must win");
+            })
+        };
+        let idle = {
+            let table = Arc::clone(&table);
+            pipes_sync::thread::spawn(move || table.try_claim(1, 1))
+        };
+        owner.join().unwrap();
+        assert!(idle.join().unwrap(), "fresh free group must be adoptable");
+        assert_eq!(table.owner(0), None, "retired group must drain to free");
+        assert_eq!(table.owner(1), Some(1));
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
+/// Bounded shutdown mid-splice: a sink is spliced onto the live source
+/// while the work-stealing executor runs — possibly before the first
+/// quantum, possibly mid-drain, possibly after the source already closed
+/// (subscribe-after-close delivers an immediate `Close`, so no
+/// interleaving can wedge the data path). Every schedule must terminate
+/// with the worker joined and the original stream fully delivered. One
+/// worker keeps the schedule space tractable — the claim/steal races the
+/// splice induces are covered by the two table-level tests above; this
+/// one pins the leader's replan/shutdown protocol itself.
+#[test]
+fn shutdown_stays_bounded_when_a_sink_splices_mid_run() {
+    let report = pipes_sync::Builder::new().preemption_bound(1).check(|| {
+        let g = QueryGraph::new();
+        let elems = vec![Element::at(0i64, Timestamp::new(0))];
+        let src = g.add_source("src", VecSource::new(elems));
+        let (sink, count) = CountSink::new();
+        g.add_sink("sink", sink, &src);
+        let graph = Arc::new(g);
+        let (late_sink, late_count) = CountSink::new();
+        let splicer = {
+            let graph = Arc::clone(&graph);
+            pipes_sync::thread::spawn(move || {
+                graph.add_sink("late", late_sink, &src);
+            })
+        };
+        let reports = WorkStealingExecutor::new(1)
+            .with_quantum(1)
+            .with_rebalance_every(0)
+            .run(&graph, || Box::new(FifoStrategy));
+        splicer.join().unwrap();
+        assert_eq!(reports.len(), 1, "the worker was lost");
+        assert_eq!(count.lock().0, 1, "original stream not fully delivered");
+        assert!(late_count.lock().0 <= 1, "late sink over-delivered");
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
 /// The full dynamic layer 3 under the model checker: plan, claim, targeted
 /// wakeups, idle adoption and the decentralized stop protocol. Every
 /// interleaving must terminate (bounded shutdown — no lost wakeup can park

@@ -72,6 +72,17 @@ pub const REBALANCE_PLAN: &str = "sched.rebalance";
 /// args: `[producer_node, woken_worker, 0]`.
 pub const WAKE: &str = "sched.wake";
 
+/// Instant for a hot-topology mutation: a node spliced into or retired
+/// from the running graph (bumping the topology epoch).
+/// args: `[node_id, topology_epoch_after, is_retire]` — `is_retire` is 0
+/// for an add, 1 for a retirement.
+pub const GRAPH_SPLICE: &str = "graph.splice";
+
+/// Instant when the work-stealing leader (or a `MultiThreadExecutor`
+/// worker) re-runs fusion analysis after observing a newer topology epoch.
+/// args: `[topology_epoch, new_groups, retired_groups]`.
+pub const SCHED_REPLAN: &str = "sched.replan";
+
 /// Instant for one aggregate run dispatch (`ScalarAggregate` /
 /// `GroupedAggregate` `on_run`), after the burst-grouped inserts.
 /// args: `[run_len, bursts, partials_after]` — `partials_after` is the

@@ -10,6 +10,19 @@ use std::fmt::Write as _;
 use pipes_meta::{NodeMetaSnapshot, NodeStats};
 use pipes_sync::Arc;
 
+/// Graph-level topology gauges for the hot-topology plane: how many live
+/// nodes the query graph holds and how often its shape has changed.
+/// Sourced from `QueryGraph::node_ids().count()` and
+/// `QueryGraph::topology_epoch()` by callers that hold the graph.
+#[derive(Clone, Copy, Debug)]
+pub struct GraphGauges {
+    /// Live (non-retired) nodes currently in the query graph.
+    pub nodes: u64,
+    /// The graph's monotone topology epoch — bumps on every splice and
+    /// every retirement, so its derivative is the live re-plan rate.
+    pub topology_epoch: u64,
+}
+
 /// Renders all node counters, gauges, and latency quantiles in Prometheus
 /// text exposition format. Metadata-plane gauges render with no samples;
 /// use [`render_with_meta`] to include live estimator readings.
@@ -24,6 +37,18 @@ pub fn render(nodes: &[Arc<NodeStats>]) -> String {
 /// emitted for every family regardless of whether it has samples, so
 /// scrapers see a stable schema.
 pub fn render_with_meta(entries: &[(Arc<NodeStats>, Option<NodeMetaSnapshot>)]) -> String {
+    render_with_graph(entries, None)
+}
+
+/// Like [`render_with_meta`], additionally emitting the graph-level
+/// `pipes_graph_nodes` / `pipes_topology_epoch` gauges when the caller
+/// supplies [`GraphGauges`]. Their headers are emitted either way, so the
+/// schema a scraper sees does not depend on which entry point produced
+/// the dump.
+pub fn render_with_graph(
+    entries: &[(Arc<NodeStats>, Option<NodeMetaSnapshot>)],
+    graph: Option<GraphGauges>,
+) -> String {
     let snaps: Vec<_> = entries.iter().map(|(n, _)| n.snapshot()).collect();
     let mut out = String::new();
 
@@ -113,6 +138,25 @@ pub fn render_with_meta(entries: &[(Arc<NodeStats>, Option<NodeMetaSnapshot>)]) 
                 fmt_value(m.selectivity)
             );
         }
+    }
+
+    // Graph-level hot-topology gauges: headers always, samples only when
+    // the caller passed the graph's current values.
+    let _ = writeln!(
+        out,
+        "# HELP pipes_graph_nodes Live (non-retired) nodes in the query graph."
+    );
+    let _ = writeln!(out, "# TYPE pipes_graph_nodes gauge");
+    if let Some(g) = graph {
+        let _ = writeln!(out, "pipes_graph_nodes {}", g.nodes);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP pipes_topology_epoch Monotone topology epoch of the query graph (bumps on splice and retire)."
+    );
+    let _ = writeln!(out, "# TYPE pipes_topology_epoch gauge");
+    if let Some(g) = graph {
+        let _ = writeln!(out, "pipes_topology_epoch {}", g.topology_epoch);
     }
 
     let with_latency: Vec<_> = snaps
@@ -251,15 +295,22 @@ mod tests {
     /// Text-format conformance: the whole dump must parse line by line —
     /// every family announces HELP and TYPE before its first sample, every
     /// sample belongs to an announced family (modulo the summary `_count`
-    /// suffix), labels are well-formed, and values parse as f64 (Prometheus
-    /// accepts `NaN`).
+    /// suffix), labels (when present — the graph-level gauges are bare)
+    /// are well-formed, and values parse as f64 (Prometheus accepts
+    /// `NaN`).
     #[test]
     fn dump_conforms_to_text_exposition_format() {
         let a = Arc::new(NodeStats::new("src"));
         a.record_in(7);
         let b = Arc::new(NodeStats::new("we\"ird\\node"));
         b.record_latency_ns(&(1..=100).map(|i| i * 1000).collect::<Vec<_>>());
-        let text = render_with_meta(&[(a, Some(meta_snap(123.5, 61.75, 0.5))), (b, None)]);
+        let text = render_with_graph(
+            &[(a, Some(meta_snap(123.5, 61.75, 0.5))), (b, None)],
+            Some(GraphGauges {
+                nodes: 2,
+                topology_epoch: 3,
+            }),
+        );
 
         let mut announced: Vec<String> = Vec::new();
         let mut samples = 0;
@@ -285,35 +336,61 @@ mod tests {
                 announced.push(name);
                 continue;
             }
-            // A sample line: name{labels} value
+            // A sample line: name{labels} value, or a bare name value.
             samples += 1;
-            let brace = line
-                .find('{')
-                .unwrap_or_else(|| panic!("unlabeled sample: {line}"));
-            let name = &line[..brace];
+            let (name, value) = match line.find('{') {
+                Some(brace) => {
+                    let close = line.rfind('}').unwrap();
+                    let labels = &line[brace + 1..close];
+                    for pair in split_label_pairs(labels) {
+                        let (k, v) = pair
+                            .split_once('=')
+                            .unwrap_or_else(|| panic!("bad label {pair}"));
+                        assert!(k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
+                        assert!(v.starts_with('"') && v.ends_with('"'), "unquoted: {pair}");
+                    }
+                    (&line[..brace], line[close + 1..].trim())
+                }
+                None => line
+                    .split_once(' ')
+                    .map(|(n, v)| (&line[..n.len()], v.trim()))
+                    .unwrap_or_else(|| panic!("malformed sample: {line}")),
+            };
             assert!(
                 announced
                     .iter()
                     .any(|f| name == f || name == format!("{f}_count")),
                 "sample for unannounced family: {line}"
             );
-            let close = line.rfind('}').unwrap();
-            let labels = &line[brace + 1..close];
-            for pair in split_label_pairs(labels) {
-                let (k, v) = pair
-                    .split_once('=')
-                    .unwrap_or_else(|| panic!("bad label {pair}"));
-                assert!(k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'));
-                assert!(v.starts_with('"') && v.ends_with('"'), "unquoted: {pair}");
-            }
-            let value = line[close + 1..].trim();
             assert!(
                 value.parse::<f64>().is_ok() || value == "NaN",
                 "unparseable value in {line}"
             );
         }
         assert!(samples > 10, "dump looked empty: {samples} samples");
-        assert!(announced.len() >= 11, "families: {announced:?}");
+        assert!(announced.len() >= 13, "families: {announced:?}");
+    }
+
+    #[test]
+    fn renders_graph_level_topology_gauges() {
+        let a = Arc::new(NodeStats::new("src"));
+        let with = render_with_graph(
+            &[(Arc::clone(&a), None)],
+            Some(GraphGauges {
+                nodes: 7,
+                topology_epoch: 42,
+            }),
+        );
+        assert!(with.contains("# TYPE pipes_graph_nodes gauge"));
+        assert!(with.contains("pipes_graph_nodes 7"));
+        assert!(with.contains("# TYPE pipes_topology_epoch gauge"));
+        assert!(with.contains("pipes_topology_epoch 42"));
+        // Header-stable schema: the families are announced even when no
+        // graph values are supplied, just with no samples.
+        let without = render(&[a]);
+        assert!(without.contains("# TYPE pipes_graph_nodes gauge"));
+        assert!(!without.contains("pipes_graph_nodes 7"));
+        assert!(without.contains("# TYPE pipes_topology_epoch gauge"));
     }
 
     /// Splits `k1="v1",k2="v2"` on commas outside quotes (label values may

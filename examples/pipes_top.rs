@@ -44,11 +44,17 @@ fn main() {
     let (sink, results) = CollectSink::new();
     graph.add_sink("results", sink, &counted);
 
-    // Attach the monitor with each node's live metadata block, so
-    // `render_top` can show estimator values beside the queue depths.
+    // Attach the monitor with each node's live metadata block and the
+    // topology epoch it was spliced at, so `render_top` can show the
+    // estimator values beside the queue depths and tag each row with its
+    // splice time in the `epoch` column.
     let monitor = Monitor::new();
-    for id in 0..graph.len() {
-        monitor.register_with_meta(graph.stats(id), Some(graph.meta(id)));
+    for id in graph.node_ids() {
+        monitor.register_at_epoch(
+            graph.stats(id),
+            Some(graph.meta(id)),
+            graph.topology_epoch(),
+        );
     }
 
     // Step every node round-robin; every `rounds_per_frame` rounds, draw a
@@ -58,7 +64,7 @@ fn main() {
     let mut frame = 0;
     while !graph.all_finished() {
         for _ in 0..rounds_per_frame {
-            for id in 0..graph.len() {
+            for id in graph.node_ids() {
                 if !graph.is_finished(id) {
                     graph.step_node(id, 256);
                 }
@@ -89,11 +95,20 @@ fn main() {
     // measured upstream output, selectivity from the prior.
     let (cold_sink, _cold_buf) = CollectSink::new();
     let cold = graph.add_sink("cold-tap", cold_sink, &high);
+    monitor.register_at_epoch(
+        graph.stats(cold),
+        Some(graph.meta(cold)),
+        graph.topology_epoch(),
+    );
     let snap = graph.meta_snapshot(&MetaConfig::default());
     let est = snap.get(cold).expect("cold tap estimate");
     println!(
-        "\nspliced cold node '{}': in {:.1}/s [{:?}] — derived from \
-         'high-pass' without ever running",
-        est.name, est.in_rate, est.confidence
+        "\nspliced cold node '{}' at topology epoch {}: in {:.1}/s [{:?}] — \
+         derived from 'high-pass' without ever running",
+        est.name,
+        graph.topology_epoch(),
+        est.in_rate,
+        est.confidence
     );
+    println!("\n{}", monitor.render_top());
 }

@@ -86,6 +86,14 @@ cargo run -q --release -p pipes-bench --bin experiments -- e18 --quick >/dev/nul
 echo "==> E19 metadata-plane smoke run (quick)"
 cargo run -q --release -p pipes-bench --bin experiments -- e19 --quick >/dev/null
 
+# Hot-topology smoke run: E20 splices a fleet of prefix-sharing queries
+# into a graph a work-stealing executor is already draining, watching
+# install-to-first-result latency from the side; quick mode keeps it to
+# seconds. The >= 5x sharing and no-throughput-degradation bars live in
+# the full run recorded in EXPERIMENTS.md.
+echo "==> E20 hot-topology splice smoke run (quick)"
+cargo run -q --release -p pipes-bench --bin experiments -- e20 --quick >/dev/null
+
 # Model-checked concurrency suite: compile the kernel against the
 # instrumented loom-shim primitives and exhaustively explore interleavings
 # of the data-path/scheduler invariants (see DESIGN.md § "Concurrency
