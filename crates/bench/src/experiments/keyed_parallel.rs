@@ -1,0 +1,295 @@
+//! E21 — keyed data parallelism: partition-by-key shuffle edges on the
+//! E17 NEXMark plan.
+//!
+//! The same auctions ⋈ bids → fee → grouped-max pipeline as E17, built two
+//! ways:
+//!
+//! * **single** — one `RippleJoin` and one `GroupedAggregate` node, the
+//!   E17 run-native plan verbatim;
+//! * **keyed** — the join behind a two-sided shuffle edge
+//!   ([`QueryGraph::add_keyed_binary`], both inputs hash-partitioned by
+//!   auction id) and the grouped-max behind a one-sided shuffle edge
+//!   ([`QueryGraph::add_keyed_unary`], partitioned by category), with as
+//!   many instances of each as worker threads.
+//!
+//! Two claims are measured:
+//!
+//! 1. **Byte identity** — on the deterministic single-threaded kernel the
+//!    keyed plan's sink output must equal the single plan's exactly (same
+//!    payloads, same intervals, same order). This is asserted here for
+//!    several instance counts, on top of the proptest pins in
+//!    `crates/ops/tests/keyed_parallel_props.rs`.
+//! 2. **Scaling** — under the work-stealing executor, threads swept from
+//!    1 to every available core, the keyed plan's throughput relative to
+//!    the single plan at the same thread count. The single plan cannot use
+//!    extra cores on the hot operators (a stateful node is one graph node,
+//!    so at most one thread can run it); the keyed plan's instances are
+//!    independently stealable.
+//!
+//! Methodology follows E15: paired back-to-back runs in alternating order
+//! per rep, per-rep ratio, median over reps. Results are written to
+//! `BENCH_keyed_parallel.json`, including the measured core count — on a
+//! single-core host the sweep collapses to the 1-thread point, which
+//! measures pure shuffle-edge overhead rather than scaling.
+
+use crate::{f, table};
+use pipes::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Bids per burst (one auction, one timestamp — NEXMark-style flurries).
+const BURST: u64 = 16;
+/// Distinct auctions (the join's key domain).
+const AUCTIONS: u64 = 512;
+/// Aggregation categories.
+const CATEGORIES: i64 = 8;
+
+/// Payloads are `(auction_id, x)` pairs: `x` is the category on the
+/// auctions stream and the price on the bids stream.
+type Pair = (i64, i64);
+
+fn auctions() -> Vec<Element<Pair>> {
+    let horizon = Timestamp::new(u64::MAX / 2);
+    (0..AUCTIONS)
+        .map(|id| {
+            Element::new(
+                (id as i64, id as i64 % CATEGORIES),
+                TimeInterval::new(Timestamp::ZERO, horizon),
+            )
+        })
+        .collect()
+}
+
+fn bids(n: u64) -> Vec<Element<Pair>> {
+    (0..n)
+        .map(|i| {
+            let burst = i / BURST;
+            let auction = (burst * 7919) % AUCTIONS;
+            let price = 100 + (i % BURST) as i64 * 3;
+            Element::at((auction as i64, price), Timestamp::new(burst + 1))
+        })
+        .collect()
+}
+
+fn join_op() -> RippleJoin<Pair, Pair, Pair> {
+    // Left: auctions (id, category); right: bids (id, price);
+    // out: (category, price).
+    RippleJoin::equi(|a: &Pair| a.0, |b: &Pair| b.0, |a, b| (a.1, b.1))
+}
+
+fn category(p: &Pair) -> i64 {
+    p.0
+}
+
+fn price(p: &Pair) -> i64 {
+    p.1
+}
+
+#[allow(clippy::type_complexity)]
+fn agg_op() -> GroupedAggregate<Pair, i64, fn(&Pair) -> i64, MaxAgg<fn(&Pair) -> i64>> {
+    GroupedAggregate::new(
+        category as fn(&Pair) -> i64,
+        MaxAgg(price as fn(&Pair) -> i64),
+    )
+}
+
+/// Builds the plan and returns `(graph, sink buffer)`. `instances == 1`
+/// with `keyed == false` is the E17 single-node plan; otherwise the join
+/// and the grouped-max each sit behind a shuffle edge with `instances`
+/// copies.
+fn plan(
+    n_bids: u64,
+    keyed: bool,
+    instances: usize,
+) -> (Arc<QueryGraph>, pipes::graph::io::Collected<(i64, i64)>) {
+    let g = QueryGraph::new();
+    let a = g.add_source("auctions", VecSource::new(auctions()));
+    let b = g.add_source("bids", VecSource::new(bids(n_bids)));
+    let joined = if keyed {
+        g.add_keyed_binary(
+            "join",
+            || join_op().with_rekey(|a: &Pair| key_hash(&a.0), |b: &Pair| key_hash(&b.0)),
+            Arc::new(|a: &Pair| key_hash(&a.0)),
+            Arc::new(|b: &Pair| key_hash(&b.0)),
+            instances,
+            // The join emits only while processing elements — no
+            // broadcast-stamp ties across instances.
+            None,
+            &a,
+            &b,
+        )
+    } else {
+        g.add_binary("join", join_op(), &a, &b)
+    };
+    let fee = |p: Pair| (p.0, p.1 + p.1 / 50);
+    let mapped = g.add_unary("fee", Map::new(fee), &joined);
+    let top = if keyed {
+        g.add_keyed_unary(
+            "top-price",
+            agg_op,
+            Arc::new(|p: &Pair| key_hash(&p.0)),
+            instances,
+            // Heartbeat flushes are key-sorted in the single plan; the key
+            // tie restores that order across instances.
+            Some(Arc::new(
+                |a: &Element<(i64, i64)>, b: &Element<(i64, i64)>| a.payload.0.cmp(&b.payload.0),
+            )),
+            &mapped,
+        )
+    } else {
+        g.add_unary("top-price", agg_op(), &mapped)
+    };
+    let (sink, buf) = CollectSink::new();
+    g.add_sink("sink", sink, &top);
+    (Arc::new(g), buf)
+}
+
+/// Runs one plan under the work-stealing executor with `threads` workers
+/// and returns (elements/s over both inputs, sink message count).
+fn run_threaded(n_bids: u64, keyed: bool, instances: usize, threads: usize) -> (f64, usize) {
+    let (g, buf) = plan(n_bids, keyed, instances);
+    let total = AUCTIONS + n_bids;
+    let start = Instant::now();
+    WorkStealingExecutor::new(threads).run(&g, || Box::new(RoundRobinStrategy::new()));
+    let secs = start.elapsed().as_secs_f64();
+    let produced = buf.lock().len();
+    assert!(produced > 0, "plan produced no aggregates");
+    assert!(g.all_finished());
+    (total as f64 / secs, produced)
+}
+
+/// Deterministic single-threaded byte-identity check: the keyed plan must
+/// reproduce the single plan's sink stream exactly. Both plans drain under
+/// the same round-robin quantum, so the sources punctuate identically and
+/// the outputs are directly comparable.
+fn assert_byte_identical(n_bids: u64, instances: usize) {
+    let (g_single, out_single) = plan(n_bids, false, 1);
+    g_single.run_to_completion(256);
+    let (g_keyed, out_keyed) = plan(n_bids, true, instances);
+    g_keyed.run_to_completion(256);
+    let want = out_single.lock().clone();
+    let got = out_keyed.lock().clone();
+    assert_eq!(
+        got, want,
+        "keyed plan with {instances} instances diverged from the single plan"
+    );
+}
+
+fn median(ratios: &mut [f64]) -> f64 {
+    ratios.sort_by(f64::total_cmp);
+    if ratios.len() % 2 == 1 {
+        ratios[ratios.len() / 2]
+    } else {
+        (ratios[ratios.len() / 2 - 1] + ratios[ratios.len() / 2]) / 2.0
+    }
+}
+
+/// Runs E21 and prints the table; writes `BENCH_keyed_parallel.json`.
+pub fn e21_keyed_parallel(quick: bool) {
+    let n_bids: u64 = if quick { 48_000 } else { 256_000 };
+    let reps = if quick { 4 } else { 12 };
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Byte identity first — scaling numbers mean nothing if the keyed plan
+    // computes a different stream.
+    for instances in [2usize, 3, 5] {
+        assert_byte_identical(n_bids.min(16_000), instances);
+    }
+    println!("byte-identity: keyed plan == single plan at 2/3/5 instances");
+
+    // Warm up allocator and page cache off the clock.
+    run_threaded(n_bids.min(8_000), true, 2, 1);
+
+    // Thread sweep 1 → cores. Per E15: paired back-to-back runs per rep in
+    // alternating order, per-rep ratio, median over reps.
+    let mut rows = Vec::new();
+    let mut json_rows = Vec::new();
+    for threads in 1..=cores {
+        let instances = threads.max(2);
+        let mut best = [f64::MIN; 2];
+        let mut ratios = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let order = if rep % 2 == 0 {
+                [false, true]
+            } else {
+                [true, false]
+            };
+            let mut thr = [0.0f64; 2];
+            for keyed in order {
+                let (t, _) =
+                    run_threaded(n_bids, keyed, if keyed { instances } else { 1 }, threads);
+                thr[keyed as usize] = t;
+                best[keyed as usize] = best[keyed as usize].max(t);
+            }
+            ratios.push(thr[1] / thr[0]);
+            if std::env::var_os("PIPES_E21_DEBUG").is_some() {
+                eprintln!(
+                    "threads {threads} rep {rep:>2}: single {:.3e} keyed {:.3e} (x{:.2})",
+                    thr[0],
+                    thr[1],
+                    thr[1] / thr[0]
+                );
+            }
+        }
+        let ratio = median(&mut ratios);
+        rows.push(vec![
+            threads.to_string(),
+            instances.to_string(),
+            f(best[0] / 1e6, 2),
+            f(best[1] / 1e6, 2),
+            f(ratio, 2),
+        ]);
+        json_rows.push(format!(
+            "    {{\"threads\": {threads}, \"instances\": {instances}, \
+             \"single_elem_per_s\": {:.0}, \"keyed_elem_per_s\": {:.0}, \
+             \"keyed_vs_single_median_ratio\": {ratio:.3}}}",
+            best[0], best[1]
+        ));
+    }
+
+    table(
+        &format!(
+            "E21 — keyed parallelism, auctions({AUCTIONS}) ⋈ bids({n_bids}, \
+             bursts of {BURST}) → fee → group-by-category max, {cores} core(s)"
+        ),
+        &[
+            "threads",
+            "instances",
+            "single Melem/s",
+            "keyed Melem/s",
+            "keyed vs single (median)",
+        ],
+        &rows,
+    );
+    if cores == 1 {
+        println!(
+            "shape check: single-core host — the sweep collapses to the 1-thread \
+             point, so the ratio above is the shuffle edge's overhead (partition + \
+             merge stages on one core), not a scaling result; on a multi-core host \
+             the keyed plan's instances are independently stealable and the ratio \
+             grows with the thread count."
+        );
+    } else {
+        println!(
+            "shape check: the single plan's stateful operators are one graph node \
+             each, so extra threads cannot help them; the keyed plan splits the \
+             join and the aggregate into per-thread instances that the \
+             work-stealing executor schedules independently, and the ratio grows \
+             with the thread count."
+        );
+    }
+
+    let json = format!(
+        "{{\n  \"experiment\": \"keyed_parallel\",\n  \"auctions\": {AUCTIONS},\n  \
+         \"bids\": {n_bids},\n  \"burst\": {BURST},\n  \
+         \"categories\": {CATEGORIES},\n  \"cores\": {cores},\n  \
+         \"byte_identical\": true,\n  \"sweep\": [\n{}\n  ]\n}}\n",
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_keyed_parallel.json", &json) {
+        Ok(()) => println!("wrote BENCH_keyed_parallel.json"),
+        Err(e) => eprintln!("could not write BENCH_keyed_parallel.json: {e}"),
+    }
+}

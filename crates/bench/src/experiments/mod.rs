@@ -1,10 +1,11 @@
-//! The experiments E1–E20 (see `DESIGN.md` for the paper mapping).
+//! The experiments E1–E21 (see `DESIGN.md` for the paper mapping).
 
 mod ablation;
 mod apps;
 mod batching;
 mod fusion;
 mod join;
+mod keyed_parallel;
 mod memory;
 mod meta_overhead;
 mod monitoring;
@@ -19,7 +20,7 @@ mod scheduling;
 mod trace_overhead;
 mod window_agg;
 
-/// Runs one experiment by id (`e1`..`e20`) or `all`. `quick` shrinks the
+/// Runs one experiment by id (`e1`..`e21`) or `all`. `quick` shrinks the
 /// workloads so a full pass finishes in seconds (used by `cargo bench`).
 pub fn run(which: &str, quick: bool) {
     let all = which.eq_ignore_ascii_case("all");
@@ -83,5 +84,8 @@ pub fn run(which: &str, quick: bool) {
     }
     if want("e20") {
         mqo_live::e20_mqo_live(quick);
+    }
+    if want("e21") {
+        keyed_parallel::e21_keyed_parallel(quick);
     }
 }

@@ -31,7 +31,8 @@ use std::time::Instant;
 const K: usize = 6;
 /// Cold chains riding along beside the hot one.
 const COLD_CHAINS: usize = 3;
-/// Worker threads for every variant.
+/// Worker threads for the headline comparison (the sweep below also runs
+/// every other count up to the machine's core count).
 const THREADS: usize = 2;
 
 fn input(n: u64) -> Vec<Element<i64>> {
@@ -76,20 +77,20 @@ enum Variant {
 
 /// Runs one variant on a fresh graph and returns elements/s over the whole
 /// stream (hot + cold).
-fn run_variant(variant: Variant, hot_n: u64, cold_n: u64) -> f64 {
+fn run_variant(variant: Variant, hot_n: u64, cold_n: u64, threads: usize) -> f64 {
     let (g, bufs) = skewed_graph(hot_n, cold_n);
     let total = hot_n + COLD_CHAINS as u64 * cold_n;
     let start = Instant::now();
     match variant {
         Variant::StaticRoundRobin => {
-            MultiThreadExecutor::new(THREADS)
+            MultiThreadExecutor::new(threads)
                 .run_static_round_robin(&g, || Box::new(RoundRobinStrategy::new()));
         }
         Variant::Topology => {
-            MultiThreadExecutor::new(THREADS).run(&g, || Box::new(RoundRobinStrategy::new()));
+            MultiThreadExecutor::new(threads).run(&g, || Box::new(RoundRobinStrategy::new()));
         }
         Variant::Stealing => {
-            WorkStealingExecutor::new(THREADS).run(&g, || Box::new(RoundRobinStrategy::new()));
+            WorkStealingExecutor::new(threads).run(&g, || Box::new(RoundRobinStrategy::new()));
         }
     }
     let secs = start.elapsed().as_secs_f64();
@@ -115,7 +116,12 @@ pub fn e16_sched_layers(quick: bool) {
     let reps = if quick { 6 } else { 24 };
 
     // Warm up allocator and page cache off the clock.
-    run_variant(Variant::Topology, hot_n.min(20_000), cold_n.min(2_000));
+    run_variant(
+        Variant::Topology,
+        hot_n.min(20_000),
+        cold_n.min(2_000),
+        THREADS,
+    );
 
     // Per E15: alternating-order back-to-back runs per rep; the per-rep
     // ratio cancels whatever the machine is doing at that moment, and the
@@ -140,7 +146,7 @@ pub fn e16_sched_layers(quick: bool) {
         };
         let mut thr = [0.0f64; 3];
         for v in order {
-            let t = run_variant(v, hot_n, cold_n);
+            let t = run_variant(v, hot_n, cold_n, THREADS);
             let slot = match v {
                 Variant::StaticRoundRobin => 0,
                 Variant::Topology => 1,
@@ -192,16 +198,66 @@ pub fn e16_sched_layers(quick: bool) {
          gain at >= 1.5x while also absorbing runtime skew."
     );
 
+    // Thread sweep 1 → every available core: stealing vs static at each
+    // count (fewer reps than the headline pair — the sweep is a shape, not
+    // an acceptance bar). On a single-core host this still exercises the
+    // 1- and 2-thread points.
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let sweep_reps = (reps / 3).max(2);
+    let mut sweep_rows = Vec::new();
+    let mut sweep_threads: Vec<usize> = (1..=cores).collect();
+    if !sweep_threads.contains(&THREADS) {
+        sweep_threads.push(THREADS);
+    }
+    for t in sweep_threads {
+        let mut ratios = Vec::with_capacity(sweep_reps);
+        let mut best_t = [f64::MIN; 2];
+        for rep in 0..sweep_reps {
+            let order = if rep % 2 == 0 {
+                [Variant::StaticRoundRobin, Variant::Stealing]
+            } else {
+                [Variant::Stealing, Variant::StaticRoundRobin]
+            };
+            let mut thr = [0.0f64; 2];
+            for v in order {
+                let x = run_variant(v, hot_n, cold_n, t);
+                let slot = if v == Variant::StaticRoundRobin { 0 } else { 1 };
+                thr[slot] = x;
+                best_t[slot] = best_t[slot].max(x);
+            }
+            ratios.push(thr[1] / thr[0]);
+        }
+        let r = median(&mut ratios);
+        println!(
+            "  sweep {t} thread(s): static {:.2} Melem/s, stealing {:.2} Melem/s (x{r:.2})",
+            best_t[0] / 1e6,
+            best_t[1] / 1e6
+        );
+        sweep_rows.push(format!(
+            "    {{\"threads\": {t}, \"static_elem_per_s\": {:.0}, \
+             \"stealing_elem_per_s\": {:.0}, \
+             \"stealing_vs_static_median_ratio\": {r:.3}}}",
+            best_t[0], best_t[1]
+        ));
+    }
+
     let json = format!(
         "{{\n  \"experiment\": \"sched_layers\",\n  \"threads\": {THREADS},\n  \
+         \"cores\": {cores},\n  \
          \"hot_chain_ops\": {K},\n  \"hot_elements\": {hot_n},\n  \
          \"cold_chains\": {COLD_CHAINS},\n  \"cold_elements\": {cold_n},\n  \
          \"static_elem_per_s\": {:.0},\n  \
          \"topology_elem_per_s\": {:.0},\n  \
          \"stealing_elem_per_s\": {:.0},\n  \
          \"topology_vs_static_median_ratio\": {topo_ratio:.3},\n  \
-         \"stealing_vs_static_median_ratio\": {steal_ratio:.3}\n}}\n",
-        best[0], best[1], best[2]
+         \"stealing_vs_static_median_ratio\": {steal_ratio:.3},\n  \
+         \"thread_sweep\": [\n{}\n  ]\n}}\n",
+        best[0],
+        best[1],
+        best[2],
+        sweep_rows.join(",\n")
     );
     match std::fs::write("BENCH_sched_layers.json", &json) {
         Ok(()) => println!("wrote BENCH_sched_layers.json"),

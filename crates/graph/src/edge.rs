@@ -85,6 +85,31 @@ impl<T> Edge<T> {
         self.high_water.fetch_max(len, Ordering::Relaxed);
     }
 
+    /// Enqueues a batch of **pre-stamped** messages under one lock
+    /// acquisition, preserving the arrival sequence each message already
+    /// carries. `msgs` is drained (capacity retained for reuse).
+    ///
+    /// This is the shuffle-edge transport: a partition node routes a drained
+    /// run across per-instance edges without re-stamping, so the merge stage
+    /// downstream can restore global arrival order from the original
+    /// sequences. Callers must push stamps in non-decreasing order per edge,
+    /// or run bounds downstream would be violated.
+    pub fn push_stamped_batch(&self, msgs: &mut Vec<(u64, Message<T>)>) {
+        if msgs.is_empty() {
+            return;
+        }
+        let mut q = self.queue.lock();
+        debug_assert!(
+            q.back().is_none_or(|(last, _)| *last <= msgs[0].0),
+            "stamped batch would regress the edge's sequence order"
+        );
+        q.extend(msgs.drain(..));
+        let len = q.len();
+        // ordering: Relaxed — stored inside the critical section; see push().
+        self.len.store(len, Ordering::Relaxed);
+        self.high_water.fetch_max(len, Ordering::Relaxed);
+    }
+
     /// Dequeues the oldest message, if any.
     pub fn pop(&self) -> Option<(u64, Message<T>)> {
         let mut q = self.queue.lock();
@@ -321,6 +346,24 @@ mod tests {
         b.push_batch(7, &mut batch);
         assert_eq!(a.pop().unwrap(), b.pop().unwrap());
         assert_eq!(a.pop().unwrap(), b.pop().unwrap());
+    }
+
+    #[test]
+    fn push_stamped_batch_preserves_given_seqs() {
+        let e: Edge<i32> = Edge::new(3);
+        let mut batch = vec![
+            (4u64, Message::Element(Element::at(1, Timestamp::new(0)))),
+            (9u64, Message::Heartbeat(Timestamp::new(1))),
+            (9u64, Message::Element(Element::at(2, Timestamp::new(1)))),
+        ];
+        let cap = batch.capacity();
+        e.push_stamped_batch(&mut batch);
+        assert!(batch.is_empty());
+        assert!(batch.capacity() >= cap, "scratch capacity must survive");
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.pop().unwrap().0, 4);
+        assert_eq!(e.pop().unwrap().0, 9);
+        assert_eq!(e.pop().unwrap().0, 9);
     }
 
     #[test]

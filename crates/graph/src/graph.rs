@@ -25,8 +25,8 @@ pub enum NodeKind {
 /// Handles are cheap to clone; holding one does not keep the stream alive or
 /// consume from it — it merely names a publication point in the graph.
 pub struct StreamHandle<T> {
-    node: NodeId,
-    outputs: Arc<Outputs<T>>,
+    pub(crate) node: NodeId,
+    pub(crate) outputs: Arc<Outputs<T>>,
 }
 
 impl<T> Clone for StreamHandle<T> {
@@ -53,16 +53,16 @@ impl<T> std::fmt::Debug for StreamHandle<T> {
     }
 }
 
-struct NodeCell {
-    name: String,
-    kind: NodeKind,
-    runnable: Mutex<Box<dyn Runnable>>,
-    stats: Arc<NodeStats>,
-    meta: Arc<NodeMeta>,
-    out_port: Option<Arc<dyn OutputPort>>,
+pub(crate) struct NodeCell {
+    pub(crate) name: String,
+    pub(crate) kind: NodeKind,
+    pub(crate) runnable: Mutex<Box<dyn Runnable>>,
+    pub(crate) stats: Arc<NodeStats>,
+    pub(crate) meta: Arc<NodeMeta>,
+    pub(crate) out_port: Option<Arc<dyn OutputPort>>,
     /// (upstream node, edge id) for every input subscription.
-    incoming: Mutex<Vec<(NodeId, EdgeId)>>,
-    removed: AtomicBool,
+    pub(crate) incoming: Mutex<Vec<(NodeId, EdgeId)>>,
+    pub(crate) removed: AtomicBool,
 }
 
 /// Static description of a node, for topology-aware strategies and plan
@@ -101,7 +101,7 @@ pub type WakeHook = dyn Fn(NodeId) + Send + Sync;
 /// the *running* graph.
 pub struct QueryGraph {
     nodes: RwLock<Vec<Arc<NodeCell>>>,
-    seq: Arc<AtomicU64>,
+    pub(crate) seq: Arc<AtomicU64>,
     next_edge: AtomicU64,
     /// Monotone topology epoch, bumped on every node add and retire
     /// (seqlock-style publication, like `NodeMeta`). Schedulers poll it to
@@ -109,6 +109,8 @@ pub struct QueryGraph {
     topology: AtomicU64,
     wake_hook: RwLock<Option<Arc<WakeHook>>>,
     has_wake_hook: AtomicBool,
+    /// Registered keyed-parallel (shuffle) groups; see [`crate::shuffle`].
+    pub(crate) shuffle: crate::shuffle::ShuffleRegistry,
 }
 
 impl Default for QueryGraph {
@@ -127,10 +129,11 @@ impl QueryGraph {
             topology: AtomicU64::new(1),
             wake_hook: RwLock::new(None),
             has_wake_hook: AtomicBool::new(false),
+            shuffle: crate::shuffle::ShuffleRegistry::default(),
         }
     }
 
-    fn push_node(&self, cell: NodeCell) -> NodeId {
+    pub(crate) fn push_node(&self, cell: NodeCell) -> NodeId {
         let id = {
             let mut nodes = self.nodes.write();
             nodes.push(Arc::new(cell));
@@ -145,11 +148,11 @@ impl QueryGraph {
         id
     }
 
-    fn cell(&self, id: NodeId) -> Arc<NodeCell> {
+    pub(crate) fn cell(&self, id: NodeId) -> Arc<NodeCell> {
         Arc::clone(&self.nodes.read()[id])
     }
 
-    fn new_edge<T>(&self) -> Arc<Edge<T>> {
+    pub(crate) fn new_edge<T>(&self) -> Arc<Edge<T>> {
         // ordering: Relaxed — unique-id allocation, nothing else is
         // published through this counter.
         let id = self.next_edge.fetch_add(1, Ordering::Relaxed);
@@ -303,7 +306,7 @@ impl QueryGraph {
         id
     }
 
-    fn refresh_subscriber_counts(&self, ids: impl IntoIterator<Item = NodeId>) {
+    pub(crate) fn refresh_subscriber_counts(&self, ids: impl IntoIterator<Item = NodeId>) {
         let nodes = self.nodes.read();
         for id in ids {
             let cell = &nodes[id];
@@ -652,13 +655,22 @@ impl QueryGraph {
     /// Only call while the topology is quiescent — a node added before its
     /// consumer would be collected prematurely.
     pub fn collect_unconsumed(&self) -> usize {
+        // Shuffle-group members (partition/instance nodes) publish through
+        // raw stamped edges, not an output port, so their subscriber count
+        // reads 0 even though the merge stage consumes them. Never collect
+        // them as dangling.
+        let shuffled: std::collections::HashSet<NodeId> =
+            self.shuffle.member_ids().into_iter().collect();
         let mut removed = 0;
         loop {
             let victims: Vec<NodeId> = self
                 .infos()
                 .into_iter()
                 .filter(|i| {
-                    !i.removed && i.kind != NodeKind::Sink && self.subscriber_count(i.id) == 0
+                    !i.removed
+                        && i.kind != NodeKind::Sink
+                        && !shuffled.contains(&i.id)
+                        && self.subscriber_count(i.id) == 0
                 })
                 .map(|i| i.id)
                 .collect();

@@ -41,6 +41,7 @@ mod node;
 mod operator;
 mod outputs;
 pub mod run;
+pub mod shuffle;
 pub mod watermark;
 
 pub use edge::{Edge, EdgeId};
@@ -50,3 +51,4 @@ pub use meta::{Confidence, MetaConfig, MetaSnapshot, NodeEstimate};
 pub use node::{BinNode, OpNode, Runnable, SinkNode, SourceNode, StepReport};
 pub use operator::{BinaryOperator, Collector, NodeId, Operator, SinkOp, SourceOp, SourceStatus};
 pub use outputs::{OutputPort, Outputs, PublishCollector};
+pub use shuffle::{key_hash, KeyFn, KeyedState, MergeTie, Rekey, ShuffleGroup};

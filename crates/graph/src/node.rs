@@ -76,6 +76,13 @@ pub trait Runnable: Send {
     fn attach_latency(&mut self, tracker: Arc<LatencyTracker>, stats: Arc<NodeStats>) {
         let _ = (tracker, stats);
     }
+    /// Typed access for live reconfiguration: shuffle nodes (partition,
+    /// keyed instance, merge — see [`crate::shuffle`]) return themselves so
+    /// `QueryGraph::parallelize` can retarget routing tables and move keyed
+    /// operator state while the graph runs. Everything else returns `None`.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
 }
 
 /// Wraps a collector to track the largest element-start timestamp that

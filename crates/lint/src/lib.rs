@@ -483,6 +483,20 @@ mod tests {
     }
 
     #[test]
+    fn shuffle_modules_are_inside_the_gate() {
+        // The keyed-parallelism pipeline (partition → instances → merge)
+        // lives in the graph kernel crate; its routing cells and merge
+        // frontier state must come from the facade so the model checker can
+        // drive partition-push vs merge-drain interleavings.
+        let src = "use std::sync::atomic::AtomicUsize;\n";
+        assert_eq!(
+            check("crates/graph/src/shuffle.rs", src),
+            vec!["no-direct-sync:1"],
+            "shuffle stage must stay behind the pipes_sync facade"
+        );
+    }
+
+    #[test]
     fn string_mention_of_std_sync_is_not_flagged() {
         let src = "let m = \"std::sync is banned\"; // std::thread too\n";
         assert!(check("crates/graph/src/edge.rs", src).is_empty());

@@ -1,6 +1,6 @@
 //! Snapshot duplicate elimination.
 
-use pipes_graph::{Collector, Operator};
+use pipes_graph::{key_hash, Collector, KeyedState, Operator, Rekey};
 use pipes_time::{Element, TimeInterval, Timestamp};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -175,6 +175,37 @@ where
             self.pending.remove(&k);
         }
         self.memory()
+    }
+}
+
+/// Keyed-parallel state hand-off: each payload's pending coverage travels
+/// as one `(T, IntervalSet)` entry routed by [`key_hash`] of the payload —
+/// the same hash a `key_hash`-based partitioner key function computes, so
+/// relocated coverage lands on the instance that will see the payload's
+/// future duplicates.
+impl<T> Rekey for Distinct<T>
+where
+    T: Hash + Eq + Send + 'static,
+{
+    fn export_keyed(&mut self) -> KeyedState {
+        self.pending
+            .drain()
+            .map(|(payload, set)| {
+                let h = key_hash(&payload);
+                (h, Box::new((payload, set)) as Box<dyn std::any::Any + Send>)
+            })
+            .collect()
+    }
+
+    fn import_keyed(&mut self, entries: KeyedState) {
+        for (_, boxed) in entries {
+            let (payload, set) = *boxed
+                .downcast::<(T, IntervalSet)>()
+                .expect("keyed-parallel hand-off delivered foreign state to Distinct");
+            // One entry per payload value across all instances (same value
+            // ⇒ same routing hash), so imports never collide.
+            self.pending.insert(payload, set);
+        }
     }
 }
 

@@ -2,7 +2,7 @@
 //! aggregation.
 
 use crate::aggregate::{AggStrategy, AggregateFn, Partials};
-use pipes_graph::{Collector, Operator};
+use pipes_graph::{key_hash, Collector, KeyedState, Operator, Rekey};
 use pipes_time::{Element, Message, Timestamp};
 use std::collections::HashMap;
 use std::hash::Hash;
@@ -195,6 +195,41 @@ where
         }
         self.groups.retain(|_, g| g.len() > 0);
         self.memory()
+    }
+}
+
+/// Keyed-parallel state hand-off: each group travels as one
+/// `(K, Partials)` entry routed by [`key_hash`] of its key — the same hash
+/// a `pipes_graph::key_hash`-based partitioner key function computes for
+/// elements of that group, so relocated partials land on the instance that
+/// will receive the group's future elements.
+impl<T, K, KF, A> Rekey for GroupedAggregate<T, K, KF, A>
+where
+    T: Send + Clone + 'static,
+    K: Hash + Eq + Clone + Ord + Send + 'static,
+    KF: Fn(&T) -> K + Send + 'static,
+    A: AggregateFn<T>,
+    Partials<A::Acc>: Send + 'static,
+{
+    fn export_keyed(&mut self) -> KeyedState {
+        self.groups
+            .drain()
+            .map(|(k, partials)| {
+                let h = key_hash(&k);
+                (h, Box::new((k, partials)) as Box<dyn std::any::Any + Send>)
+            })
+            .collect()
+    }
+
+    fn import_keyed(&mut self, entries: KeyedState) {
+        for (_, boxed) in entries {
+            let (k, partials) = *boxed
+                .downcast::<(K, Partials<A::Acc>)>()
+                .expect("keyed-parallel hand-off delivered foreign state to GroupedAggregate");
+            // A group exists on exactly one instance (same key ⇒ same
+            // routing hash), so entries never collide on import.
+            self.groups.insert(k, partials);
+        }
     }
 }
 

@@ -1,12 +1,23 @@
 //! The binary generalized ripple join.
 
 use super::sweeparea::{HashSweepArea, ListSweepArea, SweepArea};
-use pipes_graph::{BinaryOperator, Collector};
+use pipes_graph::{BinaryOperator, Collector, KeyedState, Rekey};
 use pipes_time::{Element, Message, Timestamp};
 use std::hash::Hash;
 
 /// Boxed combiner producing an output payload from a matched pair.
 pub type Combiner<L, R, O> = Box<dyn Fn(&L, &R) -> O + Send>;
+
+/// A routing hash for the keyed-parallel state hand-off (see
+/// [`RippleJoin::with_rekey`]).
+type RouteFn<T> = Box<dyn Fn(&T) -> u64 + Send>;
+
+/// A sweep-area entry tagged with its side, used as the boxed payload when
+/// a keyed-parallel expansion relocates join state between instances.
+enum JoinEntry<L, R> {
+    Left(Element<L>),
+    Right(Element<R>),
+}
 
 /// Generalized ripple join: each arriving element probes the opposite
 /// input's [`SweepArea`], emits a result per match (validity = intersection
@@ -29,6 +40,12 @@ pub struct RippleJoin<L, R, O> {
     /// run entry point returns, so `memory`/`shed` never see them.
     left_seg: Vec<Element<L>>,
     right_seg: Vec<Element<R>>,
+    /// Routing hashes used only by the keyed-parallel state hand-off: they
+    /// must agree with the shuffle edge's partitioner key functions so an
+    /// exported entry lands on the instance that will see its future match
+    /// partners. `None` until [`with_rekey`](Self::with_rekey) is called.
+    route_left: Option<RouteFn<L>>,
+    route_right: Option<RouteFn<R>>,
 }
 
 impl<L, R, O> RippleJoin<L, R, O>
@@ -52,7 +69,25 @@ where
             emitted_wm: Timestamp::ZERO,
             left_seg: Vec::new(),
             right_seg: Vec::new(),
+            route_left: None,
+            route_right: None,
         }
+    }
+
+    /// Attaches the routing-hash functions required to run this join behind
+    /// a re-sizable shuffle edge (`QueryGraph::add_keyed_binary` +
+    /// `parallelize`). Each must return exactly what the corresponding
+    /// partitioner key function returns for the same payload, so exported
+    /// sweep-area state re-routes to the instance that will receive the
+    /// entry's future match partners.
+    pub fn with_rekey(
+        mut self,
+        route_left: impl Fn(&L) -> u64 + Send + 'static,
+        route_right: impl Fn(&R) -> u64 + Send + 'static,
+    ) -> Self {
+        self.route_left = Some(Box::new(route_left));
+        self.route_right = Some(Box::new(route_right));
+        self
     }
 
     /// Nested-loop theta join over [`ListSweepArea`]s.
@@ -228,6 +263,49 @@ where
         let tl = target * l / total;
         let tr = target.saturating_sub(tl);
         self.left_area.shed(tl) + self.right_area.shed(tr)
+    }
+}
+
+impl<L, R, O> Rekey for RippleJoin<L, R, O>
+where
+    L: Send + Clone + 'static,
+    R: Send + Clone + 'static,
+    O: Send + Clone + 'static,
+{
+    fn export_keyed(&mut self) -> KeyedState {
+        let route_left = self.route_left.as_ref().expect(
+            "RippleJoin behind a re-sizable shuffle edge needs with_rekey(..) so \
+             sweep-area state can be re-routed across instances",
+        );
+        let route_right = self.route_right.as_ref().expect(
+            "RippleJoin behind a re-sizable shuffle edge needs with_rekey(..) so \
+             sweep-area state can be re-routed across instances",
+        );
+        let mut out: KeyedState = Vec::new();
+        for e in self.left_area.drain_all() {
+            let h = route_left(&e.payload);
+            out.push((h, Box::new(JoinEntry::<L, R>::Left(e))));
+        }
+        for e in self.right_area.drain_all() {
+            let h = route_right(&e.payload);
+            out.push((h, Box::new(JoinEntry::<L, R>::Right(e))));
+        }
+        // Watermarks are deliberately not exported: every instance saw the
+        // same broadcast heartbeats, so fresh instances starting at ZERO
+        // merely under-purge until the next heartbeat restores them.
+        out
+    }
+
+    fn import_keyed(&mut self, entries: KeyedState) {
+        for (_, boxed) in entries {
+            match *boxed
+                .downcast::<JoinEntry<L, R>>()
+                .expect("keyed-parallel hand-off delivered foreign state to RippleJoin")
+            {
+                JoinEntry::Left(e) => self.left_area.insert(e),
+                JoinEntry::Right(e) => self.right_area.insert(e),
+            }
+        }
     }
 }
 

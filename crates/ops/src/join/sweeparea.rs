@@ -60,6 +60,13 @@ pub trait SweepArea<T, P>: Send {
     /// expiring soonest (they contribute the fewest future results);
     /// returns the new size.
     fn shed(&mut self, target: usize) -> usize;
+
+    /// Drains every stored element, leaving the area empty. Elements that
+    /// share a join key come out in insertion order (the order matches
+    /// re-probe), so a keyed-parallel state hand-off
+    /// (`pipes_graph::Rekey`) can rebuild an equivalent area by
+    /// re-inserting in drain order.
+    fn drain_all(&mut self) -> Vec<Element<T>>;
 }
 
 // ---------------------------------------------------------------------------
@@ -120,6 +127,10 @@ where
             self.elems.truncate(target);
         }
         self.elems.len()
+    }
+
+    fn drain_all(&mut self) -> Vec<Element<T>> {
+        std::mem::take(&mut self.elems)
     }
 }
 
@@ -298,6 +309,14 @@ where
         self.count = kept;
         self.count
     }
+
+    fn drain_all(&mut self) -> Vec<Element<T>> {
+        self.count = 0;
+        // Bucket iteration order is arbitrary, but each bucket is one join
+        // key and comes out in insertion order, which is all the rekey
+        // contract requires (matching pairs share a key).
+        self.buckets.drain().flat_map(|(_, b)| b).collect()
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -376,6 +395,13 @@ where
             }
         }
         self.elems.len()
+    }
+
+    fn drain_all(&mut self) -> Vec<Element<T>> {
+        // (end, insertion-seq) order: same-key elements keep their
+        // insertion order within each end timestamp, and re-insertion
+        // re-assigns fresh sequence numbers in drain order.
+        std::mem::take(&mut self.elems).into_values().collect()
     }
 }
 

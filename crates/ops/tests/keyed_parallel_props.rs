@@ -1,0 +1,308 @@
+//! Byte-identity of keyed-parallel plans for every operator that ships a
+//! [`pipes_graph::Rekey`] implementation: `GroupedAggregate`, `Distinct`
+//! and `RippleJoin` behind a shuffle edge must produce exactly the output
+//! of the single-instance plan — same payloads, same intervals, same
+//! order — for arbitrary inputs, instance counts and node-stepping
+//! schedules.
+//!
+//! Sources are stepped first in id order at a pinned budget in *both*
+//! plans: `VecSource` punctuates per batch and the graph stamps arrival
+//! sequences at publish time, so the heartbeat stream and the cross-source
+//! interleaving have to match between the plans under comparison. The
+//! operators named here also pin lint rule 4 (`on_run` overrides need a
+//! batched-vs-per-message equivalence test): GroupedAggregate `on_run`
+//! behavior behind the shuffle edge is covered against the per-message
+//! single-instance baseline.
+
+use pipes_graph::io::{CollectSink, Collected, VecSource};
+use pipes_graph::{key_hash, NodeId, QueryGraph};
+use pipes_ops::aggregate::SumAgg;
+use pipes_ops::{Distinct, GroupedAggregate, RippleJoin};
+use pipes_sync::Arc;
+use pipes_time::{Element, Timestamp};
+use proptest::prelude::*;
+
+/// Pinned source budget — part of the observable input (batch punctuation).
+const SRC_BUDGET: usize = 5;
+
+/// Steps sources first in id order at the pinned budget, then every other
+/// node once with schedule-chosen rotation and budgets, until the graph
+/// drains. The same driver runs both plans; only `sched` varies.
+fn drive(graph: &QueryGraph, srcs: &[NodeId], sched: &[usize]) {
+    let mut round = 0usize;
+    while !graph.all_finished() {
+        for &s in srcs {
+            if !graph.is_finished(s) {
+                graph.step_node(s, SRC_BUDGET);
+            }
+        }
+        let ids: Vec<NodeId> = graph.node_ids().filter(|id| !srcs.contains(id)).collect();
+        let pick = |i: usize| {
+            if sched.is_empty() {
+                0
+            } else {
+                sched[i % sched.len()]
+            }
+        };
+        let off = pick(round) % ids.len().max(1);
+        for i in 0..ids.len() {
+            let id = ids[(i + off) % ids.len()];
+            if !graph.is_finished(id) {
+                graph.step_node(id, 1 + pick(round + i) % 13);
+            }
+        }
+        round += 1;
+        assert!(round < 10_000, "graph wedged");
+    }
+}
+
+/// Start-ordered i64 elements over a small value range (dense duplicates).
+fn arb_elems(max_len: usize) -> impl Strategy<Value = Vec<Element<i64>>> {
+    prop::collection::vec((0i64..12, 0u64..24), 0..max_len).prop_map(|raw| {
+        let mut ts: Vec<u64> = raw.iter().map(|&(_, t)| t).collect();
+        ts.sort_unstable();
+        raw.into_iter()
+            .zip(ts)
+            .map(|((v, _), t)| Element::at(v, Timestamp::new(t)))
+            .collect()
+    })
+}
+
+fn arb_sched() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..97, 1..24)
+}
+
+// ---------------------------------------------------------------------------
+// GroupedAggregate
+// ---------------------------------------------------------------------------
+
+fn grouped_single(elems: Vec<Element<i64>>) -> Vec<Element<(i64, f64)>> {
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems));
+    let h = g.add_unary(
+        "agg",
+        GroupedAggregate::new(|v: &i64| v.rem_euclid(4), SumAgg(|v: &i64| *v as f64)),
+        &src,
+    );
+    let (sink, out) = CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    drive(&g, &[src.node()], &[]);
+    let v = out.lock().clone();
+    v
+}
+
+#[allow(clippy::type_complexity)]
+fn grouped_keyed(
+    elems: Vec<Element<i64>>,
+    instances: usize,
+) -> (QueryGraph, NodeId, Collected<(i64, f64)>) {
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems));
+    let h = g.add_keyed_unary(
+        "agg",
+        || GroupedAggregate::new(|v: &i64| v.rem_euclid(4), SumAgg(|v: &i64| *v as f64)),
+        Arc::new(|v: &i64| key_hash(&v.rem_euclid(4))),
+        instances,
+        // Flush output ties at broadcast stamps; the single-instance flush
+        // is globally key-sorted, so ordering ties by key restores it.
+        Some(Arc::new(
+            |a: &Element<(i64, f64)>, b: &Element<(i64, f64)>| a.payload.0.cmp(&b.payload.0),
+        )),
+        &src,
+    );
+    let (sink, out) = CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    let src = src.node();
+    (g, src, out)
+}
+
+// ---------------------------------------------------------------------------
+// Distinct
+// ---------------------------------------------------------------------------
+
+fn distinct_single(elems: Vec<Element<i64>>) -> Vec<Element<i64>> {
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems));
+    let h = g.add_unary("distinct", Distinct::new(), &src);
+    let (sink, out) = CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    drive(&g, &[src.node()], &[]);
+    let v = out.lock().clone();
+    v
+}
+
+fn distinct_keyed(
+    elems: Vec<Element<i64>>,
+    instances: usize,
+) -> (QueryGraph, NodeId, Collected<i64>) {
+    let g = QueryGraph::new();
+    let src = g.add_source("src", VecSource::new(elems));
+    let h = g.add_keyed_unary(
+        "distinct",
+        Distinct::new,
+        Arc::new(|v: &i64| key_hash(v)),
+        instances,
+        // The single-instance watermark flush sorts by (start, payload).
+        Some(Arc::new(|a: &Element<i64>, b: &Element<i64>| {
+            (a.start(), a.payload).cmp(&(b.start(), b.payload))
+        })),
+        &src,
+    );
+    let (sink, out) = CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    let src = src.node();
+    (g, src, out)
+}
+
+// ---------------------------------------------------------------------------
+// RippleJoin
+// ---------------------------------------------------------------------------
+
+type Pair = (i64, i64);
+
+fn join_op() -> RippleJoin<Pair, Pair, (i64, i64, i64)> {
+    RippleJoin::equi(
+        |l: &Pair| l.0,
+        |r: &Pair| r.0,
+        |l: &Pair, r: &Pair| (l.0, l.1, r.1),
+    )
+}
+
+fn arb_pairs(max_len: usize) -> impl Strategy<Value = Vec<Element<Pair>>> {
+    prop::collection::vec((0i64..4, 0i64..16, 0u64..24), 0..max_len).prop_map(|raw| {
+        let mut ts: Vec<u64> = raw.iter().map(|&(_, _, t)| t).collect();
+        ts.sort_unstable();
+        raw.into_iter()
+            .zip(ts)
+            .map(|((k, v, _), t)| Element::at((k, v), Timestamp::new(t)))
+            .collect()
+    })
+}
+
+fn join_single(
+    left: Vec<Element<Pair>>,
+    right: Vec<Element<Pair>>,
+) -> Vec<Element<(i64, i64, i64)>> {
+    let g = QueryGraph::new();
+    let l = g.add_source("left", VecSource::new(left));
+    let r = g.add_source("right", VecSource::new(right));
+    let h = g.add_binary("join", join_op(), &l, &r);
+    let (sink, out) = CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    drive(&g, &[l.node(), r.node()], &[]);
+    let v = out.lock().clone();
+    v
+}
+
+#[allow(clippy::type_complexity)]
+fn join_keyed(
+    left: Vec<Element<Pair>>,
+    right: Vec<Element<Pair>>,
+    instances: usize,
+) -> (QueryGraph, Vec<NodeId>, Collected<(i64, i64, i64)>) {
+    let g = QueryGraph::new();
+    let l = g.add_source("left", VecSource::new(left));
+    let r = g.add_source("right", VecSource::new(right));
+    let h = g.add_keyed_binary(
+        "join",
+        || join_op().with_rekey(|l: &Pair| key_hash(&l.0), |r: &Pair| key_hash(&r.0)),
+        Arc::new(|l: &Pair| key_hash(&l.0)),
+        Arc::new(|r: &Pair| key_hash(&r.0)),
+        instances,
+        // The join emits only while processing elements — no broadcast-
+        // stamp ties across instances, so no comparator is needed.
+        None,
+        &l,
+        &r,
+    );
+    let (sink, out) = CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    let srcs = vec![l.node(), r.node()];
+    (g, srcs, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// GroupedAggregate behind a shuffle edge ≡ single instance, for every
+    /// input, fan-out and schedule — flush ties restored by the key tie.
+    #[test]
+    fn grouped_aggregate_keyed_is_byte_identical(
+        elems in arb_elems(40),
+        instances in 2usize..5,
+        sched in arb_sched(),
+    ) {
+        let want = grouped_single(elems.clone());
+        let (g, src, out) = grouped_keyed(elems, instances);
+        drive(&g, &[src], &sched);
+        prop_assert_eq!(out.lock().clone(), want);
+    }
+
+    /// Distinct behind a shuffle edge ≡ single instance; watermark-flush
+    /// ties restored by the (start, payload) tie.
+    #[test]
+    fn distinct_keyed_is_byte_identical(
+        elems in arb_elems(40),
+        instances in 2usize..5,
+        sched in arb_sched(),
+    ) {
+        let want = distinct_single(elems.clone());
+        let (g, src, out) = distinct_keyed(elems, instances);
+        drive(&g, &[src], &sched);
+        prop_assert_eq!(out.lock().clone(), want);
+    }
+
+    /// RippleJoin behind a two-sided shuffle edge ≡ single instance: both
+    /// inputs partition by the join key, matching pairs co-locate, and the
+    /// merge restores global arrival order without a tie comparator.
+    #[test]
+    fn ripple_join_keyed_is_byte_identical(
+        left in arb_pairs(28),
+        right in arb_pairs(28),
+        instances in 2usize..5,
+        sched in arb_sched(),
+    ) {
+        let want = join_single(left.clone(), right.clone());
+        let (g, srcs, out) = join_keyed(left, right, instances);
+        drive(&g, &srcs, &sched);
+        prop_assert_eq!(out.lock().clone(), want);
+    }
+
+    /// Re-sharding a warm join mid-run moves both sweep areas with the
+    /// keyed state hand-off: output stays byte-identical after the splice.
+    #[test]
+    fn ripple_join_parallelize_mid_run_is_invisible(
+        left in arb_pairs(28),
+        right in arb_pairs(28),
+        instances in 1usize..3,
+        widen_to in 1usize..5,
+        warm in 0usize..5,
+        sched in arb_sched(),
+    ) {
+        let want = join_single(left.clone(), right.clone());
+        let (g, srcs, out) = join_keyed(left, right, instances);
+        let group = g.shuffle_groups().pop().expect("group");
+        let ids: Vec<NodeId> = g.node_ids().collect();
+        let mut rounds = 0;
+        'warmup: while rounds < warm {
+            for &s in &srcs {
+                if !g.is_finished(s) {
+                    g.step_node(s, SRC_BUDGET);
+                }
+            }
+            for &id in &ids {
+                if g.all_finished() {
+                    break 'warmup;
+                }
+                if !srcs.contains(&id) && !g.is_finished(id) {
+                    g.step_node(id, 2);
+                }
+            }
+            rounds += 1;
+        }
+        let fresh = g.parallelize(group.handle, widen_to);
+        prop_assert_eq!(fresh.len(), widen_to);
+        drive(&g, &srcs, &sched);
+        prop_assert_eq!(out.lock().clone(), want);
+    }
+}

@@ -20,6 +20,29 @@ use pipes_graph::{NodeId, NodeKind, QueryGraph};
 /// Identifier of a virtual-node group within an [`ExecutionPlan`].
 pub type GroupId = usize;
 
+/// Hard invariant of the planner: a fused edge `a → b` must be strictly
+/// single-producer/single-consumer. Fusing across a multi-consumer edge
+/// (e.g. a shuffle partitioner feeding k keyed instances) would serialize
+/// the instances onto one worker, and fusing across a multi-producer edge
+/// (k instances feeding one order-restoring merge) would let one instance's
+/// chain run the merge while sibling ports lag — both defeat the point of
+/// the shuffle and can reorder merge input. The chain-building loops only
+/// link SPSC edges; this check makes the refusal explicit and loud if a
+/// future edit weakens those conditions.
+fn assert_fused_edges_spsc(next: &[Option<NodeId>], up: &[Vec<NodeId>], out_edges: &[usize]) {
+    for (a, nx) in next.iter().enumerate() {
+        if let Some(b) = *nx {
+            assert!(
+                out_edges[a] == 1 && up[b].len() == 1,
+                "refusing to fuse {a} -> {b}: edge is multi-producer or multi-consumer \
+                 ({} producers into {b}, {} consumers out of {a})",
+                up[b].len(),
+                out_edges[a],
+            );
+        }
+    }
+}
+
 /// One runtime virtual node: a maximal chain of nodes connected by
 /// single-producer/single-consumer edges, scheduled and placed as a unit.
 #[derive(Clone, Debug)]
@@ -107,7 +130,14 @@ impl ExecutionPlan {
         let mut out_edges = vec![0usize; n];
         for ups in &up {
             for &a in ups {
-                out_edges[a] += 1;
+                // A concurrent splice can rewrite an incoming list to
+                // reference nodes beyond this scan's length snapshot
+                // (e.g. a shuffle merge re-pointed at fresh instances);
+                // the epoch read above already marks this plan stale, the
+                // scan just must not index past its own snapshot.
+                if let Some(slot) = out_edges.get_mut(a) {
+                    *slot += 1;
+                }
             }
         }
         // Chain successor/predecessor along fusable edges.
@@ -118,12 +148,13 @@ impl ExecutionPlan {
                 continue;
             }
             let a = up[b][0];
-            if removed[a] || out_edges[a] != 1 || a == b {
+            if a >= n || removed[a] || out_edges[a] != 1 || a == b {
                 continue;
             }
             next[a] = Some(b);
             prev[b] = Some(a);
         }
+        assert_fused_edges_spsc(&next, &up, &out_edges);
         // Walk each chain from its head.
         let mut groups: Vec<VirtualGroup> = Vec::new();
         let mut group_of = vec![0 as GroupId; n];
@@ -159,6 +190,9 @@ impl ExecutionPlan {
         let mut downstream_groups: Vec<Vec<GroupId>> = vec![Vec::new(); n];
         for b in 0..n {
             for &a in &up[b] {
+                if a >= n {
+                    continue; // spliced mid-scan; next re-plan covers it
+                }
                 let (ga, gb) = (group_of[a], group_of[b]);
                 if ga != gb && !downstream_groups[a].contains(&gb) {
                     downstream_groups[a].push(gb);
@@ -205,7 +239,12 @@ impl ExecutionPlan {
         let mut out_edges = vec![0usize; n];
         for ups in &up {
             for &a in ups {
-                out_edges[a] += 1;
+                // See `analyze`: a splice racing this scan can reference
+                // nodes past the length snapshot; skip, the epoch check
+                // forces another refresh.
+                if let Some(slot) = out_edges.get_mut(a) {
+                    *slot += 1;
+                }
             }
         }
         let mut next: Vec<Option<NodeId>> = vec![None; n];
@@ -215,12 +254,13 @@ impl ExecutionPlan {
                 continue;
             }
             let a = up[b][0];
-            if a < old_n || removed[a] || out_edges[a] != 1 || a == b {
+            if a >= n || a < old_n || removed[a] || out_edges[a] != 1 || a == b {
                 continue;
             }
             next[a] = Some(b);
             prev[b] = Some(a);
         }
+        assert_fused_edges_spsc(&next, &up, &out_edges);
         group_of.resize(n, 0);
         for (head, head_prev) in prev.iter().enumerate().skip(old_n) {
             if head_prev.is_some() {
@@ -254,6 +294,9 @@ impl ExecutionPlan {
         let mut downstream_groups: Vec<Vec<GroupId>> = vec![Vec::new(); n];
         for b in 0..n {
             for &a in &up[b] {
+                if a >= n {
+                    continue; // spliced mid-scan; next re-plan covers it
+                }
                 let (ga, gb) = (group_of[a], group_of[b]);
                 if ga != gb && !downstream_groups[a].contains(&gb) {
                     downstream_groups[a].push(gb);
@@ -367,6 +410,12 @@ mod tests {
         fn on_element(&mut self, _p: usize, e: Element<i64>, out: &mut dyn Collector<i64>) {
             out.element(e);
         }
+    }
+    impl pipes_graph::Rekey for PassThrough {
+        fn export_keyed(&mut self) -> pipes_graph::KeyedState {
+            Vec::new()
+        }
+        fn import_keyed(&mut self, _entries: pipes_graph::KeyedState) {}
     }
 
     fn elems(n: i64) -> Vec<Element<i64>> {
@@ -555,6 +604,46 @@ mod tests {
         assert!(placed.contains(&live));
         assert!(!placed.contains(&dead));
         let _ = sink1;
+    }
+
+    #[test]
+    fn shuffle_edges_never_fuse_and_instances_stay_independent() {
+        use pipes_sync::Arc;
+        let g = QueryGraph::new();
+        let src = g.add_source("src", VecSource::new(elems(16)));
+        let h = g.add_keyed_unary(
+            "par",
+            || PassThrough,
+            Arc::new(|v: &i64| v.rem_euclid(4) as u64),
+            3,
+            None,
+            &src,
+        );
+        let (sink, _) = CollectSink::new();
+        g.add_sink("sink", sink, &h);
+
+        let plan = ExecutionPlan::analyze(&g);
+        let group = g.shuffle_groups().pop().expect("one shuffle group");
+        assert_eq!(group.instance_ids.len(), 3);
+        let part = group.partition_ids[0];
+        let merge = group.handle;
+        // The partition edge is multi-consumer and the merge edge is
+        // multi-producer: neither may fuse, so every instance is its own
+        // placement unit, independently stealable across workers.
+        let mut seen = vec![plan.group_of(part), plan.group_of(merge)];
+        for &i in &group.instance_ids {
+            assert_eq!(plan.groups()[plan.group_of(i)].nodes(), &[i]);
+            seen.push(plan.group_of(i));
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            5,
+            "partition, merge, and 3 instances all in distinct groups"
+        );
+        // Partitioner output wakes all three instance groups.
+        assert_eq!(plan.downstream_groups(part).len(), 3);
     }
 
     #[test]

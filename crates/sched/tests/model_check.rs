@@ -299,6 +299,151 @@ fn shutdown_stays_bounded_when_a_sink_splices_mid_run() {
     assert!(report.executions > 1, "expected multiple schedules");
 }
 
+/// Stateless pass-through with an empty keyed-state hand-off, so a shuffle
+/// group over it can be resized mid-run without any state to relocate.
+struct Relay;
+impl pipes_graph::Operator for Relay {
+    type In = i64;
+    type Out = i64;
+    fn on_element(
+        &mut self,
+        _p: usize,
+        e: Element<i64>,
+        out: &mut dyn pipes_graph::Collector<i64>,
+    ) {
+        out.element(e);
+    }
+}
+impl pipes_graph::Rekey for Relay {
+    fn export_keyed(&mut self) -> pipes_graph::KeyedState {
+        Vec::new()
+    }
+    fn import_keyed(&mut self, _entries: pipes_graph::KeyedState) {}
+}
+
+fn keyed_graph(n: i64, instances: usize) -> (Arc<QueryGraph>, pipes_graph::io::Collected<i64>) {
+    let g = QueryGraph::new();
+    let elems: Vec<Element<i64>> = (0..n)
+        .map(|i| Element::at(i, Timestamp::new(i as u64)))
+        .collect();
+    let src = g.add_source("src", VecSource::new(elems));
+    let h = g.add_keyed_unary(
+        "par",
+        || Relay,
+        Arc::new(|v: &i64| v.rem_euclid(2) as u64),
+        instances,
+        None,
+        &src,
+    );
+    let (sink, out) = pipes_graph::io::CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    (Arc::new(g), out)
+}
+
+/// Partition-push racing merge-drain: one thread steps the source and the
+/// partitioner (pushing keyed runs onto the instance edges) while the other
+/// steps the instances and the order-restoring merge. In every
+/// interleaving the sink must see the full stream in exact arrival order —
+/// no run lost on a partially flushed partition buffer, no per-key
+/// reordering past the merge's strict frontier rule.
+#[test]
+fn partition_push_racing_merge_drain_keeps_global_order() {
+    let report = pipes_sync::Builder::new().preemption_bound(1).check(|| {
+        let (graph, out) = keyed_graph(3, 2);
+        let group = graph.shuffle_groups().pop().expect("one shuffle group");
+        let upstream: Vec<usize> = vec![0, group.partition_ids[0]];
+        let downstream: Vec<usize> = group
+            .instance_ids
+            .iter()
+            .copied()
+            .chain([group.handle, graph.len() - 1])
+            .collect();
+        let pusher = {
+            let graph = Arc::clone(&graph);
+            pipes_sync::thread::spawn(move || {
+                for _ in 0..4 {
+                    for &id in &upstream {
+                        graph.step_node(id, 2);
+                    }
+                }
+            })
+        };
+        for _ in 0..4 {
+            for &id in &downstream {
+                graph.step_node(id, 2);
+            }
+        }
+        pusher.join().unwrap();
+        // Drain whatever the race left queued; progress must always exist.
+        let mut spins = 0;
+        while !graph.all_finished() {
+            for id in 0..graph.len() {
+                graph.step_node(id, 64);
+            }
+            spins += 1;
+            assert!(spins < 64, "shuffle group wedged");
+        }
+        let got: Vec<i64> = out.lock().iter().map(|e| e.payload).collect();
+        assert_eq!(
+            got,
+            vec![0, 1, 2],
+            "stream lost or reordered in the shuffle"
+        );
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
+/// `parallelize` splicing new keyed instances while the work-stealing
+/// executor is mid-run: the expander freezes routing under the partition
+/// runnable lock, drains and retires the old instances, and splices the
+/// new generation behind the executor's back (topology-epoch replan). In
+/// every interleaving the executor must terminate (no lost wakeup on the
+/// fresh nodes, no quantum against a retired instance wedging) and the
+/// sink must see the full stream in exact arrival order.
+#[test]
+fn instance_splice_mid_run_under_work_stealing_preserves_stream() {
+    let mut builder = pipes_sync::Builder::new().preemption_bound(1);
+    // A splice against the live executor is the deepest schedule in this
+    // suite (drain + export + re-plan per interleaving); give it headroom
+    // over the default per-execution step budget.
+    builder.max_steps = 400_000;
+    let report = builder.check(|| {
+        let (graph, out) = keyed_graph(1, 1);
+        let group = graph.shuffle_groups().pop().expect("one shuffle group");
+        let splicer = {
+            let graph = Arc::clone(&graph);
+            pipes_sync::thread::spawn(move || {
+                let fresh = graph.parallelize(group.handle, 2);
+                assert_eq!(fresh.len(), 2);
+            })
+        };
+        let reports = WorkStealingExecutor::new(1)
+            .with_quantum(1)
+            .with_rebalance_every(0)
+            .run(&graph, || Box::new(FifoStrategy));
+        splicer.join().unwrap();
+        assert_eq!(reports.len(), 1, "the worker was lost");
+        // The executor may legitimately observe completion and stop while
+        // the splice is still in flight; the fresh instances then hold a
+        // queued Close for the next run to drive. Drain single-threaded
+        // and require the graph to finish — anything short of that is a
+        // wedge (lost run or stuck merge port).
+        let mut spins = 0;
+        while !graph.all_finished() {
+            for id in 0..graph.len() {
+                graph.step_node(id, 64);
+            }
+            spins += 1;
+            assert!(spins < 64, "splice wedged the graph");
+        }
+        let got: Vec<i64> = out.lock().iter().map(|e| e.payload).collect();
+        assert_eq!(got, vec![0], "stream lost or reordered across the splice");
+    });
+    assert!(report.complete);
+    assert!(report.executions > 1, "expected multiple schedules");
+}
+
 /// The full dynamic layer 3 under the model checker: plan, claim, targeted
 /// wakeups, idle adoption and the decentralized stop protocol. Every
 /// interleaving must terminate (bounded shutdown — no lost wakeup can park

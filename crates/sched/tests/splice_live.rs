@@ -1,0 +1,108 @@
+//! Real-time (non-model-checked) version of the mid-run instance splice:
+//! `QueryGraph::parallelize` against a live work-stealing executor must
+//! terminate and keep the stream byte-identical.
+
+use pipes_graph::io::{CollectSink, VecSource};
+use pipes_graph::QueryGraph;
+use pipes_sched::{FifoStrategy, WorkStealingExecutor};
+use pipes_sync::Arc;
+use pipes_time::{Element, Timestamp};
+
+struct Relay;
+impl pipes_graph::Operator for Relay {
+    type In = i64;
+    type Out = i64;
+    fn on_element(
+        &mut self,
+        _p: usize,
+        e: Element<i64>,
+        out: &mut dyn pipes_graph::Collector<i64>,
+    ) {
+        out.element(e);
+    }
+}
+impl pipes_graph::Rekey for Relay {
+    fn export_keyed(&mut self) -> pipes_graph::KeyedState {
+        Vec::new()
+    }
+    fn import_keyed(&mut self, _entries: pipes_graph::KeyedState) {}
+}
+
+#[test]
+fn parallelize_against_live_work_stealing_executor() {
+    for round in 0..20 {
+        let g = QueryGraph::new();
+        let n = 64i64;
+        let elems: Vec<Element<i64>> = (0..n)
+            .map(|i| Element::at(i, Timestamp::new(i as u64)))
+            .collect();
+        let src = g.add_source("src", VecSource::new(elems));
+        let h = g.add_keyed_unary(
+            "par",
+            || Relay,
+            Arc::new(|v: &i64| v.rem_euclid(2) as u64),
+            1,
+            None,
+            &src,
+        );
+        let (sink, out) = CollectSink::new();
+        g.add_sink("sink", sink, &h);
+        let graph = Arc::new(g);
+        let group = graph.shuffle_groups().pop().expect("one shuffle group");
+
+        let splicer = {
+            let graph = Arc::clone(&graph);
+            pipes_sync::thread::spawn(move || {
+                let fresh = graph.parallelize(group.handle, 2);
+                assert_eq!(fresh.len(), 2);
+            })
+        };
+        let reports = WorkStealingExecutor::new(2)
+            .with_quantum(4)
+            .run(&graph, || Box::new(FifoStrategy));
+        splicer.join().unwrap();
+        assert_eq!(reports.len(), 2);
+        // A splice landing after the executor's stop leaves the fresh
+        // instances holding a queued Close for the next run — drain it
+        // single-threaded before requiring completion.
+        let mut spins = 0;
+        while !graph.all_finished() {
+            for id in 0..graph.len() {
+                graph.step_node(id, 64);
+            }
+            spins += 1;
+            assert!(spins < 64, "round {round}: splice wedged the graph");
+        }
+        let got: Vec<i64> = out.lock().iter().map(|e| e.payload).collect();
+        let want: Vec<i64> = (0..n).collect();
+        assert_eq!(got, want, "round {round}: stream lost or reordered");
+    }
+}
+
+#[test]
+fn work_stealing_executor_finishes_plain_shuffle_graph() {
+    let g = QueryGraph::new();
+    let elems: Vec<Element<i64>> = (0..4i64)
+        .map(|i| Element::at(i, Timestamp::new(i as u64)))
+        .collect();
+    let src = g.add_source("src", VecSource::new(elems));
+    let h = g.add_keyed_unary(
+        "par",
+        || Relay,
+        Arc::new(|v: &i64| v.rem_euclid(2) as u64),
+        2,
+        None,
+        &src,
+    );
+    let (sink, out) = CollectSink::new();
+    g.add_sink("sink", sink, &h);
+    let graph = Arc::new(g);
+    let reports = WorkStealingExecutor::new(1)
+        .with_quantum(1)
+        .with_rebalance_every(0)
+        .run(&graph, || Box::new(FifoStrategy));
+    assert_eq!(reports.len(), 1);
+    assert!(graph.all_finished());
+    let got: Vec<i64> = out.lock().iter().map(|e| e.payload).collect();
+    assert_eq!(got, vec![0, 1, 2, 3]);
+}

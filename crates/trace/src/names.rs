@@ -83,6 +83,12 @@ pub const GRAPH_SPLICE: &str = "graph.splice";
 /// args: `[topology_epoch, new_groups, retired_groups]`.
 pub const SCHED_REPLAN: &str = "sched.replan";
 
+/// Instant for one partition-node routing pass over a drained run on a
+/// shuffle edge. args: `[run_len, n_instances, routed_messages]` —
+/// `routed_messages` counts every message pushed across the per-instance
+/// edges (elements once, heartbeats/closes fanned out to all instances).
+pub const SHUFFLE: &str = "graph.shuffle";
+
 /// Instant for one aggregate run dispatch (`ScalarAggregate` /
 /// `GroupedAggregate` `on_run`), after the burst-grouped inserts.
 /// args: `[run_len, bursts, partials_after]` — `partials_after` is the

@@ -23,6 +23,20 @@ pub struct GraphGauges {
     pub topology_epoch: u64,
 }
 
+/// One keyed-parallel shuffle group's instance count, for the
+/// `pipes_node_instances` gauge. Sourced from
+/// `QueryGraph::shuffle_groups()` (`name` / `instance_ids.len()`) by
+/// callers that hold the graph.
+#[derive(Clone, Debug)]
+pub struct ShuffleGauge {
+    /// The shuffle group's name (the logical operator name passed to
+    /// `add_keyed_unary` / `add_keyed_binary`).
+    pub group: String,
+    /// Live keyed instances currently fanned out behind the group's
+    /// partition edge.
+    pub instances: u64,
+}
+
 /// Renders all node counters, gauges, and latency quantiles in Prometheus
 /// text exposition format. Metadata-plane gauges render with no samples;
 /// use [`render_with_meta`] to include live estimator readings.
@@ -48,6 +62,18 @@ pub fn render_with_meta(entries: &[(Arc<NodeStats>, Option<NodeMetaSnapshot>)]) 
 pub fn render_with_graph(
     entries: &[(Arc<NodeStats>, Option<NodeMetaSnapshot>)],
     graph: Option<GraphGauges>,
+) -> String {
+    render_with_shuffles(entries, graph, &[])
+}
+
+/// Like [`render_with_graph`], additionally emitting the per-group
+/// `pipes_node_instances` gauge for keyed-parallel shuffle groups. The
+/// family's headers are emitted from every entry point, so the schema a
+/// scraper sees never depends on whether the graph uses keyed parallelism.
+pub fn render_with_shuffles(
+    entries: &[(Arc<NodeStats>, Option<NodeMetaSnapshot>)],
+    graph: Option<GraphGauges>,
+    shuffles: &[ShuffleGauge],
 ) -> String {
     let snaps: Vec<_> = entries.iter().map(|(n, _)| n.snapshot()).collect();
     let mut out = String::new();
@@ -157,6 +183,19 @@ pub fn render_with_graph(
     let _ = writeln!(out, "# TYPE pipes_topology_epoch gauge");
     if let Some(g) = graph {
         let _ = writeln!(out, "pipes_topology_epoch {}", g.topology_epoch);
+    }
+    let _ = writeln!(
+        out,
+        "# HELP pipes_node_instances Live keyed-parallel instances behind the group's shuffle edge."
+    );
+    let _ = writeln!(out, "# TYPE pipes_node_instances gauge");
+    for s in shuffles {
+        let _ = writeln!(
+            out,
+            "pipes_node_instances{{node=\"{}\"}} {}",
+            escape_label(&s.group),
+            s.instances
+        );
     }
 
     let with_latency: Vec<_> = snaps
@@ -304,12 +343,16 @@ mod tests {
         a.record_in(7);
         let b = Arc::new(NodeStats::new("we\"ird\\node"));
         b.record_latency_ns(&(1..=100).map(|i| i * 1000).collect::<Vec<_>>());
-        let text = render_with_graph(
+        let text = render_with_shuffles(
             &[(a, Some(meta_snap(123.5, 61.75, 0.5))), (b, None)],
             Some(GraphGauges {
                 nodes: 2,
                 topology_epoch: 3,
             }),
+            &[ShuffleGauge {
+                group: "join".to_string(),
+                instances: 4,
+            }],
         );
 
         let mut announced: Vec<String> = Vec::new();
@@ -368,7 +411,33 @@ mod tests {
             );
         }
         assert!(samples > 10, "dump looked empty: {samples} samples");
-        assert!(announced.len() >= 13, "families: {announced:?}");
+        assert!(announced.len() >= 14, "families: {announced:?}");
+    }
+
+    #[test]
+    fn renders_shuffle_instance_gauges() {
+        let a = Arc::new(NodeStats::new("src"));
+        let with = render_with_shuffles(
+            &[(Arc::clone(&a), None)],
+            None,
+            &[
+                ShuffleGauge {
+                    group: "join".to_string(),
+                    instances: 4,
+                },
+                ShuffleGauge {
+                    group: "grouped-max".to_string(),
+                    instances: 2,
+                },
+            ],
+        );
+        assert!(with.contains("# TYPE pipes_node_instances gauge"));
+        assert!(with.contains("pipes_node_instances{node=\"join\"} 4"));
+        assert!(with.contains("pipes_node_instances{node=\"grouped-max\"} 2"));
+        // Header-stable schema: every entry point announces the family.
+        let without = render(&[a]);
+        assert!(without.contains("# TYPE pipes_node_instances gauge"));
+        assert!(!without.contains("pipes_node_instances{"));
     }
 
     #[test]

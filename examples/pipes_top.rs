@@ -44,6 +44,23 @@ fn main() {
     let (sink, results) = CollectSink::new();
     graph.add_sink("results", sink, &counted);
 
+    // A keyed-parallel branch: per-bucket counts fanned out over two
+    // instances behind a shuffle edge. The partitioner routes by
+    // `key_hash` of the group key — the same hash the operator's keyed
+    // state hand-off uses, so `parallelize` can re-shard it live.
+    let buckets = graph.add_keyed_unary(
+        "bucket-count",
+        || GroupedAggregate::new(|v: &i64| v % 8, CountAgg),
+        std::sync::Arc::new(|v: &i64| key_hash(&(v % 8))),
+        2,
+        Some(std::sync::Arc::new(
+            |a: &Element<(i64, u64)>, b: &Element<(i64, u64)>| a.payload.0.cmp(&b.payload.0),
+        )),
+        &high,
+    );
+    let (bucket_sink, bucket_results) = CollectSink::new();
+    graph.add_sink("buckets", bucket_sink, &buckets);
+
     // Attach the monitor with each node's live metadata block and the
     // topology epoch it was spliced at, so `render_top` can show the
     // estimator values beside the queue depths and tag each row with its
@@ -62,6 +79,7 @@ fn main() {
     // place — frames are printed sequentially here to stay pipe-friendly.)
     let rounds_per_frame = 40;
     let mut frame = 0;
+    let mut widened = false;
     while !graph.all_finished() {
         for _ in 0..rounds_per_frame {
             for id in graph.node_ids() {
@@ -75,10 +93,71 @@ fn main() {
             println!("--- frame {frame} ---");
             print!("{}", monitor.render_top());
         }
+        // Live re-shard: once the metadata plane has warmed up, widen the
+        // keyed branch from 2 to 4 instances against the running graph.
+        // The new instances splice in mid-stream; their rows join the
+        // monitor at the current topology epoch.
+        if frame == 2 && !widened {
+            widened = true;
+            let group = graph
+                .shuffle_groups()
+                .pop()
+                .expect("the keyed branch registered a shuffle group");
+            for id in graph.parallelize(group.handle, 4) {
+                monitor.register_at_epoch(
+                    graph.stats(id),
+                    Some(graph.meta(id)),
+                    graph.topology_epoch(),
+                );
+            }
+            println!(
+                "--- widened 'bucket-count' to 4 instances at epoch {} ---",
+                graph.topology_epoch()
+            );
+        }
     }
     println!("--- final ({frame} frames) ---");
     print!("{}", monitor.render_top());
     println!("window counts delivered: {}", results.lock().len());
+    println!("bucket counts delivered: {}", bucket_results.lock().len());
+
+    // Shuffle-group introspection: live instance counts per keyed group,
+    // and the same values as the `pipes_node_instances` Prometheus gauge.
+    println!("\nshuffle groups:");
+    let shuffle_gauges: Vec<pipes::trace::prometheus::ShuffleGauge> = graph
+        .shuffle_groups()
+        .into_iter()
+        .map(|sg| {
+            println!(
+                "  {:<14} {} instances (merge node {})",
+                sg.name,
+                sg.instance_ids.len(),
+                sg.handle
+            );
+            pipes::trace::prometheus::ShuffleGauge {
+                group: sg.name,
+                instances: sg.instance_ids.len() as u64,
+            }
+        })
+        .collect();
+    let stats: Vec<_> = graph
+        .node_ids()
+        .map(|id| (graph.stats(id), None::<pipes::meta::NodeMetaSnapshot>))
+        .collect();
+    let dump = pipes::trace::prometheus::render_with_shuffles(
+        &stats,
+        Some(pipes::trace::prometheus::GraphGauges {
+            nodes: graph.node_ids().count() as u64,
+            topology_epoch: graph.topology_epoch(),
+        }),
+        &shuffle_gauges,
+    );
+    for line in dump
+        .lines()
+        .filter(|l| l.starts_with("pipes_node_instances") || l.starts_with("pipes_topology_epoch"))
+    {
+        println!("{line}");
+    }
 
     // The introspection surface: topology-aware estimates with provenance.
     let snap = graph.meta_snapshot(&MetaConfig::default());

@@ -94,6 +94,15 @@ cargo run -q --release -p pipes-bench --bin experiments -- e19 --quick >/dev/nul
 echo "==> E20 hot-topology splice smoke run (quick)"
 cargo run -q --release -p pipes-bench --bin experiments -- e20 --quick >/dev/null
 
+# Keyed-parallelism smoke run: E21 builds the NEXMark join + aggregate
+# plan single-instance and behind shuffle edges, asserts byte-identical
+# sink output at several instance counts, then sweeps the work-stealing
+# executor over the available cores; quick mode keeps it to seconds. The
+# scaling bar lives in the full run recorded in EXPERIMENTS.md (and needs
+# a multi-core host — see the E21 caveat there).
+echo "==> E21 keyed-parallelism smoke run (quick)"
+cargo run -q --release -p pipes-bench --bin experiments -- e21 --quick >/dev/null
+
 # Model-checked concurrency suite: compile the kernel against the
 # instrumented loom-shim primitives and exhaustively explore interleavings
 # of the data-path/scheduler invariants (see DESIGN.md § "Concurrency

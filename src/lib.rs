@@ -76,8 +76,9 @@ pub mod prelude {
     pub use pipes_cursor::{Cursor, CursorExt, VecCursor};
     pub use pipes_graph::io::{CollectSink, CountSink, FnSink, GenSource, VecSource};
     pub use pipes_graph::{
-        BinaryOperator, Collector, Confidence, MetaConfig, MetaSnapshot, NodeEstimate, NodeId,
-        Operator, OperatorExt, QueryGraph, SinkOp, SourceOp, SourceStatus, StreamHandle,
+        key_hash, BinaryOperator, Collector, Confidence, KeyFn, KeyedState, MergeTie, MetaConfig,
+        MetaSnapshot, NodeEstimate, NodeId, Operator, OperatorExt, QueryGraph, Rekey, ShuffleGroup,
+        SinkOp, SourceOp, SourceStatus, StreamHandle,
     };
     pub use pipes_mem::{AssignmentStrategy, MemoryManager};
     pub use pipes_meta::{MetadataFactory, Monitor, NodeStats, SeriesView};
